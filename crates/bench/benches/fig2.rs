@@ -1,0 +1,84 @@
+//! Criterion wrapper for Figure 2: raw sync-cost ratios (2a) and
+//! sync/no-sync LevelDB (2b), at a reduced scale.
+//!
+//! Every measurement reports **virtual** time via `iter_custom`, so the
+//! numbers Criterion prints are the paper's metric (simulated seconds),
+//! not host CPU time. The standalone binaries (`fig2a`, `fig2b`) print the
+//! full-size tables.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nob_baselines::Variant;
+use nob_bench::Scale;
+use nob_ext4::{Ext4Config, Ext4Fs};
+use nob_sim::Nanos;
+use nob_workloads::dbbench;
+
+fn raw_write_strategy(strategy: &str) -> Nanos {
+    let fs = Ext4Fs::new(Ext4Config::default().with_page_cache(64 << 30));
+    let file = vec![0u8; 2 << 20];
+    let mut now = Nanos::ZERO;
+    for i in 0..16 {
+        let h = fs.create(&format!("f{i}"), now).expect("fresh path");
+        now = match strategy {
+            "async" => fs.append(h, &file, now).expect("write"),
+            "direct" => fs.append_direct(h, &file, now).expect("write"),
+            "sync" => {
+                let t = fs.append(h, &file, now).expect("write");
+                fs.fsync(h, t).expect("fsync")
+            }
+            _ => unreachable!(),
+        };
+    }
+    now
+}
+
+fn bench_fig2a(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2a_raw_writes_32MB");
+    g.sample_size(10);
+    for strategy in ["async", "direct", "sync"] {
+        g.bench_function(strategy, |b| {
+            b.iter_custom(|iters| {
+                let mut total = Nanos::ZERO;
+                for _ in 0..iters {
+                    total += raw_write_strategy(strategy);
+                }
+                Duration::from_nanos(total.as_nanos())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig2b(c: &mut Criterion) {
+    let scale = Scale::new(4096);
+    let mut g = c.benchmark_group("fig2b_leveldb_sync_vs_nosync");
+    g.sample_size(10);
+    for (name, variant) in [("sync", Variant::LevelDb), ("nosync", Variant::VolatileLevelDb)] {
+        g.bench_function(name, |b| {
+            b.iter_custom(|iters| {
+                let mut total = Nanos::ZERO;
+                for _ in 0..iters {
+                    let fs = scale.fresh_fs();
+                    let base = scale.base_options(nob_bench::PAPER_TABLE_LARGE);
+                    let mut db = variant.open(fs, "db", &base, Nanos::ZERO).expect("open");
+                    let r = dbbench::fillrandom(&mut db, scale.micro_ops(), 1024, 1, Nanos::ZERO)
+                        .expect("fillrandom");
+                    total += r.wall();
+                }
+                Duration::from_nanos(total.as_nanos())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Virtual-time measurements are deterministic (zero variance), which
+    // the plotting backend cannot chart; numbers-only output.
+    config = Criterion::default().without_plots();
+    targets = bench_fig2a, bench_fig2b
+}
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Criterion wrapper for Figure 4 (db_bench micro-benchmarks) and
+//! Table 1's workload, at a reduced scale: every paper system ×
+//! {fillrandom, overwrite, readseq, readrandom} at 1 KB values.
+//!
+//! Virtual time is reported via `iter_custom`; use the `fig4`/`table1`
+//! binaries for the full value-size sweeps.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nob_baselines::Variant;
+use nob_bench::Scale;
+use nob_sim::Nanos;
+use nob_workloads::dbbench;
+use noblsm::Db;
+
+const SCALE: u64 = 4096;
+
+fn fresh_loaded(variant: Variant, scale: Scale) -> (Db, Nanos) {
+    let fs = scale.fresh_fs();
+    let base = scale.base_options(nob_bench::PAPER_TABLE_LARGE);
+    let mut db = variant.open(fs, "db", &base, Nanos::ZERO).expect("open");
+    let fill = dbbench::fillrandom(&mut db, scale.micro_ops(), 1024, 1, Nanos::ZERO)
+        .expect("fillrandom");
+    let t = db.wait_idle(fill.finished).expect("drain");
+    (db, t)
+}
+
+fn bench_workload(c: &mut Criterion, which: &str) {
+    let scale = Scale::new(SCALE);
+    let mut g = c.benchmark_group(format!("fig4_{which}_1KB"));
+    g.sample_size(10);
+    for variant in Variant::paper_seven() {
+        g.bench_function(variant.name(), |b| {
+            b.iter_custom(|iters| {
+                let mut total = Nanos::ZERO;
+                for _ in 0..iters {
+                    let ops = scale.micro_ops();
+                    total += match which {
+                        "fillrandom" => {
+                            let fs = scale.fresh_fs();
+                            let base = scale.base_options(nob_bench::PAPER_TABLE_LARGE);
+                            let mut db =
+                                variant.open(fs, "db", &base, Nanos::ZERO).expect("open");
+                            dbbench::fillrandom(&mut db, ops, 1024, 1, Nanos::ZERO)
+                                .expect("fillrandom")
+                                .wall()
+                        }
+                        "overwrite" => {
+                            let (mut db, t) = fresh_loaded(variant, scale);
+                            dbbench::overwrite(&mut db, ops, 1024, 2, t).expect("overwrite").wall()
+                        }
+                        "readseq" => {
+                            let (mut db, t) = fresh_loaded(variant, scale);
+                            dbbench::readseq(&mut db, t).expect("readseq").wall()
+                        }
+                        "readrandom" => {
+                            let (mut db, t) = fresh_loaded(variant, scale);
+                            dbbench::readrandom(&mut db, ops, ops, 3, t)
+                                .expect("readrandom")
+                                .wall()
+                        }
+                        _ => unreachable!(),
+                    };
+                }
+                Duration::from_nanos(total.as_nanos())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    for which in ["fillrandom", "overwrite", "readseq", "readrandom"] {
+        bench_workload(c, which);
+    }
+}
+
+criterion_group! {
+    name = benches;
+    // Virtual-time measurements are deterministic (zero variance), which
+    // the plotting backend cannot chart; numbers-only output.
+    config = Criterion::default().without_plots();
+    targets = bench_fig4
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion wrapper for Figure 5 (YCSB) at a reduced scale: the seven
+//! paper systems × workloads A and C, single- and four-threaded.
+//!
+//! Virtual time is reported via `iter_custom`; the `fig5` binary prints
+//! the full Load-A…E series.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nob_baselines::Variant;
+use nob_bench::Scale;
+use nob_sim::Nanos;
+use nob_workloads::ycsb::{self, YcsbWorkload};
+
+const SCALE: u64 = 8192;
+
+fn run_one(variant: Variant, workload: YcsbWorkload, threads: usize, scale: Scale) -> Nanos {
+    let fs = scale.fresh_fs();
+    let base = scale.base_options(nob_bench::PAPER_TABLE_LARGE);
+    let mut db = variant.open(fs, "db", &base, Nanos::ZERO).expect("open");
+    let records = scale.ycsb_records();
+    let load = ycsb::load(&mut db, records, 1024, 1, Nanos::ZERO).expect("load");
+    let t = db.wait_idle(load.finished).expect("drain");
+    let r = ycsb::run(&mut db, workload, scale.ycsb_ops(), records, 1024, threads, 7, t)
+        .expect("ycsb run");
+    r.wall()
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let scale = Scale::new(SCALE);
+    for (workload, threads, tag) in [
+        (YcsbWorkload::A, 1, "fig5a_ycsb_A_1thread"),
+        (YcsbWorkload::C, 1, "fig5a_ycsb_C_1thread"),
+        (YcsbWorkload::A, 4, "fig5b_ycsb_A_4threads"),
+        (YcsbWorkload::C, 4, "fig5b_ycsb_C_4threads"),
+    ] {
+        let mut g = c.benchmark_group(tag);
+        g.sample_size(10);
+        for variant in Variant::paper_seven() {
+            g.bench_function(variant.name(), |b| {
+                b.iter_custom(|iters| {
+                    let mut total = Nanos::ZERO;
+                    for _ in 0..iters {
+                        total += run_one(variant, workload, threads, scale);
+                    }
+                    Duration::from_nanos(total.as_nanos())
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    // Virtual-time measurements are deterministic (zero variance), which
+    // the plotting backend cannot chart; numbers-only output.
+    config = Criterion::default().without_plots();
+    targets = bench_fig5
+}
+criterion_main!(benches);

@@ -1,0 +1,181 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! 1. **Reclamation interval** — the paper matches NobLSM's `is_committed`
+//!    poll to Ext4's 5 s commit interval "to reduce unnecessary checks";
+//!    sweeping it shows the shadow-space/poll-cost trade-off.
+//! 2. **Ext4 commit interval** — how quickly asynchronous commits make
+//!    NobLSM's successors durable (shadow lifetime) vs. journal traffic.
+//! 3. **L0 sync (the one remaining sync)** — NobLSM with its minor-
+//!    compaction sync removed degenerates to the volatile build: same
+//!    speed, no crash consistency. This isolates what the single sync
+//!    buys and what it costs.
+//! 4. **Streaming write-back chunk** — the kernel-flusher model that lets
+//!    commits find ordered data already persisted.
+//! 5. **Fast commit vs NobLSM** — the paper's §3 mentions Ext4's
+//!    fast-commit work (in line with iJournaling) as the system-side
+//!    alternative; this compares LevelDB-on-fast-commit against NobLSM's
+//!    collaborative approach.
+//!
+//! Usage: `ablate [--scale N]`
+
+use nob_baselines::Variant;
+use nob_bench::output::Experiment;
+use nob_bench::{Scale, PAPER_TABLE_LARGE};
+use nob_ext4::Ext4Fs;
+use nob_sim::Nanos;
+use nob_workloads::dbbench;
+use noblsm::{Db, SyncMode};
+
+struct RunOutcome {
+    us_per_op: f64,
+    peak_shadows: u64,
+    syncs: u64,
+}
+
+fn run_noblsm(
+    scale: Scale,
+    reclaim: Nanos,
+    commit_interval: Option<Nanos>,
+    writeback_chunk: Option<u64>,
+    sync_mode: SyncMode,
+) -> RunOutcome {
+    run_configured(scale, reclaim, commit_interval, writeback_chunk, false, sync_mode)
+}
+
+fn run_configured(
+    scale: Scale,
+    reclaim: Nanos,
+    commit_interval: Option<Nanos>,
+    writeback_chunk: Option<u64>,
+    fast_commit: bool,
+    sync_mode: SyncMode,
+) -> RunOutcome {
+    let mut cfg = {
+        // Mirror Scale::fresh_fs, with overridable journal knobs.
+        let fs = scale.fresh_fs();
+        fs.config()
+    };
+    if let Some(ci) = commit_interval {
+        cfg.commit_interval = ci;
+    }
+    if let Some(wc) = writeback_chunk {
+        cfg.writeback_chunk = wc;
+    }
+    cfg.fast_commit = fast_commit;
+    let fs = Ext4Fs::new(cfg);
+    let mut base = scale.base_options(PAPER_TABLE_LARGE).with_sync_mode(sync_mode);
+    base.reclaim_interval = reclaim;
+    let mut db = Db::open(fs.clone(), "db", base, Nanos::ZERO).expect("open db");
+    fs.reset_stats();
+    let ops = scale.micro_ops() / 2;
+    let mut peak = 0u64;
+    // Run in slices so we can sample the shadow count.
+    let slice = (ops / 20).max(1);
+    let mut done = 0;
+    let mut now = Nanos::ZERO;
+    let started = now;
+    while done < ops {
+        let n = slice.min(ops - done);
+        let r = dbbench::fillrandom(&mut db, n, 1024, 42 + done, now).expect("fill");
+        now = r.finished;
+        done += n;
+        peak = peak.max(db.stats().shadow_files);
+    }
+    RunOutcome {
+        us_per_op: (now - started).as_micros_f64() / ops as f64,
+        peak_shadows: peak,
+        syncs: fs.stats().sync_calls,
+    }
+}
+
+fn main() {
+    let scale = Scale::from_args(512);
+    let base_reclaim = scale.duration(Nanos::from_secs(5));
+    let base_commit = scale.duration(Nanos::from_secs(5));
+
+    // 1. Reclamation-poll interval sweep.
+    let mut exp = Experiment::new("ablate_reclaim", "NobLSM reclamation interval", scale.factor);
+    for mult in [1u64, 2, 4, 16] {
+        let r = run_noblsm(scale, base_reclaim * mult, None, None, SyncMode::NobLsm);
+        let x = format!("{}x", mult);
+        exp.push("time us/op", &x, r.us_per_op, "us/op");
+        exp.push("peak shadow files", &x, r.peak_shadows as f64, "files");
+    }
+    exp.print();
+    exp.save().expect("save");
+
+    // 2. Ext4 commit-interval sweep.
+    let mut exp = Experiment::new("ablate_commit", "Ext4 async-commit interval", scale.factor);
+    for mult in [1u64, 2, 4, 16] {
+        let r = run_noblsm(scale, base_reclaim, Some(base_commit * mult), None, SyncMode::NobLsm);
+        let x = format!("{}x", mult);
+        exp.push("time us/op", &x, r.us_per_op, "us/op");
+        exp.push("peak shadow files", &x, r.peak_shadows as f64, "files");
+    }
+    exp.print();
+    exp.save().expect("save");
+
+    // 3. The single remaining sync.
+    let mut exp = Experiment::new(
+        "ablate_l0_sync",
+        "what NobLSM's one sync per minor compaction buys/costs",
+        scale.factor,
+    );
+    for (label, mode) in [
+        ("LevelDB (sync all)", SyncMode::Always),
+        ("NobLSM (sync L0)", SyncMode::NobLsm),
+        ("no syncs (volatile)", SyncMode::Never),
+    ] {
+        let r = run_noblsm(scale, base_reclaim, None, None, mode);
+        exp.push(label, "time", r.us_per_op, "us/op");
+        exp.push(label, "syncs", r.syncs as f64, "count");
+    }
+    exp.print();
+    exp.save().expect("save");
+
+    // 4. Streaming write-back chunk.
+    let mut exp = Experiment::new(
+        "ablate_writeback",
+        "kernel-flusher streaming write-back threshold",
+        scale.factor,
+    );
+    let base_chunk = (256u64 << 10) / scale.factor.max(1);
+    for (label, chunk) in [
+        ("1x", base_chunk.max(1)),
+        ("8x", base_chunk * 8),
+        ("64x", base_chunk * 64),
+        ("off (commit-time only)", u64::MAX),
+    ] {
+        let r = run_noblsm(scale, base_reclaim, None, Some(chunk), SyncMode::NobLsm);
+        exp.push("time us/op", label, r.us_per_op, "us/op");
+    }
+    exp.print();
+    exp.save().expect("save");
+
+    // 5. System-side alternative: LevelDB on fast-commit Ext4 vs NobLSM.
+    let mut exp = Experiment::new(
+        "ablate_fast_commit",
+        "fast-commit Ext4 (iJournaling-style) vs NobLSM's co-design",
+        scale.factor,
+    );
+    for (label, fast, mode) in [
+        ("LevelDB / ordered", false, SyncMode::Always),
+        ("LevelDB / fast-commit", true, SyncMode::Always),
+        ("NobLSM / ordered", false, SyncMode::NobLsm),
+    ] {
+        let r = run_configured(scale, base_reclaim, None, None, fast, mode);
+        exp.push(label, "time", r.us_per_op, "us/op");
+        exp.push(label, "syncs", r.syncs as f64, "count");
+    }
+    exp.print();
+    exp.save().expect("save");
+
+    // Sanity anchor: same-workload LevelDB via the baselines crate.
+    let fs = scale.fresh_fs();
+    let mut db = Variant::LevelDb
+        .open(fs, "db", &scale.base_options(PAPER_TABLE_LARGE), Nanos::ZERO)
+        .expect("open");
+    let r = dbbench::fillrandom(&mut db, scale.micro_ops() / 2, 1024, 42, Nanos::ZERO)
+        .expect("fill");
+    println!("anchor LevelDB: {:.1} us/op", r.mean_us_per_op());
+}

@@ -1,0 +1,71 @@
+//! Figure 2a: the cost of syncs on a raw SSD — writing 4 GB and 8 GB in
+//! 2 MB files with three strategies (Async, Direct, Sync).
+//!
+//! Paper numbers (seconds): Async 0.83/1.72, Direct 8.18/16.42,
+//! Sync 10.06/22.44 — i.e. Direct ≈ 9.5× Async, Sync ≈ +36.7% over
+//! Direct, ≈ 13× Async overall.
+
+use nob_bench::output::Experiment;
+use nob_bench::Scale;
+use nob_ext4::Ext4Fs;
+use nob_sim::Nanos;
+
+fn run_strategy(fs: &Ext4Fs, strategy: &str, total: u64, file_size: u64) -> Nanos {
+    let files = total / file_size;
+    let data = vec![0x5au8; file_size as usize];
+    let mut now = Nanos::ZERO;
+    for i in 0..files {
+        let path = format!("out/{strategy}-{i:06}.dat");
+        let h = fs.create(&path, now).expect("fresh path");
+        now = match strategy {
+            "Async" => fs.append(h, &data, now).expect("buffered write"),
+            "Direct" => fs.append_direct(h, &data, now).expect("direct write"),
+            "Sync" => {
+                let t = fs.append(h, &data, now).expect("buffered write");
+                fs.fsync(h, t).expect("fsync")
+            }
+            _ => unreachable!("unknown strategy"),
+        };
+    }
+    now
+}
+
+fn main() {
+    let scale = Scale::from_args(32);
+    // Files keep the paper's real 2 MB size (the per-file flush/latency
+    // ratio is what shapes this figure); only the file COUNT scales.
+    let file_size = 2u64 << 20;
+    let mut exp = Experiment::new(
+        "fig2a",
+        "execution time of Async, Direct and Sync raw writes",
+        scale.factor,
+    );
+    for paper_gb in [4u64, 8u64] {
+        let total = (paper_gb << 30) / scale.factor;
+        for strategy in ["Async", "Direct", "Sync"] {
+            // Real 2 MB files ⇒ real (unscaled) per-file device costs.
+            let fs = Ext4Fs::new(
+                nob_ext4::Ext4Config::default().with_page_cache(64 << 30),
+            );
+            let elapsed = run_strategy(&fs, strategy, total, file_size);
+            exp.push(strategy, &format!("{paper_gb}GB"), elapsed.as_secs_f64(), "s (scaled)");
+        }
+    }
+    exp.print();
+    // Report the paper's headline ratios for quick eyeballing.
+    let get = |s: &str, x: &str| {
+        exp.cells
+            .iter()
+            .find(|c| c.series == s && c.x == x)
+            .map(|c| c.value)
+            .expect("measured above")
+    };
+    let async4 = get("Async", "4GB");
+    let direct4 = get("Direct", "4GB");
+    let sync4 = get("Sync", "4GB");
+    println!("ratios (paper): Direct/Async = {:.1}x (9.5x),  Sync/Direct = +{:.1}% (+36.7%),  Sync/Async = {:.1}x (13.0x)",
+        direct4 / async4,
+        (sync4 / direct4 - 1.0) * 100.0,
+        sync4 / async4);
+    exp.save().expect("write results json");
+}

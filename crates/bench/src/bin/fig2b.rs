@@ -1,0 +1,41 @@
+//! Figure 2b: the impact of SSTable size and syncs on LevelDB — original
+//! (Sync) vs 'volatile' (No-Sync) LevelDB, 2 MB vs 64 MB SSTables, on
+//! fillrandom and overwrite with 1 KB values.
+//!
+//! Paper numbers (seconds, 10 M ops): fillrand 2MB 601/281,
+//! overwrt 2MB 753/366, fillrand 64MB 226/123, overwrt 64MB 330/134.
+
+use nob_baselines::Variant;
+use nob_bench::output::Experiment;
+use nob_bench::{Scale, PAPER_TABLE_LARGE, PAPER_TABLE_SMALL};
+use nob_sim::Nanos;
+use nob_workloads::dbbench;
+
+fn main() {
+    let scale = Scale::from_args(64);
+    let ops = scale.micro_ops();
+    let mut exp = Experiment::new(
+        "fig2b",
+        "impact of SSTable size and syncs on LevelDB execution time",
+        scale.factor,
+    );
+    for (label, table) in [("2MB", PAPER_TABLE_SMALL), ("64MB", PAPER_TABLE_LARGE)] {
+        for (series, variant) in
+            [("Sync", Variant::LevelDb), ("No-Sync", Variant::VolatileLevelDb)]
+        {
+            let fs = scale.fresh_fs();
+            let base = scale.base_options(table);
+            let mut db = variant.open(fs, "db", &base, Nanos::ZERO).expect("open db");
+            // db_bench semantics: a phase's time ends when the foreground
+            // finishes; compaction debt drains between phases, unmeasured.
+            let fill =
+                dbbench::fillrandom(&mut db, ops, 1024, 42, Nanos::ZERO).expect("fillrandom");
+            let settled = db.wait_idle(fill.finished).expect("drain compactions");
+            let over = dbbench::overwrite(&mut db, ops, 1024, 43, settled).expect("overwrite");
+            exp.push(series, &format!("fillrand {label}"), fill.wall().as_secs_f64(), "s (scaled)");
+            exp.push(series, &format!("overwrt {label}"), over.wall().as_secs_f64(), "s (scaled)");
+        }
+    }
+    exp.print();
+    exp.save().expect("write results json");
+}

@@ -1,0 +1,74 @@
+//! Figure 4: seven LSM-tree variants × db_bench workloads × value sizes
+//! {256, 512, 1024, 2048, 4096} bytes — average execution time per
+//! operation.
+//!
+//! Usage: `fig4 [fillrandom|overwrite|readseq|readrandom|all] [--scale N]`
+
+use nob_baselines::Variant;
+use nob_bench::output::Experiment;
+use nob_bench::{us_per_op, Scale, PAPER_TABLE_LARGE};
+use nob_sim::Nanos;
+use nob_workloads::dbbench;
+
+const VALUE_SIZES: [usize; 5] = [256, 512, 1024, 2048, 4096];
+
+fn run_workload(which: &str, scale: Scale) {
+    let (id, title) = match which {
+        "fillrandom" => ("fig4a", "fillrandom time/op"),
+        "overwrite" => ("fig4b", "overwrite time/op"),
+        "readseq" => ("fig4c", "readseq time/op"),
+        "readrandom" => ("fig4d", "readrandom time/op"),
+        other => panic!("unknown workload {other}"),
+    };
+    let mut exp = Experiment::new(id, title, scale.factor);
+    for variant in Variant::paper_seven() {
+        for vsize in VALUE_SIZES {
+            // The paper issues 10 M requests for every value size; the
+            // scaled byte volume therefore grows with the value size.
+            let ops = scale.micro_ops();
+            let fs = scale.fresh_fs();
+            let base = scale.base_options(PAPER_TABLE_LARGE);
+            let mut db = variant.open(fs, "db", &base, Nanos::ZERO).expect("open db");
+            let fill = dbbench::fillrandom(&mut db, ops, vsize, 42, Nanos::ZERO)
+                .expect("fillrandom");
+            // db_bench semantics: measure until the foreground finishes;
+            // drain compaction debt only between phases.
+            let value = match which {
+                "fillrandom" => us_per_op(fill.wall(), ops),
+                "overwrite" => {
+                    let t = db.wait_idle(fill.finished).expect("drain");
+                    let over = dbbench::overwrite(&mut db, ops, vsize, 43, t).expect("overwrite");
+                    us_per_op(over.wall(), ops)
+                }
+                "readseq" => {
+                    let t = db.wait_idle(fill.finished).expect("drain");
+                    let rs = dbbench::readseq(&mut db, t).expect("readseq");
+                    rs.mean_us_per_op()
+                }
+                "readrandom" => {
+                    let t = db.wait_idle(fill.finished).expect("drain");
+                    let rr = dbbench::readrandom(&mut db, ops, ops, 44, t).expect("readrandom");
+                    rr.mean_us_per_op()
+                }
+                _ => unreachable!(),
+            };
+            exp.push(variant.name(), &vsize.to_string(), value, "us/op");
+        }
+    }
+    exp.print();
+    exp.save().expect("write results json");
+}
+
+fn main() {
+    let scale = Scale::from_args(64);
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("all");
+    match which {
+        "all" | "--scale" => {
+            for w in ["fillrandom", "overwrite", "readseq", "readrandom"] {
+                run_workload(w, scale);
+            }
+        }
+        w => run_workload(w, scale),
+    }
+}

@@ -1,0 +1,61 @@
+//! Figure 5: YCSB macro-benchmark — seven variants × workloads
+//! Load-A, A, B, C, F, D, Load-E, E (the paper's run order), single- and
+//! four-threaded.
+//!
+//! Usage: `fig5 [--threads 1|4] [--scale N]`
+
+use nob_baselines::Variant;
+use nob_bench::output::Experiment;
+use nob_bench::{Scale, PAPER_TABLE_LARGE};
+use nob_sim::Nanos;
+use nob_workloads::ycsb::{self, YcsbWorkload};
+
+fn main() {
+    let scale = Scale::from_args(256);
+    let args: Vec<String> = std::env::args().collect();
+    let mut threads = 1usize;
+    for pair in args.windows(2) {
+        if pair[0] == "--threads" {
+            threads = pair[1].parse().expect("--threads takes a number");
+        }
+    }
+    let records = scale.ycsb_records();
+    let ops = scale.ycsb_ops();
+    let id = if threads == 1 { "fig5a" } else { "fig5b" };
+    let mut exp = Experiment::new(
+        id,
+        &format!("YCSB average execution time per request, {threads} thread(s)"),
+        scale.factor,
+    );
+
+    for variant in Variant::paper_seven() {
+        let fs = scale.fresh_fs();
+        let base = scale.base_options(PAPER_TABLE_LARGE);
+        let mut db = variant.open(fs.clone(), "db", &base, Nanos::ZERO).expect("open db");
+
+        // Load-A: clear data set, fill with records (fresh DB ⇒ just fill).
+        let load_a = ycsb::load(&mut db, records, 1024, 1, Nanos::ZERO).expect("Load-A");
+        exp.push(variant.name(), "Load-A", load_a.mean_us_per_op(), "us/op");
+        let mut now = db.wait_idle(load_a.finished).expect("drain");
+
+        // A, B, C, F, D in the paper's order.
+        for w in [YcsbWorkload::A, YcsbWorkload::B, YcsbWorkload::C, YcsbWorkload::F, YcsbWorkload::D] {
+            let r = ycsb::run(&mut db, w, ops, records, 1024, threads, 7, now)
+                .unwrap_or_else(|e| panic!("workload {w}: {e}"));
+            exp.push(variant.name(), w.name(), r.mean_us_per_op(), "us/op");
+            now = db.wait_idle(r.finished).expect("drain");
+        }
+
+        // Load-E: clear data sets and refill — fresh DB on a fresh fs.
+        let fs2 = scale.fresh_fs();
+        let mut db2 = variant.open(fs2, "db", &base, Nanos::ZERO).expect("open db");
+        let load_e = ycsb::load(&mut db2, records, 1024, 2, Nanos::ZERO).expect("Load-E");
+        exp.push(variant.name(), "Load-E", load_e.mean_us_per_op(), "us/op");
+        let now2 = db2.wait_idle(load_e.finished).expect("drain");
+        let e = ycsb::run(&mut db2, YcsbWorkload::E, ops, records, 1024, threads, 8, now2)
+            .expect("workload E");
+        exp.push(variant.name(), "E", e.mean_us_per_op(), "us/op");
+    }
+    exp.print();
+    exp.save().expect("write results json");
+}

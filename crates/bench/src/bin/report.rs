@@ -1,0 +1,97 @@
+//! Consolidates every result JSON under `target/nob-results/` into one
+//! markdown report (`target/nob-results/REPORT.md`): the tables of all
+//! figures, Table 1, and the ablations from the latest runs.
+//!
+//! Usage: run any of the figure binaries first, then `report`.
+
+use std::fmt::Write as _;
+
+use nob_bench::json::Json;
+
+fn render(exp: &Json, out: &mut String) -> Option<()> {
+    let id = exp.get("id")?.as_str()?;
+    let title = exp.get("title")?.as_str()?;
+    let scale = exp.get("scale")?.as_f64()?;
+    let cells = exp.get("cells")?.as_array()?;
+    let _ = writeln!(out, "## {id} — {title}\n");
+    let _ = writeln!(out, "*scale 1/{scale}*\n");
+
+    let mut xs: Vec<&str> = Vec::new();
+    let mut series: Vec<&str> = Vec::new();
+    for c in cells {
+        let x = c.get("x")?.as_str()?;
+        let s = c.get("series")?.as_str()?;
+        if !xs.contains(&x) {
+            xs.push(x);
+        }
+        if !series.contains(&s) {
+            series.push(s);
+        }
+    }
+    let unit = cells.first()?.get("unit")?.as_str()?;
+    let _ = write!(out, "| [{unit}] |");
+    for x in &xs {
+        let _ = write!(out, " {x} |");
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, "|---|");
+    for _ in &xs {
+        let _ = write!(out, "---|");
+    }
+    let _ = writeln!(out);
+    for s in &series {
+        let _ = write!(out, "| {s} |");
+        for x in &xs {
+            let cell = cells.iter().find(|c| {
+                c.get("series").and_then(Json::as_str) == Some(s)
+                    && c.get("x").and_then(Json::as_str) == Some(x)
+            });
+            match cell.and_then(|c| c.get("value")).and_then(Json::as_f64) {
+                Some(v) => {
+                    let _ = write!(out, " {v:.2} |");
+                }
+                None => {
+                    let _ = write!(out, " – |");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(out);
+    Some(())
+}
+
+fn main() {
+    let dir = std::path::Path::new("target/nob-results");
+    let mut names: Vec<_> = std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|x| x == "json"))
+                .collect()
+        })
+        .unwrap_or_else(|_| Vec::new());
+    names.sort();
+    if names.is_empty() {
+        eprintln!("no results in {}; run the figure binaries first", dir.display());
+        std::process::exit(1);
+    }
+    let mut out = String::from("# NobLSM reproduction — consolidated results\n\n");
+    let mut rendered = 0;
+    for path in &names {
+        let Ok(text) = std::fs::read_to_string(path) else { continue };
+        match Json::parse(&text) {
+            Some(exp) => {
+                if render(&exp, &mut out).is_some() {
+                    rendered += 1;
+                } else {
+                    eprintln!("skipping {} (unexpected schema)", path.display());
+                }
+            }
+            None => eprintln!("skipping {} (unparseable)", path.display()),
+        }
+    }
+    let target = dir.join("REPORT.md");
+    std::fs::write(&target, &out).expect("write report");
+    println!("wrote {} ({rendered} experiments)", target.display());
+}

@@ -1,0 +1,45 @@
+//! Table 1: number of syncs and size of data synced per LSM-tree, for
+//! fillrandom with 1 KB values.
+//!
+//! Paper numbers: LevelDB 1061 / 61.55 GB, BoLT 659 / 55.15, L2SM
+//! 1046 / 60.98, RocksDB 606 / 35.82, HyperLevelDB 2684 / 47.43,
+//! PebblesDB 713 / 42.61, NobLSM 160 / 9.82.
+
+use nob_baselines::Variant;
+use nob_bench::output::Experiment;
+use nob_bench::{gb, Scale, PAPER_TABLE_LARGE};
+use nob_sim::Nanos;
+use nob_workloads::dbbench;
+
+fn main() {
+    let scale = Scale::from_args(64);
+    let ops = scale.micro_ops();
+    let mut exp =
+        Experiment::new("table1", "number of syncs and data synced (fillrandom, 1 KB)", scale.factor);
+    println!(
+        "{:<14}{:>12}{:>16}{:>20}{:>22}",
+        "LSM-tree", "syncs", "synced (GB)", "syncs (x scale)", "synced GB (x scale)"
+    );
+    for variant in Variant::paper_seven() {
+        let fs = scale.fresh_fs();
+        let base = scale.base_options(PAPER_TABLE_LARGE);
+        let mut db = variant.open(fs.clone(), "db", &base, Nanos::ZERO).expect("open db");
+        fs.reset_stats(); // exclude DB-creation syncs, as the paper's counters would
+        // Counters are read when the foreground finishes, like the
+        // paper's instrumentation of a terminating db_bench process.
+        let fill = dbbench::fillrandom(&mut db, ops, 1024, 42, Nanos::ZERO).expect("fillrandom");
+        let _ = fill;
+        let stats = fs.stats();
+        println!(
+            "{:<14}{:>12}{:>16.4}{:>20}{:>22.2}",
+            variant.name(),
+            stats.sync_calls,
+            gb(stats.bytes_synced),
+            stats.sync_calls * scale.factor,
+            gb(stats.bytes_synced * scale.factor),
+        );
+        exp.push(variant.name(), "syncs", stats.sync_calls as f64, "count");
+        exp.push(variant.name(), "synced_gb", gb(stats.bytes_synced), "GB (scaled)");
+    }
+    exp.save().expect("write results json");
+}

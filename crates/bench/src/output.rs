@@ -1,0 +1,143 @@
+//! Result tables: aligned stdout printing plus JSON files under
+//! `target/nob-results/` for EXPERIMENTS.md bookkeeping.
+
+use serde::Serialize;
+
+/// One measured cell of a figure or table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Cell {
+    /// Series label (usually the system name).
+    pub series: String,
+    /// X-axis label (value size, workload name, …).
+    pub x: String,
+    /// Measured value.
+    pub value: f64,
+    /// Unit of `value`.
+    pub unit: String,
+}
+
+/// A whole experiment's results.
+#[derive(Debug, Clone, Serialize)]
+pub struct Experiment {
+    /// Experiment id, e.g. `"fig4a"`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Scale factor used.
+    pub scale: u64,
+    /// All measured cells.
+    pub cells: Vec<Cell>,
+}
+
+impl Experiment {
+    /// Creates an empty experiment record.
+    pub fn new(id: &str, title: &str, scale: u64) -> Self {
+        Experiment { id: id.to_string(), title: title.to_string(), scale, cells: Vec::new() }
+    }
+
+    /// Records one cell.
+    pub fn push(&mut self, series: &str, x: &str, value: f64, unit: &str) {
+        self.cells.push(Cell {
+            series: series.to_string(),
+            x: x.to_string(),
+            value,
+            unit: unit.to_string(),
+        });
+    }
+
+    /// Prints an aligned series × x table to stdout.
+    pub fn print(&self) {
+        println!("== {} ({}) — scale 1/{} ==", self.id, self.title, self.scale);
+        let mut xs: Vec<String> = Vec::new();
+        let mut series: Vec<String> = Vec::new();
+        for c in &self.cells {
+            if !xs.contains(&c.x) {
+                xs.push(c.x.clone());
+            }
+            if !series.contains(&c.series) {
+                series.push(c.series.clone());
+            }
+        }
+        let unit = self.cells.first().map(|c| c.unit.clone()).unwrap_or_default();
+        print!("{:<16}", format!("[{unit}]"));
+        for x in &xs {
+            print!("{x:>12}");
+        }
+        println!();
+        for s in &series {
+            print!("{s:<16}");
+            for x in &xs {
+                match self.cells.iter().find(|c| &c.series == s && &c.x == x) {
+                    Some(c) => print!("{:>12.2}", c.value),
+                    None => print!("{:>12}", "-"),
+                }
+            }
+            println!();
+        }
+        println!();
+    }
+
+    /// Writes the experiment as JSON under `target/nob-results/<id>.json`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from the host.
+    pub fn save(&self) -> std::io::Result<()> {
+        let dir = std::path::Path::new("target/nob-results");
+        std::fs::create_dir_all(dir)?;
+        let json = to_json(self);
+        std::fs::write(dir.join(format!("{}.json", self.id)), json)
+    }
+}
+
+/// Minimal JSON serialization (avoids a serde_json dependency).
+fn to_json(e: &Experiment) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\n  \"id\": \"{}\",\n  \"title\": \"{}\",\n  \"scale\": {},\n  \"cells\": [\n",
+        escape(&e.id),
+        escape(&e.title),
+        e.scale
+    ));
+    for (i, c) in e.cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"series\": \"{}\", \"x\": \"{}\", \"value\": {}, \"unit\": \"{}\"}}{}\n",
+            escape(&c.series),
+            escape(&c.x),
+            c.value,
+            escape(&c.unit),
+            if i + 1 == e.cells.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_valid_enough() {
+        let mut e = Experiment::new("figX", "test \"title\"", 64);
+        e.push("NobLSM", "1024", 12.5, "us/op");
+        e.push("LevelDB", "1024", 22.0, "us/op");
+        let j = to_json(&e);
+        assert!(j.contains("\"id\": \"figX\""));
+        assert!(j.contains("\\\"title\\\""));
+        assert!(j.contains("\"value\": 12.5"));
+        assert_eq!(j.matches("series").count(), 2);
+    }
+
+    #[test]
+    fn print_does_not_panic_on_sparse_cells() {
+        let mut e = Experiment::new("x", "t", 1);
+        e.push("A", "1", 1.0, "u");
+        e.push("B", "2", 2.0, "u");
+        e.print();
+    }
+}

@@ -1,0 +1,346 @@
+//! The command interpreter behind `noblsm-cli`: a scriptable driver for a
+//! simulated NobLSM database — open a store, write, read, scan, advance
+//! virtual time, pull the power cable, and inspect engine internals.
+//!
+//! # Commands
+//!
+//! ```text
+//! open <mode>            noblsm | leveldb | volatile | bolt | pebbles …
+//! put <key> <value>      insert/overwrite
+//! get <key>              point read
+//! del <key>              delete
+//! scan <start> <n>       range scan
+//! fill <n> <value_size>  bulk-load n random records
+//! advance <ms>           advance virtual time (journal timers fire)
+//! crash <percent>        power-off at a fraction of elapsed time + reopen
+//! flush                  force the memtable to L0
+//! compact                full manual compaction
+//! stats                  engine + filesystem counters
+//! levels                 files per level
+//! time                   current virtual instant
+//! help                   this text
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use nob_cli::Session;
+//!
+//! let mut s = Session::new();
+//! let out = s.run_script("open noblsm\nput k hello\nget k\n");
+//! assert!(out.contains("hello"));
+//! ```
+
+use std::fmt::Write as _;
+
+use nob_baselines::Variant;
+use nob_ext4::Ext4Fs;
+use nob_sim::Nanos;
+use nob_workloads::dbbench;
+use noblsm::{Db, Options};
+
+/// One interactive session: a filesystem, an optional open database, and
+/// the session's virtual clock.
+pub struct Session {
+    fs: Ext4Fs,
+    db: Option<Db>,
+    variant: Variant,
+    now: Nanos,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("open", &self.db.is_some())
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+fn base_options() -> Options {
+    let mut o = Options::default().with_table_size(256 << 10);
+    o.level1_max_bytes = 1 << 20;
+    o
+}
+
+impl Session {
+    /// Creates a session over a fresh simulated filesystem.
+    pub fn new() -> Self {
+        Session {
+            fs: Ext4Fs::new(nob_ext4::Ext4Config::default()),
+            db: None,
+            variant: Variant::NobLsm,
+            now: Nanos::ZERO,
+        }
+    }
+
+    /// Executes one command line; returns its output.
+    pub fn run_line(&mut self, line: &str) -> String {
+        let mut out = String::new();
+        if let Err(e) = self.dispatch(line.trim(), &mut out) {
+            let _ = writeln!(out, "error: {e}");
+        }
+        out
+    }
+
+    /// Executes a newline-separated script; returns concatenated output.
+    pub fn run_script(&mut self, script: &str) -> String {
+        let mut out = String::new();
+        for line in script.lines() {
+            if line.trim().is_empty() || line.trim_start().starts_with('#') {
+                continue;
+            }
+            out.push_str(&self.run_line(line));
+        }
+        out
+    }
+
+    fn db(&mut self) -> Result<&mut Db, String> {
+        self.db.as_mut().ok_or_else(|| "no database open (use `open <mode>`)".to_string())
+    }
+
+    fn dispatch(&mut self, line: &str, out: &mut String) -> Result<(), String> {
+        let mut parts = line.split_whitespace();
+        let Some(cmd) = parts.next() else { return Ok(()) };
+        let args: Vec<&str> = parts.collect();
+        match cmd {
+            "open" => {
+                let mode = args.first().copied().unwrap_or("noblsm");
+                let variant = match mode {
+                    "noblsm" => Variant::NobLsm,
+                    "leveldb" => Variant::LevelDb,
+                    "volatile" => Variant::VolatileLevelDb,
+                    "bolt" => Variant::Bolt,
+                    "l2sm" => Variant::L2sm,
+                    "rocksdb" => Variant::RocksDb,
+                    "hyperleveldb" => Variant::HyperLevelDb,
+                    "pebblesdb" => Variant::PebblesDb,
+                    other => return Err(format!("unknown mode {other}")),
+                };
+                let db = variant
+                    .open(self.fs.clone(), "db", &base_options(), self.now)
+                    .map_err(|e| e.to_string())?;
+                self.db = Some(db);
+                self.variant = variant;
+                let _ = writeln!(out, "opened {} at {}", variant.name(), self.now);
+            }
+            "put" => {
+                let [k, v] = args[..] else { return Err("usage: put <key> <value>".into()) };
+                let (k, v) = (k.as_bytes().to_vec(), v.as_bytes().to_vec());
+                let now = self.now;
+                let t = self.db()?.put(now, &k, &v).map_err(|e| e.to_string())?;
+                self.now = t;
+                let _ = writeln!(out, "OK ({t})");
+            }
+            "get" => {
+                let [k] = args[..] else { return Err("usage: get <key>".into()) };
+                let k = k.as_bytes().to_vec();
+                let now = self.now;
+                let (got, t) = self.db()?.get(now, &k).map_err(|e| e.to_string())?;
+                self.now = t;
+                match got {
+                    Some(v) => {
+                        let _ = writeln!(out, "{} ({t})", String::from_utf8_lossy(&v));
+                    }
+                    None => {
+                        let _ = writeln!(out, "<not found> ({t})");
+                    }
+                }
+            }
+            "del" => {
+                let [k] = args[..] else { return Err("usage: del <key>".into()) };
+                let k = k.as_bytes().to_vec();
+                let now = self.now;
+                let t = self.db()?.delete(now, &k).map_err(|e| e.to_string())?;
+                self.now = t;
+                let _ = writeln!(out, "OK ({t})");
+            }
+            "scan" => {
+                let [start, n] = args[..] else { return Err("usage: scan <start> <n>".into()) };
+                let n: usize = n.parse().map_err(|_| "n must be a number".to_string())?;
+                let start = start.as_bytes().to_vec();
+                let now = self.now;
+                let (rows, t) = self.db()?.scan(now, &start, n).map_err(|e| e.to_string())?;
+                self.now = t;
+                for (k, v) in &rows {
+                    let _ = writeln!(
+                        out,
+                        "{} = {}",
+                        String::from_utf8_lossy(k),
+                        String::from_utf8_lossy(v)
+                    );
+                }
+                let _ = writeln!(out, "({} rows, {t})", rows.len());
+            }
+            "fill" => {
+                let [n, vs] = args[..] else { return Err("usage: fill <n> <value_size>".into()) };
+                let n: u64 = n.parse().map_err(|_| "n must be a number".to_string())?;
+                let vs: usize = vs.parse().map_err(|_| "value_size must be a number".to_string())?;
+                let now = self.now;
+                let r = dbbench::fillrandom(self.db()?, n, vs, 42, now)
+                    .map_err(|e| e.to_string())?;
+                self.now = r.finished;
+                let _ = writeln!(
+                    out,
+                    "filled {} records in {} ({:.2} us/op)",
+                    n,
+                    r.wall(),
+                    r.mean_us_per_op()
+                );
+            }
+            "advance" => {
+                let [ms] = args[..] else { return Err("usage: advance <ms>".into()) };
+                let ms: u64 = ms.parse().map_err(|_| "ms must be a number".to_string())?;
+                self.now = self.now + Nanos::from_millis(ms);
+                let now = self.now;
+                if let Ok(db) = self.db() {
+                    db.tick(now).map_err(|e| e.to_string())?;
+                } else {
+                    self.fs.tick(now);
+                }
+                let _ = writeln!(out, "now {}", self.now);
+            }
+            "flush" => {
+                let now = self.now;
+                let t = self.db()?.flush(now).map_err(|e| e.to_string())?;
+                self.now = t;
+                let _ = writeln!(out, "flushed ({t})");
+            }
+            "compact" => {
+                let now = self.now;
+                let t = self.db()?.compact_range(now, None, None).map_err(|e| e.to_string())?;
+                self.now = t;
+                let _ = writeln!(out, "compacted ({t})");
+            }
+            "crash" => {
+                let pct: u64 = args
+                    .first()
+                    .map(|p| p.parse().map_err(|_| "percent must be a number".to_string()))
+                    .transpose()?
+                    .unwrap_or(100);
+                let at = Nanos::from_nanos(self.now.as_nanos() * pct.min(100) / 100);
+                let crashed = self.fs.crashed_view(at);
+                let variant = self.variant;
+                let db = variant
+                    .open(crashed.clone(), "db", &base_options(), at)
+                    .map_err(|e| e.to_string())?;
+                self.fs = crashed;
+                self.db = Some(db);
+                self.now = at;
+                let _ = writeln!(out, "power failed at {at}; recovered {}", variant.name());
+            }
+            "levels" => {
+                let counts = self.db()?.level_file_counts();
+                let _ = writeln!(out, "{counts:?}");
+            }
+            "stats" => {
+                let fs_stats = self.fs.stats();
+                let db = self.db()?;
+                let s = db.stats();
+                let _ = writeln!(
+                    out,
+                    "writes={} gets={} minor={} major={} stalls={} stall_time={} shadows={}",
+                    s.writes,
+                    s.gets,
+                    s.minor_compactions,
+                    s.major_compactions,
+                    s.stalls,
+                    s.stall_time,
+                    s.shadow_files
+                );
+                let _ = writeln!(
+                    out,
+                    "syncs={} bytes_synced={} async_commits={} journal_bytes={}",
+                    fs_stats.sync_calls,
+                    fs_stats.bytes_synced,
+                    fs_stats.async_commits,
+                    fs_stats.journal_bytes
+                );
+            }
+            "time" => {
+                let _ = writeln!(out, "{}", self.now);
+            }
+            "help" => {
+                let _ = writeln!(
+                    out,
+                    "commands: open put get del scan fill advance flush compact crash levels stats time help quit"
+                );
+            }
+            "quit" | "exit" => {}
+            other => return Err(format!("unknown command {other} (try `help`)")),
+        }
+        Ok(())
+    }
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_del_cycle() {
+        let mut s = Session::new();
+        let out = s.run_script("open noblsm\nput name noblsm\nget name\ndel name\nget name\n");
+        assert!(out.contains("opened NobLSM"));
+        assert!(out.contains("name") || out.contains("noblsm"));
+        assert!(out.contains("<not found>"));
+    }
+
+    #[test]
+    fn commands_require_open_db() {
+        let mut s = Session::new();
+        let out = s.run_line("put a b");
+        assert!(out.contains("no database open"), "{out}");
+    }
+
+    #[test]
+    fn fill_scan_and_levels() {
+        let mut s = Session::new();
+        let out = s.run_script("open leveldb\nfill 2000 100\nflush\nlevels\nscan 00 3\nstats\n");
+        assert!(out.contains("filled 2000 records"));
+        assert!(out.contains("rows,"));
+        assert!(out.contains("syncs="), "{out}");
+    }
+
+    #[test]
+    fn crash_recovers_flushed_data() {
+        let mut s = Session::new();
+        let out = s.run_script(
+            "open noblsm\nput k persisted\nflush\nadvance 11000\ncrash 100\nget k\n",
+        );
+        assert!(out.contains("power failed"));
+        assert!(out.contains("persisted"), "{out}");
+    }
+
+    #[test]
+    fn unknown_commands_and_bad_usage_report_errors() {
+        let mut s = Session::new();
+        assert!(s.run_line("frobnicate").contains("unknown command"));
+        let _ = s.run_line("open noblsm");
+        assert!(s.run_line("put onlykey").contains("usage: put"));
+        assert!(s.run_line("scan a notanumber").contains("must be a number"));
+        assert!(s.run_line("open alienDB").contains("unknown mode"));
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let mut s = Session::new();
+        let out = s.run_script("# a comment\n\nopen volatile\n# another\ntime\n");
+        assert!(out.contains("opened LevelDB-nosync"));
+    }
+
+    #[test]
+    fn compact_command_runs() {
+        let mut s = Session::new();
+        let out = s.run_script("open leveldb\nfill 3000 64\ncompact\nlevels\n");
+        assert!(out.contains("compacted"));
+        // After a full compaction L0 is empty: the levels line starts [0, …
+        assert!(out.contains("[0,"), "{out}");
+    }
+}

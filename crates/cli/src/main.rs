@@ -1,0 +1,39 @@
+//! `noblsm-cli` — an interactive shell (or script runner) over the NobLSM
+//! simulation.
+//!
+//! ```sh
+//! noblsm-cli                 # interactive
+//! noblsm-cli script.txt      # run a command script
+//! ```
+
+use std::io::{BufRead, Write};
+
+use nob_cli::Session;
+
+fn main() {
+    let mut session = Session::new();
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(path) = args.get(1) {
+        let script = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        print!("{}", session.run_script(&script));
+        return;
+    }
+    println!("noblsm-cli — type `help` for commands, `quit` to exit");
+    let stdin = std::io::stdin();
+    loop {
+        print!("> ");
+        std::io::stdout().flush().expect("stdout");
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let trimmed = line.trim();
+        if trimmed == "quit" || trimmed == "exit" {
+            break;
+        }
+        print!("{}", session.run_line(trimmed));
+    }
+}

@@ -1,0 +1,98 @@
+//! Write-batch encoding: the payload of one WAL record.
+//!
+//! Layout: `seq (8 LE) ++ count (4 LE) ++ entries`, each entry being
+//! `type (1) ++ varint keylen ++ key [++ varint valuelen ++ value]`.
+
+use crate::util::{decode_bytes, encode_bytes};
+use crate::{DbError, Result, SequenceNumber, ValueType};
+
+/// Encodes a batch of writes starting at sequence `seq`.
+pub(crate) fn encode_batch(
+    seq: SequenceNumber,
+    entries: &[(ValueType, &[u8], &[u8])],
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for (vt, key, value) in entries {
+        out.push(*vt as u8);
+        encode_bytes(&mut out, key);
+        if *vt == ValueType::Value {
+            encode_bytes(&mut out, value);
+        }
+    }
+    out
+}
+
+/// A decoded WAL batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct DecodedBatch {
+    pub seq: SequenceNumber,
+    pub entries: Vec<(ValueType, Vec<u8>, Vec<u8>)>,
+}
+
+/// Decodes a WAL batch payload.
+///
+/// # Errors
+///
+/// Returns [`DbError::Corruption`] on malformed input.
+pub(crate) fn decode_batch(data: &[u8]) -> Result<DecodedBatch> {
+    let corrupt = || DbError::Corruption("malformed write batch".into());
+    if data.len() < 12 {
+        return Err(corrupt());
+    }
+    let seq = u64::from_le_bytes(data[0..8].try_into().expect("8 bytes"));
+    let count = u32::from_le_bytes(data[8..12].try_into().expect("4 bytes")) as usize;
+    let mut pos = 12;
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let vt = ValueType::from_u8(*data.get(pos).ok_or_else(corrupt)?).ok_or_else(corrupt)?;
+        pos += 1;
+        let key = decode_bytes(data, &mut pos).ok_or_else(corrupt)?.to_vec();
+        let value = if vt == ValueType::Value {
+            decode_bytes(data, &mut pos).ok_or_else(corrupt)?.to_vec()
+        } else {
+            Vec::new()
+        };
+        entries.push((vt, key, value));
+    }
+    if pos != data.len() {
+        return Err(corrupt());
+    }
+    Ok(DecodedBatch { seq, entries })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_mixed_batch() {
+        let entries: Vec<(ValueType, &[u8], &[u8])> = vec![
+            (ValueType::Value, b"k1", b"v1"),
+            (ValueType::Deletion, b"k2", b""),
+            (ValueType::Value, b"", b"empty key ok"),
+        ];
+        let bytes = encode_batch(42, &entries);
+        let d = decode_batch(&bytes).unwrap();
+        assert_eq!(d.seq, 42);
+        assert_eq!(d.entries.len(), 3);
+        assert_eq!(d.entries[0], (ValueType::Value, b"k1".to_vec(), b"v1".to_vec()));
+        assert_eq!(d.entries[1], (ValueType::Deletion, b"k2".to_vec(), Vec::new()));
+    }
+
+    #[test]
+    fn truncation_is_corruption() {
+        let bytes = encode_batch(1, &[(ValueType::Value, b"key", b"value")]);
+        for cut in [0, 5, 12, bytes.len() - 1] {
+            assert!(decode_batch(&bytes[..cut]).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_corruption() {
+        let mut bytes = encode_batch(1, &[(ValueType::Value, b"k", b"v")]);
+        bytes.push(0);
+        assert!(decode_batch(&bytes).is_err());
+    }
+}

@@ -1,0 +1,1417 @@
+//! The database engine: write path with LevelDB's throttling, background
+//! compactions on virtual time, reads, iterators, recovery, and the
+//! NobLSM mode.
+//!
+//! # Concurrency model
+//!
+//! The engine is driven from one real thread but models LevelDB's
+//! foreground/background split in virtual time. Background jobs (minor
+//! and major compactions) are *logically executed* when scheduled — their
+//! file I/O is priced on the device timeline starting at their lane's
+//! free instant — but their **results** (version edits, file deletions)
+//! apply only when the foreground clock passes the job's completion
+//! instant, via an event queue. The foreground stalls exactly where
+//! LevelDB stalls: a full memtable whose predecessor is still flushing, or
+//! `L0` at the slowdown/stop triggers.
+
+mod batch;
+mod hot;
+mod level_iter;
+mod repair;
+
+use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
+
+use nob_ext4::{Ext4Fs, FileHandle, InodeId};
+use nob_sim::{EventQueue, Nanos};
+
+use crate::cache::TableCache;
+use crate::compaction::{
+    physical_files, run_major, write_table, CompactionOutput, MajorOutcome, PhysicalRefs,
+};
+use crate::iterator::{DbIterator, InternalIterator, MergingIterator};
+use crate::memtable::{MemLookup, MemTable};
+use crate::noblsm::{DependencyTracker, Predecessor};
+use crate::options::{CompactionStyle, Options, SyncMode, WriteOptions};
+use crate::version::{
+    file_path, parse_file_name, CompactionInputs, FileKind, FileMetaData, VersionEdit, VersionSet,
+};
+use crate::version::Version;
+use crate::wal::{LogReader, LogWriter};
+use crate::{DbError, DbStats, Result, ValueType};
+
+use batch::{decode_batch, encode_batch};
+use hot::HotTracker;
+use level_iter::LevelIter;
+
+/// Events applied when the foreground clock passes their instant.
+#[derive(Debug)]
+enum DbEvent {
+    MinorDone {
+        output: Option<CompactionOutput>,
+        old_wal: (u64, String),
+        new_log_number: u64,
+    },
+    MajorDone {
+        inputs: CompactionInputs,
+        outcome: MajorOutcome,
+        succ_files: Vec<(u64, String, InodeId)>,
+        started: Nanos,
+    },
+    ReclaimPoll,
+}
+
+/// An LSM-tree key-value store over the simulated Ext4 filesystem.
+///
+/// See the [crate-level documentation](crate) for an example, and
+/// [`Options`] for the sync-discipline and compaction-style knobs that
+/// turn this one engine into the paper's seven evaluated systems.
+#[derive(Debug)]
+pub struct Db {
+    fs: Ext4Fs,
+    dir: String,
+    opts: Options,
+    mem: MemTable,
+    imm: Option<MemTable>,
+    imm_done_at: Option<Nanos>,
+    wal_handle: FileHandle,
+    wal_number: u64,
+    wal_writer: LogWriter,
+    versions: VersionSet,
+    tables: TableCache,
+    events: EventQueue<DbEvent>,
+    /// Background lane free instants (LevelDB = 1 lane).
+    lanes: Vec<Nanos>,
+    busy_levels: HashSet<usize>,
+    inflight_major: usize,
+    minor_inflight: bool,
+    deps: DependencyTracker,
+    refs: PhysicalRefs,
+    hot: HotTracker,
+    pending_seek: Option<(usize, Arc<FileMetaData>)>,
+    reclaim_armed: bool,
+    writer_free: Nanos,
+    snapshots: BTreeMap<u64, crate::SequenceNumber>,
+    next_snapshot_id: u64,
+    stats: DbStats,
+}
+
+/// A consistent read view pinned at a sequence number.
+///
+/// Obtained from [`Db::snapshot`]; reads through
+/// [`Db::get_at`]/[`Db::iter_at_snapshot`] see exactly the database state
+/// at creation time, regardless of later writes. Entries a snapshot can
+/// still see are preserved across compactions until the snapshot is
+/// released with [`Db::release_snapshot`].
+#[derive(Debug)]
+pub struct Snapshot {
+    id: u64,
+    seq: crate::SequenceNumber,
+}
+
+impl Snapshot {
+    /// The pinned sequence number.
+    pub fn sequence(&self) -> crate::SequenceNumber {
+        self.seq
+    }
+}
+
+/// An atomic batch of writes, applied through [`Db::write_batch`] with a
+/// single WAL record: after a crash, either every operation in the batch
+/// is recovered or none is.
+#[derive(Debug, Default, Clone)]
+pub struct WriteBatch {
+    entries: Vec<(ValueType, Vec<u8>, Vec<u8>)>,
+}
+
+impl WriteBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        WriteBatch::default()
+    }
+
+    /// Queues an insert/overwrite.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) {
+        self.entries.push((ValueType::Value, key.to_vec(), value.to_vec()));
+    }
+
+    /// Queues a deletion.
+    pub fn delete(&mut self, key: &[u8]) {
+        self.entries.push((ValueType::Deletion, key.to_vec(), Vec::new()));
+    }
+
+    /// Number of queued operations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Removes all queued operations.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+impl Db {
+    /// Opens (creating or recovering) a database in `dir`.
+    ///
+    /// Recovery replays the MANIFEST and any surviving WALs; KV pairs in
+    /// log tails that never reached the device are lost, exactly as the
+    /// paper's consistency test observes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Corruption`]/[`DbError::InvalidDb`] on damaged
+    /// metadata or filesystem errors.
+    pub fn open(fs: Ext4Fs, dir: &str, opts: Options, now: Nanos) -> Result<Db> {
+        let exists = fs.exists(&file_path(dir, FileKind::Current, 0));
+        if !exists {
+            // No CURRENT: any database files present are remnants of a
+            // creation that never became durable — clear them out.
+            for p in fs.list(&format!("{dir}/")) {
+                let Some(name) = p.strip_prefix(&format!("{dir}/")) else { continue };
+                if parse_file_name(name).is_some() || name == "CURRENT.tmp" {
+                    fs.delete(&p, now)?;
+                }
+            }
+        }
+        let (mut versions, mut t) = if exists {
+            VersionSet::recover(fs.clone(), dir, opts.clone(), now)?
+        } else {
+            VersionSet::create(fs.clone(), dir, opts.clone(), now)?
+        };
+        let tables =
+            TableCache::new(fs.clone(), dir.to_string(), opts.block_cache_bytes, opts.cpu);
+        let mut refs = PhysicalRefs::new();
+        for level in versions.current().files.iter() {
+            for f in level {
+                refs.acquire(f.physical, &file_path(dir, FileKind::Table, f.physical));
+            }
+        }
+
+        // Garbage-collect leftovers first: orphan tables (written but
+        // never referenced by a committed manifest edit), stale logs and
+        // manifests. This must happen before any new file is created so
+        // that reused numbers cannot collide, and the counter must move
+        // past every number ever seen on disk.
+        if exists {
+            let live_physicals: HashSet<u64> = versions
+                .current()
+                .files
+                .iter()
+                .flatten()
+                .map(|f| f.physical)
+                .collect();
+            let manifest_path = versions.manifest_path().to_string();
+            for p in fs.list(&format!("{dir}/")) {
+                let Some(name) = p.strip_prefix(&format!("{dir}/")) else { continue };
+                let parsed = parse_file_name(name);
+                if let Some((FileKind::Wal | FileKind::Table | FileKind::Manifest, n)) = parsed {
+                    versions.next_file_number = versions.next_file_number.max(n + 1);
+                }
+                let delete = match parsed {
+                    Some((FileKind::Wal, n)) => n < versions.log_number,
+                    Some((FileKind::Table, n)) => !live_physicals.contains(&n),
+                    Some((FileKind::Manifest, _)) => p != manifest_path,
+                    _ => false,
+                };
+                if delete {
+                    fs.delete(&p, t)?;
+                }
+            }
+        }
+
+        // Replay surviving WALs (numbers >= the recovered log number).
+        let mut recovered_tables: Vec<CompactionOutput> = Vec::new();
+        if exists {
+            let mut logs: Vec<u64> = fs
+                .list(&format!("{dir}/"))
+                .into_iter()
+                .filter_map(|p| {
+                    let name = p.strip_prefix(&format!("{dir}/"))?;
+                    match parse_file_name(name) {
+                        Some((FileKind::Wal, n)) if n >= versions.log_number => Some(n),
+                        _ => None,
+                    }
+                })
+                .collect();
+            logs.sort_unstable();
+            let mut mem = MemTable::new();
+            let mut max_seq = versions.last_sequence;
+            for n in logs {
+                let path = file_path(dir, FileKind::Wal, n);
+                let h = fs.open(&path, t)?;
+                let size = fs.file_size(&path)?;
+                let (data, t2) = fs.read_at(h, 0, size, t)?;
+                t = t2;
+                let mut reader = LogReader::new(data);
+                while let Some(record) = reader.next_record() {
+                    let Ok(batch) = decode_batch(&record) else {
+                        break; // torn tail
+                    };
+                    let mut seq = batch.seq;
+                    for (vt, key, value) in batch.entries {
+                        mem.add(seq, vt, &key, &value);
+                        max_seq = max_seq.max(seq);
+                        seq += 1;
+                    }
+                    if mem.approximate_bytes() >= opts.write_buffer_size {
+                        let full = std::mem::take(&mut mem);
+                        Self::flush_recovered(
+                            &fs,
+                            dir,
+                            &opts,
+                            &mut versions,
+                            full,
+                            &mut recovered_tables,
+                            &mut t,
+                        )?;
+                    }
+                }
+            }
+            if !mem.is_empty() {
+                Self::flush_recovered(
+                    &fs,
+                    dir,
+                    &opts,
+                    &mut versions,
+                    mem,
+                    &mut recovered_tables,
+                    &mut t,
+                )?;
+            }
+            versions.last_sequence = max_seq;
+        }
+
+        // Fresh WAL.
+        let wal_number = versions.new_file_number();
+        let wal_path = file_path(dir, FileKind::Wal, wal_number);
+        let wal_handle = fs.create(&wal_path, t)?;
+        versions.log_number = wal_number;
+        let mut edit = VersionEdit::new();
+        for o in &recovered_tables {
+            edit.add_file(0, o.meta.clone());
+        }
+        t = versions.log_and_apply(edit, t, opts.sync_mode == SyncMode::Always)?;
+        for o in &recovered_tables {
+            refs.acquire(o.meta.physical, &o.physical_path);
+        }
+
+        // Drop the replayed logs: their contents are now in synced L0
+        // tables referenced by the manifest.
+        if exists {
+            for p in fs.list(&format!("{dir}/")) {
+                let Some(name) = p.strip_prefix(&format!("{dir}/")) else { continue };
+                if let Some((FileKind::Wal, n)) = parse_file_name(name) {
+                    if n < wal_number {
+                        fs.delete(&p, t)?;
+                    }
+                }
+            }
+        }
+
+        let hot_window = (opts.write_buffer_size / 256).clamp(1024, 1 << 20) as usize;
+        let lanes = vec![t; opts.compaction_lanes];
+        let mut db = Db {
+            fs,
+            dir: dir.to_string(),
+            opts,
+            mem: MemTable::new(),
+            imm: None,
+            imm_done_at: None,
+            wal_handle,
+            wal_number,
+            wal_writer: LogWriter::new(),
+            versions,
+            tables,
+            events: EventQueue::new(),
+            lanes,
+            busy_levels: HashSet::new(),
+            inflight_major: 0,
+            minor_inflight: false,
+            deps: DependencyTracker::new(),
+            refs,
+            hot: HotTracker::new(hot_window),
+            pending_seek: None,
+            reclaim_armed: false,
+            writer_free: Nanos::ZERO,
+            snapshots: BTreeMap::new(),
+            next_snapshot_id: 0,
+            stats: DbStats::new(),
+        };
+        db.maybe_schedule(t);
+        Ok(db)
+    }
+
+    fn flush_recovered(
+        fs: &Ext4Fs,
+        dir: &str,
+        opts: &Options,
+        versions: &mut VersionSet,
+        mem: MemTable,
+        out: &mut Vec<CompactionOutput>,
+        t: &mut Nanos,
+    ) -> Result<()> {
+        let number = versions.new_file_number();
+        let entries = mem.iter().map(|(k, v)| (k.to_vec(), v.to_vec()));
+        if let Some(output) = write_table(fs, dir, opts, number, entries, t)? {
+            if opts.sync_mode != SyncMode::Never {
+                let h = fs.open(&output.physical_path, *t)?;
+                *t = fs.fsync(h, *t)?;
+            }
+            out.push(output);
+        }
+        Ok(())
+    }
+
+    /// The underlying filesystem (for stats and crash injection).
+    pub fn fs(&self) -> &Ext4Fs {
+        &self.fs
+    }
+
+    /// Engine statistics.
+    pub fn stats(&self) -> &DbStats {
+        &self.stats
+    }
+
+    /// The engine's options.
+    pub fn options(&self) -> &Options {
+        &self.opts
+    }
+
+    /// Block-cache (hits, misses) so far.
+    pub fn cache_hit_stats(&self) -> (u64, u64) {
+        self.tables.block_cache().hit_stats()
+    }
+
+    /// Files per level of the current version.
+    pub fn level_file_counts(&self) -> Vec<usize> {
+        let v = self.versions.current();
+        (0..v.levels()).map(|l| v.num_files(l)).collect()
+    }
+
+    /// Processes due background completions and journal timers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from applying completions.
+    pub fn tick(&mut self, now: Nanos) -> Result<()> {
+        self.pump(now)
+    }
+
+    /// Inserts or overwrites `key`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn put(&mut self, now: Nanos, key: &[u8], value: &[u8]) -> Result<Nanos> {
+        self.write(now, key, value, ValueType::Value, WriteOptions::default())
+    }
+
+    /// Deletes `key` (writes a tombstone).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn delete(&mut self, now: Nanos, key: &[u8]) -> Result<Nanos> {
+        self.write(now, key, b"", ValueType::Deletion, WriteOptions::default())
+    }
+
+    /// Inserts with explicit [`WriteOptions`] (e.g. a synced WAL write).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn put_opt(
+        &mut self,
+        now: Nanos,
+        key: &[u8],
+        value: &[u8],
+        wopts: WriteOptions,
+    ) -> Result<Nanos> {
+        self.write(now, key, value, ValueType::Value, wopts)
+    }
+
+    fn write(
+        &mut self,
+        now: Nanos,
+        key: &[u8],
+        value: &[u8],
+        vt: ValueType,
+        wopts: WriteOptions,
+    ) -> Result<Nanos> {
+        let entries = [(vt, key, value)];
+        self.write_entries(now, &entries, wopts)
+    }
+
+    /// Applies an atomic [`WriteBatch`] (one WAL record, consecutive
+    /// sequence numbers).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_batch(
+        &mut self,
+        now: Nanos,
+        batch: &WriteBatch,
+        wopts: WriteOptions,
+    ) -> Result<Nanos> {
+        if batch.is_empty() {
+            return Ok(now);
+        }
+        let entries: Vec<(ValueType, &[u8], &[u8])> = batch
+            .entries
+            .iter()
+            .map(|(vt, k, v)| (*vt, k.as_slice(), v.as_slice()))
+            .collect();
+        self.write_entries(now, &entries, wopts)
+    }
+
+    fn write_entries(
+        &mut self,
+        now: Nanos,
+        entries: &[(ValueType, &[u8], &[u8])],
+        wopts: WriteOptions,
+    ) -> Result<Nanos> {
+        // LevelDB serializes writers on a mutex.
+        let mut now = now.max(self.writer_free);
+        now = self.make_room(now)?;
+        let seq = self.versions.last_sequence + 1;
+        self.versions.last_sequence += entries.len() as u64;
+        let payload = encode_batch(seq, entries);
+        let record = self.wal_writer.encode_record(&payload);
+        now = self.fs.append(self.wal_handle, &record, now)?;
+        if wopts.sync {
+            now = self.fs.fsync(self.wal_handle, now)?;
+        }
+        for (i, (vt, key, value)) in entries.iter().enumerate() {
+            self.mem.add(seq + i as u64, *vt, key, value);
+            self.hot.record(key);
+        }
+        now = now + self.opts.cpu.put + self.opts.extra_op_cpu;
+        self.stats.writes += entries.len() as u64;
+        self.writer_free = now;
+        Ok(now)
+    }
+
+    /// Pins the current state as a [`Snapshot`].
+    pub fn snapshot(&mut self) -> Snapshot {
+        let id = self.next_snapshot_id;
+        self.next_snapshot_id += 1;
+        let seq = self.versions.last_sequence;
+        self.snapshots.insert(id, seq);
+        Snapshot { id, seq }
+    }
+
+    /// Releases a snapshot, allowing compactions to drop the old entry
+    /// versions it pinned.
+    pub fn release_snapshot(&mut self, s: Snapshot) {
+        self.snapshots.remove(&s.id);
+    }
+
+    /// The oldest sequence number any reader may still need.
+    fn smallest_snapshot(&self) -> crate::SequenceNumber {
+        self.snapshots
+            .values()
+            .copied()
+            .min()
+            .unwrap_or(self.versions.last_sequence)
+    }
+
+    /// Reads `key` as of `snapshot`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem/corruption errors.
+    pub fn get_at(
+        &mut self,
+        now: Nanos,
+        key: &[u8],
+        snapshot: &Snapshot,
+    ) -> Result<(Option<Vec<u8>>, Nanos)> {
+        self.get_internal(now, key, snapshot.seq)
+    }
+
+    /// Creates an iterator over the state pinned by `snapshot`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem/corruption errors.
+    pub fn iter_at_snapshot(
+        &mut self,
+        now: Nanos,
+        snapshot: &Snapshot,
+    ) -> Result<DbIterator<'_>> {
+        let seq = snapshot.seq;
+        self.iter_internal(now, seq)
+    }
+
+    /// Manually compacts every level whose files overlap
+    /// `[begin, end]` (`None` = unbounded), pushing the data to the
+    /// bottom-most populated level — LevelDB's `CompactRange`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn compact_range(
+        &mut self,
+        now: Nanos,
+        begin: Option<&[u8]>,
+        end: Option<&[u8]>,
+    ) -> Result<Nanos> {
+        let mut now = self.flush(now)?;
+        now = self.wait_idle(now)?;
+        let overlaps = |db: &Db, level: usize| -> bool {
+            db.versions.current().files[level].iter().any(|f| {
+                let lo_ok = end.is_none_or(|e| crate::types::user_key(f.smallest.as_bytes()) <= e);
+                let hi_ok =
+                    begin.is_none_or(|b| crate::types::user_key(f.largest.as_bytes()) >= b);
+                lo_ok && hi_ok
+            })
+        };
+        for level in 0..self.opts.max_levels - 1 {
+            let mut guard = 0;
+            while overlaps(self, level) {
+                let lo = begin.unwrap_or(b"").to_vec();
+                let hi = end.map(<[u8]>::to_vec);
+                let Some(inputs) =
+                    self.versions.manual_compaction(level, &lo, hi.as_deref(), &self.busy_levels)
+                else {
+                    break;
+                };
+                self.schedule_major(now, inputs);
+                now = self.wait_idle(now)?;
+                guard += 1;
+                assert!(guard < 10_000, "compact_range failed to converge");
+            }
+        }
+        Ok(now)
+    }
+
+    /// Rebuilds the database metadata in `dir` from surviving table and
+    /// log files when the MANIFEST/CURRENT are lost or corrupt: every
+    /// parseable table is re-registered at `L0` ordered by its newest
+    /// sequence number, surviving WALs are replayed into fresh synced
+    /// tables, and a new MANIFEST/CURRENT replace the damaged metadata.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn repair(fs: &Ext4Fs, dir: &str, opts: &Options, now: Nanos) -> Result<Nanos> {
+        repair::repair(fs, dir, opts, now)
+    }
+
+    /// Estimates the on-disk bytes holding keys in `[begin, end]`
+    /// (LevelDB's `GetApproximateSizes`): each overlapping table
+    /// contributes its size scaled by the key-range fraction it overlaps
+    /// (byte-lexicographic interpolation).
+    pub fn approximate_size(&self, begin: &[u8], end: &[u8]) -> u64 {
+        let v = self.versions.current();
+        let mut total = 0u64;
+        for files in &v.files {
+            for f in files {
+                let lo = crate::types::user_key(f.smallest.as_bytes());
+                let hi = crate::types::user_key(f.largest.as_bytes());
+                if hi < begin || lo > end {
+                    continue;
+                }
+                total += (f.size as f64 * overlap_fraction(lo, hi, begin, end)) as u64;
+            }
+        }
+        total
+    }
+
+    /// Engine introspection, LevelDB-style. Supported names:
+    /// `"noblsm.stats"`, `"noblsm.sstables"`,
+    /// `"noblsm.num-files-at-level<N>"`, `"noblsm.approximate-memory"`.
+    pub fn property(&self, name: &str) -> Option<String> {
+        if let Some(level) = name.strip_prefix("noblsm.num-files-at-level") {
+            let level: usize = level.parse().ok()?;
+            return Some(self.versions.current().num_files(level).to_string());
+        }
+        match name {
+            "noblsm.stats" => {
+                let s = &self.stats;
+                Some(format!(
+                    "writes={} gets={} minor={} major={} seek={} stalls={} stall_time={} \
+shadows={} reclaimed={}",
+                    s.writes,
+                    s.gets,
+                    s.minor_compactions,
+                    s.major_compactions,
+                    s.seek_compactions,
+                    s.stalls,
+                    s.stall_time,
+                    s.shadow_files,
+                    s.reclaimed_files
+                ))
+            }
+            "noblsm.compaction-stats" => {
+                let mut out = String::from(
+                    "level   compactions   read(KB)   written(KB)   time\n",
+                );
+                for (level, pl) in self.stats.per_level.iter().enumerate() {
+                    out.push_str(&format!(
+                        "{:<8}{:<14}{:<11}{:<14}{}\n",
+                        level,
+                        pl.count,
+                        pl.bytes_read >> 10,
+                        pl.bytes_written >> 10,
+                        pl.duration
+                    ));
+                }
+                Some(out)
+            }
+            "noblsm.sstables" => {
+                let v = self.versions.current();
+                let mut out = String::new();
+                for (level, files) in v.files.iter().enumerate() {
+                    if files.is_empty() {
+                        continue;
+                    }
+                    out.push_str(&format!("--- level {level} ---\n"));
+                    for f in files {
+                        out.push_str(&format!(
+                            "{}{}: {} bytes\n",
+                            f.number,
+                            if f.hot { " (hot)" } else { "" },
+                            f.size
+                        ));
+                    }
+                }
+                Some(out)
+            }
+            "noblsm.approximate-memory" => {
+                let bytes = self.mem.approximate_bytes()
+                    + self.imm.as_ref().map_or(0, MemTable::approximate_bytes);
+                Some(bytes.to_string())
+            }
+            _ => None,
+        }
+    }
+
+    /// Reads the newest visible value of `key`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem/corruption errors.
+    pub fn get(&mut self, now: Nanos, key: &[u8]) -> Result<(Option<Vec<u8>>, Nanos)> {
+        let seq = self.versions.last_sequence;
+        self.get_internal(now, key, seq)
+    }
+
+    fn get_internal(
+        &mut self,
+        now: Nanos,
+        key: &[u8],
+        seq: crate::SequenceNumber,
+    ) -> Result<(Option<Vec<u8>>, Nanos)> {
+        self.pump(now)?;
+        let mut now = now + self.opts.cpu.get + self.opts.extra_op_cpu;
+        self.stats.gets += 1;
+        match self.mem.get(key, seq) {
+            MemLookup::Found(v) => {
+                self.stats.hits += 1;
+                return Ok((Some(v), now));
+            }
+            MemLookup::Deleted => return Ok((None, now)),
+            MemLookup::NotFound => {}
+        }
+        if let Some(imm) = &self.imm {
+            match imm.get(key, seq) {
+                MemLookup::Found(v) => {
+                    self.stats.hits += 1;
+                    return Ok((Some(v), now));
+                }
+                MemLookup::Deleted => return Ok((None, now)),
+                MemLookup::NotFound => {}
+            }
+        }
+        let version = self.versions.current();
+        let (result, seek) =
+            version.get(key, seq, self.opts.style, &self.tables, &mut now)?;
+        if let Some(sf) = seek {
+            if self.opts.seek_compaction {
+                self.pending_seek = Some(sf);
+                self.maybe_schedule(now);
+            }
+        }
+        match result {
+            crate::version::GetResult::Found(v) => {
+                self.stats.hits += 1;
+                Ok((Some(v), now))
+            }
+            _ => Ok((None, now)),
+        }
+    }
+
+    /// Reads several keys at one consistent sequence number, returning
+    /// results in input order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem/corruption errors.
+    pub fn multi_get(
+        &mut self,
+        now: Nanos,
+        keys: &[&[u8]],
+    ) -> Result<(Vec<Option<Vec<u8>>>, Nanos)> {
+        let seq = self.versions.last_sequence;
+        let mut out = Vec::with_capacity(keys.len());
+        let mut now = now;
+        for key in keys {
+            let (got, t) = self.get_internal(now, key, seq)?;
+            now = t;
+            out.push(got);
+        }
+        Ok((out, now))
+    }
+
+    /// Creates an iterator over the live database at `now`.
+    ///
+    /// The iterator owns its virtual clock (see [`DbIterator::now`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem/corruption errors.
+    pub fn iter_at(&mut self, now: Nanos) -> Result<DbIterator<'_>> {
+        let seq = self.versions.last_sequence;
+        self.iter_internal(now, seq)
+    }
+
+    fn iter_internal(
+        &mut self,
+        now: Nanos,
+        snapshot: crate::SequenceNumber,
+    ) -> Result<DbIterator<'_>> {
+        self.pump(now)?;
+        let version = self.versions.current();
+        let mut now = now;
+        let mut children: Vec<Box<dyn InternalIterator + '_>> = Vec::new();
+        children.push(Box::new(self.mem.internal_iter()));
+        if let Some(imm) = &self.imm {
+            children.push(Box::new(imm.internal_iter()));
+        }
+        for level in 0..version.levels() {
+            let files = version.files[level].clone();
+            if files.is_empty() {
+                continue;
+            }
+            if level == 0 {
+                for f in files {
+                    let t = self.tables.table(&f, &mut now)?;
+                    children.push(Box::new(t.iter()));
+                }
+            } else if self.opts.style == CompactionStyle::Fragmented {
+                // A fragmented level is a stack of sorted runs (each
+                // compaction generation's outputs are disjoint); one
+                // concatenating iterator per run bounds scan cost by the
+                // generation count — the same effect PebblesDB's guards
+                // have on reads.
+                for run in sorted_runs(files) {
+                    children.push(Box::new(LevelIter::new(&self.tables, run)));
+                }
+            } else {
+                // Hot (overlapping) files form their own runs; the sorted
+                // cold remainder uses one concatenating iterator.
+                let (hot, cold): (Vec<_>, Vec<_>) = files.into_iter().partition(|f| f.hot);
+                for run in sorted_runs(hot) {
+                    children.push(Box::new(LevelIter::new(&self.tables, run)));
+                }
+                if !cold.is_empty() {
+                    children.push(Box::new(LevelIter::new(&self.tables, cold)));
+                }
+            }
+        }
+        Ok(DbIterator::new(MergingIterator::new(children), snapshot, now, self.opts.cpu.next))
+    }
+
+    /// Range scan: up to `limit` live entries starting at `start`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem/corruption errors.
+    pub fn scan(
+        &mut self,
+        now: Nanos,
+        start: &[u8],
+        limit: usize,
+    ) -> Result<(Vec<(Vec<u8>, Vec<u8>)>, Nanos)> {
+        let mut out = Vec::with_capacity(limit);
+        let mut it = self.iter_at(now)?;
+        it.seek(start)?;
+        while it.valid() && out.len() < limit {
+            out.push((it.key().to_vec(), it.value().to_vec()));
+            it.next()?;
+        }
+        let end = it.now();
+        Ok((out, end))
+    }
+
+    /// Forces the current memtable to `L0` and waits for the flush.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn flush(&mut self, now: Nanos) -> Result<Nanos> {
+        let mut now = now;
+        if !self.mem.is_empty() {
+            // Wait out any in-flight flush first.
+            while self.imm.is_some() {
+                let t = self.imm_done_at.or_else(|| self.events.next_at());
+                let Some(t) = t else { break };
+                now = now.max(t);
+                self.pump(now)?;
+            }
+            self.switch_memtable(now);
+        }
+        while self.imm.is_some() {
+            let t = self.imm_done_at.or_else(|| self.events.next_at());
+            let Some(t) = t else { break };
+            now = now.max(t);
+            self.pump(now)?;
+        }
+        Ok(now)
+    }
+
+    /// Drains all scheduled background *compaction* work, advancing
+    /// virtual time as needed, and returns the instant the engine went
+    /// idle. NobLSM's pending reclamation polls are left armed — they are
+    /// housekeeping, not work a benchmark should wait for.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn wait_idle(&mut self, now: Nanos) -> Result<Nanos> {
+        let mut now = now;
+        loop {
+            self.pump(now)?;
+            self.maybe_schedule(now);
+            if self.inflight_major == 0 && !self.minor_inflight {
+                return Ok(now);
+            }
+            let Some(t) = self.events.next_at() else { return Ok(now) };
+            now = now.max(t);
+        }
+    }
+
+    /// Drains compactions *and* NobLSM reclamation: advances time across
+    /// commit intervals until no shadow files remain. Used by tests and
+    /// the consistency harness.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn settle(&mut self, now: Nanos) -> Result<Nanos> {
+        let mut now = self.wait_idle(now)?;
+        let mut guard = 0;
+        while self.deps.pending_dependencies() > 0 {
+            let t = self.events.next_at().unwrap_or(now + self.opts.reclaim_interval);
+            now = now.max(t);
+            self.pump(now)?;
+            now = self.wait_idle(now)?;
+            guard += 1;
+            assert!(guard < 10_000, "reclamation failed to converge");
+        }
+        Ok(now)
+    }
+
+    // ------------------------------------------------------------------
+    // Background machinery
+    // ------------------------------------------------------------------
+
+    fn pump(&mut self, now: Nanos) -> Result<()> {
+        self.fs.tick(now);
+        while let Some((t, ev)) = self.events.pop_due(now) {
+            match ev {
+                DbEvent::MinorDone { output, old_wal, new_log_number } => {
+                    self.apply_minor(t, output, old_wal, new_log_number)?;
+                }
+                DbEvent::MajorDone { inputs, outcome, succ_files, started } => {
+                    self.apply_major(t, inputs, outcome, succ_files, started)?;
+                }
+                DbEvent::ReclaimPoll => {
+                    self.apply_reclaim(t)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_minor(
+        &mut self,
+        t: Nanos,
+        output: Option<CompactionOutput>,
+        old_wal: (u64, String),
+        new_log_number: u64,
+    ) -> Result<()> {
+        let mut edit = VersionEdit::new();
+        if let Some(o) = &output {
+            edit.add_file(0, o.meta.clone());
+        }
+        self.versions.log_number = new_log_number;
+        let t = self
+            .versions
+            .log_and_apply(edit, t, self.opts.sync_mode == SyncMode::Always)?;
+        if let Some(o) = &output {
+            self.refs.acquire(o.meta.physical, &o.physical_path);
+        }
+        // The WAL's deletion and the manifest edit land in the same Ext4
+        // transaction, so a crash either sees both or neither — the
+        // recovery path handles each side.
+        let _ = self.fs.delete(&old_wal.1, t);
+        self.imm = None;
+        self.imm_done_at = None;
+        self.minor_inflight = false;
+        self.maybe_schedule(t);
+        Ok(())
+    }
+
+    fn apply_major(
+        &mut self,
+        t: Nanos,
+        inputs: CompactionInputs,
+        outcome: MajorOutcome,
+        succ_files: Vec<(u64, String, InodeId)>,
+        started: Nanos,
+    ) -> Result<()> {
+        let level = inputs.level;
+        if self.stats.per_level.len() <= level {
+            self.stats.per_level.resize(level + 1, Default::default());
+        }
+        let pl = &mut self.stats.per_level[level];
+        pl.count += 1;
+        pl.bytes_read += inputs.input_bytes();
+        pl.bytes_written += outcome.bytes_written;
+        pl.duration += t - started;
+        let mut edit = VersionEdit::new();
+        for f in &inputs.inputs0 {
+            edit.delete_file(level, f.number);
+        }
+        for f in &inputs.inputs1 {
+            edit.delete_file(level + 1, f.number);
+        }
+        for o in &outcome.outputs {
+            edit.add_file(level + 1, o.meta.clone());
+        }
+        // Hot outputs stay at the parent level (they will be reconsidered
+        // when cold) — except for L0 parents, where re-adding files would
+        // feed the L0 count trigger right back; those go to L1 flagged
+        // hot, where overlap is tolerated.
+        let hot_level = if level == 0 { 1 } else { level };
+        for o in &outcome.hot_outputs {
+            edit.add_file(hot_level, o.meta.clone());
+        }
+        if let Some(k) = &outcome.largest_compacted {
+            edit.set_compact_pointer(level, k.clone());
+        }
+        let t = self
+            .versions
+            .log_and_apply(edit, t, self.opts.sync_mode == SyncMode::Always)?;
+        for o in outcome.outputs.iter().chain(&outcome.hot_outputs) {
+            self.refs.acquire(o.meta.physical, &o.physical_path);
+        }
+        self.stats.compaction_bytes_written += outcome.bytes_written;
+
+        match self.opts.sync_mode {
+            SyncMode::NobLsm => {
+                // §4.1: retain predecessors as shadows; register the
+                // p-to-q dependency; ask Ext4 to track the successors.
+                let inos: Vec<InodeId> = succ_files.iter().map(|(_, _, i)| *i).collect();
+                self.fs.check_commit(&inos, t);
+                let preds: Vec<Predecessor> = inputs
+                    .inputs0
+                    .iter()
+                    .chain(&inputs.inputs1)
+                    .map(|f| Predecessor { number: f.number, physical: f.physical })
+                    .collect();
+                self.deps.register(preds, inos);
+                self.stats.shadow_files = self.deps.shadow_count() as u64;
+                if !self.reclaim_armed {
+                    self.reclaim_armed = true;
+                    self.events.push(t + self.opts.reclaim_interval, DbEvent::ReclaimPoll);
+                }
+            }
+            _ => {
+                for f in inputs.inputs0.iter().chain(&inputs.inputs1) {
+                    self.release_table(f.number, f.physical, t)?;
+                }
+            }
+        }
+        self.busy_levels.remove(&level);
+        self.busy_levels.remove(&(level + 1));
+        self.inflight_major -= 1;
+        self.maybe_schedule(t);
+        Ok(())
+    }
+
+    fn apply_reclaim(&mut self, t: Nanos) -> Result<()> {
+        self.reclaim_armed = false;
+        let ready = self.deps.poll(&self.fs, t);
+        for p in ready {
+            self.release_table(p.number, p.physical, t)?;
+            self.stats.reclaimed_files += 1;
+        }
+        self.stats.shadow_files = self.deps.shadow_count() as u64;
+        if self.deps.pending_dependencies() > 0 {
+            self.reclaim_armed = true;
+            self.events.push(t + self.opts.reclaim_interval, DbEvent::ReclaimPoll);
+        }
+        Ok(())
+    }
+
+    fn release_table(&mut self, number: u64, physical: u64, t: Nanos) -> Result<()> {
+        self.tables.evict(number);
+        if let Some(path) = self.refs.release(physical) {
+            let _ = self.fs.delete(&path, t);
+        }
+        Ok(())
+    }
+
+    fn make_room(&mut self, now: Nanos) -> Result<Nanos> {
+        self.pump(now)?;
+        let mut now = now;
+        let mut slowed = false;
+        loop {
+            let l0 = self.versions.current().num_files(0);
+            if !slowed && l0 >= self.opts.l0_slowdown_trigger {
+                // LevelDB's 1 ms write delay at the slowdown trigger.
+                now += self.opts.slowdown_delay;
+                slowed = true;
+                self.stats.slowdowns += 1;
+                self.pump(now)?;
+                continue;
+            }
+            if self.mem.approximate_bytes() < self.opts.write_buffer_size {
+                return Ok(now);
+            }
+            if self.imm.is_some() {
+                // Wait for the in-flight minor compaction.
+                let t = self.imm_done_at.or_else(|| self.events.next_at());
+                let Some(t) = t else {
+                    // No pending event can free the memtable; force one.
+                    self.maybe_schedule(now);
+                    if self.events.is_empty() {
+                        return Err(DbError::InvalidDb(
+                            "stalled with immutable memtable and no background work".into(),
+                        ));
+                    }
+                    continue;
+                };
+                if t > now {
+                    self.stats.stalls += 1;
+                    self.stats.stall_time += t - now;
+                    now = t;
+                }
+                self.pump(now)?;
+                continue;
+            }
+            if l0 >= self.opts.l0_stop_trigger {
+                self.maybe_schedule(now);
+                let Some(t) = self.events.next_at() else {
+                    return Err(DbError::InvalidDb(
+                        "stalled at L0 stop trigger with no background work".into(),
+                    ));
+                };
+                if t > now {
+                    self.stats.stalls += 1;
+                    self.stats.stall_time += t - now;
+                    now = t;
+                }
+                self.pump(now)?;
+                continue;
+            }
+            self.switch_memtable(now);
+        }
+    }
+
+    /// Seals the current memtable, opens a fresh WAL, and schedules the
+    /// minor compaction.
+    fn switch_memtable(&mut self, now: Nanos) {
+        debug_assert!(self.imm.is_none());
+        let old_wal_number = self.wal_number;
+        let old_wal_path = file_path(&self.dir, FileKind::Wal, old_wal_number);
+        let new_number = self.versions.new_file_number();
+        let new_path = file_path(&self.dir, FileKind::Wal, new_number);
+        let handle = self.fs.create(&new_path, now).expect("fresh WAL name is unique");
+        self.wal_handle = handle;
+        self.wal_number = new_number;
+        self.wal_writer = LogWriter::new();
+        self.imm = Some(std::mem::take(&mut self.mem));
+        self.schedule_minor(now, (old_wal_number, old_wal_path), new_number);
+    }
+
+    fn pick_lane(&mut self, ready: Nanos) -> (usize, Nanos) {
+        let (lane, free) = self
+            .lanes
+            .iter()
+            .copied()
+            .enumerate()
+            .min_by_key(|(_, f)| *f)
+            .expect("at least one lane");
+        (lane, free.max(ready))
+    }
+
+    fn schedule_minor(&mut self, now: Nanos, old_wal: (u64, String), new_log_number: u64) {
+        debug_assert!(!self.minor_inflight);
+        let imm = self.imm.as_ref().expect("imm set before scheduling minor");
+        let entries: Vec<(Vec<u8>, Vec<u8>)> =
+            imm.iter().map(|(k, v)| (k.to_vec(), v.to_vec())).collect();
+        let number = self.versions.new_file_number();
+        let (lane, start) = self.pick_lane(now);
+        let mut t = start;
+        let result = write_table(&self.fs, &self.dir, &self.opts, number, entries.into_iter(), &mut t);
+        let output = match result {
+            Ok(o) => o,
+            Err(_) => None,
+        };
+        // NobLSM §4.1: the minor compaction is the *only* occasion KV
+        // pairs are synced (modes other than Never sync here too).
+        if self.opts.sync_mode != SyncMode::Never {
+            if let Some(o) = &output {
+                if let Ok(h) = self.fs.open(&o.physical_path, t) {
+                    if let Ok(t2) = self.fs.fsync(h, t) {
+                        t = t2;
+                    }
+                }
+            }
+        }
+        self.lanes[lane] = t;
+        self.minor_inflight = true;
+        self.imm_done_at = Some(t);
+        self.stats.minor_compactions += 1;
+        self.events.push(t, DbEvent::MinorDone { output, old_wal, new_log_number });
+    }
+
+    fn maybe_schedule(&mut self, now: Nanos) {
+        // Minor compactions take priority (LevelDB's background thread
+        // always flushes the immutable memtable first).
+        // They are scheduled directly from switch_memtable.
+
+        // Seek-triggered compaction.
+        if self.inflight_major < self.opts.compaction_lanes {
+            if let Some((level, file)) = self.pending_seek.take() {
+                if let Some(c) =
+                    self.versions.pick_seek_compaction(level, &file, &self.busy_levels)
+                {
+                    self.stats.seek_compactions += 1;
+                    self.schedule_major(now, c);
+                }
+            }
+        }
+        // Size-triggered compactions.
+        while self.inflight_major < self.opts.compaction_lanes {
+            let Some(c) = self.versions.pick_compaction(&self.busy_levels) else { break };
+            self.schedule_major(now, c);
+        }
+    }
+
+    fn schedule_major(&mut self, now: Nanos, inputs: CompactionInputs) {
+        let (lane, start) = self.pick_lane(now);
+        let mut t = start;
+        let version = self.versions.current();
+        let snapshot = self.smallest_snapshot();
+        // Reserve a generous block of file numbers for the outputs.
+        let bound = (inputs.input_bytes() / self.opts.table_size.max(1)) + 8;
+        let base = self.versions.next_file_number;
+        self.versions.next_file_number += bound;
+        let mut counter = base;
+        let end = base + bound;
+        let mut alloc = move || {
+            let n = counter;
+            counter += 1;
+            assert!(n < end, "output number reservation exhausted");
+            n
+        };
+        self.stats.compaction_bytes_read += inputs.input_bytes();
+        // L2SM hot routing converges only while the destination level has
+        // room for more hot files; at the cap, everything is pushed down
+        // cold so consolidation makes progress.
+        let hot_level = if inputs.level == 0 { 1 } else { inputs.level };
+        let allow_hot = self.opts.hot_cold
+            && version
+                .files
+                .get(hot_level)
+                .is_some_and(|fs| {
+                    fs.iter().filter(|f| f.hot).count()
+                        < crate::version::MAX_FREE_HOT_FILES
+                });
+        let outcome = match run_major(
+            &self.fs,
+            &self.dir,
+            &self.opts,
+            &self.tables,
+            &version,
+            &inputs,
+            snapshot,
+            &self.hot,
+            allow_hot,
+            &mut alloc,
+            &mut t,
+        ) {
+            Ok(o) => o,
+            Err(_) => MajorOutcome {
+                outputs: Vec::new(),
+                hot_outputs: Vec::new(),
+                bytes_written: 0,
+                largest_compacted: None,
+            },
+        };
+        // Sync discipline for the new tables. Ungrouped outputs were
+        // already synced file-by-file inside the compaction (LevelDB's
+        // behaviour); BoLT's grouped physical file is synced exactly once
+        // here, after the whole compaction.
+        let succ_files =
+            physical_files(&outcome.outputs.iter().chain(&outcome.hot_outputs).cloned().collect::<Vec<_>>());
+        if self.opts.sync_mode == SyncMode::Always && self.opts.grouped_output {
+            for (_, path, _) in &succ_files {
+                if let Ok(h) = self.fs.open(path, t) {
+                    if let Ok(t2) = self.fs.fsync(h, t) {
+                        t = t2;
+                    }
+                }
+            }
+        }
+        self.lanes[lane] = t;
+        self.busy_levels.insert(inputs.level);
+        self.busy_levels.insert(inputs.level + 1);
+        self.inflight_major += 1;
+        self.stats.major_compactions += 1;
+        self.events.push(t, DbEvent::MajorDone { inputs, outcome, succ_files, started: start });
+    }
+
+    /// Structural self-check (tests): version invariants hold and level
+    /// accounting is consistent.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) -> Result<()> {
+        self.versions.current().check_invariants(self.opts.style)
+    }
+
+    /// The current version (read-only snapshot), for tests and tools.
+    #[doc(hidden)]
+    pub fn current_version(&self) -> Arc<Version> {
+        self.versions.current()
+    }
+}
+
+/// Partitions possibly-overlapping files into sorted non-overlapping runs
+/// (greedy by smallest key): the iterator-facing equivalent of PebblesDB's
+/// guards and L2SM's hot-log generations.
+fn sorted_runs(mut files: Vec<Arc<FileMetaData>>) -> Vec<Vec<Arc<FileMetaData>>> {
+    files.sort_by(|a, b| {
+        crate::types::compare_internal(a.smallest.as_bytes(), b.smallest.as_bytes())
+            .then(a.number.cmp(&b.number))
+    });
+    let mut runs: Vec<Vec<Arc<FileMetaData>>> = Vec::new();
+    for f in files {
+        let slot = runs.iter_mut().find(|run| {
+            let last = run.last().expect("runs are non-empty");
+            crate::types::user_key(last.largest.as_bytes())
+                < crate::types::user_key(f.smallest.as_bytes())
+        });
+        match slot {
+            Some(run) => run.push(f),
+            None => runs.push(vec![f]),
+        }
+    }
+    runs
+}
+
+#[cfg(test)]
+mod run_tests {
+    use super::*;
+    use crate::{InternalKey, ValueType};
+
+    fn meta(n: u64, lo: &str, hi: &str) -> Arc<FileMetaData> {
+        Arc::new(FileMetaData::new(
+            n,
+            n,
+            0,
+            1,
+            InternalKey::new(lo.as_bytes(), 1, ValueType::Value),
+            InternalKey::new(hi.as_bytes(), 1, ValueType::Value),
+        ))
+    }
+
+    #[test]
+    fn disjoint_files_form_one_run() {
+        let runs = sorted_runs(vec![meta(3, "g", "i"), meta(1, "a", "c"), meta(2, "d", "f")]);
+        assert_eq!(runs.len(), 1);
+        let nums: Vec<u64> = runs[0].iter().map(|f| f.number).collect();
+        assert_eq!(nums, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn overlapping_files_split_into_runs() {
+        let runs = sorted_runs(vec![
+            meta(1, "a", "m"),
+            meta(2, "b", "k"),
+            meta(3, "n", "z"),
+            meta(4, "p", "q"),
+        ]);
+        assert_eq!(runs.len(), 2);
+        // Every run is internally non-overlapping.
+        for run in &runs {
+            for w in run.windows(2) {
+                assert!(
+                    crate::types::user_key(w[0].largest.as_bytes())
+                        < crate::types::user_key(w[1].smallest.as_bytes())
+                );
+            }
+        }
+        // All four files are covered exactly once.
+        let total: usize = runs.iter().map(Vec::len).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn empty_input_yields_no_runs() {
+        assert!(sorted_runs(Vec::new()).is_empty());
+    }
+}
+
+/// Fraction of `[lo, hi]` covered by `[begin, end]`, interpolating keys
+/// as big-endian fractions of their first 8 bytes.
+fn overlap_fraction(lo: &[u8], hi: &[u8], begin: &[u8], end: &[u8]) -> f64 {
+    fn frac(key: &[u8]) -> f64 {
+        let mut buf = [0u8; 8];
+        for (i, b) in key.iter().take(8).enumerate() {
+            buf[i] = *b;
+        }
+        u64::from_be_bytes(buf) as f64 / u64::MAX as f64
+    }
+    let (l, h) = (frac(lo), frac(hi));
+    if h <= l {
+        return 1.0; // degenerate single-point range: all or nothing
+    }
+    let b = frac(begin).max(l);
+    let e = frac(end).min(h);
+    ((e - b) / (h - l)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod overlap_tests {
+    use super::overlap_fraction;
+
+    #[test]
+    fn full_containment_is_one() {
+        assert!((overlap_fraction(b"b", b"c", b"a", b"z") - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn half_overlap_is_half() {
+        // file spans [0x20, 0x40]; query [0x30, 0xff] covers the top half.
+        let f = overlap_fraction(&[0x20], &[0x40], &[0x30], &[0xff]);
+        assert!((f - 0.5).abs() < 0.01, "{f}");
+    }
+
+    #[test]
+    fn disjoint_is_zero() {
+        let f = overlap_fraction(&[0x20], &[0x40], &[0x50], &[0x60]);
+        assert!(f.abs() < 1e-9);
+    }
+}

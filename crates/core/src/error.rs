@@ -1,0 +1,65 @@
+//! Engine error type.
+
+use std::error::Error;
+use std::fmt;
+
+use nob_ext4::FsError;
+
+/// Errors returned by [`Db`](crate::Db) and the on-disk format readers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// An underlying filesystem error.
+    Fs(FsError),
+    /// A checksum mismatch or malformed on-disk structure.
+    Corruption(String),
+    /// The database directory is missing required files.
+    InvalidDb(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Fs(e) => write!(f, "filesystem error: {e}"),
+            DbError::Corruption(m) => write!(f, "corruption: {m}"),
+            DbError::InvalidDb(m) => write!(f, "invalid database: {m}"),
+        }
+    }
+}
+
+impl Error for DbError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DbError::Fs(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FsError> for DbError {
+    fn from(e: FsError) -> Self {
+        DbError::Fs(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_lowercase() {
+        assert!(DbError::Corruption("bad crc".into()).to_string().starts_with("corruption"));
+        assert!(DbError::InvalidDb("no CURRENT".into()).to_string().contains("no CURRENT"));
+    }
+
+    #[test]
+    fn fs_error_converts_and_chains() {
+        let e: DbError = FsError::StaleHandle.into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Error + Send + Sync + 'static>() {}
+        check::<DbError>();
+    }
+}

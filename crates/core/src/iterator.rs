@@ -1,0 +1,618 @@
+//! Iterator abstractions: the internal-key iterator trait, the merging
+//! iterator, and the user-facing [`DbIterator`].
+
+use std::cmp::Ordering;
+
+use nob_sim::Nanos;
+
+use crate::types::{compare_internal, sequence_of, user_key, value_type_of};
+use crate::{Result, SequenceNumber, ValueType};
+
+/// An iterator over encoded internal keys, charging I/O to a virtual
+/// clock.
+///
+/// Methods that may touch the device take `now: &mut Nanos` and advance it
+/// by the cost of any block loads.
+pub trait InternalIterator {
+    /// Whether the iterator points at an entry.
+    fn valid(&self) -> bool;
+    /// Positions at the first entry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read failures from the underlying storage.
+    fn seek_to_first(&mut self, now: &mut Nanos) -> Result<()>;
+    /// Positions at the first entry with key ≥ `target`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read failures from the underlying storage.
+    fn seek(&mut self, target: &[u8], now: &mut Nanos) -> Result<()>;
+    /// Advances one entry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read failures from the underlying storage.
+    fn next(&mut self, now: &mut Nanos) -> Result<()>;
+    /// Positions at the last entry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read failures from the underlying storage.
+    fn seek_to_last(&mut self, now: &mut Nanos) -> Result<()>;
+    /// Steps back one entry (invalid before the first entry).
+    ///
+    /// # Errors
+    ///
+    /// Propagates read failures from the underlying storage.
+    fn prev(&mut self, now: &mut Nanos) -> Result<()>;
+    /// The current internal key.
+    fn key(&self) -> &[u8];
+    /// The current value.
+    fn value(&self) -> &[u8];
+}
+
+/// An iterator over an in-memory sorted `(internal key, value)` list —
+/// used for memtable snapshots handed to iterators and compactions.
+#[derive(Debug)]
+pub struct VecIterator {
+    entries: Vec<(Vec<u8>, Vec<u8>)>,
+    pos: usize,
+}
+
+impl VecIterator {
+    /// Wraps a sorted entry list.
+    pub fn new(entries: Vec<(Vec<u8>, Vec<u8>)>) -> Self {
+        debug_assert!(entries.windows(2).all(|w| compare_internal(&w[0].0, &w[1].0).is_lt()));
+        let pos = entries.len();
+        VecIterator { entries, pos }
+    }
+}
+
+impl InternalIterator for VecIterator {
+    fn valid(&self) -> bool {
+        self.pos < self.entries.len()
+    }
+
+    fn seek_to_first(&mut self, _now: &mut Nanos) -> Result<()> {
+        self.pos = 0;
+        Ok(())
+    }
+
+    fn seek(&mut self, target: &[u8], _now: &mut Nanos) -> Result<()> {
+        self.pos = self.entries.partition_point(|(k, _)| compare_internal(k, target).is_lt());
+        Ok(())
+    }
+
+    fn next(&mut self, _now: &mut Nanos) -> Result<()> {
+        if self.pos < self.entries.len() {
+            self.pos += 1;
+        }
+        Ok(())
+    }
+
+    fn seek_to_last(&mut self, _now: &mut Nanos) -> Result<()> {
+        // `pos == entries.len()` is the single invalid state.
+        self.pos = if self.entries.is_empty() { 0 } else { self.entries.len() - 1 };
+        Ok(())
+    }
+
+    fn prev(&mut self, _now: &mut Nanos) -> Result<()> {
+        if self.valid() {
+            // Stepping before the first entry lands on the invalid state.
+            self.pos = if self.pos == 0 { self.entries.len() } else { self.pos - 1 };
+        }
+        Ok(())
+    }
+
+    fn key(&self) -> &[u8] {
+        &self.entries[self.pos].0
+    }
+
+    fn value(&self) -> &[u8] {
+        &self.entries[self.pos].1
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    Forward,
+    Backward,
+}
+
+/// Merges several internal iterators into one sorted stream (both
+/// directions; switching direction repositions the non-current children,
+/// as in LevelDB).
+pub struct MergingIterator<'a> {
+    children: Vec<Box<dyn InternalIterator + 'a>>,
+    current: Option<usize>,
+    direction: Direction,
+}
+
+impl<'a> std::fmt::Debug for MergingIterator<'a> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MergingIterator")
+            .field("children", &self.children.len())
+            .field("current", &self.current)
+            .finish()
+    }
+}
+
+impl<'a> MergingIterator<'a> {
+    /// Creates a merging iterator over `children`.
+    pub fn new(children: Vec<Box<dyn InternalIterator + 'a>>) -> Self {
+        MergingIterator { children, current: None, direction: Direction::Forward }
+    }
+
+    fn find_largest(&mut self) {
+        let mut best: Option<usize> = None;
+        for (i, c) in self.children.iter().enumerate() {
+            if !c.valid() {
+                continue;
+            }
+            best = match best {
+                None => Some(i),
+                Some(b) => {
+                    if compare_internal(c.key(), self.children[b].key()) == Ordering::Greater {
+                        Some(i)
+                    } else {
+                        Some(b)
+                    }
+                }
+            };
+        }
+        self.current = best;
+    }
+
+    fn find_smallest(&mut self) {
+        let mut best: Option<usize> = None;
+        for (i, c) in self.children.iter().enumerate() {
+            if !c.valid() {
+                continue;
+            }
+            best = match best {
+                None => Some(i),
+                Some(b) => {
+                    if compare_internal(c.key(), self.children[b].key()) == Ordering::Less {
+                        Some(i)
+                    } else {
+                        Some(b)
+                    }
+                }
+            };
+        }
+        self.current = best;
+    }
+}
+
+impl<'a> InternalIterator for MergingIterator<'a> {
+    fn valid(&self) -> bool {
+        self.current.is_some()
+    }
+
+    fn seek_to_first(&mut self, now: &mut Nanos) -> Result<()> {
+        for c in &mut self.children {
+            c.seek_to_first(now)?;
+        }
+        self.direction = Direction::Forward;
+        self.find_smallest();
+        Ok(())
+    }
+
+    fn seek(&mut self, target: &[u8], now: &mut Nanos) -> Result<()> {
+        for c in &mut self.children {
+            c.seek(target, now)?;
+        }
+        self.direction = Direction::Forward;
+        self.find_smallest();
+        Ok(())
+    }
+
+    fn next(&mut self, now: &mut Nanos) -> Result<()> {
+        let Some(i) = self.current else { return Ok(()) };
+        if self.direction == Direction::Backward {
+            // Non-current children sit at entries <= key(); move each to
+            // the first entry after it.
+            let key = self.children[i].key().to_vec();
+            for (j, c) in self.children.iter_mut().enumerate() {
+                if j == i {
+                    continue;
+                }
+                c.seek(&key, now)?;
+                // Internal keys are unique, so a child positioned exactly
+                // at `key` cannot occur; `seek` already lands after it.
+            }
+            self.direction = Direction::Forward;
+        }
+        self.children[i].next(now)?;
+        self.find_smallest();
+        Ok(())
+    }
+
+    fn seek_to_last(&mut self, now: &mut Nanos) -> Result<()> {
+        for c in &mut self.children {
+            c.seek_to_last(now)?;
+        }
+        self.direction = Direction::Backward;
+        self.find_largest();
+        Ok(())
+    }
+
+    fn prev(&mut self, now: &mut Nanos) -> Result<()> {
+        let Some(i) = self.current else { return Ok(()) };
+        if self.direction == Direction::Forward {
+            // Non-current children sit at entries >= key(); move each to
+            // the last entry before it.
+            let key = self.children[i].key().to_vec();
+            for (j, c) in self.children.iter_mut().enumerate() {
+                if j == i {
+                    continue;
+                }
+                c.seek(&key, now)?;
+                if c.valid() {
+                    c.prev(now)?;
+                } else {
+                    c.seek_to_last(now)?;
+                }
+            }
+            self.direction = Direction::Backward;
+        }
+        self.children[i].prev(now)?;
+        self.find_largest();
+        Ok(())
+    }
+
+    fn key(&self) -> &[u8] {
+        self.children[self.current.expect("valid")].key()
+    }
+
+    fn value(&self) -> &[u8] {
+        self.children[self.current.expect("valid")].value()
+    }
+}
+
+/// The user-facing iterator: walks live user keys in ascending order,
+/// hiding tombstones and entries newer than the read snapshot.
+///
+/// `DbIterator` owns its virtual clock; read the accumulated time with
+/// [`now`](DbIterator::now) when done.
+pub struct DbIterator<'a> {
+    inner: MergingIterator<'a>,
+    snapshot: SequenceNumber,
+    now: Nanos,
+    current: Option<(Vec<u8>, Vec<u8>)>,
+    per_entry_cpu: Nanos,
+    direction: Direction,
+}
+
+impl<'a> std::fmt::Debug for DbIterator<'a> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DbIterator")
+            .field("snapshot", &self.snapshot)
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+impl<'a> DbIterator<'a> {
+    pub(crate) fn new(
+        inner: MergingIterator<'a>,
+        snapshot: SequenceNumber,
+        now: Nanos,
+        per_entry_cpu: Nanos,
+    ) -> Self {
+        DbIterator {
+            inner,
+            snapshot,
+            now,
+            current: None,
+            per_entry_cpu,
+            direction: Direction::Forward,
+        }
+    }
+
+    /// The iterator's virtual clock.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Whether the iterator points at an entry.
+    pub fn valid(&self) -> bool {
+        self.current.is_some()
+    }
+
+    /// The current user key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if not [`valid`](DbIterator::valid).
+    pub fn key(&self) -> &[u8] {
+        &self.current.as_ref().expect("iterator not valid").0
+    }
+
+    /// The current value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if not [`valid`](DbIterator::valid).
+    pub fn value(&self) -> &[u8] {
+        &self.current.as_ref().expect("iterator not valid").1
+    }
+
+    /// Positions at the first live user key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage read failures.
+    pub fn seek_to_first(&mut self) -> Result<()> {
+        let mut now = self.now;
+        self.inner.seek_to_first(&mut now)?;
+        self.now = now;
+        self.direction = Direction::Forward;
+        self.advance_to_visible(None)
+    }
+
+    /// Positions at the last live user key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage read failures.
+    pub fn seek_to_last(&mut self) -> Result<()> {
+        let mut now = self.now;
+        self.inner.seek_to_last(&mut now)?;
+        self.now = now;
+        self.direction = Direction::Backward;
+        self.retreat_to_visible()
+    }
+
+    /// Positions at the first live user key ≥ `target`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage read failures.
+    pub fn seek(&mut self, target: &[u8]) -> Result<()> {
+        let probe = crate::types::lookup_key(target, self.snapshot);
+        let mut now = self.now;
+        self.inner.seek(probe.as_bytes(), &mut now)?;
+        self.now = now;
+        self.direction = Direction::Forward;
+        self.advance_to_visible(None)
+    }
+
+    /// Advances to the next live user key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage read failures.
+    pub fn next(&mut self) -> Result<()> {
+        let skip = self.current.take().map(|(k, _)| k);
+        let mut now = self.now;
+        match (&skip, self.direction) {
+            (Some(cur), Direction::Backward) => {
+                // After backward motion the inner iterator sits before the
+                // current group; jump to the first entry after it.
+                let probe = crate::InternalKey::new(cur, 0, ValueType::Deletion);
+                self.inner.seek(probe.as_bytes(), &mut now)?;
+                self.direction = Direction::Forward;
+            }
+            (Some(_), Direction::Forward) => {
+                self.inner.next(&mut now)?;
+            }
+            (None, _) => {}
+        }
+        self.now = now;
+        self.advance_to_visible(skip)
+    }
+
+    /// Retreats to the previous live user key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage read failures.
+    pub fn prev(&mut self) -> Result<()> {
+        let Some((cur, _)) = self.current.take() else { return Ok(()) };
+        let mut now = self.now;
+        if self.direction == Direction::Forward {
+            // The inner iterator sits on the surfaced entry of `cur`; walk
+            // backward past the rest of its group.
+            while self.inner.valid() && user_key(self.inner.key()) == cur.as_slice() {
+                now = now + self.per_entry_cpu;
+                self.inner.prev(&mut now)?;
+            }
+            self.direction = Direction::Backward;
+        }
+        self.now = now;
+        self.retreat_to_visible()
+    }
+
+    /// Skips entries invisible at the snapshot, tombstoned keys, and any
+    /// older versions of `skip_key`.
+    fn advance_to_visible(&mut self, mut skip_key: Option<Vec<u8>>) -> Result<()> {
+        let mut now = self.now;
+        loop {
+            if !self.inner.valid() {
+                self.current = None;
+                break;
+            }
+            now += self.per_entry_cpu;
+            let ikey = self.inner.key();
+            let seq = sequence_of(ikey);
+            let uk = user_key(ikey);
+            if seq > self.snapshot || skip_key.as_deref() == Some(uk) {
+                self.inner.next(&mut now)?;
+                continue;
+            }
+            match value_type_of(ikey) {
+                Some(ValueType::Value) => {
+                    self.current = Some((uk.to_vec(), self.inner.value().to_vec()));
+                    break;
+                }
+                _ => {
+                    // Tombstone: hide every older version of this key.
+                    skip_key = Some(uk.to_vec());
+                    self.inner.next(&mut now)?;
+                }
+            }
+        }
+        self.now = now;
+        Ok(())
+    }
+
+    /// Backward counterpart of `advance_to_visible`: the inner iterator
+    /// moves through each user-key group in ascending sequence order, so
+    /// the newest entry visible at the snapshot is the last one accepted
+    /// before the group ends.
+    fn retreat_to_visible(&mut self) -> Result<()> {
+        let mut now = self.now;
+        loop {
+            if !self.inner.valid() {
+                self.current = None;
+                break;
+            }
+            let uk = user_key(self.inner.key()).to_vec();
+            let mut newest_visible: Option<(Option<ValueType>, Vec<u8>)> = None;
+            while self.inner.valid() && user_key(self.inner.key()) == uk.as_slice() {
+                now = now + self.per_entry_cpu;
+                let seq = sequence_of(self.inner.key());
+                if seq <= self.snapshot {
+                    newest_visible =
+                        Some((value_type_of(self.inner.key()), self.inner.value().to_vec()));
+                }
+                self.inner.prev(&mut now)?;
+            }
+            match newest_visible {
+                Some((Some(ValueType::Value), v)) => {
+                    self.current = Some((uk, v));
+                    break;
+                }
+                // Tombstoned or fully invisible: keep retreating.
+                _ => continue,
+            }
+        }
+        self.now = now;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::InternalKey;
+
+    fn entry(key: &str, seq: u64, vt: ValueType, value: &str) -> (Vec<u8>, Vec<u8>) {
+        (
+            InternalKey::new(key.as_bytes(), seq, vt).as_bytes().to_vec(),
+            value.as_bytes().to_vec(),
+        )
+    }
+
+    fn sorted(mut v: Vec<(Vec<u8>, Vec<u8>)>) -> Vec<(Vec<u8>, Vec<u8>)> {
+        v.sort_by(|a, b| compare_internal(&a.0, &b.0));
+        v
+    }
+
+    #[test]
+    fn vec_iterator_seek_and_walk() {
+        let mut it = VecIterator::new(sorted(vec![
+            entry("a", 1, ValueType::Value, "1"),
+            entry("c", 2, ValueType::Value, "2"),
+        ]));
+        let mut now = Nanos::ZERO;
+        it.seek(InternalKey::new(b"b", 100, ValueType::Value).as_bytes(), &mut now).unwrap();
+        assert!(it.valid());
+        assert_eq!(user_key(it.key()), b"c");
+        it.next(&mut now).unwrap();
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn merging_interleaves_sorted() {
+        let a = VecIterator::new(sorted(vec![
+            entry("a", 1, ValueType::Value, ""),
+            entry("c", 1, ValueType::Value, ""),
+        ]));
+        let b = VecIterator::new(sorted(vec![
+            entry("b", 1, ValueType::Value, ""),
+            entry("d", 1, ValueType::Value, ""),
+        ]));
+        let mut m = MergingIterator::new(vec![Box::new(a), Box::new(b)]);
+        let mut now = Nanos::ZERO;
+        m.seek_to_first(&mut now).unwrap();
+        let mut keys = Vec::new();
+        while m.valid() {
+            keys.push(user_key(m.key()).to_vec());
+            m.next(&mut now).unwrap();
+        }
+        assert_eq!(keys, vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec(), b"d".to_vec()]);
+    }
+
+    #[test]
+    fn merging_orders_same_user_key_by_sequence() {
+        let a = VecIterator::new(sorted(vec![entry("k", 5, ValueType::Value, "old")]));
+        let b = VecIterator::new(sorted(vec![entry("k", 9, ValueType::Value, "new")]));
+        let mut m = MergingIterator::new(vec![Box::new(a), Box::new(b)]);
+        let mut now = Nanos::ZERO;
+        m.seek_to_first(&mut now).unwrap();
+        assert_eq!(m.value(), b"new");
+        m.next(&mut now).unwrap();
+        assert_eq!(m.value(), b"old");
+    }
+
+    #[test]
+    fn db_iterator_hides_tombstones_and_old_versions() {
+        let data = sorted(vec![
+            entry("a", 1, ValueType::Value, "a1"),
+            entry("b", 2, ValueType::Value, "b1"),
+            entry("b", 4, ValueType::Deletion, ""),
+            entry("c", 3, ValueType::Value, "c1"),
+            entry("c", 5, ValueType::Value, "c2"),
+        ]);
+        let m = MergingIterator::new(vec![
+            Box::new(VecIterator::new(data)) as Box<dyn InternalIterator>
+        ]);
+        let mut it = DbIterator::new(m, 100, Nanos::ZERO, Nanos::from_nanos(100));
+        it.seek_to_first().unwrap();
+        let mut out = Vec::new();
+        while it.valid() {
+            out.push((it.key().to_vec(), it.value().to_vec()));
+            it.next().unwrap();
+        }
+        assert_eq!(
+            out,
+            vec![(b"a".to_vec(), b"a1".to_vec()), (b"c".to_vec(), b"c2".to_vec())]
+        );
+        assert!(it.now() > Nanos::ZERO);
+    }
+
+    #[test]
+    fn db_iterator_respects_snapshot() {
+        let data = sorted(vec![
+            entry("b", 2, ValueType::Value, "old"),
+            entry("b", 8, ValueType::Value, "new"),
+            entry("d", 9, ValueType::Value, "invisible"),
+        ]);
+        let m = MergingIterator::new(vec![
+            Box::new(VecIterator::new(data)) as Box<dyn InternalIterator>
+        ]);
+        let mut it = DbIterator::new(m, 5, Nanos::ZERO, Nanos::ZERO);
+        it.seek_to_first().unwrap();
+        assert_eq!(it.value(), b"old");
+        it.next().unwrap();
+        assert!(!it.valid(), "seq-9 entries are invisible at snapshot 5");
+    }
+
+    #[test]
+    fn db_iterator_seek_targets_user_keys() {
+        let data = sorted(vec![
+            entry("apple", 1, ValueType::Value, "1"),
+            entry("banana", 2, ValueType::Value, "2"),
+            entry("cherry", 3, ValueType::Value, "3"),
+        ]);
+        let m = MergingIterator::new(vec![
+            Box::new(VecIterator::new(data)) as Box<dyn InternalIterator>
+        ]);
+        let mut it = DbIterator::new(m, 100, Nanos::ZERO, Nanos::ZERO);
+        it.seek(b"b").unwrap();
+        assert_eq!(it.key(), b"banana");
+    }
+}

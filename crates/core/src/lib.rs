@@ -1,0 +1,70 @@
+//! `noblsm` — an LSM-tree key-value store with non-blocking writes.
+//!
+//! This crate reproduces, from scratch, both a LevelDB-class storage engine
+//! and the NobLSM contribution of Dang et al. (DAC 2022): substituting the
+//! blocking `fsync`s on the critical path of major compactions with Ext4's
+//! asynchronous journal commits, tracked through two added syscalls, while
+//! preserving crash consistency.
+//!
+//! # Architecture
+//!
+//! * [`memtable`] — a skiplist-backed in-memory table.
+//! * [`wal`] — the write-ahead log (LevelDB's 32 KiB-block record format
+//!   with CRC32C).
+//! * [`sstable`] — sorted tables: prefix-compressed blocks with restart
+//!   points, a bloom filter, an index block and a fixed footer.
+//! * [`version`] — the MANIFEST-backed version set: level metadata,
+//!   compaction picking, recovery.
+//! * [`db`] — the engine: write path with LevelDB's slowdown/stop
+//!   triggers, background minor/major compactions on virtual time,
+//!   iterators, and the NobLSM mode.
+//! * [`noblsm`] — the global predecessor/successor dependency tracker and
+//!   shadow-SSTable reclamation described in §4 of the paper.
+//!
+//! All I/O flows through [`nob_ext4::Ext4Fs`] and is priced in virtual
+//! time; every public operation takes the caller's `now` and returns the
+//! instant the caller may proceed.
+//!
+//! # Examples
+//!
+//! ```
+//! use nob_ext4::{Ext4Config, Ext4Fs};
+//! use nob_sim::Nanos;
+//! use noblsm::{Db, Options, SyncMode};
+//!
+//! # fn main() -> Result<(), noblsm::DbError> {
+//! let fs = Ext4Fs::new(Ext4Config::default());
+//! let opts = Options::default().with_sync_mode(SyncMode::NobLsm);
+//! let mut db = Db::open(fs, "db", opts, Nanos::ZERO)?;
+//! let now = db.put(Nanos::ZERO, b"key", b"value")?;
+//! let (found, _now) = db.get(now, b"key")?;
+//! assert_eq!(found.as_deref(), Some(&b"value"[..]));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod db;
+pub mod iterator;
+pub mod memtable;
+pub mod noblsm;
+pub mod sstable;
+pub mod version;
+pub mod wal;
+
+mod cache;
+mod compaction;
+mod error;
+mod options;
+mod stats;
+mod types;
+pub mod util;
+
+pub use db::{Db, Snapshot, WriteBatch};
+pub use iterator::DbIterator;
+pub use error::DbError;
+pub use options::{CompactionStyle, CompressionType, CpuCosts, Options, SyncMode, WriteOptions};
+pub use stats::{DbStats, LevelCompactionStats};
+pub use types::{InternalKey, SequenceNumber, ValueType};
+
+/// Convenient alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, DbError>;

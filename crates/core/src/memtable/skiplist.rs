@@ -1,0 +1,329 @@
+//! A deterministic skiplist over encoded internal keys.
+//!
+//! Nodes live in a `Vec` arena and link by index, avoiding unsafe code.
+//! Heights are drawn from a seeded RNG so runs are reproducible.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::types::compare_internal;
+
+const MAX_HEIGHT: usize = 12;
+const BRANCHING: u32 = 4;
+
+#[derive(Debug)]
+struct Node {
+    key: Vec<u8>,
+    value: Vec<u8>,
+    /// next[i] = arena index of the next node at level i (0 = head slot).
+    next: Vec<usize>,
+}
+
+/// An ordered map from encoded internal keys to values.
+///
+/// Keys are compared with the internal-key comparator (user key ascending,
+/// sequence descending). Duplicate internal keys are not expected (the
+/// engine assigns unique sequence numbers); a duplicate insert simply adds
+/// a second node adjacent to the first.
+#[derive(Debug)]
+pub struct SkipList {
+    /// arena[0] is the head sentinel.
+    arena: Vec<Node>,
+    height: usize,
+    len: usize,
+    rng: SmallRng,
+}
+
+impl SkipList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        SkipList {
+            arena: vec![Node { key: Vec::new(), value: Vec::new(), next: vec![0; MAX_HEIGHT] }],
+            height: 1,
+            len: 0,
+            rng: SmallRng::seed_from_u64(0x5eed_1357),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn random_height(&mut self) -> usize {
+        let mut h = 1;
+        while h < MAX_HEIGHT && self.rng.gen_ratio(1, BRANCHING) {
+            h += 1;
+        }
+        h
+    }
+
+    /// Finds, per level, the last node with key < `key`.
+    fn find_prevs(&self, key: &[u8]) -> [usize; MAX_HEIGHT] {
+        let mut prevs = [0usize; MAX_HEIGHT];
+        let mut x = 0usize; // head
+        for level in (0..self.height).rev() {
+            loop {
+                let nxt = self.arena[x].next[level];
+                if nxt != 0 && compare_internal(&self.arena[nxt].key, key).is_lt() {
+                    x = nxt;
+                } else {
+                    break;
+                }
+            }
+            prevs[level] = x;
+        }
+        prevs
+    }
+
+    /// Inserts an entry.
+    pub fn insert(&mut self, key: Vec<u8>, value: Vec<u8>) {
+        let prevs = self.find_prevs(&key);
+        let h = self.random_height();
+        if h > self.height {
+            self.height = h;
+        }
+        let idx = self.arena.len();
+        let mut next = vec![0usize; h];
+        for (level, slot) in next.iter_mut().enumerate() {
+            let p = prevs[level];
+            *slot = self.arena[p].next[level];
+        }
+        self.arena.push(Node { key, value, next });
+        for level in 0..h {
+            let p = prevs[level];
+            self.arena[p].next[level] = idx;
+        }
+        self.len += 1;
+    }
+
+    /// The first entry with key >= `target`, if any.
+    pub fn seek(&self, target: &[u8]) -> Option<(&[u8], &[u8])> {
+        let prevs = self.find_prevs(target);
+        let idx = self.arena[prevs[0]].next[0];
+        if idx == 0 {
+            None
+        } else {
+            let n = &self.arena[idx];
+            Some((&n.key, &n.value))
+        }
+    }
+
+    /// Iterates entries in key order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { list: self, idx: self.arena[0].next[0] }
+    }
+
+    /// Creates a positionable cursor (initially invalid).
+    pub fn cursor(&self) -> Cursor<'_> {
+        Cursor { list: self, idx: 0 }
+    }
+
+    /// Index of the last node (0 when empty).
+    fn find_last(&self) -> usize {
+        let mut x = 0usize;
+        for level in (0..self.height).rev() {
+            loop {
+                let nxt = self.arena[x].next[level];
+                if nxt != 0 {
+                    x = nxt;
+                } else {
+                    break;
+                }
+            }
+        }
+        x
+    }
+}
+
+/// A positionable cursor over a [`SkipList`]; index 0 (the head sentinel)
+/// means "invalid".
+#[derive(Debug, Clone)]
+pub struct Cursor<'a> {
+    list: &'a SkipList,
+    idx: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Whether the cursor points at an entry.
+    pub fn valid(&self) -> bool {
+        self.idx != 0
+    }
+
+    /// Positions at the first entry.
+    pub fn seek_to_first(&mut self) {
+        self.idx = self.list.arena[0].next[0];
+    }
+
+    /// Positions at the first entry with key ≥ `target`.
+    pub fn seek(&mut self, target: &[u8]) {
+        let prevs = self.list.find_prevs(target);
+        self.idx = self.list.arena[prevs[0]].next[0];
+    }
+
+    /// Advances one entry (no-op when invalid).
+    pub fn next(&mut self) {
+        if self.idx != 0 {
+            self.idx = self.list.arena[self.idx].next[0];
+        }
+    }
+
+    /// Positions at the last entry.
+    pub fn seek_to_last(&mut self) {
+        self.idx = self.list.find_last();
+    }
+
+    /// Steps back to the previous entry (invalid before the first).
+    pub fn prev(&mut self) {
+        if self.idx == 0 {
+            return;
+        }
+        let key = &self.list.arena[self.idx].key;
+        let prevs = self.list.find_prevs(key);
+        // find_prevs yields the last node with key < current at level 0;
+        // equal keys cannot occur (sequence numbers are unique).
+        self.idx = prevs[0];
+    }
+
+    /// The current key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cursor is not [`valid`](Cursor::valid).
+    pub fn key(&self) -> &'a [u8] {
+        assert!(self.valid(), "cursor not valid");
+        &self.list.arena[self.idx].key
+    }
+
+    /// The current value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cursor is not [`valid`](Cursor::valid).
+    pub fn value(&self) -> &'a [u8] {
+        assert!(self.valid(), "cursor not valid");
+        &self.list.arena[self.idx].value
+    }
+}
+
+impl Default for SkipList {
+    fn default() -> Self {
+        SkipList::new()
+    }
+}
+
+/// Iterator over a [`SkipList`] in key order.
+#[derive(Debug)]
+pub struct Iter<'a> {
+    list: &'a SkipList,
+    idx: usize,
+}
+
+impl<'a> Iterator for Iter<'a> {
+    type Item = (&'a [u8], &'a [u8]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.idx == 0 {
+            return None;
+        }
+        let n = &self.list.arena[self.idx];
+        self.idx = n.next[0];
+        Some((&n.key, &n.value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InternalKey, ValueType};
+
+    fn ik(key: &str, seq: u64) -> Vec<u8> {
+        InternalKey::new(key.as_bytes(), seq, ValueType::Value).as_bytes().to_vec()
+    }
+
+    #[test]
+    fn insert_and_iterate_sorted() {
+        let mut l = SkipList::new();
+        for (k, s) in [("d", 4), ("a", 1), ("c", 3), ("b", 2)] {
+            l.insert(ik(k, s), vec![]);
+        }
+        let keys: Vec<Vec<u8>> = l.iter().map(|(k, _)| k.to_vec()).collect();
+        assert_eq!(keys.len(), 4);
+        for w in keys.windows(2) {
+            assert!(compare_internal(&w[0], &w[1]).is_lt());
+        }
+    }
+
+    #[test]
+    fn seek_finds_first_at_or_after() {
+        let mut l = SkipList::new();
+        l.insert(ik("b", 1), b"vb".to_vec());
+        l.insert(ik("d", 1), b"vd".to_vec());
+        let (k, v) = l.seek(&ik("c", u64::MAX >> 8)).unwrap();
+        assert_eq!(crate::types::user_key(k), b"d");
+        assert_eq!(v, b"vd");
+        assert!(l.seek(&ik("e", 1)).is_none());
+    }
+
+    #[test]
+    fn large_insert_stays_sorted_against_model() {
+        use std::collections::BTreeMap;
+        let mut l = SkipList::new();
+        let mut model = BTreeMap::new();
+        let mut state = 12345u64;
+        for i in 0..2000u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = format!("key{:05}", state % 500);
+            l.insert(ik(&key, i), i.to_le_bytes().to_vec());
+            model.insert((key, u64::MAX - i), i);
+        }
+        assert_eq!(l.len(), 2000);
+        let got: Vec<(String, u64)> = l
+            .iter()
+            .map(|(k, _)| {
+                (
+                    String::from_utf8(crate::types::user_key(k).to_vec()).unwrap(),
+                    u64::MAX - crate::types::sequence_of(k),
+                )
+            })
+            .collect();
+        let want: Vec<(String, u64)> = model.keys().cloned().collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn cursor_walks_backwards() {
+        let mut l = SkipList::new();
+        for i in 0..50u64 {
+            l.insert(ik(&format!("{i:03}"), i + 1), vec![i as u8]);
+        }
+        let mut c = l.cursor();
+        c.seek_to_last();
+        for i in (0..50u64).rev() {
+            assert!(c.valid());
+            assert_eq!(c.value(), &[i as u8]);
+            c.prev();
+        }
+        assert!(!c.valid());
+        // prev on invalid stays invalid.
+        c.prev();
+        assert!(!c.valid());
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let build = || {
+            let mut l = SkipList::new();
+            for i in 0..100u64 {
+                l.insert(ik(&format!("{i:03}"), i), vec![]);
+            }
+            l.arena.iter().map(|n| n.next.len()).collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build(), "heights must be reproducible");
+    }
+}

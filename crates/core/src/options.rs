@@ -1,0 +1,265 @@
+//! Engine configuration: sync discipline, compaction style, sizes, CPU
+//! cost model.
+
+use nob_sim::Nanos;
+
+/// When the engine calls `fsync`/`fdatasync`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyncMode {
+    /// LevelDB: sync every new SSTable (minor and major) and the MANIFEST
+    /// on each version change, before deleting obsolete files.
+    Always,
+    /// The paper's "volatile" LevelDB: no syncs at all (no crash
+    /// consistency — used only for motivation experiments).
+    Never,
+    /// NobLSM: sync only the `L0` SSTable of each minor compaction; major
+    /// compactions rely on Ext4's asynchronous commits, tracked via
+    /// `check_commit`/`is_committed`, with predecessors retained as
+    /// shadows until all successors commit.
+    NobLsm,
+}
+
+/// The structural compaction model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompactionStyle {
+    /// LevelDB's leveled compaction: levels `L1+` hold non-overlapping
+    /// files; a major compaction merges parent files with all overlapping
+    /// child files.
+    Leveled,
+    /// A PebblesDB-like fragmented LSM: major compactions push parent
+    /// files down *without* rewriting resident child files, so levels may
+    /// hold overlapping files (guards); reads consult every overlapping
+    /// file; overcrowded levels are consolidated in place.
+    Fragmented,
+}
+
+/// Block compression applied by the table builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CompressionType {
+    /// Store blocks raw (the harness default: benchmark values are
+    /// pseudo-random and incompressible, as in the paper's db_bench use).
+    #[default]
+    None,
+    /// Run-length compression (a stand-in for LevelDB's snappy): blocks
+    /// that shrink are stored compressed; incompressible blocks stay raw,
+    /// exactly like snappy's fallback.
+    Rle,
+}
+
+/// Per-operation CPU costs charged to the virtual clock.
+///
+/// These model the host-side work that the paper's microsecond-scale
+/// figures include alongside device time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuCosts {
+    /// Fixed cost of a `put`/`delete` (WAL encode + memtable insert).
+    pub put: Nanos,
+    /// Fixed cost of a `get` (memtable probe + version walk).
+    pub get: Nanos,
+    /// Cost per SSTable probed during a `get` (index + bloom checks).
+    pub table_probe: Nanos,
+    /// Cost of advancing an iterator one entry.
+    pub next: Nanos,
+    /// Cost per KiB of block parsed or built.
+    pub block_per_kib: Nanos,
+}
+
+impl Default for CpuCosts {
+    fn default() -> Self {
+        CpuCosts {
+            put: Nanos::from_nanos(4_000),
+            get: Nanos::from_nanos(2_500),
+            table_probe: Nanos::from_nanos(1_000),
+            next: Nanos::from_nanos(400),
+            block_per_kib: Nanos::from_nanos(150),
+        }
+    }
+}
+
+/// Per-write options (mirrors LevelDB's `WriteOptions`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WriteOptions {
+    /// Whether to fsync the WAL after this write. LevelDB's default — and
+    /// the setting used throughout the paper — is `false`, which is why
+    /// log tails can break on power loss.
+    pub sync: bool,
+}
+
+/// Engine configuration.
+///
+/// # Examples
+///
+/// ```
+/// use noblsm::{Options, SyncMode};
+///
+/// let opts = Options::default()
+///     .with_sync_mode(SyncMode::NobLsm)
+///     .with_table_size(64 << 20);
+/// assert_eq!(opts.table_size, 64 << 20);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Options {
+    /// Target size of one SSTable (the paper evaluates 2 MB and 64 MB).
+    pub table_size: u64,
+    /// Memtable capacity; a full memtable triggers a minor compaction.
+    pub write_buffer_size: u64,
+    /// Uncompressed data-block size.
+    pub block_size: usize,
+    /// Keys between restart points within a block.
+    pub block_restart_interval: usize,
+    /// Bloom filter bits per key (0 disables the filter).
+    pub bloom_bits_per_key: usize,
+    /// Block compression.
+    pub compression: CompressionType,
+    /// Capacity of the block cache in bytes.
+    pub block_cache_bytes: u64,
+    /// `L0` file count that triggers a compaction.
+    pub l0_compaction_trigger: usize,
+    /// `L0` file count at which writes are slowed by `slowdown_delay`.
+    pub l0_slowdown_trigger: usize,
+    /// `L0` file count at which writes stop until compaction catches up.
+    pub l0_stop_trigger: usize,
+    /// Byte budget of `L1`; each deeper level is `level_multiplier`×.
+    pub level1_max_bytes: u64,
+    /// Growth factor between adjacent levels.
+    pub level_multiplier: u64,
+    /// Number of on-disk levels.
+    pub max_levels: usize,
+    /// Sync discipline.
+    pub sync_mode: SyncMode,
+    /// Structural compaction model.
+    pub style: CompactionStyle,
+    /// Parallel background compaction lanes (1 = LevelDB's single thread).
+    pub compaction_lanes: usize,
+    /// Whether read-triggered (seek) compactions are enabled.
+    pub seek_compaction: bool,
+    /// BoLT: bundle all outputs of one major compaction into a single
+    /// physical file synced once; logical tables address into it.
+    pub grouped_output: bool,
+    /// L2SM: divert recently-hot keys to a parent-level hot table during
+    /// major compactions instead of pushing them down.
+    pub hot_cold: bool,
+    /// NobLSM's reclamation-poll interval (matched to the Ext4 commit
+    /// interval in the paper).
+    pub reclaim_interval: Nanos,
+    /// Foreground delay injected per write while `L0` is at the slowdown
+    /// threshold.
+    pub slowdown_delay: Nanos,
+    /// CPU cost model.
+    pub cpu: CpuCosts,
+    /// Additional per-operation CPU charged on every put and get. The
+    /// baseline models use this for measured real-system overheads that
+    /// the structural simulation does not produce by itself (guard
+    /// maintenance, logical-SSTable indirection, fine-grained locking).
+    pub extra_op_cpu: Nanos,
+}
+
+impl Options {
+    /// LevelDB-flavoured defaults (2 MB tables, sync always, one lane).
+    pub fn new() -> Self {
+        Options {
+            table_size: 2 << 20,
+            write_buffer_size: 2 << 20,
+            block_size: 4096,
+            block_restart_interval: 16,
+            bloom_bits_per_key: 10,
+            compression: CompressionType::None,
+            block_cache_bytes: 8 << 20,
+            l0_compaction_trigger: 4,
+            l0_slowdown_trigger: 8,
+            l0_stop_trigger: 12,
+            level1_max_bytes: 10 << 20,
+            level_multiplier: 10,
+            max_levels: 7,
+            sync_mode: SyncMode::Always,
+            style: CompactionStyle::Leveled,
+            compaction_lanes: 1,
+            seek_compaction: true,
+            grouped_output: false,
+            hot_cold: false,
+            reclaim_interval: Nanos::from_secs(5),
+            slowdown_delay: Nanos::from_millis(1),
+            cpu: CpuCosts::default(),
+            extra_op_cpu: Nanos::ZERO,
+        }
+    }
+
+    /// Sets the sync discipline.
+    pub fn with_sync_mode(mut self, mode: SyncMode) -> Self {
+        self.sync_mode = mode;
+        self
+    }
+
+    /// Sets both the SSTable target size and the memtable size (the paper
+    /// ties them together: "we set the SSTable in 64 MB").
+    pub fn with_table_size(mut self, bytes: u64) -> Self {
+        self.table_size = bytes;
+        self.write_buffer_size = bytes;
+        self
+    }
+
+    /// Sets the structural compaction model.
+    pub fn with_style(mut self, style: CompactionStyle) -> Self {
+        self.style = style;
+        self
+    }
+
+    /// Sets the number of parallel compaction lanes.
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        assert!(lanes >= 1, "at least one compaction lane is required");
+        self.compaction_lanes = lanes;
+        self
+    }
+
+    /// Byte budget of level `n` (`n >= 1`).
+    pub fn max_bytes_for_level(&self, level: usize) -> u64 {
+        debug_assert!(level >= 1);
+        let mut bytes = self.level1_max_bytes;
+        for _ in 1..level {
+            bytes = bytes.saturating_mul(self.level_multiplier);
+        }
+        bytes
+    }
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_leveldb() {
+        let o = Options::default();
+        assert_eq!(o.table_size, 2 << 20);
+        assert_eq!(o.l0_compaction_trigger, 4);
+        assert_eq!(o.l0_slowdown_trigger, 8);
+        assert_eq!(o.l0_stop_trigger, 12);
+        assert_eq!(o.sync_mode, SyncMode::Always);
+        assert_eq!(o.compaction_lanes, 1);
+    }
+
+    #[test]
+    fn level_budgets_grow_by_multiplier() {
+        let o = Options::default();
+        assert_eq!(o.max_bytes_for_level(1), 10 << 20);
+        assert_eq!(o.max_bytes_for_level(2), 100 << 20);
+        assert_eq!(o.max_bytes_for_level(3), 1000 << 20);
+    }
+
+    #[test]
+    fn with_table_size_ties_memtable() {
+        let o = Options::default().with_table_size(64 << 20);
+        assert_eq!(o.write_buffer_size, 64 << 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_lanes_rejected() {
+        let _ = Options::default().with_lanes(0);
+    }
+}

@@ -1,0 +1,514 @@
+//! Prefix-compressed blocks with restart points.
+
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+use crate::types::compare_internal;
+use crate::util::{crc32c, crc32c_masked, crc32c_unmask, decode_u32, encode_u32};
+use crate::{DbError, Result};
+
+/// Size of a block trailer: compression type (1) + masked CRC (4).
+pub(crate) const BLOCK_TRAILER_SIZE: usize = 5;
+
+/// Builds one block: entries with shared-prefix compression, restart
+/// points every `restart_interval` keys, and a restart array at the end.
+///
+/// Keys must be added in strictly increasing internal-key order.
+///
+/// # Examples
+///
+/// ```
+/// use noblsm::sstable::{Block, BlockBuilder};
+/// use noblsm::{InternalKey, ValueType};
+///
+/// let mut b = BlockBuilder::new(16);
+/// let k = InternalKey::new(b"key", 1, ValueType::Value);
+/// b.add(k.as_bytes(), b"value");
+/// let block = Block::parse(b.finish_without_trailer()).unwrap();
+/// let mut it = block.iter();
+/// it.seek_to_first();
+/// assert!(it.valid());
+/// assert_eq!(it.value(), b"value");
+/// ```
+#[derive(Debug)]
+pub struct BlockBuilder {
+    buf: Vec<u8>,
+    restarts: Vec<u32>,
+    counter: usize,
+    restart_interval: usize,
+    last_key: Vec<u8>,
+    entries: usize,
+}
+
+impl BlockBuilder {
+    /// Creates a builder with the given restart interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `restart_interval` is zero.
+    pub fn new(restart_interval: usize) -> Self {
+        assert!(restart_interval >= 1, "restart interval must be positive");
+        BlockBuilder {
+            buf: Vec::new(),
+            restarts: vec![0],
+            counter: 0,
+            restart_interval,
+            last_key: Vec::new(),
+            entries: 0,
+        }
+    }
+
+    /// Appends an entry. Keys must arrive in increasing order.
+    pub fn add(&mut self, key: &[u8], value: &[u8]) {
+        debug_assert!(
+            self.entries == 0 || compare_internal(&self.last_key, key).is_lt(),
+            "keys must be added in strictly increasing order"
+        );
+        let shared = if self.counter < self.restart_interval {
+            common_prefix(&self.last_key, key)
+        } else {
+            self.restarts.push(self.buf.len() as u32);
+            self.counter = 0;
+            0
+        };
+        encode_u32(&mut self.buf, shared as u32);
+        encode_u32(&mut self.buf, (key.len() - shared) as u32);
+        encode_u32(&mut self.buf, value.len() as u32);
+        self.buf.extend_from_slice(&key[shared..]);
+        self.buf.extend_from_slice(value);
+        self.last_key = key.to_vec();
+        self.counter += 1;
+        self.entries += 1;
+    }
+
+    /// Current encoded size estimate (including the restart array).
+    pub fn size_estimate(&self) -> usize {
+        self.buf.len() + self.restarts.len() * 4 + 4
+    }
+
+    /// Number of entries added.
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+
+    /// Whether no entries have been added.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Finishes the block payload (no trailer): entries ++ restart array ++
+    /// restart count.
+    pub fn finish_without_trailer(mut self) -> Vec<u8> {
+        for r in &self.restarts {
+            self.buf.extend_from_slice(&r.to_le_bytes());
+        }
+        self.buf.extend_from_slice(&(self.restarts.len() as u32).to_le_bytes());
+        self.buf
+    }
+
+    /// Finishes the block with its `type + masked CRC` trailer appended.
+    pub fn finish(self) -> Vec<u8> {
+        let mut payload = self.finish_without_trailer();
+        append_trailer(&mut payload);
+        payload
+    }
+}
+
+fn common_prefix(a: &[u8], b: &[u8]) -> usize {
+    a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count()
+}
+
+/// Appends the 5-byte trailer (compression type 0 + masked CRC) in place.
+pub(crate) fn append_trailer(payload: &mut Vec<u8>) {
+    append_trailer_typed(payload, 0);
+}
+
+/// Appends the trailer with an explicit compression-type byte
+/// (0 = raw, 1 = RLE).
+pub(crate) fn append_trailer_typed(payload: &mut Vec<u8>, compression: u8) {
+    payload.push(compression);
+    let crc = crc32c_masked(payload);
+    payload.extend_from_slice(&crc.to_le_bytes());
+}
+
+/// Verifies and strips a block trailer, decompressing if the type byte
+/// says so.
+///
+/// # Errors
+///
+/// Returns [`DbError::Corruption`] on checksum mismatch, short input, or
+/// undecodable compressed payload.
+pub(crate) fn strip_trailer(mut data: Vec<u8>) -> Result<Vec<u8>> {
+    if data.len() < BLOCK_TRAILER_SIZE {
+        return Err(DbError::Corruption("block shorter than trailer".into()));
+    }
+    let crc_pos = data.len() - 4;
+    let stored = u32::from_le_bytes(data[crc_pos..].try_into().expect("4 bytes"));
+    let body = &data[..crc_pos];
+    if crc32c(body) != crc32c_unmask(stored) {
+        return Err(DbError::Corruption("block checksum mismatch".into()));
+    }
+    let compression = data[crc_pos - 1];
+    data.truncate(crc_pos - 1); // drop type byte too
+    match compression {
+        0 => Ok(data),
+        1 => crate::util::rle::decompress(&data)
+            .ok_or_else(|| DbError::Corruption("undecodable compressed block".into())),
+        other => Err(DbError::Corruption(format!("unknown compression type {other}"))),
+    }
+}
+
+/// A parsed, immutable block.
+#[derive(Debug)]
+pub struct Block {
+    data: Vec<u8>,
+    restarts: Vec<u32>,
+}
+
+impl Block {
+    /// Parses a block payload (without trailer).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Corruption`] if the restart array is malformed.
+    pub fn parse(data: Vec<u8>) -> Result<Arc<Block>> {
+        if data.len() < 4 {
+            return Err(DbError::Corruption("block too small".into()));
+        }
+        let n_restarts =
+            u32::from_le_bytes(data[data.len() - 4..].try_into().expect("4 bytes")) as usize;
+        let restart_bytes = n_restarts
+            .checked_mul(4)
+            .and_then(|b| b.checked_add(4))
+            .ok_or_else(|| DbError::Corruption("restart count overflow".into()))?;
+        if restart_bytes > data.len() {
+            return Err(DbError::Corruption("restart array exceeds block".into()));
+        }
+        let restart_start = data.len() - restart_bytes;
+        let mut restarts = Vec::with_capacity(n_restarts);
+        for i in 0..n_restarts {
+            let off = restart_start + i * 4;
+            restarts.push(u32::from_le_bytes(data[off..off + 4].try_into().expect("4 bytes")));
+        }
+        let mut data = data;
+        data.truncate(restart_start);
+        Ok(Arc::new(Block { data, restarts }))
+    }
+
+    /// In-memory footprint, for cache accounting.
+    pub fn bytes(&self) -> usize {
+        self.data.len() + self.restarts.len() * 4
+    }
+
+    /// Creates an iterator positioned before the first entry.
+    pub fn iter(self: &Arc<Block>) -> BlockIter {
+        BlockIter {
+            block: Arc::clone(self),
+            pos: usize::MAX,
+            key: Vec::new(),
+            value_range: (0, 0),
+        }
+    }
+
+    /// Decodes the entry at byte offset `pos`; returns
+    /// `(next_pos, shared, non_shared_range, value_range)`.
+    fn decode_entry(&self, pos: usize) -> Option<(usize, usize, (usize, usize), (usize, usize))> {
+        if pos >= self.data.len() {
+            return None;
+        }
+        let mut p = pos;
+        let shared = decode_u32(&self.data, &mut p)? as usize;
+        let non_shared = decode_u32(&self.data, &mut p)? as usize;
+        let value_len = decode_u32(&self.data, &mut p)? as usize;
+        let key_start = p;
+        let value_start = key_start.checked_add(non_shared)?;
+        let next = value_start.checked_add(value_len)?;
+        if next > self.data.len() {
+            return None;
+        }
+        Some((next, shared, (key_start, value_start), (value_start, next)))
+    }
+}
+
+/// An iterator over one [`Block`].
+#[derive(Debug)]
+pub struct BlockIter {
+    block: Arc<Block>,
+    /// Byte offset of the current entry; `usize::MAX` = invalid.
+    pos: usize,
+    key: Vec<u8>,
+    value_range: (usize, usize),
+}
+
+impl BlockIter {
+    /// Whether the iterator points at an entry.
+    pub fn valid(&self) -> bool {
+        self.pos != usize::MAX
+    }
+
+    /// The current internal key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator is not [`valid`](BlockIter::valid).
+    pub fn key(&self) -> &[u8] {
+        assert!(self.valid(), "iterator not valid");
+        &self.key
+    }
+
+    /// The current value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator is not [`valid`](BlockIter::valid).
+    pub fn value(&self) -> &[u8] {
+        assert!(self.valid(), "iterator not valid");
+        &self.block.data[self.value_range.0..self.value_range.1]
+    }
+
+    /// Positions at the first entry.
+    pub fn seek_to_first(&mut self) {
+        self.seek_to_restart(0);
+    }
+
+    fn seek_to_restart(&mut self, r: usize) {
+        self.key.clear();
+        if r >= self.block.restarts.len() {
+            self.pos = usize::MAX;
+            return;
+        }
+        self.advance_from(self.block.restarts[r] as usize);
+    }
+
+    /// Moves to the entry starting at byte `pos` (key prefix must already
+    /// be correct for that position).
+    fn advance_from(&mut self, pos: usize) {
+        match self.block.decode_entry(pos) {
+            Some((_next, shared, key_r, value_r)) => {
+                self.key.truncate(shared);
+                self.key.extend_from_slice(&self.block.data[key_r.0..key_r.1]);
+                self.value_range = value_r;
+                self.pos = pos;
+            }
+            None => self.pos = usize::MAX,
+        }
+    }
+
+    /// Advances to the next entry.
+    pub fn next(&mut self) {
+        if !self.valid() {
+            return;
+        }
+        let (next, ..) = self.block.decode_entry(self.pos).expect("valid position decodes");
+        self.advance_from(next);
+    }
+
+    /// Positions at the last entry of the block.
+    pub fn seek_to_last(&mut self) {
+        if self.block.restarts.is_empty() {
+            self.pos = usize::MAX;
+            return;
+        }
+        self.seek_to_restart(self.block.restarts.len() - 1);
+        if !self.valid() {
+            // The final restart may point at the block end (no entries).
+            if self.block.restarts.len() >= 2 {
+                self.seek_to_restart(self.block.restarts.len() - 2);
+            }
+            if !self.valid() {
+                return;
+            }
+        }
+        loop {
+            let (next, ..) = self.block.decode_entry(self.pos).expect("valid position");
+            if self.block.decode_entry(next).is_none() {
+                return; // current is the last entry
+            }
+            self.advance_from(next);
+        }
+    }
+
+    /// Steps back to the previous entry (invalid before the first entry).
+    pub fn prev(&mut self) {
+        if !self.valid() {
+            return;
+        }
+        let target = self.pos;
+        // The last restart strictly before the current entry.
+        let idx = self.block.restarts.partition_point(|&off| (off as usize) < target);
+        if idx == 0 {
+            self.pos = usize::MAX;
+            return;
+        }
+        self.seek_to_restart(idx - 1);
+        loop {
+            let (next, ..) = self.block.decode_entry(self.pos).expect("valid position");
+            if next >= target {
+                return; // current is the entry just before `target`
+            }
+            self.advance_from(next);
+        }
+    }
+
+    /// Positions at the first entry with key >= `target`.
+    pub fn seek(&mut self, target: &[u8]) {
+        // Binary search the restart array for the last restart whose key
+        // is < target.
+        let (mut lo, mut hi) = (0usize, self.block.restarts.len());
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            let pos = self.block.restarts[mid] as usize;
+            // Restart entries have shared == 0, so the stored key is full.
+            let Some((_, _, key_r, _)) = self.block.decode_entry(pos) else {
+                hi = mid;
+                continue;
+            };
+            let key = &self.block.data[key_r.0..key_r.1];
+            match compare_internal(key, target) {
+                Ordering::Less => lo = mid,
+                _ => hi = mid,
+            }
+        }
+        self.seek_to_restart(lo);
+        while self.valid() && compare_internal(&self.key, target) == Ordering::Less {
+            self.next();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InternalKey, ValueType};
+
+    fn ik(key: &str, seq: u64) -> Vec<u8> {
+        InternalKey::new(key.as_bytes(), seq, ValueType::Value).as_bytes().to_vec()
+    }
+
+    fn build(entries: &[(&str, u64, &str)]) -> Arc<Block> {
+        let mut b = BlockBuilder::new(3);
+        for (k, s, v) in entries {
+            b.add(&ik(k, *s), v.as_bytes());
+        }
+        Block::parse(b.finish_without_trailer()).unwrap()
+    }
+
+    #[test]
+    fn iterate_all_entries_in_order() {
+        let entries: Vec<(String, u64, String)> =
+            (0..50).map(|i| (format!("key{i:03}"), 1u64, format!("v{i}"))).collect();
+        let mut b = BlockBuilder::new(4);
+        for (k, s, v) in &entries {
+            b.add(&ik(k, *s), v.as_bytes());
+        }
+        let block = Block::parse(b.finish_without_trailer()).unwrap();
+        let mut it = block.iter();
+        it.seek_to_first();
+        for (k, s, v) in &entries {
+            assert!(it.valid());
+            assert_eq!(it.key(), ik(k, *s).as_slice());
+            assert_eq!(it.value(), v.as_bytes());
+            it.next();
+        }
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn seek_lands_on_or_after_target() {
+        let block = build(&[("b", 9, "1"), ("d", 9, "2"), ("f", 9, "3")]);
+        let mut it = block.iter();
+        it.seek(&ik("c", u64::MAX >> 9));
+        assert!(it.valid());
+        assert_eq!(crate::types::user_key(it.key()), b"d");
+        it.seek(&ik("b", 9));
+        assert_eq!(it.value(), b"1");
+        it.seek(&ik("g", 9));
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn seek_respects_sequence_ordering() {
+        // Same user key, descending sequences.
+        let block = build(&[("k", 30, "new"), ("k", 20, "mid"), ("k", 10, "old")]);
+        let mut it = block.iter();
+        // Lookup at snapshot 25 must land on the seq-20 entry.
+        it.seek(InternalKey::new(b"k", 25, ValueType::Value).as_bytes());
+        assert!(it.valid());
+        assert_eq!(it.value(), b"mid");
+    }
+
+    #[test]
+    fn prefix_compression_restores_keys() {
+        let block = build(&[
+            ("prefix_aaaa", 1, "1"),
+            ("prefix_aabb", 1, "2"),
+            ("prefix_abcc", 1, "3"),
+            ("prefix_b", 1, "4"),
+        ]);
+        let mut it = block.iter();
+        it.seek(&ik("prefix_abcc", 1));
+        assert_eq!(it.value(), b"3");
+        assert_eq!(crate::types::user_key(it.key()), b"prefix_abcc");
+    }
+
+    #[test]
+    fn seek_to_last_and_prev_walk_backwards() {
+        let entries: Vec<(String, u64, String)> =
+            (0..40).map(|i| (format!("key{i:03}"), 1u64, format!("v{i}"))).collect();
+        let mut b = BlockBuilder::new(3);
+        for (k, s, v) in &entries {
+            b.add(&ik(k, *s), v.as_bytes());
+        }
+        let block = Block::parse(b.finish_without_trailer()).unwrap();
+        let mut it = block.iter();
+        it.seek_to_last();
+        for (k, s, v) in entries.iter().rev() {
+            assert!(it.valid());
+            assert_eq!(it.key(), ik(k, *s).as_slice());
+            assert_eq!(it.value(), v.as_bytes());
+            it.prev();
+        }
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn prev_after_seek_brackets_target() {
+        let block = build(&[("b", 9, "1"), ("d", 9, "2"), ("f", 9, "3")]);
+        let mut it = block.iter();
+        it.seek(&ik("d", 9));
+        assert_eq!(it.value(), b"2");
+        it.prev();
+        assert_eq!(it.value(), b"1");
+        it.prev();
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn trailer_round_trip_and_corruption() {
+        let mut b = BlockBuilder::new(16);
+        b.add(&ik("a", 1), b"v");
+        let with_trailer = b.finish();
+        let stripped = strip_trailer(with_trailer.clone()).unwrap();
+        assert!(Block::parse(stripped).is_ok());
+
+        let mut corrupt = with_trailer;
+        corrupt[0] ^= 0x40;
+        assert!(matches!(strip_trailer(corrupt), Err(DbError::Corruption(_))));
+    }
+
+    #[test]
+    fn size_estimate_tracks_growth() {
+        let mut b = BlockBuilder::new(16);
+        let empty = b.size_estimate();
+        b.add(&ik("a", 1), &[0u8; 100]);
+        assert!(b.size_estimate() >= empty + 100);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Block::parse(vec![1, 2]).is_err());
+        // Restart count claims more restarts than bytes available.
+        let bad = vec![0xff, 0xff, 0xff, 0x7f];
+        assert!(Block::parse(bad).is_err());
+    }
+}

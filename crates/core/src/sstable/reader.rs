@@ -1,0 +1,447 @@
+//! Table reader: footer/index/bloom parsing, point gets, iteration.
+
+use std::sync::Arc;
+
+use nob_ext4::{Ext4Fs, FileHandle};
+use nob_sim::Nanos;
+
+use crate::cache::BlockCache;
+use crate::iterator::InternalIterator;
+use crate::options::CpuCosts;
+use crate::types::{compare_internal, user_key};
+use crate::{DbError, Result};
+
+use super::block::{strip_trailer, BLOCK_TRAILER_SIZE};
+use super::{Block, BlockHandle, BlockIter, BloomFilter, Footer, FOOTER_SIZE};
+
+/// An open SSTable.
+///
+/// A `Table` may be a whole physical file or — in BoLT's grouped-output
+/// mode — a *logical* table at `base_offset` within a larger physical
+/// file. Block loads consult the shared block cache first; misses are
+/// priced as device reads on the virtual clock.
+#[derive(Debug)]
+pub struct Table {
+    fs: Ext4Fs,
+    handle: FileHandle,
+    physical_number: u64,
+    base_offset: u64,
+    index: Arc<Block>,
+    bloom: Option<BloomFilter>,
+    cache: Arc<BlockCache>,
+    cpu: CpuCosts,
+}
+
+impl Table {
+    /// Opens a (logical) table of `size` bytes at `base_offset` within the
+    /// file behind `handle`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Corruption`] on malformed footer/blocks or
+    /// [`DbError::Fs`] on filesystem errors.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn open(
+        fs: Ext4Fs,
+        handle: FileHandle,
+        physical_number: u64,
+        base_offset: u64,
+        size: u64,
+        cache: Arc<BlockCache>,
+        cpu: CpuCosts,
+        now: &mut Nanos,
+    ) -> Result<Table> {
+        if size < FOOTER_SIZE as u64 {
+            return Err(DbError::Corruption("table smaller than footer".into()));
+        }
+        let (footer_bytes, t) =
+            fs.read_exact_at(handle, base_offset + size - FOOTER_SIZE as u64, FOOTER_SIZE as u64, *now)?;
+        *now = t;
+        let footer = Footer::decode(&footer_bytes)?;
+        let index = {
+            let (bytes, t) = fs.read_exact_at(
+                handle,
+                base_offset + footer.index.offset,
+                footer.index.size + BLOCK_TRAILER_SIZE as u64,
+                *now,
+            )?;
+            *now = t + cpu.block_per_kib * (footer.index.size >> 10).max(1);
+            Block::parse(strip_trailer(bytes)?)?
+        };
+        let bloom = if footer.filter.size > 0 {
+            let (bytes, t) = fs.read_exact_at(
+                handle,
+                base_offset + footer.filter.offset,
+                footer.filter.size + BLOCK_TRAILER_SIZE as u64,
+                *now,
+            )?;
+            *now = t;
+            BloomFilter::decode(&strip_trailer(bytes)?)
+        } else {
+            None
+        };
+        Ok(Table { fs, handle, physical_number, base_offset, index, bloom, cache, cpu })
+    }
+
+    fn read_block(&self, h: BlockHandle, now: &mut Nanos) -> Result<Arc<Block>> {
+        let key = (self.physical_number, self.base_offset + h.offset);
+        if let Some(b) = self.cache.get(key) {
+            return Ok(b);
+        }
+        let (bytes, t) = self.fs.read_exact_at(
+            self.handle,
+            self.base_offset + h.offset,
+            h.size + BLOCK_TRAILER_SIZE as u64,
+            *now,
+        )?;
+        *now = t + self.cpu.block_per_kib * (h.size >> 10).max(1);
+        let block = Block::parse(strip_trailer(bytes)?)?;
+        self.cache.insert(key, Arc::clone(&block));
+        Ok(block)
+    }
+
+    /// Point lookup: the first entry at or after the probe internal key
+    /// whose user key equals the probe's, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Corruption`] or [`DbError::Fs`] on read failures.
+    pub(crate) fn get(
+        &self,
+        probe: &[u8],
+        now: &mut Nanos,
+    ) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
+        *now += self.cpu.table_probe;
+        if let Some(bloom) = &self.bloom {
+            if !bloom.may_contain(user_key(probe)) {
+                return Ok(None);
+            }
+        }
+        let mut index_iter = self.index.iter();
+        index_iter.seek(probe);
+        if !index_iter.valid() {
+            return Ok(None);
+        }
+        let mut pos = 0;
+        let handle = BlockHandle::decode_from(index_iter.value(), &mut pos)?;
+        let block = self.read_block(handle, now)?;
+        let mut it = block.iter();
+        it.seek(probe);
+        if it.valid() && user_key(it.key()) == user_key(probe) {
+            Ok(Some((it.key().to_vec(), it.value().to_vec())))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Creates an iterator over this table.
+    pub(crate) fn iter(self: &Arc<Self>) -> TableIter {
+        TableIter { table: Arc::clone(self), index_iter: self.index.iter(), data_iter: None }
+    }
+}
+
+/// A two-level iterator over one [`Table`].
+#[derive(Debug)]
+pub struct TableIter {
+    table: Arc<Table>,
+    index_iter: BlockIter,
+    data_iter: Option<BlockIter>,
+}
+
+impl TableIter {
+    fn load_current_data_block(&mut self, now: &mut Nanos) -> Result<()> {
+        if !self.index_iter.valid() {
+            self.data_iter = None;
+            return Ok(());
+        }
+        let mut pos = 0;
+        let handle = BlockHandle::decode_from(self.index_iter.value(), &mut pos)?;
+        let block = self.table.read_block(handle, now)?;
+        self.data_iter = Some(block.iter());
+        Ok(())
+    }
+
+    /// Advances past exhausted data blocks.
+    fn skip_empty_forward(&mut self, now: &mut Nanos) -> Result<()> {
+        while self.data_iter.as_ref().is_some_and(|d| !d.valid()) {
+            self.index_iter.next();
+            self.load_current_data_block(now)?;
+            if let Some(d) = self.data_iter.as_mut() {
+                d.seek_to_first();
+            }
+        }
+        Ok(())
+    }
+
+    /// Retreats past exhausted data blocks.
+    fn skip_empty_backward(&mut self, now: &mut Nanos) -> Result<()> {
+        while self.data_iter.as_ref().is_some_and(|d| !d.valid()) {
+            self.index_iter.prev();
+            self.load_current_data_block(now)?;
+            if let Some(d) = self.data_iter.as_mut() {
+                d.seek_to_last();
+            }
+        }
+        Ok(())
+    }
+}
+
+impl InternalIterator for TableIter {
+    fn valid(&self) -> bool {
+        self.data_iter.as_ref().is_some_and(|d| d.valid())
+    }
+
+    fn seek_to_first(&mut self, now: &mut Nanos) -> Result<()> {
+        self.index_iter.seek_to_first();
+        self.load_current_data_block(now)?;
+        if let Some(d) = self.data_iter.as_mut() {
+            d.seek_to_first();
+        }
+        self.skip_empty_forward(now)
+    }
+
+    fn seek(&mut self, target: &[u8], now: &mut Nanos) -> Result<()> {
+        self.index_iter.seek(target);
+        self.load_current_data_block(now)?;
+        if let Some(d) = self.data_iter.as_mut() {
+            d.seek(target);
+        }
+        self.skip_empty_forward(now)
+    }
+
+    fn next(&mut self, now: &mut Nanos) -> Result<()> {
+        if let Some(d) = self.data_iter.as_mut() {
+            d.next();
+        }
+        self.skip_empty_forward(now)
+    }
+
+    fn seek_to_last(&mut self, now: &mut Nanos) -> Result<()> {
+        self.index_iter.seek_to_last();
+        self.load_current_data_block(now)?;
+        if let Some(d) = self.data_iter.as_mut() {
+            d.seek_to_last();
+        }
+        self.skip_empty_backward(now)
+    }
+
+    fn prev(&mut self, now: &mut Nanos) -> Result<()> {
+        if let Some(d) = self.data_iter.as_mut() {
+            d.prev();
+        }
+        self.skip_empty_backward(now)
+    }
+
+    fn key(&self) -> &[u8] {
+        self.data_iter.as_ref().expect("valid iterator").key()
+    }
+
+    fn value(&self) -> &[u8] {
+        self.data_iter.as_ref().expect("valid iterator").value()
+    }
+}
+
+impl Table {
+    /// Test-support: point lookup (see [`Table::get`]).
+    #[doc(hidden)]
+    pub fn get_for_test(
+        &self,
+        probe: &[u8],
+        now: &mut Nanos,
+    ) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
+        self.get(probe, now)
+    }
+
+    /// Test-support: iterator (see [`Table::iter`]).
+    #[doc(hidden)]
+    pub fn iter_for_test(self: &Arc<Self>) -> TableIter {
+        self.iter()
+    }
+}
+
+/// Test-support: opens a table spanning a whole file with a private block
+/// cache.
+#[doc(hidden)]
+pub fn open_for_test(
+    fs: Ext4Fs,
+    handle: FileHandle,
+    size: u64,
+    opts: &crate::Options,
+    now: &mut Nanos,
+) -> Result<Arc<Table>> {
+    let cache = crate::cache::BlockCache::new(opts.block_cache_bytes);
+    Ok(Arc::new(Table::open(fs, handle, 1, 0, size, cache, opts.cpu, now)?))
+}
+
+/// Verifies a whole-table image round-trips (used by tests and the
+/// builder's own checks). Exposed for integration testing.
+#[doc(hidden)]
+#[allow(dead_code)] // exercised from unit tests
+pub fn verify_table_ordering(table: &Arc<Table>, now: &mut Nanos) -> Result<u64> {
+    let mut it = table.iter();
+    it.seek_to_first(now)?;
+    let mut n = 0u64;
+    let mut last: Option<Vec<u8>> = None;
+    while it.valid() {
+        if let Some(prev) = &last {
+            if compare_internal(prev, it.key()).is_ge() {
+                return Err(DbError::Corruption("table keys out of order".into()));
+            }
+        }
+        last = Some(it.key().to_vec());
+        n += 1;
+        it.next(now)?;
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sstable::TableBuilder;
+    use crate::{InternalKey, Options, ValueType};
+    use nob_ext4::{Ext4Config, Ext4Fs};
+
+    fn ik(key: &str, seq: u64) -> Vec<u8> {
+        InternalKey::new(key.as_bytes(), seq, ValueType::Value).as_bytes().to_vec()
+    }
+
+    /// Builds a table in the fs and opens it.
+    fn build_and_open(entries: &[(String, u64, String)], opts: &Options) -> (Arc<Table>, Nanos) {
+        let fs = Ext4Fs::new(Ext4Config::default());
+        let mut builder = TableBuilder::new(opts);
+        for (k, s, v) in entries {
+            builder.add(&ik(k, *s), v.as_bytes());
+        }
+        let bytes = builder.finish();
+        let h = fs.create("t.sst", Nanos::ZERO).unwrap();
+        let mut now = fs.append(h, &bytes, Nanos::ZERO).unwrap();
+        let cache = BlockCache::new(1 << 20);
+        let table = Table::open(
+            fs.clone(),
+            h,
+            1,
+            0,
+            bytes.len() as u64,
+            cache,
+            CpuCosts::default(),
+            &mut now,
+        )
+        .unwrap();
+        (Arc::new(table), now)
+    }
+
+    fn sample(n: usize) -> Vec<(String, u64, String)> {
+        (0..n).map(|i| (format!("key{i:05}"), 1u64, format!("value{i}"))).collect()
+    }
+
+    #[test]
+    fn get_finds_present_keys() {
+        let entries = sample(500);
+        let mut opts = Options::default();
+        opts.block_size = 512;
+        let (table, mut now) = build_and_open(&entries, &opts);
+        for (k, _, v) in entries.iter().step_by(37) {
+            let probe = ik(k, u64::MAX >> 9);
+            let got = table.get(&probe, &mut now).unwrap().expect("present");
+            assert_eq!(got.1, v.as_bytes());
+        }
+    }
+
+    #[test]
+    fn get_misses_absent_keys() {
+        let entries = sample(200);
+        let (table, mut now) = build_and_open(&entries, &Options::default());
+        assert!(table.get(&ik("missing", u64::MAX >> 9), &mut now).unwrap().is_none());
+        assert!(table.get(&ik("key99999", u64::MAX >> 9), &mut now).unwrap().is_none());
+    }
+
+    #[test]
+    fn iterator_walks_everything_in_order() {
+        let entries = sample(777);
+        let mut opts = Options::default();
+        opts.block_size = 300;
+        let (table, mut now) = build_and_open(&entries, &opts);
+        let n = verify_table_ordering(&table, &mut now).unwrap();
+        assert_eq!(n, 777);
+    }
+
+    #[test]
+    fn iterator_seek_mid_table() {
+        let entries = sample(100);
+        let mut opts = Options::default();
+        opts.block_size = 256;
+        let (table, mut now) = build_and_open(&entries, &opts);
+        let mut it = table.iter();
+        it.seek(&ik("key00050", u64::MAX >> 9), &mut now).unwrap();
+        assert!(it.valid());
+        assert_eq!(user_key(it.key()), b"key00050");
+        it.seek(&ik("zzz", 1), &mut now).unwrap();
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn block_cache_makes_second_read_cheap() {
+        let entries = sample(2000);
+        let mut opts = Options::default();
+        opts.block_size = 1024;
+        let (table, now0) = build_and_open(&entries, &opts);
+        // Drop the page cache so reads are device-priced on miss.
+        table.fs.drop_caches();
+        let mut now = now0;
+        let probe = ik("key01000", u64::MAX >> 9);
+        table.get(&probe, &mut now).unwrap().expect("present");
+        let cold_cost = now - now0;
+        let warm0 = now;
+        table.get(&probe, &mut now).unwrap().expect("present");
+        let warm_cost = now - warm0;
+        assert!(warm_cost < cold_cost, "cache hit must be cheaper: {warm_cost} vs {cold_cost}");
+    }
+
+    #[test]
+    fn logical_table_at_offset_works() {
+        // Two tables packed into one physical file (BoLT's layout).
+        let fs = Ext4Fs::new(Ext4Config::default());
+        let opts = Options::default();
+        let mk = |range: std::ops::Range<usize>| {
+            let mut b = TableBuilder::new(&opts);
+            for i in range {
+                b.add(&ik(&format!("key{i:05}"), 1), b"v");
+            }
+            b.finish()
+        };
+        let t1 = mk(0..50);
+        let t2 = mk(50..100);
+        let h = fs.create("bundle.sst", Nanos::ZERO).unwrap();
+        let mut now = fs.append(h, &t1, Nanos::ZERO).unwrap();
+        now = fs.append(h, &t2, now).unwrap();
+        let cache = BlockCache::new(1 << 20);
+        let table2 = Arc::new(
+            Table::open(
+                fs.clone(),
+                h,
+                7,
+                t1.len() as u64,
+                t2.len() as u64,
+                cache,
+                CpuCosts::default(),
+                &mut now,
+            )
+            .unwrap(),
+        );
+        let got = table2.get(&ik("key00075", u64::MAX >> 9), &mut now).unwrap();
+        assert!(got.is_some());
+        assert!(table2.get(&ik("key00010", u64::MAX >> 9), &mut now).unwrap().is_none());
+        assert_eq!(verify_table_ordering(&table2, &mut now).unwrap(), 50);
+    }
+
+    #[test]
+    fn corrupt_footer_fails_open() {
+        let fs = Ext4Fs::new(Ext4Config::default());
+        let h = fs.create("bad.sst", Nanos::ZERO).unwrap();
+        let mut now = fs.append(h, &[0u8; 100], Nanos::ZERO).unwrap();
+        let cache = BlockCache::new(1 << 20);
+        let err = Table::open(fs, h, 1, 0, 100, cache, CpuCosts::default(), &mut now).unwrap_err();
+        assert!(matches!(err, DbError::Corruption(_)));
+    }
+}

@@ -1,0 +1,83 @@
+//! Engine-level runtime statistics.
+
+use nob_sim::Nanos;
+
+/// Per-source-level major-compaction accounting.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LevelCompactionStats {
+    /// Major compactions whose parent was this level.
+    pub count: u64,
+    /// Input bytes read.
+    pub bytes_read: u64,
+    /// Output bytes written.
+    pub bytes_written: u64,
+    /// Total background time spent.
+    pub duration: Nanos,
+}
+
+/// Counters accumulated by a [`Db`](crate::Db).
+///
+/// Together with [`nob_ext4::FsStats`] these drive the paper's Table 1 and
+/// the per-experiment sanity columns in EXPERIMENTS.md.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct DbStats {
+    /// Completed puts/deletes.
+    pub writes: u64,
+    /// Completed gets.
+    pub gets: u64,
+    /// Gets that found a value.
+    pub hits: u64,
+    /// Minor compactions (memtable → `L0`).
+    pub minor_compactions: u64,
+    /// Major compactions (level `n` → `n+1`).
+    pub major_compactions: u64,
+    /// Major compactions triggered by read misses (seek compactions).
+    pub seek_compactions: u64,
+    /// Bytes read by compactions.
+    pub compaction_bytes_read: u64,
+    /// Bytes written by compactions.
+    pub compaction_bytes_written: u64,
+    /// Number of foreground write stalls (stop trigger or memtable wait).
+    pub stalls: u64,
+    /// Total foreground stall time.
+    pub stall_time: Nanos,
+    /// Writes delayed by the `L0` slowdown trigger.
+    pub slowdowns: u64,
+    /// SSTable files currently retained as NobLSM shadows.
+    pub shadow_files: u64,
+    /// Predecessor files reclaimed by NobLSM's poll.
+    pub reclaimed_files: u64,
+    /// Major-compaction breakdown by parent level.
+    pub per_level: Vec<LevelCompactionStats>,
+}
+
+impl DbStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        DbStats::default()
+    }
+
+    /// Write amplification so far: compaction bytes written per byte of
+    /// user write, given the user payload volume.
+    ///
+    /// Returns 0.0 when `user_bytes` is zero.
+    pub fn write_amplification(&self, user_bytes: u64) -> f64 {
+        if user_bytes == 0 {
+            0.0
+        } else {
+            self.compaction_bytes_written as f64 / user_bytes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_amplification_handles_zero() {
+        let s = DbStats { compaction_bytes_written: 100, ..DbStats::new() };
+        assert_eq!(s.write_amplification(0), 0.0);
+        assert!((s.write_amplification(50) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,8 @@
+//! Small utilities shared across the engine: CRC32C and varints.
+
+pub mod crc32c;
+pub mod rle;
+pub mod varint;
+
+pub use crc32c::{crc32c, crc32c_masked, crc32c_unmask};
+pub use varint::{decode_bytes, decode_u32, decode_u64, encode_bytes, encode_u32, encode_u64};

@@ -1,0 +1,117 @@
+//! Log record encoder.
+
+use crate::util::crc32c_masked;
+
+use super::{RecordType, BLOCK_SIZE, HEADER_SIZE};
+
+/// Encodes records into the block-structured log format.
+///
+/// The writer tracks its position within the current 32 KiB block across
+/// calls; the caller appends the returned bytes to the log file verbatim.
+///
+/// # Examples
+///
+/// ```
+/// use noblsm::wal::{LogReader, LogWriter};
+///
+/// let mut w = LogWriter::new();
+/// let bytes = w.encode_record(b"hello wal");
+/// let mut r = LogReader::new(bytes);
+/// assert_eq!(r.next_record().unwrap(), b"hello wal");
+/// ```
+#[derive(Debug, Default)]
+pub struct LogWriter {
+    block_offset: usize,
+}
+
+impl LogWriter {
+    /// Creates a writer positioned at the start of a fresh log.
+    pub fn new() -> Self {
+        LogWriter { block_offset: 0 }
+    }
+
+    /// Creates a writer resuming at `file_len` bytes (reopening a log).
+    pub fn resume_at(file_len: u64) -> Self {
+        LogWriter { block_offset: (file_len as usize) % BLOCK_SIZE }
+    }
+
+    /// Encodes one logical record, fragmenting across blocks as needed.
+    /// Returns the exact bytes to append to the log file.
+    pub fn encode_record(&mut self, payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(payload.len() + HEADER_SIZE);
+        let mut left = payload;
+        let mut begin = true;
+        loop {
+            let leftover = BLOCK_SIZE - self.block_offset;
+            if leftover < HEADER_SIZE {
+                // Pad the block tail with zeroes and switch blocks.
+                out.extend(std::iter::repeat_n(0u8, leftover));
+                self.block_offset = 0;
+            }
+            let avail = BLOCK_SIZE - self.block_offset - HEADER_SIZE;
+            let frag_len = left.len().min(avail);
+            let end = frag_len == left.len();
+            let rt = match (begin, end) {
+                (true, true) => RecordType::Full,
+                (true, false) => RecordType::First,
+                (false, true) => RecordType::Last,
+                (false, false) => RecordType::Middle,
+            };
+            let frag = &left[..frag_len];
+            // Header: masked crc of (type byte ++ payload), little endian;
+            // then length; then type.
+            let mut crc_input = Vec::with_capacity(1 + frag.len());
+            crc_input.push(rt as u8);
+            crc_input.extend_from_slice(frag);
+            let crc = crc32c_masked(&crc_input);
+            out.extend_from_slice(&crc.to_le_bytes());
+            out.extend_from_slice(&(frag_len as u16).to_le_bytes());
+            out.push(rt as u8);
+            out.extend_from_slice(frag);
+            self.block_offset += HEADER_SIZE + frag_len;
+            left = &left[frag_len..];
+            begin = false;
+            if end {
+                break;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_record_is_header_only() {
+        let mut w = LogWriter::new();
+        let bytes = w.encode_record(b"");
+        assert_eq!(bytes.len(), HEADER_SIZE);
+        assert_eq!(bytes[6], RecordType::Full as u8);
+    }
+
+    #[test]
+    fn resume_at_continues_block_position() {
+        let mut w = LogWriter::new();
+        let first = w.encode_record(&[0u8; 100]);
+        let mut resumed = LogWriter::resume_at(first.len() as u64);
+        assert_eq!(resumed.block_offset, first.len());
+        // Encoding from the resumed position yields the same bytes the
+        // original writer would have produced.
+        let a = w.encode_record(b"tail");
+        let b = resumed.encode_record(b"tail");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fragments_cover_payload_exactly() {
+        let mut w = LogWriter::new();
+        let payload = vec![5u8; BLOCK_SIZE + 10];
+        let bytes = w.encode_record(&payload);
+        // FIRST fragment fills block 0; LAST fragment holds the remainder.
+        assert_eq!(bytes.len(), HEADER_SIZE + (BLOCK_SIZE - HEADER_SIZE) + HEADER_SIZE + 17);
+        assert_eq!(bytes[6], RecordType::First as u8);
+        assert_eq!(bytes[BLOCK_SIZE + 6], RecordType::Last as u8);
+    }
+}

@@ -1,0 +1,251 @@
+//! Edge-case tests for the engine: empty databases, synced writes, WAL
+//! replay on clean reopen, seek compactions, file-space hygiene.
+
+use nob_ext4::{Ext4Config, Ext4Fs};
+use nob_sim::Nanos;
+use noblsm::{Db, Options, SyncMode, WriteOptions};
+
+fn opts(mode: SyncMode) -> Options {
+    let mut o = Options::default().with_sync_mode(mode).with_table_size(16 << 10);
+    o.level1_max_bytes = 64 << 10;
+    o
+}
+
+fn fs() -> Ext4Fs {
+    Ext4Fs::new(Ext4Config::default().with_page_cache(8 << 20))
+}
+
+fn key(i: u64) -> Vec<u8> {
+    format!("key{i:08}").into_bytes()
+}
+
+#[test]
+fn empty_db_reads_cleanly() {
+    let mut db = Db::open(fs(), "db", opts(SyncMode::NobLsm), Nanos::ZERO).unwrap();
+    let (got, now) = db.get(Nanos::ZERO, b"anything").unwrap();
+    assert_eq!(got, None);
+    {
+        let mut it = db.iter_at(now).unwrap();
+        it.seek_to_first().unwrap();
+        assert!(!it.valid());
+    }
+    let (rows, _) = db.scan(now, b"", 10).unwrap();
+    assert!(rows.is_empty());
+}
+
+#[test]
+fn synced_wal_write_survives_immediate_crash() {
+    let fs = fs();
+    let mut db = Db::open(fs.clone(), "db", opts(SyncMode::NobLsm), Nanos::ZERO).unwrap();
+    // Write WITHOUT sync, then one WITH sync: the synced write (and, per
+    // WAL ordering, everything before it in the log) must survive.
+    let now = db.put(Nanos::ZERO, &key(1), b"unsynced").unwrap();
+    let now = db.put_opt(now, &key(2), b"synced", WriteOptions { sync: true }).unwrap();
+    let mut rdb = Db::open(fs.crashed_view(now), "db", opts(SyncMode::NobLsm), now).unwrap();
+    let (v2, t) = rdb.get(now, &key(2)).unwrap();
+    assert_eq!(v2.as_deref(), Some(&b"synced"[..]), "synced write lost");
+    let (v1, _) = rdb.get(t, &key(1)).unwrap();
+    assert_eq!(v1.as_deref(), Some(&b"unsynced"[..]), "earlier log record lost");
+}
+
+#[test]
+fn clean_reopen_replays_wal_only_data() {
+    // Data that never left the memtable must survive a CLEAN reopen (the
+    // WAL is replayed), as opposed to a crash where the unsynced log can
+    // be lost.
+    let fs = fs();
+    let mut now = Nanos::ZERO;
+    {
+        let mut db = Db::open(fs.clone(), "db", opts(SyncMode::Always), Nanos::ZERO).unwrap();
+        for i in 0..10 {
+            now = db.put(now, &key(i), b"memtable-only").unwrap();
+        }
+        assert_eq!(db.level_file_counts().iter().sum::<usize>(), 0, "nothing flushed");
+    }
+    let mut db = Db::open(fs, "db", opts(SyncMode::Always), now).unwrap();
+    for i in 0..10 {
+        let (got, t) = db.get(now, &key(i)).unwrap();
+        now = t;
+        assert_eq!(got.as_deref(), Some(&b"memtable-only"[..]), "key {i} lost on reopen");
+    }
+}
+
+#[test]
+fn double_open_same_directory_recovers_not_clobbers() {
+    let fs = fs();
+    let mut now = Nanos::ZERO;
+    {
+        let mut db = Db::open(fs.clone(), "db", opts(SyncMode::Always), Nanos::ZERO).unwrap();
+        for i in 0..500 {
+            now = db.put(now, &key(i), b"v").unwrap();
+        }
+        now = db.flush(now).unwrap();
+    }
+    // Second open must recover, not fail or wipe.
+    let mut db = Db::open(fs, "db", opts(SyncMode::Always), now).unwrap();
+    let (got, _) = db.get(now, &key(123)).unwrap();
+    assert!(got.is_some());
+}
+
+#[test]
+fn seek_compactions_fire_under_repeated_misses() {
+    let fs = fs();
+    let mut o = opts(SyncMode::Always);
+    o.seek_compaction = true;
+    let mut db = Db::open(fs, "db", o, Nanos::ZERO).unwrap();
+    // Two overlapping generations with DISJOINT keys over the same range:
+    // a lookup of an even key probes the odd-key table first (range
+    // match, bloom miss) and only then hits — charging the first file's
+    // seek budget, exactly LevelDB's seek-compaction trigger.
+    let mut now = Nanos::ZERO;
+    for i in (0..400u64).filter(|i| i % 2 == 0) {
+        now = db.put(now, &key(i), &[1u8; 64]).unwrap();
+    }
+    now = db.flush(now).unwrap();
+    for i in (0..400u64).filter(|i| i % 2 == 1) {
+        now = db.put(now, &key(i), &[2u8; 64]).unwrap();
+    }
+    now = db.flush(now).unwrap();
+    now = db.wait_idle(now).unwrap();
+    // Hammer even-key lookups; allowed_seeks (min 100) eventually fires.
+    for round in 0..600u64 {
+        let (_, t) = db.get(now, &key((round * 2) % 400)).unwrap();
+        now = t;
+    }
+    now = db.wait_idle(now).unwrap();
+    let _ = now;
+    // Either a seek compaction fired, or size compactions already merged
+    // everything into one table per key range (then none is needed).
+    let total_files: usize = db.level_file_counts().iter().sum();
+    assert!(
+        db.stats().seek_compactions > 0 || total_files <= 2,
+        "seeks: {}, files: {:?}",
+        db.stats().seek_compactions,
+        db.level_file_counts()
+    );
+}
+
+#[test]
+fn file_space_is_clean_after_settling() {
+    // After settle(), the only .ldb files on disk are the live tables —
+    // NobLSM's shadows have been reclaimed, BoLT-style refcounts released.
+    for mode in [SyncMode::Always, SyncMode::NobLsm] {
+        let fs = fs();
+        let mut db = Db::open(fs.clone(), "db", opts(mode), Nanos::ZERO).unwrap();
+        let mut now = Nanos::ZERO;
+        for i in 0..3000u64 {
+            now = db.put(now, &key(i * 7919 % 3000), &[3u8; 128]).unwrap();
+        }
+        now = db.settle(now).unwrap();
+        // A couple of commit intervals so deferred deletions land.
+        now += Nanos::from_secs(11);
+        db.tick(now).unwrap();
+        let _ = db.settle(now).unwrap();
+        let live: usize = db.level_file_counts().iter().sum();
+        let on_disk = fs.list("db/").iter().filter(|p| p.ends_with(".ldb")).count();
+        assert_eq!(on_disk, live, "{mode:?}: orphan table files left behind");
+        assert_eq!(db.stats().shadow_files, 0, "{mode:?}");
+    }
+}
+
+#[test]
+fn overwrite_heavy_load_converges_and_stays_small() {
+    // 50 keys overwritten 200 times each: compaction must keep the tree
+    // from growing with dead versions.
+    let fs = fs();
+    let mut db = Db::open(fs, "db", opts(SyncMode::NobLsm), Nanos::ZERO).unwrap();
+    let mut now = Nanos::ZERO;
+    for round in 0..200u64 {
+        for i in 0..50u64 {
+            now = db.put(now, &key(i), format!("r{round}").as_bytes()).unwrap();
+        }
+    }
+    now = db.settle(now).unwrap();
+    let mut it = db.iter_at(now).unwrap();
+    it.seek_to_first().unwrap();
+    let mut n = 0;
+    while it.valid() {
+        assert_eq!(it.value(), b"r199", "stale version visible");
+        n += 1;
+        it.next().unwrap();
+    }
+    assert_eq!(n, 50);
+}
+
+#[test]
+fn values_of_every_size_round_trip() {
+    let fs = fs();
+    let mut db = Db::open(fs, "db", opts(SyncMode::Always), Nanos::ZERO).unwrap();
+    let mut now = Nanos::ZERO;
+    let sizes = [0usize, 1, 255, 4096, 70_000];
+    for (i, len) in sizes.iter().enumerate() {
+        now = db.put(now, &key(i as u64), &vec![i as u8; *len]).unwrap();
+    }
+    now = db.flush(now).unwrap();
+    for (i, len) in sizes.iter().enumerate() {
+        let (got, t) = db.get(now, &key(i as u64)).unwrap();
+        now = t;
+        assert_eq!(got, Some(vec![i as u8; *len]), "size {len}");
+    }
+}
+
+#[test]
+fn compressed_tables_round_trip() {
+    // RLE compression on: highly compressible values shrink the tables
+    // and every read still returns exact bytes.
+    let fs = fs();
+    let mut o = opts(SyncMode::Always);
+    o.compression = noblsm::CompressionType::Rle;
+    let mut db = Db::open(fs.clone(), "db", o, Nanos::ZERO).unwrap();
+    let mut now = Nanos::ZERO;
+    for i in 0..2000u64 {
+        // Mostly-zero values compress very well.
+        let mut v = vec![0u8; 256];
+        v[0] = (i % 251) as u8;
+        now = db.put(now, &key(i), &v).unwrap();
+    }
+    now = db.flush(now).unwrap();
+    now = db.wait_idle(now).unwrap();
+    for i in (0..2000).step_by(97) {
+        let (got, t) = db.get(now, &key(i)).unwrap();
+        now = t;
+        let mut want = vec![0u8; 256];
+        want[0] = (i % 251) as u8;
+        assert_eq!(got, Some(want), "key {i}");
+    }
+    // On-disk footprint shrinks well below the raw payload volume.
+    let disk: u64 = fs
+        .list("db/")
+        .iter()
+        .filter(|p| p.ends_with(".ldb"))
+        .map(|p| fs.file_size(p).unwrap())
+        .sum();
+    assert!(disk < 2000 * 256 / 2, "compression should halve the footprint: {disk}");
+    // Scans decompress transparently too.
+    let (rows, _) = db.scan(now, &key(0), 50).unwrap();
+    assert_eq!(rows.len(), 50);
+}
+
+#[test]
+fn compressed_and_uncompressed_dbs_hold_same_data() {
+    let dump = |compression: noblsm::CompressionType| {
+        let fs = fs();
+        let mut o = opts(SyncMode::NobLsm);
+        o.compression = compression;
+        let mut db = Db::open(fs, "db", o, Nanos::ZERO).unwrap();
+        let mut now = Nanos::ZERO;
+        for i in 0..800u64 {
+            now = db.put(now, &key(i), format!("v{}", i % 10).repeat(20).as_bytes()).unwrap();
+        }
+        now = db.wait_idle(now).unwrap();
+        let mut it = db.iter_at(now).unwrap();
+        it.seek_to_first().unwrap();
+        let mut all = Vec::new();
+        while it.valid() {
+            all.push((it.key().to_vec(), it.value().to_vec()));
+            it.next().unwrap();
+        }
+        all
+    };
+    assert_eq!(dump(noblsm::CompressionType::None), dump(noblsm::CompressionType::Rle));
+}

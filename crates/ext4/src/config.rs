@@ -1,0 +1,100 @@
+//! Filesystem tuning knobs.
+
+use nob_sim::Nanos;
+use nob_ssd::SsdConfig;
+
+/// Configuration of the simulated Ext4 filesystem.
+///
+/// Defaults mirror the kernel defaults the paper relies on: a 5-second
+/// commit interval and a 10 % dirty-page threshold.
+///
+/// # Examples
+///
+/// ```
+/// use nob_ext4::Ext4Config;
+/// use nob_sim::Nanos;
+///
+/// let cfg = Ext4Config::default();
+/// assert_eq!(cfg.commit_interval, Nanos::from_secs(5));
+/// assert!((cfg.dirty_ratio - 0.10).abs() < f64::EPSILON);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ext4Config {
+    /// Interval of the asynchronous JBD2 commit timer (kernel default: 5 s).
+    pub commit_interval: Nanos,
+    /// Fraction of page-cache capacity that, once dirty, triggers an early
+    /// asynchronous commit with write-back (kernel default: 10 %).
+    pub dirty_ratio: f64,
+    /// Page-cache capacity in bytes. Clean residents beyond this are
+    /// evicted LRU; benchmarks scale this with the workload.
+    pub page_cache_capacity: u64,
+    /// Size of one journal metadata block.
+    pub journal_block: u64,
+    /// Streaming write-back threshold: once a file accumulates this many
+    /// dirty bytes, the kernel flusher issues them to the device in the
+    /// background (continuous write-back; commits then only wait for the
+    /// in-flight tail).
+    pub writeback_chunk: u64,
+    /// Enable the fast-commit path (Ext4's iJournaling-inspired feature,
+    /// referenced in the paper's §3): `fsync` then commits *only the
+    /// target inode* via a small fast-commit record instead of forcing the
+    /// whole compound transaction, eliminating entanglement with other
+    /// files' dirty data.
+    pub fast_commit: bool,
+    /// Device parameters.
+    pub ssd: SsdConfig,
+}
+
+impl Ext4Config {
+    /// The kernel-default configuration over a PM883-class SSD.
+    pub fn new() -> Self {
+        Ext4Config {
+            commit_interval: Nanos::from_secs(5),
+            dirty_ratio: 0.10,
+            page_cache_capacity: 2 << 30, // 2 GiB
+            journal_block: 4096,
+            writeback_chunk: 256 << 10,
+            fast_commit: false,
+            ssd: SsdConfig::pm883(),
+        }
+    }
+
+    /// Same defaults with a different page-cache capacity; the benchmark
+    /// harness uses this to keep cache pressure proportional when workloads
+    /// are scaled down.
+    pub fn with_page_cache(mut self, bytes: u64) -> Self {
+        self.page_cache_capacity = bytes;
+        self
+    }
+
+    /// The dirty-byte count at which an early commit fires.
+    pub fn dirty_trigger_bytes(&self) -> u64 {
+        (self.page_cache_capacity as f64 * self.dirty_ratio) as u64
+    }
+}
+
+impl Default for Ext4Config {
+    fn default() -> Self {
+        Ext4Config::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_defaults() {
+        let cfg = Ext4Config::default();
+        assert_eq!(cfg.commit_interval, Nanos::from_secs(5));
+        assert_eq!(cfg.journal_block, 4096);
+        assert_eq!(cfg.dirty_trigger_bytes(), (2u64 << 30) / 10);
+    }
+
+    #[test]
+    fn with_page_cache_overrides_capacity() {
+        let cfg = Ext4Config::default().with_page_cache(64 << 20);
+        assert_eq!(cfg.page_cache_capacity, 64 << 20);
+        assert_eq!(cfg.dirty_trigger_bytes(), (64u64 << 20) / 10);
+    }
+}

@@ -1,0 +1,57 @@
+//! Filesystem error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by [`Ext4Fs`](crate::Ext4Fs) operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// The named file does not exist.
+    NotFound(String),
+    /// A file with this name already exists.
+    AlreadyExists(String),
+    /// The handle refers to a deleted or never-created inode.
+    StaleHandle,
+    /// A read past the end of the file was requested with `exact` semantics.
+    ShortRead {
+        /// Bytes requested.
+        wanted: u64,
+        /// Bytes available at that offset.
+        available: u64,
+    },
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound(p) => write!(f, "file not found: {p}"),
+            FsError::AlreadyExists(p) => write!(f, "file already exists: {p}"),
+            FsError::StaleHandle => write!(f, "stale file handle"),
+            FsError::ShortRead { wanted, available } => {
+                write!(f, "short read: wanted {wanted} bytes, only {available} available")
+            }
+        }
+    }
+}
+
+impl Error for FsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        assert_eq!(FsError::NotFound("x".into()).to_string(), "file not found: x");
+        assert_eq!(
+            FsError::ShortRead { wanted: 10, available: 3 }.to_string(),
+            "short read: wanted 10 bytes, only 3 available"
+        );
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<FsError>();
+    }
+}

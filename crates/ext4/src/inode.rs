@@ -1,0 +1,151 @@
+//! In-memory inode records, including the durability history that crash
+//! reconstruction is built from.
+
+use nob_sim::Nanos;
+
+use crate::InodeId;
+
+/// One write-back completion: `content[..len]` became durable at `at`.
+///
+/// Because the simulated namespace is append-only, durability of data is a
+/// monotone prefix, which keeps crash reconstruction exact and cheap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PersistEvent {
+    pub len: u64,
+    pub at: Nanos,
+}
+
+/// One journal-commit record for this inode: at instant `at`, the journal
+/// durably recorded the inode with size `len` under `path` (`None` when the
+/// commit recorded the deletion).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct CommitEvent {
+    pub at: Nanos,
+    pub len: u64,
+    pub path: Option<String>,
+}
+
+/// The full state of one inode.
+#[derive(Debug, Clone)]
+pub(crate) struct Inode {
+    pub id: InodeId,
+    /// Current (in-memory) path; `None` once deleted.
+    pub path: Option<String>,
+    /// Logical content as user space sees it (page cache view).
+    pub content: Vec<u8>,
+    /// `content[..written_back]` has been handed to the device already
+    /// (write-back issued); the remainder is dirty page-cache data.
+    pub written_back: u64,
+    /// Whether the inode's metadata changed since the last commit capture.
+    pub metadata_dirty: bool,
+    /// Bumped on every mutation (data or metadata).
+    pub epoch: u64,
+    /// The epoch covered by the most recent completed commit.
+    pub committed_epoch: u64,
+    /// Completion instant of the most recent commit covering this inode.
+    pub committed_at: Option<Nanos>,
+    /// Durable-data history (monotone prefix lengths).
+    pub persist_events: Vec<PersistEvent>,
+    /// Journal history for this inode.
+    pub commit_events: Vec<CommitEvent>,
+    /// Whether the (clean part of the) content is resident in page cache.
+    pub cached: bool,
+    /// Deleted in the in-memory view (deletion may not be committed yet).
+    pub deleted: bool,
+}
+
+impl Inode {
+    pub fn new(id: InodeId, path: String) -> Self {
+        Inode {
+            id,
+            path: Some(path),
+            content: Vec::new(),
+            written_back: 0,
+            metadata_dirty: true, // creation itself is a metadata change
+            epoch: 1,
+            committed_epoch: 0,
+            committed_at: None,
+            persist_events: Vec::new(),
+            commit_events: Vec::new(),
+            cached: false,
+            deleted: false,
+        }
+    }
+
+    /// Bytes sitting dirty in the page cache.
+    pub fn dirty_bytes(&self) -> u64 {
+        self.content.len() as u64 - self.written_back
+    }
+
+    /// Whether anything (data or metadata) is not covered by a completed
+    /// commit.
+    pub fn needs_commit(&self) -> bool {
+        self.epoch > self.committed_epoch
+    }
+
+    /// Marks a mutation.
+    pub fn touch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// The durable prefix length as of `at`.
+    pub fn persisted_len_at(&self, at: Nanos) -> u64 {
+        self.persist_events
+            .iter()
+            .filter(|e| e.at <= at)
+            .map(|e| e.len)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The last commit event at or before `at`, if any.
+    pub fn commit_at(&self, at: Nanos) -> Option<&CommitEvent> {
+        self.commit_events.iter().rev().find(|e| e.at <= at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inode() -> Inode {
+        Inode::new(InodeId(1), "f".to_string())
+    }
+
+    #[test]
+    fn new_inode_is_dirty_metadata_only() {
+        let i = inode();
+        assert!(i.needs_commit());
+        assert!(i.metadata_dirty);
+        assert_eq!(i.dirty_bytes(), 0);
+    }
+
+    #[test]
+    fn persisted_len_is_monotone_prefix_max() {
+        let mut i = inode();
+        i.persist_events.push(PersistEvent { len: 10, at: Nanos::from_secs(1) });
+        i.persist_events.push(PersistEvent { len: 30, at: Nanos::from_secs(3) });
+        assert_eq!(i.persisted_len_at(Nanos::ZERO), 0);
+        assert_eq!(i.persisted_len_at(Nanos::from_secs(2)), 10);
+        assert_eq!(i.persisted_len_at(Nanos::from_secs(3)), 30);
+    }
+
+    #[test]
+    fn commit_at_picks_latest_not_after() {
+        let mut i = inode();
+        i.commit_events.push(CommitEvent { at: Nanos::from_secs(1), len: 5, path: Some("a".into()) });
+        i.commit_events.push(CommitEvent { at: Nanos::from_secs(4), len: 9, path: Some("b".into()) });
+        assert!(i.commit_at(Nanos::ZERO).is_none());
+        assert_eq!(i.commit_at(Nanos::from_secs(2)).unwrap().len, 5);
+        assert_eq!(i.commit_at(Nanos::from_secs(9)).unwrap().path.as_deref(), Some("b"));
+    }
+
+    #[test]
+    fn touch_outdates_commit() {
+        let mut i = inode();
+        i.committed_epoch = i.epoch;
+        assert!(!i.needs_commit());
+        i.touch();
+        assert!(i.needs_commit());
+    }
+}

@@ -1,0 +1,79 @@
+//! Filesystem-level accounting (the paper's Table 1 inputs).
+
+/// Counters accumulated by an [`Ext4Fs`](crate::Ext4Fs).
+///
+/// `sync_calls` and `bytes_synced` correspond directly to the paper's
+/// Table 1 columns ("No. of syncs", "Size of data synced"): every
+/// `fsync`/`fdatasync` call increments `sync_calls`, and the dirty bytes of
+/// the target file written back by that call accrue to `bytes_synced`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FsStats {
+    /// Number of `fsync`/`fdatasync` calls.
+    pub sync_calls: u64,
+    /// Bytes of the sync target's data written back by sync calls.
+    pub bytes_synced: u64,
+    /// Asynchronous journal commits (timer or dirty-threshold triggered).
+    pub async_commits: u64,
+    /// Synchronous journal commits (fsync-triggered).
+    pub sync_commits: u64,
+    /// Total data bytes written back (any trigger).
+    pub bytes_written_back: u64,
+    /// Journal (metadata) bytes written.
+    pub journal_bytes: u64,
+    /// Bytes appended through the buffered path.
+    pub bytes_buffered: u64,
+    /// Bytes written through the direct-I/O path.
+    pub bytes_direct: u64,
+}
+
+impl FsStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        FsStats::default()
+    }
+
+    /// Counter-wise difference `self - earlier`, for measuring a phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is not an earlier snapshot of the same
+    /// filesystem (any counter would go negative).
+    pub fn since(&self, earlier: &FsStats) -> FsStats {
+        let sub = |a: u64, b: u64| -> u64 {
+            a.checked_sub(b).expect("`earlier` is not an earlier snapshot")
+        };
+        FsStats {
+            sync_calls: sub(self.sync_calls, earlier.sync_calls),
+            bytes_synced: sub(self.bytes_synced, earlier.bytes_synced),
+            async_commits: sub(self.async_commits, earlier.async_commits),
+            sync_commits: sub(self.sync_commits, earlier.sync_commits),
+            bytes_written_back: sub(self.bytes_written_back, earlier.bytes_written_back),
+            journal_bytes: sub(self.journal_bytes, earlier.journal_bytes),
+            bytes_buffered: sub(self.bytes_buffered, earlier.bytes_buffered),
+            bytes_direct: sub(self.bytes_direct, earlier.bytes_direct),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_subtracts() {
+        let early = FsStats { sync_calls: 2, bytes_synced: 100, ..FsStats::new() };
+        let late = FsStats { sync_calls: 5, bytes_synced: 350, async_commits: 1, ..FsStats::new() };
+        let d = late.since(&early);
+        assert_eq!(d.sync_calls, 3);
+        assert_eq!(d.bytes_synced, 250);
+        assert_eq!(d.async_commits, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "earlier snapshot")]
+    fn since_rejects_reversed_order() {
+        let early = FsStats { sync_calls: 2, ..FsStats::new() };
+        let late = FsStats { sync_calls: 5, ..FsStats::new() };
+        let _ = early.since(&late);
+    }
+}

@@ -1,0 +1,51 @@
+//! Identifier newtypes.
+
+use std::fmt;
+
+/// The number of an inode, as exposed to user space.
+///
+/// NobLSM's user-space dependency tracker stores these and hands them to
+/// the [`check_commit`](crate::Ext4Fs::check_commit) /
+/// [`is_committed`](crate::Ext4Fs::is_committed) syscalls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InodeId(pub u64);
+
+impl fmt::Display for InodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// An open-file handle returned by [`create`](crate::Ext4Fs::create) and
+/// [`open`](crate::Ext4Fs::open).
+///
+/// Handles are plain inode references; there is no per-handle cursor —
+/// reads are positional and writes are appends, matching how an LSM engine
+/// uses files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FileHandle {
+    pub(crate) ino: InodeId,
+}
+
+impl FileHandle {
+    /// The inode this handle refers to.
+    pub fn inode(&self) -> InodeId {
+        self.ino
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inode_display_matches_kernel_style() {
+        assert_eq!(InodeId(4567).to_string(), "#4567");
+    }
+
+    #[test]
+    fn handle_exposes_inode() {
+        let h = FileHandle { ino: InodeId(7) };
+        assert_eq!(h.inode(), InodeId(7));
+    }
+}

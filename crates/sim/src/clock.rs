@@ -1,0 +1,92 @@
+//! Per-actor virtual clocks.
+
+use crate::Nanos;
+
+/// A monotonically non-decreasing virtual clock owned by one simulated actor
+/// (a client thread, the background compaction thread, the journal timer…).
+///
+/// Clocks only ever move forward: [`Clock::advance_to`] with an earlier
+/// instant is a no-op, which makes "wait until X happened" idempotent.
+///
+/// # Examples
+///
+/// ```
+/// use nob_sim::{Clock, Nanos};
+///
+/// let mut c = Clock::new();
+/// c.advance(Nanos::from_micros(10));
+/// c.advance_to(Nanos::from_micros(5)); // earlier: ignored
+/// assert_eq!(c.now(), Nanos::from_micros(10));
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Clock {
+    now: Nanos,
+}
+
+impl Clock {
+    /// Creates a clock at the simulation origin (t = 0).
+    pub fn new() -> Self {
+        Clock::default()
+    }
+
+    /// Creates a clock already advanced to `start`.
+    pub fn at(start: Nanos) -> Self {
+        Clock { now: start }
+    }
+
+    /// The current virtual instant.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Advances the clock by a duration.
+    pub fn advance(&mut self, by: Nanos) {
+        self.now += by;
+    }
+
+    /// Advances the clock to an instant, if that instant is in the future.
+    /// Returns the stall duration (zero if `to` was not in the future).
+    pub fn advance_to(&mut self, to: Nanos) -> Nanos {
+        if to > self.now {
+            let stall = to - self.now;
+            self.now = to;
+            stall
+        } else {
+            Nanos::ZERO
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        assert_eq!(Clock::new().now(), Nanos::ZERO);
+    }
+
+    #[test]
+    fn at_starts_elsewhere() {
+        assert_eq!(Clock::at(Nanos::from_secs(3)).now(), Nanos::from_secs(3));
+    }
+
+    #[test]
+    fn advance_accumulates() {
+        let mut c = Clock::new();
+        c.advance(Nanos::from_micros(2));
+        c.advance(Nanos::from_micros(3));
+        assert_eq!(c.now(), Nanos::from_micros(5));
+    }
+
+    #[test]
+    fn advance_to_reports_stall() {
+        let mut c = Clock::new();
+        let stall = c.advance_to(Nanos::from_micros(7));
+        assert_eq!(stall, Nanos::from_micros(7));
+        // Going backwards is a no-op with zero stall.
+        let stall = c.advance_to(Nanos::from_micros(1));
+        assert_eq!(stall, Nanos::ZERO);
+        assert_eq!(c.now(), Nanos::from_micros(7));
+    }
+}

@@ -1,0 +1,38 @@
+//! Discrete virtual-time primitives for the NobLSM reproduction.
+//!
+//! Everything in this workspace that "takes time" — SSD commands, journal
+//! commits, background compactions — is accounted against a *virtual* clock
+//! rather than the wall clock. This crate provides the three primitives the
+//! rest of the stack builds on:
+//!
+//! * [`Nanos`] — a virtual instant/duration in nanoseconds.
+//! * [`Clock`] — a per-actor clock (each simulated thread owns one).
+//! * [`Timeline`] — a FIFO resource (the SSD command queue) that hands out
+//!   `[start, end)` reservations in issue order.
+//! * [`EventQueue`] — a time-ordered queue for timer-style events (journal
+//!   commit ticks, reclamation polls).
+//!
+//! # Examples
+//!
+//! ```
+//! use nob_sim::{Clock, Nanos, Timeline};
+//!
+//! let mut clock = Clock::new();
+//! let mut device = Timeline::new();
+//! // Two back-to-back 1 ms commands issued at t=0 serialize on the device.
+//! let a = device.reserve(clock.now(), Nanos::from_millis(1));
+//! let b = device.reserve(clock.now(), Nanos::from_millis(1));
+//! assert_eq!(b.start, a.end);
+//! clock.advance_to(b.end);
+//! assert_eq!(clock.now(), Nanos::from_millis(2));
+//! ```
+
+mod clock;
+mod events;
+mod time;
+mod timeline;
+
+pub use clock::Clock;
+pub use events::EventQueue;
+pub use time::Nanos;
+pub use timeline::{Reservation, Timeline};

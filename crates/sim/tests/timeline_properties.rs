@@ -1,0 +1,83 @@
+//! Property tests for the virtual-time primitives.
+
+use nob_sim::{EventQueue, Nanos, Timeline};
+use proptest::prelude::*;
+
+proptest! {
+    /// FIFO invariants: reservations never overlap, start no earlier than
+    /// requested, preserve issue order, and busy time equals the sum of
+    /// durations.
+    #[test]
+    fn timeline_reservations_are_fifo_and_disjoint(
+        requests in proptest::collection::vec((0u64..10_000_000, 0u64..1_000_000), 1..100),
+    ) {
+        let mut t = Timeline::new();
+        let mut prev_end = Nanos::ZERO;
+        let mut total = Nanos::ZERO;
+        for (now, dur) in requests {
+            let (now, dur) = (Nanos::from_nanos(now), Nanos::from_nanos(dur));
+            let r = t.reserve(now, dur);
+            prop_assert!(r.start >= now, "never starts before issue");
+            prop_assert!(r.start >= prev_end, "never overlaps the previous reservation");
+            prop_assert_eq!(r.end, r.start + dur);
+            prev_end = r.end;
+            total += dur;
+        }
+        prop_assert_eq!(t.busy_time(), total);
+        prop_assert_eq!(t.free_at(), prev_end);
+    }
+
+    /// The event queue pops in non-decreasing time order and same-instant
+    /// events pop in insertion order.
+    #[test]
+    fn event_queue_is_a_stable_priority_queue(
+        events in proptest::collection::vec(0u64..1000, 1..200),
+    ) {
+        let mut q = EventQueue::new();
+        for (i, at) in events.iter().enumerate() {
+            q.push(Nanos::from_nanos(*at), (*at, i));
+        }
+        let mut last: Option<(Nanos, usize)> = None;
+        while let Some((at, (orig, idx))) = q.pop() {
+            prop_assert_eq!(at.as_nanos(), orig);
+            if let Some((pat, pidx)) = last {
+                prop_assert!(at >= pat, "time order");
+                if at == pat {
+                    prop_assert!(idx > pidx, "stable within an instant");
+                }
+            }
+            last = Some((at, idx));
+        }
+    }
+
+    /// `pop_due` never yields a future event and drains exactly the due
+    /// prefix.
+    #[test]
+    fn pop_due_respects_the_horizon(
+        events in proptest::collection::vec(0u64..1000, 1..100),
+        horizon in 0u64..1000,
+    ) {
+        let mut q = EventQueue::new();
+        let due = events.iter().filter(|&&e| e <= horizon).count();
+        for at in &events {
+            q.push(Nanos::from_nanos(*at), *at);
+        }
+        let mut got = 0;
+        while let Some((at, _)) = q.pop_due(Nanos::from_nanos(horizon)) {
+            prop_assert!(at <= Nanos::from_nanos(horizon));
+            got += 1;
+        }
+        prop_assert_eq!(got, due);
+    }
+
+    /// Transfer durations compose: cost(a) + cost(b) ≥ cost(a + b) minus
+    /// rounding, and scale linearly with byte count.
+    #[test]
+    fn transfer_costs_are_sane(bytes in 1u64..1_000_000_000, bw in 1_000u64..10_000_000_000) {
+        let one = Nanos::for_transfer(bytes, bw);
+        let double = Nanos::for_transfer(bytes * 2, bw);
+        prop_assert!(double >= one);
+        let diff = double.as_nanos() as i128 - 2 * one.as_nanos() as i128;
+        prop_assert!(diff.abs() <= 2, "linear within rounding: {diff}");
+    }
+}

@@ -1,0 +1,205 @@
+//! The device itself: a FIFO command queue over an [`SsdConfig`].
+
+use nob_sim::{Nanos, Reservation, Timeline};
+
+use crate::{IoStats, SsdConfig};
+
+/// A simulated SSD with two service classes.
+///
+/// *Foreground* commands (reads, direct writes, fsync write-back and
+/// FLUSH) pass through a FIFO [`Timeline`]; a foreground command issued at
+/// `now` starts when the foreground queue is free — it is never delayed by
+/// queued background work, modelling the kernel's write-back throttling
+/// and NCQ prioritization of synchronous I/O.
+///
+/// *Background* commands (asynchronous journal-commit write-back) drain in
+/// the capacity foreground work leaves over: every foreground reservation
+/// that overlaps the background frontier pushes that frontier back by its
+/// own duration, so total bandwidth is conserved while foreground latency
+/// stays independent of write-back backlog.
+///
+/// # Examples
+///
+/// ```
+/// use nob_sim::Nanos;
+/// use nob_ssd::{Ssd, SsdConfig};
+///
+/// let mut ssd = Ssd::new(SsdConfig::pm883());
+/// let a = ssd.write(Nanos::ZERO, 1 << 20);
+/// let b = ssd.write(Nanos::ZERO, 1 << 20);
+/// assert_eq!(b.start, a.end); // FIFO: b queues behind a
+/// // A large background write-back does not delay a later foreground read…
+/// let wb = ssd.write_background(b.end, 256 << 20);
+/// let r = ssd.read(b.end, 4096);
+/// assert!(r.end < wb.end);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ssd {
+    cfg: SsdConfig,
+    timeline: Timeline,
+    bg_tail: Nanos,
+    stats: IoStats,
+}
+
+impl Ssd {
+    /// Creates an idle device with the given parameters.
+    pub fn new(cfg: SsdConfig) -> Self {
+        Ssd { cfg, timeline: Timeline::new(), bg_tail: Nanos::ZERO, stats: IoStats::new() }
+    }
+
+    /// The device's configuration.
+    pub fn config(&self) -> &SsdConfig {
+        &self.cfg
+    }
+
+    /// Accumulated I/O counters.
+    pub fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+
+    /// Instant at which the foreground command queue drains.
+    pub fn free_at(&self) -> Nanos {
+        self.timeline.free_at()
+    }
+
+    /// Instant at which pending background write-back drains.
+    pub fn background_free_at(&self) -> Nanos {
+        self.bg_tail
+    }
+
+    /// Total foreground busy time.
+    pub fn busy_time(&self) -> Nanos {
+        self.timeline.busy_time()
+    }
+
+    /// Reserves a foreground window and displaces pending background work
+    /// by the same duration (preemption).
+    fn reserve_fg(&mut self, now: Nanos, dur: Nanos) -> Reservation {
+        let r = self.timeline.reserve(now, dur);
+        if self.bg_tail > r.start {
+            // Background work was pending during this window: push it back.
+            self.bg_tail += dur;
+        }
+        r
+    }
+
+    /// Issues a foreground write of `bytes` at `now`.
+    pub fn write(&mut self, now: Nanos, bytes: u64) -> Reservation {
+        self.stats.bytes_written += bytes;
+        self.stats.write_commands += 1;
+        self.reserve_fg(now, self.cfg.write_cost(bytes))
+    }
+
+    /// Issues a foreground read of `bytes` at `now`.
+    pub fn read(&mut self, now: Nanos, bytes: u64) -> Reservation {
+        self.stats.bytes_read += bytes;
+        self.stats.read_commands += 1;
+        self.reserve_fg(now, self.cfg.read_cost(bytes))
+    }
+
+    /// Issues a FLUSH at `now` (foreground).
+    ///
+    /// FIFO ordering within the foreground class guarantees the flush
+    /// starts only after every previously issued foreground command
+    /// completed — the "barrier" the paper attributes to syncs. The flush
+    /// itself costs [`SsdConfig::flush_latency`].
+    pub fn flush(&mut self, now: Nanos) -> Reservation {
+        self.stats.flush_commands += 1;
+        self.reserve_fg(now, self.cfg.flush_latency)
+    }
+
+    /// Issues a background write of `bytes` at `issue` (asynchronous
+    /// write-back). It runs in leftover capacity: after any earlier
+    /// background work and never while the foreground queue is busy.
+    pub fn write_background(&mut self, issue: Nanos, bytes: u64) -> Reservation {
+        self.stats.bytes_written += bytes;
+        self.stats.write_commands += 1;
+        let dur = self.cfg.write_cost(bytes);
+        let start = issue.max(self.bg_tail).max(self.timeline.free_at());
+        let end = start + dur;
+        self.bg_tail = end;
+        Reservation { start, end }
+    }
+
+    /// Issues a background FLUSH at `issue` (asynchronous journal commit
+    /// records).
+    pub fn flush_background(&mut self, issue: Nanos) -> Reservation {
+        self.stats.flush_commands += 1;
+        let start = issue.max(self.bg_tail).max(self.timeline.free_at());
+        let end = start + self.cfg.flush_latency;
+        self.bg_tail = end;
+        Reservation { start, end }
+    }
+
+    /// Removes `dur` of queued background work (it was promoted to the
+    /// foreground class and submitted there — e.g. the journal commit
+    /// path writing back ordered data itself instead of waiting for the
+    /// flusher).
+    pub fn credit_background(&mut self, dur: Nanos) {
+        self.bg_tail = self.bg_tail - dur;
+    }
+
+    /// Resets the I/O counters (not the timelines); used between
+    /// benchmark phases.
+    pub fn reset_stats(&mut self) {
+        self.stats = IoStats::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ssd() -> Ssd {
+        Ssd::new(SsdConfig::pm883())
+    }
+
+    #[test]
+    fn write_accounts_bytes_and_time() {
+        let mut d = ssd();
+        let r = d.write(Nanos::ZERO, 520 * 1_000_000); // 1 second of data
+        assert_eq!(d.stats().bytes_written, 520 * 1_000_000);
+        assert_eq!(d.stats().write_commands, 1);
+        let secs = r.duration().as_secs_f64();
+        assert!((secs - 1.0).abs() < 0.01, "expected ~1s, got {secs}");
+    }
+
+    #[test]
+    fn flush_acts_as_barrier() {
+        let mut d = ssd();
+        // Issue a long write, then a flush "from the future is not possible":
+        // the flush queues behind the write even if issued at t=0.
+        let w = d.write(Nanos::ZERO, 100 << 20);
+        let f = d.flush(Nanos::ZERO);
+        assert_eq!(f.start, w.end);
+        // And a subsequent read queues behind the flush.
+        let r = d.read(Nanos::ZERO, 4096);
+        assert_eq!(r.start, f.end);
+    }
+
+    #[test]
+    fn read_and_write_costs_differ_by_bandwidth() {
+        let mut d = ssd();
+        let w = d.write(Nanos::ZERO, 1 << 30);
+        let r = d.read(w.end, 1 << 30);
+        // Read bandwidth is higher, so the read is shorter.
+        assert!(r.duration() < w.duration());
+    }
+
+    #[test]
+    fn reset_stats_zeroes_counters_only() {
+        let mut d = ssd();
+        d.write(Nanos::ZERO, 4096);
+        let free = d.free_at();
+        d.reset_stats();
+        assert_eq!(*d.stats(), IoStats::new());
+        assert_eq!(d.free_at(), free);
+    }
+
+    #[test]
+    fn zero_byte_write_still_pays_command_latency() {
+        let mut d = ssd();
+        let r = d.write(Nanos::ZERO, 0);
+        assert_eq!(r.duration(), d.config().cmd_latency);
+    }
+}

@@ -1,0 +1,40 @@
+//! A virtual-time SSD device model.
+//!
+//! The model captures exactly the properties the NobLSM paper's evaluation
+//! depends on:
+//!
+//! * **Bandwidth** — data transfers cost `bytes / bandwidth`.
+//! * **Command latency** — every command pays a fixed setup cost.
+//! * **FIFO queue** — commands serialize in issue order on a
+//!   [`nob_sim::Timeline`], so a slow command delays everything behind it.
+//! * **FLUSH barriers** — a flush cannot start before all previously issued
+//!   writes complete (guaranteed by FIFO order) and adds a large fixed
+//!   latency. This is what makes `fsync` expensive and what NobLSM removes
+//!   from the critical path of major compactions.
+//! * **Accounting** — bytes written/read and command counts, so the harness
+//!   can regenerate Table 1 (number of syncs, size of data synced).
+//!
+//! Default parameters are calibrated to a PM883-class SATA SSD such that the
+//! paper's Fig. 2a ratios (Async ≪ Direct < Sync, ≈13× Async→Sync) emerge;
+//! see `SsdConfig::pm883`.
+//!
+//! # Examples
+//!
+//! ```
+//! use nob_sim::Nanos;
+//! use nob_ssd::{Ssd, SsdConfig};
+//!
+//! let mut ssd = Ssd::new(SsdConfig::pm883());
+//! let w = ssd.write(Nanos::ZERO, 2 << 20); // 2 MiB sequential write
+//! let f = ssd.flush(w.end);
+//! assert!(f.end > w.end); // the flush costs real time
+//! assert_eq!(ssd.stats().bytes_written, 2 << 20);
+//! ```
+
+mod config;
+mod device;
+mod stats;
+
+pub use config::SsdConfig;
+pub use device::Ssd;
+pub use stats::IoStats;

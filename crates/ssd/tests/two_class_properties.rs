@@ -1,0 +1,125 @@
+//! Property tests for the two-class device model: foreground latency is
+//! independent of background backlog, background work is conserved (never
+//! lost, only deferred), and ordering holds within each class.
+
+use nob_sim::Nanos;
+use nob_ssd::{Ssd, SsdConfig};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Cmd {
+    FgWrite(u32),
+    FgRead(u32),
+    Flush,
+    BgWrite(u32),
+}
+
+fn cmd() -> impl Strategy<Value = Cmd> {
+    prop_oneof![
+        (1u32..4_000_000).prop_map(Cmd::FgWrite),
+        (1u32..4_000_000).prop_map(Cmd::FgRead),
+        Just(Cmd::Flush),
+        (1u32..64_000_000).prop_map(Cmd::BgWrite),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Foreground completions are identical whether or not background
+    /// traffic exists (perfect preemption), and per-class ordering holds.
+    #[test]
+    fn foreground_is_immune_to_background(
+        cmds in proptest::collection::vec(cmd(), 1..80),
+        gap in 0u64..100_000,
+    ) {
+        let mut with_bg = Ssd::new(SsdConfig::pm883());
+        let mut without_bg = Ssd::new(SsdConfig::pm883());
+        let mut now = Nanos::ZERO;
+        let mut prev_fg_end = Nanos::ZERO;
+        let mut prev_bg_end = Nanos::ZERO;
+        for c in &cmds {
+            now += Nanos::from_nanos(gap);
+            match c {
+                Cmd::FgWrite(b) => {
+                    let a = with_bg.write(now, *b as u64);
+                    let b2 = without_bg.write(now, *b as u64);
+                    prop_assert_eq!(a, b2, "fg write must not see bg traffic");
+                    prop_assert!(a.start >= prev_fg_end);
+                    prev_fg_end = a.end;
+                }
+                Cmd::FgRead(b) => {
+                    let a = with_bg.read(now, *b as u64);
+                    let b2 = without_bg.read(now, *b as u64);
+                    prop_assert_eq!(a, b2, "fg read must not see bg traffic");
+                    prop_assert!(a.start >= prev_fg_end);
+                    prev_fg_end = a.end;
+                }
+                Cmd::Flush => {
+                    let a = with_bg.flush(now);
+                    let b2 = without_bg.flush(now);
+                    prop_assert_eq!(a, b2);
+                    prev_fg_end = a.end;
+                }
+                Cmd::BgWrite(b) => {
+                    let r = with_bg.write_background(now, *b as u64);
+                    prop_assert!(r.start >= prev_bg_end, "bg order preserved");
+                    prop_assert!(r.end > r.start);
+                    prev_bg_end = r.end;
+                }
+            }
+        }
+    }
+
+    /// Conservation: background completions are pushed back by at least
+    /// the foreground busy time that overlapped them — the device never
+    /// does two things at the literal same capacity for free.
+    #[test]
+    fn background_is_deferred_not_lost(
+        bg_bytes in 1u64..128_000_000,
+        fg_bytes in proptest::collection::vec(1u64..4_000_000, 0..20),
+    ) {
+        let cfg = SsdConfig::pm883();
+        let mut ssd = Ssd::new(cfg.clone());
+        let bg = ssd.write_background(Nanos::ZERO, bg_bytes);
+        let ideal_end = bg.end;
+        // Foreground arrives while the background write is in flight.
+        let mut fg_busy = Nanos::ZERO;
+        for b in &fg_bytes {
+            let r = ssd.write(Nanos::ZERO, *b);
+            if r.start < ssd.background_free_at() {
+                fg_busy += r.duration();
+            }
+        }
+        // A second background write lands after all the deferral.
+        let bg2 = ssd.write_background(Nanos::ZERO, 1);
+        prop_assert!(
+            bg2.start.as_nanos() + 1 >= ideal_end.as_nanos(),
+            "bg2 cannot start before bg1 would have finished"
+        );
+        prop_assert!(
+            ssd.background_free_at() >= ideal_end + fg_busy,
+            "deferral must cover the overlapping foreground busy time"
+        );
+    }
+
+    /// Stats account every byte exactly once across both classes.
+    #[test]
+    fn stats_count_both_classes(
+        fg in proptest::collection::vec(1u64..1_000_000, 0..20),
+        bg in proptest::collection::vec(1u64..1_000_000, 0..20),
+    ) {
+        let mut ssd = Ssd::new(SsdConfig::pm883());
+        let mut total = 0u64;
+        for b in &fg {
+            ssd.write(Nanos::ZERO, *b);
+            total += b;
+        }
+        for b in &bg {
+            ssd.write_background(Nanos::ZERO, *b);
+            total += b;
+        }
+        prop_assert_eq!(ssd.stats().bytes_written, total);
+        prop_assert_eq!(ssd.stats().write_commands, (fg.len() + bg.len()) as u64);
+    }
+}

@@ -1,0 +1,300 @@
+//! LevelDB's `db_bench` micro-benchmarks (§5.2 of the paper).
+
+use nob_sim::Nanos;
+use noblsm::{Db, Result};
+
+use crate::keys::{key, shuffled, value};
+use crate::report::LatencyHistogram;
+use crate::Report;
+
+/// Randomly puts `n` fresh KV pairs (`fillrandom`).
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn fillrandom(
+    db: &mut Db,
+    n: u64,
+    value_size: usize,
+    seed: u64,
+    start: Nanos,
+) -> Result<Report> {
+    write_shuffled(db, "fillrandom", n, value_size, 0, seed, start)
+}
+
+/// Sequentially puts `n` fresh KV pairs in key order (`fillseq`).
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn fillseq(
+    db: &mut Db,
+    n: u64,
+    value_size: usize,
+    start: Nanos,
+) -> Result<Report> {
+    let mut now = start;
+    let mut latencies = LatencyHistogram::new();
+    for k in 0..n {
+        let end = db.put(now, &key(k), &value(k, 0, value_size))?;
+        latencies.record(end - now);
+        now = end;
+    }
+    Ok(Report {
+        name: "fillseq".to_string(),
+        ops: n,
+        started: start,
+        finished: now,
+        total_latency: now - start,
+        threads: 1,
+        latencies,
+    })
+}
+
+/// Randomly overwrites the `n` existing KV pairs (`overwrite`).
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn overwrite(
+    db: &mut Db,
+    n: u64,
+    value_size: usize,
+    seed: u64,
+    start: Nanos,
+) -> Result<Report> {
+    write_shuffled(db, "overwrite", n, value_size, 1, seed ^ 0xdead_beef, start)
+}
+
+fn write_shuffled(
+    db: &mut Db,
+    name: &str,
+    n: u64,
+    value_size: usize,
+    round: u64,
+    seed: u64,
+    start: Nanos,
+) -> Result<Report> {
+    let order = shuffled(n, seed);
+    let mut now = start;
+    let mut latencies = LatencyHistogram::new();
+    for k in order {
+        let end = db.put(now, &key(k), &value(k, round, value_size))?;
+        latencies.record(end - now);
+        now = end;
+    }
+    Ok(Report {
+        name: name.to_string(),
+        ops: n,
+        started: start,
+        finished: now,
+        total_latency: now - start,
+        threads: 1,
+        latencies,
+    })
+}
+
+/// Sequentially iterates every live KV pair (`readseq`). The reported
+/// operation count is the number of entries visited.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn readseq(db: &mut Db, start: Nanos) -> Result<Report> {
+    let mut it = db.iter_at(start)?;
+    it.seek_to_first()?;
+    let mut ops = 0u64;
+    while it.valid() {
+        ops += 1;
+        it.next()?;
+    }
+    let finished = it.now();
+    Ok(Report {
+        name: "readseq".to_string(),
+        ops,
+        started: start,
+        finished,
+        total_latency: finished - start,
+        threads: 1,
+        latencies: LatencyHistogram::new(),
+    })
+}
+
+/// Randomly reads `n` existing keys (`readrandom`) out of a keyspace of
+/// `records`.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn readrandom(
+    db: &mut Db,
+    n: u64,
+    records: u64,
+    seed: u64,
+    start: Nanos,
+) -> Result<Report> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let mut now = start;
+    let mut found = 0u64;
+    let mut latencies = LatencyHistogram::new();
+    for _ in 0..n {
+        let k = rng.gen_range(0..records);
+        let (got, t) = db.get(now, &key(k))?;
+        latencies.record(t - now);
+        now = t;
+        if got.is_some() {
+            found += 1;
+        }
+    }
+    debug_assert!(found * 10 >= n * 9, "readrandom should mostly hit ({found}/{n})");
+    Ok(Report {
+        name: "readrandom".to_string(),
+        ops: n,
+        started: start,
+        finished: now,
+        total_latency: now - start,
+        threads: 1,
+        latencies,
+    })
+}
+
+/// Repeatedly reads from the hottest 1 % of the keyspace (`readhot`).
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn readhot(
+    db: &mut Db,
+    n: u64,
+    records: u64,
+    seed: u64,
+    start: Nanos,
+) -> Result<Report> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let hot = (records / 100).max(1);
+    let mut now = start;
+    let mut latencies = LatencyHistogram::new();
+    for _ in 0..n {
+        let k = rng.gen_range(0..hot);
+        let (_, t) = db.get(now, &key(k))?;
+        latencies.record(t - now);
+        now = t;
+    }
+    Ok(Report {
+        name: "readhot".to_string(),
+        ops: n,
+        started: start,
+        finished: now,
+        total_latency: now - start,
+        threads: 1,
+        latencies,
+    })
+}
+
+/// Randomly seeks and reads one entry per seek (`seekrandom`).
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn seekrandom(
+    db: &mut Db,
+    n: u64,
+    records: u64,
+    seed: u64,
+    start: Nanos,
+) -> Result<Report> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let mut now = start;
+    let mut latencies = LatencyHistogram::new();
+    let mut found = 0u64;
+    for _ in 0..n {
+        let k = rng.gen_range(0..records);
+        let (rows, t) = db.scan(now, &key(k), 1)?;
+        latencies.record(t - now);
+        now = t;
+        if !rows.is_empty() {
+            found += 1;
+        }
+    }
+    debug_assert!(found > 0 || n == 0);
+    Ok(Report {
+        name: "seekrandom".to_string(),
+        ops: n,
+        started: start,
+        finished: now,
+        total_latency: now - start,
+        threads: 1,
+        latencies,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nob_ext4::{Ext4Config, Ext4Fs};
+    use noblsm::Options;
+
+    fn small_db() -> Db {
+        let fs = Ext4Fs::new(Ext4Config::default().with_page_cache(8 << 20));
+        let mut opts = Options::default().with_table_size(32 << 10);
+        opts.level1_max_bytes = 128 << 10;
+        Db::open(fs, "db", opts, Nanos::ZERO).unwrap()
+    }
+
+    #[test]
+    fn fillrandom_then_readrandom_hits_everything() {
+        let mut db = small_db();
+        let r = fillrandom(&mut db, 2000, 100, 1, Nanos::ZERO).unwrap();
+        assert_eq!(r.ops, 2000);
+        assert!(r.finished > r.started);
+        let rr = readrandom(&mut db, 500, 2000, 2, r.finished).unwrap();
+        assert_eq!(rr.ops, 500);
+        assert!(rr.mean_us_per_op() > 0.0);
+    }
+
+    #[test]
+    fn overwrite_changes_values() {
+        let mut db = small_db();
+        let r1 = fillrandom(&mut db, 500, 64, 1, Nanos::ZERO).unwrap();
+        let r2 = overwrite(&mut db, 500, 64, 1, r1.finished).unwrap();
+        let (got, _) = db.get(r2.finished, &key(42)).unwrap();
+        assert_eq!(got, Some(value(42, 1, 64)), "overwrite round visible");
+    }
+
+    #[test]
+    fn fillseq_then_readhot_and_seekrandom() {
+        let mut db = small_db();
+        let r = fillseq(&mut db, 1000, 64, Nanos::ZERO).unwrap();
+        assert_eq!(r.ops, 1000);
+        // fillseq produces non-overlapping tables: stays cheap.
+        let rh = readhot(&mut db, 300, 1000, 5, r.finished).unwrap();
+        assert_eq!(rh.ops, 300);
+        assert!(rh.latency_quantile(0.5) > nob_sim::Nanos::ZERO);
+        let sr = seekrandom(&mut db, 100, 1000, 6, rh.finished).unwrap();
+        assert_eq!(sr.ops, 100);
+        assert!(sr.finished > sr.started);
+    }
+
+    #[test]
+    fn latency_histograms_populate() {
+        let mut db = small_db();
+        let r = fillrandom(&mut db, 1000, 256, 1, Nanos::ZERO).unwrap();
+        assert_eq!(r.latencies.count(), 1000);
+        let p50 = r.latency_quantile(0.5);
+        let p99 = r.latency_quantile(0.99);
+        assert!(p50 <= p99);
+        assert!(p99 > nob_sim::Nanos::ZERO);
+    }
+
+    #[test]
+    fn readseq_visits_each_key_once() {
+        let mut db = small_db();
+        let r1 = fillrandom(&mut db, 1500, 64, 1, Nanos::ZERO).unwrap();
+        let r2 = overwrite(&mut db, 1500, 64, 9, r1.finished).unwrap();
+        let rs = readseq(&mut db, r2.finished).unwrap();
+        assert_eq!(rs.ops, 1500, "duplicates must not be double counted");
+    }
+}

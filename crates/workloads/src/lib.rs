@@ -1,0 +1,42 @@
+//! Workload generators and drivers for the NobLSM reproduction.
+//!
+//! Two benchmark families, mirroring the paper's §5:
+//!
+//! * [`dbbench`] — LevelDB's `db_bench` micro-benchmarks: `fillrandom`,
+//!   `overwrite`, `readseq`, `readrandom`, with 16-byte keys and
+//!   configurable value sizes.
+//! * [`ycsb`] — the YCSB core workloads A–F plus the Load phases, with
+//!   zipfian / latest / uniform request distributions and a
+//!   multi-threaded virtual-time driver.
+//!
+//! All drivers operate on a [`noblsm::Db`] and report virtual-time
+//! results as a [`Report`].
+//!
+//! # Examples
+//!
+//! ```
+//! use nob_ext4::{Ext4Config, Ext4Fs};
+//! use nob_sim::Nanos;
+//! use nob_workloads::dbbench;
+//! use noblsm::{Db, Options};
+//!
+//! # fn main() -> Result<(), noblsm::DbError> {
+//! let fs = Ext4Fs::new(Ext4Config::default());
+//! let mut opts = Options::default().with_table_size(32 << 10);
+//! opts.level1_max_bytes = 128 << 10;
+//! let mut db = Db::open(fs, "db", opts, Nanos::ZERO)?;
+//! let report = dbbench::fillrandom(&mut db, 1000, 100, 42, Nanos::ZERO)?;
+//! assert_eq!(report.ops, 1000);
+//! assert!(report.mean_us_per_op() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod dbbench;
+pub mod keys;
+pub mod report;
+pub mod trace;
+pub mod ycsb;
+
+pub use report::{LatencyHistogram, Report};
+pub use trace::{Trace, TraceOp};

@@ -1,0 +1,193 @@
+//! Workload result reporting.
+
+use nob_sim::Nanos;
+
+/// A log₂-bucketed latency histogram (64 buckets over nanoseconds):
+/// coarse but constant-space, good to ±50 % per bucket — plenty for the
+/// P50/P95/P99 shape the harness reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; 64],
+    count: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram { buckets: [0; 64], count: 0 }
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Records one operation latency.
+    pub fn record(&mut self, latency: Nanos) {
+        let ns = latency.as_nanos();
+        let bucket = if ns == 0 { 0 } else { 63 - ns.leading_zeros() as usize };
+        self.buckets[bucket.min(63)] += 1;
+        self.count += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The latency at quantile `q` (`0.0..=1.0`), as the upper bound of
+    /// the containing bucket. Returns zero for an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Nanos {
+        assert!((0.0..=1.0).contains(&q), "quantile must be within [0, 1]");
+        if self.count == 0 {
+            return Nanos::ZERO;
+        }
+        let target = ((self.count as f64) * q).ceil() as u64;
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target.max(1) {
+                return Nanos::from_nanos(1u64 << (i + 1).min(63));
+            }
+        }
+        Nanos::from_nanos(u64::MAX)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+    }
+}
+
+/// The outcome of one workload run, in virtual time.
+///
+/// The paper's performance metric is *average execution time per
+/// operation* ([`Report::mean_us_per_op`]); lower is better.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// Workload label (e.g. `"fillrandom"`, `"ycsb-A"`).
+    pub name: String,
+    /// Operations completed.
+    pub ops: u64,
+    /// Virtual instant the run started.
+    pub started: Nanos,
+    /// Virtual instant the last operation completed (wall time of the
+    /// run = `finished - started`).
+    pub finished: Nanos,
+    /// Sum of individual operation latencies (equals the wall time for a
+    /// single-threaded run).
+    pub total_latency: Nanos,
+    /// Number of client threads.
+    pub threads: usize,
+    /// Per-operation latency distribution.
+    pub latencies: LatencyHistogram,
+}
+
+impl Report {
+    /// Mean latency per operation, in microseconds.
+    pub fn mean_us_per_op(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.total_latency.as_micros_f64() / self.ops as f64
+        }
+    }
+
+    /// Wall-clock (virtual) duration of the run.
+    pub fn wall(&self) -> Nanos {
+        self.finished - self.started
+    }
+
+    /// Throughput in operations per virtual second.
+    pub fn ops_per_sec(&self) -> f64 {
+        let w = self.wall().as_secs_f64();
+        if w == 0.0 {
+            0.0
+        } else {
+            self.ops as f64 / w
+        }
+    }
+
+    /// Tail latency at quantile `q` (bucketed; see [`LatencyHistogram`]).
+    pub fn latency_quantile(&self, q: f64) -> Nanos {
+        self.latencies.quantile(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let r = Report {
+            name: "x".into(),
+            ops: 1000,
+            started: Nanos::from_secs(1),
+            finished: Nanos::from_secs(3),
+            total_latency: Nanos::from_secs(2),
+            threads: 1,
+            latencies: LatencyHistogram::new(),
+        };
+        assert!((r.mean_us_per_op() - 2000.0).abs() < 1e-9);
+        assert_eq!(r.wall(), Nanos::from_secs(2));
+        assert!((r.ops_per_sec() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotone_and_bracketing() {
+        let mut h = LatencyHistogram::new();
+        for us in [1u64, 2, 4, 10, 100, 1000] {
+            for _ in 0..100 {
+                h.record(Nanos::from_micros(us));
+            }
+        }
+        assert_eq!(h.count(), 600);
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        assert!(p50 <= p99);
+        // P50 of this mix sits in the ~4-16 us region (bucketed upper bound).
+        assert!(p50 >= Nanos::from_micros(4) && p50 <= Nanos::from_micros(16), "{p50}");
+        // P99 covers the 1 ms tail.
+        assert!(p99 >= Nanos::from_micros(512), "{p99}");
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a = LatencyHistogram::new();
+        a.record(Nanos::from_micros(10));
+        let mut b = LatencyHistogram::new();
+        b.record(Nanos::from_micros(1000));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!(a.quantile(1.0) >= Nanos::from_micros(1000));
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        assert_eq!(LatencyHistogram::new().quantile(0.99), Nanos::ZERO);
+    }
+
+    #[test]
+    fn zero_ops_is_safe() {
+        let r = Report {
+            name: "x".into(),
+            ops: 0,
+            started: Nanos::ZERO,
+            finished: Nanos::ZERO,
+            total_latency: Nanos::ZERO,
+            threads: 1,
+            latencies: LatencyHistogram::new(),
+        };
+        assert_eq!(r.mean_us_per_op(), 0.0);
+        assert_eq!(r.ops_per_sec(), 0.0);
+    }
+}

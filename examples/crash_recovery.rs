@@ -1,0 +1,67 @@
+//! Crash recovery demo: pull the (virtual) power cable mid-workload and
+//! watch NobLSM recover with the same guarantee as a fully-syncing
+//! LevelDB — every KV pair that ever reached a synced SSTable survives;
+//! only unsynced log tails can be lost (§5.2's consistency test).
+//!
+//! Run with: `cargo run --example crash_recovery`
+
+use nob_ext4::{Ext4Config, Ext4Fs};
+use nob_sim::Nanos;
+use noblsm::{Db, Options, SyncMode};
+
+fn key(i: u32) -> Vec<u8> {
+    format!("key{i:08}").into_bytes()
+}
+
+fn value(i: u32) -> Vec<u8> {
+    format!("value-{i}-{}", "v".repeat(80)).into_bytes()
+}
+
+fn main() -> Result<(), noblsm::DbError> {
+    let fs = Ext4Fs::new(Ext4Config::default());
+    let opts = Options::default()
+        .with_sync_mode(SyncMode::NobLsm)
+        .with_table_size(128 << 10);
+    let mut db = Db::open(fs.clone(), "db", opts.clone(), Nanos::ZERO)?;
+
+    // Write 8000 pairs; remember when each put returned.
+    let n = 8000u32;
+    let mut now = Nanos::ZERO;
+    for i in 0..n {
+        now = db.put(now, &key(i), &value(i))?;
+    }
+    println!("wrote {n} pairs in {now} of virtual time");
+    println!("files per level before crash: {:?}", db.level_file_counts());
+
+    // Power off at 60 % of the run — no flushing, no warning (the paper's
+    // `halt -f -p -n`). `crashed_view` reconstructs exactly what the disk
+    // would hold: committed metadata + persisted data, nothing else.
+    let crash_at = Nanos::from_nanos(now.as_nanos() * 6 / 10);
+    println!("\n*** power failure at {crash_at} ***\n");
+    let disk_after_crash = fs.crashed_view(crash_at);
+
+    // Reboot: recovery replays the MANIFEST and surviving WALs.
+    let mut recovered = Db::open(disk_after_crash, "db", opts, crash_at)?;
+    recovered.check_invariants()?;
+
+    let mut intact = 0u32;
+    let mut lost = 0u32;
+    let mut t = crash_at;
+    for i in 0..n {
+        let (got, t2) = recovered.get(t, &key(i))?;
+        t = t2;
+        match got {
+            Some(v) => {
+                assert_eq!(v, value(i), "recovered values must never be corrupt");
+                intact += 1;
+            }
+            None => lost += 1,
+        }
+    }
+    println!("recovered {intact} pairs intact, {lost} lost from unsynced log tails");
+    println!("files per level after recovery: {:?}", recovered.level_file_counts());
+    println!("\nevery pair that reached a synced SSTable survived; the engine");
+    println!("never serves a torn or fabricated value — the same consistency");
+    println!("contract as LevelDB, with a fraction of the syncs.");
+    Ok(())
+}

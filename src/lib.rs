@@ -1,0 +1,2 @@
+//! Workspace umbrella crate: integration tests and examples live here.
+pub use noblsm;

@@ -1,0 +1,144 @@
+//! Workspace-level integration tests: every crate working together —
+//! variants from `nob-baselines`, workloads from `nob-workloads`, crash
+//! injection from `nob-ext4`, all over the `noblsm` engine.
+
+use nob_baselines::Variant;
+use nob_ext4::{Ext4Config, Ext4Fs};
+use nob_sim::Nanos;
+use nob_workloads::keys::{key, value};
+use nob_workloads::ycsb::{self, YcsbWorkload};
+use nob_workloads::{dbbench, Report};
+use noblsm::Options;
+
+fn base() -> Options {
+    let mut o = Options::default().with_table_size(64 << 10);
+    o.level1_max_bytes = 256 << 10;
+    o
+}
+
+fn fs() -> Ext4Fs {
+    Ext4Fs::new(Ext4Config::default().with_page_cache(16 << 20))
+}
+
+#[test]
+fn all_variants_survive_the_full_dbbench_sequence() {
+    for variant in Variant::paper_seven() {
+        let fs = fs();
+        let mut db = variant.open(fs, "db", &base(), Nanos::ZERO).unwrap();
+        let n = 3000;
+        let fill = dbbench::fillrandom(&mut db, n, 256, 1, Nanos::ZERO).unwrap();
+        let t = db.wait_idle(fill.finished).unwrap();
+        let over = dbbench::overwrite(&mut db, n, 256, 2, t).unwrap();
+        let t = db.wait_idle(over.finished).unwrap();
+        let rs = dbbench::readseq(&mut db, t).unwrap();
+        assert_eq!(rs.ops, n, "{variant}: readseq must see each key once");
+        let rr = dbbench::readrandom(&mut db, 500, n, 3, rs.finished).unwrap();
+        assert!(rr.finished > rr.started, "{variant}");
+        db.check_invariants().unwrap();
+    }
+}
+
+#[test]
+fn paper_headline_time_ordering_holds() {
+    // volatile <= NobLSM < LevelDB on write-heavy load.
+    let run = |v: Variant| -> Report {
+        let fs = fs();
+        let mut db = v.open(fs, "db", &base(), Nanos::ZERO).unwrap();
+        dbbench::fillrandom(&mut db, 6000, 512, 1, Nanos::ZERO).unwrap()
+    };
+    let leveldb = run(Variant::LevelDb).wall();
+    let noblsm = run(Variant::NobLsm).wall();
+    let volatile = run(Variant::VolatileLevelDb).wall();
+    assert!(noblsm < leveldb, "NobLSM {noblsm} must beat LevelDB {leveldb}");
+    assert!(volatile <= noblsm, "volatile {volatile} is the floor (NobLSM {noblsm})");
+}
+
+#[test]
+fn table1_ordering_holds_end_to_end() {
+    let syncs = |v: Variant| {
+        let fs = fs();
+        let mut db = v.open(fs.clone(), "db", &base(), Nanos::ZERO).unwrap();
+        fs.reset_stats();
+        let r = dbbench::fillrandom(&mut db, 6000, 512, 1, Nanos::ZERO).unwrap();
+        db.wait_idle(r.finished).unwrap();
+        fs.stats()
+    };
+    let leveldb = syncs(Variant::LevelDb);
+    let noblsm = syncs(Variant::NobLsm);
+    let hyper = syncs(Variant::HyperLevelDb);
+    assert!(noblsm.sync_calls * 2 < leveldb.sync_calls);
+    assert!(noblsm.bytes_synced * 2 < leveldb.bytes_synced);
+    assert!(hyper.sync_calls > leveldb.sync_calls);
+}
+
+#[test]
+fn ycsb_full_sequence_on_noblsm_with_crash_at_the_end() {
+    let fs = fs();
+    let mut db = Variant::NobLsm.open(fs.clone(), "db", &base(), Nanos::ZERO).unwrap();
+    let records = 4000;
+    let load = ycsb::load(&mut db, records, 256, 1, Nanos::ZERO).unwrap();
+    let mut now = db.wait_idle(load.finished).unwrap();
+    for w in YcsbWorkload::paper_order() {
+        let r = ycsb::run(&mut db, w, 800, records, 256, 2, 7, now).unwrap();
+        now = db.wait_idle(r.finished).unwrap();
+    }
+    // Flush, settle, then crash: the recovered DB serves every record.
+    now = db.flush(now).unwrap();
+    now = db.settle(now).unwrap();
+    now += Nanos::from_secs(11);
+    db.tick(now).unwrap();
+    let mut recovered =
+        Variant::NobLsm.open(fs.crashed_view(now), "db", &base(), now).unwrap();
+    let mut t = now;
+    let mut found = 0;
+    for i in (0..records).step_by(59) {
+        let (got, t2) = recovered.get(t, &key(i)).unwrap();
+        t = t2;
+        if got.is_some() {
+            found += 1;
+        }
+    }
+    assert_eq!(found, (0..records).step_by(59).count(), "all loaded records recoverable");
+}
+
+#[test]
+fn crash_consistency_matches_between_leveldb_and_noblsm() {
+    // The §5.2 experiment as a test: both systems lose only log tails.
+    for variant in [Variant::LevelDb, Variant::NobLsm] {
+        let fs = fs();
+        let mut db = variant.open(fs.clone(), "db", &base(), Nanos::ZERO).unwrap();
+        let n = 5000u64;
+        let mut now = Nanos::ZERO;
+        for i in 0..n {
+            now = db.put(now, &key(i), &value(i, 0, 256)).unwrap();
+        }
+        let crash_at = Nanos::from_nanos(now.as_nanos() / 2);
+        let mut rdb = variant.open(fs.crashed_view(crash_at), "db", &base(), crash_at).unwrap();
+        let mut t = crash_at;
+        let mut corrupt = 0;
+        let mut intact = 0u64;
+        for i in 0..n {
+            let (got, t2) = rdb.get(t, &key(i)).unwrap();
+            t = t2;
+            match got {
+                Some(v) if v == value(i, 0, 256) => intact += 1,
+                Some(_) => corrupt += 1,
+                None => {}
+            }
+        }
+        assert_eq!(corrupt, 0, "{variant}: corrupt values after crash");
+        assert!(intact > 0, "{variant}: flushed data must survive");
+    }
+}
+
+#[test]
+fn multithreaded_ycsb_reads_scale_down_wall_time() {
+    let fs = fs();
+    let mut db = Variant::NobLsm.open(fs, "db", &base(), Nanos::ZERO).unwrap();
+    let records = 3000;
+    let load = ycsb::load(&mut db, records, 256, 1, Nanos::ZERO).unwrap();
+    let t0 = db.wait_idle(load.finished).unwrap();
+    let one = ycsb::run(&mut db, YcsbWorkload::C, 2000, records, 256, 1, 5, t0).unwrap();
+    let four = ycsb::run(&mut db, YcsbWorkload::C, 2000, records, 256, 4, 5, one.finished).unwrap();
+    assert!(four.wall() < one.wall(), "read-only work should parallelize");
+}
