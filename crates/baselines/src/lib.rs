@@ -243,10 +243,7 @@ mod tests {
             (logical, physical)
         };
         let (bolt_logical, bolt_physical) = count_tables(Variant::Bolt);
-        assert!(
-            bolt_physical <= bolt_logical,
-            "grouped outputs cannot exceed logical tables"
-        );
+        assert!(bolt_physical <= bolt_logical, "grouped outputs cannot exceed logical tables");
         let (ldb_logical, ldb_physical) = count_tables(Variant::LevelDb);
         assert_eq!(ldb_logical, ldb_physical, "ungrouped: one file per table");
     }
@@ -288,12 +285,8 @@ mod tests {
                 now = db.put(now, &key(k), &val).unwrap();
             }
             db.wait_idle(now).unwrap();
-            let hot_files: usize = db
-                .current_version()
-                .files
-                .iter()
-                .map(|l| l.iter().filter(|f| f.hot).count())
-                .sum();
+            let hot_files: usize =
+                db.current_version().files.iter().map(|l| l.iter().filter(|f| f.hot).count()).sum();
             (db.stats().compaction_bytes_written, hot_files)
         };
         let (leveldb, ldb_hot) = run(Variant::LevelDb);

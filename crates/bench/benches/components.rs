@@ -74,8 +74,9 @@ fn bench_sstable(c: &mut Criterion) {
     let fs = Ext4Fs::new(Ext4Config::default());
     let h = fs.create("t", Nanos::ZERO).expect("fresh file");
     let mut now = fs.append(h, &bytes, Nanos::ZERO).expect("write");
-    let table = noblsm::sstable::open_for_test(fs, h, bytes.len() as u64, &Options::default(), &mut now)
-        .expect("open");
+    let table =
+        noblsm::sstable::open_for_test(fs, h, bytes.len() as u64, &Options::default(), &mut now)
+            .expect("open");
     g.bench_function("point_get", |b| {
         let mut i = 0u64;
         b.iter(|| {

@@ -20,8 +20,8 @@ fn fresh_loaded(variant: Variant, scale: Scale) -> (Db, Nanos) {
     let fs = scale.fresh_fs();
     let base = scale.base_options(nob_bench::PAPER_TABLE_LARGE);
     let mut db = variant.open(fs, "db", &base, Nanos::ZERO).expect("open");
-    let fill = dbbench::fillrandom(&mut db, scale.micro_ops(), 1024, 1, Nanos::ZERO)
-        .expect("fillrandom");
+    let fill =
+        dbbench::fillrandom(&mut db, scale.micro_ops(), 1024, 1, Nanos::ZERO).expect("fillrandom");
     let t = db.wait_idle(fill.finished).expect("drain");
     (db, t)
 }
@@ -40,8 +40,7 @@ fn bench_workload(c: &mut Criterion, which: &str) {
                         "fillrandom" => {
                             let fs = scale.fresh_fs();
                             let base = scale.base_options(nob_bench::PAPER_TABLE_LARGE);
-                            let mut db =
-                                variant.open(fs, "db", &base, Nanos::ZERO).expect("open");
+                            let mut db = variant.open(fs, "db", &base, Nanos::ZERO).expect("open");
                             dbbench::fillrandom(&mut db, ops, 1024, 1, Nanos::ZERO)
                                 .expect("fillrandom")
                                 .wall()
@@ -56,9 +55,7 @@ fn bench_workload(c: &mut Criterion, which: &str) {
                         }
                         "readrandom" => {
                             let (mut db, t) = fresh_loaded(variant, scale);
-                            dbbench::readrandom(&mut db, ops, ops, 3, t)
-                                .expect("readrandom")
-                                .wall()
+                            dbbench::readrandom(&mut db, ops, ops, 3, t).expect("readrandom").wall()
                         }
                         _ => unreachable!(),
                     };

@@ -175,7 +175,7 @@ fn main() {
     let mut db = Variant::LevelDb
         .open(fs, "db", &scale.base_options(PAPER_TABLE_LARGE), Nanos::ZERO)
         .expect("open");
-    let r = dbbench::fillrandom(&mut db, scale.micro_ops() / 2, 1024, 42, Nanos::ZERO)
-        .expect("fill");
+    let r =
+        dbbench::fillrandom(&mut db, scale.micro_ops() / 2, 1024, 42, Nanos::ZERO).expect("fill");
     println!("anchor LevelDB: {:.1} us/op", r.mean_us_per_op());
 }

@@ -31,9 +31,8 @@ fn main() {
             // repetition-specific instant during the (virtual) run.
             let crash_at = Nanos::from_nanos(now.as_nanos() * (4 + rep) / 8);
             let crashed = fs.crashed_view(crash_at);
-            let mut rdb = variant
-                .open(crashed, "db", &base, crash_at)
-                .expect("recovery must always succeed");
+            let mut rdb =
+                variant.open(crashed, "db", &base, crash_at).expect("recovery must always succeed");
             rdb.check_invariants().expect("recovered tree is well formed");
 
             // Classify every written key: intact (correct value), or lost.

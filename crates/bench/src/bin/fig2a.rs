@@ -44,9 +44,7 @@ fn main() {
         let total = (paper_gb << 30) / scale.factor;
         for strategy in ["Async", "Direct", "Sync"] {
             // Real 2 MB files ⇒ real (unscaled) per-file device costs.
-            let fs = Ext4Fs::new(
-                nob_ext4::Ext4Config::default().with_page_cache(64 << 30),
-            );
+            let fs = Ext4Fs::new(nob_ext4::Ext4Config::default().with_page_cache(64 << 30));
             let elapsed = run_strategy(&fs, strategy, total, file_size);
             exp.push(strategy, &format!("{paper_gb}GB"), elapsed.as_secs_f64(), "s (scaled)");
         }

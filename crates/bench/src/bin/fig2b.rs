@@ -20,8 +20,7 @@ fn main() {
         scale.factor,
     );
     for (label, table) in [("2MB", PAPER_TABLE_SMALL), ("64MB", PAPER_TABLE_LARGE)] {
-        for (series, variant) in
-            [("Sync", Variant::LevelDb), ("No-Sync", Variant::VolatileLevelDb)]
+        for (series, variant) in [("Sync", Variant::LevelDb), ("No-Sync", Variant::VolatileLevelDb)]
         {
             let fs = scale.fresh_fs();
             let base = scale.base_options(table);

@@ -29,8 +29,8 @@ fn run_workload(which: &str, scale: Scale) {
             let fs = scale.fresh_fs();
             let base = scale.base_options(PAPER_TABLE_LARGE);
             let mut db = variant.open(fs, "db", &base, Nanos::ZERO).expect("open db");
-            let fill = dbbench::fillrandom(&mut db, ops, vsize, 42, Nanos::ZERO)
-                .expect("fillrandom");
+            let fill =
+                dbbench::fillrandom(&mut db, ops, vsize, 42, Nanos::ZERO).expect("fillrandom");
             // db_bench semantics: measure until the foreground finishes;
             // drain compaction debt only between phases.
             let value = match which {

@@ -39,7 +39,9 @@ fn main() {
         let mut now = db.wait_idle(load_a.finished).expect("drain");
 
         // A, B, C, F, D in the paper's order.
-        for w in [YcsbWorkload::A, YcsbWorkload::B, YcsbWorkload::C, YcsbWorkload::F, YcsbWorkload::D] {
+        for w in
+            [YcsbWorkload::A, YcsbWorkload::B, YcsbWorkload::C, YcsbWorkload::F, YcsbWorkload::D]
+        {
             let r = ycsb::run(&mut db, w, ops, records, 1024, threads, 7, now)
                 .unwrap_or_else(|e| panic!("workload {w}: {e}"));
             exp.push(variant.name(), w.name(), r.mean_us_per_op(), "us/op");

@@ -1,12 +1,63 @@
 //! Consolidates every result JSON under `target/nob-results/` into one
 //! markdown report (`target/nob-results/REPORT.md`): the tables of all
-//! figures, Table 1, and the ablations from the latest runs.
+//! figures, Table 1, the ablations, and any chaos sweeps (written by
+//! `chaos sweep --out target/nob-results/<name>.json`).
 //!
 //! Usage: run any of the figure binaries first, then `report`.
 
 use std::fmt::Write as _;
 
 use nob_bench::json::Json;
+
+/// Sums an integer field over the sweep's per-case results.
+fn sum_field(results: &[Json], key: &str) -> u64 {
+    results.iter().filter_map(|r| r.get(key).and_then(Json::as_f64)).sum::<f64>() as u64
+}
+
+/// Counts cases whose boolean field is set.
+fn count_true(results: &[Json], key: &str) -> usize {
+    results.iter().filter(|r| r.get(key).and_then(Json::as_bool) == Some(true)).count()
+}
+
+/// Renders a chaos-sweep document (the `nob-chaos` campaign schema):
+/// fault-injection and recovery counters as one summary table.
+fn render_chaos(exp: &Json, out: &mut String) -> Option<()> {
+    let profile = exp.get("profile")?.as_str()?;
+    let cases = exp.get("cases")?.as_f64()? as u64;
+    let passed = exp.get("passed")?.as_f64()? as u64;
+    let failed = exp.get("failed")?.as_f64()? as u64;
+    let undetected = exp.get("undetected_values")?.as_f64()? as u64;
+    let unexplained = exp.get("unexplained_losses")?.as_f64()? as u64;
+    let results = exp.get("results")?.as_array()?;
+    let injections: usize = results
+        .iter()
+        .filter_map(|r| r.get("injections").and_then(Json::as_array))
+        .map(<[Json]>::len)
+        .sum();
+    let _ = writeln!(out, "## chaos — fault injection & recovery ({profile})\n");
+    let _ = writeln!(out, "| counter | value |");
+    let _ = writeln!(out, "|---|---|");
+    let _ = writeln!(out, "| cases | {cases} |");
+    let _ = writeln!(out, "| passed | {passed} |");
+    let _ = writeln!(out, "| failed | {failed} |");
+    let _ = writeln!(out, "| faults injected | {injections} |");
+    let _ = writeln!(out, "| undetected (fabricated) values | {undetected} |");
+    let _ = writeln!(out, "| unexplained acked losses | {unexplained} |");
+    let _ = writeln!(out, "| acked pairs checked | {} |", sum_field(results, "acked_pairs"));
+    let _ = writeln!(out, "| acked losses (explained) | {} |", sum_field(results, "lost_acked"));
+    let _ = writeln!(
+        out,
+        "| WAL corruptions detected | {} |",
+        sum_field(results, "wal_corruptions_detected")
+    );
+    let _ = writeln!(out, "| WAL bytes dropped | {} |", sum_field(results, "wal_bytes_dropped"));
+    let _ =
+        writeln!(out, "| ordered-mode violations | {} |", sum_field(results, "ordered_violations"));
+    let _ = writeln!(out, "| repairs engaged | {} |", count_true(results, "repaired"));
+    let _ = writeln!(out, "| journal chains broken | {} |", count_true(results, "journal_broken"));
+    let _ = writeln!(out);
+    Some(())
+}
 
 fn render(exp: &Json, out: &mut String) -> Option<()> {
     let id = exp.get("id")?.as_str()?;
@@ -82,7 +133,12 @@ fn main() {
         let Ok(text) = std::fs::read_to_string(path) else { continue };
         match Json::parse(&text) {
             Some(exp) => {
-                if render(&exp, &mut out).is_some() {
+                let ok = if exp.get("profile").is_some() {
+                    render_chaos(&exp, &mut out).is_some()
+                } else {
+                    render(&exp, &mut out).is_some()
+                };
+                if ok {
                     rendered += 1;
                 } else {
                     eprintln!("skipping {} (unexpected schema)", path.display());

@@ -14,8 +14,11 @@ use nob_workloads::dbbench;
 fn main() {
     let scale = Scale::from_args(64);
     let ops = scale.micro_ops();
-    let mut exp =
-        Experiment::new("table1", "number of syncs and data synced (fillrandom, 1 KB)", scale.factor);
+    let mut exp = Experiment::new(
+        "table1",
+        "number of syncs and data synced (fillrandom, 1 KB)",
+        scale.factor,
+    );
     println!(
         "{:<14}{:>12}{:>16}{:>20}{:>22}",
         "LSM-tree", "syncs", "synced (GB)", "syncs (x scale)", "synced GB (x scale)"
@@ -25,8 +28,8 @@ fn main() {
         let base = scale.base_options(PAPER_TABLE_LARGE);
         let mut db = variant.open(fs.clone(), "db", &base, Nanos::ZERO).expect("open db");
         fs.reset_stats(); // exclude DB-creation syncs, as the paper's counters would
-        // Counters are read when the foreground finishes, like the
-        // paper's instrumentation of a terminating db_bench process.
+                          // Counters are read when the foreground finishes, like the
+                          // paper's instrumentation of a terminating db_bench process.
         let fill = dbbench::fillrandom(&mut db, ops, 1024, 42, Nanos::ZERO).expect("fillrandom");
         let _ = fill;
         let stats = fs.stats();

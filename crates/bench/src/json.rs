@@ -1,6 +1,6 @@
 //! A minimal JSON parser for reading back the harness's own result files
-//! (kept dependency-free; supports exactly the subset `output::Experiment`
-//! emits: objects, arrays, strings, numbers).
+//! (kept dependency-free; supports the subset the harnesses emit: objects,
+//! arrays, strings, numbers, booleans and `null`).
 
 use std::collections::BTreeMap;
 
@@ -15,6 +15,10 @@ pub enum Json {
     String(String),
     /// A number.
     Number(f64),
+    /// A boolean.
+    Bool(bool),
+    /// The `null` literal.
+    Null,
 }
 
 impl Json {
@@ -64,6 +68,14 @@ impl Json {
             _ => None,
         }
     }
+
+    /// Boolean content, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
 }
 
 fn skip_ws(b: &[u8], pos: &mut usize) {
@@ -78,6 +90,9 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Option<Json> {
         b'{' => parse_object(b, pos),
         b'[' => parse_array(b, pos),
         b'"' => parse_string(b, pos).map(Json::String),
+        b't' => parse_literal(b, pos, "true", Json::Bool(true)),
+        b'f' => parse_literal(b, pos, "false", Json::Bool(false)),
+        b'n' => parse_literal(b, pos, "null", Json::Null),
         _ => parse_number(b, pos),
     }
 }
@@ -151,8 +166,16 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Option<String> {
                 match b.get(*pos)? {
                     b'"' => out.push('"'),
                     b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
                     b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
                     b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = b.get(*pos + 1..*pos + 5)?;
+                        let code = u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                        out.push(char::from_u32(code)?);
+                        *pos += 4;
+                    }
                     _ => return None,
                 }
                 *pos += 1;
@@ -165,11 +188,18 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Option<String> {
     }
 }
 
+fn parse_literal(b: &[u8], pos: &mut usize, word: &str, value: Json) -> Option<Json> {
+    if b[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Some(value)
+    } else {
+        None
+    }
+}
+
 fn parse_number(b: &[u8], pos: &mut usize) -> Option<Json> {
     let start = *pos;
-    while *pos < b.len()
-        && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-    {
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
         *pos += 1;
     }
     if start == *pos {
@@ -210,14 +240,23 @@ mod tests {
     }
 
     #[test]
+    fn parses_literals_and_escapes() {
+        assert_eq!(Json::parse("true"), Some(Json::Bool(true)));
+        assert_eq!(Json::parse("false"), Some(Json::Bool(false)));
+        assert_eq!(Json::parse("null"), Some(Json::Null));
+        let v = Json::parse(r#"{"ok": true, "err": null}"#).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("err"), Some(&Json::Null));
+        assert_eq!(Json::parse(r#""A\r\/b""#), Some(Json::String("A\r/b".into())));
+        assert_eq!(Json::parse("\"\\u0041Z\""), Some(Json::String("AZ".into())));
+    }
+
+    #[test]
     fn parses_primitives_and_nesting() {
         assert_eq!(Json::parse("3.5"), Some(Json::Number(3.5)));
         assert_eq!(Json::parse("-2e3"), Some(Json::Number(-2000.0)));
         assert_eq!(Json::parse("[]"), Some(Json::Array(vec![])));
         let v = Json::parse(r#"{"a": {"b": [1, 2]}}"#).unwrap();
-        assert_eq!(
-            v.get("a").unwrap().get("b").unwrap().as_array().unwrap().len(),
-            2
-        );
+        assert_eq!(v.get("a").unwrap().get("b").unwrap().as_array().unwrap().len(), 2);
     }
 }

@@ -48,10 +48,8 @@ impl Scale {
     /// Reads the scale from the command line (`--scale N`) or the
     /// `NOB_SCALE` environment variable, defaulting to `default`.
     pub fn from_args(default: u64) -> Self {
-        let mut factor = std::env::var("NOB_SCALE")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default);
+        let mut factor =
+            std::env::var("NOB_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(default);
         let args: Vec<String> = std::env::args().collect();
         for pair in args.windows(2) {
             if pair[0] == "--scale" {

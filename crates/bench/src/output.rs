@@ -1,10 +1,8 @@
 //! Result tables: aligned stdout printing plus JSON files under
 //! `target/nob-results/` for EXPERIMENTS.md bookkeeping.
 
-use serde::Serialize;
-
 /// One measured cell of a figure or table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Cell {
     /// Series label (usually the system name).
     pub series: String,
@@ -17,7 +15,7 @@ pub struct Cell {
 }
 
 /// A whole experiment's results.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Experiment {
     /// Experiment id, e.g. `"fig4a"`.
     pub id: String,

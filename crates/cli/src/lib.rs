@@ -18,6 +18,8 @@
 //! stats                  engine + filesystem counters
 //! levels                 files per level
 //! time                   current virtual instant
+//! chaos <seed> [pm] [fseed]   one fault-injected crash/recovery case
+//! chaos sweep [seeds] [points]  campaign over seeds × crash points
 //! help                   this text
 //! ```
 //!
@@ -50,10 +52,7 @@ pub struct Session {
 
 impl std::fmt::Debug for Session {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Session")
-            .field("open", &self.db.is_some())
-            .field("now", &self.now)
-            .finish()
+        f.debug_struct("Session").field("open", &self.db.is_some()).field("now", &self.now).finish()
     }
 }
 
@@ -175,10 +174,11 @@ impl Session {
             "fill" => {
                 let [n, vs] = args[..] else { return Err("usage: fill <n> <value_size>".into()) };
                 let n: u64 = n.parse().map_err(|_| "n must be a number".to_string())?;
-                let vs: usize = vs.parse().map_err(|_| "value_size must be a number".to_string())?;
+                let vs: usize =
+                    vs.parse().map_err(|_| "value_size must be a number".to_string())?;
                 let now = self.now;
-                let r = dbbench::fillrandom(self.db()?, n, vs, 42, now)
-                    .map_err(|e| e.to_string())?;
+                let r =
+                    dbbench::fillrandom(self.db()?, n, vs, 42, now).map_err(|e| e.to_string())?;
                 self.now = r.finished;
                 let _ = writeln!(
                     out,
@@ -191,7 +191,7 @@ impl Session {
             "advance" => {
                 let [ms] = args[..] else { return Err("usage: advance <ms>".into()) };
                 let ms: u64 = ms.parse().map_err(|_| "ms must be a number".to_string())?;
-                self.now = self.now + Nanos::from_millis(ms);
+                self.now += Nanos::from_millis(ms);
                 let now = self.now;
                 if let Ok(db) = self.db() {
                     db.tick(now).map_err(|e| e.to_string())?;
@@ -260,10 +260,87 @@ impl Session {
             "time" => {
                 let _ = writeln!(out, "{}", self.now);
             }
+            // Self-contained: runs against its own fresh simulated stack,
+            // leaving the session's filesystem and database untouched.
+            "chaos" => match args.first().copied() {
+                Some("sweep") => {
+                    let seeds: u64 = args
+                        .get(1)
+                        .map(|s| s.parse().map_err(|_| "seeds must be a number".to_string()))
+                        .transpose()?
+                        .unwrap_or(2);
+                    let points: u32 = args
+                        .get(2)
+                        .map(|s| s.parse().map_err(|_| "points must be a number".to_string()))
+                        .transpose()?
+                        .unwrap_or(3);
+                    let mut spec = nob_chaos::CampaignSpec::smoke();
+                    spec.seeds = (1..=seeds.max(1)).collect();
+                    let m = points.max(1);
+                    spec.crash_points_pm = (1..=m).map(|i| i * 1000 / m).collect();
+                    let r = nob_chaos::run_campaign(&spec);
+                    let _ = writeln!(
+                        out,
+                        "chaos sweep: {} cases, {} passed, {} failed, {} undetected values, {} unexplained losses",
+                        r.results.len(),
+                        r.passed(),
+                        r.failed(),
+                        r.undetected_total(),
+                        r.unexplained_losses()
+                    );
+                }
+                Some(seed) => {
+                    let seed: u64 =
+                        seed.parse().map_err(|_| "seed must be a number".to_string())?;
+                    let crash_pm: u32 = args
+                        .get(1)
+                        .map(|s| s.parse().map_err(|_| "pm must be a number".to_string()))
+                        .transpose()?
+                        .unwrap_or(500);
+                    let fault_seed: u64 = args
+                        .get(2)
+                        .map(|s| s.parse().map_err(|_| "fseed must be a number".to_string()))
+                        .transpose()?
+                        .unwrap_or(seed);
+                    let mut case = nob_chaos::ChaosCase::new(seed, 1);
+                    case.crash_pm = crash_pm.min(1000);
+                    case.plan = nob_chaos::FaultPlan::seeded(fault_seed);
+                    let r = nob_chaos::run_case(&case);
+                    let _ = writeln!(
+                        out,
+                        "chaos case seed={seed} crash@{} of {}: {}",
+                        r.crash_at,
+                        r.run_end,
+                        if r.pass { "PASS" } else { "FAIL" }
+                    );
+                    let _ = writeln!(
+                        out,
+                        "  injections={} acked={} lost={} explained={} undetected={}",
+                        r.injections.len(),
+                        r.acked_pairs,
+                        r.lost_acked,
+                        r.explained,
+                        r.undetected_values
+                    );
+                    let _ = writeln!(
+                        out,
+                        "  wal_corruptions={} wal_dropped_bytes={} repaired={} ordered_violations={} journal_broken={}",
+                        r.wal_corruptions_detected,
+                        r.wal_bytes_dropped,
+                        r.repaired,
+                        r.ordered_violations,
+                        r.journal_broken
+                    );
+                }
+                None => return Err(
+                    "usage: chaos <seed> [crash_pm] [fault_seed] | chaos sweep [seeds] [points]"
+                        .into(),
+                ),
+            },
             "help" => {
                 let _ = writeln!(
                     out,
-                    "commands: open put get del scan fill advance flush compact crash levels stats time help quit"
+                    "commands: open put get del scan fill advance flush compact crash chaos levels stats time help quit"
                 );
             }
             "quit" | "exit" => {}
@@ -311,9 +388,8 @@ mod tests {
     #[test]
     fn crash_recovers_flushed_data() {
         let mut s = Session::new();
-        let out = s.run_script(
-            "open noblsm\nput k persisted\nflush\nadvance 11000\ncrash 100\nget k\n",
-        );
+        let out =
+            s.run_script("open noblsm\nput k persisted\nflush\nadvance 11000\ncrash 100\nget k\n");
         assert!(out.contains("power failed"));
         assert!(out.contains("persisted"), "{out}");
     }
@@ -333,6 +409,17 @@ mod tests {
         let mut s = Session::new();
         let out = s.run_script("# a comment\n\nopen volatile\n# another\ntime\n");
         assert!(out.contains("opened LevelDB-nosync"));
+    }
+
+    #[test]
+    fn chaos_command_runs_case_and_sweep() {
+        let mut s = Session::new();
+        let out = s.run_line("chaos 7 600");
+        assert!(out.contains("chaos case seed=7"), "{out}");
+        assert!(out.contains("PASS") || out.contains("FAIL"));
+        let out = s.run_line("chaos sweep 1 2");
+        assert!(out.contains("chaos sweep: 8 cases"), "{out}");
+        assert!(s.run_line("chaos").contains("usage: chaos"));
     }
 
     #[test]

@@ -168,8 +168,7 @@ pub(crate) fn run_major(
         }
         outcome.largest_compacted = Some(InternalKey::from_encoded(&ikey));
 
-        let stream =
-            if allow_hot && hot.is_hot(&uk) { &mut hot_stream } else { &mut cold };
+        let stream = if allow_hot && hot.is_hot(&uk) { &mut hot_stream } else { &mut cold };
         stream.add(&ikey, &value, opts);
         if stream.builder.as_ref().is_some_and(|b| b.size_estimate() >= opts.table_size) {
             stream.flush(fs, dir, opts, alloc, group.as_mut(), now, &mut outcome)?;
@@ -252,9 +251,8 @@ impl OutputStream {
             if opts.sync_mode == SyncMode::Always {
                 *now = fs.fsync(handle, *now)?;
             }
-            let inode = fs
-                .inode_of(&path)
-                .ok_or_else(|| DbError::InvalidDb("output vanished".into()))?;
+            let inode =
+                fs.inode_of(&path).ok_or_else(|| DbError::InvalidDb("output vanished".into()))?;
             CompactionOutput {
                 meta: FileMetaData::new(number, number, 0, bytes.len() as u64, smallest, largest),
                 physical_path: path,

@@ -7,10 +7,7 @@ use crate::util::{decode_bytes, encode_bytes};
 use crate::{DbError, Result, SequenceNumber, ValueType};
 
 /// Encodes a batch of writes starting at sequence `seq`.
-pub(crate) fn encode_batch(
-    seq: SequenceNumber,
-    entries: &[(ValueType, &[u8], &[u8])],
-) -> Vec<u8> {
+pub(crate) fn encode_batch(seq: SequenceNumber, entries: &[(ValueType, &[u8], &[u8])]) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(&seq.to_le_bytes());
     out.extend_from_slice(&(entries.len() as u32).to_le_bytes());

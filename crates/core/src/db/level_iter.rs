@@ -90,9 +90,8 @@ impl<'a> InternalIterator for LevelIter<'a> {
 
     fn seek(&mut self, target: &[u8], now: &mut Nanos) -> Result<()> {
         // Binary search: the first file whose largest key is >= target.
-        self.index = self
-            .files
-            .partition_point(|f| compare_internal(f.largest.as_bytes(), target).is_lt());
+        self.index =
+            self.files.partition_point(|f| compare_internal(f.largest.as_bytes(), target).is_lt());
         self.open_index(now)?;
         if let Some(c) = self.cur.as_mut() {
             c.seek(target, now)?;

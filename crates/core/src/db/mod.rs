@@ -19,6 +19,8 @@ mod hot;
 mod level_iter;
 mod repair;
 
+pub use repair::RepairReport;
+
 use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
 
@@ -33,10 +35,10 @@ use crate::iterator::{DbIterator, InternalIterator, MergingIterator};
 use crate::memtable::{MemLookup, MemTable};
 use crate::noblsm::{DependencyTracker, Predecessor};
 use crate::options::{CompactionStyle, Options, SyncMode, WriteOptions};
+use crate::version::Version;
 use crate::version::{
     file_path, parse_file_name, CompactionInputs, FileKind, FileMetaData, VersionEdit, VersionSet,
 };
-use crate::version::Version;
 use crate::wal::{LogReader, LogWriter};
 use crate::{DbError, DbStats, Result, ValueType};
 
@@ -184,8 +186,7 @@ impl Db {
         } else {
             VersionSet::create(fs.clone(), dir, opts.clone(), now)?
         };
-        let tables =
-            TableCache::new(fs.clone(), dir.to_string(), opts.block_cache_bytes, opts.cpu);
+        let tables = TableCache::new(fs.clone(), dir.to_string(), opts.block_cache_bytes, opts.cpu);
         let mut refs = PhysicalRefs::new();
         for level in versions.current().files.iter() {
             for f in level {
@@ -199,13 +200,8 @@ impl Db {
         // that reused numbers cannot collide, and the counter must move
         // past every number ever seen on disk.
         if exists {
-            let live_physicals: HashSet<u64> = versions
-                .current()
-                .files
-                .iter()
-                .flatten()
-                .map(|f| f.physical)
-                .collect();
+            let live_physicals: HashSet<u64> =
+                versions.current().files.iter().flatten().map(|f| f.physical).collect();
             let manifest_path = versions.manifest_path().to_string();
             for p in fs.list(&format!("{dir}/")) {
                 let Some(name) = p.strip_prefix(&format!("{dir}/")) else { continue };
@@ -227,6 +223,7 @@ impl Db {
 
         // Replay surviving WALs (numbers >= the recovered log number).
         let mut recovered_tables: Vec<CompactionOutput> = Vec::new();
+        let mut recovery = DbStats::new();
         if exists {
             let mut logs: Vec<u64> = fs
                 .list(&format!("{dir}/"))
@@ -251,13 +248,16 @@ impl Db {
                 let mut reader = LogReader::new(data);
                 while let Some(record) = reader.next_record() {
                     let Ok(batch) = decode_batch(&record) else {
-                        break; // torn tail
+                        // A CRC-valid record that does not decode as a
+                        // batch is real corruption, not a torn tail
+                        // (tearing is caught by the record checksum).
+                        recovery.wal_corruptions_detected += 1;
+                        break;
                     };
-                    let mut seq = batch.seq;
-                    for (vt, key, value) in batch.entries {
+                    recovery.wal_records_recovered += 1;
+                    for (seq, (vt, key, value)) in (batch.seq..).zip(batch.entries) {
                         mem.add(seq, vt, &key, &value);
                         max_seq = max_seq.max(seq);
-                        seq += 1;
                     }
                     if mem.approximate_bytes() >= opts.write_buffer_size {
                         let full = std::mem::take(&mut mem);
@@ -271,6 +271,17 @@ impl Db {
                             &mut t,
                         )?;
                     }
+                }
+                if reader.corruption_detected() {
+                    recovery.wal_corruptions_detected += 1;
+                }
+                recovery.wal_bytes_dropped += reader.bytes_total() - reader.bytes_consumed();
+                if recovery.wal_corruptions_detected > 0 && opts.paranoid_checks {
+                    return Err(DbError::Corruption(format!(
+                        "checksum mismatch in {path} during recovery \
+                         ({} bytes unreplayable)",
+                        reader.bytes_total() - reader.bytes_consumed()
+                    )));
                 }
             }
             if !mem.is_empty() {
@@ -341,7 +352,7 @@ impl Db {
             writer_free: Nanos::ZERO,
             snapshots: BTreeMap::new(),
             next_snapshot_id: 0,
-            stats: DbStats::new(),
+            stats: recovery,
         };
         db.maybe_schedule(t);
         Ok(db)
@@ -463,11 +474,8 @@ impl Db {
         if batch.is_empty() {
             return Ok(now);
         }
-        let entries: Vec<(ValueType, &[u8], &[u8])> = batch
-            .entries
-            .iter()
-            .map(|(vt, k, v)| (*vt, k.as_slice(), v.as_slice()))
-            .collect();
+        let entries: Vec<(ValueType, &[u8], &[u8])> =
+            batch.entries.iter().map(|(vt, k, v)| (*vt, k.as_slice(), v.as_slice())).collect();
         self.write_entries(now, &entries, wopts)
     }
 
@@ -515,11 +523,7 @@ impl Db {
 
     /// The oldest sequence number any reader may still need.
     fn smallest_snapshot(&self) -> crate::SequenceNumber {
-        self.snapshots
-            .values()
-            .copied()
-            .min()
-            .unwrap_or(self.versions.last_sequence)
+        self.snapshots.values().copied().min().unwrap_or(self.versions.last_sequence)
     }
 
     /// Reads `key` as of `snapshot`.
@@ -541,11 +545,7 @@ impl Db {
     /// # Errors
     ///
     /// Propagates filesystem/corruption errors.
-    pub fn iter_at_snapshot(
-        &mut self,
-        now: Nanos,
-        snapshot: &Snapshot,
-    ) -> Result<DbIterator<'_>> {
+    pub fn iter_at_snapshot(&mut self, now: Nanos, snapshot: &Snapshot) -> Result<DbIterator<'_>> {
         let seq = snapshot.seq;
         self.iter_internal(now, seq)
     }
@@ -568,8 +568,7 @@ impl Db {
         let overlaps = |db: &Db, level: usize| -> bool {
             db.versions.current().files[level].iter().any(|f| {
                 let lo_ok = end.is_none_or(|e| crate::types::user_key(f.smallest.as_bytes()) <= e);
-                let hi_ok =
-                    begin.is_none_or(|b| crate::types::user_key(f.largest.as_bytes()) >= b);
+                let hi_ok = begin.is_none_or(|b| crate::types::user_key(f.largest.as_bytes()) >= b);
                 lo_ok && hi_ok
             })
         };
@@ -602,6 +601,23 @@ impl Db {
     ///
     /// Propagates filesystem errors.
     pub fn repair(fs: &Ext4Fs, dir: &str, opts: &Options, now: Nanos) -> Result<Nanos> {
+        repair::repair(fs, dir, opts, now).map(|(t, _)| t)
+    }
+
+    /// [`repair`](Db::repair), additionally returning what was salvaged,
+    /// skipped, and detected as corrupt — the accounting a
+    /// recovery-validation harness needs to separate detected loss from
+    /// silent loss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn repair_with_report(
+        fs: &Ext4Fs,
+        dir: &str,
+        opts: &Options,
+        now: Nanos,
+    ) -> Result<(Nanos, RepairReport)> {
         repair::repair(fs, dir, opts, now)
     }
 
@@ -651,9 +667,7 @@ shadows={} reclaimed={}",
                 ))
             }
             "noblsm.compaction-stats" => {
-                let mut out = String::from(
-                    "level   compactions   read(KB)   written(KB)   time\n",
-                );
+                let mut out = String::from("level   compactions   read(KB)   written(KB)   time\n");
                 for (level, pl) in self.stats.per_level.iter().enumerate() {
                     out.push_str(&format!(
                         "{:<8}{:<14}{:<11}{:<14}{}\n",
@@ -732,8 +746,7 @@ shadows={} reclaimed={}",
             }
         }
         let version = self.versions.current();
-        let (result, seek) =
-            version.get(key, seq, self.opts.style, &self.tables, &mut now)?;
+        let (result, seek) = version.get(key, seq, self.opts.style, &self.tables, &mut now)?;
         if let Some(sf) = seek {
             if self.opts.seek_compaction {
                 self.pending_seek = Some(sf);
@@ -835,6 +848,7 @@ shadows={} reclaimed={}",
     /// # Errors
     ///
     /// Propagates filesystem/corruption errors.
+    #[allow(clippy::type_complexity)]
     pub fn scan(
         &mut self,
         now: Nanos,
@@ -954,9 +968,7 @@ shadows={} reclaimed={}",
             edit.add_file(0, o.meta.clone());
         }
         self.versions.log_number = new_log_number;
-        let t = self
-            .versions
-            .log_and_apply(edit, t, self.opts.sync_mode == SyncMode::Always)?;
+        let t = self.versions.log_and_apply(edit, t, self.opts.sync_mode == SyncMode::Always)?;
         if let Some(o) = &output {
             self.refs.acquire(o.meta.physical, &o.physical_path);
         }
@@ -1009,9 +1021,7 @@ shadows={} reclaimed={}",
         if let Some(k) = &outcome.largest_compacted {
             edit.set_compact_pointer(level, k.clone());
         }
-        let t = self
-            .versions
-            .log_and_apply(edit, t, self.opts.sync_mode == SyncMode::Always)?;
+        let t = self.versions.log_and_apply(edit, t, self.opts.sync_mode == SyncMode::Always)?;
         for o in outcome.outputs.iter().chain(&outcome.hot_outputs) {
             self.refs.acquire(o.meta.physical, &o.physical_path);
         }
@@ -1164,11 +1174,9 @@ shadows={} reclaimed={}",
         let number = self.versions.new_file_number();
         let (lane, start) = self.pick_lane(now);
         let mut t = start;
-        let result = write_table(&self.fs, &self.dir, &self.opts, number, entries.into_iter(), &mut t);
-        let output = match result {
-            Ok(o) => o,
-            Err(_) => None,
-        };
+        let result =
+            write_table(&self.fs, &self.dir, &self.opts, number, entries.into_iter(), &mut t);
+        let output = result.unwrap_or_default();
         // NobLSM §4.1: the minor compaction is the *only* occasion KV
         // pairs are synced (modes other than Never sync here too).
         if self.opts.sync_mode != SyncMode::Never {
@@ -1195,8 +1203,7 @@ shadows={} reclaimed={}",
         // Seek-triggered compaction.
         if self.inflight_major < self.opts.compaction_lanes {
             if let Some((level, file)) = self.pending_seek.take() {
-                if let Some(c) =
-                    self.versions.pick_seek_compaction(level, &file, &self.busy_levels)
+                if let Some(c) = self.versions.pick_seek_compaction(level, &file, &self.busy_levels)
                 {
                     self.stats.seek_compactions += 1;
                     self.schedule_major(now, c);
@@ -1233,13 +1240,9 @@ shadows={} reclaimed={}",
         // cold so consolidation makes progress.
         let hot_level = if inputs.level == 0 { 1 } else { inputs.level };
         let allow_hot = self.opts.hot_cold
-            && version
-                .files
-                .get(hot_level)
-                .is_some_and(|fs| {
-                    fs.iter().filter(|f| f.hot).count()
-                        < crate::version::MAX_FREE_HOT_FILES
-                });
+            && version.files.get(hot_level).is_some_and(|fs| {
+                fs.iter().filter(|f| f.hot).count() < crate::version::MAX_FREE_HOT_FILES
+            });
         let outcome = match run_major(
             &self.fs,
             &self.dir,
@@ -1265,8 +1268,9 @@ shadows={} reclaimed={}",
         // already synced file-by-file inside the compaction (LevelDB's
         // behaviour); BoLT's grouped physical file is synced exactly once
         // here, after the whole compaction.
-        let succ_files =
-            physical_files(&outcome.outputs.iter().chain(&outcome.hot_outputs).cloned().collect::<Vec<_>>());
+        let succ_files = physical_files(
+            &outcome.outputs.iter().chain(&outcome.hot_outputs).cloned().collect::<Vec<_>>(),
+        );
         if self.opts.sync_mode == SyncMode::Always && self.opts.grouped_output {
             for (_, path, _) in &succ_files {
                 if let Ok(h) = self.fs.open(path, t) {

@@ -384,6 +384,7 @@ impl<'a> DbIterator<'a> {
     /// # Errors
     ///
     /// Propagates storage read failures.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Result<()> {
         let skip = self.current.take().map(|(k, _)| k);
         let mut now = self.now;
@@ -416,7 +417,7 @@ impl<'a> DbIterator<'a> {
             // The inner iterator sits on the surfaced entry of `cur`; walk
             // backward past the rest of its group.
             while self.inner.valid() && user_key(self.inner.key()) == cur.as_slice() {
-                now = now + self.per_entry_cpu;
+                now += self.per_entry_cpu;
                 self.inner.prev(&mut now)?;
             }
             self.direction = Direction::Backward;
@@ -472,7 +473,7 @@ impl<'a> DbIterator<'a> {
             let uk = user_key(self.inner.key()).to_vec();
             let mut newest_visible: Option<(Option<ValueType>, Vec<u8>)> = None;
             while self.inner.valid() && user_key(self.inner.key()) == uk.as_slice() {
-                now = now + self.per_entry_cpu;
+                now += self.per_entry_cpu;
                 let seq = sequence_of(self.inner.key());
                 if seq <= self.snapshot {
                     newest_visible =
@@ -500,10 +501,7 @@ mod tests {
     use crate::types::InternalKey;
 
     fn entry(key: &str, seq: u64, vt: ValueType, value: &str) -> (Vec<u8>, Vec<u8>) {
-        (
-            InternalKey::new(key.as_bytes(), seq, vt).as_bytes().to_vec(),
-            value.as_bytes().to_vec(),
-        )
+        (InternalKey::new(key.as_bytes(), seq, vt).as_bytes().to_vec(), value.as_bytes().to_vec())
     }
 
     fn sorted(mut v: Vec<(Vec<u8>, Vec<u8>)>) -> Vec<(Vec<u8>, Vec<u8>)> {
@@ -577,10 +575,7 @@ mod tests {
             out.push((it.key().to_vec(), it.value().to_vec()));
             it.next().unwrap();
         }
-        assert_eq!(
-            out,
-            vec![(b"a".to_vec(), b"a1".to_vec()), (b"c".to_vec(), b"c2".to_vec())]
-        );
+        assert_eq!(out, vec![(b"a".to_vec(), b"a1".to_vec()), (b"c".to_vec(), b"c2".to_vec())]);
         assert!(it.now() > Nanos::ZERO);
     }
 

@@ -59,9 +59,9 @@ mod stats;
 mod types;
 pub mod util;
 
-pub use db::{Db, Snapshot, WriteBatch};
-pub use iterator::DbIterator;
+pub use db::{Db, RepairReport, Snapshot, WriteBatch};
 pub use error::DbError;
+pub use iterator::DbIterator;
 pub use options::{CompactionStyle, CompressionType, CpuCosts, Options, SyncMode, WriteOptions};
 pub use stats::{DbStats, LevelCompactionStats};
 pub use types::{InternalKey, SequenceNumber, ValueType};

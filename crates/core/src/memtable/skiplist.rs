@@ -95,8 +95,7 @@ impl SkipList {
             *slot = self.arena[p].next[level];
         }
         self.arena.push(Node { key, value, next });
-        for level in 0..h {
-            let p = prevs[level];
+        for (level, &p) in prevs.iter().enumerate().take(h) {
             self.arena[p].next[level] = idx;
         }
         self.len += 1;

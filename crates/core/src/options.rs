@@ -152,6 +152,13 @@ pub struct Options {
     /// the structural simulation does not produce by itself (guard
     /// maintenance, logical-SSTable indirection, fine-grained locking).
     pub extra_op_cpu: Nanos,
+    /// LevelDB's `paranoid_checks`: when `true`, a checksum mismatch in a
+    /// WAL during recovery fails [`Db::open`](crate::Db::open) with
+    /// [`DbError::Corruption`](crate::DbError::Corruption) instead of
+    /// truncating replay at the damaged record. Either way the detection
+    /// is counted in [`DbStats`](crate::DbStats); nothing is skipped
+    /// silently.
+    pub paranoid_checks: bool,
 }
 
 impl Options {
@@ -181,7 +188,14 @@ impl Options {
             slowdown_delay: Nanos::from_millis(1),
             cpu: CpuCosts::default(),
             extra_op_cpu: Nanos::ZERO,
+            paranoid_checks: false,
         }
+    }
+
+    /// Sets whether WAL corruption fails recovery instead of truncating.
+    pub fn with_paranoid_checks(mut self, on: bool) -> Self {
+        self.paranoid_checks = on;
+        self
     }
 
     /// Sets the sync discipline.

@@ -202,16 +202,12 @@ impl Block {
 
     /// Creates an iterator positioned before the first entry.
     pub fn iter(self: &Arc<Block>) -> BlockIter {
-        BlockIter {
-            block: Arc::clone(self),
-            pos: usize::MAX,
-            key: Vec::new(),
-            value_range: (0, 0),
-        }
+        BlockIter { block: Arc::clone(self), pos: usize::MAX, key: Vec::new(), value_range: (0, 0) }
     }
 
     /// Decodes the entry at byte offset `pos`; returns
     /// `(next_pos, shared, non_shared_range, value_range)`.
+    #[allow(clippy::type_complexity)]
     fn decode_entry(&self, pos: usize) -> Option<(usize, usize, (usize, usize), (usize, usize))> {
         if pos >= self.data.len() {
             return None;

@@ -127,9 +127,7 @@ mod tests {
     fn false_positive_rate_is_low() {
         let keys: Vec<Vec<u8>> = (0..2000).map(|i| format!("present{i}").into_bytes()).collect();
         let f = BloomFilter::build(&keys, 10);
-        let fp = (0..2000)
-            .filter(|i| f.may_contain(format!("absent{i}").as_bytes()))
-            .count();
+        let fp = (0..2000).filter(|i| f.may_contain(format!("absent{i}").as_bytes())).count();
         // 10 bits/key gives ≈1 % theoretical FP rate; allow generous slack.
         assert!(fp < 100, "false positive rate too high: {fp}/2000");
     }

@@ -156,10 +156,8 @@ impl TableBuilder {
         append_trailer(&mut index_payload);
         self.buf.extend_from_slice(&index_payload);
         // Footer.
-        let footer = Footer {
-            filter: filter_handle,
-            index: BlockHandle::new(index_offset, index_size),
-        };
+        let footer =
+            Footer { filter: filter_handle, index: BlockHandle::new(index_offset, index_size) };
         self.buf.extend_from_slice(&footer.encode());
         self.buf
     }
@@ -187,8 +185,7 @@ mod tests {
 
     #[test]
     fn multiple_data_blocks_are_flushed() {
-        let mut opts = Options::default();
-        opts.block_size = 256;
+        let opts = Options { block_size: 256, ..Options::default() };
         let mut b = TableBuilder::new(&opts);
         for i in 0..100 {
             b.add(&ik(&format!("key{i:04}"), 1), &[7u8; 40]);

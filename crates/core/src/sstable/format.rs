@@ -104,10 +104,7 @@ mod tests {
 
     #[test]
     fn footer_round_trip() {
-        let f = Footer {
-            filter: BlockHandle::new(1000, 200),
-            index: BlockHandle::new(1205, 333),
-        };
+        let f = Footer { filter: BlockHandle::new(1000, 200), index: BlockHandle::new(1205, 333) };
         let enc = f.encode();
         assert_eq!(enc.len(), FOOTER_SIZE);
         assert_eq!(Footer::decode(&enc).unwrap(), f);

@@ -54,8 +54,12 @@ impl Table {
         if size < FOOTER_SIZE as u64 {
             return Err(DbError::Corruption("table smaller than footer".into()));
         }
-        let (footer_bytes, t) =
-            fs.read_exact_at(handle, base_offset + size - FOOTER_SIZE as u64, FOOTER_SIZE as u64, *now)?;
+        let (footer_bytes, t) = fs.read_exact_at(
+            handle,
+            base_offset + size - FOOTER_SIZE as u64,
+            FOOTER_SIZE as u64,
+            *now,
+        )?;
         *now = t;
         let footer = Footer::decode(&footer_bytes)?;
         let index = {
@@ -106,11 +110,7 @@ impl Table {
     /// # Errors
     ///
     /// Returns [`DbError::Corruption`] or [`DbError::Fs`] on read failures.
-    pub(crate) fn get(
-        &self,
-        probe: &[u8],
-        now: &mut Nanos,
-    ) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
+    pub(crate) fn get(&self, probe: &[u8], now: &mut Nanos) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
         *now += self.cpu.table_probe;
         if let Some(bloom) = &self.bloom {
             if !bloom.may_contain(user_key(probe)) {
@@ -338,8 +338,7 @@ mod tests {
     #[test]
     fn get_finds_present_keys() {
         let entries = sample(500);
-        let mut opts = Options::default();
-        opts.block_size = 512;
+        let opts = Options { block_size: 512, ..Options::default() };
         let (table, mut now) = build_and_open(&entries, &opts);
         for (k, _, v) in entries.iter().step_by(37) {
             let probe = ik(k, u64::MAX >> 9);
@@ -359,8 +358,7 @@ mod tests {
     #[test]
     fn iterator_walks_everything_in_order() {
         let entries = sample(777);
-        let mut opts = Options::default();
-        opts.block_size = 300;
+        let opts = Options { block_size: 300, ..Options::default() };
         let (table, mut now) = build_and_open(&entries, &opts);
         let n = verify_table_ordering(&table, &mut now).unwrap();
         assert_eq!(n, 777);
@@ -369,8 +367,7 @@ mod tests {
     #[test]
     fn iterator_seek_mid_table() {
         let entries = sample(100);
-        let mut opts = Options::default();
-        opts.block_size = 256;
+        let opts = Options { block_size: 256, ..Options::default() };
         let (table, mut now) = build_and_open(&entries, &opts);
         let mut it = table.iter();
         it.seek(&ik("key00050", u64::MAX >> 9), &mut now).unwrap();
@@ -383,8 +380,7 @@ mod tests {
     #[test]
     fn block_cache_makes_second_read_cheap() {
         let entries = sample(2000);
-        let mut opts = Options::default();
-        opts.block_size = 1024;
+        let opts = Options { block_size: 1024, ..Options::default() };
         let (table, now0) = build_and_open(&entries, &opts);
         // Drop the page cache so reads are device-priced on miss.
         table.fs.drop_caches();

@@ -47,6 +47,15 @@ pub struct DbStats {
     pub shadow_files: u64,
     /// Predecessor files reclaimed by NobLSM's poll.
     pub reclaimed_files: u64,
+    /// WAL batches replayed into the memtable during the last recovery.
+    pub wal_records_recovered: u64,
+    /// Checksum mismatches (or malformed CRC-valid records) detected in
+    /// WALs during the last recovery. Replay stops at the first damaged
+    /// record of a log; with `paranoid_checks` the open fails instead.
+    pub wal_corruptions_detected: u64,
+    /// WAL bytes dropped by the last recovery: everything after a torn
+    /// tail or a damaged record, across all replayed logs.
+    pub wal_bytes_dropped: u64,
     /// Major-compaction breakdown by parent level.
     pub per_level: Vec<LevelCompactionStats>,
 }

@@ -96,7 +96,8 @@ mod tests {
 
     #[test]
     fn incompressible_data_returns_none() {
-        let data: Vec<u8> = (0..1000u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        let data: Vec<u8> =
+            (0..1000u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
         assert!(compress(&data).is_none());
     }
 

@@ -77,10 +77,8 @@ impl VersionSet {
             next_file_number: 2,
             last_sequence: 0,
             log_number: 0,
-            manifest_handle: fs.create(
-                &file_path(dir, FileKind::Manifest, manifest_number),
-                now,
-            )?,
+            manifest_handle: fs
+                .create(&file_path(dir, FileKind::Manifest, manifest_number), now)?,
             manifest_log: LogWriter::new(),
             manifest_path: file_path(dir, FileKind::Manifest, manifest_number),
             compact_pointers: vec![None; opts.max_levels],
@@ -195,7 +193,12 @@ impl VersionSet {
     /// # Errors
     ///
     /// Propagates filesystem errors.
-    pub fn log_and_apply(&mut self, mut edit: VersionEdit, now: Nanos, sync: bool) -> Result<Nanos> {
+    pub fn log_and_apply(
+        &mut self,
+        mut edit: VersionEdit,
+        now: Nanos,
+        sync: bool,
+    ) -> Result<Nanos> {
         edit.set_next_file_number(self.next_file_number);
         edit.set_last_sequence(self.last_sequence);
         edit.set_log_number(self.log_number);
@@ -219,7 +222,8 @@ impl VersionSet {
         if level == 0 {
             self.current.num_files(0) as f64 / self.opts.l0_compaction_trigger as f64
         } else {
-            self.current.scored_level_bytes(level) as f64 / self.opts.max_bytes_for_level(level) as f64
+            self.current.scored_level_bytes(level) as f64
+                / self.opts.max_bytes_for_level(level) as f64
         }
     }
 
@@ -252,9 +256,7 @@ impl VersionSet {
         file: &Arc<FileMetaData>,
         busy: &HashSet<usize>,
     ) -> Option<CompactionInputs> {
-        if level + 1 >= self.opts.max_levels
-            || busy.contains(&level)
-            || busy.contains(&(level + 1))
+        if level + 1 >= self.opts.max_levels || busy.contains(&level) || busy.contains(&(level + 1))
         {
             return None;
         }
@@ -276,9 +278,7 @@ impl VersionSet {
         hi: Option<&[u8]>,
         busy: &HashSet<usize>,
     ) -> Option<CompactionInputs> {
-        if level + 1 >= self.opts.max_levels
-            || busy.contains(&level)
-            || busy.contains(&(level + 1))
+        if level + 1 >= self.opts.max_levels || busy.contains(&level) || busy.contains(&(level + 1))
         {
             return None;
         }
@@ -309,8 +309,7 @@ impl VersionSet {
                 Some(ptr) => files
                     .iter()
                     .position(|f| {
-                        crate::types::compare_internal(f.largest.as_bytes(), ptr.as_bytes())
-                            .is_gt()
+                        crate::types::compare_internal(f.largest.as_bytes(), ptr.as_bytes()).is_gt()
                     })
                     .unwrap_or(0),
                 None => 0,
@@ -394,7 +393,7 @@ pub(crate) fn apply_edit(base: &Version, edit: &VersionEdit, opts: &Options) -> 
     }
     for (level, level_files) in files.iter_mut().enumerate() {
         if level == 0 {
-            level_files.sort_by(|a, b| b.number.cmp(&a.number));
+            level_files.sort_by_key(|f| std::cmp::Reverse(f.number));
         } else {
             level_files.sort_by(|a, b| {
                 crate::types::compare_internal(a.smallest.as_bytes(), b.smallest.as_bytes())
@@ -424,7 +423,8 @@ mod tests {
 
     fn fresh() -> (VersionSet, Ext4Fs, Nanos) {
         let fs = Ext4Fs::new(Ext4Config::default());
-        let (set, t) = VersionSet::create(fs.clone(), "db", Options::default(), Nanos::ZERO).unwrap();
+        let (set, t) =
+            VersionSet::create(fs.clone(), "db", Options::default(), Nanos::ZERO).unwrap();
         (set, fs, t)
     }
 

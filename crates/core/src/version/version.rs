@@ -187,6 +187,7 @@ impl Version {
     /// # Errors
     ///
     /// Propagates table read failures.
+    #[allow(clippy::type_complexity)]
     pub(crate) fn get(
         &self,
         key: &[u8],
@@ -210,23 +211,18 @@ impl Version {
                     .filter(|f| f.contains_user_key(key))
                     .cloned()
                     .collect();
-                v.sort_by(|a, b| b.number.cmp(&a.number));
+                v.sort_by_key(|f| std::cmp::Reverse(f.number));
                 v
             } else {
                 // Non-overlapping cold files: binary search for the single
                 // candidate. Hot (log-structured) files may overlap and are
                 // all probed, newest first.
                 let files = &self.files[level];
-                let mut v: Vec<Arc<FileMetaData>> = files
-                    .iter()
-                    .filter(|f| f.hot && f.contains_user_key(key))
-                    .cloned()
-                    .collect();
-                v.sort_by(|a, b| b.number.cmp(&a.number));
-                let cold: Vec<&Arc<FileMetaData>> =
-                    files.iter().filter(|f| !f.hot).collect();
-                let idx =
-                    cold.partition_point(|f| (user_key(f.largest.as_bytes())) < key);
+                let mut v: Vec<Arc<FileMetaData>> =
+                    files.iter().filter(|f| f.hot && f.contains_user_key(key)).cloned().collect();
+                v.sort_by_key(|f| std::cmp::Reverse(f.number));
+                let cold: Vec<&Arc<FileMetaData>> = files.iter().filter(|f| !f.hot).collect();
+                let idx = cold.partition_point(|f| (user_key(f.largest.as_bytes())) < key);
                 if let Some(f) = cold.get(idx) {
                     if f.contains_user_key(key) {
                         v.push(Arc::clone(f));

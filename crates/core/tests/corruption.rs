@@ -1,0 +1,93 @@
+//! Read-path hardening: device-corrupted WAL bytes must surface as
+//! *detected* corruption during recovery — counted in `DbStats`, or a
+//! typed `DbError::Corruption` under `paranoid_checks` — never a panic
+//! and never a silent skip.
+
+use nob_ext4::{Ext4Config, Ext4Fs};
+use nob_sim::Nanos;
+use nob_ssd::{FaultInjector, InjectorHandle, WriteClass, WriteCmd, WriteFault};
+use noblsm::{Db, DbError, Options, SyncMode};
+
+/// Corrupts every data-class write (WAL write-back included).
+struct CorruptData;
+impl FaultInjector for CorruptData {
+    fn on_write(&mut self, cmd: &WriteCmd) -> WriteFault {
+        if cmd.class == WriteClass::Data {
+            WriteFault::Corrupt
+        } else {
+            WriteFault::None
+        }
+    }
+}
+
+fn opts() -> Options {
+    Options::default().with_sync_mode(SyncMode::Always).with_table_size(8 << 10)
+}
+
+/// Builds a db whose surviving WAL is committed but damaged on media,
+/// and returns the crash view holding it.
+fn crashed_fs_with_corrupt_wal() -> (Ext4Fs, Nanos) {
+    let fs = Ext4Fs::new(Ext4Config::default());
+    let mut db = Db::open(fs.clone(), "db", opts(), Nanos::ZERO).unwrap();
+    let mut now = Nanos::ZERO;
+    // Buffered WAL appends only — small enough that nothing flushes.
+    for i in 0..20 {
+        now = db.put(now, format!("k{i:04}").as_bytes(), b"v").unwrap();
+    }
+    // The WAL's write-back happens inside the next async commit, with the
+    // device now corrupting data payloads.
+    fs.set_fault_injector(InjectorHandle::new(CorruptData));
+    let crash_at = now + Nanos::from_secs(6);
+    fs.tick(crash_at);
+    let view = fs.crashed_view(crash_at);
+    (view, crash_at)
+}
+
+#[test]
+fn corrupt_wal_is_counted_not_silently_skipped() {
+    let (view, at) = crashed_fs_with_corrupt_wal();
+    let db = Db::open(view, "db", opts(), at).unwrap();
+    let s = db.stats();
+    assert!(s.wal_corruptions_detected >= 1, "corruption must be detected: {s:?}");
+    assert!(s.wal_bytes_dropped > 0, "dropped bytes must be accounted: {s:?}");
+    assert_eq!(s.wal_records_recovered, 0, "every record sat behind the damage");
+}
+
+#[test]
+fn paranoid_checks_turn_wal_corruption_into_typed_error() {
+    let (view, at) = crashed_fs_with_corrupt_wal();
+    let err = Db::open(view, "db", opts().with_paranoid_checks(true), at).unwrap_err();
+    assert!(matches!(err, DbError::Corruption(_)), "got {err:?}");
+}
+
+#[test]
+fn repair_reports_detected_wal_corruption() {
+    let (view, at) = crashed_fs_with_corrupt_wal();
+    // Wipe the metadata so repair has to work from surviving files.
+    view.delete("db/CURRENT", at).unwrap();
+    let (t, report) = Db::repair_with_report(&view, "db", &opts(), at).unwrap();
+    assert!(report.wal_corruptions_detected >= 1, "repair must report damage: {report:?}");
+    assert!(report.wal_bytes_dropped > 0);
+    // The repaired database opens cleanly afterwards.
+    let db = Db::open(view, "db", opts(), t).unwrap();
+    drop(db);
+}
+
+#[test]
+fn clean_crash_recovery_reports_no_corruption() {
+    let fs = Ext4Fs::new(Ext4Config::default());
+    let mut db = Db::open(fs.clone(), "db", opts(), Nanos::ZERO).unwrap();
+    let mut now = Nanos::ZERO;
+    for i in 0..20 {
+        now = db.put(now, format!("k{i:04}").as_bytes(), b"v").unwrap();
+    }
+    let crash_at = now + Nanos::from_secs(6);
+    fs.tick(crash_at);
+    let view = fs.crashed_view(crash_at);
+    let mut db = Db::open(view, "db", opts(), crash_at).unwrap();
+    let s = db.stats().clone();
+    assert_eq!(s.wal_corruptions_detected, 0);
+    assert!(s.wal_records_recovered >= 1, "committed WAL replays: {s:?}");
+    let (got, _) = db.get(crash_at, b"k0000").unwrap();
+    assert_eq!(got.as_deref(), Some(&b"v"[..]));
+}

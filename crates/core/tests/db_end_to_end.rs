@@ -279,10 +279,7 @@ fn noblsm_is_faster_than_leveldb_on_writes() {
     let t_leveldb = run(SyncMode::Always);
     let t_noblsm = run(SyncMode::NobLsm);
     let t_volatile = run(SyncMode::Never);
-    assert!(
-        t_noblsm < t_leveldb,
-        "NobLSM ({t_noblsm}) should beat LevelDB ({t_leveldb})"
-    );
+    assert!(t_noblsm < t_leveldb, "NobLSM ({t_noblsm}) should beat LevelDB ({t_leveldb})");
     assert!(t_volatile <= t_noblsm, "volatile is the lower bound");
 }
 

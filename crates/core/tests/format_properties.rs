@@ -9,9 +9,7 @@ use noblsm::{InternalKey, Options, ValueType};
 use proptest::prelude::*;
 
 /// Sorted, deduplicated internal keys from arbitrary user keys.
-fn sorted_entries(
-    raw: Vec<(Vec<u8>, Vec<u8>)>,
-) -> Vec<(InternalKey, Vec<u8>)> {
+fn sorted_entries(raw: Vec<(Vec<u8>, Vec<u8>)>) -> Vec<(InternalKey, Vec<u8>)> {
     let mut seen = std::collections::BTreeMap::new();
     for (k, v) in raw {
         seen.insert(k, v);
@@ -37,8 +35,7 @@ proptest! {
         block_size in 64usize..2048,
     ) {
         let entries = sorted_entries(raw);
-        let mut opts = Options::default();
-        opts.block_size = block_size;
+        let opts = Options { block_size, ..Options::default() };
         let mut builder = noblsm::sstable::TableBuilder::new(&opts);
         for (k, v) in &entries {
             builder.add(k.as_bytes(), v);

@@ -25,7 +25,7 @@ fn backward_equals_reversed_forward() {
     let mut now = Nanos::ZERO;
     // Data spread over memtable + several table generations + deletes.
     for i in 0..1500u64 {
-        now = db.put(now, &key(i * 7919 % 1500), &vec![1u8; 64]).unwrap();
+        now = db.put(now, &key(i * 7919 % 1500), &[1u8; 64]).unwrap();
     }
     for i in (0..1500).step_by(5) {
         now = db.delete(now, &key(i)).unwrap();

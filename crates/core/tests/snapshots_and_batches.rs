@@ -102,13 +102,7 @@ fn write_batch_is_atomic_across_crash() {
     assert_eq!(batch.len(), 51);
     let now = db.write_batch(Nanos::ZERO, &batch, WriteOptions { sync: true }).unwrap();
     // Crash immediately: the synced batch must be fully present.
-    let mut rdb = Db::open(
-        fs.crashed_view(now),
-        "db",
-        db.options().clone(),
-        now,
-    )
-    .unwrap();
+    let mut rdb = Db::open(fs.crashed_view(now), "db", db.options().clone(), now).unwrap();
     let mut t = now;
     let (gone, t2) = rdb.get(t, &key(0)).unwrap();
     t = t2;
@@ -168,7 +162,6 @@ fn properties_report_engine_state() {
         now = db.put(now, &key(i), &[1u8; 64]).unwrap();
     }
     now = db.flush(now).unwrap();
-    let _ = now;
     assert_eq!(
         db.property("noblsm.num-files-at-level0").unwrap(),
         db.level_file_counts()[0].to_string()
@@ -181,9 +174,8 @@ fn properties_report_engine_state() {
     assert!(mem < 1 << 20);
     assert_eq!(db.property("noblsm.nope"), None);
     // Force some majors, then the compaction-stats table must show them.
-    let mut now = now;
     for i in 0..3000u64 {
-        now = db.put(now, &key(i % 700), &vec![2u8; 64]).unwrap();
+        now = db.put(now, &key(i % 700), &[2u8; 64]).unwrap();
     }
     db.wait_idle(now).unwrap();
     let table = db.property("noblsm.compaction-stats").unwrap();
@@ -215,10 +207,6 @@ fn multi_get_reads_one_consistent_view() {
     batch.put(b"b", b"2");
     let now = db.write_batch(Nanos::ZERO, &batch, WriteOptions::default()).unwrap();
     let (got, t) = db.multi_get(now, &[b"a", b"missing", b"b"]).unwrap();
-    assert_eq!(
-        got,
-        vec![Some(b"1".to_vec()), None, Some(b"2".to_vec())],
-        "results in input order"
-    );
+    assert_eq!(got, vec![Some(b"1".to_vec()), None, Some(b"2".to_vec())], "results in input order");
     assert!(t > now);
 }

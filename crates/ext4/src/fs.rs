@@ -7,10 +7,37 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use nob_sim::Nanos;
-use nob_ssd::{IoStats, Ssd};
+use nob_ssd::{FlushFault, InjectorHandle, IoStats, Ssd, WriteClass, WriteFault};
 
-use crate::inode::{CommitEvent, Inode, PersistEvent};
+use crate::inode::{CommitEvent, DamageEvent, Inode, PersistEvent};
 use crate::{Ext4Config, FileHandle, FsError, FsStats, InodeId, Result};
+
+/// XOR mask applied to media bytes damaged by injected faults, so that a
+/// crash view returns detectably wrong data instead of zeroes (which a
+/// checksum of an all-zero page might accidentally accept).
+const DAMAGE_MASK: u8 = 0x5A;
+
+/// One journal commit's timing, recorded for the chaos harness: the
+/// interesting crash instants are precisely the phase boundaries of these
+/// windows (mid write-back, between data and journal, mid journal, right
+/// at the FLUSH).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitWindow {
+    /// Instant the commit started (ordered data write-back begins).
+    pub start: Nanos,
+    /// All ordered data handed to the device (journal write may begin).
+    pub data_done: Nanos,
+    /// Journal blocks written (the commit record's FLUSH may begin).
+    pub journal_done: Nanos,
+    /// FLUSH acknowledged — the kernel marks the transaction committed.
+    pub end: Nanos,
+    /// Synchronous (fsync/fast-commit) rather than timer/threshold commit.
+    pub sync: bool,
+    /// Number of inodes the transaction covered.
+    pub inodes: usize,
+    /// Whether an injected fault hit this commit's journal write or FLUSH.
+    pub faulted: bool,
+}
 
 /// A simulated Ext4 filesystem mounted in `data=ordered` mode.
 ///
@@ -47,6 +74,18 @@ struct Inner {
     /// inode → commit completion instant (committed).
     pending: HashMap<InodeId, u64>,
     committed: HashMap<InodeId, Nanos>,
+    /// Instant of the first journal commit whose record was torn or
+    /// corrupted on media. JBD2 recovery scans the journal in order and
+    /// stops at the first bad commit record, so every transaction from
+    /// this instant on is unrecoverable (fast-commit records excepted —
+    /// they live in a separate self-checksummed area).
+    journal_broken_at: Option<Nanos>,
+    /// Commit events acknowledged behind a dropped FLUSH, addressed as
+    /// (inode, index into its `commit_events`). The next real FLUSH
+    /// drains the device cache and settles their `durable_at`.
+    unsettled: Vec<(InodeId, usize)>,
+    /// Timing of every journal commit, for chaos crash-point targeting.
+    commit_log: Vec<CommitWindow>,
     stats: FsStats,
 }
 
@@ -71,6 +110,9 @@ impl Ext4Fs {
                 lru_gen: 0,
                 pending: HashMap::new(),
                 committed: HashMap::new(),
+                journal_broken_at: None,
+                unsettled: Vec::new(),
+                commit_log: Vec::new(),
                 stats: FsStats::new(),
             })),
         }
@@ -102,6 +144,28 @@ impl Ext4Fs {
         let mut g = self.inner.lock();
         g.stats = FsStats::new();
         g.ssd.reset_stats();
+    }
+
+    /// Installs a device fault injector; subsequent I/O consults it.
+    pub fn set_fault_injector(&self, injector: InjectorHandle) {
+        self.inner.lock().ssd.set_injector(injector);
+    }
+
+    /// Removes the fault injector, restoring the perfect device.
+    pub fn clear_fault_injector(&self) {
+        self.inner.lock().ssd.clear_injector();
+    }
+
+    /// Instant of the first torn/corrupted journal commit record, if any.
+    /// Recovery cannot see past this point in the journal.
+    pub fn journal_broken(&self) -> Option<Nanos> {
+        self.inner.lock().journal_broken_at
+    }
+
+    /// Timing of every journal commit so far, in completion order. The
+    /// chaos harness derives its crash instants from these windows.
+    pub fn commit_windows(&self) -> Vec<CommitWindow> {
+        self.inner.lock().commit_log.clone()
     }
 
     /// Creates a new empty file.
@@ -179,15 +243,19 @@ impl Ext4Fs {
         let mut g = self.inner.lock();
         g.tick(now);
         let cost = g.cfg.ssd.mem_cost(data.len() as u64);
-        {
+        let resident = {
             let inode = g.live_inode_mut(h)?;
+            // Re-caching an uncached inode makes its whole content
+            // resident again, not just the appended bytes.
+            let resident = if inode.cached { 0 } else { inode.content.len() as u64 };
             inode.content.extend_from_slice(data);
             inode.metadata_dirty = true;
             inode.touch();
             inode.cached = true;
-        }
+            resident
+        };
         g.dirty_bytes += data.len() as u64;
-        g.cache_used += data.len() as u64;
+        g.cache_used += data.len() as u64 + resident;
         g.stats.bytes_buffered += data.len() as u64;
         g.join_txn(h.ino);
         g.lru_touch(h.ino);
@@ -208,17 +276,19 @@ impl Ext4Fs {
     pub fn append_direct(&self, h: FileHandle, data: &[u8], now: Nanos) -> Result<Nanos> {
         let mut g = self.inner.lock();
         g.tick(now);
-        let res = g.ssd.write(now, data.len() as u64);
-        let inode = g.live_inode_mut(h)?;
-        inode.content.extend_from_slice(data);
-        let len = inode.content.len() as u64;
-        inode.written_back = len;
-        inode.persist_events.push(PersistEvent { len, at: res.end });
-        inode.metadata_dirty = true;
-        inode.touch();
+        let (base, target) = {
+            let inode = g.live_inode_mut(h)?;
+            let base = inode.content.len() as u64;
+            inode.content.extend_from_slice(data);
+            inode.metadata_dirty = true;
+            inode.touch();
+            (base, inode.content.len() as u64)
+        };
+        let end = g.data_write(h.ino, base, target, now, true, false);
+        g.inodes.get_mut(&h.ino).expect("checked above").written_back = target;
         g.stats.bytes_direct += data.len() as u64;
         g.join_txn(h.ino);
-        Ok(res.end)
+        Ok(end)
     }
 
     /// Positional read of up to `len` bytes at `offset`. Returns the bytes
@@ -251,11 +321,7 @@ impl Ext4Fs {
         let end = (offset + len).min(total);
         let data = inode.content[start as usize..end as usize].to_vec();
         let got = end - start;
-        let done = if cached {
-            now + g.cfg.ssd.mem_cost(got)
-        } else {
-            g.ssd.read(now, got).end
-        };
+        let done = if cached { now + g.cfg.ssd.mem_cost(got) } else { g.ssd.read(now, got).end };
         Ok((data, done))
     }
 
@@ -295,8 +361,8 @@ impl Ext4Fs {
             let inode = g.live_inode(h)?;
             // Bytes this sync is responsible for making durable: dirty
             // pages plus write-back still in flight.
-            let pending =
-                inode.content.len() as u64 - inode.persisted_len_at(now).min(inode.content.len() as u64);
+            let pending = inode.content.len() as u64
+                - inode.persisted_len_at(now).min(inode.content.len() as u64);
             (inode.needs_commit(), pending)
         };
         if !needs {
@@ -305,11 +371,8 @@ impl Ext4Fs {
             return Ok(now);
         }
         g.stats.bytes_synced += pending;
-        let done = if g.cfg.fast_commit {
-            g.fast_commit_inode(h.ino, now)
-        } else {
-            g.commit(now, true)
-        };
+        let done =
+            if g.cfg.fast_commit { g.fast_commit_inode(h.ino, now) } else { g.commit(now, true) };
         Ok(done)
     }
 
@@ -432,6 +495,20 @@ impl Ext4Fs {
     /// clean file at its committed path holding its committed length of
     /// data. The NobLSM kernel tables are empty — they live in kernel DRAM
     /// and do not survive a reboot.
+    ///
+    /// Injected device faults shape the reconstruction:
+    ///
+    /// * Commit records that never reached media (torn journal write, or
+    ///   acked behind a dropped FLUSH that was never settled) do not
+    ///   count, and nothing journalled after a torn commit record counts
+    ///   (JBD2 replay stops at the first bad record).
+    /// * Byte ranges damaged on media (torn or corrupt data write-back)
+    ///   come back XOR-masked, so the layer above's checksums can catch
+    ///   them; the view's `ordered_violations` counter records committed
+    ///   inodes whose full data was not durable.
+    ///
+    /// The view itself runs on a perfect device — power is back on and
+    /// the fault schedule belonged to the crashed run.
     pub fn crashed_view(&self, at: Nanos) -> Ext4Fs {
         let g = self.inner.lock();
         let fresh = Ext4Fs::new(g.cfg.clone());
@@ -439,11 +516,14 @@ impl Ext4Fs {
             let mut n = fresh.inner.lock();
             n.next_commit_at = at + n.cfg.commit_interval;
             n.next_ino = g.next_ino;
+            let broken = g.journal_broken_at;
+            let faulted = g.ssd.stats().faults_injected() > 0;
+            let mut violations = 0u64;
             // Latest committed claim per path wins (defensive; with atomic
             // same-transaction rename/delete pairs, conflicts cannot arise).
             let mut claims: HashMap<String, (Nanos, InodeId)> = HashMap::new();
             for inode in g.inodes.values() {
-                let Some(ev) = inode.commit_at(at) else { continue };
+                let Some(ev) = inode.commit_at(at, broken) else { continue };
                 let Some(path) = ev.path.clone() else { continue };
                 let claim = (ev.at, inode.id);
                 match claims.get(&path) {
@@ -455,27 +535,44 @@ impl Ext4Fs {
             }
             for (path, (_, id)) in claims {
                 let old = &g.inodes[&id];
-                let ev = old.commit_at(at).expect("claimed inodes have a commit event");
+                let ev = old.commit_at(at, broken).expect("claimed inodes have a commit event");
                 let persisted = old.persisted_len_at(at);
-                debug_assert!(
-                    persisted >= ev.len,
-                    "ordered-mode contract violated: inode {} committed len {} but only {} persisted",
-                    id,
-                    ev.len,
-                    persisted
-                );
+                if persisted < ev.len {
+                    // Without faults this would be an ordered-mode bug in
+                    // the model itself; with faults it is the expected
+                    // contract break the chaos harness probes for.
+                    debug_assert!(
+                        faulted,
+                        "ordered-mode contract violated: inode {} committed len {} but only {} persisted",
+                        id,
+                        ev.len,
+                        persisted
+                    );
+                    violations += 1;
+                }
                 let len = ev.len.min(persisted) as usize;
                 let mut inode = Inode::new(id, path.clone());
                 inode.content = old.content[..len].to_vec();
+                for (s, e) in old.damage_within(len as u64, at) {
+                    for b in &mut inode.content[s as usize..e as usize] {
+                        *b ^= DAMAGE_MASK;
+                    }
+                }
                 inode.written_back = len as u64;
                 inode.metadata_dirty = false;
                 inode.committed_epoch = inode.epoch;
                 inode.committed_at = Some(at);
                 inode.persist_events.push(PersistEvent { len: len as u64, at });
-                inode.commit_events.push(CommitEvent { at, len: len as u64, path: Some(path.clone()) });
+                inode.commit_events.push(CommitEvent {
+                    at,
+                    durable_at: Some(at),
+                    len: len as u64,
+                    path: Some(path.clone()),
+                });
                 n.inodes.insert(id, inode);
                 n.names.insert(path, id);
             }
+            n.stats.ordered_violations = violations;
         }
         fresh
     }
@@ -493,6 +590,74 @@ impl Inner {
         match self.inodes.get_mut(&h.ino) {
             Some(i) if !i.deleted => Ok(i),
             _ => Err(FsError::StaleHandle),
+        }
+    }
+
+    /// Issues one data write-back covering `content[base..target]` of
+    /// inode `id` and applies the device's verdict to the durability
+    /// history: a clean write persists the prefix `target`; a torn write
+    /// persists only `base + keep` and marks the torn tail as damaged
+    /// media; a corrupt write persists `target` but marks the whole
+    /// payload damaged. Returns the command's completion instant. The
+    /// caller keeps `written_back`, `dirty_bytes` and byte accounting.
+    fn data_write(
+        &mut self,
+        id: InodeId,
+        base: u64,
+        target: u64,
+        at: Nanos,
+        foreground: bool,
+        credit: bool,
+    ) -> Nanos {
+        let bytes = target - base;
+        let (res, fault) = if foreground {
+            self.ssd.write_checked(at, bytes, WriteClass::Data)
+        } else {
+            self.ssd.write_background_checked(at, bytes, WriteClass::Data)
+        };
+        if credit {
+            self.ssd.credit_background(res.duration());
+        }
+        let inode = self.inodes.get_mut(&id).expect("caller verified the inode is live");
+        match fault {
+            WriteFault::None => {
+                inode.persist_events.push(PersistEvent { len: target, at: res.end });
+            }
+            WriteFault::Torn { keep } => {
+                let keep = keep.min(bytes);
+                inode.persist_events.push(PersistEvent { len: base + keep, at: res.end });
+                if base + keep < target {
+                    // The kernel believes write-back reached `target`, so
+                    // the torn tail is never reissued: record it as a
+                    // damaged media range rather than relying on the
+                    // persisted prefix (later writes extend past it and
+                    // would silently cover the hole).
+                    inode.damage_events.push(DamageEvent {
+                        start: base + keep,
+                        end: target,
+                        at: res.end,
+                    });
+                }
+                self.stats.data_writebacks_torn += 1;
+            }
+            WriteFault::Corrupt => {
+                inode.persist_events.push(PersistEvent { len: target, at: res.end });
+                inode.damage_events.push(DamageEvent { start: base, end: target, at: res.end });
+                self.stats.data_writebacks_corrupted += 1;
+            }
+        }
+        res.end
+    }
+
+    /// A real FLUSH completed at `at`: every commit record that was
+    /// acknowledged behind a dropped FLUSH is now actually on media.
+    fn settle_unsettled(&mut self, at: Nanos) {
+        for (id, idx) in std::mem::take(&mut self.unsettled) {
+            let Some(inode) = self.inodes.get_mut(&id) else { continue };
+            let Some(ev) = inode.commit_events.get_mut(idx) else { continue };
+            if ev.durable_at.is_none() {
+                ev.durable_at = Some(at);
+            }
         }
     }
 
@@ -542,11 +707,7 @@ impl Inner {
                 }
                 // Heuristic: if everything cached is dirty we also stop;
                 // detect by checking whether any clean resident remains.
-                if !self
-                    .inodes
-                    .values()
-                    .any(|i| i.cached && !i.deleted && i.dirty_bytes() == 0)
-                {
+                if !self.inodes.values().any(|i| i.cached && !i.deleted && i.dirty_bytes() == 0) {
                     break;
                 }
                 continue;
@@ -574,33 +735,55 @@ impl Inner {
     /// waiting for the normal timer commit.
     fn fast_commit_inode(&mut self, id: InodeId, at: Nanos) -> Nanos {
         self.stats.sync_commits += 1;
-        let Some(inode) = self.inodes.get_mut(&id) else { return at };
+        let Some(inode) = self.inodes.get(&id) else { return at };
         let mut data_done = at;
         if let Some(last) = inode.persist_events.last() {
             data_done = data_done.max(last.at);
         }
         let dirty = inode.dirty_bytes();
+        let base = inode.written_back;
+        let target = inode.content.len() as u64;
         if dirty > 0 {
-            let res = self.ssd.write(at, dirty);
-            let len = inode.content.len() as u64;
-            inode.persist_events.push(PersistEvent { len, at: res.end });
-            inode.written_back = len;
+            let end = self.data_write(id, base, target, at, true, false);
+            self.inodes.get_mut(&id).expect("checked above").written_back = target;
             self.dirty_bytes -= dirty;
             self.stats.bytes_written_back += dirty;
-            data_done = data_done.max(res.end);
+            data_done = data_done.max(end);
         }
         let jbytes = self.cfg.journal_block; // one fast-commit record
-        let jres = self.ssd.write(data_done, jbytes);
+        let (jres, jfault) = self.ssd.write_checked(data_done, jbytes, WriteClass::FastCommit);
         self.stats.journal_bytes += jbytes;
-        let flush = self.ssd.flush(jres.end);
+        let (flush, ffault) = self.ssd.flush_checked(jres.end);
         let t_commit = flush.end;
+        // A damaged fast-commit record is garbage on media but does NOT
+        // break the main journal chain — fast-commit records live in a
+        // separate self-checksummed area that replay skips over.
+        let record_lost = jfault != WriteFault::None;
+        let flush_dropped = ffault == FlushFault::DroppedAcked;
+        let durable_at = if record_lost {
+            self.stats.commits_lost_torn_journal += 1;
+            None
+        } else if flush_dropped {
+            self.stats.commits_unsettled_flush += 1;
+            None
+        } else {
+            Some(t_commit)
+        };
         let inode = self.inodes.get_mut(&id).expect("checked above");
         let event = CommitEvent {
             at: t_commit,
+            durable_at,
             len: inode.content.len() as u64,
             path: inode.path.clone(),
         };
         inode.commit_events.push(event);
+        if !record_lost && flush_dropped {
+            let idx = inode.commit_events.len() - 1;
+            self.unsettled.push((id, idx));
+        }
+        // The kernel believes the device's acknowledgements: epochs and
+        // the NobLSM tables advance even when the record never landed.
+        let inode = self.inodes.get_mut(&id).expect("checked above");
         inode.committed_epoch = inode.epoch;
         inode.committed_at = Some(t_commit);
         inode.metadata_dirty = false;
@@ -611,6 +794,18 @@ impl Inner {
                 self.committed.insert(id, t_commit);
             }
         }
+        if !flush_dropped {
+            self.settle_unsettled(t_commit);
+        }
+        self.commit_log.push(CommitWindow {
+            start: at,
+            data_done,
+            journal_done: jres.end,
+            end: t_commit,
+            sync: true,
+            inodes: 1,
+            faulted: record_lost || flush_dropped,
+        });
         t_commit
     }
 
@@ -633,78 +828,93 @@ impl Inner {
         // throttled write-back that never delays synchronous I/O).
         let mut data_done = at;
         for &id in &txn {
-            let Some(inode) = self.inodes.get_mut(&id) else { continue };
+            let Some(inode) = self.inodes.get(&id) else { continue };
             if inode.deleted {
                 continue;
             }
             // The ordered contract covers write-back issued by *earlier*
             // commits or the flusher that may still be in flight.
+            let written_back = inode.written_back;
+            let dirty = inode.dirty_bytes();
+            let target = inode.content.len() as u64;
             if sync {
                 // A synchronous commit does not wait behind the flusher's
                 // queue: it promotes the inode's in-flight pages and
                 // submits them itself in the foreground class, crediting
                 // the background queue for the moved work.
-                let p_now = inode.persisted_len_at(at).min(inode.written_back);
-                let in_flight = inode.written_back - p_now;
+                let p_now = inode.persisted_len_at(at).min(written_back);
+                let in_flight = written_back - p_now;
                 if in_flight > 0 {
-                    let res = self.ssd.write(at, in_flight);
-                    self.ssd.credit_background(res.duration());
-                    let len = inode.written_back;
-                    inode.persist_events.push(PersistEvent { len, at: res.end });
-                    data_done = data_done.max(res.end);
+                    let end = self.data_write(id, p_now, written_back, at, true, true);
+                    data_done = data_done.max(end);
                 }
             } else if let Some(last) = inode.persist_events.last() {
                 data_done = data_done.max(last.at);
             }
-            let dirty = inode.dirty_bytes();
             if dirty > 0 {
-                let res = if sync {
-                    self.ssd.write(at, dirty)
-                } else {
-                    self.ssd.write_background(at, dirty)
-                };
-                let len = inode.content.len() as u64;
-                inode.persist_events.push(PersistEvent { len, at: res.end });
-                inode.written_back = len;
+                let end = self.data_write(id, written_back, target, at, sync, false);
+                self.inodes.get_mut(&id).expect("checked above").written_back = target;
                 self.dirty_bytes -= dirty;
                 self.stats.bytes_written_back += dirty;
-                data_done = data_done.max(res.end);
+                data_done = data_done.max(end);
             }
         }
         // Phase 2 — journal blocks (descriptor + one metadata block per
         // inode + commit record), strictly after the ordered data.
         let jbytes = (txn.len() as u64 + 2) * self.cfg.journal_block;
-        let jres = if sync {
-            self.ssd.write(data_done, jbytes)
+        let (jres, jfault) = if sync {
+            self.ssd.write_checked(data_done, jbytes, WriteClass::Journal)
         } else {
-            self.ssd.write_background(data_done, jbytes)
+            self.ssd.write_background_checked(data_done, jbytes, WriteClass::Journal)
         };
         self.stats.journal_bytes += jbytes;
         // Phase 3 — FLUSH: the commit record's barrier.
-        let flush = if sync {
-            self.ssd.flush(jres.end)
+        let (flush, ffault) = if sync {
+            self.ssd.flush_checked(jres.end)
         } else {
-            self.ssd.flush_background(jres.end)
+            self.ssd.flush_background_checked(jres.end)
         };
         let t_commit = flush.end;
+        // A torn/corrupt journal write damages this transaction's commit
+        // record on media: replay stops here, so this commit and every
+        // later one in the main journal is unrecoverable.
+        let record_lost = jfault != WriteFault::None;
+        let flush_dropped = ffault == FlushFault::DroppedAcked;
+        if record_lost {
+            self.stats.commits_lost_torn_journal += 1;
+            let broken = self.journal_broken_at.map_or(t_commit, |b| b.min(t_commit));
+            self.journal_broken_at = Some(broken);
+        } else if flush_dropped {
+            self.stats.commits_unsettled_flush += 1;
+        }
+        let durable_at = if record_lost || flush_dropped { None } else { Some(t_commit) };
         // Finalize: record per-inode commit events and serve the NobLSM
-        // Pending Table.
+        // Pending Table. The kernel believes the acknowledgements, so the
+        // tables advance even when the record never landed — exactly the
+        // lie the chaos harness probes NobLSM's shadow scheme against.
         for &id in &txn {
             let Some(inode) = self.inodes.get_mut(&id) else { continue };
             let event = if inode.deleted {
-                CommitEvent { at: t_commit, len: 0, path: None }
+                CommitEvent { at: t_commit, durable_at, len: 0, path: None }
             } else {
                 CommitEvent {
                     at: t_commit,
+                    durable_at,
                     len: inode.content.len() as u64,
                     path: inode.path.clone(),
                 }
             };
             inode.commit_events.push(event);
+            if !record_lost && flush_dropped {
+                let idx = inode.commit_events.len() - 1;
+                self.unsettled.push((id, idx));
+            }
+            let inode = self.inodes.get_mut(&id).expect("looked up above");
             inode.committed_epoch = inode.epoch;
             inode.committed_at = Some(t_commit);
             inode.metadata_dirty = false;
             if let Some(&reg_epoch) = self.pending.get(&id) {
+                let inode = &self.inodes[&id];
                 if inode.committed_epoch >= reg_epoch {
                     self.pending.remove(&id);
                     if !inode.deleted {
@@ -713,6 +923,18 @@ impl Inner {
                 }
             }
         }
+        if !flush_dropped {
+            self.settle_unsettled(t_commit);
+        }
+        self.commit_log.push(CommitWindow {
+            start: at,
+            data_done,
+            journal_done: jres.end,
+            end: t_commit,
+            sync,
+            inodes: txn.len(),
+            faulted: record_lost || flush_dropped,
+        });
         t_commit
     }
 
@@ -721,7 +943,7 @@ impl Inner {
     /// then wait only for the in-flight tail rather than whole bursts.
     fn stream_writeback(&mut self, id: InodeId, now: Nanos) {
         let chunk = self.cfg.writeback_chunk;
-        let Some(inode) = self.inodes.get_mut(&id) else { return };
+        let Some(inode) = self.inodes.get(&id) else { return };
         if inode.deleted {
             return;
         }
@@ -729,10 +951,10 @@ impl Inner {
         if dirty < chunk {
             return;
         }
-        let res = self.ssd.write_background(now, dirty);
-        let len = inode.content.len() as u64;
-        inode.persist_events.push(PersistEvent { len, at: res.end });
-        inode.written_back = len;
+        let base = inode.written_back;
+        let target = inode.content.len() as u64;
+        self.data_write(id, base, target, now, false, false);
+        self.inodes.get_mut(&id).expect("checked above").written_back = target;
         self.dirty_bytes -= dirty;
         self.stats.bytes_written_back += dirty;
     }
@@ -1088,6 +1310,165 @@ mod tests {
         fs.create("db/000001.ldb", Nanos::ZERO).unwrap();
         fs.create("other/x", Nanos::ZERO).unwrap();
         assert_eq!(fs.list("db/"), vec!["db/000001.ldb".to_string(), "db/000002.ldb".to_string()]);
+    }
+
+    mod faults {
+        use super::*;
+        use nob_ssd::{FaultInjector, FlushCmd, WriteCmd};
+
+        /// Tears every journal-class write, leaving data and FLUSH alone.
+        struct TearJournal;
+        impl FaultInjector for TearJournal {
+            fn on_write(&mut self, cmd: &WriteCmd) -> WriteFault {
+                match cmd.class {
+                    WriteClass::Journal | WriteClass::FastCommit => WriteFault::Torn { keep: 0 },
+                    _ => WriteFault::None,
+                }
+            }
+        }
+
+        /// Drops the first `n` FLUSH commands, then behaves.
+        struct DropFlushes(u64);
+        impl FaultInjector for DropFlushes {
+            fn on_flush(&mut self, _cmd: &FlushCmd) -> FlushFault {
+                if self.0 > 0 {
+                    self.0 -= 1;
+                    FlushFault::DroppedAcked
+                } else {
+                    FlushFault::None
+                }
+            }
+        }
+
+        /// Corrupts every data-class write.
+        struct CorruptData;
+        impl FaultInjector for CorruptData {
+            fn on_write(&mut self, cmd: &WriteCmd) -> WriteFault {
+                if cmd.class == WriteClass::Data {
+                    WriteFault::Corrupt
+                } else {
+                    WriteFault::None
+                }
+            }
+        }
+
+        #[test]
+        fn torn_journal_write_loses_commit_but_kernel_believes_it() {
+            let fs = fs();
+            fs.set_fault_injector(nob_ssd::InjectorHandle::new(TearJournal));
+            let h = fs.create("a", Nanos::ZERO).unwrap();
+            let now = fs.append(h, b"payload", Nanos::ZERO).unwrap();
+            let done = fs.fsync(h, now).unwrap();
+            // The kernel saw the commit complete: the NobLSM tables advance…
+            let ino = fs.inode_of("a").unwrap();
+            fs.check_commit(&[ino], done);
+            assert!(fs.is_committed(ino, done), "kernel believes the acked commit");
+            // …but the commit record is garbage on media, so a crash loses
+            // the file entirely.
+            assert!(!fs.crashed_view(done).exists("a"));
+            assert_eq!(fs.stats().commits_lost_torn_journal, 1);
+        }
+
+        #[test]
+        fn torn_journal_breaks_the_chain_for_later_commits() {
+            let cfg = Ext4Config { fast_commit: false, ..Ext4Config::default() };
+            let fs = Ext4Fs::new(cfg);
+            // First commit is clean and recoverable.
+            let a = fs.create("a", Nanos::ZERO).unwrap();
+            let now = fs.append(a, b"aaaa", Nanos::ZERO).unwrap();
+            let now = fs.fsync(a, now).unwrap();
+            // Second commit's record is torn → chain breaks there.
+            fs.set_fault_injector(nob_ssd::InjectorHandle::new(TearJournal));
+            let b = fs.create("b", now).unwrap();
+            let now = fs.append(b, b"bbbb", now).unwrap();
+            let now = fs.fsync(b, now).unwrap();
+            // Third commit is clean again, but sits after the break: JBD2
+            // replay stops at the bad record and never reaches it.
+            fs.clear_fault_injector();
+            let c = fs.create("c", now).unwrap();
+            let now = fs.append(c, b"cccc", now).unwrap();
+            let now = fs.fsync(c, now).unwrap();
+            assert!(fs.journal_broken().is_some());
+            let view = fs.crashed_view(now);
+            assert!(view.exists("a"), "commit before the break survives");
+            assert!(!view.exists("b"), "the torn commit itself is lost");
+            assert!(!view.exists("c"), "commits after the break are unreachable");
+        }
+
+        #[test]
+        fn dropped_flush_defers_durability_to_next_real_flush() {
+            let fs = fs();
+            fs.set_fault_injector(nob_ssd::InjectorHandle::new(DropFlushes(1)));
+            let a = fs.create("a", Nanos::ZERO).unwrap();
+            let now = fs.append(a, b"aaaa", Nanos::ZERO).unwrap();
+            let done_a = fs.fsync(a, now).unwrap();
+            // The device acked the FLUSH without draining: the commit
+            // record is still volatile, a power cut now loses it.
+            assert!(!fs.crashed_view(done_a).exists("a"));
+            assert_eq!(fs.stats().commits_unsettled_flush, 1);
+            // The next real FLUSH (another file's fsync) drains the cache
+            // and settles the earlier record.
+            let b = fs.create("b", done_a).unwrap();
+            let now = fs.append(b, b"bbbb", done_a).unwrap();
+            let done_b = fs.fsync(b, now).unwrap();
+            let view = fs.crashed_view(done_b);
+            assert!(view.exists("a"), "earlier commit settled by the real flush");
+            assert!(view.exists("b"));
+            // But crashing between the two fsyncs still loses `a`.
+            assert!(!fs.crashed_view(done_a).exists("a"));
+        }
+
+        #[test]
+        fn corrupt_data_write_comes_back_damaged_for_checksums() {
+            let fs = fs();
+            fs.set_fault_injector(nob_ssd::InjectorHandle::new(CorruptData));
+            let h = fs.create("a", Nanos::ZERO).unwrap();
+            let now = fs.append(h, vec![7u8; 4096].as_slice(), Nanos::ZERO).unwrap();
+            let done = fs.fsync(h, now).unwrap();
+            let view = fs.crashed_view(done);
+            assert!(view.exists("a"), "metadata commit itself was clean");
+            let vh = view.open("a", done).unwrap();
+            let (data, _) = view.read_at(vh, 0, 4096, done).unwrap();
+            assert_eq!(data, vec![7u8 ^ DAMAGE_MASK; 4096], "payload is detectably damaged");
+            assert_eq!(fs.stats().data_writebacks_corrupted, 1);
+        }
+
+        #[test]
+        fn torn_data_write_truncates_and_counts_violation() {
+            struct TearDataInHalf;
+            impl FaultInjector for TearDataInHalf {
+                fn on_write(&mut self, cmd: &WriteCmd) -> WriteFault {
+                    if cmd.class == WriteClass::Data {
+                        WriteFault::Torn { keep: cmd.bytes / 2 }
+                    } else {
+                        WriteFault::None
+                    }
+                }
+            }
+            let fs = fs();
+            fs.set_fault_injector(nob_ssd::InjectorHandle::new(TearDataInHalf));
+            let h = fs.create("a", Nanos::ZERO).unwrap();
+            let now = fs.append(h, vec![7u8; 4096].as_slice(), Nanos::ZERO).unwrap();
+            let done = fs.fsync(h, now).unwrap();
+            let view = fs.crashed_view(done);
+            // The committed inode claims 4096 bytes but only half landed:
+            // the ordered contract is broken and the view records it.
+            assert_eq!(view.file_size("a").unwrap(), 2048);
+            assert_eq!(view.stats().ordered_violations, 1);
+            assert_eq!(fs.stats().data_writebacks_torn, 1);
+        }
+
+        #[test]
+        fn fault_counters_flow_into_io_stats() {
+            let fs = fs();
+            fs.set_fault_injector(nob_ssd::InjectorHandle::new(DropFlushes(u64::MAX)));
+            let h = fs.create("a", Nanos::ZERO).unwrap();
+            let now = fs.append(h, b"x", Nanos::ZERO).unwrap();
+            fs.fsync(h, now).unwrap();
+            assert!(fs.io_stats().dropped_flushes >= 1);
+            assert!(fs.io_stats().faults_injected() >= 1);
+            assert!(fs.stats().fault_consequences() >= 1);
+        }
     }
 
     #[test]

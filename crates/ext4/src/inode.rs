@@ -15,14 +15,33 @@ pub(crate) struct PersistEvent {
     pub at: Nanos,
 }
 
-/// One journal-commit record for this inode: at instant `at`, the journal
-/// durably recorded the inode with size `len` under `path` (`None` when the
-/// commit recorded the deletion).
+/// One journal-commit record for this inode: at instant `at` the kernel
+/// observed the commit complete, recording the inode with size `len` under
+/// `path` (`None` when the commit recorded the deletion).
+///
+/// `at` is the *acknowledged* completion — what the kernel (and therefore
+/// the NobLSM Pending/Committed tables) believes. `durable_at` is when the
+/// commit record actually reached stable media. The two differ only under
+/// injected device faults: a dropped-but-acked FLUSH defers `durable_at`
+/// to the next real FLUSH, and a torn journal write leaves it `None`
+/// forever (the record is garbage on media).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct CommitEvent {
     pub at: Nanos,
+    pub durable_at: Option<Nanos>,
     pub len: u64,
     pub path: Option<String>,
+}
+
+/// A byte range of this inode's on-media content that an injected fault
+/// silently damaged at instant `at`: the torn tail of an interrupted
+/// multi-sector write, or a whole corrupted payload. The namespace is
+/// append-only, so a damaged range is never rewritten and stays damaged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct DamageEvent {
+    pub start: u64,
+    pub end: u64,
+    pub at: Nanos,
 }
 
 /// The full state of one inode.
@@ -48,6 +67,8 @@ pub(crate) struct Inode {
     pub persist_events: Vec<PersistEvent>,
     /// Journal history for this inode.
     pub commit_events: Vec<CommitEvent>,
+    /// On-media ranges silently damaged by injected faults.
+    pub damage_events: Vec<DamageEvent>,
     /// Whether the (clean part of the) content is resident in page cache.
     pub cached: bool,
     /// Deleted in the in-memory view (deletion may not be committed yet).
@@ -67,6 +88,7 @@ impl Inode {
             committed_at: None,
             persist_events: Vec::new(),
             commit_events: Vec::new(),
+            damage_events: Vec::new(),
             cached: false,
             deleted: false,
         }
@@ -90,17 +112,29 @@ impl Inode {
 
     /// The durable prefix length as of `at`.
     pub fn persisted_len_at(&self, at: Nanos) -> u64 {
-        self.persist_events
-            .iter()
-            .filter(|e| e.at <= at)
-            .map(|e| e.len)
-            .max()
-            .unwrap_or(0)
+        self.persist_events.iter().filter(|e| e.at <= at).map(|e| e.len).max().unwrap_or(0)
     }
 
-    /// The last commit event at or before `at`, if any.
-    pub fn commit_at(&self, at: Nanos) -> Option<&CommitEvent> {
-        self.commit_events.iter().rev().find(|e| e.at <= at)
+    /// The last commit event *recoverable* at `at`, if any: its record
+    /// must be durable on media by `at`, and it must sit in the journal
+    /// before any torn transaction (`broken_from`) — JBD2 recovery scans
+    /// the journal in order and stops at the first damaged commit record,
+    /// so everything journalled after the tear is unreachable.
+    pub fn commit_at(&self, at: Nanos, broken_from: Option<Nanos>) -> Option<&CommitEvent> {
+        let horizon = broken_from.unwrap_or(Nanos::MAX);
+        self.commit_events
+            .iter()
+            .rev()
+            .find(|e| e.at < horizon && e.durable_at.is_some_and(|d| d <= at))
+    }
+
+    /// Byte ranges damaged on media by `at`, clipped to `[0, len)`.
+    pub fn damage_within(&self, len: u64, at: Nanos) -> Vec<(u64, u64)> {
+        self.damage_events
+            .iter()
+            .filter(|d| d.at <= at && d.start < len)
+            .map(|d| (d.start, d.end.min(len)))
+            .collect()
     }
 }
 
@@ -130,14 +164,55 @@ mod tests {
         assert_eq!(i.persisted_len_at(Nanos::from_secs(3)), 30);
     }
 
+    fn committed(at: Nanos, len: u64, path: &str) -> CommitEvent {
+        CommitEvent { at, durable_at: Some(at), len, path: Some(path.into()) }
+    }
+
     #[test]
     fn commit_at_picks_latest_not_after() {
         let mut i = inode();
-        i.commit_events.push(CommitEvent { at: Nanos::from_secs(1), len: 5, path: Some("a".into()) });
-        i.commit_events.push(CommitEvent { at: Nanos::from_secs(4), len: 9, path: Some("b".into()) });
-        assert!(i.commit_at(Nanos::ZERO).is_none());
-        assert_eq!(i.commit_at(Nanos::from_secs(2)).unwrap().len, 5);
-        assert_eq!(i.commit_at(Nanos::from_secs(9)).unwrap().path.as_deref(), Some("b"));
+        i.commit_events.push(committed(Nanos::from_secs(1), 5, "a"));
+        i.commit_events.push(committed(Nanos::from_secs(4), 9, "b"));
+        assert!(i.commit_at(Nanos::ZERO, None).is_none());
+        assert_eq!(i.commit_at(Nanos::from_secs(2), None).unwrap().len, 5);
+        assert_eq!(i.commit_at(Nanos::from_secs(9), None).unwrap().path.as_deref(), Some("b"));
+    }
+
+    #[test]
+    fn commit_at_skips_undurable_and_chain_broken_records() {
+        let mut i = inode();
+        i.commit_events.push(committed(Nanos::from_secs(1), 5, "a"));
+        // Acked but never durable (torn journal write).
+        i.commit_events.push(CommitEvent {
+            at: Nanos::from_secs(4),
+            durable_at: None,
+            len: 9,
+            path: Some("b".into()),
+        });
+        // Settled late by the next real FLUSH (dropped-acked FLUSH).
+        i.commit_events.push(CommitEvent {
+            at: Nanos::from_secs(6),
+            durable_at: Some(Nanos::from_secs(8)),
+            len: 12,
+            path: Some("c".into()),
+        });
+        // The torn record is invisible at any time.
+        assert_eq!(i.commit_at(Nanos::from_secs(5), None).unwrap().len, 5);
+        // The unsettled record is invisible until its real FLUSH…
+        assert_eq!(i.commit_at(Nanos::from_secs(7), None).unwrap().len, 5);
+        assert_eq!(i.commit_at(Nanos::from_secs(8), None).unwrap().len, 12);
+        // …and unreachable entirely once the journal chain broke before it.
+        assert_eq!(i.commit_at(Nanos::from_secs(9), Some(Nanos::from_secs(4))).unwrap().len, 5);
+    }
+
+    #[test]
+    fn damage_within_clips_to_length() {
+        let mut i = inode();
+        i.damage_events.push(DamageEvent { start: 10, end: 30, at: Nanos::from_secs(1) });
+        i.damage_events.push(DamageEvent { start: 50, end: 60, at: Nanos::from_secs(5) });
+        assert_eq!(i.damage_within(20, Nanos::from_secs(2)), vec![(10, 20)]);
+        assert!(i.damage_within(5, Nanos::from_secs(9)).is_empty());
+        assert_eq!(i.damage_within(100, Nanos::from_secs(9)), vec![(10, 30), (50, 60)]);
     }
 
     #[test]

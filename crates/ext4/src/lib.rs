@@ -53,7 +53,7 @@ mod types;
 
 pub use config::Ext4Config;
 pub use error::FsError;
-pub use fs::Ext4Fs;
+pub use fs::{CommitWindow, Ext4Fs};
 pub use stats::FsStats;
 pub use types::{FileHandle, InodeId};
 

@@ -24,6 +24,24 @@ pub struct FsStats {
     pub bytes_buffered: u64,
     /// Bytes written through the direct-I/O path.
     pub bytes_direct: u64,
+    /// Journal commits whose commit record was torn/corrupted on media;
+    /// the transaction (and everything journalled after it) is
+    /// unrecoverable even though the kernel saw the commit complete.
+    pub commits_lost_torn_journal: u64,
+    /// Journal commits acknowledged behind a FLUSH the device dropped;
+    /// the commit record stays volatile until the next real FLUSH.
+    pub commits_unsettled_flush: u64,
+    /// Data write-back commands torn by the injector (durable prefix
+    /// only; the tail range is damaged on media).
+    pub data_writebacks_torn: u64,
+    /// Data write-back commands silently corrupted by the injector.
+    pub data_writebacks_corrupted: u64,
+    /// Crash reconstructions that found a committed inode without its
+    /// full committed data durable — the ordered-mode contract broken by
+    /// injected device faults. Only set on a [`crashed_view`] result.
+    ///
+    /// [`crashed_view`]: crate::Ext4Fs::crashed_view
+    pub ordered_violations: u64,
 }
 
 impl FsStats {
@@ -51,7 +69,29 @@ impl FsStats {
             journal_bytes: sub(self.journal_bytes, earlier.journal_bytes),
             bytes_buffered: sub(self.bytes_buffered, earlier.bytes_buffered),
             bytes_direct: sub(self.bytes_direct, earlier.bytes_direct),
+            commits_lost_torn_journal: sub(
+                self.commits_lost_torn_journal,
+                earlier.commits_lost_torn_journal,
+            ),
+            commits_unsettled_flush: sub(
+                self.commits_unsettled_flush,
+                earlier.commits_unsettled_flush,
+            ),
+            data_writebacks_torn: sub(self.data_writebacks_torn, earlier.data_writebacks_torn),
+            data_writebacks_corrupted: sub(
+                self.data_writebacks_corrupted,
+                earlier.data_writebacks_corrupted,
+            ),
+            ordered_violations: sub(self.ordered_violations, earlier.ordered_violations),
         }
+    }
+
+    /// Total fault consequences recorded at the filesystem layer.
+    pub fn fault_consequences(&self) -> u64 {
+        self.commits_lost_torn_journal
+            + self.commits_unsettled_flush
+            + self.data_writebacks_torn
+            + self.data_writebacks_corrupted
     }
 }
 

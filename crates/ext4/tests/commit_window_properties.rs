@@ -1,0 +1,226 @@
+//! Property tests for the journal-commit *window* — the span between the
+//! start of ordered data write-back and the FLUSH that makes the commit
+//! record durable. The ordered-mode contract NobLSM leans on says a crash
+//! anywhere inside that window never yields a committed inode whose data
+//! was lost: either the transaction is not yet committed (the file shows
+//! its previous state) or it is committed and every byte it references is
+//! readable.
+
+use std::collections::HashMap;
+
+use nob_ext4::{CommitWindow, Ext4Config, Ext4Fs, FileHandle};
+use nob_sim::Nanos;
+use nob_ssd::{
+    FaultInjector, FlushCmd, FlushFault, InjectorHandle, WriteClass, WriteCmd, WriteFault,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Create(u8),
+    Append(u8, u16),
+    Fsync(u8),
+    Sleep(u32),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        1 => (0u8..4).prop_map(Op::Create),
+        3 => (0u8..4, 1u16..4096).prop_map(|(f, n)| Op::Append(f, n)),
+        1 => (0u8..4).prop_map(Op::Fsync),
+        1 => (1u32..8_000_000).prop_map(Op::Sleep),
+    ]
+}
+
+fn path(f: u8) -> String {
+    format!("f{f}")
+}
+
+/// Applies create/append/fsync/sleep ops (no deletes or renames, so the
+/// logical content per path is stable); returns the end instant, the full
+/// logical content per path, and the fsync-acknowledged prefix per path
+/// with its ack instant.
+#[allow(clippy::type_complexity)]
+fn run_ops(
+    fs: &Ext4Fs,
+    ops: &[Op],
+) -> (Nanos, HashMap<String, Vec<u8>>, Vec<(Nanos, String, usize)>) {
+    let mut now = Nanos::ZERO;
+    let mut handles: HashMap<String, FileHandle> = HashMap::new();
+    let mut contents: HashMap<String, Vec<u8>> = HashMap::new();
+    let mut acks: Vec<(Nanos, String, usize)> = Vec::new();
+    let mut fill = 0u8;
+    for op in ops {
+        match op {
+            Op::Create(f) => {
+                let p = path(*f);
+                if !handles.contains_key(&p) {
+                    if let Ok(h) = fs.create(&p, now) {
+                        handles.insert(p.clone(), h);
+                        contents.insert(p, Vec::new());
+                    }
+                }
+            }
+            Op::Append(f, n) => {
+                let p = path(*f);
+                if let Some(&h) = handles.get(&p) {
+                    fill = fill.wrapping_add(1);
+                    let data = vec![fill; *n as usize];
+                    if let Ok(t) = fs.append(h, &data, now) {
+                        now = t;
+                        contents.get_mut(&p).expect("tracked").extend_from_slice(&data);
+                    }
+                }
+            }
+            Op::Fsync(f) => {
+                let p = path(*f);
+                if let Some(&h) = handles.get(&p) {
+                    if let Ok(t) = fs.fsync(h, now) {
+                        now = t;
+                        acks.push((t, p.clone(), contents[&p].len()));
+                    }
+                }
+            }
+            Op::Sleep(us) => {
+                now += Nanos::from_micros(*us as u64);
+                fs.tick(now);
+            }
+        }
+    }
+    (now, contents, acks)
+}
+
+/// Interesting crash instants for a window: every phase boundary plus the
+/// two half-open interiors (data-done→journal-done, journal-done→end).
+fn probes(w: &CommitWindow) -> Vec<Nanos> {
+    let mid = |a: Nanos, b: Nanos| Nanos::from_nanos((a.as_nanos() + b.as_nanos()) / 2);
+    vec![
+        w.start,
+        mid(w.start, w.data_done),
+        w.data_done,
+        mid(w.data_done, w.journal_done),
+        w.journal_done,
+        mid(w.journal_done, w.end),
+        w.end,
+    ]
+}
+
+/// Asserts the window invariant on one crash view: everything readable,
+/// nothing fabricated, and every pre-crash fsync ack fully present.
+fn check_view(
+    view: &Ext4Fs,
+    at: Nanos,
+    contents: &HashMap<String, Vec<u8>>,
+    acks: &[(Nanos, String, usize)],
+) {
+    for p in view.list("") {
+        let size = view.file_size(&p).unwrap();
+        let h = view.open(&p, at).unwrap();
+        let (data, _) = view.read_at(h, 0, size, at).unwrap();
+        prop_assert_eq!(data.len() as u64, size, "{} reads short", p);
+        let logical = contents.get(&p).cloned().unwrap_or_default();
+        prop_assert!(
+            data.len() <= logical.len() && data[..] == logical[..data.len()],
+            "{} exposes bytes that were never durably written at {}",
+            p,
+            at
+        );
+    }
+    for (t, p, len) in acks {
+        if *t > at {
+            continue;
+        }
+        prop_assert!(view.exists(p), "{} fsynced at {} but missing at {}", p, t, at);
+        let size = view.file_size(p).unwrap();
+        prop_assert!(
+            size >= *len as u64,
+            "{} committed {} bytes at {} but only {} present at {}",
+            p,
+            len,
+            t,
+            size,
+            at
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Crash at every phase boundary and interior of every journal-commit
+    /// window the run produced: a committed (fsync-acknowledged) inode
+    /// never has lost data, and no file ever exposes unwritten bytes —
+    /// in particular inside the data-writeback → inode-commit span.
+    #[test]
+    fn crash_inside_any_commit_window_preserves_the_contract(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+    ) {
+        let fs = Ext4Fs::new(Ext4Config::default().with_page_cache(1 << 20));
+        let (_end, contents, acks) = run_ops(&fs, &ops);
+        let windows = fs.commit_windows();
+        for w in &windows {
+            prop_assert!(!w.faulted, "no faults were injected");
+            for at in probes(w) {
+                let view = fs.crashed_view(at);
+                prop_assert_eq!(view.stats().ordered_violations, 0);
+                check_view(&view, at, &contents, &acks);
+            }
+        }
+    }
+
+    /// Same harness at uniformly random instants (not aligned to any
+    /// window), as a control that the boundaries are not special-cased.
+    #[test]
+    fn crash_at_random_instants_preserves_the_contract(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+        frac in 0.0f64..1.1,
+    ) {
+        let fs = Ext4Fs::new(Ext4Config::default().with_page_cache(1 << 20));
+        let (end, contents, acks) = run_ops(&fs, &ops);
+        let at = Nanos::from_nanos((end.as_nanos() as f64 * frac) as u64);
+        let view = fs.crashed_view(at);
+        check_view(&view, at, &contents, &acks);
+    }
+}
+
+/// Tears every journal-class write: commit records die on the media while
+/// the kernel keeps believing them.
+struct TearJournal;
+impl FaultInjector for TearJournal {
+    fn on_write(&mut self, cmd: &WriteCmd) -> WriteFault {
+        if cmd.class == WriteClass::Journal {
+            WriteFault::Torn { keep: 0 }
+        } else {
+            WriteFault::None
+        }
+    }
+    fn on_flush(&mut self, _cmd: &FlushCmd) -> FlushFault {
+        FlushFault::None
+    }
+}
+
+/// With a faulted journal the commit is *not* durable: a crash after the
+/// window's end must roll the file back rather than expose a committed
+/// inode backed by a broken chain — and the break must be visible, never
+/// silent.
+#[test]
+fn faulted_commit_window_rolls_back_and_is_accounted() {
+    let fs = Ext4Fs::new(Ext4Config::default());
+    let h = fs.create("f", Nanos::ZERO).unwrap();
+    let now = fs.append(h, &[7u8; 2048], Nanos::ZERO).unwrap();
+    fs.set_fault_injector(InjectorHandle::new(TearJournal));
+    let now = fs.fsync(h, now).unwrap();
+    let windows = fs.commit_windows();
+    let w = windows.iter().find(|w| w.sync).expect("the fsync logged a window");
+    assert!(w.faulted, "the torn journal write must mark its window");
+    assert!(fs.journal_broken().is_some(), "the chain break must be recorded");
+    let at = now + Nanos::from_secs(1);
+    let view = fs.crashed_view(at);
+    // The commit never became durable: the file's creation and data are
+    // gone with it (rollback), not half-present.
+    assert!(
+        !view.exists("f") || view.file_size("f").unwrap() == 0,
+        "a broken commit chain must roll the inode back, got {:?}",
+        view.file_size("f")
+    );
+}

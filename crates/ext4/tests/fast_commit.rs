@@ -6,16 +6,13 @@ use nob_ext4::{Ext4Config, Ext4Fs};
 use nob_sim::Nanos;
 
 fn fc_fs() -> Ext4Fs {
-    let mut cfg = Ext4Config::default();
-    cfg.fast_commit = true;
     // Disable streaming write-back so entanglement effects are visible.
-    cfg.writeback_chunk = u64::MAX;
+    let cfg = Ext4Config { fast_commit: true, writeback_chunk: u64::MAX, ..Ext4Config::default() };
     Ext4Fs::new(cfg)
 }
 
 fn ordered_fs() -> Ext4Fs {
-    let mut cfg = Ext4Config::default();
-    cfg.writeback_chunk = u64::MAX;
+    let cfg = Ext4Config { writeback_chunk: u64::MAX, ..Ext4Config::default() };
     Ext4Fs::new(cfg)
 }
 

@@ -6,9 +6,7 @@ use nob_ext4::{Ext4Config, Ext4Fs};
 use nob_sim::Nanos;
 
 fn cfg(chunk: u64) -> Ext4Config {
-    let mut c = Ext4Config::default();
-    c.writeback_chunk = chunk;
-    c
+    Ext4Config { writeback_chunk: chunk, ..Ext4Config::default() }
 }
 
 #[test]
@@ -82,8 +80,7 @@ fn fsync_entanglement_with_fresh_txn_data_is_real_but_bounded() {
     };
     let (clean, _) = run(false);
     let (busy, fs) = run(true);
-    let backlog_transfer =
-        Nanos::for_transfer(128 << 20, fs.config().ssd.seq_write_bw);
+    let backlog_transfer = Nanos::for_transfer(128 << 20, fs.config().ssd.seq_write_bw);
     assert!(clean < Nanos::from_millis(5), "clean sync is quick: {clean}");
     assert!(
         busy >= backlog_transfer / 2,

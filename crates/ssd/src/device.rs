@@ -2,6 +2,7 @@
 
 use nob_sim::{Nanos, Reservation, Timeline};
 
+use crate::fault::{FlushCmd, FlushFault, InjectorHandle, WriteClass, WriteCmd, WriteFault};
 use crate::{IoStats, SsdConfig};
 
 /// A simulated SSD with two service classes.
@@ -39,12 +40,68 @@ pub struct Ssd {
     timeline: Timeline,
     bg_tail: Nanos,
     stats: IoStats,
+    injector: Option<InjectorHandle>,
 }
 
 impl Ssd {
     /// Creates an idle device with the given parameters.
     pub fn new(cfg: SsdConfig) -> Self {
-        Ssd { cfg, timeline: Timeline::new(), bg_tail: Nanos::ZERO, stats: IoStats::new() }
+        Ssd {
+            cfg,
+            timeline: Timeline::new(),
+            bg_tail: Nanos::ZERO,
+            stats: IoStats::new(),
+            injector: None,
+        }
+    }
+
+    /// Installs a fault injector; all clones of this device made *after*
+    /// the call share its fault stream.
+    pub fn set_injector(&mut self, injector: InjectorHandle) {
+        self.injector = Some(injector);
+    }
+
+    /// Removes the fault injector, restoring the perfect device.
+    pub fn clear_injector(&mut self) {
+        self.injector = None;
+    }
+
+    /// Whether a fault injector is installed.
+    pub fn has_injector(&self) -> bool {
+        self.injector.is_some()
+    }
+
+    /// Consults the injector about a write and accounts the verdict.
+    fn write_verdict(
+        &mut self,
+        at: Nanos,
+        bytes: u64,
+        background: bool,
+        class: WriteClass,
+    ) -> WriteFault {
+        let Some(injector) = &self.injector else { return WriteFault::None };
+        let verdict = injector.on_write(&WriteCmd { at, bytes, background, class });
+        match verdict {
+            WriteFault::None => WriteFault::None,
+            WriteFault::Torn { keep } => {
+                self.stats.torn_writes += 1;
+                WriteFault::Torn { keep: keep.min(bytes) }
+            }
+            WriteFault::Corrupt => {
+                self.stats.corrupt_writes += 1;
+                WriteFault::Corrupt
+            }
+        }
+    }
+
+    /// Consults the injector about a FLUSH and accounts the verdict.
+    fn flush_verdict(&mut self, at: Nanos, background: bool) -> FlushFault {
+        let Some(injector) = &self.injector else { return FlushFault::None };
+        let verdict = injector.on_flush(&FlushCmd { at, background });
+        if verdict == FlushFault::DroppedAcked {
+            self.stats.dropped_flushes += 1;
+        }
+        verdict
     }
 
     /// The device's configuration.
@@ -108,6 +165,47 @@ impl Ssd {
         self.reserve_fg(now, self.cfg.flush_latency)
     }
 
+    /// [`write`](Self::write) plus the injector's verdict for the
+    /// command. The caller (the filesystem layer) decides what a torn or
+    /// corrupt payload means for durability.
+    pub fn write_checked(
+        &mut self,
+        now: Nanos,
+        bytes: u64,
+        class: WriteClass,
+    ) -> (Reservation, WriteFault) {
+        let verdict = self.write_verdict(now, bytes, false, class);
+        (self.write(now, bytes), verdict)
+    }
+
+    /// [`flush`](Self::flush) plus the injector's verdict. A
+    /// [`FlushFault::DroppedAcked`] verdict means the returned
+    /// reservation is when the device *acknowledged* — nothing actually
+    /// became durable.
+    pub fn flush_checked(&mut self, now: Nanos) -> (Reservation, FlushFault) {
+        let verdict = self.flush_verdict(now, false);
+        (self.flush(now), verdict)
+    }
+
+    /// [`write_background`](Self::write_background) plus the injector's
+    /// verdict for the command.
+    pub fn write_background_checked(
+        &mut self,
+        issue: Nanos,
+        bytes: u64,
+        class: WriteClass,
+    ) -> (Reservation, WriteFault) {
+        let verdict = self.write_verdict(issue, bytes, true, class);
+        (self.write_background(issue, bytes), verdict)
+    }
+
+    /// [`flush_background`](Self::flush_background) plus the injector's
+    /// verdict.
+    pub fn flush_background_checked(&mut self, issue: Nanos) -> (Reservation, FlushFault) {
+        let verdict = self.flush_verdict(issue, true);
+        (self.flush_background(issue), verdict)
+    }
+
     /// Issues a background write of `bytes` at `issue` (asynchronous
     /// write-back). It runs in leftover capacity: after any earlier
     /// background work and never while the foreground queue is busy.
@@ -136,7 +234,7 @@ impl Ssd {
     /// path writing back ordered data itself instead of waiting for the
     /// flusher).
     pub fn credit_background(&mut self, dur: Nanos) {
-        self.bg_tail = self.bg_tail - dur;
+        self.bg_tail -= dur;
     }
 
     /// Resets the I/O counters (not the timelines); used between

@@ -33,8 +33,12 @@
 
 mod config;
 mod device;
+pub mod fault;
 mod stats;
 
 pub use config::SsdConfig;
 pub use device::Ssd;
+pub use fault::{
+    FaultInjector, FlushCmd, FlushFault, InjectorHandle, NoFaults, WriteClass, WriteCmd, WriteFault,
+};
 pub use stats::IoStats;

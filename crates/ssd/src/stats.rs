@@ -16,6 +16,12 @@ pub struct IoStats {
     pub read_commands: u64,
     /// Number of FLUSH commands issued.
     pub flush_commands: u64,
+    /// Write commands the injector tore (prefix durable, tail lost).
+    pub torn_writes: u64,
+    /// Write commands the injector silently corrupted on media.
+    pub corrupt_writes: u64,
+    /// FLUSH commands the injector acknowledged without draining.
+    pub dropped_flushes: u64,
 }
 
 impl IoStats {
@@ -27,6 +33,11 @@ impl IoStats {
     /// Total commands of any kind.
     pub fn total_commands(&self) -> u64 {
         self.write_commands + self.read_commands + self.flush_commands
+    }
+
+    /// Total faults of any kind the injector produced.
+    pub fn faults_injected(&self) -> u64 {
+        self.torn_writes + self.corrupt_writes + self.dropped_flushes
     }
 
     /// Counter-wise difference `self - earlier`, for measuring a phase.
@@ -45,6 +56,9 @@ impl IoStats {
             write_commands: sub(self.write_commands, earlier.write_commands),
             read_commands: sub(self.read_commands, earlier.read_commands),
             flush_commands: sub(self.flush_commands, earlier.flush_commands),
+            torn_writes: sub(self.torn_writes, earlier.torn_writes),
+            corrupt_writes: sub(self.corrupt_writes, earlier.corrupt_writes),
+            dropped_flushes: sub(self.dropped_flushes, earlier.dropped_flushes),
         }
     }
 }
@@ -62,6 +76,7 @@ mod tests {
             write_commands: 3,
             read_commands: 1,
             flush_commands: 2,
+            ..IoStats::new()
         };
         let d = late.since(&early);
         assert_eq!(d.bytes_written, 15);

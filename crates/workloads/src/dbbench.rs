@@ -27,12 +27,7 @@ pub fn fillrandom(
 /// # Errors
 ///
 /// Propagates engine errors.
-pub fn fillseq(
-    db: &mut Db,
-    n: u64,
-    value_size: usize,
-    start: Nanos,
-) -> Result<Report> {
+pub fn fillseq(db: &mut Db, n: u64, value_size: usize, start: Nanos) -> Result<Report> {
     let mut now = start;
     let mut latencies = LatencyHistogram::new();
     for k in 0..n {
@@ -126,13 +121,7 @@ pub fn readseq(db: &mut Db, start: Nanos) -> Result<Report> {
 /// # Errors
 ///
 /// Propagates engine errors.
-pub fn readrandom(
-    db: &mut Db,
-    n: u64,
-    records: u64,
-    seed: u64,
-    start: Nanos,
-) -> Result<Report> {
+pub fn readrandom(db: &mut Db, n: u64, records: u64, seed: u64, start: Nanos) -> Result<Report> {
     use rand::{Rng, SeedableRng};
     let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
     let mut now = start;
@@ -164,13 +153,7 @@ pub fn readrandom(
 /// # Errors
 ///
 /// Propagates engine errors.
-pub fn readhot(
-    db: &mut Db,
-    n: u64,
-    records: u64,
-    seed: u64,
-    start: Nanos,
-) -> Result<Report> {
+pub fn readhot(db: &mut Db, n: u64, records: u64, seed: u64, start: Nanos) -> Result<Report> {
     use rand::{Rng, SeedableRng};
     let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
     let hot = (records / 100).max(1);
@@ -198,13 +181,7 @@ pub fn readhot(
 /// # Errors
 ///
 /// Propagates engine errors.
-pub fn seekrandom(
-    db: &mut Db,
-    n: u64,
-    records: u64,
-    seed: u64,
-    start: Nanos,
-) -> Result<Report> {
+pub fn seekrandom(db: &mut Db, n: u64, records: u64, seed: u64, start: Nanos) -> Result<Report> {
     use rand::{Rng, SeedableRng};
     let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
     let mut now = start;

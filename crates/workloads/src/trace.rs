@@ -36,13 +36,10 @@ fn hex(data: &[u8]) -> String {
 }
 
 fn unhex(s: &str) -> Option<Vec<u8>> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return None;
     }
-    (0..s.len())
-        .step_by(2)
-        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).ok())
-        .collect()
+    (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).ok()).collect()
 }
 
 impl Trace {
@@ -189,10 +186,7 @@ mod tests {
     fn replay_is_deterministic_across_replays() {
         let mut t = Trace::new();
         for i in 0..500u32 {
-            t.push(TraceOp::Put(
-                format!("key{:04}", i * 7 % 500).into_bytes(),
-                vec![1u8; 64],
-            ));
+            t.push(TraceOp::Put(format!("key{:04}", i * 7 % 500).into_bytes(), vec![1u8; 64]));
             if i % 3 == 0 {
                 t.push(TraceOp::Get(format!("key{:04}", i % 500).into_bytes()));
             }

@@ -145,11 +145,7 @@ pub fn run(
 
     for _ in 0..ops {
         // The earliest-clock thread issues the next request.
-        let (tid, _) = clocks
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, c)| **c)
-            .expect("threads >= 1");
+        let (tid, _) = clocks.iter().enumerate().min_by_key(|(_, c)| **c).expect("threads >= 1");
         let now = clocks[tid];
         let end = match workload {
             YcsbWorkload::A => {

@@ -44,7 +44,8 @@ fn main() -> Result<(), noblsm::DbError> {
         if variant == Variant::NobLsm {
             println!(
                 "{:<16}  → {:.1}% less execution time than LevelDB, same consistency",
-                "", (1.0 - us / leveldb_time) * 100.0
+                "",
+                (1.0 - us / leveldb_time) * 100.0
             );
         }
     }

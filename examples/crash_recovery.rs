@@ -19,9 +19,7 @@ fn value(i: u32) -> Vec<u8> {
 
 fn main() -> Result<(), noblsm::DbError> {
     let fs = Ext4Fs::new(Ext4Config::default());
-    let opts = Options::default()
-        .with_sync_mode(SyncMode::NobLsm)
-        .with_table_size(128 << 10);
+    let opts = Options::default().with_sync_mode(SyncMode::NobLsm).with_table_size(128 << 10);
     let mut db = Db::open(fs.clone(), "db", opts.clone(), Nanos::ZERO)?;
 
     // Write 8000 pairs; remember when each put returned.

@@ -13,9 +13,7 @@ fn main() -> Result<(), noblsm::DbError> {
 
     // NobLSM mode: L0 tables are synced once; major compactions use
     // non-blocking writes tracked through Ext4's asynchronous commits.
-    let opts = Options::default()
-        .with_sync_mode(SyncMode::NobLsm)
-        .with_table_size(256 << 10); // small tables so compactions happen fast
+    let opts = Options::default().with_sync_mode(SyncMode::NobLsm).with_table_size(256 << 10); // small tables so compactions happen fast
     let mut db = Db::open(fs.clone(), "demo", opts, Nanos::ZERO)?;
 
     // Everything is timed on a virtual clock that you thread through calls.

@@ -26,10 +26,7 @@ fn main() -> Result<(), noblsm::DbError> {
     println!("Load phase: {:.1} us/op\n", load.mean_us_per_op());
     let mut now = db.wait_idle(load.finished)?;
 
-    println!(
-        "{:<10}{:<42}{:>14}{:>14}",
-        "workload", "mix", "1 thread", "4 threads"
-    );
+    println!("{:<10}{:<42}{:>14}{:>14}", "workload", "mix", "1 thread", "4 threads");
     let mixes = [
         (YcsbWorkload::A, "50% read / 50% update, zipfian"),
         (YcsbWorkload::B, "95% read / 5% update, zipfian"),

@@ -1,0 +1,12 @@
+//! The usual `use proptest::prelude::*;` import surface.
+
+pub use crate::strategy::{Just, Strategy};
+pub use crate::test_runner::ProptestConfig;
+pub use crate::{
+    any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+};
+
+/// Namespace mirror of real proptest's `prelude::prop`.
+pub mod prop {
+    pub use crate::collection;
+}

@@ -1,0 +1,224 @@
+//! Value-generation strategies.
+
+use std::marker::PhantomData;
+
+use crate::test_runner::TestRng;
+use crate::Arbitrary;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike real proptest there is no shrinking and no intermediate value
+/// tree: `generate` draws a finished value straight from the case RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategies are usable behind references.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// The constant strategy: always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `any::<T>()`'s strategy.
+#[derive(Debug)]
+pub struct AnyStrategy<T> {
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> AnyStrategy<T> {
+    pub(crate) fn new() -> Self {
+        AnyStrategy { _marker: PhantomData }
+    }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `prop_map` combinator.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy range must be non-empty");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                self.start.wrapping_add((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "strategy range must be non-empty");
+                let span = (hi as u128) - (lo as u128) + 1;
+                lo.wrapping_add((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_float_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy range must be non-empty");
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                self.start + unit as $t * (self.end - self.start)
+            }
+        }
+    )*};
+}
+impl_strategy_float_range!(f32, f64);
+
+macro_rules! impl_strategy_tuple {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_strategy_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// Boxed generator function: one arm of a [`Union`].
+pub type BoxedGen<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
+/// Builds one weighted arm of a [`Union`] (used by `prop_oneof!`).
+pub fn weighted_arm<S>(weight: u32, strategy: S) -> (u32, BoxedGen<S::Value>)
+where
+    S: Strategy + 'static,
+{
+    (weight, Box::new(move |rng| strategy.generate(rng)))
+}
+
+/// A weighted choice among strategies with a common value type.
+pub struct Union<V> {
+    arms: Vec<(u32, BoxedGen<V>)>,
+    total: u64,
+}
+
+impl<V> Union<V> {
+    /// Builds a union; weights must not all be zero.
+    pub fn new(arms: Vec<(u32, BoxedGen<V>)>) -> Self {
+        let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs a positive total weight");
+        Union { arms, total }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.below(self.total);
+        for (weight, gen) in &self.arms {
+            if pick < *weight as u64 {
+                return gen(rng);
+            }
+            pick -= *weight as u64;
+        }
+        unreachable!("weighted pick within total")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("strategy::tests", 0)
+    }
+
+    #[test]
+    fn ranges_and_maps_compose() {
+        let strat = (0u16..10, 100u16..200).prop_map(|(a, b)| a as u32 + b as u32);
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = strat.generate(&mut r);
+            assert!((100..210).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn union_respects_zero_weighted_tail() {
+        let strat = Union::new(vec![
+            weighted_arm(3, (0u8..1).prop_map(|_| "low")),
+            weighted_arm(1, (0u8..1).prop_map(|_| "high")),
+        ]);
+        let mut r = rng();
+        let n = 4000;
+        let lows = (0..n).filter(|_| strat.generate(&mut r) == "low").count();
+        assert!((n * 6 / 10..n * 9 / 10).contains(&lows), "{lows}");
+    }
+
+    #[test]
+    fn just_clones() {
+        let strat = Just(vec![1u8, 2, 3]);
+        assert_eq!(strat.generate(&mut rng()), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Deterministic case runner: configuration, per-case RNG, failure
+//! reporting.
+
+pub use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+/// Runner configuration; only the case count is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of deterministic cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest's default; kept so unannotated properties stay
+        // meaningfully exhaustive.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Per-case random source: a `SmallRng` whose seed is a pure function of
+/// the fully-qualified test name and the case index, so every run of
+/// every build reproduces the same inputs.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    /// The RNG for case `case` of the test at `test_path`.
+    pub fn for_case(test_path: &str, case: u32) -> Self {
+        // FNV-1a over the path keeps seeds stable across compilers.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            inner: SmallRng::seed_from_u64(h ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// A value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}
+
+/// Prints the failing case's coordinates if the test body panics, so the
+/// deterministic reproduction is one `cargo test <name>` away.
+pub struct CaseGuard<'a> {
+    test_path: &'a str,
+    case: u32,
+    armed: bool,
+}
+
+impl<'a> CaseGuard<'a> {
+    /// Arms the guard for one case.
+    pub fn new(test_path: &'a str, case: u32) -> Self {
+        CaseGuard { test_path, case, armed: true }
+    }
+
+    /// Declares the case passed; the guard stays silent.
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CaseGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            eprintln!(
+                "proptest-shim: {} failed at case {} (deterministic; rerun reproduces it)",
+                self.test_path, self.case
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_rngs_are_stable_and_distinct() {
+        let a: Vec<u64> = {
+            let mut r = TestRng::for_case("mod::test", 3);
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = TestRng::for_case("mod::test", 3);
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = TestRng::for_case("mod::test", 4);
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -87,8 +87,7 @@ fn ycsb_full_sequence_on_noblsm_with_crash_at_the_end() {
     now = db.settle(now).unwrap();
     now += Nanos::from_secs(11);
     db.tick(now).unwrap();
-    let mut recovered =
-        Variant::NobLsm.open(fs.crashed_view(now), "db", &base(), now).unwrap();
+    let mut recovered = Variant::NobLsm.open(fs.crashed_view(now), "db", &base(), now).unwrap();
     let mut t = now;
     let mut found = 0;
     for i in (0..records).step_by(59) {
