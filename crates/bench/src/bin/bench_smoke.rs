@@ -1,0 +1,94 @@
+//! CI bench-smoke: runs the fixed-seed fig2a + fig4 smoke scenarios,
+//! writes `bench_smoke.json` (throughput, p99 and the full nob-trace
+//! summary per scenario) and gates against `bench/baseline.json`.
+//!
+//! ```text
+//! bench_smoke [--baseline <path>] [--out <path>]
+//!             [--write-baseline] [--inject-slow-ssd] [--no-gate]
+//! ```
+//!
+//! Exit codes: 0 = gate passed (or `--write-baseline`/`--no-gate`),
+//! 1 = regression detected or baseline unreadable.
+//!
+//! `--inject-slow-ssd` runs with a synthetically degraded device (half
+//! bandwidth, double command/FLUSH latency) — the documented dry run
+//! proving the gate actually fails on a ≥2× tail-latency regression.
+
+use nob_bench::json::Json;
+use nob_bench::smoke::{baseline_json, gate_run, run_json};
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.windows(2).find(|w| w[0] == flag).map(|w| w[1].clone())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let baseline_path =
+        arg_value(&args, "--baseline").unwrap_or_else(|| "bench/baseline.json".to_string());
+    let out_path = arg_value(&args, "--out")
+        .unwrap_or_else(|| "target/nob-results/bench_smoke.json".to_string());
+    let write_baseline = args.iter().any(|a| a == "--write-baseline");
+    let slow_ssd = args.iter().any(|a| a == "--inject-slow-ssd");
+    let no_gate = args.iter().any(|a| a == "--no-gate");
+
+    if slow_ssd {
+        println!("bench_smoke: running with synthetic 2x-slower SSD (gate demo)");
+    }
+    let results = nob_bench::scenarios::smoke_all(slow_ssd);
+    for r in &results {
+        println!(
+            "{:<18} {:>12.2} {:<8} p99({}) = {} ns",
+            r.name,
+            r.throughput,
+            r.unit,
+            r.p99_class.name(),
+            r.p99_ns
+        );
+    }
+
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    std::fs::write(&out_path, run_json(&results)).expect("write bench_smoke.json");
+    println!("wrote {out_path}");
+
+    if write_baseline {
+        if let Some(dir) = std::path::Path::new(&baseline_path).parent() {
+            std::fs::create_dir_all(dir).expect("create baseline directory");
+        }
+        std::fs::write(&baseline_path, baseline_json(&results)).expect("write baseline");
+        println!("wrote {baseline_path}");
+        return;
+    }
+    if no_gate {
+        return;
+    }
+
+    let text = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+        eprintln!("cannot read baseline {baseline_path}: {e}");
+        eprintln!("regenerate it with scripts/regen-bench-baseline.sh");
+        std::process::exit(1);
+    });
+    let baseline = Json::parse(&text).unwrap_or_else(|| {
+        eprintln!("baseline {baseline_path} is not valid JSON");
+        std::process::exit(1);
+    });
+    let verdicts = gate_run(&results, &baseline);
+    let mut failed = false;
+    for v in &verdicts {
+        if v.pass() {
+            println!("gate: {} OK", v.name);
+        } else {
+            failed = true;
+            for f in &v.failures {
+                eprintln!("gate: FAIL {f}");
+            }
+        }
+    }
+    if failed {
+        eprintln!("bench_smoke: regression gate failed (thresholds: throughput -15%, p99 +25%)");
+        eprintln!("if the change is intentional, rerun scripts/regen-bench-baseline.sh");
+        std::process::exit(1);
+    }
+    println!("bench_smoke: all scenarios within thresholds");
+}

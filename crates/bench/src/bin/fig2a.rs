@@ -6,29 +6,9 @@
 //! Direct, ≈ 13× Async overall.
 
 use nob_bench::output::Experiment;
+use nob_bench::scenarios::{fig2a_strategy, raw_fs};
 use nob_bench::Scale;
-use nob_ext4::Ext4Fs;
-use nob_sim::Nanos;
-
-fn run_strategy(fs: &Ext4Fs, strategy: &str, total: u64, file_size: u64) -> Nanos {
-    let files = total / file_size;
-    let data = vec![0x5au8; file_size as usize];
-    let mut now = Nanos::ZERO;
-    for i in 0..files {
-        let path = format!("out/{strategy}-{i:06}.dat");
-        let h = fs.create(&path, now).expect("fresh path");
-        now = match strategy {
-            "Async" => fs.append(h, &data, now).expect("buffered write"),
-            "Direct" => fs.append_direct(h, &data, now).expect("direct write"),
-            "Sync" => {
-                let t = fs.append(h, &data, now).expect("buffered write");
-                fs.fsync(h, t).expect("fsync")
-            }
-            _ => unreachable!("unknown strategy"),
-        };
-    }
-    now
-}
+use nob_trace::TraceSink;
 
 fn main() {
     let scale = Scale::from_args(32);
@@ -40,15 +20,20 @@ fn main() {
         "execution time of Async, Direct and Sync raw writes",
         scale.factor,
     );
+    // One sink across all runs: the embedded trace covers the whole
+    // figure (each run gets a fresh filesystem, so spans never mix).
+    let sink = TraceSink::new();
     for paper_gb in [4u64, 8u64] {
         let total = (paper_gb << 30) / scale.factor;
         for strategy in ["Async", "Direct", "Sync"] {
             // Real 2 MB files ⇒ real (unscaled) per-file device costs.
-            let fs = Ext4Fs::new(nob_ext4::Ext4Config::default().with_page_cache(64 << 30));
-            let elapsed = run_strategy(&fs, strategy, total, file_size);
+            let fs = raw_fs(false);
+            fs.set_trace_sink(sink.clone());
+            let elapsed = fig2a_strategy(&fs, strategy, total, file_size);
             exp.push(strategy, &format!("{paper_gb}GB"), elapsed.as_secs_f64(), "s (scaled)");
         }
     }
+    exp.set_trace(sink.summary());
     exp.print();
     // Report the paper's headline ratios for quick eyeballing.
     let get = |s: &str, x: &str| {

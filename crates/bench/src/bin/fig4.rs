@@ -8,6 +8,7 @@ use nob_baselines::Variant;
 use nob_bench::output::Experiment;
 use nob_bench::{us_per_op, Scale, PAPER_TABLE_LARGE};
 use nob_sim::Nanos;
+use nob_trace::TraceSink;
 use nob_workloads::dbbench;
 
 const VALUE_SIZES: [usize; 5] = [256, 512, 1024, 2048, 4096];
@@ -21,6 +22,9 @@ fn run_workload(which: &str, scale: Scale) {
         other => panic!("unknown workload {other}"),
     };
     let mut exp = Experiment::new(id, title, scale.factor);
+    // One sink across every (variant, value size) run; the embedded
+    // trace summarises the whole figure's I/O behaviour.
+    let sink = TraceSink::new();
     for variant in Variant::paper_seven() {
         for vsize in VALUE_SIZES {
             // The paper issues 10 M requests for every value size; the
@@ -29,6 +33,7 @@ fn run_workload(which: &str, scale: Scale) {
             let fs = scale.fresh_fs();
             let base = scale.base_options(PAPER_TABLE_LARGE);
             let mut db = variant.open(fs, "db", &base, Nanos::ZERO).expect("open db");
+            db.set_trace_sink(sink.clone());
             let fill =
                 dbbench::fillrandom(&mut db, ops, vsize, 42, Nanos::ZERO).expect("fillrandom");
             // db_bench semantics: measure until the foreground finishes;
@@ -55,6 +60,7 @@ fn run_workload(which: &str, scale: Scale) {
             exp.push(variant.name(), &vsize.to_string(), value, "us/op");
         }
     }
+    exp.set_trace(sink.summary());
     exp.print();
     exp.save().expect("write results json");
 }

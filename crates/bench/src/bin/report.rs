@@ -9,6 +9,118 @@ use std::fmt::Write as _;
 
 use nob_bench::json::Json;
 
+/// Formats an integer nanosecond quantity with a human unit.
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// Renders one stall's causal chain (`<- class #seq [t=…, dur]`).
+fn stall_cause(s: &Json, key: &str) -> String {
+    match s.get(key) {
+        Some(c) if c.get("class").is_some() => {
+            let class = c.get("class").and_then(Json::as_str).unwrap_or("?");
+            let seq = c.get("seq").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+            let start = c.get("start_ns").and_then(Json::as_f64).unwrap_or(0.0);
+            let end = c.get("end_ns").and_then(Json::as_f64).unwrap_or(0.0);
+            format!(" ← {class} #{seq} [t={}, {}]", fmt_ns(start), fmt_ns(end - start))
+        }
+        _ => String::new(),
+    }
+}
+
+/// Renders an embedded nob-trace summary: the per-class latency
+/// percentile table and the top stalls with their causal chain.
+fn render_trace(trace: &Json, out: &mut String) -> Option<()> {
+    let classes = trace.get("classes")?;
+    let Json::Object(classes) = classes else { return None };
+    let events = trace.get("events")?.as_f64()? as u64;
+    let _ = writeln!(out, "*trace: {events} events*\n");
+    if !classes.is_empty() {
+        let _ = writeln!(out, "| class | count | p50 | p95 | p99 | p999 | max |");
+        let _ = writeln!(out, "|---|---|---|---|---|---|---|");
+        for (name, c) in classes {
+            let f = |k: &str| c.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+            let _ = writeln!(
+                out,
+                "| {name} | {} | {} | {} | {} | {} | {} |",
+                f("count") as u64,
+                fmt_ns(f("p50_ns")),
+                fmt_ns(f("p95_ns")),
+                fmt_ns(f("p99_ns")),
+                fmt_ns(f("p999_ns")),
+                fmt_ns(f("max_ns")),
+            );
+        }
+        let _ = writeln!(out);
+    }
+    let stalls = trace.get("stalls")?;
+    let count = stalls.get("count").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+    let total = stalls.get("total_ns").and_then(Json::as_f64).unwrap_or(0.0);
+    let top = stalls.get("top").and_then(Json::as_array).unwrap_or(&[]);
+    if count == 0 {
+        let _ = writeln!(out, "no write stalls recorded\n");
+        return Some(());
+    }
+    let _ = writeln!(
+        out,
+        "**{count} write stalls totalling {}; top {} (longest first):**\n",
+        fmt_ns(total),
+        top.len()
+    );
+    for (i, s) in top.iter().enumerate() {
+        let kind = s.get("kind").and_then(Json::as_str).unwrap_or("?");
+        let start = s.get("start_ns").and_then(Json::as_f64).unwrap_or(0.0);
+        let dur = s.get("dur_ns").and_then(Json::as_f64).unwrap_or(0.0);
+        let _ = writeln!(
+            out,
+            "{}. {kind} {} at t={}{}{}",
+            i + 1,
+            fmt_ns(dur),
+            fmt_ns(start),
+            stall_cause(s, "cause_commit"),
+            stall_cause(s, "cause_flush"),
+        );
+    }
+    let _ = writeln!(out);
+    Some(())
+}
+
+/// Renders a `bench_smoke.json` document (the CI regression-gate run):
+/// per-scenario throughput + p99 plus each scenario's trace section.
+fn render_smoke(doc: &Json, out: &mut String) -> Option<()> {
+    let scenarios = doc.get("scenarios")?;
+    let Json::Object(scenarios) = scenarios else { return None };
+    let _ = writeln!(out, "## bench-smoke — CI regression gate run\n");
+    let _ = writeln!(out, "| scenario | throughput | unit | p99 | class |");
+    let _ = writeln!(out, "|---|---|---|---|---|");
+    for (name, s) in scenarios.iter() {
+        let _ = writeln!(
+            out,
+            "| {name} | {:.2} | {} | {} | {} |",
+            s.get("throughput").and_then(Json::as_f64).unwrap_or(0.0),
+            s.get("unit").and_then(Json::as_str).unwrap_or("?"),
+            fmt_ns(s.get("p99_ns").and_then(Json::as_f64).unwrap_or(0.0)),
+            s.get("p99_class").and_then(Json::as_str).unwrap_or("?"),
+        );
+    }
+    let _ = writeln!(out);
+    for (name, s) in scenarios.iter() {
+        if let Some(trace) = s.get("trace") {
+            let _ = writeln!(out, "### {name} trace\n");
+            let _ = render_trace(trace, out);
+        }
+    }
+    Some(())
+}
+
 /// Sums an integer field over the sweep's per-case results.
 fn sum_field(results: &[Json], key: &str) -> u64 {
     results.iter().filter_map(|r| r.get(key).and_then(Json::as_f64)).sum::<f64>() as u64
@@ -56,6 +168,31 @@ fn render_chaos(exp: &Json, out: &mut String) -> Option<()> {
     let _ = writeln!(out, "| repairs engaged | {} |", count_true(results, "repaired"));
     let _ = writeln!(out, "| journal chains broken | {} |", count_true(results, "journal_broken"));
     let _ = writeln!(out);
+    if let Some(groups) = exp.get("latency_histograms") {
+        for group in ["clean", "faulted"] {
+            let Some(Json::Object(classes)) = groups.get(group) else { continue };
+            if classes.is_empty() {
+                continue;
+            }
+            let _ = writeln!(out, "### {group} runs — per-class latency\n");
+            let _ = writeln!(out, "| class | count | p50 | p95 | p99 | p999 | max |");
+            let _ = writeln!(out, "|---|---|---|---|---|---|---|");
+            for (name, c) in classes {
+                let f = |k: &str| c.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+                let _ = writeln!(
+                    out,
+                    "| {name} | {} | {} | {} | {} | {} | {} |",
+                    f("count") as u64,
+                    fmt_ns(f("p50_ns")),
+                    fmt_ns(f("p95_ns")),
+                    fmt_ns(f("p99_ns")),
+                    fmt_ns(f("p999_ns")),
+                    fmt_ns(f("max_ns")),
+                );
+            }
+            let _ = writeln!(out);
+        }
+    }
     Some(())
 }
 
@@ -109,6 +246,9 @@ fn render(exp: &Json, out: &mut String) -> Option<()> {
         let _ = writeln!(out);
     }
     let _ = writeln!(out);
+    if let Some(trace) = exp.get("trace") {
+        let _ = render_trace(trace, out);
+    }
     Some(())
 }
 
@@ -135,6 +275,8 @@ fn main() {
             Some(exp) => {
                 let ok = if exp.get("profile").is_some() {
                     render_chaos(&exp, &mut out).is_some()
+                } else if exp.get("scenarios").is_some() {
+                    render_smoke(&exp, &mut out).is_some()
                 } else {
                     render(&exp, &mut out).is_some()
                 };

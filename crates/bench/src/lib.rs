@@ -18,6 +18,8 @@ use noblsm::Options;
 
 pub mod json;
 pub mod output;
+pub mod scenarios;
+pub mod smoke;
 
 /// The paper's fixed workload parameters, before scaling.
 pub const PAPER_MICRO_OPS: u64 = 10_000_000;

@@ -1,6 +1,8 @@
 //! Result tables: aligned stdout printing plus JSON files under
 //! `target/nob-results/` for EXPERIMENTS.md bookkeeping.
 
+use nob_trace::TraceSummary;
+
 /// One measured cell of a figure or table.
 #[derive(Debug, Clone)]
 pub struct Cell {
@@ -25,12 +27,25 @@ pub struct Experiment {
     pub scale: u64,
     /// All measured cells.
     pub cells: Vec<Cell>,
+    /// Optional whole-run trace summary, embedded in the JSON output.
+    pub trace: Option<TraceSummary>,
 }
 
 impl Experiment {
     /// Creates an empty experiment record.
     pub fn new(id: &str, title: &str, scale: u64) -> Self {
-        Experiment { id: id.to_string(), title: title.to_string(), scale, cells: Vec::new() }
+        Experiment {
+            id: id.to_string(),
+            title: title.to_string(),
+            scale,
+            cells: Vec::new(),
+            trace: None,
+        }
+    }
+
+    /// Attaches the run's trace summary for the JSON output.
+    pub fn set_trace(&mut self, summary: TraceSummary) {
+        self.trace = Some(summary);
     }
 
     /// Records one cell.
@@ -107,7 +122,12 @@ fn to_json(e: &Experiment) -> String {
             if i + 1 == e.cells.len() { "" } else { "," }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ]");
+    if let Some(t) = &e.trace {
+        out.push_str(",\n  \"trace\": ");
+        out.push_str(&t.to_json_indented(1));
+    }
+    out.push_str("\n}\n");
     out
 }
 
@@ -129,6 +149,24 @@ mod tests {
         assert!(j.contains("\\\"title\\\""));
         assert!(j.contains("\"value\": 12.5"));
         assert_eq!(j.matches("series").count(), 2);
+    }
+
+    #[test]
+    fn embedded_trace_appears_in_json() {
+        let mut e = Experiment::new("figY", "traced", 1);
+        e.push("A", "1", 1.0, "u");
+        let sink = nob_trace::TraceSink::new();
+        sink.emit(
+            nob_trace::EventClass::SsdWrite,
+            nob_sim::Nanos::ZERO,
+            nob_sim::Nanos::from_micros(3),
+            4096,
+        );
+        e.set_trace(sink.summary());
+        let j = to_json(&e);
+        assert!(j.contains("\"trace\": {"));
+        assert!(j.contains("\"ssd_write\""));
+        assert!(crate::json::Json::parse(&j).is_some(), "document must stay parseable:\n{j}");
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! Reusable workload scenarios shared by the figure binaries, the CI
+//! bench-smoke gate and the golden-file tests.
+//!
+//! Everything here runs over virtual time, so a fixed configuration is
+//! bit-for-bit reproducible across machines — which is what lets CI
+//! compare throughput and tail latency against a checked-in baseline
+//! with tight thresholds.
+
+use nob_baselines::Variant;
+use nob_ext4::{Ext4Config, Ext4Fs};
+use nob_sim::Nanos;
+use nob_trace::{EventClass, TraceSink, TraceSummary};
+use nob_workloads::dbbench;
+
+use crate::Scale;
+
+/// Runs one fig2a write strategy: `total` bytes in `file_size` files.
+///
+/// Strategies are the paper's three: `"Async"` (buffered), `"Direct"`
+/// (O_DIRECT) and `"Sync"` (buffered + per-file fsync).
+///
+/// # Panics
+///
+/// Panics on an unknown strategy name or filesystem error (the harness
+/// controls both).
+pub fn fig2a_strategy(fs: &Ext4Fs, strategy: &str, total: u64, file_size: u64) -> Nanos {
+    let files = total / file_size;
+    let data = vec![0x5au8; file_size as usize];
+    let mut now = Nanos::ZERO;
+    for i in 0..files {
+        let path = format!("out/{strategy}-{i:06}.dat");
+        let h = fs.create(&path, now).expect("fresh path");
+        now = match strategy {
+            "Async" => fs.append(h, &data, now).expect("buffered write"),
+            "Direct" => fs.append_direct(h, &data, now).expect("direct write"),
+            "Sync" => {
+                let t = fs.append(h, &data, now).expect("buffered write");
+                fs.fsync(h, t).expect("fsync")
+            }
+            _ => unreachable!("unknown strategy"),
+        };
+    }
+    now
+}
+
+/// A paper-platform filesystem for raw-file scenarios (page cache large
+/// enough to never evict), optionally with a uniformly slower SSD.
+///
+/// The `slow_ssd` degradation (half bandwidth, double command and FLUSH
+/// latency) exists to *demonstrate* the CI regression gate: a run with
+/// it enabled must trip both the throughput and the p99 thresholds.
+pub fn raw_fs(slow_ssd: bool) -> Ext4Fs {
+    let mut cfg = Ext4Config::default().with_page_cache(64 << 30);
+    if slow_ssd {
+        degrade(&mut cfg);
+    }
+    Ext4Fs::new(cfg)
+}
+
+fn degrade(cfg: &mut Ext4Config) {
+    cfg.ssd.seq_write_bw /= 2;
+    cfg.ssd.seq_read_bw /= 2;
+    cfg.ssd.cmd_latency = cfg.ssd.cmd_latency + cfg.ssd.cmd_latency;
+    cfg.ssd.flush_latency = cfg.ssd.flush_latency + cfg.ssd.flush_latency;
+}
+
+/// One smoke measurement: a throughput figure, the tail latency of the
+/// scenario's dominant event class, and the full trace behind both.
+#[derive(Debug, Clone)]
+pub struct SmokeResult {
+    /// Stable scenario name (JSON key in `bench_smoke.json`).
+    pub name: String,
+    /// Throughput in `unit` (higher is better).
+    pub throughput: f64,
+    /// Throughput unit.
+    pub unit: String,
+    /// p99 of the scenario's dominant event class, integer ns.
+    pub p99_ns: u64,
+    /// Event class the p99 is measured over.
+    pub p99_class: EventClass,
+    /// The run's full trace summary.
+    pub summary: TraceSummary,
+}
+
+/// Fixed-seed fig2a Sync smoke: 64 MiB in 2 MiB fsynced files.
+///
+/// Sync is the strategy the paper's figure 2a is about (and the one the
+/// FLUSH barrier dominates), so its throughput and per-file fsync tail
+/// are the regression signals.
+pub fn smoke_fig2a(slow_ssd: bool) -> SmokeResult {
+    let total: u64 = 64 << 20;
+    let file_size: u64 = 2 << 20;
+    let fs = raw_fs(slow_ssd);
+    let sink = TraceSink::new();
+    fs.set_trace_sink(sink.clone());
+    let elapsed = fig2a_strategy(&fs, "Sync", total, file_size);
+    let summary = sink.summary();
+    let p99_ns = summary.class(EventClass::JournalCommit).map_or(0, |c| c.p99_ns);
+    SmokeResult {
+        name: "fig2a_sync".to_string(),
+        throughput: total as f64 / (1 << 20) as f64 / elapsed.as_secs_f64(),
+        unit: "MiB/s".to_string(),
+        p99_ns,
+        p99_class: EventClass::JournalCommit,
+        summary,
+    }
+}
+
+/// Fixed-seed fig4-style fillrandom smoke: NobLSM, 256 B values,
+/// seed 42, paper-shaped options at 1/512 scale.
+pub fn smoke_fig4(slow_ssd: bool) -> SmokeResult {
+    let scale = Scale::new(512);
+    let ops = 6_000u64;
+    let mut fs_cfg = Ext4Config::default();
+    fs_cfg.ssd.cmd_latency = scale.duration(fs_cfg.ssd.cmd_latency);
+    fs_cfg.ssd.flush_latency = scale.duration(fs_cfg.ssd.flush_latency);
+    fs_cfg.commit_interval = scale.duration(fs_cfg.commit_interval);
+    fs_cfg.writeback_chunk = (fs_cfg.writeback_chunk / scale.factor).max(4 << 10);
+    fs_cfg.page_cache_capacity = 64 << 30;
+    if slow_ssd {
+        degrade(&mut fs_cfg);
+    }
+    let fs = Ext4Fs::new(fs_cfg);
+    let opts = scale.base_options(crate::PAPER_TABLE_LARGE);
+    let mut db = Variant::NobLsm.open(fs, "db", &opts, Nanos::ZERO).expect("open db");
+    let sink = TraceSink::new();
+    db.set_trace_sink(sink.clone());
+    let fill = dbbench::fillrandom(&mut db, ops, 256, 42, Nanos::ZERO).expect("fillrandom");
+    let t = db.wait_idle(fill.finished).expect("drain");
+    // Fire the journal timer so asynchronous checkpoints reach the trace.
+    db.tick(t + Nanos::from_secs(6)).expect("tick");
+    let summary = sink.summary();
+    let p99_ns = summary.class(EventClass::EnginePut).map_or(0, |c| c.p99_ns);
+    SmokeResult {
+        name: "fig4_fillrandom".to_string(),
+        throughput: ops as f64 / fill.wall().as_secs_f64(),
+        unit: "ops/s".to_string(),
+        p99_ns,
+        p99_class: EventClass::EnginePut,
+        summary,
+    }
+}
+
+/// Both CI smoke scenarios, in report order.
+pub fn smoke_all(slow_ssd: bool) -> Vec<SmokeResult> {
+    vec![smoke_fig2a(slow_ssd), smoke_fig4(slow_ssd)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2a_smoke_is_deterministic_and_traced() {
+        let a = smoke_fig2a(false);
+        let b = smoke_fig2a(false);
+        assert_eq!(a.summary.to_json(), b.summary.to_json());
+        assert!(a.throughput > 0.0);
+        assert!(a.p99_ns > 0, "per-file fsync must produce journal commits");
+        assert!(a.summary.class(EventClass::SsdFlush).is_some());
+    }
+
+    #[test]
+    fn slow_ssd_degrades_both_gate_signals() {
+        let fast = smoke_fig2a(false);
+        let slow = smoke_fig2a(true);
+        assert!(
+            slow.throughput < fast.throughput * 0.85,
+            "2x-latency SSD must trip the throughput gate ({} vs {})",
+            slow.throughput,
+            fast.throughput
+        );
+        assert!(
+            slow.p99_ns as f64 > fast.p99_ns as f64 * 1.25,
+            "2x-latency SSD must trip the p99 gate ({} vs {})",
+            slow.p99_ns,
+            fast.p99_ns
+        );
+    }
+
+    #[test]
+    fn fig4_smoke_traces_the_engine() {
+        let r = smoke_fig4(false);
+        assert!(r.throughput > 0.0);
+        assert_eq!(r.p99_class, EventClass::EnginePut);
+        assert!(r.summary.class(EventClass::EnginePut).is_some());
+        assert!(r.summary.class(EventClass::MinorCompaction).is_some());
+    }
+}

@@ -1,0 +1,190 @@
+//! The CI bench-smoke regression gate: runs the fixed-seed smoke
+//! scenarios, writes `bench_smoke.json` (throughput + p99 + the full
+//! nob-trace summary per scenario) and compares against the checked-in
+//! `bench/baseline.json`.
+//!
+//! Thresholds: a scenario fails the gate if its throughput drops more
+//! than 15% below baseline or its p99 rises more than 25% above it.
+//! Virtual time makes runs deterministic, so any trip is a real code
+//! change, not machine noise. Regenerate the baseline after an
+//! *intentional* performance change with
+//! `scripts/regen-bench-baseline.sh`.
+
+use crate::json::Json;
+use crate::scenarios::SmokeResult;
+
+/// Maximum tolerated throughput drop vs baseline (fraction).
+pub const MAX_THROUGHPUT_DROP: f64 = 0.15;
+/// Maximum tolerated p99 rise vs baseline (fraction).
+pub const MAX_P99_RISE: f64 = 0.25;
+
+/// One scenario's gate verdict.
+#[derive(Debug, Clone)]
+pub struct GateVerdict {
+    /// Scenario name.
+    pub name: String,
+    /// Human-readable failure reasons; empty means the scenario passed.
+    pub failures: Vec<String>,
+}
+
+impl GateVerdict {
+    /// Whether the scenario passed the gate.
+    pub fn pass(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Compares one measurement against its baseline numbers.
+///
+/// `base_throughput` and `base_p99_ns` come from `bench/baseline.json`;
+/// zero baselines are never tripped (a fresh metric gates from the next
+/// baseline regeneration onward).
+pub fn gate_one(
+    name: &str,
+    throughput: f64,
+    p99_ns: u64,
+    base_throughput: f64,
+    base_p99_ns: u64,
+) -> GateVerdict {
+    let mut failures = Vec::new();
+    if base_throughput > 0.0 && throughput < base_throughput * (1.0 - MAX_THROUGHPUT_DROP) {
+        failures.push(format!(
+            "{name}: throughput {throughput:.2} is {:.1}% below baseline {base_throughput:.2} \
+             (limit {:.0}%)",
+            (1.0 - throughput / base_throughput) * 100.0,
+            MAX_THROUGHPUT_DROP * 100.0
+        ));
+    }
+    if base_p99_ns > 0 && p99_ns as f64 > base_p99_ns as f64 * (1.0 + MAX_P99_RISE) {
+        failures.push(format!(
+            "{name}: p99 {p99_ns} ns is {:.1}% above baseline {base_p99_ns} ns (limit {:.0}%)",
+            (p99_ns as f64 / base_p99_ns as f64 - 1.0) * 100.0,
+            MAX_P99_RISE * 100.0
+        ));
+    }
+    GateVerdict { name: name.to_string(), failures }
+}
+
+/// Gates a full smoke run against a parsed baseline document.
+///
+/// A scenario missing from the baseline passes with a note-free verdict
+/// (it starts gating once the baseline is regenerated); a baseline
+/// scenario missing from the run fails, so scenarios cannot silently
+/// disappear.
+pub fn gate_run(results: &[SmokeResult], baseline: &Json) -> Vec<GateVerdict> {
+    let mut verdicts = Vec::new();
+    for r in results {
+        match baseline.get("scenarios").and_then(|s| s.get(&r.name)) {
+            Some(b) => {
+                let bt = b.get("throughput").and_then(Json::as_f64).unwrap_or(0.0);
+                let bp = b.get("p99_ns").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+                verdicts.push(gate_one(&r.name, r.throughput, r.p99_ns, bt, bp));
+            }
+            None => verdicts.push(GateVerdict { name: r.name.clone(), failures: Vec::new() }),
+        }
+    }
+    if let Some(Json::Object(scenarios)) = baseline.get("scenarios") {
+        for name in scenarios.keys() {
+            if !results.iter().any(|r| &r.name == name) {
+                verdicts.push(GateVerdict {
+                    name: name.clone(),
+                    failures: vec![format!("{name}: present in baseline but not measured")],
+                });
+            }
+        }
+    }
+    verdicts
+}
+
+/// Serialises a smoke run: per-scenario throughput, p99 and the embedded
+/// nob-trace summary. Deterministic under fixed seeds (throughput is the
+/// only float, and it derives from integer virtual time).
+pub fn run_json(results: &[SmokeResult]) -> String {
+    let mut out = String::from("{\n  \"scenarios\": {\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!("    \"{}\": {{\n", r.name));
+        out.push_str(&format!("      \"throughput\": {:.3},\n", r.throughput));
+        out.push_str(&format!("      \"unit\": \"{}\",\n", r.unit));
+        out.push_str(&format!("      \"p99_ns\": {},\n", r.p99_ns));
+        out.push_str(&format!("      \"p99_class\": \"{}\",\n", r.p99_class.name()));
+        out.push_str(&format!("      \"trace\": {}\n", r.summary.to_json_indented(3)));
+        out.push_str(if i + 1 < results.len() { "    },\n" } else { "    }\n" });
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// The baseline document: the same per-scenario numbers minus the trace
+/// (baselines stay small and diff-reviewable).
+pub fn baseline_json(results: &[SmokeResult]) -> String {
+    let mut out = String::from("{\n  \"scenarios\": {\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {{\"throughput\": {:.3}, \"unit\": \"{}\", \"p99_ns\": {}}}",
+            r.name, r.throughput, r.unit, r.p99_ns
+        ));
+        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_passes_identical_numbers() {
+        let v = gate_one("s", 100.0, 1000, 100.0, 1000);
+        assert!(v.pass(), "{:?}", v.failures);
+    }
+
+    #[test]
+    fn gate_trips_on_synthetic_2x_p99() {
+        // The acceptance dry run: doubling tail latency must fail CI.
+        let v = gate_one("s", 100.0, 2000, 100.0, 1000);
+        assert!(!v.pass());
+        assert!(v.failures[0].contains("p99"), "{:?}", v.failures);
+    }
+
+    #[test]
+    fn gate_trips_on_throughput_drop_beyond_15pct() {
+        let v = gate_one("s", 84.0, 1000, 100.0, 1000);
+        assert!(!v.pass());
+        assert!(v.failures[0].contains("throughput"));
+        // 15% exactly is within tolerance; just inside passes.
+        assert!(gate_one("s", 85.1, 1000, 100.0, 1000).pass());
+    }
+
+    #[test]
+    fn gate_tolerates_improvements_and_small_noise() {
+        assert!(gate_one("s", 130.0, 500, 100.0, 1000).pass(), "faster must pass");
+        assert!(gate_one("s", 90.0, 1200, 100.0, 1000).pass(), "within thresholds");
+    }
+
+    #[test]
+    fn zero_baselines_never_trip() {
+        assert!(gate_one("s", 1.0, u64::MAX, 0.0, 0).pass());
+    }
+
+    #[test]
+    fn gate_run_flags_missing_scenarios() {
+        let baseline =
+            Json::parse(r#"{"scenarios": {"gone": {"throughput": 10.0, "p99_ns": 100}}}"#).unwrap();
+        let verdicts = gate_run(&[], &baseline);
+        assert_eq!(verdicts.len(), 1);
+        assert!(!verdicts[0].pass());
+        assert!(verdicts[0].failures[0].contains("not measured"));
+    }
+
+    #[test]
+    fn baseline_roundtrips_through_the_gate() {
+        use crate::scenarios::smoke_fig2a;
+        let r = vec![smoke_fig2a(false)];
+        let baseline = Json::parse(&baseline_json(&r)).expect("baseline parses");
+        let verdicts = gate_run(&r, &baseline);
+        assert!(verdicts.iter().all(GateVerdict::pass), "{verdicts:?}");
+        // And the full run document parses too, trace included.
+        assert!(Json::parse(&run_json(&r)).is_some());
+    }
+}

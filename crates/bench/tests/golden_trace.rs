@@ -1,0 +1,33 @@
+//! Golden-file test: the fixed-seed fig2a smoke scenario must produce a
+//! byte-identical `TraceSummary` JSON against the checked-in fixture.
+//!
+//! If a change *intentionally* alters timing or the trace schema,
+//! regenerate the fixture:
+//!
+//! ```sh
+//! NOB_BLESS=1 cargo test -p nob-bench --test golden_trace
+//! ```
+//!
+//! and review the diff like any other golden update.
+
+use nob_bench::scenarios::smoke_fig2a;
+
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/fig2a_trace.json");
+
+#[test]
+fn fig2a_trace_summary_matches_golden_file() {
+    let got = smoke_fig2a(false).summary.to_json();
+    if std::env::var_os("NOB_BLESS").is_some() {
+        std::fs::write(GOLDEN, format!("{got}\n")).expect("bless golden file");
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN).expect(
+        "missing golden fixture; generate with NOB_BLESS=1 cargo test -p nob-bench --test golden_trace",
+    );
+    assert_eq!(
+        format!("{got}\n"),
+        want,
+        "fig2a trace summary diverged from tests/golden/fig2a_trace.json; \
+         if intentional, rebless with NOB_BLESS=1"
+    );
+}

@@ -6,6 +6,7 @@
 
 use crate::harness::{config_name, prepare_run, validate_crash, CaseResult, ChaosCase, CONFIGS};
 use crate::plan::FaultPlan;
+use nob_trace::{EventClass, Histogram, TraceSink};
 
 /// Which fault schedules a campaign applies per case.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,6 +109,27 @@ impl CampaignSpec {
     }
 }
 
+/// Per-class latency histograms merged across a group of runs, in
+/// `EventClass` discriminant order.
+pub type ClassHists = Vec<(EventClass, Histogram)>;
+
+/// Folds one run's trace into a group's merged per-class histograms.
+fn merge_run(into: &mut ClassHists, sink: &TraceSink) {
+    for class in EventClass::ALL {
+        let h = sink.histogram(class);
+        if h.is_empty() {
+            continue;
+        }
+        match into.iter_mut().find(|(c, _)| *c == class) {
+            Some((_, acc)) => acc.merge(&h),
+            None => {
+                let at = into.partition_point(|(c, _)| (*c as u8) < (class as u8));
+                into.insert(at, (class, h));
+            }
+        }
+    }
+}
+
 /// The outcome of a sweep.
 #[derive(Debug, Clone)]
 pub struct CampaignResult {
@@ -115,6 +137,12 @@ pub struct CampaignResult {
     pub spec: CampaignSpec,
     /// Every case, in deterministic (config, seed, crash point) order.
     pub results: Vec<CaseResult>,
+    /// Per-class latency histograms merged across fault-free runs.
+    pub clean_hists: ClassHists,
+    /// The same, across runs whose device carried a fault plan — the
+    /// fault classes (torn/corrupt writes, dropped FLUSHes) only appear
+    /// here, alongside the operation latencies they distorted.
+    pub faulted_hists: ClassHists,
 }
 
 impl CampaignResult {
@@ -165,6 +193,11 @@ impl CampaignResult {
         out.push_str(&format!("  \"failed\": {},\n", self.failed()));
         out.push_str(&format!("  \"undetected_values\": {},\n", self.undetected_total()));
         out.push_str(&format!("  \"unexplained_losses\": {},\n", self.unexplained_losses()));
+        out.push_str("  \"latency_histograms\": {\n");
+        out.push_str(&hists_json("clean", &self.clean_hists, "    "));
+        out.push_str(",\n");
+        out.push_str(&hists_json("faulted", &self.faulted_hists, "    "));
+        out.push_str("\n  },\n");
         out.push_str("  \"results\": [\n");
         for (i, r) in self.results.iter().enumerate() {
             out.push_str(&case_json(r, "    "));
@@ -179,6 +212,8 @@ impl CampaignResult {
 /// point probes it via a fresh crash view.
 pub fn run_campaign(spec: &CampaignSpec) -> CampaignResult {
     let mut results = Vec::with_capacity(spec.cases());
+    let mut clean_hists = ClassHists::new();
+    let mut faulted_hists = ClassHists::new();
     for &config in &spec.configs {
         for &seed in &spec.seeds {
             let case = ChaosCase {
@@ -191,6 +226,8 @@ pub fn run_campaign(spec: &CampaignSpec) -> CampaignResult {
                 plan: spec.plan_for(seed, config),
             };
             let run = prepare_run(&case);
+            let group = if case.plan.is_none() { &mut clean_hists } else { &mut faulted_hists };
+            merge_run(group, &run.trace);
             for &pm in &spec.crash_points_pm {
                 let mut r = validate_crash(&run, pm, spec.snap_to_commit_phase);
                 r.seed = seed;
@@ -200,7 +237,37 @@ pub fn run_campaign(spec: &CampaignSpec) -> CampaignResult {
             }
         }
     }
-    CampaignResult { spec: spec.clone(), results }
+    CampaignResult { spec: spec.clone(), results, clean_hists, faulted_hists }
+}
+
+/// Serializes one histogram group as a named JSON object of per-class
+/// percentile entries.
+fn hists_json(name: &str, hists: &ClassHists, indent: &str) -> String {
+    let mut s = format!("{indent}\"{name}\": {{");
+    for (i, (class, h)) in hists.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let (p50, p95, p99, p999) = h.percentiles();
+        s.push_str(&format!(
+            "\n{indent}  \"{}\": {{\"count\": {}, \"min_ns\": {}, \"max_ns\": {}, \
+             \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}}}",
+            class.name(),
+            h.count(),
+            h.min(),
+            h.max(),
+            p50,
+            p95,
+            p99,
+            p999
+        ));
+    }
+    if !hists.is_empty() {
+        s.push('\n');
+        s.push_str(indent);
+    }
+    s.push('}');
+    s
 }
 
 /// Serializes one case result as a JSON object.
@@ -298,6 +365,36 @@ mod tests {
         assert_eq!(a.unexplained_losses(), 0);
         let b = run_campaign(&spec);
         assert_eq!(a.to_json(), b.to_json(), "fixed-seed sweep must be bit-for-bit stable");
+    }
+
+    #[test]
+    fn campaign_reports_clean_vs_faulted_latency_histograms() {
+        let a = run_campaign(&CampaignSpec::smoke());
+        // Mixed profile: even seeds run clean, odd seeds carry faults —
+        // both groups must have merged engine/device latency histograms.
+        assert!(!a.clean_hists.is_empty(), "clean runs must trace");
+        assert!(!a.faulted_hists.is_empty(), "faulted runs must trace");
+        let has = |hs: &ClassHists, c: EventClass| hs.iter().any(|(k, _)| *k == c);
+        assert!(has(&a.clean_hists, EventClass::EnginePut));
+        assert!(has(&a.faulted_hists, EventClass::EnginePut));
+        // Fault classes may only ever appear in the faulted group.
+        for c in [
+            EventClass::FaultTornWrite,
+            EventClass::FaultCorruptWrite,
+            EventClass::FaultDroppedFlush,
+        ] {
+            assert!(!has(&a.clean_hists, c), "{} in clean group", c.name());
+        }
+        assert!(
+            has(&a.faulted_hists, EventClass::FaultTornWrite)
+                || has(&a.faulted_hists, EventClass::FaultCorruptWrite)
+                || has(&a.faulted_hists, EventClass::FaultDroppedFlush),
+            "seeded fault plans must inject at least one device fault"
+        );
+        let json = a.to_json();
+        assert!(json.contains("\"latency_histograms\""));
+        assert!(json.contains("\"clean\""));
+        assert!(json.contains("\"faulted\""));
     }
 
     #[test]

@@ -11,6 +11,7 @@ use std::collections::HashMap;
 
 use nob_ext4::{Ext4Config, Ext4Fs};
 use nob_sim::Nanos;
+use nob_trace::TraceSink;
 use noblsm::{CompactionStyle, Db, DbStats, Options, SyncMode};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -124,6 +125,9 @@ pub struct PreparedRun {
     pub journal_broken: Option<Nanos>,
     /// Operations actually applied.
     pub ops_applied: usize,
+    /// Trace of the whole run (all three layers, fault classes
+    /// included); campaigns merge these into per-class histograms.
+    pub trace: TraceSink,
 }
 
 /// Key for workload slot `k`.
@@ -146,6 +150,8 @@ pub fn prepare_run(case: &ChaosCase) -> PreparedRun {
     let opts = config_options(case.config);
     let mut db =
         Db::open(fs.clone(), DB_DIR, opts.clone(), Nanos::ZERO).expect("fresh open cannot fail");
+    let trace = TraceSink::new();
+    db.set_trace_sink(trace.clone());
     let log = new_log();
     if !case.plan.is_none() {
         fs.set_fault_injector(InjectorHandle::new(ChaosInjector::new(
@@ -206,6 +212,7 @@ pub fn prepare_run(case: &ChaosCase) -> PreparedRun {
         windows: fs.commit_windows(),
         journal_broken: fs.journal_broken(),
         ops_applied: applied,
+        trace,
         fs,
     }
 }

@@ -20,6 +20,10 @@
 //! time                   current virtual instant
 //! chaos <seed> [pm] [fseed]   one fault-injected crash/recovery case
 //! chaos sweep [seeds] [points]  campaign over seeds × crash points
+//! trace on|off           start/stop recording spans from all layers
+//! trace summary          per-class latency percentiles + top stalls
+//! trace stalls           the recorded stalls with causal attribution
+//! trace export json|chrome <path>   dump raw spans to a file
 //! help                   this text
 //! ```
 //!
@@ -38,6 +42,7 @@ use std::fmt::Write as _;
 use nob_baselines::Variant;
 use nob_ext4::Ext4Fs;
 use nob_sim::Nanos;
+use nob_trace::TraceSink;
 use nob_workloads::dbbench;
 use noblsm::{Db, Options};
 
@@ -48,6 +53,8 @@ pub struct Session {
     db: Option<Db>,
     variant: Variant,
     now: Nanos,
+    /// Live trace sink, kept across `open`/`crash` reattachments.
+    trace: Option<TraceSink>,
 }
 
 impl std::fmt::Debug for Session {
@@ -70,6 +77,7 @@ impl Session {
             db: None,
             variant: Variant::NobLsm,
             now: Nanos::ZERO,
+            trace: None,
         }
     }
 
@@ -116,9 +124,12 @@ impl Session {
                     "pebblesdb" => Variant::PebblesDb,
                     other => return Err(format!("unknown mode {other}")),
                 };
-                let db = variant
+                let mut db = variant
                     .open(self.fs.clone(), "db", &base_options(), self.now)
                     .map_err(|e| e.to_string())?;
+                if let Some(sink) = &self.trace {
+                    db.set_trace_sink(sink.clone());
+                }
                 self.db = Some(db);
                 self.variant = variant;
                 let _ = writeln!(out, "opened {} at {}", variant.name(), self.now);
@@ -221,9 +232,14 @@ impl Session {
                 let at = Nanos::from_nanos(self.now.as_nanos() * pct.min(100) / 100);
                 let crashed = self.fs.crashed_view(at);
                 let variant = self.variant;
-                let db = variant
+                let mut db = variant
                     .open(crashed.clone(), "db", &base_options(), at)
                     .map_err(|e| e.to_string())?;
+                // The crash view is a new stack; the sink survives it so
+                // recovery I/O lands in the same trace as the run.
+                if let Some(sink) = &self.trace {
+                    db.set_trace_sink(sink.clone());
+                }
                 self.fs = crashed;
                 self.db = Some(db);
                 self.now = at;
@@ -337,10 +353,78 @@ impl Session {
                         .into(),
                 ),
             },
+            "trace" => match args.first().copied() {
+                Some("on") => {
+                    let sink = self.trace.get_or_insert_with(TraceSink::new).clone();
+                    match self.db.as_mut() {
+                        Some(db) => db.set_trace_sink(sink),
+                        None => self.fs.set_trace_sink(sink),
+                    }
+                    let _ = writeln!(out, "tracing on");
+                }
+                Some("off") => {
+                    match self.db.as_mut() {
+                        Some(db) => db.clear_trace_sink(),
+                        None => self.fs.clear_trace_sink(),
+                    }
+                    self.trace = None;
+                    let _ = writeln!(out, "tracing off");
+                }
+                Some("summary") => {
+                    let sink = self.trace.as_ref().ok_or("tracing is off (use `trace on`)")?;
+                    out.push_str(&sink.summary().render());
+                }
+                Some("stalls") => {
+                    let sink = self.trace.as_ref().ok_or("tracing is off (use `trace on`)")?;
+                    let s = sink.summary();
+                    if s.top_stalls.is_empty() {
+                        let _ = writeln!(out, "no write stalls recorded");
+                    }
+                    for (i, st) in s.top_stalls.iter().enumerate() {
+                        let _ = write!(
+                            out,
+                            "{:>3}. {:<9} {} at t={}",
+                            i + 1,
+                            st.kind.name(),
+                            st.duration(),
+                            st.start
+                        );
+                        for cause in [&st.cause_commit, &st.cause_flush].into_iter().flatten() {
+                            let _ = write!(
+                                out,
+                                "  <- {} #{} [t={}, {}]",
+                                cause.class.name(),
+                                cause.seq,
+                                cause.start,
+                                cause.duration()
+                            );
+                        }
+                        let _ = writeln!(out);
+                    }
+                }
+                Some("export") => {
+                    let sink = self.trace.as_ref().ok_or("tracing is off (use `trace on`)")?;
+                    let [_, format, path] = args[..] else {
+                        return Err("usage: trace export <json|chrome> <path>".into());
+                    };
+                    let body = match format {
+                        "json" => sink.events_json(),
+                        "chrome" => sink.chrome_trace(),
+                        other => return Err(format!("unknown export format {other}")),
+                    };
+                    std::fs::write(path, &body).map_err(|e| format!("cannot write {path}: {e}"))?;
+                    let _ = writeln!(out, "wrote {path} ({} bytes)", body.len());
+                }
+                _ => {
+                    return Err(
+                        "usage: trace on|off|summary|stalls|export <json|chrome> <path>".into()
+                    )
+                }
+            },
             "help" => {
                 let _ = writeln!(
                     out,
-                    "commands: open put get del scan fill advance flush compact crash chaos levels stats time help quit"
+                    "commands: open put get del scan fill advance flush compact crash chaos trace levels stats time help quit"
                 );
             }
             "quit" | "exit" => {}
@@ -420,6 +504,51 @@ mod tests {
         let out = s.run_line("chaos sweep 1 2");
         assert!(out.contains("chaos sweep: 8 cases"), "{out}");
         assert!(s.run_line("chaos").contains("usage: chaos"));
+    }
+
+    #[test]
+    fn trace_records_summarises_and_exports() {
+        let dir = std::env::temp_dir().join("nob-cli-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let json = dir.join("spans.json");
+        let chrome = dir.join("spans.chrome.json");
+        let mut s = Session::new();
+        let out = s.run_script(&format!(
+            "open leveldb\ntrace on\nfill 2000 100\nflush\ntrace summary\ntrace stalls\n\
+             trace export json {}\ntrace export chrome {}\ntrace off\n",
+            json.display(),
+            chrome.display()
+        ));
+        assert!(out.contains("tracing on"), "{out}");
+        assert!(out.contains("engine_put"), "summary must list engine spans: {out}");
+        assert!(out.contains("p999"), "{out}");
+        assert!(out.contains("tracing off"));
+        let spans = std::fs::read_to_string(&json).unwrap();
+        assert!(spans.contains("\"class\""));
+        let ct = std::fs::read_to_string(&chrome).unwrap();
+        assert!(ct.contains("traceEvents"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_survives_a_crash_reopen() {
+        let mut s = Session::new();
+        let out = s.run_script(
+            "open noblsm\ntrace on\nput k v\nflush\nadvance 11000\ncrash 100\nget k\ntrace summary\n",
+        );
+        assert!(out.contains("power failed"), "{out}");
+        // Reads issued after recovery land in the same trace.
+        assert!(out.contains("engine_get"), "{out}");
+    }
+
+    #[test]
+    fn trace_usage_errors_are_reported() {
+        let mut s = Session::new();
+        assert!(s.run_line("trace summary").contains("tracing is off"));
+        assert!(s.run_line("trace").contains("usage: trace"));
+        let _ = s.run_line("trace on");
+        assert!(s.run_line("trace export json").contains("usage: trace export"));
+        assert!(s.run_line("trace export gif /tmp/x").contains("unknown export format"));
     }
 
     #[test]

@@ -26,6 +26,7 @@ use std::sync::Arc;
 
 use nob_ext4::{Ext4Fs, FileHandle, InodeId};
 use nob_sim::{EventQueue, Nanos};
+use nob_trace::{EventClass, StallKind, TraceSink};
 
 use crate::cache::TableCache;
 use crate::compaction::{
@@ -96,6 +97,7 @@ pub struct Db {
     snapshots: BTreeMap<u64, crate::SequenceNumber>,
     next_snapshot_id: u64,
     stats: DbStats,
+    trace: Option<TraceSink>,
 }
 
 /// A consistent read view pinned at a sequence number.
@@ -353,6 +355,7 @@ impl Db {
             snapshots: BTreeMap::new(),
             next_snapshot_id: 0,
             stats: recovery,
+            trace: None,
         };
         db.maybe_schedule(t);
         Ok(db)
@@ -382,6 +385,20 @@ impl Db {
     /// The underlying filesystem (for stats and crash injection).
     pub fn fs(&self) -> &Ext4Fs {
         &self.fs
+    }
+
+    /// Installs a trace sink on the whole stack: the engine emits
+    /// put/get/compaction/stall spans, and the filesystem and device
+    /// underneath emit commit and command spans into the same sink.
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.fs.set_trace_sink(sink.clone());
+        self.trace = Some(sink);
+    }
+
+    /// Removes the trace sink from the engine, filesystem and device.
+    pub fn clear_trace_sink(&mut self) {
+        self.fs.clear_trace_sink();
+        self.trace = None;
     }
 
     /// Engine statistics.
@@ -485,6 +502,7 @@ impl Db {
         entries: &[(ValueType, &[u8], &[u8])],
         wopts: WriteOptions,
     ) -> Result<Nanos> {
+        let issued = now;
         // LevelDB serializes writers on a mutex.
         let mut now = now.max(self.writer_free);
         now = self.make_room(now)?;
@@ -503,6 +521,10 @@ impl Db {
         now = now + self.opts.cpu.put + self.opts.extra_op_cpu;
         self.stats.writes += entries.len() as u64;
         self.writer_free = now;
+        if let Some(sink) = &self.trace {
+            let bytes: u64 = entries.iter().map(|(_, k, v)| (k.len() + v.len()) as u64).sum();
+            sink.emit(EventClass::EnginePut, issued, now, bytes);
+        }
         Ok(now)
     }
 
@@ -719,6 +741,21 @@ shadows={} reclaimed={}",
     }
 
     fn get_internal(
+        &mut self,
+        now: Nanos,
+        key: &[u8],
+        seq: crate::SequenceNumber,
+    ) -> Result<(Option<Vec<u8>>, Nanos)> {
+        let issued = now;
+        let result = self.get_untraced(now, key, seq);
+        if let (Some(sink), Ok((value, end))) = (&self.trace, &result) {
+            let bytes = value.as_ref().map_or(0, |v| v.len() as u64);
+            sink.emit(EventClass::EngineGet, issued, *end, bytes);
+        }
+        result
+    }
+
+    fn get_untraced(
         &mut self,
         now: Nanos,
         key: &[u8],
@@ -1090,9 +1127,13 @@ shadows={} reclaimed={}",
             let l0 = self.versions.current().num_files(0);
             if !slowed && l0 >= self.opts.l0_slowdown_trigger {
                 // LevelDB's 1 ms write delay at the slowdown trigger.
+                let from = now;
                 now += self.opts.slowdown_delay;
                 slowed = true;
                 self.stats.slowdowns += 1;
+                if let Some(sink) = &self.trace {
+                    sink.emit_stall(StallKind::Slowdown, from, now);
+                }
                 self.pump(now)?;
                 continue;
             }
@@ -1115,6 +1156,9 @@ shadows={} reclaimed={}",
                 if t > now {
                     self.stats.stalls += 1;
                     self.stats.stall_time += t - now;
+                    if let Some(sink) = &self.trace {
+                        sink.emit_stall(StallKind::Memtable, now, t);
+                    }
                     now = t;
                 }
                 self.pump(now)?;
@@ -1130,6 +1174,9 @@ shadows={} reclaimed={}",
                 if t > now {
                     self.stats.stalls += 1;
                     self.stats.stall_time += t - now;
+                    if let Some(sink) = &self.trace {
+                        sink.emit_stall(StallKind::L0Stop, now, t);
+                    }
                     now = t;
                 }
                 self.pump(now)?;
@@ -1192,6 +1239,10 @@ shadows={} reclaimed={}",
         self.minor_inflight = true;
         self.imm_done_at = Some(t);
         self.stats.minor_compactions += 1;
+        if let Some(sink) = &self.trace {
+            let bytes = output.as_ref().map_or(0, |o| o.meta.size);
+            sink.emit(EventClass::MinorCompaction, now, t, bytes);
+        }
         self.events.push(t, DbEvent::MinorDone { output, old_wal, new_log_number });
     }
 
@@ -1285,6 +1336,9 @@ shadows={} reclaimed={}",
         self.busy_levels.insert(inputs.level + 1);
         self.inflight_major += 1;
         self.stats.major_compactions += 1;
+        if let Some(sink) = &self.trace {
+            sink.emit(EventClass::MajorCompaction, now, t, outcome.bytes_written);
+        }
         self.events.push(t, DbEvent::MajorDone { inputs, outcome, succ_files, started: start });
     }
 

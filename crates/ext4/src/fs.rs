@@ -8,6 +8,7 @@ use parking_lot::Mutex;
 
 use nob_sim::Nanos;
 use nob_ssd::{FlushFault, InjectorHandle, IoStats, Ssd, WriteClass, WriteFault};
+use nob_trace::{EventClass, TraceSink};
 
 use crate::inode::{CommitEvent, DamageEvent, Inode, PersistEvent};
 use crate::{Ext4Config, FileHandle, FsError, FsStats, InodeId, Result};
@@ -87,6 +88,7 @@ struct Inner {
     /// Timing of every journal commit, for chaos crash-point targeting.
     commit_log: Vec<CommitWindow>,
     stats: FsStats,
+    trace: Option<TraceSink>,
 }
 
 impl Ext4Fs {
@@ -114,6 +116,7 @@ impl Ext4Fs {
                 unsettled: Vec::new(),
                 commit_log: Vec::new(),
                 stats: FsStats::new(),
+                trace: None,
             })),
         }
     }
@@ -154,6 +157,23 @@ impl Ext4Fs {
     /// Removes the fault injector, restoring the perfect device.
     pub fn clear_fault_injector(&self) {
         self.inner.lock().ssd.clear_injector();
+    }
+
+    /// Installs a trace sink on the filesystem *and* its device: journal
+    /// commits, checkpoints, fast-commits and write-back emit spans, and
+    /// the device underneath emits its own command spans into the same
+    /// sink.
+    pub fn set_trace_sink(&self, sink: TraceSink) {
+        let mut g = self.inner.lock();
+        g.ssd.set_trace_sink(sink.clone());
+        g.trace = Some(sink);
+    }
+
+    /// Removes the trace sink from the filesystem and its device.
+    pub fn clear_trace_sink(&self) {
+        let mut g = self.inner.lock();
+        g.ssd.clear_trace_sink();
+        g.trace = None;
     }
 
     /// Instant of the first torn/corrupted journal commit record, if any.
@@ -618,6 +638,9 @@ impl Inner {
         if credit {
             self.ssd.credit_background(res.duration());
         }
+        if let Some(sink) = &self.trace {
+            sink.emit(EventClass::Writeback, at, res.end, bytes);
+        }
         let inode = self.inodes.get_mut(&id).expect("caller verified the inode is live");
         match fault {
             WriteFault::None => {
@@ -806,6 +829,9 @@ impl Inner {
             inodes: 1,
             faulted: record_lost || flush_dropped,
         });
+        if let Some(sink) = &self.trace {
+            sink.emit(EventClass::FastCommit, at, t_commit, jbytes);
+        }
         t_commit
     }
 
@@ -935,6 +961,12 @@ impl Inner {
             inodes: txn.len(),
             faulted: record_lost || flush_dropped,
         });
+        if let Some(sink) = &self.trace {
+            // Synchronous (fsync-driven) commits and asynchronous
+            // timer/threshold commits are distinct tail-latency stories.
+            let class = if sync { EventClass::JournalCommit } else { EventClass::Checkpoint };
+            sink.emit(class, at, t_commit, jbytes);
+        }
         t_commit
     }
 

@@ -1,6 +1,7 @@
 //! The device itself: a FIFO command queue over an [`SsdConfig`].
 
 use nob_sim::{Nanos, Reservation, Timeline};
+use nob_trace::{EventClass, TraceSink};
 
 use crate::fault::{FlushCmd, FlushFault, InjectorHandle, WriteClass, WriteCmd, WriteFault};
 use crate::{IoStats, SsdConfig};
@@ -41,6 +42,7 @@ pub struct Ssd {
     bg_tail: Nanos,
     stats: IoStats,
     injector: Option<InjectorHandle>,
+    trace: Option<TraceSink>,
 }
 
 impl Ssd {
@@ -52,6 +54,26 @@ impl Ssd {
             bg_tail: Nanos::ZERO,
             stats: IoStats::new(),
             injector: None,
+            trace: None,
+        }
+    }
+
+    /// Installs a trace sink; every command the device services from now
+    /// on emits an issue→completion span (so FLUSH-barrier queueing is
+    /// visible as span length). Clones made *after* the call share it.
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.trace = Some(sink);
+    }
+
+    /// Removes the trace sink; the emit path becomes a dead branch again.
+    pub fn clear_trace_sink(&mut self) {
+        self.trace = None;
+    }
+
+    /// Emits `class` over `issue → r.end` if a sink is installed.
+    fn trace_span(&self, class: EventClass, issue: Nanos, r: Reservation, bytes: u64) {
+        if let Some(sink) = &self.trace {
+            sink.emit(class, issue, r.end, bytes);
         }
     }
 
@@ -144,14 +166,18 @@ impl Ssd {
     pub fn write(&mut self, now: Nanos, bytes: u64) -> Reservation {
         self.stats.bytes_written += bytes;
         self.stats.write_commands += 1;
-        self.reserve_fg(now, self.cfg.write_cost(bytes))
+        let r = self.reserve_fg(now, self.cfg.write_cost(bytes));
+        self.trace_span(EventClass::SsdWrite, now, r, bytes);
+        r
     }
 
     /// Issues a foreground read of `bytes` at `now`.
     pub fn read(&mut self, now: Nanos, bytes: u64) -> Reservation {
         self.stats.bytes_read += bytes;
         self.stats.read_commands += 1;
-        self.reserve_fg(now, self.cfg.read_cost(bytes))
+        let r = self.reserve_fg(now, self.cfg.read_cost(bytes));
+        self.trace_span(EventClass::SsdRead, now, r, bytes);
+        r
     }
 
     /// Issues a FLUSH at `now` (foreground).
@@ -162,7 +188,9 @@ impl Ssd {
     /// itself costs [`SsdConfig::flush_latency`].
     pub fn flush(&mut self, now: Nanos) -> Reservation {
         self.stats.flush_commands += 1;
-        self.reserve_fg(now, self.cfg.flush_latency)
+        let r = self.reserve_fg(now, self.cfg.flush_latency);
+        self.trace_span(EventClass::SsdFlush, now, r, 0);
+        r
     }
 
     /// [`write`](Self::write) plus the injector's verdict for the
@@ -175,7 +203,9 @@ impl Ssd {
         class: WriteClass,
     ) -> (Reservation, WriteFault) {
         let verdict = self.write_verdict(now, bytes, false, class);
-        (self.write(now, bytes), verdict)
+        let r = self.write(now, bytes);
+        self.trace_fault_write(&verdict, now, r, bytes);
+        (r, verdict)
     }
 
     /// [`flush`](Self::flush) plus the injector's verdict. A
@@ -184,7 +214,11 @@ impl Ssd {
     /// became durable.
     pub fn flush_checked(&mut self, now: Nanos) -> (Reservation, FlushFault) {
         let verdict = self.flush_verdict(now, false);
-        (self.flush(now), verdict)
+        let r = self.flush(now);
+        if verdict == FlushFault::DroppedAcked {
+            self.trace_span(EventClass::FaultDroppedFlush, now, r, 0);
+        }
+        (r, verdict)
     }
 
     /// [`write_background`](Self::write_background) plus the injector's
@@ -196,14 +230,29 @@ impl Ssd {
         class: WriteClass,
     ) -> (Reservation, WriteFault) {
         let verdict = self.write_verdict(issue, bytes, true, class);
-        (self.write_background(issue, bytes), verdict)
+        let r = self.write_background(issue, bytes);
+        self.trace_fault_write(&verdict, issue, r, bytes);
+        (r, verdict)
     }
 
     /// [`flush_background`](Self::flush_background) plus the injector's
     /// verdict.
     pub fn flush_background_checked(&mut self, issue: Nanos) -> (Reservation, FlushFault) {
         let verdict = self.flush_verdict(issue, true);
-        (self.flush_background(issue), verdict)
+        let r = self.flush_background(issue);
+        if verdict == FlushFault::DroppedAcked {
+            self.trace_span(EventClass::FaultDroppedFlush, issue, r, 0);
+        }
+        (r, verdict)
+    }
+
+    /// Emits the fault-class span matching a write verdict, if any.
+    fn trace_fault_write(&self, verdict: &WriteFault, issue: Nanos, r: Reservation, bytes: u64) {
+        match verdict {
+            WriteFault::None => {}
+            WriteFault::Torn { .. } => self.trace_span(EventClass::FaultTornWrite, issue, r, bytes),
+            WriteFault::Corrupt => self.trace_span(EventClass::FaultCorruptWrite, issue, r, bytes),
+        }
     }
 
     /// Issues a background write of `bytes` at `issue` (asynchronous
@@ -216,7 +265,9 @@ impl Ssd {
         let start = issue.max(self.bg_tail).max(self.timeline.free_at());
         let end = start + dur;
         self.bg_tail = end;
-        Reservation { start, end }
+        let r = Reservation { start, end };
+        self.trace_span(EventClass::SsdBgWrite, issue, r, bytes);
+        r
     }
 
     /// Issues a background FLUSH at `issue` (asynchronous journal commit
@@ -226,7 +277,9 @@ impl Ssd {
         let start = issue.max(self.bg_tail).max(self.timeline.free_at());
         let end = start + self.cfg.flush_latency;
         self.bg_tail = end;
-        Reservation { start, end }
+        let r = Reservation { start, end };
+        self.trace_span(EventClass::SsdBgFlush, issue, r, 0);
+        r
     }
 
     /// Removes `dur` of queued background work (it was promoted to the

@@ -1,0 +1,245 @@
+//! The trace event taxonomy: one typed class per span the stack emits.
+
+use nob_sim::Nanos;
+
+/// Every span class the three layers emit. The numeric discriminant
+/// indexes the per-class histogram array, so the order is part of the
+/// crate's stable output format (JSON summaries list classes in this
+/// order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum EventClass {
+    /// Foreground SSD read command, issue → completion.
+    SsdRead = 0,
+    /// Foreground SSD write command, issue → completion.
+    SsdWrite = 1,
+    /// Foreground SSD FLUSH, issue → completion (the barrier the paper
+    /// blames for sync stalls).
+    SsdFlush = 2,
+    /// Background (write-back class) SSD write, issue → completion.
+    SsdBgWrite = 3,
+    /// Background SSD FLUSH (asynchronous commit records).
+    SsdBgFlush = 4,
+    /// One data write-back command of an inode (Ext4 `data=ordered`
+    /// phase 1, or the kernel flusher streaming dirty pages out).
+    Writeback = 5,
+    /// A synchronous (fsync-driven) JBD2 journal commit, start → FLUSH
+    /// acknowledged.
+    JournalCommit = 6,
+    /// An asynchronous (timer / dirty-threshold) JBD2 commit — the
+    /// checkpoint-style commits NobLSM piggybacks on.
+    Checkpoint = 7,
+    /// An Ext4 fast-commit of a single inode.
+    FastCommit = 8,
+    /// Engine write (put/delete/batch), caller issue → WAL + memtable
+    /// done. Includes writer-mutex wait and any write stall.
+    EnginePut = 9,
+    /// Engine point read, caller issue → value resolved.
+    EngineGet = 10,
+    /// Minor compaction (memtable flush to L0), schedule → table synced.
+    MinorCompaction = 11,
+    /// Major compaction, schedule → outputs written.
+    MajorCompaction = 12,
+    /// Foreground write stall (memtable wait, L0 slowdown/stop).
+    WriteStall = 13,
+    /// A write the fault injector tore (span of the torn command).
+    FaultTornWrite = 14,
+    /// A write the fault injector corrupted.
+    FaultCorruptWrite = 15,
+    /// A FLUSH the fault injector acknowledged without draining.
+    FaultDroppedFlush = 16,
+}
+
+/// Number of event classes (length of [`EventClass::ALL`]).
+pub const N_CLASSES: usize = 17;
+
+impl EventClass {
+    /// Every class, in discriminant order.
+    pub const ALL: [EventClass; N_CLASSES] = [
+        EventClass::SsdRead,
+        EventClass::SsdWrite,
+        EventClass::SsdFlush,
+        EventClass::SsdBgWrite,
+        EventClass::SsdBgFlush,
+        EventClass::Writeback,
+        EventClass::JournalCommit,
+        EventClass::Checkpoint,
+        EventClass::FastCommit,
+        EventClass::EnginePut,
+        EventClass::EngineGet,
+        EventClass::MinorCompaction,
+        EventClass::MajorCompaction,
+        EventClass::WriteStall,
+        EventClass::FaultTornWrite,
+        EventClass::FaultCorruptWrite,
+        EventClass::FaultDroppedFlush,
+    ];
+
+    /// Stable snake_case name, used in JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventClass::SsdRead => "ssd_read",
+            EventClass::SsdWrite => "ssd_write",
+            EventClass::SsdFlush => "ssd_flush",
+            EventClass::SsdBgWrite => "ssd_bg_write",
+            EventClass::SsdBgFlush => "ssd_bg_flush",
+            EventClass::Writeback => "writeback",
+            EventClass::JournalCommit => "journal_commit",
+            EventClass::Checkpoint => "checkpoint",
+            EventClass::FastCommit => "fast_commit",
+            EventClass::EnginePut => "engine_put",
+            EventClass::EngineGet => "engine_get",
+            EventClass::MinorCompaction => "minor_compaction",
+            EventClass::MajorCompaction => "major_compaction",
+            EventClass::WriteStall => "write_stall",
+            EventClass::FaultTornWrite => "fault_torn_write",
+            EventClass::FaultCorruptWrite => "fault_corrupt_write",
+            EventClass::FaultDroppedFlush => "fault_dropped_flush",
+        }
+    }
+
+    /// Which layer of the stack emits this class (the Chrome-trace
+    /// "thread" the span renders on).
+    pub fn layer(self) -> &'static str {
+        match self {
+            EventClass::SsdRead
+            | EventClass::SsdWrite
+            | EventClass::SsdFlush
+            | EventClass::SsdBgWrite
+            | EventClass::SsdBgFlush
+            | EventClass::FaultTornWrite
+            | EventClass::FaultCorruptWrite
+            | EventClass::FaultDroppedFlush => "ssd",
+            EventClass::Writeback
+            | EventClass::JournalCommit
+            | EventClass::Checkpoint
+            | EventClass::FastCommit => "ext4",
+            EventClass::EnginePut
+            | EventClass::EngineGet
+            | EventClass::MinorCompaction
+            | EventClass::MajorCompaction
+            | EventClass::WriteStall => "engine",
+        }
+    }
+
+    /// Chrome-trace tid for the class's layer (0 = engine, 1 = ext4,
+    /// 2 = ssd), so the three layers stack naturally in `chrome://tracing`.
+    pub fn tid(self) -> u32 {
+        match self.layer() {
+            "engine" => 0,
+            "ext4" => 1,
+            _ => 2,
+        }
+    }
+}
+
+/// One recorded span: a class plus its `[start, end]` window and an
+/// optional byte payload (0 where meaningless).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Monotone per-sink sequence number (emission order).
+    pub seq: u64,
+    /// The span's class.
+    pub class: EventClass,
+    /// Issue instant.
+    pub start: Nanos,
+    /// Completion instant.
+    pub end: Nanos,
+    /// Bytes moved, where the class has a payload.
+    pub bytes: u64,
+}
+
+impl SpanEvent {
+    /// The span's latency (`end - start`, saturating).
+    pub fn duration(&self) -> Nanos {
+        self.end - self.start
+    }
+}
+
+/// What the foreground was stalled on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallKind {
+    /// Memtable full, predecessor still flushing.
+    Memtable,
+    /// `L0` at the stop trigger.
+    L0Stop,
+    /// LevelDB's 1 ms slowdown delay at the `L0` slowdown trigger.
+    Slowdown,
+}
+
+impl StallKind {
+    /// Stable snake_case name, used in JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            StallKind::Memtable => "memtable",
+            StallKind::L0Stop => "l0_stop",
+            StallKind::Slowdown => "slowdown",
+        }
+    }
+}
+
+/// One foreground stall with its causal chain: the journal commit and
+/// device FLUSH most recently observed when the stall ended — the I/O the
+/// stalled writer was transitively waiting on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallRecord {
+    /// What the foreground was stalled on.
+    pub kind: StallKind,
+    /// Stall begin.
+    pub start: Nanos,
+    /// Stall end (foreground resumed).
+    pub end: Nanos,
+    /// The journal commit / checkpoint / fast-commit span last emitted
+    /// before the stall resolved, if any.
+    pub cause_commit: Option<SpanEvent>,
+    /// The device FLUSH span last emitted before the stall resolved.
+    pub cause_flush: Option<SpanEvent>,
+}
+
+impl StallRecord {
+    /// The stall's duration.
+    pub fn duration(&self) -> Nanos {
+        self.end - self.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discriminants_index_all() {
+        for (i, c) in EventClass::ALL.iter().enumerate() {
+            assert_eq!(*c as usize, i, "{}", c.name());
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = EventClass::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), N_CLASSES);
+    }
+
+    #[test]
+    fn layers_cover_the_stack() {
+        assert_eq!(EventClass::SsdFlush.layer(), "ssd");
+        assert_eq!(EventClass::JournalCommit.layer(), "ext4");
+        assert_eq!(EventClass::EnginePut.layer(), "engine");
+        assert_eq!(EventClass::EnginePut.tid(), 0);
+        assert_eq!(EventClass::SsdFlush.tid(), 2);
+    }
+
+    #[test]
+    fn span_duration_saturates() {
+        let e = SpanEvent {
+            seq: 0,
+            class: EventClass::SsdRead,
+            start: Nanos::from_micros(5),
+            end: Nanos::from_micros(2),
+            bytes: 0,
+        };
+        assert_eq!(e.duration(), Nanos::ZERO);
+    }
+}

@@ -1,0 +1,363 @@
+//! The shared trace sink: a cheaply cloneable handle every layer emits
+//! spans into.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::event::{EventClass, SpanEvent, StallKind, StallRecord, N_CLASSES};
+use crate::hist::Histogram;
+use crate::ring::TraceRing;
+use crate::summary::{ClassStats, TraceSummary};
+use nob_sim::Nanos;
+
+/// Default ring capacity (spans retained for export).
+const DEFAULT_RING: usize = 4096;
+
+/// Stalls kept before pruning to the longest.
+const STALL_KEEP: usize = 64;
+
+struct TraceState {
+    seq: u64,
+    hists: [Histogram; N_CLASSES],
+    bytes: [u64; N_CLASSES],
+    ring: TraceRing,
+    stalls: Vec<StallRecord>,
+    stall_count: u64,
+    stall_total_ns: u64,
+    last_commit: Option<SpanEvent>,
+    last_flush: Option<SpanEvent>,
+}
+
+impl TraceState {
+    fn new(ring_capacity: usize) -> Self {
+        TraceState {
+            seq: 0,
+            hists: std::array::from_fn(|_| Histogram::new()),
+            bytes: [0; N_CLASSES],
+            ring: TraceRing::new(ring_capacity),
+            stalls: Vec::new(),
+            stall_count: 0,
+            stall_total_ns: 0,
+            last_commit: None,
+            last_flush: None,
+        }
+    }
+
+    fn record(&mut self, class: EventClass, start: Nanos, end: Nanos, bytes: u64) -> SpanEvent {
+        let ev = SpanEvent { seq: self.seq, class, start, end, bytes };
+        self.seq += 1;
+        let idx = class as usize;
+        self.hists[idx].record(ev.duration().as_nanos());
+        self.bytes[idx] += bytes;
+        self.ring.push(ev);
+        match class {
+            EventClass::JournalCommit | EventClass::Checkpoint | EventClass::FastCommit => {
+                self.last_commit = Some(ev);
+            }
+            EventClass::SsdFlush | EventClass::SsdBgFlush => self.last_flush = Some(ev),
+            _ => {}
+        }
+        ev
+    }
+}
+
+/// A handle onto shared trace state. Clone it freely: the SSD, Ext4 and
+/// engine layers each hold a clone of the same sink, so summaries and
+/// exports see the whole stack. All methods take `&self`; the state sits
+/// behind a mutex.
+///
+/// The instrumented layers store an `Option<TraceSink>` — with `None`
+/// the emit path is a single branch and allocates nothing.
+#[derive(Clone)]
+pub struct TraceSink {
+    inner: Arc<Mutex<TraceState>>,
+}
+
+impl std::fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("TraceSink")
+    }
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        TraceSink::new()
+    }
+}
+
+impl TraceSink {
+    /// A sink retaining the default number of spans.
+    pub fn new() -> Self {
+        TraceSink::with_ring_capacity(DEFAULT_RING)
+    }
+
+    /// A sink whose ring retains up to `capacity` spans.
+    pub fn with_ring_capacity(capacity: usize) -> Self {
+        TraceSink { inner: Arc::new(Mutex::new(TraceState::new(capacity))) }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, TraceState> {
+        // A panic while holding the lock poisons it; the data (plain
+        // counters) is still fine to read.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Records one completed span.
+    pub fn emit(&self, class: EventClass, start: Nanos, end: Nanos, bytes: u64) {
+        self.lock().record(class, start, end, bytes);
+    }
+
+    /// Records a foreground write stall, capturing its causal chain: the
+    /// last commit-family span and last device FLUSH observed before the
+    /// stall resolved.
+    pub fn emit_stall(&self, kind: StallKind, start: Nanos, end: Nanos) {
+        let mut st = self.lock();
+        st.record(EventClass::WriteStall, start, end, 0);
+        let rec = StallRecord {
+            kind,
+            start,
+            end,
+            cause_commit: st.last_commit,
+            cause_flush: st.last_flush,
+        };
+        st.stall_count += 1;
+        st.stall_total_ns = st.stall_total_ns.saturating_add(rec.duration().as_nanos());
+        st.stalls.push(rec);
+        if st.stalls.len() > STALL_KEEP {
+            // Prune to the longest half, preserving discovery order for
+            // equal durations so summaries stay deterministic.
+            let mut keep: Vec<StallRecord> = std::mem::take(&mut st.stalls);
+            keep.sort_by(|a, b| {
+                b.duration().as_nanos().cmp(&a.duration().as_nanos()).then(a.start.cmp(&b.start))
+            });
+            keep.truncate(STALL_KEEP / 2);
+            st.stalls = keep;
+        }
+    }
+
+    /// Total spans emitted so far.
+    pub fn events(&self) -> u64 {
+        self.lock().ring.pushed()
+    }
+
+    /// A snapshot of one class's histogram (for external merging, e.g.
+    /// chaos campaigns grouping clean vs faulted runs).
+    pub fn histogram(&self, class: EventClass) -> Histogram {
+        self.lock().hists[class as usize].clone()
+    }
+
+    /// Drops all recorded state, keeping the ring capacity.
+    pub fn reset(&self) {
+        let mut st = self.lock();
+        *st = TraceState::new(st.ring.capacity());
+    }
+
+    /// Summarises everything recorded so far.
+    pub fn summary(&self) -> TraceSummary {
+        let st = self.lock();
+        let mut classes = Vec::new();
+        for class in EventClass::ALL {
+            let h = &st.hists[class as usize];
+            if h.is_empty() {
+                continue;
+            }
+            let (p50, p95, p99, p999) = h.percentiles();
+            classes.push(ClassStats {
+                class,
+                count: h.count(),
+                bytes: st.bytes[class as usize],
+                total_ns: h.total(),
+                min_ns: h.min(),
+                max_ns: h.max(),
+                p50_ns: p50,
+                p95_ns: p95,
+                p99_ns: p99,
+                p999_ns: p999,
+            });
+        }
+        let mut top = st.stalls.clone();
+        top.sort_by(|a, b| {
+            b.duration().as_nanos().cmp(&a.duration().as_nanos()).then(a.start.cmp(&b.start))
+        });
+        top.truncate(TraceSummary::TOP_STALLS);
+        TraceSummary {
+            events: st.ring.pushed(),
+            dropped: st.ring.overwritten(),
+            classes,
+            stall_count: st.stall_count,
+            stall_total_ns: st.stall_total_ns,
+            top_stalls: top,
+        }
+    }
+
+    /// The retained spans as a JSON document:
+    /// `{ "dropped": n, "events": [ {..}, ... ] }`, oldest first.
+    pub fn events_json(&self) -> String {
+        let st = self.lock();
+        let mut out = String::new();
+        out.push_str(&format!("{{\n  \"dropped\": {},\n  \"events\": [", st.ring.overwritten()));
+        for (i, ev) in st.ring.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{ \"seq\": {}, \"class\": \"{}\", \"layer\": \"{}\", \"start_ns\": {}, \"end_ns\": {}, \"bytes\": {} }}",
+                ev.seq,
+                ev.class.name(),
+                ev.class.layer(),
+                ev.start.as_nanos(),
+                ev.end.as_nanos(),
+                ev.bytes
+            ));
+        }
+        if !st.ring.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}");
+        out
+    }
+
+    /// The retained spans as a Chrome-trace (`chrome://tracing` /
+    /// Perfetto) document. Each layer renders as its own thread;
+    /// timestamps are virtual-time microseconds.
+    pub fn chrome_trace(&self) -> String {
+        let st = self.lock();
+        let mut out = String::new();
+        out.push_str("{ \"displayTimeUnit\": \"ms\", \"traceEvents\": [");
+        let mut first = true;
+        for tid in 0u32..3 {
+            let layer = match tid {
+                0 => "engine",
+                1 => "ext4",
+                _ => "ssd",
+            };
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n  {{ \"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": {tid}, \"args\": {{ \"name\": \"{layer}\" }} }}"
+            ));
+        }
+        for ev in st.ring.iter() {
+            let ts = ev.start.as_nanos();
+            let dur = ev.duration().as_nanos();
+            out.push_str(&format!(
+                ",\n  {{ \"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \"ts\": {}.{:03}, \"dur\": {}.{:03}, \"pid\": 0, \"tid\": {}, \"args\": {{ \"seq\": {}, \"bytes\": {} }} }}",
+                ev.class.name(),
+                ev.class.layer(),
+                ts / 1000,
+                ts % 1000,
+                dur / 1000,
+                dur % 1000,
+                ev.class.tid(),
+                ev.seq,
+                ev.bytes
+            ));
+        }
+        out.push_str("\n] }");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(v: u64) -> Nanos {
+        Nanos::from_nanos(v)
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let sink = TraceSink::new();
+        let other = sink.clone();
+        sink.emit(EventClass::SsdWrite, ns(0), ns(100), 4096);
+        other.emit(EventClass::SsdWrite, ns(200), ns(350), 4096);
+        let s = sink.summary();
+        assert_eq!(s.events, 2);
+        let c = s.class(EventClass::SsdWrite).unwrap();
+        assert_eq!(c.count, 2);
+        assert_eq!(c.bytes, 8192);
+        assert_eq!(c.max_ns, 150);
+    }
+
+    #[test]
+    fn stall_captures_causal_chain() {
+        let sink = TraceSink::new();
+        sink.emit(EventClass::SsdFlush, ns(10), ns(60), 0);
+        sink.emit(EventClass::Checkpoint, ns(5), ns(80), 0);
+        sink.emit_stall(StallKind::Memtable, ns(20), ns(120));
+        let s = sink.summary();
+        assert_eq!(s.stall_count, 1);
+        assert_eq!(s.stall_total_ns, 100);
+        let stall = &s.top_stalls[0];
+        assert_eq!(stall.cause_commit.unwrap().class, EventClass::Checkpoint);
+        assert_eq!(stall.cause_flush.unwrap().class, EventClass::SsdFlush);
+        // The stall also shows up as a span class.
+        assert_eq!(s.class(EventClass::WriteStall).unwrap().count, 1);
+    }
+
+    #[test]
+    fn stall_without_prior_io_has_no_cause() {
+        let sink = TraceSink::new();
+        sink.emit_stall(StallKind::Slowdown, ns(0), ns(1_000_000));
+        let stall = &sink.summary().top_stalls[0];
+        assert!(stall.cause_commit.is_none());
+        assert!(stall.cause_flush.is_none());
+    }
+
+    #[test]
+    fn top_stalls_are_longest_first_and_capped() {
+        let sink = TraceSink::new();
+        for i in 0..200u64 {
+            let start = i * 1000;
+            sink.emit_stall(StallKind::L0Stop, ns(start), ns(start + 10 + i));
+        }
+        let s = sink.summary();
+        assert_eq!(s.stall_count, 200);
+        assert_eq!(s.top_stalls.len(), TraceSummary::TOP_STALLS);
+        // The longest stalls (durations 200..209 ns) survive pruning.
+        assert_eq!(s.top_stalls[0].duration().as_nanos(), 209);
+        for w in s.top_stalls.windows(2) {
+            assert!(w[0].duration() >= w[1].duration());
+        }
+    }
+
+    #[test]
+    fn summary_counts_survive_ring_eviction() {
+        let sink = TraceSink::with_ring_capacity(8);
+        for i in 0..100u64 {
+            sink.emit(EventClass::EnginePut, ns(i * 10), ns(i * 10 + 3), 16);
+        }
+        let s = sink.summary();
+        assert_eq!(s.events, 100);
+        assert_eq!(s.dropped, 92);
+        assert_eq!(s.class(EventClass::EnginePut).unwrap().count, 100);
+    }
+
+    #[test]
+    fn exports_are_valid_shapes() {
+        let sink = TraceSink::new();
+        sink.emit(EventClass::JournalCommit, ns(1000), ns(3500), 8192);
+        let events = sink.events_json();
+        assert!(events.contains("\"class\": \"journal_commit\""));
+        assert!(events.contains("\"start_ns\": 1000"));
+        let chrome = sink.chrome_trace();
+        assert!(chrome.contains("\"ph\": \"X\""));
+        assert!(chrome.contains("\"ts\": 1.000"));
+        assert!(chrome.contains("\"dur\": 2.500"));
+        assert!(chrome.contains("\"traceEvents\""));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let sink = TraceSink::with_ring_capacity(16);
+        sink.emit(EventClass::SsdRead, ns(0), ns(5), 512);
+        sink.emit_stall(StallKind::Memtable, ns(0), ns(9));
+        sink.reset();
+        let s = sink.summary();
+        assert_eq!(s.events, 0);
+        assert_eq!(s.stall_count, 0);
+        assert!(s.classes.is_empty());
+    }
+}

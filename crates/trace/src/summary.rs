@@ -1,0 +1,295 @@
+//! Per-run trace summaries: per-class latency stats plus the top stalls
+//! with their causal chain, in a byte-stable JSON form.
+
+use crate::event::{EventClass, SpanEvent, StallRecord};
+use nob_sim::Nanos;
+
+/// Latency statistics for one event class. All durations are integer
+/// nanoseconds so the JSON form is bit-for-bit reproducible under fixed
+/// seeds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassStats {
+    /// The class these stats describe.
+    pub class: EventClass,
+    /// Spans recorded.
+    pub count: u64,
+    /// Total payload bytes across the class's spans.
+    pub bytes: u64,
+    /// Sum of span durations.
+    pub total_ns: u64,
+    /// Exact minimum span duration.
+    pub min_ns: u64,
+    /// Exact maximum span duration.
+    pub max_ns: u64,
+    /// Median (log-bucketed, ≤ 3.1% high).
+    pub p50_ns: u64,
+    /// 95th percentile.
+    pub p95_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+    /// 99.9th percentile.
+    pub p999_ns: u64,
+}
+
+/// A complete, serialisable snapshot of a sink at end of run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Total spans emitted.
+    pub events: u64,
+    /// Spans evicted from the ring (still counted in histograms).
+    pub dropped: u64,
+    /// Non-empty classes, in discriminant order.
+    pub classes: Vec<ClassStats>,
+    /// Total foreground stalls.
+    pub stall_count: u64,
+    /// Total time spent stalled.
+    pub stall_total_ns: u64,
+    /// Longest stalls, longest first (at most [`TraceSummary::TOP_STALLS`]).
+    pub top_stalls: Vec<StallRecord>,
+}
+
+fn push_cause(out: &mut String, key: &str, cause: &Option<SpanEvent>, pad: &str) {
+    match cause {
+        None => out.push_str(&format!("{pad}\"{key}\": null")),
+        Some(c) => out.push_str(&format!(
+            "{pad}\"{key}\": {{ \"class\": \"{}\", \"seq\": {}, \"start_ns\": {}, \"end_ns\": {} }}",
+            c.class.name(),
+            c.seq,
+            c.start.as_nanos(),
+            c.end.as_nanos()
+        )),
+    }
+}
+
+impl TraceSummary {
+    /// How many stalls a summary retains.
+    pub const TOP_STALLS: usize = 10;
+
+    /// Stats for one class, if it recorded any spans.
+    pub fn class(&self, class: EventClass) -> Option<&ClassStats> {
+        self.classes.iter().find(|c| c.class == class)
+    }
+
+    /// Deterministic JSON (integer nanoseconds only; classes in
+    /// discriminant order) — the golden-file / CI-baseline format.
+    pub fn to_json(&self) -> String {
+        self.to_json_indented(0)
+    }
+
+    /// [`TraceSummary::to_json`] with every line indented `level` extra
+    /// two-space steps, for embedding inside a larger document.
+    pub fn to_json_indented(&self, level: usize) -> String {
+        let p = "  ".repeat(level);
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("{p}  \"events\": {},\n", self.events));
+        out.push_str(&format!("{p}  \"dropped\": {},\n", self.dropped));
+        out.push_str(&format!("{p}  \"classes\": {{"));
+        for (i, c) in self.classes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n{p}    \"{}\": {{ \"count\": {}, \"bytes\": {}, \"total_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {} }}",
+                c.class.name(),
+                c.count,
+                c.bytes,
+                c.total_ns,
+                c.min_ns,
+                c.max_ns,
+                c.p50_ns,
+                c.p95_ns,
+                c.p99_ns,
+                c.p999_ns
+            ));
+        }
+        if !self.classes.is_empty() {
+            out.push('\n');
+            out.push_str(&p);
+            out.push_str("  ");
+        }
+        out.push_str("},\n");
+        out.push_str(&format!("{p}  \"stalls\": {{\n"));
+        out.push_str(&format!("{p}    \"count\": {},\n", self.stall_count));
+        out.push_str(&format!("{p}    \"total_ns\": {},\n", self.stall_total_ns));
+        out.push_str(&format!("{p}    \"top\": ["));
+        for (i, s) in self.top_stalls.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n{p}      {{ \"kind\": \"{}\", \"start_ns\": {}, \"end_ns\": {}, \"dur_ns\": {},\n",
+                s.kind.name(),
+                s.start.as_nanos(),
+                s.end.as_nanos(),
+                s.duration().as_nanos()
+            ));
+            push_cause(&mut out, "cause_commit", &s.cause_commit, &format!("{p}        "));
+            out.push_str(",\n");
+            push_cause(&mut out, "cause_flush", &s.cause_flush, &format!("{p}        "));
+            out.push_str(" }");
+        }
+        if !self.top_stalls.is_empty() {
+            out.push('\n');
+            out.push_str(&p);
+            out.push_str("    ");
+        }
+        out.push_str("]\n");
+        out.push_str(&format!("{p}  }}\n"));
+        out.push_str(&p);
+        out.push('}');
+        out
+    }
+
+    /// Human-readable report: a per-class percentile table followed by
+    /// the top stalls with their causal chain.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "trace: {} events ({} evicted from ring), {} stalls totalling {}\n\n",
+            self.events,
+            self.dropped,
+            self.stall_count,
+            Nanos::from_nanos(self.stall_total_ns)
+        ));
+        out.push_str(&format!(
+            "| {:<20} | {:>8} | {:>10} | {:>10} | {:>10} | {:>10} | {:>10} |\n",
+            "class", "count", "p50", "p95", "p99", "p999", "max"
+        ));
+        out.push_str(&format!(
+            "|{:-<22}|{:-<10}|{:-<12}|{:-<12}|{:-<12}|{:-<12}|{:-<12}|\n",
+            "", "", "", "", "", "", ""
+        ));
+        for c in &self.classes {
+            out.push_str(&format!(
+                "| {:<20} | {:>8} | {:>10} | {:>10} | {:>10} | {:>10} | {:>10} |\n",
+                c.class.name(),
+                c.count,
+                format!("{}", Nanos::from_nanos(c.p50_ns)),
+                format!("{}", Nanos::from_nanos(c.p95_ns)),
+                format!("{}", Nanos::from_nanos(c.p99_ns)),
+                format!("{}", Nanos::from_nanos(c.p999_ns)),
+                format!("{}", Nanos::from_nanos(c.max_ns)),
+            ));
+        }
+        if self.top_stalls.is_empty() {
+            out.push_str("\nno write stalls recorded\n");
+            return out;
+        }
+        out.push_str(&format!("\ntop {} stalls (longest first):\n", self.top_stalls.len()));
+        for (i, s) in self.top_stalls.iter().enumerate() {
+            out.push_str(&format!(
+                "{:>3}. {:<9} {:>10} at t={}",
+                i + 1,
+                s.kind.name(),
+                format!("{}", s.duration()),
+                s.start
+            ));
+            if let Some(c) = &s.cause_commit {
+                out.push_str(&format!(
+                    "  <- {} #{} [t={}, {}]",
+                    c.class.name(),
+                    c.seq,
+                    c.start,
+                    c.duration()
+                ));
+            }
+            if let Some(f) = &s.cause_flush {
+                out.push_str(&format!(
+                    "  <- {} #{} [t={}, {}]",
+                    f.class.name(),
+                    f.seq,
+                    f.start,
+                    f.duration()
+                ));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::StallKind;
+
+    fn sample() -> TraceSummary {
+        TraceSummary {
+            events: 3,
+            dropped: 0,
+            classes: vec![ClassStats {
+                class: EventClass::SsdWrite,
+                count: 2,
+                bytes: 8192,
+                total_ns: 3000,
+                min_ns: 1000,
+                max_ns: 2000,
+                p50_ns: 1000,
+                p95_ns: 2000,
+                p99_ns: 2000,
+                p999_ns: 2000,
+            }],
+            stall_count: 1,
+            stall_total_ns: 500,
+            top_stalls: vec![StallRecord {
+                kind: StallKind::Memtable,
+                start: Nanos::from_nanos(100),
+                end: Nanos::from_nanos(600),
+                cause_commit: Some(SpanEvent {
+                    seq: 1,
+                    class: EventClass::Checkpoint,
+                    start: Nanos::from_nanos(50),
+                    end: Nanos::from_nanos(90),
+                    bytes: 0,
+                }),
+                cause_flush: None,
+            }],
+        }
+    }
+
+    #[test]
+    fn json_is_deterministic_and_integer_only() {
+        let s = sample();
+        let a = s.to_json();
+        let b = s.to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"ssd_write\""));
+        assert!(a.contains("\"p99_ns\": 2000"));
+        assert!(a.contains("\"kind\": \"memtable\""));
+        assert!(a.contains("\"cause_flush\": null"));
+        assert!(!a.contains('.'), "summary JSON must not contain floats:\n{a}");
+    }
+
+    #[test]
+    fn indented_json_shifts_every_line() {
+        let s = sample();
+        let nested = s.to_json_indented(2);
+        for line in nested.lines().skip(1) {
+            assert!(line.starts_with("    "), "line not indented: {line:?}");
+        }
+    }
+
+    #[test]
+    fn render_mentions_percentiles_and_causes() {
+        let text = sample().render();
+        assert!(text.contains("p999"));
+        assert!(text.contains("ssd_write"));
+        assert!(text.contains("memtable"));
+        assert!(text.contains("checkpoint"));
+    }
+
+    #[test]
+    fn empty_summary_renders_and_serialises() {
+        let s = TraceSummary {
+            events: 0,
+            dropped: 0,
+            classes: vec![],
+            stall_count: 0,
+            stall_total_ns: 0,
+            top_stalls: vec![],
+        };
+        assert!(s.to_json().contains("\"classes\": {}"));
+        assert!(s.render().contains("no write stalls"));
+    }
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Regenerates bench/baseline.json, the numbers the CI bench-smoke job
+# gates against (throughput must not drop >15%, p99 must not rise >25%).
+#
+# Run this ONLY after an intentional performance change, from the repo
+# root, and commit the resulting diff together with the change that
+# caused it:
+#
+#     scripts/regen-bench-baseline.sh
+#     git add bench/baseline.json
+#
+# The scenarios run over virtual time, so the numbers are deterministic:
+# regenerating without a code change must produce a byte-identical file.
+#
+# To see the gate fail on purpose (e.g. to verify the CI wiring), run
+# the smoke binary against a synthetically 2x-slower device:
+#
+#     cargo run --release -p nob-bench --bin bench_smoke -- --inject-slow-ssd
+#
+# which must exit nonzero with both throughput and p99 failures.
+set -eu
+cd "$(dirname "$0")/.."
+cargo run --release -p nob-bench --bin bench_smoke -- --write-baseline
+git --no-pager diff --stat bench/baseline.json || true
