@@ -1,0 +1,42 @@
+//! Cross-layer gauge timelines: fixed-seed fillrandom under Sync, Async
+//! and NobLSM with every layer's gauges sampled on one virtual-time grid
+//! and the trace's stalls cross-referenced onto it.
+//!
+//! Writes `target/nob-results/fig_timeline.json` (rendered by `report`)
+//! and prints the three timelines as ASCII sparklines.
+//!
+//! Usage: `fig_timeline [--scale N]` (default scale 512, the bench-smoke
+//! shape — the golden test pins the default's exact bytes).
+
+use nob_bench::timeline::{fig_timeline, fig_timeline_json};
+use nob_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args(512);
+    let runs = fig_timeline(scale);
+    for r in &runs {
+        println!("== {} ==", r.name);
+        print!("{}", r.timeline.render(64));
+        println!(
+            "   {} stall(s) in the trace's top ring{}",
+            r.stalls.len(),
+            if r.stalls.is_empty() { "" } else { ":" }
+        );
+        for s in &r.stalls {
+            println!(
+                "   - {} {} at t={} (grid index {})",
+                s.kind.name(),
+                s.duration(),
+                s.start,
+                r.timeline.grid_index(s.start).map_or(-1, |g| g as i64),
+            );
+        }
+        println!();
+    }
+    let doc = fig_timeline_json(&runs, scale);
+    let dir = std::path::Path::new("target/nob-results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join("fig_timeline.json");
+    std::fs::write(&path, &doc).expect("write results json");
+    println!("wrote {} ({} bytes)", path.display(), doc.len());
+}

@@ -121,6 +121,65 @@ fn render_smoke(doc: &Json, out: &mut String) -> Option<()> {
     Some(())
 }
 
+/// Renders a `fig_timeline` document: each variant's gauge timeline as
+/// sparklines plus its stalls cross-referenced onto the sampling grid.
+fn render_timelines(doc: &Json, out: &mut String) -> Option<()> {
+    let runs = doc.get("timeline_runs")?.as_array()?;
+    let scale = doc.get("scale").and_then(Json::as_f64).unwrap_or(0.0);
+    let _ = writeln!(out, "## fig_timeline — cross-layer gauge timelines\n");
+    let _ = writeln!(out, "*scale 1/{scale:.0}; one row per gauge, bucket maxima*\n");
+    for run in runs {
+        let name = run.get("name").and_then(Json::as_str).unwrap_or("?");
+        let tl = run.get("timeline")?;
+        let samples = tl.get("samples").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+        let period = tl.get("period_ns").and_then(Json::as_f64).unwrap_or(0.0);
+        let _ = writeln!(out, "### {name} — {samples} samples, period {}\n", fmt_ns(period));
+        let series = tl.get("series")?.as_array()?;
+        let name_w = series
+            .iter()
+            .filter_map(|s| s.get("name").and_then(Json::as_str))
+            .map(str::len)
+            .max()
+            .unwrap_or(0);
+        let _ = writeln!(out, "```");
+        for s in series {
+            let sname = s.get("name").and_then(Json::as_str).unwrap_or("?");
+            let values: Vec<f64> = s
+                .get("values")
+                .and_then(Json::as_array)
+                .map(|vs| vs.iter().filter_map(Json::as_f64).collect())
+                .unwrap_or_default();
+            let peak = values.iter().copied().fold(0.0f64, f64::max);
+            let _ = writeln!(
+                out,
+                "{sname:name_w$}  {}  peak {peak}",
+                nob_metrics::sparkline(&values, 64)
+            );
+        }
+        let _ = writeln!(out, "```");
+        let stalls = run.get("stalls").and_then(Json::as_array).unwrap_or(&[]);
+        if stalls.is_empty() {
+            let _ = writeln!(out, "\nno write stalls recorded\n");
+            continue;
+        }
+        let _ = writeln!(out, "\nstalls on this grid:\n");
+        for s in stalls {
+            let kind = s.get("kind").and_then(Json::as_str).unwrap_or("?");
+            let start = s.get("start_ns").and_then(Json::as_f64).unwrap_or(0.0);
+            let end = s.get("end_ns").and_then(Json::as_f64).unwrap_or(0.0);
+            let idx = s.get("grid_index").and_then(Json::as_f64).unwrap_or(-1.0) as i64;
+            let _ = writeln!(
+                out,
+                "- {kind} {} at t={} (grid index {idx})",
+                fmt_ns(end - start),
+                fmt_ns(start)
+            );
+        }
+        let _ = writeln!(out);
+    }
+    Some(())
+}
+
 /// Sums an integer field over the sweep's per-case results.
 fn sum_field(results: &[Json], key: &str) -> u64 {
     results.iter().filter_map(|r| r.get(key).and_then(Json::as_f64)).sum::<f64>() as u64
@@ -277,6 +336,8 @@ fn main() {
                     render_chaos(&exp, &mut out).is_some()
                 } else if exp.get("scenarios").is_some() {
                     render_smoke(&exp, &mut out).is_some()
+                } else if exp.get("timeline_runs").is_some() {
+                    render_timelines(&exp, &mut out).is_some()
                 } else {
                     render(&exp, &mut out).is_some()
                 };

@@ -20,8 +20,8 @@ fn main() {
         scale.factor,
     );
     println!(
-        "{:<14}{:>12}{:>16}{:>20}{:>22}",
-        "LSM-tree", "syncs", "synced (GB)", "syncs (x scale)", "synced GB (x scale)"
+        "{:<14}{:>12}{:>16}{:>20}{:>22}{:>12}",
+        "LSM-tree", "syncs", "synced (GB)", "syncs (x scale)", "synced GB (x scale)", "read amp"
     );
     for variant in Variant::paper_seven() {
         let fs = scale.fresh_fs();
@@ -31,18 +31,26 @@ fn main() {
                           // Counters are read when the foreground finishes, like the
                           // paper's instrumentation of a terminating db_bench process.
         let fill = dbbench::fillrandom(&mut db, ops, 1024, 42, Nanos::ZERO).expect("fillrandom");
-        let _ = fill;
         let stats = fs.stats();
+        // Sanity column, not a paper number: a short readrandom phase
+        // over the drained tree measures SSTables probed per get. A
+        // healthy leveled tree stays in the low single digits; a blowup
+        // here means compaction stopped keeping up.
+        let t = db.wait_idle(fill.finished).expect("drain");
+        let _ = dbbench::readrandom(&mut db, (ops / 10).max(100), ops, 44, t).expect("readrandom");
+        let read_amp = db.stats().read_amplification();
         println!(
-            "{:<14}{:>12}{:>16.4}{:>20}{:>22.2}",
+            "{:<14}{:>12}{:>16.4}{:>20}{:>22.2}{:>12.2}",
             variant.name(),
             stats.sync_calls,
             gb(stats.bytes_synced),
             stats.sync_calls * scale.factor,
             gb(stats.bytes_synced * scale.factor),
+            read_amp,
         );
         exp.push(variant.name(), "syncs", stats.sync_calls as f64, "count");
         exp.push(variant.name(), "synced_gb", gb(stats.bytes_synced), "GB (scaled)");
+        exp.push(variant.name(), "read_amp", read_amp, "tables/get");
     }
     exp.save().expect("write results json");
 }

@@ -20,6 +20,7 @@ pub mod json;
 pub mod output;
 pub mod scenarios;
 pub mod smoke;
+pub mod timeline;
 
 /// The paper's fixed workload parameters, before scaling.
 pub const PAPER_MICRO_OPS: u64 = 10_000_000;

@@ -1,0 +1,36 @@
+//! Golden-file test: the fixed-seed `fig_timeline` experiment must
+//! produce a byte-identical JSON document against the checked-in
+//! fixture — pinning the sampling grid, every gauge's values and the
+//! stall cross-references all at once.
+//!
+//! If a change *intentionally* alters timing, gauges or the schema,
+//! regenerate the fixture:
+//!
+//! ```sh
+//! NOB_BLESS=1 cargo test -p nob-bench --test golden_timeline
+//! ```
+//!
+//! and review the diff like any other golden update.
+
+use nob_bench::timeline::{fig_timeline, fig_timeline_json};
+use nob_bench::Scale;
+
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/fig_timeline.json");
+
+#[test]
+fn fig_timeline_document_matches_golden_file() {
+    let scale = Scale::new(512);
+    let got = fig_timeline_json(&fig_timeline(scale), scale);
+    if std::env::var_os("NOB_BLESS").is_some() {
+        std::fs::write(GOLDEN, &got).expect("bless golden file");
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN).expect(
+        "missing golden fixture; generate with NOB_BLESS=1 cargo test -p nob-bench --test golden_timeline",
+    );
+    assert_eq!(
+        got, want,
+        "fig_timeline diverged from tests/golden/fig_timeline.json; \
+         if intentional, rebless with NOB_BLESS=1"
+    );
+}

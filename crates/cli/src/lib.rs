@@ -24,6 +24,10 @@
 //! trace summary          per-class latency percentiles + top stalls
 //! trace stalls           the recorded stalls with causal attribution
 //! trace export json|chrome <path>   dump raw spans to a file
+//! metrics                the leveldb.stats-style per-level table
+//! metrics on|off         start/stop gauge sampling (100 ms virtual grid)
+//! metrics timeline       sampled gauges as ASCII sparklines
+//! metrics export [--format] prom|json [path]   exposition / raw timeline
 //! help                   this text
 //! ```
 //!
@@ -41,6 +45,7 @@ use std::fmt::Write as _;
 
 use nob_baselines::Variant;
 use nob_ext4::Ext4Fs;
+use nob_metrics::{MetricsHub, DEFAULT_PERIOD};
 use nob_sim::Nanos;
 use nob_trace::TraceSink;
 use nob_workloads::dbbench;
@@ -55,6 +60,8 @@ pub struct Session {
     now: Nanos,
     /// Live trace sink, kept across `open`/`crash` reattachments.
     trace: Option<TraceSink>,
+    /// Live metrics hub, kept across `open`/`crash` reattachments.
+    metrics: Option<MetricsHub>,
 }
 
 impl std::fmt::Debug for Session {
@@ -78,6 +85,7 @@ impl Session {
             variant: Variant::NobLsm,
             now: Nanos::ZERO,
             trace: None,
+            metrics: None,
         }
     }
 
@@ -129,6 +137,9 @@ impl Session {
                     .map_err(|e| e.to_string())?;
                 if let Some(sink) = &self.trace {
                     db.set_trace_sink(sink.clone());
+                }
+                if let Some(hub) = &self.metrics {
+                    db.set_metrics_hub(hub.clone());
                 }
                 self.db = Some(db);
                 self.variant = variant;
@@ -235,10 +246,14 @@ impl Session {
                 let mut db = variant
                     .open(crashed.clone(), "db", &base_options(), at)
                     .map_err(|e| e.to_string())?;
-                // The crash view is a new stack; the sink survives it so
-                // recovery I/O lands in the same trace as the run.
+                // The crash view is a new stack; the sink and hub survive
+                // it so recovery I/O lands in the same trace and the
+                // timeline keeps its pre-crash history.
                 if let Some(sink) = &self.trace {
                     db.set_trace_sink(sink.clone());
+                }
+                if let Some(hub) = &self.metrics {
+                    db.set_metrics_hub(hub.clone());
                 }
                 self.fs = crashed;
                 self.db = Some(db);
@@ -421,10 +436,84 @@ impl Session {
                     )
                 }
             },
+            "metrics" => match args.first().copied() {
+                Some("on") => {
+                    let hub = self.metrics.get_or_insert_with(MetricsHub::new).clone();
+                    match self.db.as_mut() {
+                        Some(db) => db.set_metrics_hub(hub),
+                        None => self.fs.register_metrics(&hub),
+                    }
+                    let _ = writeln!(out, "metrics on (period {})", DEFAULT_PERIOD);
+                }
+                Some("off") => {
+                    match self.db.as_mut() {
+                        Some(db) => db.clear_metrics_hub(),
+                        None => {
+                            if let Some(hub) = &self.metrics {
+                                Ext4Fs::unregister_metrics(hub);
+                            }
+                        }
+                    }
+                    self.metrics = None;
+                    let _ = writeln!(out, "metrics off");
+                }
+                Some("timeline") => {
+                    let hub = self.metrics.as_ref().ok_or("metrics are off (use `metrics on`)")?;
+                    let tl = hub.timeline();
+                    if tl.samples == 0 {
+                        let _ = writeln!(out, "no samples yet (advance virtual time first)");
+                    } else {
+                        out.push_str(&tl.render(64));
+                    }
+                }
+                Some("export") => {
+                    let hub = self.metrics.as_ref().ok_or("metrics are off (use `metrics on`)")?;
+                    // Accept both `export prom [path]` and the long
+                    // `export --format prom [path]` spelling.
+                    let rest: Vec<&str> =
+                        args[1..].iter().copied().filter(|a| *a != "--format").collect();
+                    let (format, path) = match rest[..] {
+                        [f] => (f, None),
+                        [f, p] => (f, Some(p)),
+                        _ => {
+                            return Err("usage: metrics export [--format] <prom|json> [path]".into())
+                        }
+                    };
+                    let body = match format {
+                        "prom" => hub.timeline().prometheus(),
+                        "json" => hub.timeline().to_json(),
+                        other => return Err(format!("unknown export format {other}")),
+                    };
+                    match path {
+                        Some(p) => {
+                            std::fs::write(p, &body)
+                                .map_err(|e| format!("cannot write {p}: {e}"))?;
+                            let _ = writeln!(out, "wrote {p} ({} bytes)", body.len());
+                        }
+                        None => out.push_str(&body),
+                    }
+                }
+                None => {
+                    let db = self.db.as_ref().ok_or("no database open")?;
+                    let table = db
+                        .property("noblsm.compaction-stats")
+                        .ok_or("property noblsm.compaction-stats unavailable")?;
+                    out.push_str(&table);
+                    if let Some(stats) = db.property("noblsm.stats") {
+                        let _ = writeln!(out, "{stats}");
+                    }
+                }
+                _ => {
+                    return Err(
+                        "usage: metrics [on|off|timeline|export [--format] <prom|json> [path]]"
+                            .into(),
+                    )
+                }
+            },
             "help" => {
                 let _ = writeln!(
                     out,
-                    "commands: open put get del scan fill advance flush compact crash chaos trace levels stats time help quit"
+                    "commands: open put get del scan fill advance flush compact crash chaos trace metrics levels stats time help quit"
                 );
             }
             "quit" | "exit" => {}
@@ -549,6 +638,50 @@ mod tests {
         let _ = s.run_line("trace on");
         assert!(s.run_line("trace export json").contains("usage: trace export"));
         assert!(s.run_line("trace export gif /tmp/x").contains("unknown export format"));
+    }
+
+    #[test]
+    fn metrics_table_timeline_and_prometheus_export() {
+        let dir = std::env::temp_dir().join("nob-cli-metrics-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let prom = dir.join("metrics.prom");
+        let mut s = Session::new();
+        let out = s.run_script(&format!(
+            "open noblsm\nmetrics on\nfill 3000 100\nflush\nmetrics\nmetrics timeline\n\
+             metrics export --format prom {}\nmetrics export json\nmetrics off\n",
+            prom.display()
+        ));
+        assert!(out.contains("metrics on"), "{out}");
+        assert!(out.contains("size(MB)"), "compaction table header: {out}");
+        assert!(out.contains("engine.mem_bytes"), "timeline sparklines: {out}");
+        assert!(out.contains("\"series\""), "inline json export: {out}");
+        assert!(out.contains("metrics off"));
+        let text = std::fs::read_to_string(&prom).unwrap();
+        assert!(text.contains("# TYPE noblsm_engine_mem_bytes gauge"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_survive_a_crash_reopen() {
+        let mut s = Session::new();
+        let out = s.run_script(
+            "open noblsm\nmetrics on\nfill 1000 100\nflush\nadvance 11000\ncrash 100\n\
+             advance 1000\nmetrics timeline\n",
+        );
+        assert!(out.contains("power failed"), "{out}");
+        // The timeline keeps sampling across the crash reopen.
+        assert!(out.contains("engine.mem_bytes"), "{out}");
+    }
+
+    #[test]
+    fn metrics_usage_errors_are_reported() {
+        let mut s = Session::new();
+        assert!(s.run_line("metrics timeline").contains("metrics are off"));
+        assert!(s.run_line("metrics").contains("no database open"));
+        assert!(s.run_line("metrics bogus").contains("usage: metrics"));
+        let _ = s.run_line("metrics on");
+        assert!(s.run_line("metrics export gif").contains("unknown export format"));
+        assert!(s.run_line("metrics export").contains("usage: metrics export"));
     }
 
     #[test]

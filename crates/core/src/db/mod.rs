@@ -25,6 +25,7 @@ use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
 
 use nob_ext4::{Ext4Fs, FileHandle, InodeId};
+use nob_metrics::MetricsHub;
 use nob_sim::{EventQueue, Nanos};
 use nob_trace::{EventClass, StallKind, TraceSink};
 
@@ -98,6 +99,7 @@ pub struct Db {
     next_snapshot_id: u64,
     stats: DbStats,
     trace: Option<TraceSink>,
+    metrics: Option<MetricsHub>,
 }
 
 /// A consistent read view pinned at a sequence number.
@@ -356,6 +358,7 @@ impl Db {
             next_snapshot_id: 0,
             stats: recovery,
             trace: None,
+            metrics: None,
         };
         db.maybe_schedule(t);
         Ok(db)
@@ -399,6 +402,92 @@ impl Db {
     pub fn clear_trace_sink(&mut self) {
         self.fs.clear_trace_sink();
         self.trace = None;
+    }
+
+    /// Installs a metrics hub on the whole stack (the sampling twin of
+    /// [`Db::set_trace_sink`]): the filesystem and device register live
+    /// gauge closures, and the engine pushes its own gauges every time
+    /// the foreground clock crosses a grid instant. Sampling is
+    /// observation only — it never changes virtual time.
+    pub fn set_metrics_hub(&mut self, hub: MetricsHub) {
+        self.fs.register_metrics(&hub);
+        self.metrics = Some(hub);
+    }
+
+    /// Detaches the metrics hub; the sample path becomes a dead branch
+    /// again. The hub (and its accumulated timeline) stays usable.
+    pub fn clear_metrics_hub(&mut self) {
+        if let Some(hub) = self.metrics.take() {
+            Ext4Fs::unregister_metrics(&hub);
+        }
+    }
+
+    /// The installed metrics hub, if any.
+    pub fn metrics_hub(&self) -> Option<&MetricsHub> {
+        self.metrics.as_ref()
+    }
+
+    /// Samples every due grid instant with the engine's pushed gauges.
+    /// One branch when no hub is installed.
+    fn sample_metrics(&self, now: Nanos) {
+        // Per-level gauge names are static so the disabled path stays
+        // allocation-free and the enabled path allocates only the vector.
+        const LEVEL_FILES: [&str; 7] = [
+            "engine.l0.files",
+            "engine.l1.files",
+            "engine.l2.files",
+            "engine.l3.files",
+            "engine.l4.files",
+            "engine.l5.files",
+            "engine.l6.files",
+        ];
+        const LEVEL_BYTES: [&str; 7] = [
+            "engine.l0.bytes",
+            "engine.l1.bytes",
+            "engine.l2.bytes",
+            "engine.l3.bytes",
+            "engine.l4.bytes",
+            "engine.l5.bytes",
+            "engine.l6.bytes",
+        ];
+        let Some(hub) = &self.metrics else { return };
+        let v = self.versions.current();
+        let l0 = v.num_files(0);
+        // Pending compaction debt: bytes over quota on scored levels plus
+        // one table's worth per L0 file beyond the compaction trigger —
+        // the work the background must retire before scores drop below 1.
+        let mut debt = (l0.saturating_sub(self.opts.l0_compaction_trigger) as u64)
+            .saturating_mul(self.opts.table_size) as f64;
+        let mut pushed: Vec<(&str, f64)> = Vec::with_capacity(16 + 2 * v.levels());
+        for level in 0..v.levels().min(LEVEL_FILES.len()) {
+            pushed.push((LEVEL_FILES[level], v.num_files(level) as f64));
+            pushed.push((LEVEL_BYTES[level], v.level_bytes(level) as f64));
+            if level >= 1 {
+                let over = v
+                    .scored_level_bytes(level)
+                    .saturating_sub(self.opts.max_bytes_for_level(level));
+                debt += over as f64;
+            }
+        }
+        pushed.extend_from_slice(&[
+            ("engine.mem_bytes", self.mem.approximate_bytes() as f64),
+            ("engine.imm_bytes", self.imm.as_ref().map_or(0.0, |m| m.approximate_bytes() as f64)),
+            (
+                "engine.l0_slowdown_distance",
+                self.opts.l0_slowdown_trigger.saturating_sub(l0) as f64,
+            ),
+            ("engine.l0_stop_distance", self.opts.l0_stop_trigger.saturating_sub(l0) as f64),
+            ("engine.compaction_debt_bytes", debt),
+            ("engine.shadow_files", self.deps.shadow_count() as f64),
+            ("engine.reclaimed_files", self.stats.reclaimed_files as f64),
+            (
+                "engine.inflight_compactions",
+                (self.inflight_major + usize::from(self.minor_inflight)) as f64,
+            ),
+            ("engine.writes", self.stats.writes as f64),
+            ("engine.stall_ns", self.stats.stall_time.as_nanos() as f64),
+        ]);
+        hub.sample_due(now, &pushed);
     }
 
     /// Engine statistics.
@@ -663,20 +752,39 @@ impl Db {
         total
     }
 
-    /// Engine introspection, LevelDB-style. Supported names:
-    /// `"noblsm.stats"`, `"noblsm.sstables"`,
-    /// `"noblsm.num-files-at-level<N>"`, `"noblsm.approximate-memory"`.
+    /// Engine introspection, LevelDB-style (`GetProperty`). Supported
+    /// names:
+    ///
+    /// * `"noblsm.stats"` — one-line engine counters, including read and
+    ///   write amplification inputs;
+    /// * `"noblsm.compaction-stats"` — the classic `leveldb.stats`-style
+    ///   per-level table (files, size, compaction reads/writes/time);
+    /// * `"noblsm.sstables"` — per-level file listing;
+    /// * `"noblsm.num-files-at-level<N>"`;
+    /// * `"noblsm.approximate-memory"` (alias
+    ///   `"noblsm.approximate-memory-usage"`) — memtable bytes;
+    /// * `"noblsm.ext4.*"` — filesystem passthroughs: `dirty-bytes`,
+    ///   `running-txn-inodes`, `pending-inodes`, `committed-inodes`,
+    ///   `journal-free-bytes`, `stats`;
+    /// * `"noblsm.ssd.*"` — device passthroughs: `free-at`, `busy-time`,
+    ///   `stats`.
     pub fn property(&self, name: &str) -> Option<String> {
         if let Some(level) = name.strip_prefix("noblsm.num-files-at-level") {
             let level: usize = level.parse().ok()?;
             return Some(self.versions.current().num_files(level).to_string());
+        }
+        if let Some(rest) = name.strip_prefix("noblsm.ext4.") {
+            return self.ext4_property(rest);
+        }
+        if let Some(rest) = name.strip_prefix("noblsm.ssd.") {
+            return self.ssd_property(rest);
         }
         match name {
             "noblsm.stats" => {
                 let s = &self.stats;
                 Some(format!(
                     "writes={} gets={} minor={} major={} seek={} stalls={} stall_time={} \
-shadows={} reclaimed={}",
+shadows={} reclaimed={} files_read={} read_amp={:.2}",
                     s.writes,
                     s.gets,
                     s.minor_compactions,
@@ -685,18 +793,34 @@ shadows={} reclaimed={}",
                     s.stalls,
                     s.stall_time,
                     s.shadow_files,
-                    s.reclaimed_files
+                    s.reclaimed_files,
+                    s.files_read_per_get,
+                    s.read_amplification()
                 ))
             }
             "noblsm.compaction-stats" => {
-                let mut out = String::from("level   compactions   read(KB)   written(KB)   time\n");
-                for (level, pl) in self.stats.per_level.iter().enumerate() {
+                let v = self.versions.current();
+                let levels = v.levels().max(self.stats.per_level.len());
+                let mut out = String::from(
+                    "                               Compactions\n\
+                     level  files  size(MB)  count  read(MB)  write(MB)  time\n\
+                     -------------------------------------------------------\n",
+                );
+                for level in 0..levels {
+                    let files = v.num_files(level);
+                    let bytes = v.level_bytes(level);
+                    let pl = self.stats.per_level.get(level).copied().unwrap_or_default();
+                    if files == 0 && pl.count == 0 {
+                        continue;
+                    }
                     out.push_str(&format!(
-                        "{:<8}{:<14}{:<11}{:<14}{}\n",
+                        "{:>5}  {:>5}  {:>8.1}  {:>5}  {:>8.1}  {:>9.1}  {}\n",
                         level,
+                        files,
+                        bytes as f64 / (1 << 20) as f64,
                         pl.count,
-                        pl.bytes_read >> 10,
-                        pl.bytes_written >> 10,
+                        pl.bytes_read as f64 / (1 << 20) as f64,
+                        pl.bytes_written as f64 / (1 << 20) as f64,
                         pl.duration
                     ));
                 }
@@ -721,10 +845,56 @@ shadows={} reclaimed={}",
                 }
                 Some(out)
             }
-            "noblsm.approximate-memory" => {
+            "noblsm.approximate-memory" | "noblsm.approximate-memory-usage" => {
                 let bytes = self.mem.approximate_bytes()
                     + self.imm.as_ref().map_or(0, MemTable::approximate_bytes);
                 Some(bytes.to_string())
+            }
+            _ => None,
+        }
+    }
+
+    /// `noblsm.ext4.*` property passthroughs.
+    fn ext4_property(&self, name: &str) -> Option<String> {
+        match name {
+            "dirty-bytes" => Some(self.fs.dirty_bytes().to_string()),
+            "running-txn-inodes" => Some(self.fs.running_txn_inodes().to_string()),
+            "pending-inodes" => Some(self.fs.kernel_table_sizes().0.to_string()),
+            "committed-inodes" => Some(self.fs.kernel_table_sizes().1.to_string()),
+            "journal-free-bytes" => Some(self.fs.journal_free_bytes().to_string()),
+            "stats" => {
+                let s = self.fs.stats();
+                Some(format!(
+                    "sync_calls={} bytes_synced={} async_commits={} sync_commits={} \
+journal_bytes={} bytes_written_back={}",
+                    s.sync_calls,
+                    s.bytes_synced,
+                    s.async_commits,
+                    s.sync_commits,
+                    s.journal_bytes,
+                    s.bytes_written_back
+                ))
+            }
+            _ => None,
+        }
+    }
+
+    /// `noblsm.ssd.*` property passthroughs.
+    fn ssd_property(&self, name: &str) -> Option<String> {
+        match name {
+            "free-at" => Some(self.fs.device_free_at().as_nanos().to_string()),
+            "busy-time" => Some(self.fs.device_busy_time().as_nanos().to_string()),
+            "stats" => {
+                let io = self.fs.io_stats();
+                Some(format!(
+                    "read_commands={} write_commands={} flush_commands={} bytes_read={} \
+bytes_written={}",
+                    io.read_commands,
+                    io.write_commands,
+                    io.flush_commands,
+                    io.bytes_read,
+                    io.bytes_written
+                ))
             }
             _ => None,
         }
@@ -783,7 +953,9 @@ shadows={} reclaimed={}",
             }
         }
         let version = self.versions.current();
-        let (result, seek) = version.get(key, seq, self.opts.style, &self.tables, &mut now)?;
+        let (result, probes, seek) =
+            version.get(key, seq, self.opts.style, &self.tables, &mut now)?;
+        self.stats.files_read_per_get += probes as u64;
         if let Some(sf) = seek {
             if self.opts.seek_compaction {
                 self.pending_seek = Some(sf);
@@ -978,6 +1150,10 @@ shadows={} reclaimed={}",
     fn pump(&mut self, now: Nanos) -> Result<()> {
         self.fs.tick(now);
         while let Some((t, ev)) = self.events.pop_due(now) {
+            // Sample grid instants the event predates, so a gauge reads
+            // its pre-completion value (e.g. L0 count before the merge
+            // applied) exactly as a wall-clock scraper would have.
+            self.sample_metrics(t);
             match ev {
                 DbEvent::MinorDone { output, old_wal, new_log_number } => {
                     self.apply_minor(t, output, old_wal, new_log_number)?;
@@ -990,6 +1166,7 @@ shadows={} reclaimed={}",
                 }
             }
         }
+        self.sample_metrics(now);
         Ok(())
     }
 
@@ -1029,14 +1206,16 @@ shadows={} reclaimed={}",
         started: Nanos,
     ) -> Result<()> {
         let level = inputs.level;
-        if self.stats.per_level.len() <= level {
-            self.stats.per_level.resize(level + 1, Default::default());
-        }
-        let pl = &mut self.stats.per_level[level];
-        pl.count += 1;
-        pl.bytes_read += inputs.input_bytes();
-        pl.bytes_written += outcome.bytes_written;
-        pl.duration += t - started;
+        // Single accounting path for every major compaction — size-,
+        // seek- and manually-triggered alike — so the global counters and
+        // the per-level breakdown can never diverge.
+        self.stats.record_major_compaction(
+            level,
+            inputs.from_seek,
+            inputs.input_bytes(),
+            outcome.bytes_written,
+            t - started,
+        );
         let mut edit = VersionEdit::new();
         for f in &inputs.inputs0 {
             edit.delete_file(level, f.number);
@@ -1062,7 +1241,6 @@ shadows={} reclaimed={}",
         for o in outcome.outputs.iter().chain(&outcome.hot_outputs) {
             self.refs.acquire(o.meta.physical, &o.physical_path);
         }
-        self.stats.compaction_bytes_written += outcome.bytes_written;
 
         match self.opts.sync_mode {
             SyncMode::NobLsm => {
@@ -1256,7 +1434,6 @@ shadows={} reclaimed={}",
             if let Some((level, file)) = self.pending_seek.take() {
                 if let Some(c) = self.versions.pick_seek_compaction(level, &file, &self.busy_levels)
                 {
-                    self.stats.seek_compactions += 1;
                     self.schedule_major(now, c);
                 }
             }
@@ -1285,7 +1462,6 @@ shadows={} reclaimed={}",
             assert!(n < end, "output number reservation exhausted");
             n
         };
-        self.stats.compaction_bytes_read += inputs.input_bytes();
         // L2SM hot routing converges only while the destination level has
         // room for more hot files; at the cap, everything is pushed down
         // cold so consolidation makes progress.
@@ -1335,7 +1511,8 @@ shadows={} reclaimed={}",
         self.busy_levels.insert(inputs.level);
         self.busy_levels.insert(inputs.level + 1);
         self.inflight_major += 1;
-        self.stats.major_compactions += 1;
+        // Stats are recorded in apply_major (the single accounting path),
+        // when the completion event lands.
         if let Some(sink) = &self.trace {
             sink.emit(EventClass::MajorCompaction, now, t, outcome.bytes_written);
         }

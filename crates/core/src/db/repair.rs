@@ -25,7 +25,7 @@ struct SalvagedTable {
     max_seq: u64,
 }
 
-/// What a [`repair`] run found and did, for recovery-validation harnesses
+/// What a [`Db::repair`](super::Db::repair) run found and did, for recovery-validation harnesses
 /// that must distinguish *detected* loss from silent loss.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct RepairReport {

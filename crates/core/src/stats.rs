@@ -56,6 +56,8 @@ pub struct DbStats {
     /// WAL bytes dropped by the last recovery: everything after a torn
     /// tail or a damaged record, across all replayed logs.
     pub wal_bytes_dropped: u64,
+    /// SSTable files probed across all gets (read-amplification numerator).
+    pub files_read_per_get: u64,
     /// Major-compaction breakdown by parent level.
     pub per_level: Vec<LevelCompactionStats>,
 }
@@ -77,6 +79,46 @@ impl DbStats {
             self.compaction_bytes_written as f64 / user_bytes as f64
         }
     }
+
+    /// Read amplification so far: SSTable files probed per completed get.
+    ///
+    /// Returns 0.0 before the first get.
+    pub fn read_amplification(&self) -> f64 {
+        if self.gets == 0 {
+            0.0
+        } else {
+            self.files_read_per_get as f64 / self.gets as f64
+        }
+    }
+
+    /// The single accounting path for an applied major compaction: the
+    /// global counters (`major_compactions`, `seek_compactions`, bytes)
+    /// and the [`per_level`](DbStats::per_level) breakdown move together,
+    /// so no trigger path (size, seek, manual) can under-report one of
+    /// them.
+    pub fn record_major_compaction(
+        &mut self,
+        level: usize,
+        from_seek: bool,
+        bytes_read: u64,
+        bytes_written: u64,
+        duration: Nanos,
+    ) {
+        self.major_compactions += 1;
+        if from_seek {
+            self.seek_compactions += 1;
+        }
+        self.compaction_bytes_read += bytes_read;
+        self.compaction_bytes_written += bytes_written;
+        if self.per_level.len() <= level {
+            self.per_level.resize(level + 1, LevelCompactionStats::default());
+        }
+        let pl = &mut self.per_level[level];
+        pl.count += 1;
+        pl.bytes_read += bytes_read;
+        pl.bytes_written += bytes_written;
+        pl.duration += duration;
+    }
 }
 
 #[cfg(test)]
@@ -88,5 +130,33 @@ mod tests {
         let s = DbStats { compaction_bytes_written: 100, ..DbStats::new() };
         assert_eq!(s.write_amplification(0), 0.0);
         assert!((s.write_amplification(50) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn read_amplification_handles_zero_gets() {
+        let s = DbStats { files_read_per_get: 12, ..DbStats::new() };
+        assert_eq!(s.read_amplification(), 0.0);
+        let s = DbStats { files_read_per_get: 12, gets: 8, ..DbStats::new() };
+        assert!((s.read_amplification() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_major_compaction_moves_global_and_per_level_together() {
+        let mut s = DbStats::new();
+        s.record_major_compaction(2, false, 100, 80, Nanos::from_micros(5));
+        s.record_major_compaction(2, true, 10, 8, Nanos::from_micros(1));
+        s.record_major_compaction(0, true, 1, 1, Nanos::from_micros(1));
+        assert_eq!(s.major_compactions, 3);
+        assert_eq!(s.seek_compactions, 2);
+        assert_eq!(s.compaction_bytes_read, 111);
+        assert_eq!(s.compaction_bytes_written, 89);
+        assert_eq!(s.per_level.len(), 3);
+        assert_eq!(s.per_level[2].count, 2);
+        assert_eq!(s.per_level[2].bytes_read, 110);
+        assert_eq!(s.per_level[0].count, 1);
+        // The invariant the helper exists for: per-level counts sum to the
+        // global counter, whatever mix of trigger paths ran.
+        let sum: u64 = s.per_level.iter().map(|l| l.count).sum();
+        assert_eq!(sum, s.major_compactions);
     }
 }

@@ -180,9 +180,10 @@ impl Version {
 
     /// Point lookup at snapshot `seq`.
     ///
-    /// Returns the result plus, if some file consumed its last allowed
-    /// seek during this lookup, that file and its level (a seek-compaction
-    /// candidate).
+    /// Returns the result, the number of SSTable files probed (the
+    /// read-amplification numerator) and, if some file consumed its last
+    /// allowed seek during this lookup, that file and its level (a
+    /// seek-compaction candidate).
     ///
     /// # Errors
     ///
@@ -195,7 +196,7 @@ impl Version {
         style: CompactionStyle,
         tables: &TableCache,
         now: &mut Nanos,
-    ) -> Result<(GetResult, Option<(usize, Arc<FileMetaData>)>)> {
+    ) -> Result<(GetResult, usize, Option<(usize, Arc<FileMetaData>)>)> {
         let probe = lookup_key(key, seq);
         let mut first_probed: Option<(usize, Arc<FileMetaData>)> = None;
         let mut probes = 0usize;
@@ -251,11 +252,11 @@ impl Version {
                         Some(ValueType::Value) => GetResult::Found(value),
                         _ => GetResult::Deleted,
                     };
-                    return Ok((result, seek_candidate));
+                    return Ok((result, probes, seek_candidate));
                 }
             }
         }
-        Ok((GetResult::NotFound, seek_candidate))
+        Ok((GetResult::NotFound, probes, seek_candidate))
     }
 
     /// Checks structural invariants (used by tests): `L0` sorted

@@ -126,6 +126,54 @@ fn seek_compactions_fire_under_repeated_misses() {
 }
 
 #[test]
+fn seek_compactions_land_in_the_per_level_breakdown() {
+    // Regression: seek-triggered majors used to bump the global
+    // `major_compactions` counter without the `per_level` breakdown. All
+    // paths now account through DbStats::record_major_compaction, so the
+    // per-level counts must sum to the global counter — with seek
+    // compactions included.
+    let fs = fs();
+    let mut o = opts(SyncMode::Always);
+    o.seek_compaction = true;
+    let mut db = Db::open(fs, "db", o, Nanos::ZERO).unwrap();
+    let mut now = Nanos::ZERO;
+    for i in (0..400u64).filter(|i| i % 2 == 0) {
+        now = db.put(now, &key(i), &[1u8; 64]).unwrap();
+    }
+    now = db.flush(now).unwrap();
+    for i in (0..400u64).filter(|i| i % 2 == 1) {
+        now = db.put(now, &key(i), &[2u8; 64]).unwrap();
+    }
+    now = db.flush(now).unwrap();
+    now = db.wait_idle(now).unwrap();
+    let before_seek = db.stats().seek_compactions;
+    for round in 0..600u64 {
+        let (_, t) = db.get(now, &key((round * 2) % 400)).unwrap();
+        now = t;
+    }
+    now = db.wait_idle(now).unwrap();
+    let _ = now;
+    let s = db.stats();
+    let per_level_sum: u64 = s.per_level.iter().map(|l| l.count).sum();
+    assert_eq!(
+        per_level_sum, s.major_compactions,
+        "per-level counts must sum to the global major counter (seek={})",
+        s.seek_compactions
+    );
+    assert!(s.seek_compactions <= s.major_compactions, "seek majors are majors");
+    if s.seek_compactions > before_seek {
+        // The seek-triggered major charged its parent level too.
+        assert!(per_level_sum > 0);
+    }
+    // Read amplification: the interleaved-generation lookups probed more
+    // than one file per get on average until the merge landed.
+    assert!(s.files_read_per_get > 0, "gets probed SSTables");
+    assert!(s.read_amplification() > 0.0);
+    let stats_line = db.property("noblsm.stats").unwrap();
+    assert!(stats_line.contains("read_amp="), "{stats_line}");
+}
+
+#[test]
 fn file_space_is_clean_after_settling() {
     // After settle(), the only .ldb files on disk are the live tables —
     // NobLSM's shadows have been reclaimed, BoLT-style refcounts released.

@@ -41,6 +41,11 @@ pub struct Ext4Config {
     /// whole compound transaction, eliminating entanglement with other
     /// files' dirty data.
     pub fast_commit: bool,
+    /// Capacity of the circular JBD2 journal area in bytes (mkfs default
+    /// for large filesystems: 128 MiB). The simulation does not model
+    /// journal wrap-checkpointing; the metrics layer uses this to report
+    /// free journal space modulo the wrap.
+    pub journal_capacity: u64,
     /// Device parameters.
     pub ssd: SsdConfig,
 }
@@ -55,6 +60,7 @@ impl Ext4Config {
             journal_block: 4096,
             writeback_chunk: 256 << 10,
             fast_commit: false,
+            journal_capacity: 128 << 20,
             ssd: SsdConfig::pm883(),
         }
     }

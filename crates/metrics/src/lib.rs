@@ -1,0 +1,618 @@
+//! `nob-metrics`: cross-layer gauge timelines on the virtual clock.
+//!
+//! The trace layer (`nob-trace`) records *events* — spans with a start and
+//! an end. This crate records *state*: each layer registers live gauge
+//! closures (or pushes values it alone can compute), and a sampler
+//! snapshots every metric on one shared virtual-time grid into a compact
+//! [`Timeline`]. The timeline serializes to deterministic JSON, renders as
+//! ASCII sparklines, and exposes its latest sample in Prometheus text
+//! format.
+//!
+//! Like tracing, metrics are observation, not behaviour: a [`MetricsHub`]
+//! hangs off each layer as an `Option<_>` hook, the disabled path is one
+//! branch, and sampling never advances virtual time.
+//!
+//! ```
+//! use nob_metrics::{MetricKind, MetricsHub};
+//! use nob_sim::Nanos;
+//!
+//! let hub = MetricsHub::new().with_period(Nanos::from_millis(10));
+//! hub.register(MetricKind::Gauge, "demo.queue_ns", "queue backlog", |t| {
+//!     t.as_nanos() as f64 / 2.0
+//! });
+//! hub.sample_due(Nanos::ZERO, &[("demo.pushed", 7.0)]);
+//! hub.sample_due(Nanos::from_millis(25), &[("demo.pushed", 9.0)]);
+//! let tl = hub.timeline();
+//! assert_eq!(tl.samples, 3); // grid instants 0ms, 10ms, 20ms
+//! assert!(tl.to_json().contains("\"demo.queue_ns\""));
+//! ```
+
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use nob_sim::Nanos;
+
+/// Default sampling period: 100 ms of virtual time.
+pub const DEFAULT_PERIOD: Nanos = Nanos::from_millis(100);
+
+/// What a metric's values mean, LevelDB/Prometheus style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically non-decreasing count (ops, bytes, stall time).
+    Counter,
+    /// Instantaneous level that can go up and down (dirty bytes, queue depth).
+    Gauge,
+}
+
+impl MetricKind {
+    /// Lower-case name, as used in JSON and Prometheus `# TYPE` lines.
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+        }
+    }
+}
+
+/// One sampled metric: its identity plus one value per grid instant.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Dotted metric name, `<layer>.<metric>` (e.g. `ext4.dirty_bytes`).
+    pub name: String,
+    /// Counter or gauge.
+    pub kind: MetricKind,
+    /// One-line human description (Prometheus `# HELP`).
+    pub help: String,
+    /// One value per grid instant, aligned across all series.
+    pub values: Vec<f64>,
+}
+
+impl Series {
+    /// Latest sampled value, or 0.0 before the first sample.
+    pub fn last(&self) -> f64 {
+        self.values.last().copied().unwrap_or(0.0)
+    }
+}
+
+/// A compact grid of samples: every registered metric, one value per
+/// virtual-time grid instant. All series have the same length
+/// ([`Timeline::samples`]); grid instant `i` is `start + period * i`.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    /// First grid instant.
+    pub start: Nanos,
+    /// Grid spacing in virtual time.
+    pub period: Nanos,
+    /// Number of grid instants sampled so far.
+    pub samples: usize,
+    /// Per-metric sample vectors, in registration/first-push order.
+    pub series: Vec<Series>,
+}
+
+impl Timeline {
+    fn new(period: Nanos) -> Timeline {
+        Timeline { start: Nanos::ZERO, period, samples: 0, series: Vec::new() }
+    }
+
+    /// Looks up a series by name.
+    pub fn series(&self, name: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.name == name)
+    }
+
+    /// The grid instant of sample index `i`.
+    pub fn instant(&self, i: usize) -> Nanos {
+        self.start + self.period * i as u64
+    }
+
+    /// Grid index covering instant `t` (clamped to the sampled range), or
+    /// `None` if nothing has been sampled yet. Used to cross-reference
+    /// trace records (stalls, commits) onto the timeline.
+    pub fn grid_index(&self, t: Nanos) -> Option<usize> {
+        if self.samples == 0 || self.period == Nanos::ZERO {
+            return None;
+        }
+        let off = t.saturating_sub(self.start).as_nanos() / self.period.as_nanos();
+        Some((off as usize).min(self.samples - 1))
+    }
+
+    /// Deterministic JSON document. All structural numbers are integers;
+    /// sample values print as integers when integral and via Rust's
+    /// shortest-round-trip `f64` formatting otherwise, so byte equality
+    /// across identical fixed-seed runs is meaningful.
+    pub fn to_json(&self) -> String {
+        self.to_json_indented(0)
+    }
+
+    /// [`Timeline::to_json`] indented by `level` two-space stops, for
+    /// embedding into a larger hand-rolled document.
+    pub fn to_json_indented(&self, level: usize) -> String {
+        let pad = "  ".repeat(level);
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "{pad}  \"start_ns\": {},", self.start.as_nanos());
+        let _ = writeln!(out, "{pad}  \"period_ns\": {},", self.period.as_nanos());
+        let _ = writeln!(out, "{pad}  \"samples\": {},", self.samples);
+        let _ = writeln!(out, "{pad}  \"series\": [");
+        for (i, s) in self.series.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{pad}    {{\"name\": \"{}\", \"kind\": \"{}\", \"help\": \"{}\", \"values\": [",
+                escape(&s.name),
+                s.kind.name(),
+                escape(&s.help)
+            );
+            for (j, v) in s.values.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&fmt_value(*v));
+            }
+            out.push_str("]}");
+            out.push_str(if i + 1 < self.series.len() { ",\n" } else { "\n" });
+        }
+        let _ = writeln!(out, "{pad}  ]");
+        let _ = write!(out, "{pad}}}");
+        out
+    }
+
+    /// Renders every series as an ASCII sparkline, one row per metric,
+    /// scaled per-series to its own min..max. `width` caps the number of
+    /// glyphs; longer timelines are bucketed (each glyph shows the bucket
+    /// maximum, so short spikes stay visible).
+    pub fn render(&self, width: usize) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "timeline: {} samples x {} series, period {}, span {}",
+            self.samples,
+            self.series.len(),
+            self.period,
+            self.period * self.samples.saturating_sub(1) as u64,
+        );
+        let name_w = self.series.iter().map(|s| s.name.len()).max().unwrap_or(0);
+        for s in &self.series {
+            let _ = writeln!(
+                out,
+                "  {:name_w$}  {}  [{} .. {}]",
+                s.name,
+                sparkline(&s.values, width),
+                fmt_value(min_of(&s.values)),
+                fmt_value(max_of(&s.values)),
+            );
+        }
+        out
+    }
+
+    /// Prometheus text exposition of the *latest* sample of every series:
+    /// `# HELP` / `# TYPE` headers plus one `noblsm_<name> <value>` line
+    /// each, dots and dashes mapped to underscores.
+    pub fn prometheus(&self) -> String {
+        let mut out = String::new();
+        for s in &self.series {
+            let name = prom_name(&s.name);
+            let _ = writeln!(out, "# HELP {name} {}", s.help);
+            let _ = writeln!(out, "# TYPE {name} {}", s.kind.name());
+            let _ = writeln!(out, "{name} {}", fmt_value(s.last()));
+        }
+        out
+    }
+}
+
+/// `noblsm_`-prefixed Prometheus metric name: dots and dashes become
+/// underscores, anything else non-alphanumeric is dropped.
+pub fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 7);
+    out.push_str("noblsm_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else if c == '.' || c == '-' {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Deterministic value formatting: integers print without a fraction,
+/// everything else uses Rust's shortest-round-trip `f64` display.
+fn fmt_value(v: f64) -> String {
+    if v.is_finite() && v.fract() == 0.0 && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn min_of(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+fn max_of(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// One sparkline over `values`, at most `width` glyphs wide. Longer inputs
+/// are bucketed; each glyph shows its bucket's maximum.
+pub fn sparkline(values: &[f64], width: usize) -> String {
+    const GLYPHS: [char; 8] = [
+        '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}',
+        '\u{2588}',
+    ];
+    if values.is_empty() || width == 0 {
+        return String::new();
+    }
+    let buckets = width.min(values.len());
+    let mut maxima = Vec::with_capacity(buckets);
+    for b in 0..buckets {
+        let lo = b * values.len() / buckets;
+        let hi = ((b + 1) * values.len() / buckets).max(lo + 1);
+        maxima.push(values[lo..hi].iter().copied().fold(f64::NEG_INFINITY, f64::max));
+    }
+    let lo = maxima.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = maxima.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = hi - lo;
+    maxima
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() || span <= 0.0 {
+                GLYPHS[0]
+            } else {
+                let idx = ((v - lo) / span * 7.0).round() as usize;
+                GLYPHS[idx.min(7)]
+            }
+        })
+        .collect()
+}
+
+type ProbeFn = Box<dyn Fn(Nanos) -> f64 + Send>;
+
+struct Probe {
+    name: String,
+    kind: MetricKind,
+    help: String,
+    read: ProbeFn,
+}
+
+struct HubState {
+    period: Nanos,
+    /// Next grid instant to sample; `None` until the first `sample_due`.
+    next: Option<Nanos>,
+    probes: Vec<Probe>,
+    timeline: Timeline,
+}
+
+impl HubState {
+    fn series_index(&mut self, name: &str, kind: MetricKind, help: &str) -> usize {
+        if let Some(i) = self.timeline.series.iter().position(|s| s.name == name) {
+            return i;
+        }
+        // A series born mid-run backfills zeros so the grid stays shared.
+        self.timeline.series.push(Series {
+            name: name.to_string(),
+            kind,
+            help: help.to_string(),
+            values: vec![0.0; self.timeline.samples],
+        });
+        self.timeline.series.len() - 1
+    }
+
+    fn sample_at(&mut self, t: Nanos, pushed: &[(&str, f64)]) {
+        for p in 0..self.probes.len() {
+            let v = (self.probes[p].read)(t);
+            let (name, kind) = (self.probes[p].name.clone(), self.probes[p].kind);
+            let help = self.probes[p].help.clone();
+            let i = self.series_index(&name, kind, &help);
+            self.timeline.series[i].values.push(v);
+        }
+        for &(name, v) in pushed {
+            let i = self.series_index(name, MetricKind::Gauge, "");
+            self.timeline.series[i].values.push(v);
+        }
+        self.timeline.samples += 1;
+        // Series absent this round (e.g. a probe unregistered by a crash)
+        // repeat their last value to stay grid-aligned.
+        for s in &mut self.timeline.series {
+            if s.values.len() < self.timeline.samples {
+                let fill = s.values.last().copied().unwrap_or(0.0);
+                s.values.push(fill);
+            }
+        }
+    }
+}
+
+/// Cloneable handle to a shared metric registry + virtual-time sampler.
+///
+/// Layers that can be captured by a closure (the filesystem and device,
+/// which live behind `Arc`s) call [`MetricsHub::register`]; the engine,
+/// which owns its state directly, pushes its gauges as the `pushed`
+/// argument of [`MetricsHub::sample_due`]. Both land on the same grid.
+#[derive(Clone, Default)]
+pub struct MetricsHub {
+    inner: Arc<Mutex<HubState>>,
+}
+
+impl Default for HubState {
+    fn default() -> HubState {
+        HubState {
+            period: DEFAULT_PERIOD,
+            next: None,
+            probes: Vec::new(),
+            timeline: Timeline::new(DEFAULT_PERIOD),
+        }
+    }
+}
+
+impl std::fmt::Debug for MetricsHub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("MetricsHub")
+    }
+}
+
+impl MetricsHub {
+    /// A hub with the default 100 ms virtual sampling period.
+    pub fn new() -> MetricsHub {
+        MetricsHub::default()
+    }
+
+    /// Sets the sampling period. Call before the first sample; changing
+    /// the period re-labels the grid of any samples already taken.
+    pub fn with_period(self, period: Nanos) -> MetricsHub {
+        {
+            let mut st = self.lock();
+            assert!(period > Nanos::ZERO, "sampling period must be positive");
+            st.period = period;
+            st.timeline.period = period;
+        }
+        self
+    }
+
+    /// The configured sampling period.
+    pub fn period(&self) -> Nanos {
+        self.lock().period
+    }
+
+    fn lock(&self) -> MutexGuard<'_, HubState> {
+        // Metrics must never take the database down: recover from a
+        // poisoned lock (a panicking sampler thread) instead of cascading.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Registers (or replaces, by name) a live probe evaluated at every
+    /// grid instant. The closure receives the grid instant, so
+    /// time-derived gauges (queue backlog, busy fraction) stay exact even
+    /// when several due instants are sampled in one call.
+    pub fn register<F>(&self, kind: MetricKind, name: &str, help: &str, read: F)
+    where
+        F: Fn(Nanos) -> f64 + Send + 'static,
+    {
+        let mut st = self.lock();
+        let probe =
+            Probe { name: name.to_string(), kind, help: help.to_string(), read: Box::new(read) };
+        match st.probes.iter().position(|p| p.name == name) {
+            // Re-registration (e.g. after crash recovery reopens the same
+            // stack) swaps the closure but keeps the series history.
+            Some(i) => st.probes[i] = probe,
+            None => st.probes.push(probe),
+        }
+    }
+
+    /// Removes a probe by name; its series stops growing but keeps its
+    /// history (grid alignment pads it with its last value).
+    pub fn unregister(&self, name: &str) {
+        let mut st = self.lock();
+        st.probes.retain(|p| p.name != name);
+    }
+
+    /// Samples every grid instant that is due at virtual time `now`:
+    /// evaluates all registered probes at each instant and appends the
+    /// caller's `pushed` values alongside. The first call anchors the grid
+    /// at `now`. Returns how many grid instants were sampled.
+    pub fn sample_due(&self, now: Nanos, pushed: &[(&str, f64)]) -> usize {
+        let mut st = self.lock();
+        if st.next.is_none() {
+            st.next = Some(now);
+            st.timeline.start = now;
+        }
+        let mut taken = 0;
+        while let Some(t) = st.next {
+            if t > now {
+                break;
+            }
+            st.sample_at(t, pushed);
+            st.next = Some(t + st.period);
+            taken += 1;
+        }
+        taken
+    }
+
+    /// Snapshot of the timeline accumulated so far.
+    pub fn timeline(&self) -> Timeline {
+        self.lock().timeline.clone()
+    }
+
+    /// Number of grid instants sampled so far.
+    pub fn samples(&self) -> usize {
+        self.lock().timeline.samples
+    }
+
+    /// Drops all samples (series definitions and probes survive).
+    pub fn reset(&self) {
+        let mut st = self.lock();
+        st.next = None;
+        let period = st.period;
+        st.timeline = Timeline::new(period);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_anchored_at_first_sample_and_spaced_by_period() {
+        let hub = MetricsHub::new().with_period(Nanos::from_millis(10));
+        hub.register(MetricKind::Gauge, "t_ms", "grid instant in ms", |t| t.as_millis() as f64);
+        assert_eq!(hub.sample_due(Nanos::from_millis(5), &[]), 1);
+        assert_eq!(hub.sample_due(Nanos::from_millis(36), &[]), 3);
+        let tl = hub.timeline();
+        assert_eq!(tl.start, Nanos::from_millis(5));
+        assert_eq!(tl.samples, 4);
+        // Probes see the grid instant, not the call instant.
+        assert_eq!(tl.series("t_ms").unwrap().values, vec![5.0, 15.0, 25.0, 35.0]);
+    }
+
+    #[test]
+    fn pushed_values_land_on_the_same_grid() {
+        let hub = MetricsHub::new().with_period(Nanos::from_millis(10));
+        hub.register(MetricKind::Gauge, "probe", "", |_| 1.0);
+        hub.sample_due(Nanos::ZERO, &[("pushed", 41.0)]);
+        hub.sample_due(Nanos::from_millis(10), &[("pushed", 42.0)]);
+        let tl = hub.timeline();
+        assert_eq!(tl.series("probe").unwrap().values.len(), 2);
+        assert_eq!(tl.series("pushed").unwrap().values, vec![41.0, 42.0]);
+    }
+
+    #[test]
+    fn late_series_backfills_and_absent_series_repeats() {
+        let hub = MetricsHub::new().with_period(Nanos::from_millis(10));
+        hub.register(MetricKind::Gauge, "early", "", |_| 1.0);
+        hub.sample_due(Nanos::ZERO, &[]);
+        hub.register(MetricKind::Counter, "late", "", |_| 2.0);
+        hub.sample_due(Nanos::from_millis(10), &[]);
+        hub.unregister("early");
+        hub.sample_due(Nanos::from_millis(20), &[]);
+        let tl = hub.timeline();
+        assert_eq!(tl.series("late").unwrap().values, vec![0.0, 2.0, 2.0]);
+        assert_eq!(tl.series("early").unwrap().values, vec![1.0, 1.0, 1.0]);
+        assert_eq!(tl.series("late").unwrap().kind, MetricKind::Counter);
+    }
+
+    #[test]
+    fn reregistration_replaces_the_closure_but_keeps_history() {
+        let hub = MetricsHub::new().with_period(Nanos::from_millis(10));
+        hub.register(MetricKind::Gauge, "g", "", |_| 1.0);
+        hub.sample_due(Nanos::ZERO, &[]);
+        hub.register(MetricKind::Gauge, "g", "", |_| 9.0);
+        hub.sample_due(Nanos::from_millis(10), &[]);
+        assert_eq!(hub.timeline().series("g").unwrap().values, vec![1.0, 9.0]);
+    }
+
+    #[test]
+    fn json_is_deterministic_and_integer_friendly() {
+        let mk = || {
+            let hub = MetricsHub::new().with_period(Nanos::from_millis(10));
+            hub.register(MetricKind::Gauge, "a.b", "bytes", |t| t.as_nanos() as f64);
+            hub.register(MetricKind::Counter, "c", "", |_| 0.5);
+            hub.sample_due(Nanos::from_millis(7), &[("p", 3.0)]);
+            hub.sample_due(Nanos::from_millis(17), &[("p", 4.0)]);
+            hub.timeline().to_json()
+        };
+        let (j1, j2) = (mk(), mk());
+        assert_eq!(j1, j2, "identical runs must serialize byte-identically");
+        assert!(j1.contains("\"period_ns\": 10000000"));
+        assert!(j1.contains("[7000000, 17000000]"), "{j1}");
+        assert!(j1.contains("[0.5, 0.5]"), "{j1}");
+    }
+
+    #[test]
+    fn grid_index_maps_instants_onto_samples() {
+        let hub = MetricsHub::new().with_period(Nanos::from_millis(10));
+        hub.register(MetricKind::Gauge, "g", "", |_| 0.0);
+        hub.sample_due(Nanos::from_millis(55), &[]); // start = 55ms
+        hub.sample_due(Nanos::from_millis(85), &[]); // samples at 55,65,75,85
+        let tl = hub.timeline();
+        assert_eq!(tl.grid_index(Nanos::from_millis(55)), Some(0));
+        assert_eq!(tl.grid_index(Nanos::from_millis(64)), Some(0));
+        assert_eq!(tl.grid_index(Nanos::from_millis(66)), Some(1));
+        assert_eq!(tl.grid_index(Nanos::from_millis(500)), Some(3), "clamped to range");
+        assert_eq!(tl.grid_index(Nanos::ZERO), Some(0), "before start clamps to 0");
+        assert_eq!(Timeline::new(DEFAULT_PERIOD).grid_index(Nanos::ZERO), None);
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let hub = MetricsHub::new();
+        hub.register(MetricKind::Counter, "engine.writes", "user writes", |_| 12.0);
+        hub.register(MetricKind::Gauge, "ssd.busy-permille", "", |_| 1.5);
+        hub.sample_due(Nanos::ZERO, &[]);
+        let text = hub.timeline().prometheus();
+        assert!(text.contains("# HELP noblsm_engine_writes user writes\n"));
+        assert!(text.contains("# TYPE noblsm_engine_writes counter\n"));
+        assert!(text.contains("\nnoblsm_engine_writes 12\n"));
+        assert!(text.contains("noblsm_ssd_busy_permille 1.5\n"));
+        // Every non-comment line is `name value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.split(' ');
+            let name = parts.next().unwrap();
+            assert!(name.starts_with("noblsm_"), "{line}");
+            assert!(parts.next().unwrap().parse::<f64>().is_ok(), "{line}");
+            assert!(parts.next().is_none(), "{line}");
+        }
+    }
+
+    #[test]
+    fn sparkline_buckets_and_scales() {
+        assert_eq!(sparkline(&[], 10), "");
+        assert_eq!(sparkline(&[5.0], 10), "\u{2581}", "flat series renders low");
+        let line = sparkline(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0], 8);
+        assert_eq!(line, "\u{2581}\u{2582}\u{2583}\u{2584}\u{2585}\u{2586}\u{2587}\u{2588}");
+        // Bucketing keeps spikes: 16 values into 4 glyphs, spike survives.
+        let mut v = vec![0.0; 16];
+        v[5] = 100.0;
+        let line = sparkline(&v, 4);
+        assert_eq!(line.chars().filter(|&c| c == '\u{2588}').count(), 1);
+    }
+
+    #[test]
+    fn render_lists_every_series() {
+        let hub = MetricsHub::new().with_period(Nanos::from_millis(10));
+        hub.register(MetricKind::Gauge, "a", "", |t| t.as_millis() as f64);
+        hub.sample_due(Nanos::from_millis(30), &[("b.long_name", 2.0)]);
+        let text = hub.timeline().render(32);
+        assert!(text.contains("a "), "{text}");
+        assert!(text.contains("b.long_name"), "{text}");
+        assert!(text.contains("1 samples x 2 series"), "{text}");
+    }
+
+    #[test]
+    fn reset_drops_samples_but_keeps_probes() {
+        let hub = MetricsHub::new().with_period(Nanos::from_millis(10));
+        hub.register(MetricKind::Gauge, "g", "", |_| 1.0);
+        hub.sample_due(Nanos::ZERO, &[]);
+        hub.reset();
+        assert_eq!(hub.samples(), 0);
+        hub.sample_due(Nanos::from_secs(1), &[]);
+        let tl = hub.timeline();
+        assert_eq!(tl.start, Nanos::from_secs(1), "grid re-anchors after reset");
+        assert_eq!(tl.series("g").unwrap().values, vec![1.0]);
+    }
+
+    #[test]
+    fn prom_name_sanitizes() {
+        assert_eq!(prom_name("ext4.dirty_bytes"), "noblsm_ext4_dirty_bytes");
+        assert_eq!(prom_name("l0-stop"), "noblsm_l0_stop");
+        assert_eq!(prom_name("weird name!"), "noblsm_weirdname");
+    }
+}

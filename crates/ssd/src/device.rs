@@ -40,6 +40,7 @@ pub struct Ssd {
     cfg: SsdConfig,
     timeline: Timeline,
     bg_tail: Nanos,
+    last_flush_end: Nanos,
     stats: IoStats,
     injector: Option<InjectorHandle>,
     trace: Option<TraceSink>,
@@ -52,6 +53,7 @@ impl Ssd {
             cfg,
             timeline: Timeline::new(),
             bg_tail: Nanos::ZERO,
+            last_flush_end: Nanos::ZERO,
             stats: IoStats::new(),
             injector: None,
             trace: None,
@@ -151,6 +153,14 @@ impl Ssd {
         self.timeline.busy_time()
     }
 
+    /// Completion instant of the most recently issued FLUSH (foreground
+    /// or background); [`Nanos::ZERO`] before the first FLUSH. A FLUSH is
+    /// *in flight* at instant `t` when `t < flush_frontier()` — the gauge
+    /// the metrics layer samples.
+    pub fn flush_frontier(&self) -> Nanos {
+        self.last_flush_end
+    }
+
     /// Reserves a foreground window and displaces pending background work
     /// by the same duration (preemption).
     fn reserve_fg(&mut self, now: Nanos, dur: Nanos) -> Reservation {
@@ -189,6 +199,7 @@ impl Ssd {
     pub fn flush(&mut self, now: Nanos) -> Reservation {
         self.stats.flush_commands += 1;
         let r = self.reserve_fg(now, self.cfg.flush_latency);
+        self.last_flush_end = self.last_flush_end.max(r.end);
         self.trace_span(EventClass::SsdFlush, now, r, 0);
         r
     }
@@ -277,6 +288,7 @@ impl Ssd {
         let start = issue.max(self.bg_tail).max(self.timeline.free_at());
         let end = start + self.cfg.flush_latency;
         self.bg_tail = end;
+        self.last_flush_end = self.last_flush_end.max(end);
         let r = Reservation { start, end };
         self.trace_span(EventClass::SsdBgFlush, issue, r, 0);
         r
@@ -345,6 +357,20 @@ mod tests {
         d.reset_stats();
         assert_eq!(*d.stats(), IoStats::new());
         assert_eq!(d.free_at(), free);
+    }
+
+    #[test]
+    fn flush_frontier_tracks_latest_flush_completion() {
+        let mut d = ssd();
+        assert_eq!(d.flush_frontier(), Nanos::ZERO);
+        let f = d.flush(Nanos::ZERO);
+        assert_eq!(d.flush_frontier(), f.end);
+        // A background flush queued later advances the frontier…
+        let bg = d.flush_background(f.end);
+        assert_eq!(d.flush_frontier(), bg.end);
+        // …and an earlier-completing command never moves it backwards.
+        d.flush(Nanos::ZERO);
+        assert!(d.flush_frontier() >= bg.end);
     }
 
     #[test]
