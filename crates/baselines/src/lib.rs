@@ -32,7 +32,7 @@
 //! ```
 
 use nob_ext4::Ext4Fs;
-use nob_sim::Nanos;
+use nob_sim::{Nanos, SharedClock};
 use noblsm::{CompactionStyle, Db, Options, Result, SyncMode};
 
 /// One of the systems compared in the paper's evaluation.
@@ -159,6 +159,22 @@ impl Variant {
     pub fn open(&self, fs: Ext4Fs, dir: &str, base: &Options, now: Nanos) -> Result<Db> {
         Db::open(fs, dir, self.options(base), now)
     }
+
+    /// Opens a database configured as this variant on a caller-owned
+    /// [`SharedClock`] (see [`Db::open_with_clock`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine open errors.
+    pub fn open_with_clock(
+        &self,
+        fs: Ext4Fs,
+        dir: &str,
+        base: &Options,
+        clock: SharedClock,
+    ) -> Result<Db> {
+        Db::open_with_clock(fs, dir, self.options(base), clock)
+    }
 }
 
 impl std::fmt::Display for Variant {
@@ -207,7 +223,7 @@ mod tests {
             let mut now = load(&mut db, 2000, 128);
             db.check_invariants().unwrap();
             for i in (0..2000u64).step_by(43) {
-                let (got, t) = db.get(now, &key(i)).unwrap();
+                let (got, t) = db.get_at_time(now, &key(i)).unwrap();
                 now = t;
                 assert!(got.is_some(), "{v}: key {i} lost");
             }

@@ -41,7 +41,7 @@ fn main() {
             let mut corrupt = 0u64;
             let mut t = crash_at;
             for &k in &order {
-                let (got, t2) = rdb.get(t, &key(k)).expect("get");
+                let (got, t2) = rdb.get_at_time(t, &key(k)).expect("get");
                 t = t2;
                 match got {
                     Some(v) if v == value(k, 0, 1024) => intact += 1,

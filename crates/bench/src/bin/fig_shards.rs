@@ -1,0 +1,43 @@
+//! Sharded group-commit sweep: fixed-seed fillrandom through `nob-store`
+//! over shard count × logical writers per shard, under the Sync, Async
+//! and NobLSM write disciplines.
+//!
+//! Writes `target/nob-results/fig_shards.json` (rendered by `report`)
+//! and prints the grid as one table per discipline.
+//!
+//! Usage: `fig_shards [--scale N]` (default scale 512, the shape the
+//! golden test pins byte-for-byte).
+
+use nob_bench::shards::{disciplines, fig_shards, fig_shards_json, SHARD_COUNTS, WRITER_COUNTS};
+use nob_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args(512);
+    let cells = fig_shards(scale);
+    for (name, _, _) in disciplines() {
+        println!("== {name} — ops/s by shards x writers ==");
+        print!("{:>8}", "");
+        for w in WRITER_COUNTS {
+            print!("{:>12}", format!("{w} writer(s)"));
+        }
+        println!();
+        for s in SHARD_COUNTS {
+            print!("{:>8}", format!("{s} shard(s)"));
+            for w in WRITER_COUNTS {
+                let c = cells
+                    .iter()
+                    .find(|c| c.name == name && c.shards == s && c.writers == w)
+                    .expect("cell present");
+                print!("{:>12.0}", c.throughput);
+            }
+            println!();
+        }
+        println!();
+    }
+    let doc = fig_shards_json(&cells, scale);
+    let dir = std::path::Path::new("target/nob-results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join("fig_shards.json");
+    std::fs::write(&path, &doc).expect("write results json");
+    println!("wrote {} ({} bytes)", path.display(), doc.len());
+}

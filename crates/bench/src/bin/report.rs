@@ -180,6 +180,69 @@ fn render_timelines(doc: &Json, out: &mut String) -> Option<()> {
     Some(())
 }
 
+/// Renders a `fig_shards` document: one throughput grid per write
+/// discipline (shards down, writers across) plus the amortization ratio
+/// the group-commit queue achieved.
+fn render_shards(doc: &Json, out: &mut String) -> Option<()> {
+    let cells = doc.get("shard_cells")?.as_array()?;
+    let scale = doc.get("scale").and_then(Json::as_f64).unwrap_or(0.0);
+    let ops = doc.get("ops").and_then(Json::as_f64).unwrap_or(0.0);
+    let _ = writeln!(out, "## fig_shards — sharded group commit\n");
+    let _ = writeln!(
+        out,
+        "*scale 1/{scale:.0}; {ops:.0} fillrandom ops per cell; throughput in ops/s, \
+         `batches/groups` is the coalescing factor*\n"
+    );
+    let mut names: Vec<&str> = Vec::new();
+    let mut grid: Vec<(usize, usize)> = Vec::new();
+    for c in cells {
+        let name = c.get("name")?.as_str()?;
+        let shards = c.get("shards")?.as_f64()? as usize;
+        let writers = c.get("writers")?.as_f64()? as usize;
+        if !names.contains(&name) {
+            names.push(name);
+        }
+        if !grid.contains(&(shards, writers)) {
+            grid.push((shards, writers));
+        }
+    }
+    let _ = write!(out, "| shards × writers |");
+    for n in &names {
+        let _ = write!(out, " {n} |");
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, "|---|");
+    for _ in &names {
+        let _ = write!(out, "---|");
+    }
+    let _ = writeln!(out);
+    for (shards, writers) in &grid {
+        let _ = write!(out, "| {shards} × {writers} |");
+        for n in &names {
+            let cell = cells.iter().find(|c| {
+                c.get("name").and_then(Json::as_str) == Some(n)
+                    && c.get("shards").and_then(Json::as_f64) == Some(*shards as f64)
+                    && c.get("writers").and_then(Json::as_f64) == Some(*writers as f64)
+            });
+            match cell {
+                Some(c) => {
+                    let t = c.get("throughput_ops_s").and_then(Json::as_f64).unwrap_or(0.0);
+                    let groups = c.get("groups").and_then(Json::as_f64).unwrap_or(0.0);
+                    let batches = c.get("batches").and_then(Json::as_f64).unwrap_or(0.0);
+                    let factor = if groups > 0.0 { batches / groups } else { 0.0 };
+                    let _ = write!(out, " {t:.0} ({factor:.1}×) |");
+                }
+                None => {
+                    let _ = write!(out, " – |");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(out);
+    Some(())
+}
+
 /// Sums an integer field over the sweep's per-case results.
 fn sum_field(results: &[Json], key: &str) -> u64 {
     results.iter().filter_map(|r| r.get(key).and_then(Json::as_f64)).sum::<f64>() as u64
@@ -338,6 +401,8 @@ fn main() {
                     render_smoke(&exp, &mut out).is_some()
                 } else if exp.get("timeline_runs").is_some() {
                     render_timelines(&exp, &mut out).is_some()
+                } else if exp.get("shard_cells").is_some() {
+                    render_shards(&exp, &mut out).is_some()
                 } else {
                     render(&exp, &mut out).is_some()
                 };

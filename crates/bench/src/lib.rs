@@ -19,6 +19,7 @@ use noblsm::Options;
 pub mod json;
 pub mod output;
 pub mod scenarios;
+pub mod shards;
 pub mod smoke;
 pub mod timeline;
 
@@ -109,14 +110,15 @@ impl Scale {
         o
     }
 
-    /// A fresh filesystem sized like the paper's platform relative to the
-    /// workload (DRAM far larger than the data set).
+    /// The filesystem configuration behind [`Scale::fresh_fs`], for
+    /// callers that instantiate their own stacks (e.g. `nob-store` opens
+    /// one filesystem per shard from a single [`Ext4Config`]).
     ///
     /// Per-file device costs (command setup, FLUSH) and the journal's
     /// commit interval scale with the factor: a scaled run has S× more
     /// files and S× less virtual time, so these fixed costs must shrink
     /// by S to keep their per-operation weight identical to the paper's.
-    pub fn fresh_fs(&self) -> Ext4Fs {
+    pub fn fs_config(&self) -> Ext4Config {
         let mut cfg = Ext4Config::default();
         cfg.ssd.cmd_latency = self.duration(cfg.ssd.cmd_latency);
         cfg.ssd.flush_latency = self.duration(cfg.ssd.flush_latency);
@@ -125,7 +127,14 @@ impl Scale {
         // The paper's server has 2 TB DRAM for a ≤ 60 GB working set: the
         // page cache never evicts. Keep that property at scale.
         cfg.page_cache_capacity = 64 << 30;
-        Ext4Fs::new(cfg)
+        cfg
+    }
+
+    /// A fresh filesystem sized like the paper's platform relative to the
+    /// workload (DRAM far larger than the data set); see
+    /// [`Scale::fs_config`] for the scaling rules.
+    pub fn fresh_fs(&self) -> Ext4Fs {
+        Ext4Fs::new(self.fs_config())
     }
 }
 

@@ -128,7 +128,10 @@ pub fn smoke_fig4(slow_ssd: bool) -> SmokeResult {
     let fill = dbbench::fillrandom(&mut db, ops, 256, 42, Nanos::ZERO).expect("fillrandom");
     let t = db.wait_idle(fill.finished).expect("drain");
     // Fire the journal timer so asynchronous checkpoints reach the trace.
-    db.tick(t + Nanos::from_secs(6)).expect("tick");
+    // The 6 s paper-scale settle window scales like every other time-like
+    // constant (an unscaled window would fire hundreds of scaled commit
+    // intervals and skew the trace relative to the run it belongs to).
+    db.tick(t + scale.duration(Nanos::from_secs(6))).expect("tick");
     let summary = sink.summary();
     let p99_ns = summary.class(EventClass::EnginePut).map_or(0, |c| c.p99_ns);
     SmokeResult {

@@ -289,20 +289,20 @@ fn snap_to_phase(windows: &[nob_ext4::CommitWindow], raw: Nanos) -> Nanos {
 
 /// Reads the full recovered state; an `Err` means the read path itself
 /// detected corruption.
-fn dump(db: &mut Db, now: Nanos) -> Result<HashMap<Vec<u8>, Vec<u8>>, String> {
+fn dump(db: &mut Db, now: Nanos) -> noblsm::Result<HashMap<Vec<u8>, Vec<u8>>> {
     let mut out = HashMap::new();
-    let mut it = db.iter_at(now).map_err(|e| e.to_string())?;
-    it.seek_to_first().map_err(|e| e.to_string())?;
+    let mut it = db.iter_at(now)?;
+    it.seek_to_first()?;
     while it.valid() {
         out.insert(it.key().to_vec(), it.value().to_vec());
-        it.next().map_err(|e| e.to_string())?;
+        it.next()?;
     }
     Ok(out)
 }
 
 /// Opens + sanity-checks + dumps a recovered database in one step.
-fn try_recover(view: &Ext4Fs, opts: &Options, at: Nanos) -> Result<Recovered, String> {
-    let mut db = Db::open(view.clone(), DB_DIR, opts.clone(), at).map_err(|e| e.to_string())?;
+fn try_recover(view: &Ext4Fs, opts: &Options, at: Nanos) -> noblsm::Result<Recovered> {
+    let mut db = Db::open(view.clone(), DB_DIR, opts.clone(), at)?;
     let inv = db.check_invariants().err().map(|e| e.to_string());
     let got = dump(&mut db, at)?;
     Ok((db.stats().clone(), inv, got))
@@ -344,7 +344,7 @@ pub fn validate_crash(run: &PreparedRun, crash_pm: u32, snap: bool) -> CaseResul
             got = state;
         }
         Err(first) => {
-            open_error = Some(first);
+            open_error = Some(first.to_string());
             repaired = true;
             match Db::repair_with_report(&view, DB_DIR, &run.opts, crash_at) {
                 Ok((t, report)) => {
@@ -357,7 +357,7 @@ pub fn validate_crash(run: &PreparedRun, crash_pm: u32, snap: bool) -> CaseResul
                             invariant_error = inv;
                             got = state;
                         }
-                        Err(e) => recovery_failed = Some(e),
+                        Err(e) => recovery_failed = Some(e.to_string()),
                     }
                 }
                 Err(e) => recovery_failed = Some(e.to_string()),

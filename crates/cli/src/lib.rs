@@ -28,6 +28,12 @@
 //! metrics on|off         start/stop gauge sampling (100 ms virtual grid)
 //! metrics timeline       sampled gauges as ASCII sparklines
 //! metrics export [--format] prom|json [path]   exposition / raw timeline
+//! store open <shards> [mode]     open a sharded store (own stacks)
+//! store put <key> <value>        enqueue + group-commit one write
+//! store get <key>                routed point read
+//! store fill <n> <vsize> [writers]  n records from W logical writers
+//! store stats                    group-commit counters + shard levels
+//! store close                    drop the store
 //! help                   this text
 //! ```
 //!
@@ -46,18 +52,23 @@ use std::fmt::Write as _;
 use nob_baselines::Variant;
 use nob_ext4::Ext4Fs;
 use nob_metrics::{MetricsHub, DEFAULT_PERIOD};
-use nob_sim::Nanos;
+use nob_sim::{Nanos, SharedClock};
+use nob_store::{Store, StoreOptions};
 use nob_trace::TraceSink;
 use nob_workloads::dbbench;
-use noblsm::{Db, Options};
+use noblsm::{Db, Error, Options, ReadOptions, WriteBatch, WriteOptions};
 
 /// One interactive session: a filesystem, an optional open database, and
-/// the session's virtual clock.
+/// the session's shared virtual clock.
 pub struct Session {
     fs: Ext4Fs,
     db: Option<Db>,
     variant: Variant,
-    now: Nanos,
+    /// The session's clock, shared with the open database: commands no
+    /// longer thread `now` by hand, they read and advance this.
+    clock: SharedClock,
+    /// Optional sharded store, independent of the session's single `db`.
+    store: Option<Store>,
     /// Live trace sink, kept across `open`/`crash` reattachments.
     trace: Option<TraceSink>,
     /// Live metrics hub, kept across `open`/`crash` reattachments.
@@ -66,7 +77,10 @@ pub struct Session {
 
 impl std::fmt::Debug for Session {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Session").field("open", &self.db.is_some()).field("now", &self.now).finish()
+        f.debug_struct("Session")
+            .field("open", &self.db.is_some())
+            .field("now", &self.clock.now())
+            .finish()
     }
 }
 
@@ -83,7 +97,8 @@ impl Session {
             fs: Ext4Fs::new(nob_ext4::Ext4Config::default()),
             db: None,
             variant: Variant::NobLsm,
-            now: Nanos::ZERO,
+            clock: SharedClock::new(),
+            store: None,
             trace: None,
             metrics: None,
         }
@@ -93,7 +108,16 @@ impl Session {
     pub fn run_line(&mut self, line: &str) -> String {
         let mut out = String::new();
         if let Err(e) = self.dispatch(line.trim(), &mut out) {
-            let _ = writeln!(out, "error: {e}");
+            // Usage errors carry a ready-made message; engine errors keep
+            // their full Display (layer prefix included).
+            match e {
+                Error::Usage(m) => {
+                    let _ = writeln!(out, "error: {m}");
+                }
+                e => {
+                    let _ = writeln!(out, "error: {e}");
+                }
+            }
         }
         out
     }
@@ -110,31 +134,30 @@ impl Session {
         out
     }
 
-    fn db(&mut self) -> Result<&mut Db, String> {
-        self.db.as_mut().ok_or_else(|| "no database open (use `open <mode>`)".to_string())
+    fn db(&mut self) -> Result<&mut Db, Error> {
+        self.db.as_mut().ok_or_else(|| Error::Usage("no database open (use `open <mode>`)".into()))
     }
 
-    fn dispatch(&mut self, line: &str, out: &mut String) -> Result<(), String> {
+    fn store(&mut self) -> Result<&mut Store, Error> {
+        self.store
+            .as_mut()
+            .ok_or_else(|| Error::Usage("no store open (use `store open <shards>`)".into()))
+    }
+
+    fn dispatch(&mut self, line: &str, out: &mut String) -> Result<(), Error> {
         let mut parts = line.split_whitespace();
         let Some(cmd) = parts.next() else { return Ok(()) };
         let args: Vec<&str> = parts.collect();
         match cmd {
             "open" => {
                 let mode = args.first().copied().unwrap_or("noblsm");
-                let variant = match mode {
-                    "noblsm" => Variant::NobLsm,
-                    "leveldb" => Variant::LevelDb,
-                    "volatile" => Variant::VolatileLevelDb,
-                    "bolt" => Variant::Bolt,
-                    "l2sm" => Variant::L2sm,
-                    "rocksdb" => Variant::RocksDb,
-                    "hyperleveldb" => Variant::HyperLevelDb,
-                    "pebblesdb" => Variant::PebblesDb,
-                    other => return Err(format!("unknown mode {other}")),
-                };
-                let mut db = variant
-                    .open(self.fs.clone(), "db", &base_options(), self.now)
-                    .map_err(|e| e.to_string())?;
+                let variant = parse_variant(mode)?;
+                let mut db = variant.open_with_clock(
+                    self.fs.clone(),
+                    "db",
+                    &base_options(),
+                    self.clock.clone(),
+                )?;
                 if let Some(sink) = &self.trace {
                     db.set_trace_sink(sink.clone());
                 }
@@ -143,22 +166,20 @@ impl Session {
                 }
                 self.db = Some(db);
                 self.variant = variant;
-                let _ = writeln!(out, "opened {} at {}", variant.name(), self.now);
+                let _ = writeln!(out, "opened {} at {}", variant.name(), self.clock.now());
             }
             "put" => {
                 let [k, v] = args[..] else { return Err("usage: put <key> <value>".into()) };
-                let (k, v) = (k.as_bytes().to_vec(), v.as_bytes().to_vec());
-                let now = self.now;
-                let t = self.db()?.put(now, &k, &v).map_err(|e| e.to_string())?;
-                self.now = t;
+                let mut batch = WriteBatch::new();
+                batch.put(k.as_bytes(), v.as_bytes());
+                let t = self.db()?.write(&WriteOptions::default(), batch)?;
                 let _ = writeln!(out, "OK ({t})");
             }
             "get" => {
                 let [k] = args[..] else { return Err("usage: get <key>".into()) };
                 let k = k.as_bytes().to_vec();
-                let now = self.now;
-                let (got, t) = self.db()?.get(now, &k).map_err(|e| e.to_string())?;
-                self.now = t;
+                let got = self.db()?.get(&ReadOptions::default(), &k)?;
+                let t = self.clock.now();
                 match got {
                     Some(v) => {
                         let _ = writeln!(out, "{} ({t})", String::from_utf8_lossy(&v));
@@ -170,19 +191,18 @@ impl Session {
             }
             "del" => {
                 let [k] = args[..] else { return Err("usage: del <key>".into()) };
-                let k = k.as_bytes().to_vec();
-                let now = self.now;
-                let t = self.db()?.delete(now, &k).map_err(|e| e.to_string())?;
-                self.now = t;
+                let mut batch = WriteBatch::new();
+                batch.delete(k.as_bytes());
+                let t = self.db()?.write(&WriteOptions::default(), batch)?;
                 let _ = writeln!(out, "OK ({t})");
             }
             "scan" => {
                 let [start, n] = args[..] else { return Err("usage: scan <start> <n>".into()) };
-                let n: usize = n.parse().map_err(|_| "n must be a number".to_string())?;
+                let n: usize = n.parse().map_err(|_| "n must be a number")?;
                 let start = start.as_bytes().to_vec();
-                let now = self.now;
-                let (rows, t) = self.db()?.scan(now, &start, n).map_err(|e| e.to_string())?;
-                self.now = t;
+                let now = self.clock.now();
+                let (rows, t) = self.db()?.scan(now, &start, n)?;
+                self.clock.advance_to(t);
                 for (k, v) in &rows {
                     let _ = writeln!(
                         out,
@@ -195,13 +215,11 @@ impl Session {
             }
             "fill" => {
                 let [n, vs] = args[..] else { return Err("usage: fill <n> <value_size>".into()) };
-                let n: u64 = n.parse().map_err(|_| "n must be a number".to_string())?;
-                let vs: usize =
-                    vs.parse().map_err(|_| "value_size must be a number".to_string())?;
-                let now = self.now;
-                let r =
-                    dbbench::fillrandom(self.db()?, n, vs, 42, now).map_err(|e| e.to_string())?;
-                self.now = r.finished;
+                let n: u64 = n.parse().map_err(|_| "n must be a number")?;
+                let vs: usize = vs.parse().map_err(|_| "value_size must be a number")?;
+                let now = self.clock.now();
+                let r = dbbench::fillrandom(self.db()?, n, vs, 42, now)?;
+                self.clock.advance_to(r.finished);
                 let _ = writeln!(
                     out,
                     "filled {} records in {} ({:.2} us/op)",
@@ -212,40 +230,44 @@ impl Session {
             }
             "advance" => {
                 let [ms] = args[..] else { return Err("usage: advance <ms>".into()) };
-                let ms: u64 = ms.parse().map_err(|_| "ms must be a number".to_string())?;
-                self.now += Nanos::from_millis(ms);
-                let now = self.now;
+                let ms: u64 = ms.parse().map_err(|_| "ms must be a number")?;
+                self.clock.advance(Nanos::from_millis(ms));
+                let now = self.clock.now();
                 if let Ok(db) = self.db() {
-                    db.tick(now).map_err(|e| e.to_string())?;
+                    db.tick(now)?;
                 } else {
                     self.fs.tick(now);
                 }
-                let _ = writeln!(out, "now {}", self.now);
+                let _ = writeln!(out, "now {}", self.clock.now());
             }
             "flush" => {
-                let now = self.now;
-                let t = self.db()?.flush(now).map_err(|e| e.to_string())?;
-                self.now = t;
+                let now = self.clock.now();
+                let t = self.db()?.flush(now)?;
                 let _ = writeln!(out, "flushed ({t})");
             }
             "compact" => {
-                let now = self.now;
-                let t = self.db()?.compact_range(now, None, None).map_err(|e| e.to_string())?;
-                self.now = t;
+                let now = self.clock.now();
+                let t = self.db()?.compact_range(now, None, None)?;
                 let _ = writeln!(out, "compacted ({t})");
             }
             "crash" => {
                 let pct: u64 = args
                     .first()
-                    .map(|p| p.parse().map_err(|_| "percent must be a number".to_string()))
+                    .map(|p| p.parse().map_err(|_| "percent must be a number"))
                     .transpose()?
                     .unwrap_or(100);
-                let at = Nanos::from_nanos(self.now.as_nanos() * pct.min(100) / 100);
+                let at = Nanos::from_nanos(self.clock.now().as_nanos() * pct.min(100) / 100);
                 let crashed = self.fs.crashed_view(at);
                 let variant = self.variant;
-                let mut db = variant
-                    .open(crashed.clone(), "db", &base_options(), at)
-                    .map_err(|e| e.to_string())?;
+                // A crash rewinds the session to `at`; the shared clock is
+                // monotone, so the recovered stack gets a fresh one.
+                self.clock = SharedClock::at(at);
+                let mut db = variant.open_with_clock(
+                    crashed.clone(),
+                    "db",
+                    &base_options(),
+                    self.clock.clone(),
+                )?;
                 // The crash view is a new stack; the sink and hub survive
                 // it so recovery I/O lands in the same trace and the
                 // timeline keeps its pre-crash history.
@@ -257,7 +279,6 @@ impl Session {
                 }
                 self.fs = crashed;
                 self.db = Some(db);
-                self.now = at;
                 let _ = writeln!(out, "power failed at {at}; recovered {}", variant.name());
             }
             "levels" => {
@@ -289,8 +310,9 @@ impl Session {
                 );
             }
             "time" => {
-                let _ = writeln!(out, "{}", self.now);
+                let _ = writeln!(out, "{}", self.clock.now());
             }
+            "store" => self.dispatch_store(&args, out)?,
             // Self-contained: runs against its own fresh simulated stack,
             // leaving the session's filesystem and database untouched.
             "chaos" => match args.first().copied() {
@@ -425,7 +447,7 @@ impl Session {
                     let body = match format {
                         "json" => sink.events_json(),
                         "chrome" => sink.chrome_trace(),
-                        other => return Err(format!("unknown export format {other}")),
+                        other => return Err(format!("unknown export format {other}").into()),
                     };
                     std::fs::write(path, &body).map_err(|e| format!("cannot write {path}: {e}"))?;
                     let _ = writeln!(out, "wrote {path} ({} bytes)", body.len());
@@ -482,7 +504,7 @@ impl Session {
                     let body = match format {
                         "prom" => hub.timeline().prometheus(),
                         "json" => hub.timeline().to_json(),
-                        other => return Err(format!("unknown export format {other}")),
+                        other => return Err(format!("unknown export format {other}").into()),
                     };
                     match path {
                         Some(p) => {
@@ -513,13 +535,154 @@ impl Session {
             "help" => {
                 let _ = writeln!(
                     out,
-                    "commands: open put get del scan fill advance flush compact crash chaos trace metrics levels stats time help quit"
+                    "commands: open put get del scan fill advance flush compact crash chaos trace metrics store levels stats time help quit"
                 );
             }
             "quit" | "exit" => {}
-            other => return Err(format!("unknown command {other} (try `help`)")),
+            other => return Err(format!("unknown command {other} (try `help`)").into()),
         }
         Ok(())
+    }
+
+    /// The `store` command family: a sharded group-commit store living
+    /// beside the session's single database, on its own stacks.
+    fn dispatch_store(&mut self, args: &[&str], out: &mut String) -> Result<(), Error> {
+        match args.first().copied() {
+            Some("open") => {
+                let shards: usize = args
+                    .get(1)
+                    .ok_or("usage: store open <shards> [mode]")?
+                    .parse()
+                    .map_err(|_| "shards must be a number")?;
+                let variant = parse_variant(args.get(2).copied().unwrap_or("noblsm"))?;
+                let mut store = Store::open(StoreOptions {
+                    shards,
+                    db: variant.options(&base_options()),
+                    ..StoreOptions::default()
+                })?;
+                if let Some(sink) = &self.trace {
+                    store.set_trace_sink(sink.clone());
+                }
+                if let Some(hub) = &self.metrics {
+                    store.set_metrics_hub(hub);
+                }
+                self.store = Some(store);
+                let _ = writeln!(out, "store open: {shards} shards of {}", variant.name());
+            }
+            Some("put") => {
+                let [_, k, v] = args[..] else {
+                    return Err("usage: store put <key> <value>".into());
+                };
+                let mut batch = WriteBatch::new();
+                batch.put(k.as_bytes(), v.as_bytes());
+                let t = self.store()?.write(&WriteOptions::default(), batch)?;
+                let _ = writeln!(out, "OK ({t})");
+            }
+            Some("get") => {
+                let [_, k] = args[..] else { return Err("usage: store get <key>".into()) };
+                let k = k.as_bytes().to_vec();
+                let store = self.store()?;
+                let shard = store.shard_of(&k);
+                match store.get(&ReadOptions::default(), &k)? {
+                    Some(v) => {
+                        let _ = writeln!(out, "{} (shard {shard})", String::from_utf8_lossy(&v));
+                    }
+                    None => {
+                        let _ = writeln!(out, "<not found> (shard {shard})");
+                    }
+                }
+            }
+            Some("fill") => {
+                let n: u64 = args
+                    .get(1)
+                    .ok_or("usage: store fill <n> <value_size> [writers]")?
+                    .parse()
+                    .map_err(|_| "n must be a number")?;
+                let vs: usize = args
+                    .get(2)
+                    .ok_or("usage: store fill <n> <value_size> [writers]")?
+                    .parse()
+                    .map_err(|_| "value_size must be a number")?;
+                let writers: usize = args
+                    .get(3)
+                    .map(|w| w.parse().map_err(|_| "writers must be a number"))
+                    .transpose()?
+                    .unwrap_or(1)
+                    .max(1);
+                let store = self.store()?;
+                let start = store.clock().now();
+                // W logical writers each enqueue one single-record batch
+                // per round; the pump after each round lets shard leaders
+                // coalesce that round's arrivals into groups.
+                let mut key_state = 0x9e37_79b9_7f4a_7c15u64;
+                let mut i = 0u64;
+                while i < n {
+                    for _ in 0..writers.min((n - i) as usize) {
+                        key_state = key_state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        let mut batch = WriteBatch::new();
+                        batch.put(format!("key{:016x}", key_state).as_bytes(), &vec![b'x'; vs]);
+                        store.enqueue(&WriteOptions::synced(), &batch);
+                        i += 1;
+                    }
+                    store.pump()?;
+                }
+                store.drain()?;
+                let s = store.stats();
+                let wall = store.clock().now() - start;
+                let _ = writeln!(
+                    out,
+                    "store filled {n} records in {wall}: {} groups for {} batches ({:.2} batches/group)",
+                    s.groups,
+                    s.batches,
+                    s.batches as f64 / s.groups.max(1) as f64
+                );
+            }
+            Some("stats") => {
+                let store = self.store()?;
+                let s = store.stats();
+                let _ = writeln!(
+                    out,
+                    "shards={} groups={} batches={} merged_bytes={} pending={}",
+                    store.shards(),
+                    s.groups,
+                    s.batches,
+                    s.merged_bytes,
+                    store.pending()
+                );
+                for i in 0..store.shards() {
+                    let _ = writeln!(
+                        out,
+                        "  shard{i}: levels {:?}",
+                        store.shard_db(i).level_file_counts()
+                    );
+                }
+            }
+            Some("close") => {
+                self.store = None;
+                let _ = writeln!(out, "store closed");
+            }
+            _ => {
+                return Err("usage: store open|put|get|fill|stats|close".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parses a variant name shared by `open` and `store open`.
+fn parse_variant(mode: &str) -> Result<Variant, Error> {
+    match mode {
+        "noblsm" => Ok(Variant::NobLsm),
+        "leveldb" => Ok(Variant::LevelDb),
+        "volatile" => Ok(Variant::VolatileLevelDb),
+        "bolt" => Ok(Variant::Bolt),
+        "l2sm" => Ok(Variant::L2sm),
+        "rocksdb" => Ok(Variant::RocksDb),
+        "hyperleveldb" => Ok(Variant::HyperLevelDb),
+        "pebblesdb" => Ok(Variant::PebblesDb),
+        other => Err(format!("unknown mode {other}").into()),
     }
 }
 
@@ -682,6 +845,31 @@ mod tests {
         let _ = s.run_line("metrics on");
         assert!(s.run_line("metrics export gif").contains("unknown export format"));
         assert!(s.run_line("metrics export").contains("usage: metrics export"));
+    }
+
+    #[test]
+    fn store_commands_group_commit_and_read_back() {
+        let mut s = Session::new();
+        let out = s.run_script(
+            "store open 4\nstore put alpha 1\nstore get alpha\nstore fill 200 64 4\n\
+             store stats\nstore close\n",
+        );
+        assert!(out.contains("store open: 4 shards of NobLSM"), "{out}");
+        assert!(out.contains("1 (shard"), "{out}");
+        assert!(out.contains("store filled 200 records"), "{out}");
+        assert!(out.contains("batches/group"), "{out}");
+        assert!(out.contains("shards=4"), "{out}");
+        assert!(out.contains("store closed"), "{out}");
+    }
+
+    #[test]
+    fn store_usage_errors_are_reported() {
+        let mut s = Session::new();
+        assert!(s.run_line("store get k").contains("no store open"), "store get before open");
+        assert!(s.run_line("store").contains("usage: store"));
+        assert!(s.run_line("store open").contains("usage: store open"));
+        assert!(s.run_line("store open 0").contains("at least one shard"));
+        assert!(s.run_line("store open 2 alienDB").contains("unknown mode"));
     }
 
     #[test]

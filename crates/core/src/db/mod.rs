@@ -26,7 +26,7 @@ use std::sync::Arc;
 
 use nob_ext4::{Ext4Fs, FileHandle, InodeId};
 use nob_metrics::MetricsHub;
-use nob_sim::{EventQueue, Nanos};
+use nob_sim::{EventQueue, Nanos, SharedClock};
 use nob_trace::{EventClass, StallKind, TraceSink};
 
 use crate::cache::TableCache;
@@ -36,7 +36,7 @@ use crate::compaction::{
 use crate::iterator::{DbIterator, InternalIterator, MergingIterator};
 use crate::memtable::{MemLookup, MemTable};
 use crate::noblsm::{DependencyTracker, Predecessor};
-use crate::options::{CompactionStyle, Options, SyncMode, WriteOptions};
+use crate::options::{CompactionStyle, Options, ReadOptions, SyncMode, WriteOptions};
 use crate::version::Version;
 use crate::version::{
     file_path, parse_file_name, CompactionInputs, FileKind, FileMetaData, VersionEdit, VersionSet,
@@ -100,6 +100,12 @@ pub struct Db {
     stats: DbStats,
     trace: Option<TraceSink>,
     metrics: Option<MetricsHub>,
+    /// The engine's virtual clock, shared with whoever schedules it (a
+    /// `nob-store` shard pump, the CLI session, a bench driver). The
+    /// canonical [`Db::write`]/[`Db::get`] entry points read and advance
+    /// it so callers no longer thread `now: Nanos` by hand; the legacy
+    /// now-threading methods keep it in sync as they go.
+    clock: SharedClock,
 }
 
 /// A consistent read view pinned at a sequence number.
@@ -144,6 +150,26 @@ impl WriteBatch {
     /// Queues a deletion.
     pub fn delete(&mut self, key: &[u8]) {
         self.entries.push((ValueType::Deletion, key.to_vec(), Vec::new()));
+    }
+
+    /// Appends every operation of `other` after the existing ones (the
+    /// group-commit leader's coalescing primitive: follower batches are
+    /// folded into the leader's in arrival order).
+    pub fn extend(&mut self, other: &WriteBatch) {
+        self.entries.extend(other.entries.iter().cloned());
+    }
+
+    /// Approximate payload bytes (keys + values) queued in this batch,
+    /// used against the group-commit byte budget.
+    pub fn byte_size(&self) -> u64 {
+        self.entries.iter().map(|(_, k, v)| (k.len() + v.len()) as u64).sum()
+    }
+
+    /// Iterates the queued operations in insertion order as
+    /// `(type, key, value)` triples. The `nob-store` front-end uses this
+    /// to split a batch across shards by key hash.
+    pub fn ops(&self) -> impl Iterator<Item = (ValueType, &[u8], &[u8])> + '_ {
+        self.entries.iter().map(|(vt, k, v)| (*vt, k.as_slice(), v.as_slice()))
     }
 
     /// Number of queued operations.
@@ -359,9 +385,31 @@ impl Db {
             stats: recovery,
             trace: None,
             metrics: None,
+            clock: SharedClock::at(t),
         };
         db.maybe_schedule(t);
         Ok(db)
+    }
+
+    /// Opens a database on a caller-owned [`SharedClock`] (the scheduler's
+    /// clock in a sharded `nob-store` deployment): the open starts at
+    /// the clock's current instant and the clock is advanced past the
+    /// recovery work, so subsequent [`Db::write`]/[`Db::get`] calls need
+    /// no explicit timestamps.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Db::open`].
+    pub fn open_with_clock(fs: Ext4Fs, dir: &str, opts: Options, clock: SharedClock) -> Result<Db> {
+        let mut db = Self::open(fs, dir, opts, clock.now())?;
+        clock.advance_to(db.clock.now());
+        db.clock = clock;
+        Ok(db)
+    }
+
+    /// The engine's shared virtual clock.
+    pub fn clock(&self) -> &SharedClock {
+        &self.clock
     }
 
     fn flush_recovered(
@@ -520,25 +568,55 @@ impl Db {
         self.pump(now)
     }
 
+    /// Applies `batch` atomically — the canonical write entry point.
+    ///
+    /// The write is timed on the engine's [`SharedClock`] (see
+    /// [`Db::clock`]): it starts at the clock's current instant and the
+    /// clock ends up at the instant the write returned control. The whole
+    /// batch becomes one WAL record with consecutive sequence numbers, so
+    /// after a crash either every operation is recovered or none is.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write(&mut self, wopts: &WriteOptions, batch: WriteBatch) -> Result<Nanos> {
+        let now = self.clock.now();
+        if batch.is_empty() {
+            return Ok(now);
+        }
+        let entries: Vec<(ValueType, &[u8], &[u8])> =
+            batch.entries.iter().map(|(vt, k, v)| (*vt, k.as_slice(), v.as_slice())).collect();
+        self.write_entries(now, &entries, *wopts)
+    }
+
     /// Inserts or overwrites `key`.
+    ///
+    /// Deprecated since 0.3.0: build a [`WriteBatch`] and call
+    /// [`Db::write`]; this shim survives one release.
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors.
     pub fn put(&mut self, now: Nanos, key: &[u8], value: &[u8]) -> Result<Nanos> {
-        self.write(now, key, value, ValueType::Value, WriteOptions::default())
+        self.write_one(now, key, value, ValueType::Value, WriteOptions::default())
     }
 
     /// Deletes `key` (writes a tombstone).
+    ///
+    /// Deprecated since 0.3.0: build a [`WriteBatch`] and call
+    /// [`Db::write`]; this shim survives one release.
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors.
     pub fn delete(&mut self, now: Nanos, key: &[u8]) -> Result<Nanos> {
-        self.write(now, key, b"", ValueType::Deletion, WriteOptions::default())
+        self.write_one(now, key, b"", ValueType::Deletion, WriteOptions::default())
     }
 
     /// Inserts with explicit [`WriteOptions`] (e.g. a synced WAL write).
+    ///
+    /// Deprecated since 0.3.0: build a [`WriteBatch`] and call
+    /// [`Db::write`]; this shim survives one release.
     ///
     /// # Errors
     ///
@@ -550,10 +628,10 @@ impl Db {
         value: &[u8],
         wopts: WriteOptions,
     ) -> Result<Nanos> {
-        self.write(now, key, value, ValueType::Value, wopts)
+        self.write_one(now, key, value, ValueType::Value, wopts)
     }
 
-    fn write(
+    fn write_one(
         &mut self,
         now: Nanos,
         key: &[u8],
@@ -566,7 +644,11 @@ impl Db {
     }
 
     /// Applies an atomic [`WriteBatch`] (one WAL record, consecutive
-    /// sequence numbers).
+    /// sequence numbers) at an explicit instant.
+    ///
+    /// Deprecated since 0.3.0: call [`Db::write`], which reads the shared
+    /// clock instead of a caller-threaded `now`; this shim survives one
+    /// release.
     ///
     /// # Errors
     ///
@@ -600,7 +682,7 @@ impl Db {
         let payload = encode_batch(seq, entries);
         let record = self.wal_writer.encode_record(&payload);
         now = self.fs.append(self.wal_handle, &record, now)?;
-        if wopts.sync {
+        if wopts.wants_sync() {
             now = self.fs.fsync(self.wal_handle, now)?;
         }
         for (i, (vt, key, value)) in entries.iter().enumerate() {
@@ -610,6 +692,7 @@ impl Db {
         now = now + self.opts.cpu.put + self.opts.extra_op_cpu;
         self.stats.writes += entries.len() as u64;
         self.writer_free = now;
+        self.clock.advance_to(now);
         if let Some(sink) = &self.trace {
             let bytes: u64 = entries.iter().map(|(_, k, v)| (k.len() + v.len()) as u64).sum();
             sink.emit(EventClass::EnginePut, issued, now, bytes);
@@ -639,6 +722,9 @@ impl Db {
 
     /// Reads `key` as of `snapshot`.
     ///
+    /// Deprecated since 0.3.0: call [`Db::get`] with
+    /// [`ReadOptions::at`]; this shim survives one release.
+    ///
     /// # Errors
     ///
     /// Propagates filesystem/corruption errors.
@@ -648,10 +734,13 @@ impl Db {
         key: &[u8],
         snapshot: &Snapshot,
     ) -> Result<(Option<Vec<u8>>, Nanos)> {
-        self.get_internal(now, key, snapshot.seq)
+        self.get_internal(now, key, snapshot.seq, true)
     }
 
     /// Creates an iterator over the state pinned by `snapshot`.
+    ///
+    /// Deprecated since 0.3.0: prefer [`Db::iter`] with
+    /// [`ReadOptions::at`]; this shim survives one release.
     ///
     /// # Errors
     ///
@@ -900,14 +989,35 @@ bytes_written={}",
         }
     }
 
-    /// Reads the newest visible value of `key`.
+    /// Reads `key` under [`ReadOptions`] — the canonical read entry
+    /// point.
+    ///
+    /// The read is timed on the engine's [`SharedClock`] (see
+    /// [`Db::clock`]). `ropts.snapshot` pins the view; `ropts.fill_cache`
+    /// controls block-cache population.
     ///
     /// # Errors
     ///
     /// Propagates filesystem/corruption errors.
-    pub fn get(&mut self, now: Nanos, key: &[u8]) -> Result<(Option<Vec<u8>>, Nanos)> {
+    pub fn get(&mut self, ropts: &ReadOptions<'_>, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let now = self.clock.now();
+        let seq = ropts.snapshot.map_or(self.versions.last_sequence, Snapshot::sequence);
+        let (value, _end) = self.get_internal(now, key, seq, ropts.fill_cache)?;
+        Ok(value)
+    }
+
+    /// Reads the newest visible value of `key` at an explicit instant.
+    ///
+    /// Deprecated since 0.3.0: call [`Db::get`], which reads the shared
+    /// clock instead of a caller-threaded `now`; this shim survives one
+    /// release.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem/corruption errors.
+    pub fn get_at_time(&mut self, now: Nanos, key: &[u8]) -> Result<(Option<Vec<u8>>, Nanos)> {
         let seq = self.versions.last_sequence;
-        self.get_internal(now, key, seq)
+        self.get_internal(now, key, seq, true)
     }
 
     fn get_internal(
@@ -915,9 +1025,13 @@ bytes_written={}",
         now: Nanos,
         key: &[u8],
         seq: crate::SequenceNumber,
+        fill_cache: bool,
     ) -> Result<(Option<Vec<u8>>, Nanos)> {
         let issued = now;
-        let result = self.get_untraced(now, key, seq);
+        let result = self.get_untraced(now, key, seq, fill_cache);
+        if let Ok((_, end)) = &result {
+            self.clock.advance_to(*end);
+        }
         if let (Some(sink), Ok((value, end))) = (&self.trace, &result) {
             let bytes = value.as_ref().map_or(0, |v| v.len() as u64);
             sink.emit(EventClass::EngineGet, issued, *end, bytes);
@@ -930,6 +1044,7 @@ bytes_written={}",
         now: Nanos,
         key: &[u8],
         seq: crate::SequenceNumber,
+        fill_cache: bool,
     ) -> Result<(Option<Vec<u8>>, Nanos)> {
         self.pump(now)?;
         let mut now = now + self.opts.cpu.get + self.opts.extra_op_cpu;
@@ -954,7 +1069,7 @@ bytes_written={}",
         }
         let version = self.versions.current();
         let (result, probes, seek) =
-            version.get(key, seq, self.opts.style, &self.tables, &mut now)?;
+            version.get(key, seq, self.opts.style, &self.tables, &mut now, fill_cache)?;
         self.stats.files_read_per_get += probes as u64;
         if let Some(sf) = seek {
             if self.opts.seek_compaction {
@@ -986,14 +1101,31 @@ bytes_written={}",
         let mut out = Vec::with_capacity(keys.len());
         let mut now = now;
         for key in keys {
-            let (got, t) = self.get_internal(now, key, seq)?;
+            let (got, t) = self.get_internal(now, key, seq, true)?;
             now = t;
             out.push(got);
         }
         Ok((out, now))
     }
 
+    /// Creates an iterator under [`ReadOptions`] — the canonical
+    /// iteration entry point, starting at the shared clock's instant.
+    ///
+    /// The iterator owns its virtual clock (see [`DbIterator::now`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem/corruption errors.
+    pub fn iter(&mut self, ropts: &ReadOptions<'_>) -> Result<DbIterator<'_>> {
+        let now = self.clock.now();
+        let seq = ropts.snapshot.map_or(self.versions.last_sequence, Snapshot::sequence);
+        self.iter_internal(now, seq)
+    }
+
     /// Creates an iterator over the live database at `now`.
+    ///
+    /// Deprecated since 0.3.0: prefer [`Db::iter`]; this shim survives
+    /// one release.
     ///
     /// The iterator owns its virtual clock (see [`DbIterator::now`]).
     ///
@@ -1098,6 +1230,7 @@ bytes_written={}",
             now = now.max(t);
             self.pump(now)?;
         }
+        self.clock.advance_to(now);
         Ok(now)
     }
 
@@ -1111,15 +1244,17 @@ bytes_written={}",
     /// Propagates filesystem errors.
     pub fn wait_idle(&mut self, now: Nanos) -> Result<Nanos> {
         let mut now = now;
-        loop {
+        let end = loop {
             self.pump(now)?;
             self.maybe_schedule(now);
             if self.inflight_major == 0 && !self.minor_inflight {
-                return Ok(now);
+                break now;
             }
-            let Some(t) = self.events.next_at() else { return Ok(now) };
+            let Some(t) = self.events.next_at() else { break now };
             now = now.max(t);
-        }
+        };
+        self.clock.advance_to(end);
+        Ok(end)
     }
 
     /// Drains compactions *and* NobLSM reclamation: advances time across
@@ -1140,6 +1275,7 @@ bytes_written={}",
             guard += 1;
             assert!(guard < 10_000, "reclamation failed to converge");
         }
+        self.clock.advance_to(now);
         Ok(now)
     }
 

@@ -1,11 +1,17 @@
 //! Engine error type.
 
-use std::error::Error;
 use std::fmt;
 
 use nob_ext4::FsError;
 
 /// Errors returned by [`Db`](crate::Db) and the on-disk format readers.
+///
+/// This is the workspace-wide error currency: crates layered above the
+/// engine (`nob-store`, `nob-chaos`, `nob-cli`, `nob-bench`) re-export it
+/// as [`Error`] instead of defining per-crate stringly errors, so `?`
+/// propagates across layers. (`nob-trace` and `nob-metrics` sit *below*
+/// the engine in the dependency graph and are infallible by design, so
+/// they have nothing to convert.)
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DbError {
     /// An underlying filesystem error.
@@ -14,7 +20,14 @@ pub enum DbError {
     Corruption(String),
     /// The database directory is missing required files.
     InvalidDb(String),
+    /// The caller used an API incorrectly (bad argument, wrong state).
+    /// Carried by the front-end layers (store routing, CLI dispatch).
+    Usage(String),
 }
+
+/// Workspace-wide alias for [`DbError`], the single error type shared by
+/// every fallible layer above the simulator.
+pub type Error = DbError;
 
 impl fmt::Display for DbError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -22,12 +35,13 @@ impl fmt::Display for DbError {
             DbError::Fs(e) => write!(f, "filesystem error: {e}"),
             DbError::Corruption(m) => write!(f, "corruption: {m}"),
             DbError::InvalidDb(m) => write!(f, "invalid database: {m}"),
+            DbError::Usage(m) => write!(f, "usage: {m}"),
         }
     }
 }
 
-impl Error for DbError {
-    fn source(&self) -> Option<&(dyn Error + 'static)> {
+impl std::error::Error for DbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             DbError::Fs(e) => Some(e),
             _ => None,
@@ -41,8 +55,25 @@ impl From<FsError> for DbError {
     }
 }
 
+impl From<String> for DbError {
+    /// Ad-hoc messages (legacy stringly call sites in the CLI and chaos
+    /// harness) fold into [`DbError::Usage`] so `?` keeps working while
+    /// those layers migrate.
+    fn from(m: String) -> Self {
+        DbError::Usage(m)
+    }
+}
+
+impl From<&str> for DbError {
+    fn from(m: &str) -> Self {
+        DbError::Usage(m.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use std::error::Error as _;
+
     use super::*;
 
     #[test]
@@ -59,7 +90,7 @@ mod tests {
 
     #[test]
     fn error_is_send_sync() {
-        fn check<T: Error + Send + Sync + 'static>() {}
+        fn check<T: std::error::Error + Send + Sync + 'static>() {}
         check::<DbError>();
     }
 }

@@ -22,22 +22,27 @@
 //!   shadow-SSTable reclamation described in §4 of the paper.
 //!
 //! All I/O flows through [`nob_ext4::Ext4Fs`] and is priced in virtual
-//! time; every public operation takes the caller's `now` and returns the
-//! instant the caller may proceed.
+//! time. Every operation is timed on the engine's shared
+//! [`nob_sim::SharedClock`]; the canonical entry points are
+//! [`Db::write`]`(&WriteOptions, WriteBatch)` and
+//! [`Db::get`]`(&ReadOptions, key)` (the older `now`-threading methods
+//! survive one release as thin shims).
 //!
 //! # Examples
 //!
 //! ```
 //! use nob_ext4::{Ext4Config, Ext4Fs};
 //! use nob_sim::Nanos;
-//! use noblsm::{Db, Options, SyncMode};
+//! use noblsm::{Db, Options, ReadOptions, SyncMode, WriteBatch, WriteOptions};
 //!
-//! # fn main() -> Result<(), noblsm::DbError> {
+//! # fn main() -> Result<(), noblsm::Error> {
 //! let fs = Ext4Fs::new(Ext4Config::default());
 //! let opts = Options::default().with_sync_mode(SyncMode::NobLsm);
 //! let mut db = Db::open(fs, "db", opts, Nanos::ZERO)?;
-//! let now = db.put(Nanos::ZERO, b"key", b"value")?;
-//! let (found, _now) = db.get(now, b"key")?;
+//! let mut batch = WriteBatch::new();
+//! batch.put(b"key", b"value");
+//! db.write(&WriteOptions::default(), batch)?;
+//! let found = db.get(&ReadOptions::default(), b"key")?;
 //! assert_eq!(found.as_deref(), Some(&b"value"[..]));
 //! # Ok(())
 //! # }
@@ -60,9 +65,12 @@ mod types;
 pub mod util;
 
 pub use db::{Db, RepairReport, Snapshot, WriteBatch};
-pub use error::DbError;
+pub use error::{DbError, Error};
 pub use iterator::DbIterator;
-pub use options::{CompactionStyle, CompressionType, CpuCosts, Options, SyncMode, WriteOptions};
+pub use options::{
+    CompactionStyle, CompressionType, CpuCosts, Durability, Options, ReadOptions, SyncMode,
+    WriteOptions,
+};
 pub use stats::{DbStats, LevelCompactionStats};
 pub use types::{InternalKey, SequenceNumber, ValueType};
 

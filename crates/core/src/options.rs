@@ -76,13 +76,86 @@ impl Default for CpuCosts {
     }
 }
 
-/// Per-write options (mirrors LevelDB's `WriteOptions`).
+/// How durable a write must be before it returns (the named form of
+/// [`WriteOptions::sync`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Durability {
+    /// Buffered WAL append; durability rides on the filesystem's journal
+    /// commit discipline (LevelDB's default, and the setting used
+    /// throughout the paper — which is why log tails can break on power
+    /// loss).
+    #[default]
+    Buffered,
+    /// The WAL record is fsynced before the write returns.
+    Synced,
+}
+
+/// Per-write options (mirrors LevelDB's `WriteOptions`), consumed by the
+/// canonical [`Db::write`](crate::Db::write) entry point.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WriteOptions {
     /// Whether to fsync the WAL after this write. LevelDB's default — and
     /// the setting used throughout the paper — is `false`, which is why
     /// log tails can break on power loss.
     pub sync: bool,
+    /// Named durability requirement; [`Durability::Synced`] implies
+    /// `sync` regardless of the boolean (the two express one knob — the
+    /// boolean survives for LevelDB familiarity).
+    pub durability: Durability,
+}
+
+impl WriteOptions {
+    /// Options for a buffered (non-synced) write — the default.
+    pub fn buffered() -> Self {
+        WriteOptions::default()
+    }
+
+    /// Options for a synced write.
+    pub fn synced() -> Self {
+        WriteOptions { sync: true, durability: Durability::Synced }
+    }
+
+    /// Whether this write must fsync the WAL, combining the legacy
+    /// boolean with the named [`Durability`].
+    pub fn wants_sync(&self) -> bool {
+        self.sync || self.durability == Durability::Synced
+    }
+}
+
+/// Per-read options (mirrors LevelDB's `ReadOptions`), consumed by the
+/// canonical [`Db::get`](crate::Db::get) entry point.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadOptions<'a> {
+    /// Read as of this pinned snapshot instead of the latest state.
+    pub snapshot: Option<&'a crate::Snapshot>,
+    /// Whether blocks loaded for this read should populate the block
+    /// cache (LevelDB's `fill_cache`; scans set it `false` to avoid
+    /// evicting the point-read working set).
+    pub fill_cache: bool,
+}
+
+impl Default for ReadOptions<'_> {
+    fn default() -> Self {
+        ReadOptions { snapshot: None, fill_cache: true }
+    }
+}
+
+impl<'a> ReadOptions<'a> {
+    /// Options reading the latest state, filling the cache — the default.
+    pub fn latest() -> Self {
+        ReadOptions::default()
+    }
+
+    /// Options pinned at `snapshot`.
+    pub fn at(snapshot: &'a crate::Snapshot) -> Self {
+        ReadOptions { snapshot: Some(snapshot), ..ReadOptions::default() }
+    }
+
+    /// Disables block-cache population for this read.
+    pub fn without_fill_cache(mut self) -> Self {
+        self.fill_cache = false;
+        self
+    }
 }
 
 /// Engine configuration.

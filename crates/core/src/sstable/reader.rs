@@ -88,6 +88,15 @@ impl Table {
     }
 
     fn read_block(&self, h: BlockHandle, now: &mut Nanos) -> Result<Arc<Block>> {
+        self.read_block_opt(h, now, true)
+    }
+
+    fn read_block_opt(
+        &self,
+        h: BlockHandle,
+        now: &mut Nanos,
+        fill_cache: bool,
+    ) -> Result<Arc<Block>> {
         let key = (self.physical_number, self.base_offset + h.offset);
         if let Some(b) = self.cache.get(key) {
             return Ok(b);
@@ -100,7 +109,9 @@ impl Table {
         )?;
         *now = t + self.cpu.block_per_kib * (h.size >> 10).max(1);
         let block = Block::parse(strip_trailer(bytes)?)?;
-        self.cache.insert(key, Arc::clone(&block));
+        if fill_cache {
+            self.cache.insert(key, Arc::clone(&block));
+        }
         Ok(block)
     }
 
@@ -111,6 +122,21 @@ impl Table {
     ///
     /// Returns [`DbError::Corruption`] or [`DbError::Fs`] on read failures.
     pub(crate) fn get(&self, probe: &[u8], now: &mut Nanos) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
+        self.get_opt(probe, now, true)
+    }
+
+    /// [`Table::get`] with explicit block-cache fill behaviour
+    /// (`ReadOptions::fill_cache`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Corruption`] or [`DbError::Fs`] on read failures.
+    pub(crate) fn get_opt(
+        &self,
+        probe: &[u8],
+        now: &mut Nanos,
+        fill_cache: bool,
+    ) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
         *now += self.cpu.table_probe;
         if let Some(bloom) = &self.bloom {
             if !bloom.may_contain(user_key(probe)) {
@@ -124,7 +150,7 @@ impl Table {
         }
         let mut pos = 0;
         let handle = BlockHandle::decode_from(index_iter.value(), &mut pos)?;
-        let block = self.read_block(handle, now)?;
+        let block = self.read_block_opt(handle, now, fill_cache)?;
         let mut it = block.iter();
         it.seek(probe);
         if it.valid() && user_key(it.key()) == user_key(probe) {

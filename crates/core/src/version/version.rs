@@ -188,7 +188,7 @@ impl Version {
     /// # Errors
     ///
     /// Propagates table read failures.
-    #[allow(clippy::type_complexity)]
+    #[allow(clippy::type_complexity, clippy::too_many_arguments)]
     pub(crate) fn get(
         &self,
         key: &[u8],
@@ -196,6 +196,7 @@ impl Version {
         style: CompactionStyle,
         tables: &TableCache,
         now: &mut Nanos,
+        fill_cache: bool,
     ) -> Result<(GetResult, usize, Option<(usize, Arc<FileMetaData>)>)> {
         let probe = lookup_key(key, seq);
         let mut first_probed: Option<(usize, Arc<FileMetaData>)> = None;
@@ -246,7 +247,7 @@ impl Version {
                     first_probed = Some((level, Arc::clone(&f)));
                 }
                 let table = tables.table(&f, now)?;
-                if let Some((ikey, value)) = table.get(probe.as_bytes(), now)? {
+                if let Some((ikey, value)) = table.get_opt(probe.as_bytes(), now, fill_cache)? {
                     debug_assert_eq!(user_key(&ikey), key);
                     let result = match value_type_of(&ikey) {
                         Some(ValueType::Value) => GetResult::Found(value),

@@ -88,6 +88,6 @@ fn clean_crash_recovery_reports_no_corruption() {
     let s = db.stats().clone();
     assert_eq!(s.wal_corruptions_detected, 0);
     assert!(s.wal_records_recovered >= 1, "committed WAL replays: {s:?}");
-    let (got, _) = db.get(crash_at, b"k0000").unwrap();
+    let (got, _) = db.get_at_time(crash_at, b"k0000").unwrap();
     assert_eq!(got.as_deref(), Some(&b"v"[..]));
 }

@@ -22,7 +22,7 @@ fn key(i: u64) -> Vec<u8> {
 #[test]
 fn empty_db_reads_cleanly() {
     let mut db = Db::open(fs(), "db", opts(SyncMode::NobLsm), Nanos::ZERO).unwrap();
-    let (got, now) = db.get(Nanos::ZERO, b"anything").unwrap();
+    let (got, now) = db.get_at_time(Nanos::ZERO, b"anything").unwrap();
     assert_eq!(got, None);
     {
         let mut it = db.iter_at(now).unwrap();
@@ -40,11 +40,11 @@ fn synced_wal_write_survives_immediate_crash() {
     // Write WITHOUT sync, then one WITH sync: the synced write (and, per
     // WAL ordering, everything before it in the log) must survive.
     let now = db.put(Nanos::ZERO, &key(1), b"unsynced").unwrap();
-    let now = db.put_opt(now, &key(2), b"synced", WriteOptions { sync: true }).unwrap();
+    let now = db.put_opt(now, &key(2), b"synced", WriteOptions::synced()).unwrap();
     let mut rdb = Db::open(fs.crashed_view(now), "db", opts(SyncMode::NobLsm), now).unwrap();
-    let (v2, t) = rdb.get(now, &key(2)).unwrap();
+    let (v2, t) = rdb.get_at_time(now, &key(2)).unwrap();
     assert_eq!(v2.as_deref(), Some(&b"synced"[..]), "synced write lost");
-    let (v1, _) = rdb.get(t, &key(1)).unwrap();
+    let (v1, _) = rdb.get_at_time(t, &key(1)).unwrap();
     assert_eq!(v1.as_deref(), Some(&b"unsynced"[..]), "earlier log record lost");
 }
 
@@ -64,7 +64,7 @@ fn clean_reopen_replays_wal_only_data() {
     }
     let mut db = Db::open(fs, "db", opts(SyncMode::Always), now).unwrap();
     for i in 0..10 {
-        let (got, t) = db.get(now, &key(i)).unwrap();
+        let (got, t) = db.get_at_time(now, &key(i)).unwrap();
         now = t;
         assert_eq!(got.as_deref(), Some(&b"memtable-only"[..]), "key {i} lost on reopen");
     }
@@ -83,7 +83,7 @@ fn double_open_same_directory_recovers_not_clobbers() {
     }
     // Second open must recover, not fail or wipe.
     let mut db = Db::open(fs, "db", opts(SyncMode::Always), now).unwrap();
-    let (got, _) = db.get(now, &key(123)).unwrap();
+    let (got, _) = db.get_at_time(now, &key(123)).unwrap();
     assert!(got.is_some());
 }
 
@@ -109,7 +109,7 @@ fn seek_compactions_fire_under_repeated_misses() {
     now = db.wait_idle(now).unwrap();
     // Hammer even-key lookups; allowed_seeks (min 100) eventually fires.
     for round in 0..600u64 {
-        let (_, t) = db.get(now, &key((round * 2) % 400)).unwrap();
+        let (_, t) = db.get_at_time(now, &key((round * 2) % 400)).unwrap();
         now = t;
     }
     now = db.wait_idle(now).unwrap();
@@ -148,7 +148,7 @@ fn seek_compactions_land_in_the_per_level_breakdown() {
     now = db.wait_idle(now).unwrap();
     let before_seek = db.stats().seek_compactions;
     for round in 0..600u64 {
-        let (_, t) = db.get(now, &key((round * 2) % 400)).unwrap();
+        let (_, t) = db.get_at_time(now, &key((round * 2) % 400)).unwrap();
         now = t;
     }
     now = db.wait_idle(now).unwrap();
@@ -231,7 +231,7 @@ fn values_of_every_size_round_trip() {
     }
     now = db.flush(now).unwrap();
     for (i, len) in sizes.iter().enumerate() {
-        let (got, t) = db.get(now, &key(i as u64)).unwrap();
+        let (got, t) = db.get_at_time(now, &key(i as u64)).unwrap();
         now = t;
         assert_eq!(got, Some(vec![i as u8; *len]), "size {len}");
     }
@@ -255,7 +255,7 @@ fn compressed_tables_round_trip() {
     now = db.flush(now).unwrap();
     now = db.wait_idle(now).unwrap();
     for i in (0..2000).step_by(97) {
-        let (got, t) = db.get(now, &key(i)).unwrap();
+        let (got, t) = db.get_at_time(now, &key(i)).unwrap();
         now = t;
         let mut want = vec![0u8; 256];
         want[0] = (i % 251) as u8;

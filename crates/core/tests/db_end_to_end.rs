@@ -45,11 +45,11 @@ fn put_get_round_trip_small() {
         now = db.put(now, &key(i), &value(i, 100)).unwrap();
     }
     for i in 0..100 {
-        let (got, t) = db.get(now, &key(i)).unwrap();
+        let (got, t) = db.get_at_time(now, &key(i)).unwrap();
         now = t;
         assert_eq!(got, Some(value(i, 100)), "key {i}");
     }
-    let (missing, _) = db.get(now, b"nope").unwrap();
+    let (missing, _) = db.get_at_time(now, b"nope").unwrap();
     assert_eq!(missing, None);
 }
 
@@ -65,7 +65,7 @@ fn compactions_preserve_all_data() {
         assert!(db.stats().major_compactions > 0, "mode {mode:?}: expected majors");
         db.check_invariants().unwrap();
         for i in (0..n).step_by(17) {
-            let (got, t) = db.get(now, &key(i)).unwrap();
+            let (got, t) = db.get_at_time(now, &key(i)).unwrap();
             now = t;
             assert_eq!(got, Some(value(i, 128)), "mode {mode:?}, key {i}");
         }
@@ -84,7 +84,7 @@ fn overwrites_return_newest() {
     }
     now = db.wait_idle(now).unwrap();
     for i in (0..500).step_by(13) {
-        let (got, t) = db.get(now, &key(i)).unwrap();
+        let (got, t) = db.get_at_time(now, &key(i)).unwrap();
         now = t;
         assert_eq!(got, Some(value(i * 1000 + 4, 100)), "key {i}");
     }
@@ -100,7 +100,7 @@ fn deletes_hide_values_through_compaction() {
     }
     now = db.wait_idle(now).unwrap();
     for i in 0..1000 {
-        let (got, t) = db.get(now, &key(i)).unwrap();
+        let (got, t) = db.get_at_time(now, &key(i)).unwrap();
         now = t;
         if i % 3 == 0 {
             assert_eq!(got, None, "deleted key {i} resurfaced");
@@ -158,7 +158,7 @@ fn clean_reopen_preserves_data() {
     // Reopen on the SAME (uncrashed) filesystem.
     let mut db = Db::open(fs, "db", small_opts(SyncMode::Always), now).unwrap();
     for i in (0..n).step_by(23) {
-        let (got, t) = db.get(now, &key(i)).unwrap();
+        let (got, t) = db.get_at_time(now, &key(i)).unwrap();
         now = t;
         assert_eq!(got, Some(value(i, 100)), "key {i} lost across reopen");
     }
@@ -178,7 +178,7 @@ fn crash_recovery_preserves_synced_data_leveldb_mode() {
     let crashed = fs.crashed_view(now);
     let mut rdb = Db::open(crashed, "db", small_opts(SyncMode::Always), now).unwrap();
     for i in (0..n).step_by(7) {
-        let (got, t) = rdb.get(now, &key(i)).unwrap();
+        let (got, t) = rdb.get_at_time(now, &key(i)).unwrap();
         now = t;
         assert_eq!(got, Some(value(i, 100)), "key {i} lost after crash");
     }
@@ -196,7 +196,7 @@ fn crash_recovery_noblsm_mode_loses_nothing_synced() {
     let crashed = fs.crashed_view(now);
     let mut rdb = Db::open(crashed, "db", small_opts(SyncMode::NobLsm), now).unwrap();
     for i in (0..n).step_by(7) {
-        let (got, t) = rdb.get(now, &key(i)).unwrap();
+        let (got, t) = rdb.get_at_time(now, &key(i)).unwrap();
         now = t;
         assert_eq!(got, Some(value(i, 100)), "key {i} lost after crash");
     }
@@ -228,7 +228,7 @@ fn crash_mid_load_noblsm_preserves_flushed_prefix() {
     let mut t = crash_at;
     if let Some(upper) = acked_through {
         for i in 0..upper {
-            let (got, t2) = rdb.get(t, &key(i)).unwrap();
+            let (got, t2) = rdb.get_at_time(t, &key(i)).unwrap();
             t = t2;
             assert_eq!(got, Some(value(i, 100)), "durably flushed key {i} lost");
         }
@@ -309,7 +309,7 @@ fn fragmented_style_works_end_to_end() {
     now = db.wait_idle(now).unwrap();
     db.check_invariants().unwrap();
     for i in (0..n).step_by(29) {
-        let (got, t) = db.get(now, &key(i)).unwrap();
+        let (got, t) = db.get_at_time(now, &key(i)).unwrap();
         now = t;
         assert_eq!(got, Some(value(i, 128)), "key {i}");
     }
@@ -325,7 +325,7 @@ fn grouped_output_bolt_works_end_to_end() {
     let mut now = load(&mut db, n, 128, Nanos::ZERO);
     now = db.wait_idle(now).unwrap();
     for i in (0..n).step_by(31) {
-        let (got, t) = db.get(now, &key(i)).unwrap();
+        let (got, t) = db.get_at_time(now, &key(i)).unwrap();
         now = t;
         assert_eq!(got, Some(value(i, 128)), "key {i}");
     }
@@ -341,7 +341,7 @@ fn multi_lane_compaction_works() {
     now = db.wait_idle(now).unwrap();
     db.check_invariants().unwrap();
     for i in (0..n).step_by(37) {
-        let (got, t) = db.get(now, &key(i)).unwrap();
+        let (got, t) = db.get_at_time(now, &key(i)).unwrap();
         now = t;
         assert_eq!(got, Some(value(i, 128)), "key {i}");
     }
@@ -363,7 +363,7 @@ fn hot_cold_style_preserves_data_under_skew() {
     now = db.wait_idle(now).unwrap();
     db.check_invariants().unwrap();
     for i in (50..2000).step_by(41) {
-        let (got, t) = db.get(now, &key(i)).unwrap();
+        let (got, t) = db.get_at_time(now, &key(i)).unwrap();
         now = t;
         assert_eq!(got, Some(value(i, 128)), "cold key {i}");
     }
@@ -380,6 +380,6 @@ fn flush_forces_memtable_out() {
     assert_eq!(db.level_file_counts()[0], 0);
     now = db.flush(now).unwrap();
     assert_eq!(db.level_file_counts()[0], 1);
-    let (got, _) = db.get(now, &key(5)).unwrap();
+    let (got, _) = db.get_at_time(now, &key(5)).unwrap();
     assert_eq!(got, Some(value(5, 50)));
 }

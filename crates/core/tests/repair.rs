@@ -56,7 +56,7 @@ fn repair_recovers_after_metadata_loss() {
     db.check_invariants().unwrap();
     // Every key present; overwritten keys must show the NEWER round.
     for i in (0..n).step_by(13) {
-        let (got, t) = db.get(now, &key(i)).unwrap();
+        let (got, t) = db.get_at_time(now, &key(i)).unwrap();
         now = t;
         let want = if i < n / 2 { val(i, 1) } else { val(i, 0) };
         assert_eq!(got, Some(want), "key {i} wrong after repair");
@@ -81,7 +81,7 @@ fn repair_replays_surviving_wals() {
     now = Db::repair(&fs, "db", &opts(), now).unwrap();
     let mut rdb = Db::open(fs, "db", opts(), now).unwrap();
     for i in 0..20u64 {
-        let (got, t) = rdb.get(now, &key(i)).unwrap();
+        let (got, t) = rdb.get_at_time(now, &key(i)).unwrap();
         now = t;
         assert_eq!(got, Some(val(i, 0)), "WAL entry {i} lost by repair");
     }
@@ -102,7 +102,7 @@ fn repair_skips_garbage_tables() {
     now = Db::repair(&fs, "db", &opts(), now).unwrap();
     assert!(!fs.exists("db/999999.ldb"), "garbage file must be discarded");
     let mut db = Db::open(fs, "db", opts(), now).unwrap();
-    let (got, _) = db.get(now, &key(42)).unwrap();
+    let (got, _) = db.get_at_time(now, &key(42)).unwrap();
     assert!(got.is_some());
 }
 
@@ -118,7 +118,7 @@ fn open_without_current_would_lose_the_tables() {
         }
     }
     let mut db = Db::open(fs, "db", opts(), now).unwrap();
-    let (got, _) = db.get(now, &key(1)).unwrap();
+    let (got, _) = db.get_at_time(now, &key(1)).unwrap();
     assert_eq!(got, None, "without repair the data is gone");
 }
 
@@ -127,7 +127,7 @@ fn repair_on_healthy_empty_dir_yields_empty_db() {
     let fs = fs();
     let now = Db::repair(&fs, "db", &opts(), Nanos::ZERO).unwrap();
     let mut db = Db::open(fs, "db", opts(), now).unwrap();
-    let (got, _) = db.get(now, b"anything").unwrap();
+    let (got, _) = db.get_at_time(now, b"anything").unwrap();
     assert_eq!(got, None);
 }
 
@@ -143,7 +143,7 @@ fn corrupt_current_is_reported_then_repairable() {
     assert!(matches!(err, DbError::InvalidDb(_)), "{err}");
     now = Db::repair(&fs, "db", &opts(), now).unwrap();
     let mut db = Db::open(fs, "db", opts(), now).unwrap();
-    let (got, _) = db.get(now, &key(7)).unwrap();
+    let (got, _) = db.get_at_time(now, &key(7)).unwrap();
     assert!(got.is_some());
 }
 

@@ -24,7 +24,7 @@ fn snapshot_pins_point_reads() {
     let snap = db.snapshot();
     let now = db.put(now, b"k", b"v2").unwrap();
     let now = db.delete(now, b"other").unwrap();
-    let (live, t) = db.get(now, b"k").unwrap();
+    let (live, t) = db.get_at_time(now, b"k").unwrap();
     assert_eq!(live.as_deref(), Some(&b"v2"[..]));
     let (pinned, _) = db.get_at(t, b"k", &snap).unwrap();
     assert_eq!(pinned.as_deref(), Some(&b"v1"[..]), "snapshot must see the old value");
@@ -100,15 +100,15 @@ fn write_batch_is_atomic_across_crash() {
     }
     batch.delete(&key(0));
     assert_eq!(batch.len(), 51);
-    let now = db.write_batch(Nanos::ZERO, &batch, WriteOptions { sync: true }).unwrap();
+    let now = db.write_batch(Nanos::ZERO, &batch, WriteOptions::synced()).unwrap();
     // Crash immediately: the synced batch must be fully present.
     let mut rdb = Db::open(fs.crashed_view(now), "db", db.options().clone(), now).unwrap();
     let mut t = now;
-    let (gone, t2) = rdb.get(t, &key(0)).unwrap();
+    let (gone, t2) = rdb.get_at_time(t, &key(0)).unwrap();
     t = t2;
     assert_eq!(gone, None, "tombstone in batch applies");
     for i in 1..50u64 {
-        let (got, t2) = rdb.get(t, &key(i)).unwrap();
+        let (got, t2) = rdb.get_at_time(t, &key(i)).unwrap();
         t = t2;
         assert_eq!(got.as_deref(), Some(&b"batched"[..]), "batch entry {i} lost");
     }
@@ -135,7 +135,7 @@ fn compact_range_pushes_everything_down() {
     assert_eq!(counts[0], 0, "L0 must be empty after full compaction: {counts:?}");
     db.check_invariants().unwrap();
     // Everything still readable.
-    let (got, _) = db.get(now, &key(1234)).unwrap();
+    let (got, _) = db.get_at_time(now, &key(1234)).unwrap();
     assert!(got.is_some());
 }
 
@@ -193,8 +193,8 @@ fn batched_and_single_writes_interleave_correctly() {
     batch.put(b"a", b"3"); // overwrites the single put
     now = db.write_batch(now, &batch, WriteOptions::default()).unwrap();
     now = db.put(now, b"b", b"4").unwrap();
-    let (a, t) = db.get(now, b"a").unwrap();
-    let (b, _) = db.get(t, b"b").unwrap();
+    let (a, t) = db.get_at_time(now, b"a").unwrap();
+    let (b, _) = db.get_at_time(t, b"b").unwrap();
     assert_eq!(a.as_deref(), Some(&b"3"[..]));
     assert_eq!(b.as_deref(), Some(&b"4"[..]));
 }

@@ -348,9 +348,22 @@ impl HubState {
 /// which live behind `Arc`s) call [`MetricsHub::register`]; the engine,
 /// which owns its state directly, pushes its gauges as the `pushed`
 /// argument of [`MetricsHub::sample_due`]. Both land on the same grid.
-#[derive(Clone, Default)]
+///
+/// A handle may carry a name prefix (see [`MetricsHub::scoped`]): every
+/// name it registers, unregisters, or pushes is prefixed transparently,
+/// which is how N shards share one hub without their fixed gauge names
+/// (`ext4.dirty_bytes`, `engine.writes`, …) colliding.
+#[derive(Clone)]
 pub struct MetricsHub {
     inner: Arc<Mutex<HubState>>,
+    /// Prepended to every metric name this handle touches ("" = none).
+    prefix: Arc<str>,
+}
+
+impl Default for MetricsHub {
+    fn default() -> MetricsHub {
+        MetricsHub { inner: Arc::default(), prefix: Arc::from("") }
+    }
 }
 
 impl Default for HubState {
@@ -399,6 +412,28 @@ impl MetricsHub {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// A handle over the same registry and grid whose metric names are
+    /// all prefixed with `prefix` (conventionally ending in `.`, e.g.
+    /// `"shard0."`). Scopes nest: `hub.scoped("a.").scoped("b.")`
+    /// prefixes `a.b.`. The layers underneath keep registering their
+    /// fixed names — the prefix is applied inside the hub, so per-shard
+    /// stacks need no code changes.
+    pub fn scoped(&self, prefix: &str) -> MetricsHub {
+        MetricsHub {
+            inner: Arc::clone(&self.inner),
+            prefix: format!("{}{prefix}", self.prefix).into(),
+        }
+    }
+
+    /// The name prefix this handle applies ("" for an unscoped hub).
+    pub fn prefix(&self) -> &str {
+        &self.prefix
+    }
+
+    fn full_name(&self, name: &str) -> String {
+        format!("{}{name}", self.prefix)
+    }
+
     /// Registers (or replaces, by name) a live probe evaluated at every
     /// grid instant. The closure receives the grid instant, so
     /// time-derived gauges (queue backlog, busy fraction) stay exact even
@@ -407,9 +442,10 @@ impl MetricsHub {
     where
         F: Fn(Nanos) -> f64 + Send + 'static,
     {
+        let name = self.full_name(name);
         let mut st = self.lock();
         let probe =
-            Probe { name: name.to_string(), kind, help: help.to_string(), read: Box::new(read) };
+            Probe { name: name.clone(), kind, help: help.to_string(), read: Box::new(read) };
         match st.probes.iter().position(|p| p.name == name) {
             // Re-registration (e.g. after crash recovery reopens the same
             // stack) swaps the closure but keeps the series history.
@@ -421,6 +457,7 @@ impl MetricsHub {
     /// Removes a probe by name; its series stops growing but keeps its
     /// history (grid alignment pads it with its last value).
     pub fn unregister(&self, name: &str) {
+        let name = self.full_name(name);
         let mut st = self.lock();
         st.probes.retain(|p| p.name != name);
     }
@@ -430,6 +467,18 @@ impl MetricsHub {
     /// caller's `pushed` values alongside. The first call anchors the grid
     /// at `now`. Returns how many grid instants were sampled.
     pub fn sample_due(&self, now: Nanos, pushed: &[(&str, f64)]) -> usize {
+        // Scoped handles prefix pushed names too; the unscoped path stays
+        // allocation-free.
+        if !self.prefix.is_empty() {
+            let named: Vec<(String, f64)> =
+                pushed.iter().map(|&(n, v)| (self.full_name(n), v)).collect();
+            let borrowed: Vec<(&str, f64)> = named.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+            return self.sample_due_raw(now, &borrowed);
+        }
+        self.sample_due_raw(now, pushed)
+    }
+
+    fn sample_due_raw(&self, now: Nanos, pushed: &[(&str, f64)]) -> usize {
         let mut st = self.lock();
         if st.next.is_none() {
             st.next = Some(now);
@@ -607,6 +656,28 @@ mod tests {
         let tl = hub.timeline();
         assert_eq!(tl.start, Nanos::from_secs(1), "grid re-anchors after reset");
         assert_eq!(tl.series("g").unwrap().values, vec![1.0]);
+    }
+
+    #[test]
+    fn scoped_handles_prefix_probes_and_pushed_values() {
+        let hub = MetricsHub::new().with_period(Nanos::from_millis(10));
+        let s0 = hub.scoped("shard0.");
+        let s1 = hub.scoped("shard1.");
+        s0.register(MetricKind::Gauge, "ext4.dirty_bytes", "", |_| 10.0);
+        s1.register(MetricKind::Gauge, "ext4.dirty_bytes", "", |_| 20.0);
+        s0.sample_due(Nanos::ZERO, &[("engine.writes", 3.0)]);
+        let tl = hub.timeline();
+        assert_eq!(tl.series("shard0.ext4.dirty_bytes").unwrap().values, vec![10.0]);
+        assert_eq!(tl.series("shard1.ext4.dirty_bytes").unwrap().values, vec![20.0]);
+        assert_eq!(tl.series("shard0.engine.writes").unwrap().values, vec![3.0]);
+        assert!(tl.series("ext4.dirty_bytes").is_none(), "no unscoped collision");
+        // Unregister through the same scope removes only that shard's probe.
+        s0.unregister("ext4.dirty_bytes");
+        s0.sample_due(Nanos::from_millis(10), &[]);
+        let tl = hub.timeline();
+        assert_eq!(tl.series("shard1.ext4.dirty_bytes").unwrap().values, vec![20.0, 20.0]);
+        // Scopes nest and report their prefix.
+        assert_eq!(hub.scoped("a.").scoped("b.").prefix(), "a.b.");
     }
 
     #[test]

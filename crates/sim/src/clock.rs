@@ -57,6 +57,67 @@ impl Clock {
     }
 }
 
+/// A cloneable, shareable [`Clock`]: the scheduler owns one and hands the
+/// same handle to every component that needs "the current virtual time"
+/// without threading `now: Nanos` through each call.
+///
+/// All clones observe and advance the same instant. Like [`Clock`], the
+/// shared clock is monotone: advancing to an earlier instant is a no-op.
+///
+/// # Examples
+///
+/// ```
+/// use nob_sim::{Nanos, SharedClock};
+///
+/// let scheduler = SharedClock::new();
+/// let worker = scheduler.clone();
+/// worker.advance_to(Nanos::from_micros(3));
+/// assert_eq!(scheduler.now(), Nanos::from_micros(3));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SharedClock {
+    inner: std::sync::Arc<std::sync::Mutex<Clock>>,
+}
+
+impl SharedClock {
+    /// Creates a shared clock at the simulation origin (t = 0).
+    pub fn new() -> Self {
+        SharedClock::default()
+    }
+
+    /// Creates a shared clock already advanced to `start`.
+    pub fn at(start: Nanos) -> Self {
+        SharedClock { inner: std::sync::Arc::new(std::sync::Mutex::new(Clock::at(start))) }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Clock> {
+        // A panic while holding the lock cannot corrupt a Copy instant;
+        // recover instead of cascading the poison.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The current virtual instant.
+    pub fn now(&self) -> Nanos {
+        self.lock().now()
+    }
+
+    /// Advances the clock by a duration.
+    pub fn advance(&self, by: Nanos) {
+        self.lock().advance(by);
+    }
+
+    /// Advances the clock to an instant, if it is in the future. Returns
+    /// the stall duration (zero if `to` was not in the future).
+    pub fn advance_to(&self, to: Nanos) -> Nanos {
+        self.lock().advance_to(to)
+    }
+
+    /// Whether two handles share one underlying clock.
+    pub fn same_clock(&self, other: &SharedClock) -> bool {
+        std::sync::Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -64,6 +125,21 @@ mod tests {
     #[test]
     fn starts_at_zero() {
         assert_eq!(Clock::new().now(), Nanos::ZERO);
+    }
+
+    #[test]
+    fn shared_clock_is_shared_and_monotone() {
+        let a = SharedClock::at(Nanos::from_micros(2));
+        let b = a.clone();
+        assert_eq!(b.now(), Nanos::from_micros(2));
+        let stall = b.advance_to(Nanos::from_micros(9));
+        assert_eq!(stall, Nanos::from_micros(7));
+        assert_eq!(a.now(), Nanos::from_micros(9));
+        assert_eq!(a.advance_to(Nanos::from_micros(1)), Nanos::ZERO, "monotone");
+        a.advance(Nanos::from_micros(1));
+        assert_eq!(b.now(), Nanos::from_micros(10));
+        assert!(a.same_clock(&b));
+        assert!(!a.same_clock(&SharedClock::new()));
     }
 
     #[test]

@@ -32,7 +32,7 @@ mod events;
 mod time;
 mod timeline;
 
-pub use clock::Clock;
+pub use clock::{Clock, SharedClock};
 pub use events::EventQueue;
 pub use time::Nanos;
 pub use timeline::{Reservation, Timeline};

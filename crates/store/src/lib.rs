@@ -1,0 +1,707 @@
+//! `nob-store` — a sharded front-end over N independent [`Db`] engines.
+//!
+//! The store partitions the keyspace by a stable hash of the key across
+//! `N` shards. Each shard owns a complete, independent stack — its own
+//! simulated SSD and Ext4 filesystem under its own engine — but every
+//! shard is opened on **one** [`SharedClock`], so the whole deployment
+//! advances on a single virtual timeline and every run is deterministic.
+//!
+//! # Group commit
+//!
+//! Writes go through a LevelDB-style group-commit queue. Logical writers
+//! [`enqueue`](Store::enqueue) their [`WriteBatch`]es and receive a
+//! [`Ticket`]; nothing touches the engine yet. The scheduler
+//! ([`pump`](Store::pump) / [`drain`](Store::drain)) visits shards in
+//! deterministic round-robin order. On each visit the batch at the head
+//! of the shard's queue becomes the *leader*: it coalesces the batches
+//! queued behind it — up to a byte and a count budget — into one merged
+//! batch, issues a **single** engine write (one WAL record, one journal
+//! interaction), and every coalesced *follower* inherits the leader's
+//! durability outcome. This is where the throughput win comes from: the
+//! per-write CPU charge and the WAL append/sync are paid once per group
+//! instead of once per writer, so `Sync`-mode throughput rises
+//! monotonically with the number of writers sharing a shard.
+//!
+//! A synced follower never rides a buffered leader (that would silently
+//! downgrade its durability); buffered followers ride a synced leader for
+//! free.
+//!
+//! Because the merged group is a single atomic [`WriteBatch`], a crash
+//! mid-group-commit can never surface a follower's write without its
+//! leader's: either the whole group's WAL record survives or none of it
+//! does.
+//!
+//! # Example
+//!
+//! ```
+//! use nob_store::{Store, StoreOptions};
+//! use noblsm::{ReadOptions, WriteBatch, WriteOptions};
+//!
+//! # fn main() -> noblsm::Result<()> {
+//! let mut store = Store::open(StoreOptions { shards: 2, ..StoreOptions::default() })?;
+//! let mut batch = WriteBatch::new();
+//! batch.put(b"k1", b"v1");
+//! batch.put(b"k2", b"v2");
+//! store.write(&WriteOptions::default(), batch)?;
+//! assert_eq!(store.get(&ReadOptions::default(), b"k1")?.as_deref(), Some(&b"v1"[..]));
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::{BTreeMap, VecDeque};
+
+use nob_ext4::{Ext4Config, Ext4Fs};
+use nob_metrics::MetricsHub;
+use nob_sim::{Nanos, SharedClock};
+use nob_trace::{EventClass, TraceSink};
+use noblsm::{Db, Options, ReadOptions, ValueType, WriteBatch, WriteOptions};
+
+pub use noblsm::{Error, Result};
+
+/// Configuration for [`Store::open`].
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// Number of shards (≥ 1). Each shard gets its own SSD + Ext4 stack.
+    pub shards: usize,
+    /// Byte budget per coalesced group: a follower joins only while the
+    /// merged payload stays within this budget. The leader always
+    /// commits, even if it alone exceeds the budget.
+    pub group_budget_bytes: u64,
+    /// Count budget per coalesced group (leader included, ≥ 1).
+    pub group_budget_count: usize,
+    /// Filesystem/device configuration, cloned per shard.
+    pub fs: Ext4Config,
+    /// Engine options, cloned per shard.
+    pub db: Options,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            shards: 4,
+            group_budget_bytes: 1 << 20,
+            group_budget_count: 32,
+            fs: Ext4Config::default(),
+            db: Options::default(),
+        }
+    }
+}
+
+/// Handle for an enqueued write; redeem with [`Store::outcome`] after the
+/// queue has been pumped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ticket(u64);
+
+/// Aggregate group-commit counters, for benches asserting amortization.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Coalesced groups committed (engine writes issued).
+    pub groups: u64,
+    /// Writer batches retired (leaders + followers).
+    pub batches: u64,
+    /// Total merged payload bytes across all groups.
+    pub merged_bytes: u64,
+}
+
+struct Pending {
+    ticket: u64,
+    wopts: WriteOptions,
+    batch: WriteBatch,
+}
+
+struct Shard {
+    db: Db,
+    queue: VecDeque<Pending>,
+}
+
+/// A sharded store: hash-of-key routing over N engines with a group-commit
+/// queue per shard, all on one virtual clock. See the crate docs.
+pub struct Store {
+    clock: SharedClock,
+    shards: Vec<Shard>,
+    trace: Option<TraceSink>,
+    budget_bytes: u64,
+    budget_count: usize,
+    next_ticket: u64,
+    /// Remaining per-shard parts of each still-incomplete ticket.
+    parts: BTreeMap<u64, usize>,
+    /// Latest durable instant observed per ticket (final once the ticket
+    /// leaves `parts`).
+    outcomes: BTreeMap<u64, Nanos>,
+    stats: StoreStats,
+}
+
+/// Stable 64-bit FNV-1a, the store's routing hash. Deterministic across
+/// runs and platforms — part of the store's on-disk contract, since it
+/// decides which shard directory holds a key.
+fn fnv1a(key: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in key {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl Store {
+    /// Opens (creating or recovering) `opts.shards` shard engines, each on
+    /// a fresh filesystem stack, all on one shared clock.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Usage`] when `shards` or `group_budget_count` is zero;
+    /// otherwise propagates engine open errors.
+    pub fn open(opts: StoreOptions) -> Result<Store> {
+        if opts.shards == 0 {
+            return Err(Error::Usage("store needs at least one shard".into()));
+        }
+        if opts.group_budget_count == 0 {
+            return Err(Error::Usage("group_budget_count must be at least 1".into()));
+        }
+        let clock = SharedClock::new();
+        let mut shards = Vec::with_capacity(opts.shards);
+        for i in 0..opts.shards {
+            let fs = Ext4Fs::new(opts.fs.clone());
+            let db = Db::open_with_clock(fs, &format!("shard{i}"), opts.db.clone(), clock.clone())?;
+            shards.push(Shard { db, queue: VecDeque::new() });
+        }
+        Ok(Store {
+            clock,
+            shards,
+            trace: None,
+            budget_bytes: opts.group_budget_bytes,
+            budget_count: opts.group_budget_count,
+            next_ticket: 0,
+            parts: BTreeMap::new(),
+            outcomes: BTreeMap::new(),
+            stats: StoreStats::default(),
+        })
+    }
+
+    /// The shard index `key` routes to.
+    pub fn shard_of(&self, key: &[u8]) -> usize {
+        (fnv1a(key) % self.shards.len() as u64) as usize
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The store's (and every shard's) shared virtual clock.
+    pub fn clock(&self) -> &SharedClock {
+        &self.clock
+    }
+
+    /// Aggregate group-commit counters.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// Borrow shard `i`'s engine (stats, filesystem, crash injection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn shard_db(&self, i: usize) -> &Db {
+        &self.shards[i].db
+    }
+
+    /// Mutably borrow shard `i`'s engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn shard_db_mut(&mut self, i: usize) -> &mut Db {
+        &mut self.shards[i].db
+    }
+
+    /// Batches still queued across all shards.
+    pub fn pending(&self) -> usize {
+        self.shards.iter().map(|s| s.queue.len()).sum()
+    }
+
+    /// Enqueues `batch` for group commit and returns its [`Ticket`].
+    ///
+    /// The batch is split by key hash into per-shard sub-batches (each
+    /// sub-batch stays atomic and in order on its shard); the ticket
+    /// completes when every sub-batch has committed. Nothing reaches the
+    /// engines until [`pump`](Store::pump)/[`drain`](Store::drain) runs.
+    pub fn enqueue(&mut self, wopts: &WriteOptions, batch: &WriteBatch) -> Ticket {
+        let id = self.next_ticket;
+        self.next_ticket += 1;
+        let mut split: Vec<WriteBatch> = vec![WriteBatch::new(); self.shards.len()];
+        for (vt, k, v) in batch.ops() {
+            let s = self.shard_of(k);
+            match vt {
+                ValueType::Deletion => split[s].delete(k),
+                _ => split[s].put(k, v),
+            }
+        }
+        let mut n_parts = 0;
+        for (s, part) in split.into_iter().enumerate() {
+            if part.is_empty() {
+                continue;
+            }
+            n_parts += 1;
+            self.shards[s].queue.push_back(Pending { ticket: id, wopts: *wopts, batch: part });
+        }
+        if n_parts == 0 {
+            // Empty batch: durable by definition, right now.
+            self.outcomes.insert(id, self.clock.now());
+        } else {
+            self.parts.insert(id, n_parts);
+        }
+        Ticket(id)
+    }
+
+    /// The instant `ticket`'s write became durable, once every per-shard
+    /// part has committed; `None` while any part is still queued.
+    pub fn outcome(&self, ticket: Ticket) -> Option<Nanos> {
+        if self.parts.contains_key(&ticket.0) {
+            return None;
+        }
+        self.outcomes.get(&ticket.0).copied()
+    }
+
+    /// One deterministic scheduler round: visits shards in index order and
+    /// commits at most one coalesced group per shard. Returns the number
+    /// of groups committed (0 when every queue is empty).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors; the failing group's tickets stay
+    /// incomplete.
+    pub fn pump(&mut self) -> Result<usize> {
+        let mut committed = 0;
+        for i in 0..self.shards.len() {
+            if self.commit_group(i)? {
+                committed += 1;
+            }
+        }
+        Ok(committed)
+    }
+
+    /// Pumps until every shard queue is empty; returns the clock's instant
+    /// after the last commit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn drain(&mut self) -> Result<Nanos> {
+        while self.pump()? > 0 {}
+        Ok(self.clock.now())
+    }
+
+    /// Commits one group on shard `idx`: pops the leader, folds queued
+    /// followers into it within the byte/count budgets (never pairing a
+    /// synced follower with a buffered leader), issues one engine write
+    /// and completes every carried ticket with the group's durable
+    /// instant.
+    fn commit_group(&mut self, idx: usize) -> Result<bool> {
+        let budget_bytes = self.budget_bytes;
+        let budget_count = self.budget_count;
+        let shard = &mut self.shards[idx];
+        let Some(leader) = shard.queue.pop_front() else {
+            return Ok(false);
+        };
+        let wopts = leader.wopts;
+        let mut merged = leader.batch;
+        let mut tickets = vec![leader.ticket];
+        let mut bytes = merged.byte_size();
+        while tickets.len() < budget_count {
+            let Some(next) = shard.queue.front() else { break };
+            if next.wopts.wants_sync() && !wopts.wants_sync() {
+                break;
+            }
+            if bytes.saturating_add(next.batch.byte_size()) > budget_bytes {
+                break;
+            }
+            let next = shard.queue.pop_front().expect("front() was Some");
+            bytes = bytes.saturating_add(next.batch.byte_size());
+            merged.extend(&next.batch);
+            tickets.push(next.ticket);
+        }
+        let start = self.clock.now();
+        let end = shard.db.write(&wopts, merged)?;
+        if let Some(sink) = &self.trace {
+            sink.emit(EventClass::GroupCommit, start, end, bytes);
+        }
+        self.stats.groups += 1;
+        self.stats.batches += tickets.len() as u64;
+        self.stats.merged_bytes += bytes;
+        for t in tickets {
+            let slot = self.outcomes.entry(t).or_insert(end);
+            if end > *slot {
+                *slot = end;
+            }
+            if let Some(remaining) = self.parts.get_mut(&t) {
+                *remaining -= 1;
+                if *remaining == 0 {
+                    self.parts.remove(&t);
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// Enqueues `batch`, drains the whole queue and returns the instant
+    /// the batch became durable — the synchronous convenience wrapper
+    /// around [`enqueue`](Store::enqueue) + [`drain`](Store::drain).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn write(&mut self, wopts: &WriteOptions, batch: WriteBatch) -> Result<Nanos> {
+        let t = self.enqueue(wopts, &batch);
+        self.drain()?;
+        Ok(self.outcome(t).expect("drained store completed the ticket"))
+    }
+
+    /// Point read, routed to the owning shard.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Usage`] when `ropts` carries a snapshot (snapshots are
+    /// per-shard; take them on [`Store::shard_db_mut`] directly);
+    /// otherwise propagates engine errors.
+    pub fn get(&mut self, ropts: &ReadOptions<'_>, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        if ropts.snapshot.is_some() {
+            return Err(Error::Usage(
+                "store reads cannot carry a Db snapshot (snapshots are per-shard)".into(),
+            ));
+        }
+        let idx = self.shard_of(key);
+        self.shards[idx].db.get(ropts, key)
+    }
+
+    /// Processes due background completions on every shard at the current
+    /// instant, in shard order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn tick(&mut self) -> Result<()> {
+        for shard in &mut self.shards {
+            let now = self.clock.now();
+            shard.db.tick(now)?;
+        }
+        Ok(())
+    }
+
+    /// Drains the queue, then flushes every shard's memtable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn flush(&mut self) -> Result<Nanos> {
+        self.drain()?;
+        for shard in &mut self.shards {
+            let now = self.clock.now();
+            shard.db.flush(now)?;
+        }
+        Ok(self.clock.now())
+    }
+
+    /// Drains the queue, then waits for every shard's background work to
+    /// settle. Shards share one clock, so one shard's compactions can
+    /// push the instant other shards settle at; loop until a full pass
+    /// moves the clock no further.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn wait_idle(&mut self) -> Result<Nanos> {
+        self.drain()?;
+        loop {
+            let before = self.clock.now();
+            for shard in &mut self.shards {
+                let now = self.clock.now();
+                shard.db.wait_idle(now)?;
+            }
+            if self.clock.now() == before {
+                break;
+            }
+        }
+        Ok(self.clock.now())
+    }
+
+    /// Installs one trace sink across every shard's full stack; the store
+    /// itself emits a [`EventClass::GroupCommit`] span per coalesced
+    /// group into the same sink.
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        for shard in &mut self.shards {
+            shard.db.set_trace_sink(sink.clone());
+        }
+        self.trace = Some(sink);
+    }
+
+    /// Removes the trace sink from the store and every shard stack.
+    pub fn clear_trace_sink(&mut self) {
+        for shard in &mut self.shards {
+            shard.db.clear_trace_sink();
+        }
+        self.trace = None;
+    }
+
+    /// Installs `hub` on every shard under a `shard<i>.` scope, so one hub
+    /// carries the whole deployment's gauges as `shard0.ext4.dirty_bytes`,
+    /// `shard1.engine.mem_bytes`, …
+    pub fn set_metrics_hub(&mut self, hub: &MetricsHub) {
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            shard.db.set_metrics_hub(hub.scoped(&format!("shard{i}.")));
+        }
+    }
+
+    /// Detaches the hub from every shard.
+    pub fn clear_metrics_hub(&mut self) {
+        for shard in &mut self.shards {
+            shard.db.clear_metrics_hub();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nob_sim::Nanos;
+    use noblsm::SyncMode;
+
+    fn small_opts(shards: usize) -> StoreOptions {
+        let mut db = Options::default().with_sync_mode(SyncMode::Always).with_table_size(64 << 10);
+        db.level1_max_bytes = 256 << 10;
+        StoreOptions { shards, db, ..StoreOptions::default() }
+    }
+
+    #[test]
+    fn zero_shards_is_a_usage_error() {
+        let Err(err) = Store::open(StoreOptions { shards: 0, ..StoreOptions::default() }) else {
+            panic!("0 shards must be rejected");
+        };
+        assert!(matches!(err, Error::Usage(_)), "{err}");
+    }
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        let store = Store::open(small_opts(3)).unwrap();
+        for i in 0..100u64 {
+            let k = i.to_be_bytes();
+            let s = store.shard_of(&k);
+            assert!(s < 3);
+            assert_eq!(s, store.shard_of(&k), "routing must be deterministic");
+        }
+        // The hash must actually spread keys around.
+        let hit: std::collections::BTreeSet<usize> =
+            (0..100u64).map(|i| store.shard_of(&i.to_be_bytes())).collect();
+        assert!(hit.len() > 1, "all keys landed on one shard");
+    }
+
+    #[test]
+    fn writes_round_trip_across_shards() {
+        let mut store = Store::open(small_opts(4)).unwrap();
+        for i in 0..200u64 {
+            let mut b = WriteBatch::new();
+            b.put(format!("key{i:04}").as_bytes(), format!("val{i}").as_bytes());
+            store.write(&WriteOptions::default(), b).unwrap();
+        }
+        for i in 0..200u64 {
+            let got = store.get(&ReadOptions::default(), format!("key{i:04}").as_bytes()).unwrap();
+            assert_eq!(got.as_deref(), Some(format!("val{i}").as_bytes()), "key{i:04}");
+        }
+    }
+
+    #[test]
+    fn leader_coalesces_followers_into_one_group() {
+        let mut store = Store::open(small_opts(1)).unwrap();
+        let mut tickets = Vec::new();
+        for i in 0..8u64 {
+            let mut b = WriteBatch::new();
+            b.put(format!("k{i}").as_bytes(), b"v");
+            tickets.push(store.enqueue(&WriteOptions::default(), &b));
+        }
+        assert_eq!(store.pending(), 8);
+        for t in &tickets {
+            assert!(store.outcome(*t).is_none(), "nothing committed before pump");
+        }
+        let groups = store.pump().unwrap();
+        assert_eq!(groups, 1, "one leader carries all 8 batches");
+        assert_eq!(store.pending(), 0);
+        let end = store.outcome(tickets[0]).unwrap();
+        for t in &tickets {
+            assert_eq!(store.outcome(*t), Some(end), "followers inherit the leader's outcome");
+        }
+        assert_eq!(store.stats().groups, 1);
+        assert_eq!(store.stats().batches, 8);
+    }
+
+    #[test]
+    fn count_budget_splits_groups() {
+        let mut store =
+            Store::open(StoreOptions { group_budget_count: 3, ..small_opts(1) }).unwrap();
+        for i in 0..7u64 {
+            let mut b = WriteBatch::new();
+            b.put(format!("k{i}").as_bytes(), b"v");
+            store.enqueue(&WriteOptions::default(), &b);
+        }
+        store.drain().unwrap();
+        // 7 batches under a count budget of 3 → groups of 3, 3, 1.
+        assert_eq!(store.stats().groups, 3);
+        assert_eq!(store.stats().batches, 7);
+    }
+
+    #[test]
+    fn byte_budget_splits_groups() {
+        let mut store =
+            Store::open(StoreOptions { group_budget_bytes: 100, ..small_opts(1) }).unwrap();
+        for i in 0..4u64 {
+            let mut b = WriteBatch::new();
+            b.put(format!("k{i}").as_bytes(), &[0u8; 60]);
+            store.enqueue(&WriteOptions::default(), &b);
+        }
+        store.drain().unwrap();
+        // ~62 bytes each under a 100-byte budget → no coalescing.
+        assert_eq!(store.stats().groups, 4);
+    }
+
+    #[test]
+    fn synced_follower_never_rides_buffered_leader() {
+        let mut store = Store::open(small_opts(1)).unwrap();
+        let mut b1 = WriteBatch::new();
+        b1.put(b"a", b"1");
+        let mut b2 = WriteBatch::new();
+        b2.put(b"b", b"2");
+        store.enqueue(&WriteOptions::buffered(), &b1);
+        let t2 = store.enqueue(&WriteOptions::synced(), &b2);
+        let groups = store.pump().unwrap();
+        assert_eq!(groups, 1, "the synced batch must not join the buffered leader");
+        assert!(store.outcome(t2).is_none());
+        store.drain().unwrap();
+        assert!(store.outcome(t2).is_some());
+        assert_eq!(store.stats().groups, 2);
+    }
+
+    #[test]
+    fn buffered_follower_rides_synced_leader() {
+        let mut store = Store::open(small_opts(1)).unwrap();
+        let mut b1 = WriteBatch::new();
+        b1.put(b"a", b"1");
+        let mut b2 = WriteBatch::new();
+        b2.put(b"b", b"2");
+        store.enqueue(&WriteOptions::synced(), &b1);
+        store.enqueue(&WriteOptions::buffered(), &b2);
+        assert_eq!(store.pump().unwrap(), 1);
+        assert_eq!(store.stats().batches, 2, "buffered follower upgraded for free");
+    }
+
+    #[test]
+    fn multi_shard_batch_completes_when_every_part_lands() {
+        let mut store = Store::open(small_opts(4)).unwrap();
+        let mut b = WriteBatch::new();
+        for i in 0..64u64 {
+            b.put(format!("key{i}").as_bytes(), b"v");
+        }
+        let t = store.enqueue(&WriteOptions::default(), &b);
+        // One pump commits one group per shard — with 64 keys over 4
+        // shards every shard holds exactly one part, so the ticket lands.
+        store.pump().unwrap();
+        let end = store.outcome(t).expect("every shard committed its part");
+        assert!(end > Nanos::ZERO);
+        for i in 0..64u64 {
+            let got = store.get(&ReadOptions::default(), format!("key{i}").as_bytes()).unwrap();
+            assert_eq!(got.as_deref(), Some(&b"v"[..]));
+        }
+    }
+
+    #[test]
+    fn per_shard_order_is_arrival_order() {
+        let mut store = Store::open(small_opts(2)).unwrap();
+        // Three writers overwrite the same key; the last enqueued value
+        // must win on its shard.
+        for (i, v) in [b"first", b"secnd", b"third"].iter().enumerate() {
+            let mut b = WriteBatch::new();
+            b.put(b"contended", *v);
+            let _ = i;
+            store.enqueue(&WriteOptions::default(), &b);
+        }
+        store.drain().unwrap();
+        let got = store.get(&ReadOptions::default(), b"contended").unwrap();
+        assert_eq!(got.as_deref(), Some(&b"third"[..]));
+    }
+
+    #[test]
+    fn empty_batch_is_durable_immediately() {
+        let mut store = Store::open(small_opts(2)).unwrap();
+        let t = store.enqueue(&WriteOptions::default(), &WriteBatch::new());
+        assert!(store.outcome(t).is_some());
+        assert_eq!(store.pending(), 0);
+    }
+
+    #[test]
+    fn snapshot_read_options_are_rejected() {
+        let mut store = Store::open(small_opts(2)).unwrap();
+        let mut b = WriteBatch::new();
+        b.put(b"k", b"v");
+        store.write(&WriteOptions::default(), b).unwrap();
+        let snap = store.shard_db_mut(0).snapshot();
+        let err = store.get(&ReadOptions::at(&snap), b"k").unwrap_err();
+        assert!(matches!(err, Error::Usage(_)), "{err}");
+    }
+
+    #[test]
+    fn identical_runs_are_deterministic() {
+        let run = || {
+            let mut store = Store::open(small_opts(3)).unwrap();
+            for i in 0..100u64 {
+                let mut b = WriteBatch::new();
+                b.put(format!("key{i:03}").as_bytes(), &[i as u8; 100]);
+                store.enqueue(&WriteOptions::default(), &b);
+                if i % 5 == 4 {
+                    store.pump().unwrap();
+                }
+            }
+            store.drain().unwrap();
+            (store.clock().now(), store.stats())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn group_commit_emits_trace_spans() {
+        let sink = TraceSink::new();
+        let mut store = Store::open(small_opts(1)).unwrap();
+        store.set_trace_sink(sink.clone());
+        for i in 0..4u64 {
+            let mut b = WriteBatch::new();
+            b.put(format!("k{i}").as_bytes(), b"v");
+            store.enqueue(&WriteOptions::default(), &b);
+        }
+        store.drain().unwrap();
+        let h = sink.histogram(EventClass::GroupCommit);
+        assert_eq!(h.count(), 1, "one coalesced group, one span");
+        assert!(sink.events() > 1, "shard engines share the sink");
+    }
+
+    #[test]
+    fn scoped_metrics_namespace_per_shard() {
+        let hub = MetricsHub::new().with_period(Nanos::from_millis(1));
+        let mut store = Store::open(small_opts(2)).unwrap();
+        store.set_metrics_hub(&hub);
+        for i in 0..50u64 {
+            let mut b = WriteBatch::new();
+            b.put(format!("key{i}").as_bytes(), &[0u8; 200]);
+            store.enqueue(&WriteOptions::default(), &b);
+        }
+        store.drain().unwrap();
+        store.wait_idle().unwrap();
+        let tl = hub.timeline();
+        assert!(
+            tl.series.iter().any(|s| s.name.starts_with("shard0.")),
+            "expected shard0.* series"
+        );
+        assert!(
+            tl.series.iter().any(|s| s.name.starts_with("shard1.")),
+            "expected shard1.* series"
+        );
+        store.clear_metrics_hub();
+    }
+}

@@ -1,0 +1,197 @@
+//! Group-commit correctness: coalescing must never change what a batch
+//! means. A coalesced batch stays atomic, per-shard application order is
+//! enqueue order, and a crash mid-group-commit can never surface a
+//! follower's write without its leader's.
+
+use std::collections::HashMap;
+
+use nob_sim::Nanos;
+use nob_store::{Store, StoreOptions};
+use noblsm::{Db, Options, ReadOptions, SyncMode, WriteBatch, WriteOptions};
+use proptest::prelude::*;
+
+fn small_db() -> Options {
+    let mut o = Options::default().with_sync_mode(SyncMode::Always).with_table_size(8 << 10);
+    o.level1_max_bytes = 32 << 10;
+    o
+}
+
+fn kname(k: u16) -> Vec<u8> {
+    format!("key{k:05}").into_bytes()
+}
+
+fn vname(k: u16, v: u16) -> Vec<u8> {
+    let mut out = format!("value-{k}-{v}-").into_bytes();
+    out.resize(48, b'p');
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random writer batches, random pump interleavings, random shard
+    /// counts and group budgets: after the queue drains, every ticket has
+    /// completed and every key reads back exactly what sequential,
+    /// enqueue-ordered application of the batches would produce. That is
+    /// the whole group-commit contract — coalescing is invisible to
+    /// semantics, it only changes how many engine writes were paid.
+    #[test]
+    fn coalesced_batches_stay_atomic_and_ordered(
+        batches in proptest::collection::vec(
+            proptest::collection::vec((0u16..64, 0u16..1000), 1..6),
+            1..40,
+        ),
+        shards in 1usize..5,
+        budget_count in 1usize..9,
+        pump_every in 1usize..6,
+    ) {
+        let mut store = Store::open(StoreOptions {
+            shards,
+            group_budget_count: budget_count,
+            db: small_db(),
+            ..StoreOptions::default()
+        })
+        .unwrap();
+        let mut model: HashMap<Vec<u8>, Option<Vec<u8>>> = HashMap::new();
+        let mut tickets = Vec::new();
+        let mut expected_parts = 0u64;
+        for (bi, ops) in batches.iter().enumerate() {
+            let mut wb = WriteBatch::new();
+            for (k, v) in ops {
+                let key = kname(*k);
+                // ~1 op in 7 is a deletion; deriving it from the value
+                // keeps the strategy tuple simple.
+                if *v % 7 == 0 {
+                    wb.delete(&key);
+                    model.insert(key, None);
+                } else {
+                    let value = vname(*k, *v);
+                    wb.put(&key, &value);
+                    model.insert(key, Some(value));
+                }
+            }
+            let touched: std::collections::BTreeSet<usize> =
+                wb.ops().map(|(_, k, _)| store.shard_of(k)).collect();
+            expected_parts += touched.len() as u64;
+            tickets.push(store.enqueue(&WriteOptions::default(), &wb));
+            if bi % pump_every == 0 {
+                store.pump().unwrap();
+            }
+        }
+        store.drain().unwrap();
+        for t in &tickets {
+            prop_assert!(store.outcome(*t).is_some(), "ticket left incomplete after drain");
+        }
+        prop_assert_eq!(store.pending(), 0);
+        for (k, want) in &model {
+            let got = store.get(&ReadOptions::default(), k).unwrap();
+            prop_assert_eq!(
+                got.as_deref(),
+                want.as_deref(),
+                "key {} diverged from sequential application",
+                String::from_utf8_lossy(k)
+            );
+        }
+        // `batches` counts per-shard sub-batches (one ticket touching K
+        // shards contributes K), and every one of them must have retired
+        // through some group.
+        let s = store.stats();
+        prop_assert!(s.groups <= s.batches);
+        prop_assert_eq!(s.batches, expected_parts);
+    }
+}
+
+/// Reads the recovered state of one shard engine as a map.
+fn dump(db: &mut Db, now: Nanos) -> HashMap<Vec<u8>, Vec<u8>> {
+    let mut out = HashMap::new();
+    let mut it = db.iter_at(now).unwrap();
+    it.seek_to_first().unwrap();
+    while it.valid() {
+        out.insert(it.key().to_vec(), it.value().to_vec());
+        it.next().unwrap();
+    }
+    out
+}
+
+/// Crash mid-group-commit: the leader and its followers become ONE WAL
+/// record, so no crash instant may surface a follower's write without the
+/// leader's. We build several groups on one shard (keys chosen to route
+/// there), drain, then sweep crash instants across the whole run and
+/// check the implication on every recovered view.
+#[test]
+fn crash_never_surfaces_follower_without_leader() {
+    let mut store = Store::open(StoreOptions {
+        shards: 2,
+        group_budget_count: 4,
+        db: small_db(),
+        ..StoreOptions::default()
+    })
+    .unwrap();
+
+    // Pick keys that all route to shard 0 so every group is coalesced
+    // there and the crash analysis has one WAL to reason about.
+    let mut shard0_keys = Vec::new();
+    let mut probe = 0u32;
+    while shard0_keys.len() < 16 {
+        let k = format!("gk{probe:06}").into_bytes();
+        if store.shard_of(&k) == 0 {
+            shard0_keys.push(k);
+        }
+        probe += 1;
+    }
+
+    // 4 groups × (1 leader + 3 followers), each batch one distinct key.
+    // Within a group, index 0 is the leader (enqueued first).
+    let mut groups: Vec<Vec<(Vec<u8>, Vec<u8>)>> = Vec::new();
+    for g in 0..4usize {
+        let mut group = Vec::new();
+        for m in 0..4usize {
+            let key = shard0_keys[g * 4 + m].clone();
+            let value = format!("g{g}m{m}").into_bytes();
+            group.push((key, value));
+        }
+        groups.push(group);
+    }
+    for group in &groups {
+        for (key, value) in group {
+            let mut b = WriteBatch::new();
+            b.put(key, value);
+            store.enqueue(&WriteOptions::synced(), &b);
+        }
+        // One pump per group: the first batch leads, the rest follow.
+        store.pump().unwrap();
+    }
+    let end = store.drain().unwrap();
+    assert_eq!(store.stats().groups, 4, "each pump must have coalesced one group");
+    assert_eq!(store.stats().batches, 16);
+
+    let fs = store.shard_db(0).fs().clone();
+    let steps = 200u64;
+    for i in 0..=steps {
+        let at = Nanos::from_nanos(end.as_nanos() * i / steps);
+        let crashed = fs.crashed_view(at);
+        let mut rdb = Db::open(crashed, "shard0", small_db(), at).unwrap();
+        let got = dump(&mut rdb, at);
+        for (g, group) in groups.iter().enumerate() {
+            let leader_ok = got.get(&group[0].0).map(Vec::as_slice) == Some(group[0].1.as_slice());
+            for (m, (key, value)) in group.iter().enumerate().skip(1) {
+                let follower_ok = got.get(key).map(Vec::as_slice) == Some(value.as_slice());
+                assert!(
+                    !follower_ok || leader_ok,
+                    "crash at {at:?}: group {g} follower {m} survived without its leader"
+                );
+            }
+        }
+    }
+
+    // Sanity: with SyncMode::Always and synced groups, the final instant
+    // recovers everything.
+    let crashed = fs.crashed_view(end);
+    let mut rdb = Db::open(crashed, "shard0", small_db(), end).unwrap();
+    let got = dump(&mut rdb, end);
+    for group in &groups {
+        for (key, value) in group {
+            assert_eq!(got.get(key).map(Vec::as_slice), Some(value.as_slice()));
+        }
+    }
+}

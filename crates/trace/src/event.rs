@@ -48,10 +48,14 @@ pub enum EventClass {
     FaultCorruptWrite = 15,
     /// A FLUSH the fault injector acknowledged without draining.
     FaultDroppedFlush = 16,
+    /// One coalesced group commit on a store shard: leader drain start →
+    /// merged batch durable. `bytes` is the merged payload; the span
+    /// covers every follower the leader carried.
+    GroupCommit = 17,
 }
 
 /// Number of event classes (length of [`EventClass::ALL`]).
-pub const N_CLASSES: usize = 17;
+pub const N_CLASSES: usize = 18;
 
 impl EventClass {
     /// Every class, in discriminant order.
@@ -73,6 +77,7 @@ impl EventClass {
         EventClass::FaultTornWrite,
         EventClass::FaultCorruptWrite,
         EventClass::FaultDroppedFlush,
+        EventClass::GroupCommit,
     ];
 
     /// Stable snake_case name, used in JSON output.
@@ -95,6 +100,7 @@ impl EventClass {
             EventClass::FaultTornWrite => "fault_torn_write",
             EventClass::FaultCorruptWrite => "fault_corrupt_write",
             EventClass::FaultDroppedFlush => "fault_dropped_flush",
+            EventClass::GroupCommit => "group_commit",
         }
     }
 
@@ -118,7 +124,8 @@ impl EventClass {
             | EventClass::EngineGet
             | EventClass::MinorCompaction
             | EventClass::MajorCompaction
-            | EventClass::WriteStall => "engine",
+            | EventClass::WriteStall
+            | EventClass::GroupCommit => "engine",
         }
     }
 

@@ -129,7 +129,7 @@ pub fn readrandom(db: &mut Db, n: u64, records: u64, seed: u64, start: Nanos) ->
     let mut latencies = LatencyHistogram::new();
     for _ in 0..n {
         let k = rng.gen_range(0..records);
-        let (got, t) = db.get(now, &key(k))?;
+        let (got, t) = db.get_at_time(now, &key(k))?;
         latencies.record(t - now);
         now = t;
         if got.is_some() {
@@ -161,7 +161,7 @@ pub fn readhot(db: &mut Db, n: u64, records: u64, seed: u64, start: Nanos) -> Re
     let mut latencies = LatencyHistogram::new();
     for _ in 0..n {
         let k = rng.gen_range(0..hot);
-        let (_, t) = db.get(now, &key(k))?;
+        let (_, t) = db.get_at_time(now, &key(k))?;
         latencies.record(t - now);
         now = t;
     }
@@ -237,7 +237,7 @@ mod tests {
         let mut db = small_db();
         let r1 = fillrandom(&mut db, 500, 64, 1, Nanos::ZERO).unwrap();
         let r2 = overwrite(&mut db, 500, 64, 1, r1.finished).unwrap();
-        let (got, _) = db.get(r2.finished, &key(42)).unwrap();
+        let (got, _) = db.get_at_time(r2.finished, &key(42)).unwrap();
         assert_eq!(got, Some(value(42, 1, 64)), "overwrite round visible");
     }
 

@@ -119,7 +119,7 @@ impl Trace {
         for op in &self.ops {
             let end = match op {
                 TraceOp::Put(k, v) => db.put(now, k, v)?,
-                TraceOp::Get(k) => db.get(now, k)?.1,
+                TraceOp::Get(k) => db.get_at_time(now, k)?.1,
                 TraceOp::Delete(k) => db.delete(now, k)?,
                 TraceOp::Scan(k, n) => db.scan(now, k, *n)?.1,
             };
@@ -210,9 +210,9 @@ mod tests {
         let fs = Ext4Fs::new(Ext4Config::default());
         let mut db = Db::open(fs, "db", Options::default(), Nanos::ZERO).unwrap();
         let r = t.replay(&mut db, Nanos::ZERO).unwrap();
-        let (alpha, t2) = db.get(r.finished, b"alpha").unwrap();
+        let (alpha, t2) = db.get_at_time(r.finished, b"alpha").unwrap();
         assert_eq!(alpha, None, "deleted by the trace");
-        let (beta, _) = db.get(t2, b"beta").unwrap();
+        let (beta, _) = db.get_at_time(t2, b"beta").unwrap();
         assert_eq!(beta, Some(vec![0x00, 0xff, 0x7f]));
     }
 }

@@ -166,7 +166,7 @@ pub fn run(
             YcsbWorkload::D => {
                 if rng.gen_bool(0.95) {
                     let k = latest.next(record_count, &mut rng);
-                    db.get(now, &key(k))?.1
+                    db.get_at_time(now, &key(k))?.1
                 } else {
                     let k = record_count;
                     record_count += 1;
@@ -190,7 +190,7 @@ pub fn run(
                 } else {
                     // Read-modify-write.
                     let k = zipf.next(&mut rng) % record_count;
-                    let (_, t) = db.get(now, &key(k))?;
+                    let (_, t) = db.get_at_time(now, &key(k))?;
                     db.put(t, &key(k), &value(k, 2, value_size))?
                 }
             }
@@ -219,7 +219,7 @@ fn read(
     now: Nanos,
 ) -> Result<Nanos> {
     let k = zipf.next(rng) % records;
-    Ok(db.get(now, &key(k))?.1)
+    Ok(db.get_at_time(now, &key(k))?.1)
 }
 
 fn update(
@@ -283,7 +283,7 @@ mod tests {
         let (mut db, t0) = db_with_records(1000);
         let r = run(&mut db, YcsbWorkload::D, 1000, 1000, 100, 1, 5, t0).unwrap();
         // ~5 % inserts: some keys beyond the initial range must now exist.
-        let (got, _) = db.get(r.finished, &key(1000)).unwrap();
+        let (got, _) = db.get_at_time(r.finished, &key(1000)).unwrap();
         assert!(got.is_some(), "insert phase must have added key 1000");
     }
 

@@ -46,7 +46,7 @@ fn main() -> Result<(), noblsm::DbError> {
     let mut lost = 0u32;
     let mut t = crash_at;
     for i in 0..n {
-        let (got, t2) = recovered.get(t, &key(i))?;
+        let (got, t2) = recovered.get_at_time(t, &key(i))?;
         t = t2;
         match got {
             Some(v) => {

@@ -5,9 +5,9 @@
 
 use nob_ext4::{Ext4Config, Ext4Fs};
 use nob_sim::Nanos;
-use noblsm::{Db, Options, SyncMode};
+use noblsm::{Db, Options, ReadOptions, SyncMode, WriteBatch, WriteOptions};
 
-fn main() -> Result<(), noblsm::DbError> {
+fn main() -> Result<(), noblsm::Error> {
     // A simulated PM883-class SSD formatted as Ext4 (data=ordered).
     let fs = Ext4Fs::new(Ext4Config::default());
 
@@ -16,30 +16,32 @@ fn main() -> Result<(), noblsm::DbError> {
     let opts = Options::default().with_sync_mode(SyncMode::NobLsm).with_table_size(256 << 10); // small tables so compactions happen fast
     let mut db = Db::open(fs.clone(), "demo", opts, Nanos::ZERO)?;
 
-    // Everything is timed on a virtual clock that you thread through calls.
-    let mut now = Nanos::ZERO;
+    // Everything is timed on the engine's shared virtual clock
+    // (`db.clock()`) — no timestamps to thread through calls.
     println!("writing 5000 key-value pairs…");
     for i in 0..5000u32 {
         let key = format!("user{:08}", i * 37 % 5000);
         let value = format!("profile-data-for-{i}-{}", "x".repeat(100));
-        now = db.put(now, key.as_bytes(), value.as_bytes())?;
+        let mut batch = WriteBatch::new();
+        batch.put(key.as_bytes(), value.as_bytes());
+        db.write(&WriteOptions::default(), batch)?;
     }
 
     // Point reads.
-    let (value, t) = db.get(now, b"user00000037")?;
-    now = t;
+    let value = db.get(&ReadOptions::default(), b"user00000037")?;
     println!("get(user00000037) -> {} bytes", value.map_or(0, |v| v.len()));
 
     // Deletes hide values.
-    now = db.delete(now, b"user00000037")?;
-    let (gone, t) = db.get(now, b"user00000037")?;
-    now = t;
+    let mut batch = WriteBatch::new();
+    batch.delete(b"user00000037");
+    db.write(&WriteOptions::default(), batch)?;
+    let gone = db.get(&ReadOptions::default(), b"user00000037")?;
     assert!(gone.is_none());
     println!("after delete -> not found");
 
     // Range scan through the merged view of memtable + all levels.
-    let (rows, t) = db.scan(now, b"user00000100", 5)?;
-    now = t;
+    let now = db.clock().now();
+    let (rows, mut now) = db.scan(now, b"user00000100", 5)?;
     println!("scan from user00000100:");
     for (k, v) in &rows {
         println!("  {} ({} bytes)", String::from_utf8_lossy(k), v.len());

@@ -1,2 +1,3 @@
 //! Workspace umbrella crate: integration tests and examples live here.
+pub use nob_store;
 pub use noblsm;

@@ -91,7 +91,7 @@ fn ycsb_full_sequence_on_noblsm_with_crash_at_the_end() {
     let mut t = now;
     let mut found = 0;
     for i in (0..records).step_by(59) {
-        let (got, t2) = recovered.get(t, &key(i)).unwrap();
+        let (got, t2) = recovered.get_at_time(t, &key(i)).unwrap();
         t = t2;
         if got.is_some() {
             found += 1;
@@ -117,7 +117,7 @@ fn crash_consistency_matches_between_leveldb_and_noblsm() {
         let mut corrupt = 0;
         let mut intact = 0u64;
         for i in 0..n {
-            let (got, t2) = rdb.get(t, &key(i)).unwrap();
+            let (got, t2) = rdb.get_at_time(t, &key(i)).unwrap();
             t = t2;
             match got {
                 Some(v) if v == value(i, 0, 256) => intact += 1,
