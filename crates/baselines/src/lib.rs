@@ -26,7 +26,9 @@
 //! let fs = Ext4Fs::new(Ext4Config::default());
 //! let base = Options::default().with_table_size(64 << 20);
 //! let mut db = Variant::NobLsm.open(fs, "db", &base, Nanos::ZERO)?;
-//! db.put(Nanos::ZERO, b"k", b"v")?;
+//! let mut batch = noblsm::WriteBatch::new();
+//! batch.put(b"k", b"v");
+//! db.write(&noblsm::WriteOptions::default(), batch)?;
 //! # Ok(())
 //! # }
 //! ```
@@ -187,6 +189,7 @@ impl std::fmt::Display for Variant {
 mod tests {
     use super::*;
     use nob_ext4::Ext4Config;
+    use noblsm::{WriteBatch, WriteOptions};
 
     fn base() -> Options {
         let mut o = Options::default().with_table_size(32 << 10);
@@ -196,6 +199,13 @@ mod tests {
 
     fn fs() -> Ext4Fs {
         Ext4Fs::new(Ext4Config::default().with_page_cache(8 << 20))
+    }
+
+    fn put_at(db: &mut Db, now: Nanos, key: &[u8], value: &[u8]) -> Nanos {
+        db.clock().advance_to(now);
+        let mut batch = WriteBatch::new();
+        batch.put(key, value);
+        db.write(&WriteOptions::default(), batch).unwrap()
     }
 
     fn key(i: u64) -> Vec<u8> {
@@ -208,7 +218,7 @@ mod tests {
             let k = (i * 2654435761) % n;
             let mut v = format!("val{k}-").into_bytes();
             v.resize(vlen, b'z');
-            now = db.put(now, &key(k), &v).unwrap();
+            now = put_at(db, now, &key(k), &v);
         }
         db.wait_idle(now).unwrap()
     }
@@ -298,7 +308,7 @@ mod tests {
                 let k = if state % 10 < 9 { state % 100 } else { 100 + (i % 1900) };
                 let mut val = format!("v{k}-{i}").into_bytes();
                 val.resize(128, b'q');
-                now = db.put(now, &key(k), &val).unwrap();
+                now = put_at(&mut db, now, &key(k), &val);
             }
             db.wait_idle(now).unwrap();
             let hot_files: usize =

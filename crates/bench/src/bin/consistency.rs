@@ -11,6 +11,13 @@ use nob_bench::{Scale, PAPER_TABLE_LARGE};
 use nob_sim::Nanos;
 use nob_workloads::keys::{key, shuffled, value};
 
+fn put_at(db: &mut noblsm::Db, now: Nanos, key: &[u8], value: &[u8]) -> Nanos {
+    db.clock().advance_to(now);
+    let mut batch = noblsm::WriteBatch::new();
+    batch.put(key, value);
+    db.write(&noblsm::WriteOptions::default(), batch).expect("put")
+}
+
 fn main() {
     let scale = Scale::from_args(256);
     let ops = scale.micro_ops();
@@ -25,7 +32,7 @@ fn main() {
             let order = shuffled(ops, rep);
             let mut now = Nanos::ZERO;
             for &k in &order {
-                now = db.put(now, &key(k), &value(k, 0, 1024)).expect("put");
+                now = put_at(&mut db, now, &key(k), &value(k, 0, 1024));
             }
             // `halt -f -p -n`: no flushing of dirty data, power off at a
             // repetition-specific instant during the (virtual) run.

@@ -1,0 +1,36 @@
+//! Network-serving sweep: fixed-seed closed-loop load through
+//! `nob-server`'s loopback transport, over client count under the Sync,
+//! Async and NobLSM write disciplines.
+//!
+//! Writes `target/nob-results/fig_server.json` (rendered by `report`)
+//! and prints one throughput/latency table per discipline.
+//!
+//! Usage: `fig_server [--scale N]` (default scale 512, the shape the
+//! golden test pins byte-for-byte).
+
+use nob_bench::server::{fig_server, fig_server_json};
+use nob_bench::shards::disciplines;
+use nob_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args(512);
+    let cells = fig_server(scale);
+    for (name, _, _) in disciplines() {
+        println!("== {name} — serving throughput by client count ==");
+        println!("{:>10} {:>12} {:>10} {:>10} {:>8}", "clients", "ops/s", "p50", "p99", "coalesce");
+        for c in cells.iter().filter(|c| c.name == name) {
+            let factor = if c.groups > 0 { c.batches as f64 / c.groups as f64 } else { 0.0 };
+            println!(
+                "{:>10} {:>12.0} {:>9.1}u {:>9.1}u {:>7.1}x",
+                c.clients, c.throughput, c.p50_us, c.p99_us, factor
+            );
+        }
+        println!();
+    }
+    let doc = fig_server_json(&cells, scale);
+    let dir = std::path::Path::new("target/nob-results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join("fig_server.json");
+    std::fs::write(&path, &doc).expect("write results json");
+    println!("wrote {} ({} bytes)", path.display(), doc.len());
+}

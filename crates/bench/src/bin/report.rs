@@ -243,6 +243,70 @@ fn render_shards(doc: &Json, out: &mut String) -> Option<()> {
     Some(())
 }
 
+/// Renders a `fig_server` document: the serving sweep as one
+/// clients-by-discipline grid of throughput, tail latency and the
+/// group-commit coalescing factor measured through the wire protocol.
+fn render_server(doc: &Json, out: &mut String) -> Option<()> {
+    let cells = doc.get("server_cells")?.as_array()?;
+    let scale = doc.get("scale").and_then(Json::as_f64).unwrap_or(0.0);
+    let ops = doc.get("ops").and_then(Json::as_f64).unwrap_or(0.0);
+    let shards = doc.get("shards").and_then(Json::as_f64).unwrap_or(0.0);
+    let _ = writeln!(out, "## fig_server — pipelined network serving\n");
+    let _ = writeln!(
+        out,
+        "*scale 1/{scale:.0}; {ops:.0} SET requests per cell over {shards:.0} shards via the \
+         loopback wire protocol; throughput in requests/s, latency is send → durable reply, \
+         `batches/groups` is the coalescing factor*\n"
+    );
+    let mut names: Vec<&str> = Vec::new();
+    let mut client_counts: Vec<usize> = Vec::new();
+    for c in cells {
+        let name = c.get("name")?.as_str()?;
+        let clients = c.get("clients")?.as_f64()? as usize;
+        if !names.contains(&name) {
+            names.push(name);
+        }
+        if !client_counts.contains(&clients) {
+            client_counts.push(clients);
+        }
+    }
+    let _ = write!(out, "| clients |");
+    for n in &names {
+        let _ = write!(out, " {n} ops/s (p99) |");
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, "|---|");
+    for _ in &names {
+        let _ = write!(out, "---|");
+    }
+    let _ = writeln!(out);
+    for clients in &client_counts {
+        let _ = write!(out, "| {clients} |");
+        for n in &names {
+            let cell = cells.iter().find(|c| {
+                c.get("name").and_then(Json::as_str) == Some(n)
+                    && c.get("clients").and_then(Json::as_f64) == Some(*clients as f64)
+            });
+            match cell {
+                Some(c) => {
+                    let t = c.get("throughput_ops_s").and_then(Json::as_f64).unwrap_or(0.0);
+                    let p99 = c.get("p99_us").and_then(Json::as_f64).unwrap_or(0.0);
+                    let groups = c.get("groups").and_then(Json::as_f64).unwrap_or(0.0);
+                    let batches = c.get("batches").and_then(Json::as_f64).unwrap_or(0.0);
+                    let factor = if groups > 0.0 { batches / groups } else { 0.0 };
+                    let _ = write!(out, " {t:.0} ({p99:.0}us, {factor:.1}×) |");
+                }
+                None => {
+                    let _ = write!(out, " – |");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(out);
+    Some(())
+}
+
 /// Sums an integer field over the sweep's per-case results.
 fn sum_field(results: &[Json], key: &str) -> u64 {
     results.iter().filter_map(|r| r.get(key).and_then(Json::as_f64)).sum::<f64>() as u64
@@ -403,6 +467,8 @@ fn main() {
                     render_timelines(&exp, &mut out).is_some()
                 } else if exp.get("shard_cells").is_some() {
                     render_shards(&exp, &mut out).is_some()
+                } else if exp.get("server_cells").is_some() {
+                    render_server(&exp, &mut out).is_some()
                 } else {
                     render(&exp, &mut out).is_some()
                 };

@@ -19,6 +19,7 @@ use noblsm::Options;
 pub mod json;
 pub mod output;
 pub mod scenarios;
+pub mod server;
 pub mod shards;
 pub mod smoke;
 pub mod timeline;

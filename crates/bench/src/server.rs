@@ -1,0 +1,250 @@
+//! The `fig_server` experiment: a closed-loop multi-client load generator
+//! driving `nob-server`'s deterministic loopback transport, swept over
+//! client count under the three write disciplines (Sync, Async, NobLSM).
+//!
+//! Every client is a real [`nob_server::Client`] speaking the wire
+//! protocol over [`nob_server::LoopbackTransport`] — frames are encoded,
+//! decoded and admission-controlled exactly as over TCP, but the whole
+//! stack shares one virtual clock, so the sweep is bit-for-bit
+//! deterministic and golden-pinned.
+//!
+//! The sweep shows the serving layer preserving both store-level results
+//! end to end:
+//!
+//! 1. **Group commit survives the wire.** N clients pipelining into the
+//!    engine thread coalesce into per-shard groups, so Sync's per-op
+//!    FLUSH cost falls as the client count grows.
+//! 2. **NobLSM keeps its ordering through the server.** At every client
+//!    count, NobLSM ≥ Async ≥ Sync aggregate throughput, same as the
+//!    paper's single-process runs.
+
+use nob_baselines::Variant;
+use nob_server::{shared, Client, LoopbackTransport, Request, ServerCore, ServerOptions};
+use nob_store::StoreOptions;
+use nob_workloads::LatencyHistogram;
+use noblsm::WriteOptions;
+
+use crate::shards::disciplines;
+use crate::Scale;
+
+/// Fixed workload shape: every cell issues the same `OPS` SET requests
+/// from the same seed-42 LCG stream (plus a read round every
+/// `READ_EVERY` rounds); only the client count differs. `OPS` is
+/// divisible by every client count in the sweep.
+pub const OPS: u64 = 2_400;
+const VALUE: usize = 256;
+const SEED: u64 = 42;
+const KEYSPACE: u64 = 100_000;
+/// Every this-many rounds, each client chases its SET with a pipelined
+/// GET of the key it just wrote (and checks the value round-trips).
+const READ_EVERY: u64 = 8;
+
+/// Client counts on the sweep's x-axis.
+pub const CLIENT_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Hash-partitioned shards behind the server in every cell.
+pub const SHARDS: usize = 2;
+
+/// One cell of the sweep: a (discipline, clients) configuration and what
+/// the serving stack did under it.
+#[derive(Debug, Clone)]
+pub struct ServerCell {
+    /// Write discipline (`Sync`, `Async`, `NobLSM`).
+    pub name: String,
+    /// Concurrent pipelining clients.
+    pub clients: usize,
+    /// SET requests served (identical across cells by construction).
+    pub ops: u64,
+    /// Aggregate write throughput in requests per virtual second.
+    pub throughput: f64,
+    /// Median SET latency (send → durable reply), microseconds.
+    pub p50_us: f64,
+    /// Tail SET latency, microseconds.
+    pub p99_us: f64,
+    /// Coalesced groups the store committed (engine writes issued).
+    pub groups: u64,
+    /// Writer batches retired; `batches / groups` is the amortization.
+    pub batches: u64,
+}
+
+/// Runs one cell: `clients` loopback connections each pipeline one SET
+/// per round; the first reply pull flushes the round's writes as one
+/// group-commit drain, so every client's write in a round shares the
+/// sync cost. A GET round every `READ_EVERY` rounds exercises the
+/// read barrier under the same clock.
+pub fn run_cell(
+    name: &str,
+    variant: Variant,
+    wopts: WriteOptions,
+    clients: usize,
+    scale: Scale,
+) -> ServerCell {
+    let opts = ServerOptions {
+        store: StoreOptions {
+            shards: SHARDS,
+            fs: scale.fs_config(),
+            db: variant.options(&scale.base_options(crate::PAPER_TABLE_LARGE)),
+            ..StoreOptions::default()
+        },
+        write: wopts,
+        ..ServerOptions::default()
+    };
+    let core = shared(ServerCore::open(opts).expect("open server core"));
+    let clock = core.borrow().clock().clone();
+    let mut conns: Vec<Client<LoopbackTransport>> =
+        (0..clients).map(|_| Client::new(LoopbackTransport::connect(&core))).collect();
+
+    let rounds = OPS / clients as u64;
+    assert_eq!(rounds * clients as u64, OPS, "sweep shape must divide the op count");
+    let started = clock.now();
+    let mut latencies = LatencyHistogram::new();
+    let mut state = SEED;
+    for round in 0..rounds {
+        let sent_at = clock.now();
+        let mut keys = Vec::with_capacity(clients);
+        for c in conns.iter_mut() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let k = state % KEYSPACE;
+            let key = format!("key{k:08}").into_bytes();
+            let mut value = format!("val{k}-").into_bytes();
+            value.resize(VALUE, b'x');
+            c.send(&Request::Set(key.clone(), value)).expect("pipeline SET");
+            if round % READ_EVERY == READ_EVERY - 1 {
+                c.send(&Request::Get(key.clone())).expect("pipeline GET");
+            }
+            keys.push(key);
+        }
+        // Pulling the first reply flushes the whole round through the
+        // group-commit queue; every SET in the round lands in that drain.
+        for (c, key) in conns.iter_mut().zip(&keys) {
+            let reply = c.recv_reply().expect("SET reply");
+            assert!(!reply.is_error(), "SET must succeed: {reply:?}");
+            if round % READ_EVERY == READ_EVERY - 1 {
+                match c.recv_reply().expect("GET reply") {
+                    nob_server::Frame::Bulk(v) => {
+                        assert!(v.starts_with(b"val"), "GET returns the written value")
+                    }
+                    other => panic!("GET must hit the just-written key {key:?}, got {other:?}"),
+                }
+            }
+        }
+        let durable = clock.now();
+        for _ in 0..clients {
+            latencies.record(durable - sent_at);
+        }
+    }
+    let elapsed = clock.now() - started;
+    let stats = core.borrow().store().stats();
+    ServerCell {
+        name: name.to_string(),
+        clients,
+        ops: OPS,
+        throughput: OPS as f64 / elapsed.as_secs_f64(),
+        p50_us: latencies.quantile(0.50).as_micros_f64(),
+        p99_us: latencies.quantile(0.99).as_micros_f64(),
+        groups: stats.groups,
+        batches: stats.batches,
+    }
+}
+
+/// The full sweep, discipline-major then clients — the order the JSON
+/// document and the report table use. Reuses the store sweep's
+/// discipline triple so the two figures stay comparable.
+pub fn fig_server(scale: Scale) -> Vec<ServerCell> {
+    let mut cells = Vec::new();
+    for (name, variant, wopts) in disciplines() {
+        for &clients in &CLIENT_COUNTS {
+            cells.push(run_cell(name, variant, wopts, clients, scale));
+        }
+    }
+    cells
+}
+
+/// Serialises the sweep; the `"server_cells"` key is the schema marker.
+/// Deterministic under the fixed seed — the golden test pins these bytes.
+pub fn fig_server_json(cells: &[ServerCell], scale: Scale) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"figure\": \"fig_server\",\n");
+    out.push_str(&format!("  \"scale\": {},\n", scale.factor));
+    out.push_str(&format!("  \"ops\": {OPS},\n"));
+    out.push_str(&format!("  \"shards\": {SHARDS},\n"));
+    out.push_str("  \"server_cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"clients\": {}, \"ops\": {}, \
+             \"throughput_ops_s\": {:.3}, \"p50_us\": {:.3}, \"p99_us\": {:.3}, \
+             \"groups\": {}, \"batches\": {}}}",
+            c.name, c.clients, c.ops, c.throughput, c.p50_us, c.p99_us, c.groups, c.batches,
+        ));
+        out.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell<'a>(cells: &'a [ServerCell], name: &str, clients: usize) -> &'a ServerCell {
+        cells.iter().find(|c| c.name == name && c.clients == clients).expect("cell present")
+    }
+
+    #[test]
+    fn ordering_holds_at_every_client_count() {
+        let cells = sweep(Scale::new(512));
+        for &clients in &CLIENT_COUNTS {
+            let sync = cell(&cells, "Sync", clients).throughput;
+            let async_ = cell(&cells, "Async", clients).throughput;
+            let nob = cell(&cells, "NobLSM", clients).throughput;
+            assert!(
+                nob >= async_ && async_ >= sync,
+                "NobLSM >= Async >= Sync must hold at {clients} clients: \
+                 {nob:.0} {async_:.0} {sync:.0}"
+            );
+        }
+    }
+
+    #[test]
+    fn sync_throughput_climbs_with_clients() {
+        let cells = sweep(Scale::new(512));
+        let t1 = cell(&cells, "Sync", 1).throughput;
+        let t8 = cell(&cells, "Sync", 8).throughput;
+        assert!(t8 > t1, "pipelined clients must amortize Sync's flush cost: {t1:.0} -> {t8:.0}");
+    }
+
+    #[test]
+    fn pipelined_clients_coalesce() {
+        let scale = Scale::new(512);
+        let (name, variant, wopts) = disciplines()[0];
+        let lone = run_cell(name, variant, wopts, 1, scale);
+        let eight = run_cell(name, variant, wopts, 8, scale);
+        assert_eq!(lone.batches, eight.batches, "same SET count either way");
+        // Two shards and a read-barrier flush every READ_EVERY rounds cap
+        // the factor below the store-only sweep's; ≥2× still demonstrates
+        // group commit working through the wire.
+        assert!(
+            eight.groups * 2 <= eight.batches,
+            "eight pipelining clients must coalesce substantially: \
+             {} groups for {} batches",
+            eight.groups,
+            eight.batches
+        );
+        assert!(eight.groups < lone.groups, "more clients, fewer engine writes");
+    }
+
+    #[test]
+    fn fixed_seed_document_is_deterministic() {
+        let scale = Scale::new(512);
+        let a = fig_server_json(&fig_server(scale), scale);
+        let b = fig_server_json(&fig_server(scale), scale);
+        assert_eq!(a, b);
+        assert!(crate::json::Json::parse(&a).is_some(), "document must parse");
+    }
+
+    /// One sweep per scale, memoised across the assertions above.
+    fn sweep(scale: Scale) -> Vec<ServerCell> {
+        use std::sync::OnceLock;
+        static SWEEP: OnceLock<Vec<ServerCell>> = OnceLock::new();
+        SWEEP.get_or_init(|| fig_server(scale)).clone()
+    }
+}

@@ -1,0 +1,36 @@
+//! Golden-file test: the fixed-seed `fig_server` sweep must produce a
+//! byte-identical JSON document against the checked-in fixture — pinning
+//! every cell's throughput, latency percentiles and coalescing ratio of
+//! the full client → wire protocol → admission → store → engine path.
+//!
+//! If a change *intentionally* alters timing or the schema, regenerate
+//! the fixture:
+//!
+//! ```sh
+//! NOB_BLESS=1 cargo test -p nob-bench --test golden_server
+//! ```
+//!
+//! and review the diff like any other golden update.
+
+use nob_bench::server::{fig_server, fig_server_json};
+use nob_bench::Scale;
+
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/fig_server.json");
+
+#[test]
+fn fig_server_document_matches_golden_file() {
+    let scale = Scale::new(512);
+    let got = fig_server_json(&fig_server(scale), scale);
+    if std::env::var_os("NOB_BLESS").is_some() {
+        std::fs::write(GOLDEN, &got).expect("bless golden file");
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN).expect(
+        "missing golden fixture; generate with NOB_BLESS=1 cargo test -p nob-bench --test golden_server",
+    );
+    assert_eq!(
+        got, want,
+        "fig_server diverged from tests/golden/fig_server.json; \
+         if intentional, rebless with NOB_BLESS=1"
+    );
+}

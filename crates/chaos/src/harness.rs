@@ -175,7 +175,12 @@ pub fn prepare_run(case: &ChaosCase) -> PreparedRun {
         match roll {
             0..=7 => {
                 let (key, value) = (kname(k), vname(k, v, case.value_size));
-                now = db.put(now, &key, &value).expect("live put cannot fail");
+                db.clock().advance_to(now);
+                let mut batch = noblsm::WriteBatch::new();
+                batch.put(&key, &value);
+                now = db
+                    .write(&noblsm::WriteOptions::default(), batch)
+                    .expect("live put cannot fail");
                 history.entry(key.clone()).or_default().push(value.clone());
                 model.insert(key, Some(value));
             }

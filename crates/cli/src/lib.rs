@@ -47,6 +47,8 @@
 //! assert!(out.contains("hello"));
 //! ```
 
+pub mod net;
+
 use std::fmt::Write as _;
 
 use nob_baselines::Variant;

@@ -1,18 +1,66 @@
 //! `noblsm-cli` — an interactive shell (or script runner) over the NobLSM
-//! simulation.
+//! simulation, plus the network subcommands.
 //!
 //! ```sh
 //! noblsm-cli                 # interactive
 //! noblsm-cli script.txt      # run a command script
+//! noblsm-cli serve --addr 127.0.0.1:6380 --shards 4
+//! noblsm-cli bench-net --clients 8 --ops 4000 [--addr host:port]
 //! ```
 
 use std::io::{BufRead, Write};
 
 use nob_cli::Session;
 
+/// Reads `--flag value` from an argument list, else the default.
+fn flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    args.windows(2).find(|w| w[0] == name).and_then(|w| w[1].parse().ok()).unwrap_or(default)
+}
+
+fn serve_cmd(args: &[String]) {
+    let addr: String = flag(args, "--addr", "127.0.0.1:6380".to_string());
+    let shards: usize = flag(args, "--shards", 2);
+    let server = nob_cli::net::serve(&addr, shards).unwrap_or_else(|e| {
+        eprintln!("cannot serve on {addr}: {e}");
+        std::process::exit(1);
+    });
+    println!("serving {shards} shard(s) on {}; press Enter to stop", server.local_addr());
+    let mut line = String::new();
+    let _ = std::io::stdin().lock().read_line(&mut line);
+    match server.shutdown() {
+        Ok(core) => {
+            let stats = core.store().stats();
+            println!("drained: {} groups for {} batches; goodbye", stats.groups, stats.batches);
+        }
+        Err(e) => {
+            eprintln!("shutdown error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn bench_net_cmd(args: &[String]) {
+    let clients: usize = flag(args, "--clients", 8);
+    let ops: u64 = flag(args, "--ops", 4_000);
+    let value_size: usize = flag(args, "--value-size", 100);
+    let addr: Option<String> = args.windows(2).find(|w| w[0] == "--addr").map(|w| w[1].clone());
+    match nob_cli::net::bench_net(addr.as_deref(), clients, ops, value_size) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("bench-net failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let mut session = Session::new();
     let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("serve") => return serve_cmd(&args[2..]),
+        Some("bench-net") => return bench_net_cmd(&args[2..]),
+        _ => {}
+    }
     if let Some(path) = args.get(1) {
         let script = std::fs::read_to_string(path).unwrap_or_else(|e| {
             eprintln!("cannot read {path}: {e}");

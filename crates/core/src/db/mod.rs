@@ -110,8 +110,8 @@ pub struct Db {
 
 /// A consistent read view pinned at a sequence number.
 ///
-/// Obtained from [`Db::snapshot`]; reads through
-/// [`Db::get_at`]/[`Db::iter_at_snapshot`] see exactly the database state
+/// Obtained from [`Db::snapshot`]; reads through [`Db::get`]/[`Db::iter`]
+/// with [`ReadOptions::at`] see exactly the database state
 /// at creation time, regardless of later writes. Entries a snapshot can
 /// still see are preserved across compactions until the snapshot is
 /// released with [`Db::release_snapshot`].
@@ -128,7 +128,7 @@ impl Snapshot {
     }
 }
 
-/// An atomic batch of writes, applied through [`Db::write_batch`] with a
+/// An atomic batch of writes, applied through [`Db::write`] with a
 /// single WAL record: after a crash, either every operation in the batch
 /// is recovered or none is.
 #[derive(Debug, Default, Clone)]
@@ -589,18 +589,6 @@ impl Db {
         self.write_entries(now, &entries, *wopts)
     }
 
-    /// Inserts or overwrites `key`.
-    ///
-    /// Deprecated since 0.3.0: build a [`WriteBatch`] and call
-    /// [`Db::write`]; this shim survives one release.
-    ///
-    /// # Errors
-    ///
-    /// Propagates filesystem errors.
-    pub fn put(&mut self, now: Nanos, key: &[u8], value: &[u8]) -> Result<Nanos> {
-        self.write_one(now, key, value, ValueType::Value, WriteOptions::default())
-    }
-
     /// Deletes `key` (writes a tombstone).
     ///
     /// Deprecated since 0.3.0: build a [`WriteBatch`] and call
@@ -613,24 +601,6 @@ impl Db {
         self.write_one(now, key, b"", ValueType::Deletion, WriteOptions::default())
     }
 
-    /// Inserts with explicit [`WriteOptions`] (e.g. a synced WAL write).
-    ///
-    /// Deprecated since 0.3.0: build a [`WriteBatch`] and call
-    /// [`Db::write`]; this shim survives one release.
-    ///
-    /// # Errors
-    ///
-    /// Propagates filesystem errors.
-    pub fn put_opt(
-        &mut self,
-        now: Nanos,
-        key: &[u8],
-        value: &[u8],
-        wopts: WriteOptions,
-    ) -> Result<Nanos> {
-        self.write_one(now, key, value, ValueType::Value, wopts)
-    }
-
     fn write_one(
         &mut self,
         now: Nanos,
@@ -640,30 +610,6 @@ impl Db {
         wopts: WriteOptions,
     ) -> Result<Nanos> {
         let entries = [(vt, key, value)];
-        self.write_entries(now, &entries, wopts)
-    }
-
-    /// Applies an atomic [`WriteBatch`] (one WAL record, consecutive
-    /// sequence numbers) at an explicit instant.
-    ///
-    /// Deprecated since 0.3.0: call [`Db::write`], which reads the shared
-    /// clock instead of a caller-threaded `now`; this shim survives one
-    /// release.
-    ///
-    /// # Errors
-    ///
-    /// Propagates filesystem errors.
-    pub fn write_batch(
-        &mut self,
-        now: Nanos,
-        batch: &WriteBatch,
-        wopts: WriteOptions,
-    ) -> Result<Nanos> {
-        if batch.is_empty() {
-            return Ok(now);
-        }
-        let entries: Vec<(ValueType, &[u8], &[u8])> =
-            batch.entries.iter().map(|(vt, k, v)| (*vt, k.as_slice(), v.as_slice())).collect();
         self.write_entries(now, &entries, wopts)
     }
 
@@ -718,36 +664,6 @@ impl Db {
     /// The oldest sequence number any reader may still need.
     fn smallest_snapshot(&self) -> crate::SequenceNumber {
         self.snapshots.values().copied().min().unwrap_or(self.versions.last_sequence)
-    }
-
-    /// Reads `key` as of `snapshot`.
-    ///
-    /// Deprecated since 0.3.0: call [`Db::get`] with
-    /// [`ReadOptions::at`]; this shim survives one release.
-    ///
-    /// # Errors
-    ///
-    /// Propagates filesystem/corruption errors.
-    pub fn get_at(
-        &mut self,
-        now: Nanos,
-        key: &[u8],
-        snapshot: &Snapshot,
-    ) -> Result<(Option<Vec<u8>>, Nanos)> {
-        self.get_internal(now, key, snapshot.seq, true)
-    }
-
-    /// Creates an iterator over the state pinned by `snapshot`.
-    ///
-    /// Deprecated since 0.3.0: prefer [`Db::iter`] with
-    /// [`ReadOptions::at`]; this shim survives one release.
-    ///
-    /// # Errors
-    ///
-    /// Propagates filesystem/corruption errors.
-    pub fn iter_at_snapshot(&mut self, now: Nanos, snapshot: &Snapshot) -> Result<DbIterator<'_>> {
-        let seq = snapshot.seq;
-        self.iter_internal(now, seq)
     }
 
     /// Manually compacts every level whose files overlap

@@ -1,18 +1,19 @@
 //! Engine error type.
 
 use std::fmt;
+use std::sync::Arc;
 
 use nob_ext4::FsError;
 
 /// Errors returned by [`Db`](crate::Db) and the on-disk format readers.
 ///
 /// This is the workspace-wide error currency: crates layered above the
-/// engine (`nob-store`, `nob-chaos`, `nob-cli`, `nob-bench`) re-export it
-/// as [`Error`] instead of defining per-crate stringly errors, so `?`
-/// propagates across layers. (`nob-trace` and `nob-metrics` sit *below*
-/// the engine in the dependency graph and are infallible by design, so
-/// they have nothing to convert.)
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// engine (`nob-store`, `nob-server`, `nob-chaos`, `nob-cli`, `nob-bench`)
+/// re-export it as [`Error`] instead of defining per-crate stringly
+/// errors, so `?` propagates across layers. (`nob-trace` and
+/// `nob-metrics` sit *below* the engine in the dependency graph and are
+/// infallible by design, so they have nothing to convert.)
+#[derive(Debug, Clone)]
 pub enum DbError {
     /// An underlying filesystem error.
     Fs(FsError),
@@ -23,7 +24,30 @@ pub enum DbError {
     /// The caller used an API incorrectly (bad argument, wrong state).
     /// Carried by the front-end layers (store routing, CLI dispatch).
     Usage(String),
+    /// A real OS I/O error from the network boundary (`nob-server`'s TCP
+    /// transport). The source is preserved behind an [`Arc`] so the error
+    /// stays `Clone` while `source()` still walks the causal chain.
+    Io(Arc<std::io::Error>),
 }
+
+impl PartialEq for DbError {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (DbError::Fs(a), DbError::Fs(b)) => a == b,
+            (DbError::Corruption(a), DbError::Corruption(b)) => a == b,
+            (DbError::InvalidDb(a), DbError::InvalidDb(b)) => a == b,
+            (DbError::Usage(a), DbError::Usage(b)) => a == b,
+            // `std::io::Error` is not `PartialEq`; kind + message is the
+            // closest stable identity and is what tests assert on.
+            (DbError::Io(a), DbError::Io(b)) => {
+                a.kind() == b.kind() && a.to_string() == b.to_string()
+            }
+            _ => false,
+        }
+    }
+}
+
+impl Eq for DbError {}
 
 /// Workspace-wide alias for [`DbError`], the single error type shared by
 /// every fallible layer above the simulator.
@@ -36,6 +60,7 @@ impl fmt::Display for DbError {
             DbError::Corruption(m) => write!(f, "corruption: {m}"),
             DbError::InvalidDb(m) => write!(f, "invalid database: {m}"),
             DbError::Usage(m) => write!(f, "usage: {m}"),
+            DbError::Io(e) => write!(f, "io error: {e}"),
         }
     }
 }
@@ -44,6 +69,7 @@ impl std::error::Error for DbError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             DbError::Fs(e) => Some(e),
+            DbError::Io(e) => Some(&**e),
             _ => None,
         }
     }
@@ -52,6 +78,12 @@ impl std::error::Error for DbError {
 impl From<FsError> for DbError {
     fn from(e: FsError) -> Self {
         DbError::Fs(e)
+    }
+}
+
+impl From<std::io::Error> for DbError {
+    fn from(e: std::io::Error) -> Self {
+        DbError::Io(Arc::new(e))
     }
 }
 
@@ -92,5 +124,25 @@ mod tests {
     fn error_is_send_sync() {
         fn check<T: std::error::Error + Send + Sync + 'static>() {}
         check::<DbError>();
+    }
+
+    #[test]
+    fn io_error_converts_preserving_source() {
+        let e: DbError = std::io::Error::new(std::io::ErrorKind::BrokenPipe, "peer gone").into();
+        assert!(e.to_string().contains("peer gone"));
+        let src = e.source().expect("io source preserved");
+        assert!(src.downcast_ref::<std::io::Error>().is_some());
+    }
+
+    #[test]
+    fn io_errors_compare_by_kind_and_message() {
+        let mk = || -> DbError {
+            std::io::Error::new(std::io::ErrorKind::ConnectionReset, "reset").into()
+        };
+        assert_eq!(mk(), mk());
+        let other: DbError =
+            std::io::Error::new(std::io::ErrorKind::ConnectionReset, "other").into();
+        assert_ne!(mk(), other);
+        assert_ne!(mk(), DbError::Usage("reset".into()));
     }
 }

@@ -1,0 +1,44 @@
+//! Shared helpers for the engine integration tests: canonical-API
+//! equivalents of the removed positional write shims (`Db::put`,
+//! `Db::put_opt`, `Db::write_batch`), preserving the explicit
+//! `now`-threading style the timing assertions rely on. Each helper
+//! advances the engine's shared clock to the caller's instant, then goes
+//! through [`Db::write`] — the same path production callers use.
+
+#![allow(dead_code)]
+
+use nob_sim::Nanos;
+use noblsm::{Db, Result, WriteBatch, WriteOptions};
+
+/// Inserts or overwrites `key` at `now` with default write options.
+pub fn put(db: &mut Db, now: Nanos, key: &[u8], value: &[u8]) -> Result<Nanos> {
+    put_with(db, now, key, value, &WriteOptions::default())
+}
+
+/// Inserts with explicit [`WriteOptions`] (e.g. a synced WAL write).
+pub fn put_with(
+    db: &mut Db,
+    now: Nanos,
+    key: &[u8],
+    value: &[u8],
+    wopts: &WriteOptions,
+) -> Result<Nanos> {
+    db.clock().advance_to(now);
+    let mut batch = WriteBatch::new();
+    batch.put(key, value);
+    db.write(wopts, batch)
+}
+
+/// Applies an atomic [`WriteBatch`] at `now`.
+pub fn write_batch_at(
+    db: &mut Db,
+    now: Nanos,
+    batch: &WriteBatch,
+    wopts: &WriteOptions,
+) -> Result<Nanos> {
+    if batch.is_empty() {
+        return Ok(now);
+    }
+    db.clock().advance_to(now);
+    db.write(wopts, batch.clone())
+}

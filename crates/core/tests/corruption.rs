@@ -3,6 +3,8 @@
 //! typed `DbError::Corruption` under `paranoid_checks` — never a panic
 //! and never a silent skip.
 
+mod common;
+
 use nob_ext4::{Ext4Config, Ext4Fs};
 use nob_sim::Nanos;
 use nob_ssd::{FaultInjector, InjectorHandle, WriteClass, WriteCmd, WriteFault};
@@ -32,7 +34,7 @@ fn crashed_fs_with_corrupt_wal() -> (Ext4Fs, Nanos) {
     let mut now = Nanos::ZERO;
     // Buffered WAL appends only — small enough that nothing flushes.
     for i in 0..20 {
-        now = db.put(now, format!("k{i:04}").as_bytes(), b"v").unwrap();
+        now = common::put(&mut db, now, format!("k{i:04}").as_bytes(), b"v").unwrap();
     }
     // The WAL's write-back happens inside the next async commit, with the
     // device now corrupting data payloads.
@@ -79,7 +81,7 @@ fn clean_crash_recovery_reports_no_corruption() {
     let mut db = Db::open(fs.clone(), "db", opts(), Nanos::ZERO).unwrap();
     let mut now = Nanos::ZERO;
     for i in 0..20 {
-        now = db.put(now, format!("k{i:04}").as_bytes(), b"v").unwrap();
+        now = common::put(&mut db, now, format!("k{i:04}").as_bytes(), b"v").unwrap();
     }
     let crash_at = now + Nanos::from_secs(6);
     fs.tick(crash_at);

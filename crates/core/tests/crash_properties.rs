@@ -3,6 +3,8 @@
 //! it is never lost after a crash, in NobLSM mode exactly as in LevelDB
 //! mode.
 
+mod common;
+
 use std::collections::HashMap;
 
 use nob_ext4::{Ext4Config, Ext4Fs};
@@ -68,7 +70,7 @@ fn apply_ops(
         match op {
             Op::Put(k, v) => {
                 let (key, value) = (kname(*k), vname(*k, *v));
-                now = db.put(now, &key, &value).unwrap();
+                now = common::put(db, now, &key, &value).unwrap();
                 history.entry(key.clone()).or_default().push(value.clone());
                 model.insert(key, Some(value));
             }
@@ -184,7 +186,7 @@ proptest! {
         let mut history: HashMap<Vec<u8>, Vec<Vec<u8>>> = HashMap::new();
         for (k, v) in &first {
             let (key, value) = (kname(*k), vname(*k, *v));
-            now = db.put(now, &key, &value).unwrap();
+            now = common::put(&mut db, now, &key, &value).unwrap();
             history.entry(key.clone()).or_default().push(value.clone());
             acked.insert(key, value);
         }
@@ -193,7 +195,7 @@ proptest! {
         // More writes + compactions, never synced again.
         for (k, v) in &second {
             let (key, value) = (kname(*k), vname(*k, *v));
-            now = db.put(now, &key, &value).unwrap();
+            now = common::put(&mut db, now, &key, &value).unwrap();
             history.entry(key.clone()).or_default().push(value.clone());
         }
         now = db.wait_idle(now).unwrap();

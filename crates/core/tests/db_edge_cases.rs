@@ -1,6 +1,8 @@
 //! Edge-case tests for the engine: empty databases, synced writes, WAL
 //! replay on clean reopen, seek compactions, file-space hygiene.
 
+mod common;
+
 use nob_ext4::{Ext4Config, Ext4Fs};
 use nob_sim::Nanos;
 use noblsm::{Db, Options, SyncMode, WriteOptions};
@@ -39,8 +41,8 @@ fn synced_wal_write_survives_immediate_crash() {
     let mut db = Db::open(fs.clone(), "db", opts(SyncMode::NobLsm), Nanos::ZERO).unwrap();
     // Write WITHOUT sync, then one WITH sync: the synced write (and, per
     // WAL ordering, everything before it in the log) must survive.
-    let now = db.put(Nanos::ZERO, &key(1), b"unsynced").unwrap();
-    let now = db.put_opt(now, &key(2), b"synced", WriteOptions::synced()).unwrap();
+    let now = common::put(&mut db, Nanos::ZERO, &key(1), b"unsynced").unwrap();
+    let now = common::put_with(&mut db, now, &key(2), b"synced", &WriteOptions::synced()).unwrap();
     let mut rdb = Db::open(fs.crashed_view(now), "db", opts(SyncMode::NobLsm), now).unwrap();
     let (v2, t) = rdb.get_at_time(now, &key(2)).unwrap();
     assert_eq!(v2.as_deref(), Some(&b"synced"[..]), "synced write lost");
@@ -58,7 +60,7 @@ fn clean_reopen_replays_wal_only_data() {
     {
         let mut db = Db::open(fs.clone(), "db", opts(SyncMode::Always), Nanos::ZERO).unwrap();
         for i in 0..10 {
-            now = db.put(now, &key(i), b"memtable-only").unwrap();
+            now = common::put(&mut db, now, &key(i), b"memtable-only").unwrap();
         }
         assert_eq!(db.level_file_counts().iter().sum::<usize>(), 0, "nothing flushed");
     }
@@ -77,7 +79,7 @@ fn double_open_same_directory_recovers_not_clobbers() {
     {
         let mut db = Db::open(fs.clone(), "db", opts(SyncMode::Always), Nanos::ZERO).unwrap();
         for i in 0..500 {
-            now = db.put(now, &key(i), b"v").unwrap();
+            now = common::put(&mut db, now, &key(i), b"v").unwrap();
         }
         now = db.flush(now).unwrap();
     }
@@ -99,11 +101,11 @@ fn seek_compactions_fire_under_repeated_misses() {
     // seek budget, exactly LevelDB's seek-compaction trigger.
     let mut now = Nanos::ZERO;
     for i in (0..400u64).filter(|i| i % 2 == 0) {
-        now = db.put(now, &key(i), &[1u8; 64]).unwrap();
+        now = common::put(&mut db, now, &key(i), &[1u8; 64]).unwrap();
     }
     now = db.flush(now).unwrap();
     for i in (0..400u64).filter(|i| i % 2 == 1) {
-        now = db.put(now, &key(i), &[2u8; 64]).unwrap();
+        now = common::put(&mut db, now, &key(i), &[2u8; 64]).unwrap();
     }
     now = db.flush(now).unwrap();
     now = db.wait_idle(now).unwrap();
@@ -138,11 +140,11 @@ fn seek_compactions_land_in_the_per_level_breakdown() {
     let mut db = Db::open(fs, "db", o, Nanos::ZERO).unwrap();
     let mut now = Nanos::ZERO;
     for i in (0..400u64).filter(|i| i % 2 == 0) {
-        now = db.put(now, &key(i), &[1u8; 64]).unwrap();
+        now = common::put(&mut db, now, &key(i), &[1u8; 64]).unwrap();
     }
     now = db.flush(now).unwrap();
     for i in (0..400u64).filter(|i| i % 2 == 1) {
-        now = db.put(now, &key(i), &[2u8; 64]).unwrap();
+        now = common::put(&mut db, now, &key(i), &[2u8; 64]).unwrap();
     }
     now = db.flush(now).unwrap();
     now = db.wait_idle(now).unwrap();
@@ -182,7 +184,7 @@ fn file_space_is_clean_after_settling() {
         let mut db = Db::open(fs.clone(), "db", opts(mode), Nanos::ZERO).unwrap();
         let mut now = Nanos::ZERO;
         for i in 0..3000u64 {
-            now = db.put(now, &key(i * 7919 % 3000), &[3u8; 128]).unwrap();
+            now = common::put(&mut db, now, &key(i * 7919 % 3000), &[3u8; 128]).unwrap();
         }
         now = db.settle(now).unwrap();
         // A couple of commit intervals so deferred deletions land.
@@ -205,7 +207,7 @@ fn overwrite_heavy_load_converges_and_stays_small() {
     let mut now = Nanos::ZERO;
     for round in 0..200u64 {
         for i in 0..50u64 {
-            now = db.put(now, &key(i), format!("r{round}").as_bytes()).unwrap();
+            now = common::put(&mut db, now, &key(i), format!("r{round}").as_bytes()).unwrap();
         }
     }
     now = db.settle(now).unwrap();
@@ -227,7 +229,7 @@ fn values_of_every_size_round_trip() {
     let mut now = Nanos::ZERO;
     let sizes = [0usize, 1, 255, 4096, 70_000];
     for (i, len) in sizes.iter().enumerate() {
-        now = db.put(now, &key(i as u64), &vec![i as u8; *len]).unwrap();
+        now = common::put(&mut db, now, &key(i as u64), &vec![i as u8; *len]).unwrap();
     }
     now = db.flush(now).unwrap();
     for (i, len) in sizes.iter().enumerate() {
@@ -250,7 +252,7 @@ fn compressed_tables_round_trip() {
         // Mostly-zero values compress very well.
         let mut v = vec![0u8; 256];
         v[0] = (i % 251) as u8;
-        now = db.put(now, &key(i), &v).unwrap();
+        now = common::put(&mut db, now, &key(i), &v).unwrap();
     }
     now = db.flush(now).unwrap();
     now = db.wait_idle(now).unwrap();
@@ -283,7 +285,8 @@ fn compressed_and_uncompressed_dbs_hold_same_data() {
         let mut db = Db::open(fs, "db", o, Nanos::ZERO).unwrap();
         let mut now = Nanos::ZERO;
         for i in 0..800u64 {
-            now = db.put(now, &key(i), format!("v{}", i % 10).repeat(20).as_bytes()).unwrap();
+            now = common::put(&mut db, now, &key(i), format!("v{}", i % 10).repeat(20).as_bytes())
+                .unwrap();
         }
         now = db.wait_idle(now).unwrap();
         let mut it = db.iter_at(now).unwrap();

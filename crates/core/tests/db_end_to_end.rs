@@ -1,6 +1,8 @@
 //! End-to-end engine tests: write/read cycles through compactions,
 //! recovery, and the NobLSM mode.
 
+mod common;
+
 use nob_ext4::{Ext4Config, Ext4Fs};
 use nob_sim::Nanos;
 use noblsm::{CompactionStyle, Db, Options, SyncMode};
@@ -31,7 +33,7 @@ fn value(i: u64, len: usize) -> Vec<u8> {
 fn load(db: &mut Db, n: u64, vlen: usize, mut now: Nanos) -> Nanos {
     for i in 0..n {
         let k = (i * 2654435761) % n; // permutation-ish shuffle
-        now = db.put(now, &key(k), &value(k, vlen)).unwrap();
+        now = common::put(db, now, &key(k), &value(k, vlen)).unwrap();
     }
     now
 }
@@ -42,7 +44,7 @@ fn put_get_round_trip_small() {
     let mut db = Db::open(fs, "db", small_opts(SyncMode::Always), Nanos::ZERO).unwrap();
     let mut now = Nanos::ZERO;
     for i in 0..100 {
-        now = db.put(now, &key(i), &value(i, 100)).unwrap();
+        now = common::put(&mut db, now, &key(i), &value(i, 100)).unwrap();
     }
     for i in 0..100 {
         let (got, t) = db.get_at_time(now, &key(i)).unwrap();
@@ -79,7 +81,7 @@ fn overwrites_return_newest() {
     let mut now = Nanos::ZERO;
     for round in 0..5u64 {
         for i in 0..500u64 {
-            now = db.put(now, &key(i), &value(i * 1000 + round, 100)).unwrap();
+            now = common::put(&mut db, now, &key(i), &value(i * 1000 + round, 100)).unwrap();
         }
     }
     now = db.wait_idle(now).unwrap();
@@ -214,7 +216,7 @@ fn crash_mid_load_noblsm_preserves_flushed_prefix() {
     // Sequential keys so "flushed prefix" is easy to reason about.
     let mut acked_through: Option<u64> = None;
     for i in 0..n {
-        now = db.put(now, &key(i), &value(i, 100)).unwrap();
+        now = common::put(&mut db, now, &key(i), &value(i, 100)).unwrap();
         if db.stats().minor_compactions > 0 {
             // Everything written before the last completed flush is
             // durable only after that flush's sync; track a conservative
@@ -356,9 +358,9 @@ fn hot_cold_style_preserves_data_under_skew() {
     let mut now = Nanos::ZERO;
     // Skewed overwrites: keys 0..50 hammered, 50..2000 written once.
     for i in 0..2000u64 {
-        now = db.put(now, &key(i), &value(i, 128)).unwrap();
+        now = common::put(&mut db, now, &key(i), &value(i, 128)).unwrap();
         let hot = i % 50;
-        now = db.put(now, &key(hot), &value(hot * 7 + i, 128)).unwrap();
+        now = common::put(&mut db, now, &key(hot), &value(hot * 7 + i, 128)).unwrap();
     }
     now = db.wait_idle(now).unwrap();
     db.check_invariants().unwrap();
@@ -375,7 +377,7 @@ fn flush_forces_memtable_out() {
     let mut db = Db::open(fs, "db", small_opts(SyncMode::Always), Nanos::ZERO).unwrap();
     let mut now = Nanos::ZERO;
     for i in 0..10 {
-        now = db.put(now, &key(i), &value(i, 50)).unwrap();
+        now = common::put(&mut db, now, &key(i), &value(i, 50)).unwrap();
     }
     assert_eq!(db.level_file_counts()[0], 0);
     now = db.flush(now).unwrap();

@@ -1,6 +1,8 @@
 //! Tests for `Db::repair`: rebuilding metadata from surviving files after
 //! the MANIFEST/CURRENT are lost, and for `approximate_size`.
 
+mod common;
+
 use nob_ext4::{Ext4Config, Ext4Fs};
 use nob_sim::Nanos;
 use noblsm::{Db, DbError, Options, SyncMode};
@@ -29,10 +31,10 @@ fn build(fs: &Ext4Fs, n: u64) -> Nanos {
     let mut db = Db::open(fs.clone(), "db", opts(), Nanos::ZERO).unwrap();
     let mut now = Nanos::ZERO;
     for i in 0..n {
-        now = db.put(now, &key(i), &val(i, 0)).unwrap();
+        now = common::put(&mut db, now, &key(i), &val(i, 0)).unwrap();
     }
     for i in 0..n / 2 {
-        now = db.put(now, &key(i), &val(i, 1)).unwrap();
+        now = common::put(&mut db, now, &key(i), &val(i, 1)).unwrap();
     }
     now = db.flush(now).unwrap();
     db.settle(now).unwrap()
@@ -69,7 +71,7 @@ fn repair_replays_surviving_wals() {
     let mut db = Db::open(fs.clone(), "db", opts(), Nanos::ZERO).unwrap();
     let mut now = Nanos::ZERO;
     for i in 0..20u64 {
-        now = db.put(now, &key(i), &val(i, 0)).unwrap();
+        now = common::put(&mut db, now, &key(i), &val(i, 0)).unwrap();
     }
     // Nothing flushed: the data lives only in the WAL. Kill the metadata.
     drop(db);
@@ -153,7 +155,7 @@ fn approximate_size_tracks_range_width() {
     let mut db = Db::open(fs, "db", opts(), Nanos::ZERO).unwrap();
     let mut now = Nanos::ZERO;
     for i in 0..2000u64 {
-        now = db.put(now, &key(i), &val(i, 0)).unwrap();
+        now = common::put(&mut db, now, &key(i), &val(i, 0)).unwrap();
     }
     now = db.flush(now).unwrap();
     db.wait_idle(now).unwrap();

@@ -1,6 +1,8 @@
 //! Tests for reverse iteration: `seek_to_last`/`prev` across memtable,
 //! multi-level tables, tombstones, snapshots, and direction switches.
 
+mod common;
+
 use std::collections::BTreeMap;
 
 use nob_ext4::{Ext4Config, Ext4Fs};
@@ -25,7 +27,7 @@ fn backward_equals_reversed_forward() {
     let mut now = Nanos::ZERO;
     // Data spread over memtable + several table generations + deletes.
     for i in 0..1500u64 {
-        now = db.put(now, &key(i * 7919 % 1500), &[1u8; 64]).unwrap();
+        now = common::put(&mut db, now, &key(i * 7919 % 1500), &[1u8; 64]).unwrap();
     }
     for i in (0..1500).step_by(5) {
         now = db.delete(now, &key(i)).unwrap();
@@ -60,7 +62,7 @@ fn direction_switches_mid_stream() {
     let mut db = small_db(SyncMode::Always);
     let mut now = Nanos::ZERO;
     for i in 0..100u64 {
-        now = db.put(now, &key(i), format!("v{i}").as_bytes()).unwrap();
+        now = common::put(&mut db, now, &key(i), format!("v{i}").as_bytes()).unwrap();
     }
     now = db.flush(now).unwrap();
     let mut it = db.iter_at(now).unwrap();
@@ -83,7 +85,7 @@ fn prev_from_first_invalidates_and_next_from_last_invalidates() {
     let mut db = small_db(SyncMode::Always);
     let mut now = Nanos::ZERO;
     for i in 0..10u64 {
-        now = db.put(now, &key(i), b"v").unwrap();
+        now = common::put(&mut db, now, &key(i), b"v").unwrap();
     }
     {
         let mut it = db.iter_at(now).unwrap();
@@ -103,15 +105,16 @@ fn backward_respects_snapshots() {
     let mut db = small_db(SyncMode::NobLsm);
     let mut now = Nanos::ZERO;
     for i in 0..50u64 {
-        now = db.put(now, &key(i), b"old").unwrap();
+        now = common::put(&mut db, now, &key(i), b"old").unwrap();
     }
     let snap = db.snapshot();
     for i in 0..50u64 {
-        now = db.put(now, &key(i), b"new").unwrap();
+        now = common::put(&mut db, now, &key(i), b"new").unwrap();
     }
-    now = db.put(now, &key(999), b"invisible").unwrap();
+    now = common::put(&mut db, now, &key(999), b"invisible").unwrap();
     now = db.wait_idle(now).unwrap();
-    let mut it = db.iter_at_snapshot(now, &snap).unwrap();
+    db.clock().advance_to(now);
+    let mut it = db.iter(&noblsm::ReadOptions::at(&snap)).unwrap();
     it.seek_to_last().unwrap();
     assert_eq!(it.key(), key(49), "key 999 is invisible at the snapshot");
     let mut n = 0;
@@ -154,7 +157,7 @@ proptest! {
                 model.remove(&kb);
             } else {
                 let v = format!("val{k}-{action}").into_bytes();
-                now = db.put(now, &kb, &v).unwrap();
+                now = common::put(&mut db, now, &kb, &v).unwrap();
                 model.insert(kb, v);
             }
         }

@@ -2,9 +2,11 @@
 //! that survive compactions), atomic write batches, manual range
 //! compaction, and introspection properties.
 
+mod common;
+
 use nob_ext4::{Ext4Config, Ext4Fs};
 use nob_sim::Nanos;
-use noblsm::{Db, Options, SyncMode, WriteBatch, WriteOptions};
+use noblsm::{Db, Options, ReadOptions, SyncMode, WriteBatch, WriteOptions};
 
 fn small_db(mode: SyncMode) -> (Db, Ext4Fs) {
     let fs = Ext4Fs::new(Ext4Config::default().with_page_cache(8 << 20));
@@ -20,13 +22,14 @@ fn key(i: u64) -> Vec<u8> {
 #[test]
 fn snapshot_pins_point_reads() {
     let (mut db, _fs) = small_db(SyncMode::NobLsm);
-    let now = db.put(Nanos::ZERO, b"k", b"v1").unwrap();
+    let now = common::put(&mut db, Nanos::ZERO, b"k", b"v1").unwrap();
     let snap = db.snapshot();
-    let now = db.put(now, b"k", b"v2").unwrap();
+    let now = common::put(&mut db, now, b"k", b"v2").unwrap();
     let now = db.delete(now, b"other").unwrap();
     let (live, t) = db.get_at_time(now, b"k").unwrap();
     assert_eq!(live.as_deref(), Some(&b"v2"[..]));
-    let (pinned, _) = db.get_at(t, b"k", &snap).unwrap();
+    db.clock().advance_to(t);
+    let pinned = db.get(&ReadOptions::at(&snap), b"k").unwrap();
     assert_eq!(pinned.as_deref(), Some(&b"v1"[..]), "snapshot must see the old value");
     db.release_snapshot(snap);
 }
@@ -36,22 +39,23 @@ fn snapshot_survives_compactions() {
     let (mut db, _fs) = small_db(SyncMode::Always);
     let mut now = Nanos::ZERO;
     for i in 0..200u64 {
-        now = db.put(now, &key(i), b"old").unwrap();
+        now = common::put(&mut db, now, &key(i), b"old").unwrap();
     }
     let snap = db.snapshot();
     // Heavy overwriting forces minor + major compactions; the snapshot's
     // versions must not be dropped by the dedup pass.
     for round in 0..10u64 {
         for i in 0..200u64 {
-            now = db.put(now, &key(i), format!("new{round}").as_bytes()).unwrap();
+            now = common::put(&mut db, now, &key(i), format!("new{round}").as_bytes()).unwrap();
         }
     }
     now = db.settle(now).unwrap();
     assert!(db.stats().major_compactions > 0, "compactions must have happened");
-    let (pinned, t) = db.get_at(now, &key(42), &snap).unwrap();
+    db.clock().advance_to(now);
+    let pinned = db.get(&ReadOptions::at(&snap), &key(42)).unwrap();
     assert_eq!(pinned.as_deref(), Some(&b"old"[..]), "compaction dropped a pinned version");
     // A snapshot iterator sees the whole old state.
-    let mut it = db.iter_at_snapshot(t, &snap).unwrap();
+    let mut it = db.iter(&ReadOptions::at(&snap)).unwrap();
     it.seek_to_first().unwrap();
     let mut n = 0;
     while it.valid() {
@@ -69,11 +73,11 @@ fn released_snapshot_versions_get_compacted_away() {
     let (mut db, _fs) = small_db(SyncMode::Always);
     let mut now = Nanos::ZERO;
     for i in 0..100u64 {
-        now = db.put(now, &key(i), b"old").unwrap();
+        now = common::put(&mut db, now, &key(i), b"old").unwrap();
     }
     let snap = db.snapshot();
     for i in 0..100u64 {
-        now = db.put(now, &key(i), b"new").unwrap();
+        now = common::put(&mut db, now, &key(i), b"new").unwrap();
     }
     db.release_snapshot(snap);
     now = db.settle(now).unwrap();
@@ -100,7 +104,8 @@ fn write_batch_is_atomic_across_crash() {
     }
     batch.delete(&key(0));
     assert_eq!(batch.len(), 51);
-    let now = db.write_batch(Nanos::ZERO, &batch, WriteOptions::synced()).unwrap();
+    let now =
+        common::write_batch_at(&mut db, Nanos::ZERO, &batch, &WriteOptions::synced()).unwrap();
     // Crash immediately: the synced batch must be fully present.
     let mut rdb = Db::open(fs.crashed_view(now), "db", db.options().clone(), now).unwrap();
     let mut t = now;
@@ -118,7 +123,8 @@ fn write_batch_is_atomic_across_crash() {
 fn empty_batch_is_a_noop() {
     let (mut db, _fs) = small_db(SyncMode::Always);
     let batch = WriteBatch::new();
-    let now = db.write_batch(Nanos::ZERO, &batch, WriteOptions::default()).unwrap();
+    let now =
+        common::write_batch_at(&mut db, Nanos::ZERO, &batch, &WriteOptions::default()).unwrap();
     assert_eq!(now, Nanos::ZERO);
     assert_eq!(db.stats().writes, 0);
 }
@@ -128,7 +134,7 @@ fn compact_range_pushes_everything_down() {
     let (mut db, _fs) = small_db(SyncMode::Always);
     let mut now = Nanos::ZERO;
     for i in 0..2000u64 {
-        now = db.put(now, &key(i * 31 % 2000), &[7u8; 64]).unwrap();
+        now = common::put(&mut db, now, &key(i * 31 % 2000), &[7u8; 64]).unwrap();
     }
     now = db.compact_range(now, None, None).unwrap();
     let counts = db.level_file_counts();
@@ -144,7 +150,7 @@ fn compact_range_respects_bounds() {
     let (mut db, _fs) = small_db(SyncMode::Always);
     let mut now = Nanos::ZERO;
     for i in 0..1000u64 {
-        now = db.put(now, &key(i), &[7u8; 64]).unwrap();
+        now = common::put(&mut db, now, &key(i), &[7u8; 64]).unwrap();
     }
     now = db.flush(now).unwrap();
     // Compacting an empty range is a no-op beyond the flush.
@@ -159,7 +165,7 @@ fn properties_report_engine_state() {
     let (mut db, _fs) = small_db(SyncMode::NobLsm);
     let mut now = Nanos::ZERO;
     for i in 0..500u64 {
-        now = db.put(now, &key(i), &[1u8; 64]).unwrap();
+        now = common::put(&mut db, now, &key(i), &[1u8; 64]).unwrap();
     }
     now = db.flush(now).unwrap();
     assert_eq!(
@@ -175,7 +181,7 @@ fn properties_report_engine_state() {
     assert_eq!(db.property("noblsm.nope"), None);
     // Force some majors, then the compaction-stats table must show them.
     for i in 0..3000u64 {
-        now = db.put(now, &key(i % 700), &[2u8; 64]).unwrap();
+        now = common::put(&mut db, now, &key(i % 700), &[2u8; 64]).unwrap();
     }
     db.wait_idle(now).unwrap();
     let table = db.property("noblsm.compaction-stats").unwrap();
@@ -187,12 +193,12 @@ fn properties_report_engine_state() {
 #[test]
 fn batched_and_single_writes_interleave_correctly() {
     let (mut db, _fs) = small_db(SyncMode::Always);
-    let mut now = db.put(Nanos::ZERO, b"a", b"1").unwrap();
+    let mut now = common::put(&mut db, Nanos::ZERO, b"a", b"1").unwrap();
     let mut batch = WriteBatch::new();
     batch.put(b"b", b"2");
     batch.put(b"a", b"3"); // overwrites the single put
-    now = db.write_batch(now, &batch, WriteOptions::default()).unwrap();
-    now = db.put(now, b"b", b"4").unwrap();
+    now = common::write_batch_at(&mut db, now, &batch, &WriteOptions::default()).unwrap();
+    now = common::put(&mut db, now, b"b", b"4").unwrap();
     let (a, t) = db.get_at_time(now, b"a").unwrap();
     let (b, _) = db.get_at_time(t, b"b").unwrap();
     assert_eq!(a.as_deref(), Some(&b"3"[..]));
@@ -205,7 +211,8 @@ fn multi_get_reads_one_consistent_view() {
     let mut batch = WriteBatch::new();
     batch.put(b"a", b"1");
     batch.put(b"b", b"2");
-    let now = db.write_batch(Nanos::ZERO, &batch, WriteOptions::default()).unwrap();
+    let now =
+        common::write_batch_at(&mut db, Nanos::ZERO, &batch, &WriteOptions::default()).unwrap();
     let (got, t) = db.multi_get(now, &[b"a", b"missing", b"b"]).unwrap();
     assert_eq!(got, vec![Some(b"1".to_vec()), None, Some(b"2".to_vec())], "results in input order");
     assert!(t > now);

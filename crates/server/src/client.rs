@@ -1,0 +1,267 @@
+//! Pipelining client over any [`Transport`].
+//!
+//! Two usage styles:
+//!
+//! * **Synchronous conveniences** — [`get`](Client::get),
+//!   [`set`](Client::set), … send one request and wait for its reply.
+//! * **Pipelining** — [`send`](Client::send) any number of requests
+//!   without waiting, then collect replies in order with
+//!   [`recv_reply`](Client::recv_reply). Replies arrive strictly in
+//!   request order; [`outstanding`](Client::outstanding) tracks the open
+//!   window.
+//!
+//! Admission pushback surfaces as an error whose message starts with
+//! `BUSY`; test with [`is_busy_error`].
+
+use noblsm::{Error, Result};
+
+use crate::proto::{Decoder, Frame, Request};
+use crate::transport::Transport;
+
+/// Whether `e` is the server's admission-control pushback (retryable).
+pub fn is_busy_error(e: &Error) -> bool {
+    matches!(e, Error::Usage(m) if m.starts_with("BUSY"))
+}
+
+/// A pipelining RESP client. See the module docs.
+pub struct Client<T> {
+    transport: T,
+    decoder: Decoder,
+    outstanding: usize,
+}
+
+impl<T: Transport> Client<T> {
+    /// Wraps a connected transport.
+    pub fn new(transport: T) -> Client<T> {
+        Client { transport, decoder: Decoder::new(), outstanding: 0 }
+    }
+
+    /// Requests sent whose replies have not been received yet.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// The underlying transport (tests).
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    /// Ships one request without waiting for its reply.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn send(&mut self, req: &Request) -> Result<()> {
+        self.transport.send(&req.to_frame().to_bytes())?;
+        self.outstanding += 1;
+        Ok(())
+    }
+
+    /// Receives the next reply, in request order.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Usage`] when no request is outstanding, the peer closed
+    /// mid-reply, or the reply stream is malformed; transport failures
+    /// pass through.
+    pub fn recv_reply(&mut self) -> Result<Frame> {
+        if self.outstanding == 0 {
+            return Err(Error::Usage("recv_reply with no outstanding request".into()));
+        }
+        loop {
+            match self.decoder.next_frame() {
+                Ok(Some(frame)) => {
+                    self.outstanding -= 1;
+                    return Ok(frame);
+                }
+                Ok(None) => {}
+                Err(e) => return Err(Error::Usage(format!("reply stream desynced: {e}"))),
+            }
+            let mut chunk = Vec::new();
+            if self.transport.recv(&mut chunk)? == 0 {
+                return Err(Error::Usage("connection closed with replies outstanding".into()));
+            }
+            self.decoder.push(&chunk);
+        }
+    }
+
+    /// Turns a reply frame into `Result`, mapping `-ERR`/`-BUSY` to
+    /// [`Error::Usage`].
+    fn expect(frame: Frame) -> Result<Frame> {
+        match frame {
+            Frame::Error(m) => Err(Error::Usage(m)),
+            f => Ok(f),
+        }
+    }
+
+    /// Round-trip GET.
+    ///
+    /// # Errors
+    ///
+    /// Server error replies and transport failures.
+    pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.send(&Request::Get(key.to_vec()))?;
+        match Self::expect(self.recv_reply()?)? {
+            Frame::Bulk(v) => Ok(Some(v)),
+            Frame::Nil => Ok(None),
+            other => Err(Error::Usage(format!("unexpected GET reply: {other:?}"))),
+        }
+    }
+
+    /// Round-trip SET.
+    ///
+    /// # Errors
+    ///
+    /// Server error replies (including BUSY) and transport failures.
+    pub fn set(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.send(&Request::Set(key.to_vec(), value.to_vec()))?;
+        Self::expect(self.recv_reply()?)?;
+        Ok(())
+    }
+
+    /// Round-trip DEL.
+    ///
+    /// # Errors
+    ///
+    /// Server error replies and transport failures.
+    pub fn del(&mut self, key: &[u8]) -> Result<()> {
+        self.send(&Request::Del(key.to_vec()))?;
+        Self::expect(self.recv_reply()?)?;
+        Ok(())
+    }
+
+    /// Round-trip MGET.
+    ///
+    /// # Errors
+    ///
+    /// Server error replies and transport failures.
+    pub fn mget(&mut self, keys: &[Vec<u8>]) -> Result<Vec<Option<Vec<u8>>>> {
+        self.send(&Request::MGet(keys.to_vec()))?;
+        match Self::expect(self.recv_reply()?)? {
+            Frame::Array(items) => items
+                .into_iter()
+                .map(|f| match f {
+                    Frame::Bulk(v) => Ok(Some(v)),
+                    Frame::Nil => Ok(None),
+                    other => Err(Error::Usage(format!("unexpected MGET element: {other:?}"))),
+                })
+                .collect(),
+            other => Err(Error::Usage(format!("unexpected MGET reply: {other:?}"))),
+        }
+    }
+
+    /// Round-trip BATCH; returns the operation count the server applied.
+    ///
+    /// # Errors
+    ///
+    /// Server error replies and transport failures.
+    pub fn batch(&mut self, ops: Vec<crate::proto::BatchOp>) -> Result<i64> {
+        self.send(&Request::Batch(ops))?;
+        match Self::expect(self.recv_reply()?)? {
+            Frame::Integer(n) => Ok(n),
+            other => Err(Error::Usage(format!("unexpected BATCH reply: {other:?}"))),
+        }
+    }
+
+    /// Round-trip PING.
+    ///
+    /// # Errors
+    ///
+    /// Server error replies and transport failures.
+    pub fn ping(&mut self) -> Result<()> {
+        self.send(&Request::Ping)?;
+        match Self::expect(self.recv_reply()?)? {
+            Frame::Simple(s) if s == "PONG" => Ok(()),
+            other => Err(Error::Usage(format!("unexpected PING reply: {other:?}"))),
+        }
+    }
+
+    /// Round-trip INFO; returns the server's stats text.
+    ///
+    /// # Errors
+    ///
+    /// Server error replies and transport failures.
+    pub fn info(&mut self) -> Result<String> {
+        self.send(&Request::Info)?;
+        match Self::expect(self.recv_reply()?)? {
+            Frame::Bulk(text) => Ok(String::from_utf8_lossy(&text).into_owned()),
+            other => Err(Error::Usage(format!("unexpected INFO reply: {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::core::{ServerCore, ServerOptions};
+    use crate::proto::BatchOp;
+    use crate::transport::{shared, LoopbackTransport};
+
+    use super::*;
+
+    fn loopback_client() -> Client<LoopbackTransport> {
+        let core = ServerCore::open(ServerOptions::default()).unwrap();
+        let core = shared(core);
+        Client::new(LoopbackTransport::connect(&core))
+    }
+
+    #[test]
+    fn conveniences_round_trip() {
+        let mut c = loopback_client();
+        c.ping().unwrap();
+        assert_eq!(c.get(b"missing").unwrap(), None);
+        c.set(b"k", b"v").unwrap();
+        assert_eq!(c.get(b"k").unwrap(), Some(b"v".to_vec()));
+        c.del(b"k").unwrap();
+        assert_eq!(c.get(b"k").unwrap(), None);
+        let n = c
+            .batch(vec![BatchOp::Put(b"a".to_vec(), b"1".to_vec()), BatchOp::Del(b"z".to_vec())])
+            .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(
+            c.mget(&[b"a".to_vec(), b"z".to_vec()]).unwrap(),
+            vec![Some(b"1".to_vec()), None]
+        );
+        assert!(c.info().unwrap().contains("# server"));
+    }
+
+    #[test]
+    fn pipelined_replies_arrive_in_request_order() {
+        let mut c = loopback_client();
+        for i in 0..32u32 {
+            c.send(&Request::Set(format!("k{i}").into_bytes(), i.to_string().into_bytes()))
+                .unwrap();
+        }
+        for i in 0..32u32 {
+            c.send(&Request::Get(format!("k{i}").into_bytes())).unwrap();
+        }
+        assert_eq!(c.outstanding(), 64);
+        for _ in 0..32 {
+            assert_eq!(c.recv_reply().unwrap(), Frame::ok());
+        }
+        for i in 0..32u32 {
+            assert_eq!(c.recv_reply().unwrap(), Frame::Bulk(i.to_string().into_bytes()));
+        }
+        assert_eq!(c.outstanding(), 0);
+    }
+
+    #[test]
+    fn recv_without_outstanding_is_a_usage_error() {
+        let mut c = loopback_client();
+        assert!(matches!(c.recv_reply(), Err(Error::Usage(_))));
+    }
+
+    #[test]
+    fn busy_pushback_is_detectable() {
+        let core = ServerCore::open(ServerOptions { max_inflight: 1, ..ServerOptions::default() })
+            .unwrap();
+        let core = shared(core);
+        let mut c = Client::new(LoopbackTransport::connect(&core));
+        // Two pipelined writes with a budget of one: the second must be
+        // rejected, and the rejection must classify as busy.
+        c.send(&Request::Set(b"a".to_vec(), b"1".to_vec())).unwrap();
+        c.send(&Request::Set(b"b".to_vec(), b"2".to_vec())).unwrap();
+        assert_eq!(c.recv_reply().unwrap(), Frame::ok());
+        let err = Client::<LoopbackTransport>::expect(c.recv_reply().unwrap()).unwrap_err();
+        assert!(is_busy_error(&err), "{err}");
+    }
+}

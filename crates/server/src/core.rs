@@ -1,0 +1,702 @@
+//! Transport-independent serving core: connection registry, request
+//! execution against the sharded store, admission control and in-order
+//! reply queues.
+//!
+//! [`ServerCore`] is single-threaded and owns the [`Store`]. Both
+//! transports drive the same three entry points:
+//!
+//! 1. [`feed`](ServerCore::feed) — raw bytes from a connection are
+//!    decoded, admitted and executed. Reads are answered immediately;
+//!    writes become group-commit tickets and their replies are parked
+//!    in the connection's ordered queue.
+//! 2. [`flush`](ServerCore::flush) — drains the store's group-commit
+//!    queue and resolves every parked write reply with its durable
+//!    outcome.
+//! 3. [`take_output`](ServerCore::take_output) — encodes the resolved
+//!    prefix of a connection's reply queue. Replies never overtake each
+//!    other: a BUSY rejection or read reply queued behind a parked write
+//!    stays behind it until the write resolves.
+//!
+//! Admission control is two-level: a global budget on unresolved write
+//! tickets (`max_inflight`) and a per-connection cap on queued replies
+//! (`pipeline_per_conn`). Either limit exhausted yields an explicit
+//! `-BUSY` reply — never a hang, never a dropped request.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use nob_metrics::{MetricKind, MetricsHub};
+use nob_sim::{Nanos, SharedClock};
+use nob_store::{Store, StoreOptions, Ticket};
+use nob_trace::{EventClass, TraceSink};
+use noblsm::{ReadOptions, Result, WriteBatch, WriteOptions};
+
+use crate::proto::{BatchOp, Decoder, Frame, Request, RequestClass};
+
+/// Configuration for [`ServerCore::open`].
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// The sharded store the server fronts.
+    pub store: StoreOptions,
+    /// Durability discipline applied to client writes (the Sync/Async
+    /// axis of the paper's figures).
+    pub write: WriteOptions,
+    /// Global budget: unresolved write tickets across all connections.
+    /// At the limit, further requests get `-BUSY` pushback.
+    pub max_inflight: usize,
+    /// Per-connection cap on queued (unsent) replies — the pipelining
+    /// window a single client may keep open.
+    pub pipeline_per_conn: usize,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            store: StoreOptions::default(),
+            write: WriteOptions::default(),
+            max_inflight: 1024,
+            pipeline_per_conn: 128,
+        }
+    }
+}
+
+/// Opaque connection handle issued by [`ServerCore::connect`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConnId(u64);
+
+/// What a parked write replies with once its ticket resolves.
+#[derive(Debug, Clone, Copy)]
+enum WriteReply {
+    /// `+OK` (SET / DEL).
+    Ok,
+    /// `:n` (BATCH operation count).
+    Count(i64),
+}
+
+/// One slot in a connection's ordered reply queue.
+#[derive(Debug)]
+enum PendingReply {
+    /// Fully formed; may be encoded as soon as it reaches the front.
+    Ready(Frame),
+    /// Waiting on a group-commit ticket.
+    Await { ticket: Ticket, start: Nanos, bytes: u64, reply: WriteReply },
+}
+
+#[derive(Debug, Default)]
+struct Conn {
+    decoder: Decoder,
+    replies: VecDeque<PendingReply>,
+    /// Unresolved write tickets this connection holds.
+    inflight: usize,
+    /// Set after a frame-level protocol error: the error reply is queued,
+    /// then the transport should close once output drains.
+    poisoned: bool,
+}
+
+/// Shared monotone counters surfaced as `server.*` metrics.
+#[derive(Debug, Default, Clone)]
+struct Counters {
+    requests_read: Arc<AtomicU64>,
+    requests_write: Arc<AtomicU64>,
+    requests_control: Arc<AtomicU64>,
+    busy_rejections: Arc<AtomicU64>,
+    protocol_errors: Arc<AtomicU64>,
+    bytes_in: Arc<AtomicU64>,
+    bytes_out: Arc<AtomicU64>,
+    conns: Arc<AtomicU64>,
+    inflight: Arc<AtomicU64>,
+}
+
+impl Counters {
+    fn bump(&self, class: RequestClass) {
+        let cell = match class {
+            RequestClass::Read => &self.requests_read,
+            RequestClass::Write => &self.requests_write,
+            RequestClass::Control => &self.requests_control,
+        };
+        cell.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The transport-independent serving core. See the module docs.
+pub struct ServerCore {
+    store: Store,
+    wopts: WriteOptions,
+    max_inflight: usize,
+    pipeline_per_conn: usize,
+    conns: BTreeMap<ConnId, Conn>,
+    next_conn: u64,
+    /// Unresolved write tickets across all connections.
+    inflight: usize,
+    trace: Option<TraceSink>,
+    counters: Counters,
+}
+
+impl ServerCore {
+    /// Opens the underlying store and an empty connection registry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Store::open`] failures; rejects zero budgets as
+    /// [`noblsm::Error::Usage`].
+    pub fn open(opts: ServerOptions) -> Result<ServerCore> {
+        if opts.max_inflight == 0 || opts.pipeline_per_conn == 0 {
+            return Err(noblsm::Error::Usage(
+                "max_inflight and pipeline_per_conn must be at least 1".into(),
+            ));
+        }
+        Ok(ServerCore {
+            store: Store::open(opts.store)?,
+            wopts: opts.write,
+            max_inflight: opts.max_inflight,
+            pipeline_per_conn: opts.pipeline_per_conn,
+            conns: BTreeMap::new(),
+            next_conn: 0,
+            inflight: 0,
+            trace: None,
+            counters: Counters::default(),
+        })
+    }
+
+    /// The deployment's shared virtual clock.
+    pub fn clock(&self) -> &SharedClock {
+        self.store.clock()
+    }
+
+    /// Read access to the underlying store.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Mutable access to the underlying store (benches, tests).
+    pub fn store_mut(&mut self) -> &mut Store {
+        &mut self.store
+    }
+
+    /// Registers a new connection and returns its handle.
+    pub fn connect(&mut self) -> ConnId {
+        let id = ConnId(self.next_conn);
+        self.next_conn += 1;
+        self.conns.insert(id, Conn::default());
+        self.counters.conns.store(self.conns.len() as u64, Ordering::Relaxed);
+        id
+    }
+
+    /// Removes a connection. Its enqueued writes still commit (they are
+    /// already in the group-commit queue) but their replies are dropped.
+    pub fn disconnect(&mut self, id: ConnId) {
+        if let Some(conn) = self.conns.remove(&id) {
+            self.inflight -= conn.inflight;
+            self.counters.inflight.store(self.inflight as u64, Ordering::Relaxed);
+        }
+        self.counters.conns.store(self.conns.len() as u64, Ordering::Relaxed);
+    }
+
+    /// Open connections.
+    pub fn conn_count(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Unresolved write tickets across all connections.
+    pub fn inflight(&self) -> usize {
+        self.inflight
+    }
+
+    /// Replies queued (resolved or not) on `id`.
+    pub fn pending_replies(&self, id: ConnId) -> usize {
+        self.conns.get(&id).map_or(0, |c| c.replies.len())
+    }
+
+    /// Whether `id` hit a frame-level protocol error and should be closed
+    /// once its output drains.
+    pub fn is_poisoned(&self, id: ConnId) -> bool {
+        self.conns.get(&id).is_some_and(|c| c.poisoned)
+    }
+
+    /// Attaches a trace sink for `server_*` spans and forwards it to the
+    /// store (group-commit and engine spans land in the same sink).
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.store.set_trace_sink(sink.clone());
+        self.trace = Some(sink);
+    }
+
+    /// Registers the `server.*` counter/gauge family on `hub` and wires
+    /// the store's per-shard gauges beneath the same hub.
+    pub fn set_metrics_hub(&mut self, hub: &MetricsHub) {
+        self.store.set_metrics_hub(hub);
+        let scoped = hub.scoped("server.");
+        let counters = [
+            (
+                "requests_read",
+                "Read-class requests served (GET/MGET)",
+                &self.counters.requests_read,
+            ),
+            (
+                "requests_write",
+                "Write-class requests admitted (SET/DEL/BATCH)",
+                &self.counters.requests_write,
+            ),
+            (
+                "requests_control",
+                "Control requests served (PING/INFO)",
+                &self.counters.requests_control,
+            ),
+            (
+                "busy_rejections",
+                "Requests rejected with -BUSY by admission control",
+                &self.counters.busy_rejections,
+            ),
+            (
+                "protocol_errors",
+                "Frame-level protocol errors (connection poisoned)",
+                &self.counters.protocol_errors,
+            ),
+            ("bytes_in", "Raw request bytes received", &self.counters.bytes_in),
+            ("bytes_out", "Raw reply bytes sent", &self.counters.bytes_out),
+        ];
+        for (name, help, cell) in counters {
+            let cell = Arc::clone(cell);
+            scoped.register(MetricKind::Counter, name, help, move |_| {
+                cell.load(Ordering::Relaxed) as f64
+            });
+        }
+        let gauges = [
+            ("conns", "Open connections", &self.counters.conns),
+            (
+                "inflight",
+                "Unresolved write tickets across all connections",
+                &self.counters.inflight,
+            ),
+        ];
+        for (name, help, cell) in gauges {
+            let cell = Arc::clone(cell);
+            scoped.register(MetricKind::Gauge, name, help, move |_| {
+                cell.load(Ordering::Relaxed) as f64
+            });
+        }
+    }
+
+    /// Feeds raw transport bytes into `id`'s decoder and executes every
+    /// complete request, in arrival order.
+    ///
+    /// # Errors
+    ///
+    /// Store/engine failures only. Protocol and request errors become
+    /// in-band `-ERR` replies (frame-level ones additionally poison the
+    /// connection).
+    pub fn feed(&mut self, id: ConnId, bytes: &[u8]) -> Result<()> {
+        self.counters.bytes_in.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return Err(noblsm::Error::Usage("feed on unknown connection".into()));
+        };
+        if conn.poisoned {
+            return Ok(());
+        }
+        conn.decoder.push(bytes);
+        while let Some(conn) = self.conns.get_mut(&id) {
+            match conn.decoder.next_frame() {
+                Ok(Some(frame)) => match Request::parse(&frame) {
+                    Ok(req) => self.execute(id, req)?,
+                    // A malformed *request* in a well-formed frame is
+                    // recoverable: the stream stays in sync.
+                    Err(e) => self.push_ready(id, Frame::Error(format!("ERR {e}"))),
+                },
+                Ok(None) => break,
+                Err(e) => {
+                    self.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    conn.poisoned = true;
+                    self.push_ready(id, Frame::Error(format!("ERR {e}")));
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Drains the store's group-commit queue and resolves every parked
+    /// write reply, emitting one `server_write` span per resolved ticket.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine failures from the drain.
+    pub fn flush(&mut self) -> Result<()> {
+        if self.store.pending() > 0 {
+            self.store.drain()?;
+        }
+        for conn in self.conns.values_mut() {
+            for slot in conn.replies.iter_mut() {
+                let PendingReply::Await { ticket, start, bytes, reply } = *slot else { continue };
+                let Some(durable) = self.store.outcome(ticket) else { continue };
+                if let Some(t) = &self.trace {
+                    t.emit(EventClass::ServerWrite, start, durable, bytes);
+                }
+                let frame = match reply {
+                    WriteReply::Ok => Frame::ok(),
+                    WriteReply::Count(n) => Frame::Integer(n),
+                };
+                *slot = PendingReply::Ready(frame);
+                conn.inflight -= 1;
+                self.inflight -= 1;
+            }
+        }
+        self.counters.inflight.store(self.inflight as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Encodes and removes the resolved prefix of `id`'s reply queue.
+    /// Returns an empty buffer when the front reply is still awaiting its
+    /// ticket (call [`flush`](ServerCore::flush) first).
+    pub fn take_output(&mut self, id: ConnId) -> Vec<u8> {
+        let Some(conn) = self.conns.get_mut(&id) else { return Vec::new() };
+        let mut out = Vec::new();
+        while let Some(PendingReply::Ready(_)) = conn.replies.front() {
+            let Some(PendingReply::Ready(frame)) = conn.replies.pop_front() else {
+                unreachable!("front() was Ready")
+            };
+            frame.encode(&mut out);
+        }
+        self.counters.bytes_out.fetch_add(out.len() as u64, Ordering::Relaxed);
+        out
+    }
+
+    /// Whether `id` has replies queued that [`take_output`] cannot yet
+    /// return (the front of the queue awaits a group-commit ticket).
+    ///
+    /// [`take_output`]: ServerCore::take_output
+    pub fn output_blocked(&self, id: ConnId) -> bool {
+        self.conns
+            .get(&id)
+            .and_then(|c| c.replies.front())
+            .is_some_and(|r| matches!(r, PendingReply::Await { .. }))
+    }
+
+    /// The INFO payload: server counters, store group-commit stats and
+    /// per-shard engine stats via [`Db::property`](noblsm::Db::property).
+    pub fn info_text(&self) -> String {
+        let c = &self.counters;
+        let mut out = String::new();
+        out.push_str("# server\n");
+        out.push_str(&format!("conns:{}\n", self.conns.len()));
+        out.push_str(&format!("inflight:{}\n", self.inflight));
+        out.push_str(&format!("requests_read:{}\n", c.requests_read.load(Ordering::Relaxed)));
+        out.push_str(&format!("requests_write:{}\n", c.requests_write.load(Ordering::Relaxed)));
+        out.push_str(&format!("requests_control:{}\n", c.requests_control.load(Ordering::Relaxed)));
+        out.push_str(&format!("busy_rejections:{}\n", c.busy_rejections.load(Ordering::Relaxed)));
+        out.push_str(&format!("protocol_errors:{}\n", c.protocol_errors.load(Ordering::Relaxed)));
+        let stats = self.store.stats();
+        out.push_str("# store\n");
+        out.push_str(&format!("shards:{}\n", self.store.shards()));
+        out.push_str(&format!("pending:{}\n", self.store.pending()));
+        out.push_str(&format!("groups:{}\n", stats.groups));
+        out.push_str(&format!("batches:{}\n", stats.batches));
+        out.push_str(&format!("merged_bytes:{}\n", stats.merged_bytes));
+        for i in 0..self.store.shards() {
+            if let Some(s) = self.store.shard_db(i).property("noblsm.stats") {
+                out.push_str(&format!("# shard{i}\nnoblsm.stats:{s}\n"));
+            }
+        }
+        out
+    }
+
+    fn push_ready(&mut self, id: ConnId, frame: Frame) {
+        if let Some(conn) = self.conns.get_mut(&id) {
+            conn.replies.push_back(PendingReply::Ready(frame));
+        }
+    }
+
+    /// Admission + execution of one parsed request.
+    fn execute(&mut self, id: ConnId, req: Request) -> Result<()> {
+        let class = req.class();
+        let queued = self.pending_replies(id);
+        let over_pipeline = queued >= self.pipeline_per_conn;
+        let over_budget = class == RequestClass::Write && self.inflight >= self.max_inflight;
+        if over_pipeline || over_budget {
+            self.counters.busy_rejections.fetch_add(1, Ordering::Relaxed);
+            self.push_ready(id, Frame::busy());
+            return Ok(());
+        }
+        self.counters.bump(class);
+        let bytes = req.payload_bytes();
+        match req {
+            Request::Get(key) => {
+                let start = self.read_barrier()?;
+                let reply = match self.store.get(&ReadOptions::default(), &key)? {
+                    Some(v) => Frame::Bulk(v),
+                    None => Frame::Nil,
+                };
+                self.emit(EventClass::ServerRead, start, bytes);
+                self.push_ready(id, reply);
+            }
+            Request::MGet(keys) => {
+                let start = self.read_barrier()?;
+                let mut items = Vec::with_capacity(keys.len());
+                for key in &keys {
+                    items.push(match self.store.get(&ReadOptions::default(), key)? {
+                        Some(v) => Frame::Bulk(v),
+                        None => Frame::Nil,
+                    });
+                }
+                self.emit(EventClass::ServerRead, start, bytes);
+                self.push_ready(id, Frame::Array(items));
+            }
+            Request::Set(key, value) => {
+                let mut batch = WriteBatch::new();
+                batch.put(&key, &value);
+                self.enqueue_write(id, batch, bytes, WriteReply::Ok);
+            }
+            Request::Del(key) => {
+                let mut batch = WriteBatch::new();
+                batch.delete(&key);
+                self.enqueue_write(id, batch, bytes, WriteReply::Ok);
+            }
+            Request::Batch(ops) => {
+                let count = ops.len() as i64;
+                let mut batch = WriteBatch::new();
+                for op in &ops {
+                    match op {
+                        BatchOp::Put(k, v) => batch.put(k, v),
+                        BatchOp::Del(k) => batch.delete(k),
+                    }
+                }
+                self.enqueue_write(id, batch, bytes, WriteReply::Count(count));
+            }
+            Request::Ping => {
+                let now = self.clock().now();
+                self.emit_span(EventClass::ServerControl, now, now, 0);
+                self.push_ready(id, Frame::Simple("PONG".into()));
+            }
+            Request::Info => {
+                let start = self.read_barrier()?;
+                let text = self.info_text();
+                self.emit(EventClass::ServerControl, start, text.len() as u64);
+                self.push_ready(id, Frame::Bulk(text.into_bytes()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Read-your-writes: settle the group-commit queue before serving a
+    /// read or INFO, so a pipelined `SET k; GET k` observes its write.
+    /// Returns the instant the read began (before any drain it forced).
+    fn read_barrier(&mut self) -> Result<Nanos> {
+        let start = self.clock().now();
+        if self.store.pending() > 0 {
+            self.flush()?;
+        }
+        Ok(start)
+    }
+
+    fn enqueue_write(&mut self, id: ConnId, batch: WriteBatch, bytes: u64, reply: WriteReply) {
+        let start = self.clock().now();
+        let ticket = self.store.enqueue(&self.wopts, &batch);
+        if let Some(conn) = self.conns.get_mut(&id) {
+            conn.replies.push_back(PendingReply::Await { ticket, start, bytes, reply });
+            conn.inflight += 1;
+            self.inflight += 1;
+            self.counters.inflight.store(self.inflight as u64, Ordering::Relaxed);
+        }
+    }
+
+    fn emit(&self, class: EventClass, start: Nanos, bytes: u64) {
+        let end = self.clock().now();
+        self.emit_span(class, start, end, bytes);
+    }
+
+    fn emit_span(&self, class: EventClass, start: Nanos, end: Nanos, bytes: u64) {
+        if let Some(t) = &self.trace {
+            t.emit(class, start, end, bytes);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use nob_ext4::Ext4Config;
+    use noblsm::Options;
+
+    use super::*;
+
+    fn small_core(max_inflight: usize, pipeline: usize) -> ServerCore {
+        let opts = ServerOptions {
+            store: StoreOptions {
+                shards: 2,
+                fs: Ext4Config::default(),
+                db: Options::default(),
+                ..StoreOptions::default()
+            },
+            max_inflight,
+            pipeline_per_conn: pipeline,
+            ..ServerOptions::default()
+        };
+        ServerCore::open(opts).unwrap()
+    }
+
+    fn feed_req(core: &mut ServerCore, id: ConnId, req: &Request) {
+        core.feed(id, &req.to_frame().to_bytes()).unwrap();
+    }
+
+    fn decode_all(bytes: &[u8]) -> Vec<Frame> {
+        let mut d = Decoder::new();
+        d.push(bytes);
+        let mut out = Vec::new();
+        while let Some(f) = d.next_frame().unwrap() {
+            out.push(f);
+        }
+        out
+    }
+
+    #[test]
+    fn set_then_get_sees_the_write() {
+        let mut core = small_core(64, 64);
+        let c = core.connect();
+        feed_req(&mut core, c, &Request::Set(b"k".to_vec(), b"v".to_vec()));
+        feed_req(&mut core, c, &Request::Get(b"k".to_vec()));
+        core.flush().unwrap();
+        let replies = decode_all(&core.take_output(c));
+        assert_eq!(replies, vec![Frame::ok(), Frame::Bulk(b"v".to_vec())]);
+    }
+
+    #[test]
+    fn replies_stay_in_request_order_across_flush() {
+        let mut core = small_core(64, 64);
+        let c = core.connect();
+        // Write, read, write — the read's Ready reply must not overtake
+        // the first write's parked reply.
+        feed_req(&mut core, c, &Request::Set(b"a".to_vec(), b"1".to_vec()));
+        feed_req(&mut core, c, &Request::Get(b"missing".to_vec()));
+        feed_req(&mut core, c, &Request::Del(b"a".to_vec()));
+        assert!(!core.output_blocked(c), "read barrier already settled the queue");
+        core.flush().unwrap();
+        let replies = decode_all(&core.take_output(c));
+        assert_eq!(replies, vec![Frame::ok(), Frame::Nil, Frame::ok()]);
+    }
+
+    #[test]
+    fn global_budget_yields_busy_in_order() {
+        let mut core = small_core(2, 64);
+        let c = core.connect();
+        for i in 0..4u8 {
+            feed_req(&mut core, c, &Request::Set(vec![i], b"v".to_vec()));
+        }
+        core.flush().unwrap();
+        let replies = decode_all(&core.take_output(c));
+        assert_eq!(replies.len(), 4);
+        assert_eq!(&replies[..2], &[Frame::ok(), Frame::ok()]);
+        assert!(replies[2].is_busy() && replies[3].is_busy(), "{replies:?}");
+    }
+
+    #[test]
+    fn pipeline_cap_applies_to_reads_too() {
+        let mut core = small_core(64, 2);
+        let c = core.connect();
+        feed_req(&mut core, c, &Request::Set(b"a".to_vec(), b"1".to_vec()));
+        feed_req(&mut core, c, &Request::Set(b"b".to_vec(), b"2".to_vec()));
+        feed_req(&mut core, c, &Request::Get(b"a".to_vec()));
+        core.flush().unwrap();
+        let replies = decode_all(&core.take_output(c));
+        assert_eq!(&replies[..2], &[Frame::ok(), Frame::ok()]);
+        assert!(replies[2].is_busy());
+    }
+
+    #[test]
+    fn budget_frees_as_tickets_resolve() {
+        let mut core = small_core(2, 64);
+        let c = core.connect();
+        feed_req(&mut core, c, &Request::Set(b"a".to_vec(), b"1".to_vec()));
+        feed_req(&mut core, c, &Request::Set(b"b".to_vec(), b"2".to_vec()));
+        core.flush().unwrap();
+        assert_eq!(core.inflight(), 0);
+        feed_req(&mut core, c, &Request::Set(b"c".to_vec(), b"3".to_vec()));
+        core.flush().unwrap();
+        let replies = decode_all(&core.take_output(c));
+        assert_eq!(replies, vec![Frame::ok(); 3]);
+    }
+
+    #[test]
+    fn protocol_error_poisons_but_replies_first() {
+        let mut core = small_core(64, 64);
+        let c = core.connect();
+        core.feed(c, b"?bogus\r\n").unwrap();
+        assert!(core.is_poisoned(c));
+        let replies = decode_all(&core.take_output(c));
+        assert_eq!(replies.len(), 1);
+        assert!(replies[0].is_error());
+        // Later bytes are ignored — the stream is untrustworthy.
+        feed_req(&mut core, c, &Request::Ping);
+        assert_eq!(core.pending_replies(c), 0);
+    }
+
+    #[test]
+    fn bad_request_in_good_frame_is_recoverable() {
+        let mut core = small_core(64, 64);
+        let c = core.connect();
+        let bogus = Frame::Array(vec![Frame::Bulk(b"NOPE".to_vec())]);
+        core.feed(c, &bogus.to_bytes()).unwrap();
+        feed_req(&mut core, c, &Request::Ping);
+        let replies = decode_all(&core.take_output(c));
+        assert_eq!(replies.len(), 2);
+        assert!(replies[0].is_error() && !replies[0].is_busy());
+        assert_eq!(replies[1], Frame::Simple("PONG".into()));
+        assert!(!core.is_poisoned(c));
+    }
+
+    #[test]
+    fn batch_is_atomic_and_counts_ops() {
+        let mut core = small_core(64, 64);
+        let c = core.connect();
+        feed_req(
+            &mut core,
+            c,
+            &Request::Batch(vec![
+                BatchOp::Put(b"x".to_vec(), b"1".to_vec()),
+                BatchOp::Put(b"y".to_vec(), b"2".to_vec()),
+                BatchOp::Del(b"x".to_vec()),
+            ]),
+        );
+        feed_req(&mut core, c, &Request::MGet(vec![b"x".to_vec(), b"y".to_vec()]));
+        core.flush().unwrap();
+        let replies = decode_all(&core.take_output(c));
+        assert_eq!(
+            replies,
+            vec![Frame::Integer(3), Frame::Array(vec![Frame::Nil, Frame::Bulk(b"2".to_vec())]),]
+        );
+    }
+
+    #[test]
+    fn info_reports_server_and_shard_stats() {
+        let mut core = small_core(64, 64);
+        let c = core.connect();
+        feed_req(&mut core, c, &Request::Set(b"k".to_vec(), b"v".to_vec()));
+        feed_req(&mut core, c, &Request::Info);
+        core.flush().unwrap();
+        let replies = decode_all(&core.take_output(c));
+        let Frame::Bulk(text) = &replies[1] else { panic!("INFO must reply bulk") };
+        let text = String::from_utf8_lossy(text);
+        assert!(text.contains("# server"), "{text}");
+        assert!(text.contains("requests_write:1"), "{text}");
+        assert!(text.contains("shards:2"), "{text}");
+        assert!(text.contains("noblsm.stats:"), "{text}");
+    }
+
+    #[test]
+    fn disconnect_releases_inflight_budget() {
+        let mut core = small_core(2, 64);
+        let c1 = core.connect();
+        feed_req(&mut core, c1, &Request::Set(b"a".to_vec(), b"1".to_vec()));
+        feed_req(&mut core, c1, &Request::Set(b"b".to_vec(), b"2".to_vec()));
+        assert_eq!(core.inflight(), 2);
+        core.disconnect(c1);
+        assert_eq!(core.inflight(), 0);
+        let c2 = core.connect();
+        feed_req(&mut core, c2, &Request::Set(b"c".to_vec(), b"3".to_vec()));
+        core.flush().unwrap();
+        let replies = decode_all(&core.take_output(c2));
+        assert_eq!(replies, vec![Frame::ok()]);
+        // The orphaned writes still committed.
+        feed_req(&mut core, c2, &Request::Get(b"a".to_vec()));
+        core.flush().unwrap();
+        assert_eq!(decode_all(&core.take_output(c2)), vec![Frame::Bulk(b"1".to_vec())]);
+    }
+}

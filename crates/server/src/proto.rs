@@ -1,0 +1,700 @@
+//! RESP-subset wire protocol: frames, an incremental decoder, and the
+//! request vocabulary the server understands.
+//!
+//! The frame grammar is the classic Redis serialization protocol,
+//! restricted to the five types the server actually uses:
+//!
+//! ```text
+//! +<text>\r\n            simple string (e.g. +OK, +PONG)
+//! -<text>\r\n            error (e.g. -ERR ..., -BUSY ...)
+//! :<int>\r\n             integer
+//! $<len>\r\n<bytes>\r\n  bulk string ($-1\r\n is the nil bulk)
+//! *<len>\r\n<frames>     array (*-1 is rejected: requests are never nil)
+//! ```
+//!
+//! Requests are arrays of bulk strings — `["SET", key, value]` — and the
+//! decoder enforces hard caps on bulk length, array arity and nesting
+//! depth so a malformed or hostile peer can make the server reply with a
+//! protocol error but never allocate unboundedly, panic or desync.
+
+use std::fmt;
+
+/// Hard cap on one bulk string's declared length (16 MiB).
+pub const MAX_BULK: usize = 16 << 20;
+/// Hard cap on one array's declared arity.
+pub const MAX_ARRAY: usize = 4096;
+/// Hard cap on array nesting depth.
+pub const MAX_DEPTH: usize = 4;
+/// Hard cap on a simple-string / error line length.
+pub const MAX_LINE: usize = 4096;
+
+/// A decoded protocol frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// `+text` — status replies (`+OK`, `+PONG`).
+    Simple(String),
+    /// `-text` — error replies (`-ERR …`, `-BUSY …`).
+    Error(String),
+    /// `:n` — integer replies (DEL count, BATCH count).
+    Integer(i64),
+    /// `$n` + payload — a binary-safe string.
+    Bulk(Vec<u8>),
+    /// `$-1` — the nil bulk (GET miss).
+    Nil,
+    /// `*n` + elements.
+    Array(Vec<Frame>),
+}
+
+impl Frame {
+    /// The canonical `+OK` reply.
+    pub fn ok() -> Frame {
+        Frame::Simple("OK".into())
+    }
+
+    /// An admission-control pushback reply; see [`Frame::is_busy`].
+    pub fn busy() -> Frame {
+        Frame::Error("BUSY server in-flight budget exhausted, retry".into())
+    }
+
+    /// Whether this frame is the admission controller's BUSY pushback.
+    pub fn is_busy(&self) -> bool {
+        matches!(self, Frame::Error(m) if m.starts_with("BUSY"))
+    }
+
+    /// Whether this frame is any error reply.
+    pub fn is_error(&self) -> bool {
+        matches!(self, Frame::Error(_))
+    }
+
+    /// Appends this frame's wire encoding to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Frame::Simple(s) => {
+                out.push(b'+');
+                out.extend_from_slice(s.as_bytes());
+                out.extend_from_slice(b"\r\n");
+            }
+            Frame::Error(s) => {
+                out.push(b'-');
+                out.extend_from_slice(s.as_bytes());
+                out.extend_from_slice(b"\r\n");
+            }
+            Frame::Integer(n) => {
+                out.push(b':');
+                out.extend_from_slice(n.to_string().as_bytes());
+                out.extend_from_slice(b"\r\n");
+            }
+            Frame::Bulk(b) => {
+                out.push(b'$');
+                out.extend_from_slice(b.len().to_string().as_bytes());
+                out.extend_from_slice(b"\r\n");
+                out.extend_from_slice(b);
+                out.extend_from_slice(b"\r\n");
+            }
+            Frame::Nil => out.extend_from_slice(b"$-1\r\n"),
+            Frame::Array(items) => {
+                out.push(b'*');
+                out.extend_from_slice(items.len().to_string().as_bytes());
+                out.extend_from_slice(b"\r\n");
+                for it in items {
+                    it.encode(out);
+                }
+            }
+        }
+    }
+
+    /// This frame's wire encoding as a fresh buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+}
+
+/// Why a byte stream failed to parse as a frame (or a frame as a request).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The first byte of a frame is not one of `+ - : $ *`.
+    BadType(u8),
+    /// A `$`/`*`/`:` length or integer field failed to parse.
+    BadLength,
+    /// A declared length exceeds [`MAX_BULK`], [`MAX_ARRAY`] or
+    /// [`MAX_LINE`], or arrays nest past [`MAX_DEPTH`].
+    Oversize(&'static str),
+    /// A bulk payload was not terminated by `\r\n`.
+    BadTerminator,
+    /// The frame parsed but is not a request the server understands.
+    BadRequest(String),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::BadType(b) => write!(f, "protocol: unknown frame type byte 0x{b:02x}"),
+            ProtoError::BadLength => write!(f, "protocol: malformed length"),
+            ProtoError::Oversize(what) => write!(f, "protocol: {what} limit exceeded"),
+            ProtoError::BadTerminator => write!(f, "protocol: missing CRLF terminator"),
+            ProtoError::BadRequest(m) => write!(f, "request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// An incremental frame decoder over a growable byte buffer.
+///
+/// Feed raw bytes with [`push`](Decoder::push), then call
+/// [`next_frame`](Decoder::next_frame) until it returns `Ok(None)`
+/// (need more bytes). A `ProtoError` is **sticky**: the stream position
+/// is no longer trustworthy, so every later call returns the same error
+/// and the connection must be torn down after flushing the error reply.
+#[derive(Debug, Default)]
+pub struct Decoder {
+    buf: Vec<u8>,
+    pos: usize,
+    poisoned: Option<ProtoError>,
+}
+
+/// Outcome of one parse attempt: a frame and the cursor past it.
+type Parsed = Option<(Frame, usize)>;
+
+impl Decoder {
+    /// A fresh decoder with an empty buffer.
+    pub fn new() -> Decoder {
+        Decoder::default()
+    }
+
+    /// Appends raw bytes from the transport.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a returned frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Decodes the next complete frame, `Ok(None)` when more bytes are
+    /// needed, or the (sticky) protocol error.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, ProtoError> {
+        if let Some(e) = &self.poisoned {
+            return Err(e.clone());
+        }
+        match parse_frame(&self.buf[self.pos..], 0) {
+            Ok(Some((frame, used))) => {
+                self.pos += used;
+                // Compact once the consumed prefix dominates the buffer.
+                if self.pos > 4096 && self.pos * 2 > self.buf.len() {
+                    self.buf.drain(..self.pos);
+                    self.pos = 0;
+                }
+                Ok(Some(frame))
+            }
+            Ok(None) => Ok(None),
+            Err(e) => {
+                self.poisoned = Some(e.clone());
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Finds the `\r\n` terminating the line starting at `buf[0]`, returning
+/// the line body and the cursor past the terminator.
+fn parse_line(buf: &[u8]) -> Result<Option<(&[u8], usize)>, ProtoError> {
+    let limit = buf.len().min(MAX_LINE + 2);
+    for i in 0..limit {
+        if buf[i] == b'\n' {
+            if i == 0 || buf[i - 1] != b'\r' {
+                return Err(ProtoError::BadTerminator);
+            }
+            return Ok(Some((&buf[..i - 1], i + 1)));
+        }
+    }
+    if buf.len() > MAX_LINE + 1 {
+        return Err(ProtoError::Oversize("line"));
+    }
+    Ok(None)
+}
+
+/// Parses a decimal integer field (optionally negative, as in `$-1`).
+fn parse_int(body: &[u8]) -> Result<i64, ProtoError> {
+    if body.is_empty() || body.len() > 20 {
+        return Err(ProtoError::BadLength);
+    }
+    let (neg, digits) = match body[0] {
+        b'-' => (true, &body[1..]),
+        _ => (false, body),
+    };
+    if digits.is_empty() {
+        return Err(ProtoError::BadLength);
+    }
+    let mut n: i64 = 0;
+    for &b in digits {
+        if !b.is_ascii_digit() {
+            return Err(ProtoError::BadLength);
+        }
+        n = n
+            .checked_mul(10)
+            .and_then(|n| n.checked_add(i64::from(b - b'0')))
+            .ok_or(ProtoError::BadLength)?;
+    }
+    Ok(if neg { -n } else { n })
+}
+
+/// Recursive-descent frame parser over `buf`, `Ok(None)` if incomplete.
+fn parse_frame(buf: &[u8], depth: usize) -> Result<Parsed, ProtoError> {
+    if depth > MAX_DEPTH {
+        return Err(ProtoError::Oversize("nesting depth"));
+    }
+    let Some(&ty) = buf.first() else { return Ok(None) };
+    let rest = &buf[1..];
+    match ty {
+        b'+' | b'-' => {
+            let Some((body, used)) = parse_line(rest)? else { return Ok(None) };
+            let text = String::from_utf8_lossy(body).into_owned();
+            let frame = if ty == b'+' { Frame::Simple(text) } else { Frame::Error(text) };
+            Ok(Some((frame, 1 + used)))
+        }
+        b':' => {
+            let Some((body, used)) = parse_line(rest)? else { return Ok(None) };
+            Ok(Some((Frame::Integer(parse_int(body)?), 1 + used)))
+        }
+        b'$' => {
+            let Some((body, used)) = parse_line(rest)? else { return Ok(None) };
+            let len = parse_int(body)?;
+            if len == -1 {
+                return Ok(Some((Frame::Nil, 1 + used)));
+            }
+            if len < 0 {
+                return Err(ProtoError::BadLength);
+            }
+            let len = len as usize;
+            if len > MAX_BULK {
+                return Err(ProtoError::Oversize("bulk length"));
+            }
+            let payload = &rest[used..];
+            if payload.len() < len + 2 {
+                return Ok(None);
+            }
+            if &payload[len..len + 2] != b"\r\n" {
+                return Err(ProtoError::BadTerminator);
+            }
+            Ok(Some((Frame::Bulk(payload[..len].to_vec()), 1 + used + len + 2)))
+        }
+        b'*' => {
+            let Some((body, used)) = parse_line(rest)? else { return Ok(None) };
+            let len = parse_int(body)?;
+            if len < 0 {
+                return Err(ProtoError::BadLength);
+            }
+            let len = len as usize;
+            if len > MAX_ARRAY {
+                return Err(ProtoError::Oversize("array arity"));
+            }
+            let mut items = Vec::with_capacity(len.min(64));
+            let mut cursor = 1 + used;
+            for _ in 0..len {
+                let Some((item, item_used)) = parse_frame(&buf[cursor..], depth + 1)? else {
+                    return Ok(None);
+                };
+                items.push(item);
+                cursor += item_used;
+            }
+            Ok(Some((Frame::Array(items), cursor)))
+        }
+        other => Err(ProtoError::BadType(other)),
+    }
+}
+
+/// One operation inside a BATCH request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchOp {
+    /// Insert or overwrite `key` with `value`.
+    Put(Vec<u8>, Vec<u8>),
+    /// Delete `key`.
+    Del(Vec<u8>),
+}
+
+/// Coarse request class, used for admission accounting, per-class trace
+/// spans and the `server.*` metrics namespace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestClass {
+    /// GET / MGET — served from the store without queueing.
+    Read,
+    /// SET / DEL / BATCH — enqueued into the group-commit queue.
+    Write,
+    /// PING / INFO — served by the server itself.
+    Control,
+}
+
+impl RequestClass {
+    /// Stable snake_case name, used in metric names.
+    pub fn name(self) -> &'static str {
+        match self {
+            RequestClass::Read => "read",
+            RequestClass::Write => "write",
+            RequestClass::Control => "control",
+        }
+    }
+}
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Point lookup; replies `$v` or `$-1`.
+    Get(Vec<u8>),
+    /// Insert or overwrite; replies `+OK`.
+    Set(Vec<u8>, Vec<u8>),
+    /// Delete; replies `+OK`.
+    Del(Vec<u8>),
+    /// Multi-key lookup; replies an array of `$v` / `$-1`.
+    MGet(Vec<Vec<u8>>),
+    /// Atomic multi-op write; replies `:n` (operation count).
+    Batch(Vec<BatchOp>),
+    /// Liveness probe; replies `+PONG`.
+    Ping,
+    /// Server + store introspection; replies one bulk text blob.
+    Info,
+}
+
+impl Request {
+    /// The request's admission/trace class.
+    pub fn class(&self) -> RequestClass {
+        match self {
+            Request::Get(_) | Request::MGet(_) => RequestClass::Read,
+            Request::Set(..) | Request::Del(_) | Request::Batch(_) => RequestClass::Write,
+            Request::Ping | Request::Info => RequestClass::Control,
+        }
+    }
+
+    /// Approximate payload bytes carried by the request (keys + values),
+    /// the unit the trace span's `bytes` field reports.
+    pub fn payload_bytes(&self) -> u64 {
+        match self {
+            Request::Get(k) | Request::Del(k) => k.len() as u64,
+            Request::Set(k, v) => (k.len() + v.len()) as u64,
+            Request::MGet(keys) => keys.iter().map(|k| k.len() as u64).sum(),
+            Request::Batch(ops) => ops
+                .iter()
+                .map(|op| match op {
+                    BatchOp::Put(k, v) => (k.len() + v.len()) as u64,
+                    BatchOp::Del(k) => k.len() as u64,
+                })
+                .sum(),
+            Request::Ping | Request::Info => 0,
+        }
+    }
+
+    /// Encodes the request as its wire frame (array of bulk strings).
+    pub fn to_frame(&self) -> Frame {
+        fn bulk(b: &[u8]) -> Frame {
+            Frame::Bulk(b.to_vec())
+        }
+        let items = match self {
+            Request::Get(k) => vec![bulk(b"GET"), bulk(k)],
+            Request::Set(k, v) => vec![bulk(b"SET"), bulk(k), bulk(v)],
+            Request::Del(k) => vec![bulk(b"DEL"), bulk(k)],
+            Request::MGet(keys) => {
+                let mut v = vec![bulk(b"MGET")];
+                v.extend(keys.iter().map(|k| bulk(k)));
+                v
+            }
+            Request::Batch(ops) => {
+                let mut v = vec![bulk(b"BATCH")];
+                for op in ops {
+                    match op {
+                        BatchOp::Put(k, val) => {
+                            v.push(bulk(b"SET"));
+                            v.push(bulk(k));
+                            v.push(bulk(val));
+                        }
+                        BatchOp::Del(k) => {
+                            v.push(bulk(b"DEL"));
+                            v.push(bulk(k));
+                        }
+                    }
+                }
+                v
+            }
+            Request::Ping => vec![bulk(b"PING")],
+            Request::Info => vec![bulk(b"INFO")],
+        };
+        Frame::Array(items)
+    }
+
+    /// Parses a decoded frame as a request.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::BadRequest`] when the frame is not an array of bulk
+    /// strings spelling a known command with the right arity.
+    pub fn parse(frame: &Frame) -> Result<Request, ProtoError> {
+        let Frame::Array(items) = frame else {
+            return Err(ProtoError::BadRequest("request must be an array".into()));
+        };
+        let mut args = Vec::with_capacity(items.len());
+        for it in items {
+            match it {
+                Frame::Bulk(b) => args.push(b.as_slice()),
+                _ => {
+                    return Err(ProtoError::BadRequest(
+                        "request elements must be bulk strings".into(),
+                    ))
+                }
+            }
+        }
+        let [cmd, rest @ ..] = args.as_slice() else {
+            return Err(ProtoError::BadRequest("empty request".into()));
+        };
+        let cmd = cmd.to_ascii_uppercase();
+        match (cmd.as_slice(), rest) {
+            (b"GET", [k]) => Ok(Request::Get(k.to_vec())),
+            (b"SET", [k, v]) => Ok(Request::Set(k.to_vec(), v.to_vec())),
+            (b"DEL", [k]) => Ok(Request::Del(k.to_vec())),
+            (b"MGET", keys) if !keys.is_empty() => {
+                Ok(Request::MGet(keys.iter().map(|k| k.to_vec()).collect()))
+            }
+            (b"BATCH", ops) if !ops.is_empty() => {
+                let mut parsed = Vec::new();
+                let mut i = 0;
+                while i < ops.len() {
+                    match ops[i].to_ascii_uppercase().as_slice() {
+                        b"SET" if i + 2 < ops.len() => {
+                            parsed.push(BatchOp::Put(ops[i + 1].to_vec(), ops[i + 2].to_vec()));
+                            i += 3;
+                        }
+                        b"DEL" if i + 1 < ops.len() => {
+                            parsed.push(BatchOp::Del(ops[i + 1].to_vec()));
+                            i += 2;
+                        }
+                        _ => {
+                            return Err(ProtoError::BadRequest(
+                                "BATCH expects SET k v / DEL k sequences".into(),
+                            ))
+                        }
+                    }
+                }
+                Ok(Request::Batch(parsed))
+            }
+            (b"PING", []) => Ok(Request::Ping),
+            (b"INFO", []) => Ok(Request::Info),
+            _ => Err(ProtoError::BadRequest(format!(
+                "unknown command or wrong arity: {}",
+                String::from_utf8_lossy(&cmd)
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use proptest::collection::vec as pvec;
+    use proptest::prelude::*;
+
+    use super::*;
+
+    fn decode_one(bytes: &[u8]) -> Result<Option<Frame>, ProtoError> {
+        let mut d = Decoder::new();
+        d.push(bytes);
+        d.next_frame()
+    }
+
+    #[test]
+    fn scalar_frames_round_trip() {
+        for frame in [
+            Frame::Simple("OK".into()),
+            Frame::Error("ERR boom".into()),
+            Frame::Integer(-42),
+            Frame::Bulk(b"hello\r\nworld".to_vec()),
+            Frame::Nil,
+            Frame::Array(vec![Frame::Bulk(b"GET".to_vec()), Frame::Nil, Frame::Integer(7)]),
+        ] {
+            let got = decode_one(&frame.to_bytes()).unwrap().expect("complete");
+            assert_eq!(got, frame);
+        }
+    }
+
+    #[test]
+    fn decoder_is_incremental_byte_by_byte() {
+        let frame = Request::Set(b"key".to_vec(), b"value".to_vec()).to_frame();
+        let bytes = frame.to_bytes();
+        let mut d = Decoder::new();
+        for (i, b) in bytes.iter().enumerate() {
+            d.push(std::slice::from_ref(b));
+            let got = d.next_frame().unwrap();
+            if i + 1 < bytes.len() {
+                assert!(got.is_none(), "complete after {} of {} bytes", i + 1, bytes.len());
+            } else {
+                assert_eq!(got, Some(frame.clone()));
+            }
+        }
+        assert_eq!(d.buffered(), 0);
+    }
+
+    #[test]
+    fn pipelined_frames_decode_in_order() {
+        let mut bytes = Vec::new();
+        let frames: Vec<Frame> =
+            (0..10).map(|i| Request::Get(format!("k{i}").into_bytes()).to_frame()).collect();
+        for f in &frames {
+            f.encode(&mut bytes);
+        }
+        let mut d = Decoder::new();
+        d.push(&bytes);
+        for f in &frames {
+            assert_eq!(d.next_frame().unwrap().as_ref(), Some(f));
+        }
+        assert_eq!(d.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn malformed_corpus_errors_never_panics() {
+        // Every entry must produce a ProtoError — not a panic, not a
+        // silent partial parse.
+        let corpus: &[&[u8]] = &[
+            b"?\r\n",                                      // unknown type byte
+            b"!garbage",                                   // unknown type byte
+            b"$abc\r\n",                                   // non-numeric bulk length
+            b"$-2\r\n",                                    // negative non-nil length
+            b"$99999999999999999999\r\n",                  // overflowing length
+            b"$1000000000\r\n",                            // oversized bulk
+            b"*-5\r\n",                                    // negative array arity
+            b"*999999\r\n",                                // oversized array
+            b"$3\r\nabcXY",                                // bad bulk terminator
+            b":12a\r\n",                                   // trailing garbage in int
+            b":\r\n",                                      // empty int
+            b"*1\r\n*1\r\n*1\r\n*1\r\n*1\r\n*1\r\n:1\r\n", // nesting depth
+        ];
+        for (i, case) in corpus.iter().enumerate() {
+            let got = decode_one(case);
+            assert!(got.is_err(), "corpus[{i}] {:?} must error, got {got:?}", case);
+        }
+    }
+
+    #[test]
+    fn truncated_prefixes_ask_for_more_bytes() {
+        let frame = Request::Set(b"some-key".to_vec(), b"some-value".to_vec()).to_frame();
+        let bytes = frame.to_bytes();
+        for cut in 0..bytes.len() {
+            let got = decode_one(&bytes[..cut]);
+            assert_eq!(got, Ok(None), "prefix of {cut} bytes must be incomplete");
+        }
+    }
+
+    #[test]
+    fn protocol_error_is_sticky() {
+        let mut d = Decoder::new();
+        d.push(b"?oops\r\n");
+        assert!(d.next_frame().is_err());
+        // Even after valid bytes arrive the decoder stays poisoned: the
+        // stream position is untrustworthy.
+        d.push(&Frame::ok().to_bytes());
+        assert!(d.next_frame().is_err());
+    }
+
+    #[test]
+    fn requests_parse_and_classify() {
+        let cases: Vec<(Request, RequestClass)> = vec![
+            (Request::Get(b"k".to_vec()), RequestClass::Read),
+            (Request::Set(b"k".to_vec(), b"v".to_vec()), RequestClass::Write),
+            (Request::Del(b"k".to_vec()), RequestClass::Write),
+            (Request::MGet(vec![b"a".to_vec(), b"b".to_vec()]), RequestClass::Read),
+            (
+                Request::Batch(vec![
+                    BatchOp::Put(b"a".to_vec(), b"1".to_vec()),
+                    BatchOp::Del(b"b".to_vec()),
+                ]),
+                RequestClass::Write,
+            ),
+            (Request::Ping, RequestClass::Control),
+            (Request::Info, RequestClass::Control),
+        ];
+        for (req, class) in cases {
+            assert_eq!(req.class(), class);
+            let round = Request::parse(&req.to_frame()).unwrap();
+            assert_eq!(round, req);
+        }
+    }
+
+    #[test]
+    fn request_commands_are_case_insensitive() {
+        let frame = Frame::Array(vec![
+            Frame::Bulk(b"set".to_vec()),
+            Frame::Bulk(b"k".to_vec()),
+            Frame::Bulk(b"v".to_vec()),
+        ]);
+        assert_eq!(Request::parse(&frame).unwrap(), Request::Set(b"k".to_vec(), b"v".to_vec()));
+    }
+
+    #[test]
+    fn bad_requests_are_rejected() {
+        for frame in [
+            Frame::Integer(1),
+            Frame::Array(vec![]),
+            Frame::Array(vec![Frame::Integer(1)]),
+            Frame::Array(vec![Frame::Bulk(b"NOPE".to_vec())]),
+            Frame::Array(vec![Frame::Bulk(b"GET".to_vec())]),
+            Frame::Array(vec![Frame::Bulk(b"MGET".to_vec())]),
+            Frame::Array(vec![Frame::Bulk(b"BATCH".to_vec()), Frame::Bulk(b"SET".to_vec())]),
+        ] {
+            assert!(matches!(Request::parse(&frame), Err(ProtoError::BadRequest(_))));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn bulk_round_trips(payload in pvec(any::<u8>(), 0..512)) {
+            let frame = Frame::Bulk(payload);
+            let got = decode_one(&frame.to_bytes()).unwrap();
+            prop_assert_eq!(got, Some(frame));
+        }
+
+        #[test]
+        fn set_requests_round_trip(
+            key in pvec(any::<u8>(), 1..64),
+            value in pvec(any::<u8>(), 0..256),
+        ) {
+            let req = Request::Set(key, value);
+            let mut d = Decoder::new();
+            d.push(&req.to_frame().to_bytes());
+            let frame = d.next_frame().unwrap().expect("complete");
+            prop_assert_eq!(Request::parse(&frame).unwrap(), req);
+        }
+
+        #[test]
+        fn split_feeding_never_changes_the_result(
+            keys in pvec(pvec(any::<u8>(), 1..32), 1..8),
+            split in any::<usize>(),
+        ) {
+            let req = Request::MGet(keys);
+            let bytes = req.to_frame().to_bytes();
+            let cut = split % bytes.len();
+            let mut d = Decoder::new();
+            d.push(&bytes[..cut]);
+            let early = d.next_frame().unwrap();
+            d.push(&bytes[cut..]);
+            let frame = match early {
+                Some(f) => f,
+                None => d.next_frame().unwrap().expect("complete after full feed"),
+            };
+            prop_assert_eq!(Request::parse(&frame).unwrap(), req);
+        }
+
+        #[test]
+        fn garbage_never_panics_the_decoder(bytes in pvec(any::<u8>(), 0..128)) {
+            let mut d = Decoder::new();
+            d.push(&bytes);
+            // Drain until incomplete or error; the only failure mode under
+            // test is a panic / infinite loop, bounded by the byte count.
+            for _ in 0..=bytes.len() {
+                match d.next_frame() {
+                    Ok(Some(_)) => continue,
+                    Ok(None) | Err(_) => break,
+                }
+            }
+        }
+    }
+}

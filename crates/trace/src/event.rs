@@ -52,10 +52,18 @@ pub enum EventClass {
     /// merged batch durable. `bytes` is the merged payload; the span
     /// covers every follower the leader carried.
     GroupCommit = 17,
+    /// One served read-class request (GET/MGET), server receipt → reply
+    /// encoded. `bytes` is the reply payload.
+    ServerRead = 18,
+    /// One served write-class request (SET/DEL/BATCH), server receipt →
+    /// group-commit outcome resolved. `bytes` is the request payload.
+    ServerWrite = 19,
+    /// One served control request (PING/INFO), receipt → reply encoded.
+    ServerControl = 20,
 }
 
 /// Number of event classes (length of [`EventClass::ALL`]).
-pub const N_CLASSES: usize = 18;
+pub const N_CLASSES: usize = 21;
 
 impl EventClass {
     /// Every class, in discriminant order.
@@ -78,6 +86,9 @@ impl EventClass {
         EventClass::FaultCorruptWrite,
         EventClass::FaultDroppedFlush,
         EventClass::GroupCommit,
+        EventClass::ServerRead,
+        EventClass::ServerWrite,
+        EventClass::ServerControl,
     ];
 
     /// Stable snake_case name, used in JSON output.
@@ -101,6 +112,9 @@ impl EventClass {
             EventClass::FaultCorruptWrite => "fault_corrupt_write",
             EventClass::FaultDroppedFlush => "fault_dropped_flush",
             EventClass::GroupCommit => "group_commit",
+            EventClass::ServerRead => "server_read",
+            EventClass::ServerWrite => "server_write",
+            EventClass::ServerControl => "server_control",
         }
     }
 
@@ -126,15 +140,20 @@ impl EventClass {
             | EventClass::MajorCompaction
             | EventClass::WriteStall
             | EventClass::GroupCommit => "engine",
+            EventClass::ServerRead | EventClass::ServerWrite | EventClass::ServerControl => {
+                "server"
+            }
         }
     }
 
-    /// Chrome-trace tid for the class's layer (0 = engine, 1 = ext4,
-    /// 2 = ssd), so the three layers stack naturally in `chrome://tracing`.
+    /// Chrome-trace tid for the class's layer (3 = server, 0 = engine,
+    /// 1 = ext4, 2 = ssd), so the layers stack naturally in
+    /// `chrome://tracing`.
     pub fn tid(self) -> u32 {
         match self.layer() {
             "engine" => 0,
             "ext4" => 1,
+            "server" => 3,
             _ => 2,
         }
     }
@@ -236,6 +255,8 @@ mod tests {
         assert_eq!(EventClass::EnginePut.layer(), "engine");
         assert_eq!(EventClass::EnginePut.tid(), 0);
         assert_eq!(EventClass::SsdFlush.tid(), 2);
+        assert_eq!(EventClass::ServerWrite.layer(), "server");
+        assert_eq!(EventClass::ServerRead.tid(), 3);
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub fn fillseq(db: &mut Db, n: u64, value_size: usize, start: Nanos) -> Result<R
     let mut now = start;
     let mut latencies = LatencyHistogram::new();
     for k in 0..n {
-        let end = db.put(now, &key(k), &value(k, 0, value_size))?;
+        let end = crate::put_at(db, now, &key(k), &value(k, 0, value_size))?;
         latencies.record(end - now);
         now = end;
     }
@@ -74,7 +74,7 @@ fn write_shuffled(
     let mut now = start;
     let mut latencies = LatencyHistogram::new();
     for k in order {
-        let end = db.put(now, &key(k), &value(k, round, value_size))?;
+        let end = crate::put_at(db, now, &key(k), &value(k, round, value_size))?;
         latencies.record(end - now);
         now = end;
     }

@@ -40,3 +40,19 @@ pub mod ycsb;
 
 pub use report::{LatencyHistogram, Report};
 pub use trace::{Trace, TraceOp};
+
+/// Canonical-API single-key write shared by the drivers: advance the
+/// engine's clock to `now` (writer threads carry their own timelines),
+/// then issue a one-entry batch through [`noblsm::Db::write`]. Returns
+/// the instant the write completed.
+pub(crate) fn put_at(
+    db: &mut noblsm::Db,
+    now: nob_sim::Nanos,
+    key: &[u8],
+    value: &[u8],
+) -> noblsm::Result<nob_sim::Nanos> {
+    db.clock().advance_to(now);
+    let mut batch = noblsm::WriteBatch::new();
+    batch.put(key, value);
+    db.write(&noblsm::WriteOptions::default(), batch)
+}

@@ -118,7 +118,7 @@ impl Trace {
         let mut latencies = LatencyHistogram::new();
         for op in &self.ops {
             let end = match op {
-                TraceOp::Put(k, v) => db.put(now, k, v)?,
+                TraceOp::Put(k, v) => crate::put_at(db, now, k, v)?,
                 TraceOp::Get(k) => db.get_at_time(now, k)?.1,
                 TraceOp::Delete(k) => db.delete(now, k)?,
                 TraceOp::Scan(k, n) => db.scan(now, k, *n)?.1,

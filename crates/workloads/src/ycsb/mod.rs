@@ -98,7 +98,7 @@ pub fn load(
     let mut now = start;
     let mut latencies = LatencyHistogram::new();
     for k in order {
-        let end = db.put(now, &key(k), &value(k, 0, value_size))?;
+        let end = crate::put_at(db, now, &key(k), &value(k, 0, value_size))?;
         latencies.record(end - now);
         now = end;
     }
@@ -170,7 +170,7 @@ pub fn run(
                 } else {
                     let k = record_count;
                     record_count += 1;
-                    db.put(now, &key(k), &value(k, 0, value_size))?
+                    crate::put_at(db, now, &key(k), &value(k, 0, value_size))?
                 }
             }
             YcsbWorkload::E => {
@@ -181,7 +181,7 @@ pub fn run(
                 } else {
                     let k = record_count;
                     record_count += 1;
-                    db.put(now, &key(k), &value(k, 0, value_size))?
+                    crate::put_at(db, now, &key(k), &value(k, 0, value_size))?
                 }
             }
             YcsbWorkload::F => {
@@ -191,7 +191,7 @@ pub fn run(
                     // Read-modify-write.
                     let k = zipf.next(&mut rng) % record_count;
                     let (_, t) = db.get_at_time(now, &key(k))?;
-                    db.put(t, &key(k), &value(k, 2, value_size))?
+                    crate::put_at(db, t, &key(k), &value(k, 2, value_size))?
                 }
             }
         };
@@ -231,7 +231,7 @@ fn update(
     now: Nanos,
 ) -> Result<Nanos> {
     let k = zipf.next(rng) % records;
-    db.put(now, &key(k), &value(k, 1, value_size))
+    crate::put_at(db, now, &key(k), &value(k, 1, value_size))
 }
 
 #[cfg(test)]

@@ -17,6 +17,13 @@ fn value(i: u32) -> Vec<u8> {
     format!("value-{i}-{}", "v".repeat(80)).into_bytes()
 }
 
+fn put_at(db: &mut noblsm::Db, now: Nanos, key: &[u8], value: &[u8]) -> Nanos {
+    db.clock().advance_to(now);
+    let mut batch = noblsm::WriteBatch::new();
+    batch.put(key, value);
+    db.write(&noblsm::WriteOptions::default(), batch).expect("put")
+}
+
 fn main() -> Result<(), noblsm::DbError> {
     let fs = Ext4Fs::new(Ext4Config::default());
     let opts = Options::default().with_sync_mode(SyncMode::NobLsm).with_table_size(128 << 10);
@@ -26,7 +33,7 @@ fn main() -> Result<(), noblsm::DbError> {
     let n = 8000u32;
     let mut now = Nanos::ZERO;
     for i in 0..n {
-        now = db.put(now, &key(i), &value(i))?;
+        now = put_at(&mut db, now, &key(i), &value(i));
     }
     println!("wrote {n} pairs in {now} of virtual time");
     println!("files per level before crash: {:?}", db.level_file_counts());

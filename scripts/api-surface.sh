@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
 # Checks (default) or reblesses (--bless) the public-API golden file
-# tests/golden/api_surface.txt: the rustdoc-visible surface of nob-core
-# and nob-store, pinned so unreviewed API drift fails CI.
+# tests/golden/api_surface.txt: the rustdoc-visible surface of nob-core,
+# nob-store and nob-server, pinned so unreviewed API drift fails CI.
 #
 #     scripts/api-surface.sh            # compare against the golden file
 #     scripts/api-surface.sh --bless    # regenerate after an intentional

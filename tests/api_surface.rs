@@ -21,8 +21,11 @@ use std::path::{Path, PathBuf};
 const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/api_surface.txt");
 
 /// The crates whose surface the golden file pins, as (label, source root).
-const CRATES: [(&str, &str); 2] =
-    [("nob-core", "crates/core/src"), ("nob-store", "crates/store/src")];
+const CRATES: [(&str, &str); 3] = [
+    ("nob-core", "crates/core/src"),
+    ("nob-store", "crates/store/src"),
+    ("nob-server", "crates/server/src"),
+];
 
 /// All `.rs` files under `dir`, in sorted (stable) order.
 fn rust_files(dir: &Path) -> Vec<PathBuf> {
@@ -173,7 +176,7 @@ fn extract(src: &str, out: &mut Vec<String>) {
 fn surface() -> String {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
     let mut doc = String::from(
-        "# Rustdoc-visible surface of nob-core and nob-store.\n\
+        "# Rustdoc-visible surface of nob-core, nob-store and nob-server.\n\
          # Regenerate with: NOB_BLESS=1 cargo test --test api_surface\n",
     );
     for (label, src_dir) in CRATES {

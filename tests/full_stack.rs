@@ -10,6 +10,13 @@ use nob_workloads::ycsb::{self, YcsbWorkload};
 use nob_workloads::{dbbench, Report};
 use noblsm::Options;
 
+fn put_at(db: &mut noblsm::Db, now: Nanos, key: &[u8], value: &[u8]) -> Nanos {
+    db.clock().advance_to(now);
+    let mut batch = noblsm::WriteBatch::new();
+    batch.put(key, value);
+    db.write(&noblsm::WriteOptions::default(), batch).expect("put")
+}
+
 fn base() -> Options {
     let mut o = Options::default().with_table_size(64 << 10);
     o.level1_max_bytes = 256 << 10;
@@ -109,7 +116,7 @@ fn crash_consistency_matches_between_leveldb_and_noblsm() {
         let n = 5000u64;
         let mut now = Nanos::ZERO;
         for i in 0..n {
-            now = db.put(now, &key(i), &value(i, 0, 256)).unwrap();
+            now = put_at(&mut db, now, &key(i), &value(i, 0, 256));
         }
         let crash_at = Nanos::from_nanos(now.as_nanos() / 2);
         let mut rdb = variant.open(fs.crashed_view(crash_at), "db", &base(), crash_at).unwrap();

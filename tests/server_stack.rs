@@ -1,0 +1,108 @@
+//! Workspace-level serving-stack integration: pipelined clients over the
+//! deterministic in-process loopback transport, through the wire
+//! protocol, admission control and the sharded group-commit store, down
+//! to the engines — all on one virtual clock.
+//!
+//! Pins the acceptance ordering end to end: with N pipelined clients the
+//! NobLSM discipline serves at least as fast as Async, which serves at
+//! least as fast as fully-synced Sync; and the whole run is bit-for-bit
+//! reproducible.
+
+use nob_baselines::Variant;
+use nob_server::{shared, Client, Frame, LoopbackTransport, Request, ServerCore, ServerOptions};
+use nob_store::StoreOptions;
+use noblsm::WriteOptions;
+
+const CLIENTS: usize = 4;
+const ROUNDS: u64 = 200;
+
+/// Runs a fixed pipelined workload and returns (elapsed virtual nanos,
+/// groups, batches) plus a value-correctness spot check.
+fn run_discipline(variant: Variant, wopts: WriteOptions) -> (u64, u64, u64) {
+    let mut db = noblsm::Options::default().with_table_size(64 << 10);
+    db.level1_max_bytes = 256 << 10;
+    db = variant.options(&db);
+    let opts = ServerOptions {
+        store: StoreOptions { shards: 2, db, ..StoreOptions::default() },
+        write: wopts,
+        ..ServerOptions::default()
+    };
+    let core = shared(ServerCore::open(opts).expect("open server core"));
+    let clock = core.borrow().clock().clone();
+    let mut conns: Vec<Client<LoopbackTransport>> =
+        (0..CLIENTS).map(|_| Client::new(LoopbackTransport::connect(&core))).collect();
+
+    let started = clock.now();
+    for round in 0..ROUNDS {
+        for (cid, c) in conns.iter_mut().enumerate() {
+            let key = format!("c{cid}-r{round}").into_bytes();
+            let value = format!("value-{cid}-{round}").into_bytes();
+            c.send(&Request::Set(key, value)).expect("pipeline SET");
+        }
+        for c in conns.iter_mut() {
+            assert_eq!(c.recv_reply().expect("SET reply"), Frame::ok());
+        }
+    }
+    // Read-your-writes through the read barrier, on every connection.
+    for (cid, c) in conns.iter_mut().enumerate() {
+        let key = format!("c{cid}-r{}", ROUNDS - 1).into_bytes();
+        let want = format!("value-{cid}-{}", ROUNDS - 1).into_bytes();
+        assert_eq!(c.get(&key).expect("GET"), Some(want), "client {cid} reads its last write");
+    }
+    let elapsed = clock.now() - started;
+    let stats = core.borrow().store().stats();
+    (elapsed.as_nanos(), stats.groups, stats.batches)
+}
+
+#[test]
+fn noblsm_serves_at_least_as_fast_as_async_which_beats_sync() {
+    let (sync_ns, _, sync_batches) = run_discipline(Variant::LevelDb, WriteOptions::synced());
+    let (async_ns, _, async_batches) = run_discipline(Variant::LevelDb, WriteOptions::buffered());
+    let (nob_ns, _, nob_batches) = run_discipline(Variant::NobLsm, WriteOptions::buffered());
+    // Identical request streams in every cell.
+    assert_eq!(sync_batches, CLIENTS as u64 * ROUNDS);
+    assert_eq!(sync_batches, async_batches);
+    assert_eq!(sync_batches, nob_batches);
+    // Same ops, so faster == less virtual time.
+    assert!(
+        nob_ns <= async_ns && async_ns < sync_ns,
+        "NobLSM <= Async < Sync virtual time must hold: {nob_ns} {async_ns} {sync_ns}"
+    );
+}
+
+#[test]
+fn pipelined_clients_coalesce_into_groups() {
+    let (_, groups, batches) = run_discipline(Variant::LevelDb, WriteOptions::synced());
+    assert!(
+        groups * 2 <= batches,
+        "four pipelining clients must coalesce: {groups} groups for {batches} batches"
+    );
+}
+
+#[test]
+fn loopback_runs_are_bit_for_bit_reproducible() {
+    let a = run_discipline(Variant::NobLsm, WriteOptions::buffered());
+    let b = run_discipline(Variant::NobLsm, WriteOptions::buffered());
+    assert_eq!(a, b, "same workload, same virtual timeline");
+}
+
+#[test]
+fn info_reaches_every_shard_property() {
+    let core = shared(
+        ServerCore::open(ServerOptions {
+            store: StoreOptions { shards: 3, ..StoreOptions::default() },
+            ..ServerOptions::default()
+        })
+        .expect("open server core"),
+    );
+    let mut c = Client::new(LoopbackTransport::connect(&core));
+    c.set(b"k", b"v").expect("SET");
+    let info = c.info().expect("INFO");
+    for shard in 0..3 {
+        assert!(
+            info.contains(&format!("# shard{shard}")),
+            "INFO must carry shard {shard}'s section: {info}"
+        );
+    }
+    assert!(info.contains("noblsm.stats:writes="), "Db::property mapped into INFO: {info}");
+}
