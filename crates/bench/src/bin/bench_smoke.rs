@@ -1,6 +1,7 @@
-//! CI bench-smoke: runs the fixed-seed fig2a + fig4 smoke scenarios,
-//! writes `bench_smoke.json` (throughput, p99 and the full nob-trace
-//! summary per scenario) and gates against `bench/baseline.json`.
+//! CI bench-smoke: runs the fixed-seed fig2a + fig4 + replication smoke
+//! scenarios, writes `bench_smoke.json` (throughput, p99 and the full
+//! nob-trace summary per scenario) and gates against
+//! `bench/baseline.json`.
 //!
 //! ```text
 //! bench_smoke [--baseline <path>] [--out <path>]

@@ -1,0 +1,53 @@
+//! Replication sweep: fixed-seed WAL shipping from a leader store to a
+//! loopback follower over shard count × write burst, measuring
+//! commit→ack lag and follower-read throughput.
+//!
+//! Writes `target/nob-results/fig_repl.json` (rendered by `report`) and
+//! prints the grid as two tables: lag and follower reads.
+//!
+//! Usage: `fig_repl [--scale N]` (default scale 512, the shape the
+//! golden test pins byte-for-byte).
+
+use nob_bench::repl::{fig_repl, fig_repl_json, BURSTS, SHARD_COUNTS};
+use nob_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args(512);
+    let cells = fig_repl(scale);
+    println!("== mean commit->ack lag (us) by shards x burst ==");
+    print!("{:>9}", "");
+    for b in BURSTS {
+        print!("{:>12}", format!("burst {b}"));
+    }
+    println!();
+    for s in SHARD_COUNTS {
+        print!("{:>9}", format!("{s} shard(s)"));
+        for b in BURSTS {
+            let c = cells.iter().find(|c| c.shards == s && c.burst == b).expect("cell present");
+            print!("{:>12.1}", c.mean_lag_ns as f64 / 1e3);
+        }
+        println!();
+    }
+    println!();
+    println!("== follower reads/s by shards x burst ==");
+    print!("{:>9}", "");
+    for b in BURSTS {
+        print!("{:>12}", format!("burst {b}"));
+    }
+    println!();
+    for s in SHARD_COUNTS {
+        print!("{:>9}", format!("{s} shard(s)"));
+        for b in BURSTS {
+            let c = cells.iter().find(|c| c.shards == s && c.burst == b).expect("cell present");
+            print!("{:>12.0}", c.read_throughput);
+        }
+        println!();
+    }
+    println!();
+    let doc = fig_repl_json(&cells, scale);
+    let dir = std::path::Path::new("target/nob-results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join("fig_repl.json");
+    std::fs::write(&path, &doc).expect("write results json");
+    println!("wrote {} ({} bytes)", path.display(), doc.len());
+}

@@ -307,6 +307,41 @@ fn render_server(doc: &Json, out: &mut String) -> Option<()> {
     Some(())
 }
 
+/// Renders a `fig_repl` document: the replication sweep as one
+/// shards-by-burst grid of commit→ack lag and follower-read throughput.
+fn render_repl(doc: &Json, out: &mut String) -> Option<()> {
+    let cells = doc.get("repl_cells")?.as_array()?;
+    let scale = doc.get("scale").and_then(Json::as_f64).unwrap_or(0.0);
+    let ops = doc.get("ops").and_then(Json::as_f64).unwrap_or(0.0);
+    let _ = writeln!(out, "## fig_repl — WAL-shipping replication\n");
+    let _ = writeln!(
+        out,
+        "*scale 1/{scale:.0}; {ops:.0} leader writes per cell, shipped to a loopback follower \
+         in bursts; lag is commit → follower ack on the leader clock, reads are follower point \
+         lookups after catch-up*\n"
+    );
+    let _ =
+        writeln!(out, "| shards × burst | mean lag | max lag | max staleness | follower reads/s |");
+    let _ = writeln!(out, "|---|---|---|---|---|");
+    for c in cells {
+        let shards = c.get("shards")?.as_f64()? as usize;
+        let burst = c.get("burst")?.as_f64()? as usize;
+        let mean = c.get("mean_lag_ns").and_then(Json::as_f64).unwrap_or(0.0);
+        let max = c.get("max_lag_ns").and_then(Json::as_f64).unwrap_or(0.0);
+        let stale = c.get("max_staleness_ns").and_then(Json::as_f64).unwrap_or(0.0);
+        let reads = c.get("read_throughput_ops_s").and_then(Json::as_f64).unwrap_or(0.0);
+        let _ = writeln!(
+            out,
+            "| {shards} × {burst} | {} | {} | {} | {reads:.0} |",
+            fmt_ns(mean),
+            fmt_ns(max),
+            fmt_ns(stale),
+        );
+    }
+    let _ = writeln!(out);
+    Some(())
+}
+
 /// Sums an integer field over the sweep's per-case results.
 fn sum_field(results: &[Json], key: &str) -> u64 {
     results.iter().filter_map(|r| r.get(key).and_then(Json::as_f64)).sum::<f64>() as u64
@@ -315,6 +350,38 @@ fn sum_field(results: &[Json], key: &str) -> u64 {
 /// Counts cases whose boolean field is set.
 fn count_true(results: &[Json], key: &str) -> usize {
     results.iter().filter(|r| r.get(key).and_then(Json::as_bool) == Some(true)).count()
+}
+
+/// Renders a failover-campaign document (the `nob-chaos` leader-kill
+/// schema): promotion outcomes and replication-loss accounting.
+fn render_failover(exp: &Json, out: &mut String) -> Option<()> {
+    let cases = exp.get("cases")?.as_f64()? as u64;
+    let passed = exp.get("passed")?.as_f64()? as u64;
+    let failed = exp.get("failed")?.as_f64()? as u64;
+    let results = exp.get("results")?.as_array()?;
+    let _ = writeln!(out, "## chaos failover — leader-kill replication sweep\n");
+    let _ = writeln!(
+        out,
+        "**{cases} cases, {passed} passed, {failed} failed** — {} acked records verified, \
+         {} keys recovered byte-for-byte, {} unacked in-flight writes lost (explained), \
+         {} changefeed records delivered exactly once across promotion\n",
+        sum_field(results, "acked_records"),
+        sum_field(results, "recovered_keys"),
+        sum_field(results, "lost_unacked"),
+        sum_field(results, "feed_records"),
+    );
+    let bad: Vec<&Json> =
+        results.iter().filter(|r| r.get("pass").and_then(Json::as_bool) == Some(false)).collect();
+    if !bad.is_empty() {
+        let _ = writeln!(out, "failing cases:\n");
+        for r in bad {
+            let seed = r.get("seed").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+            let kill = r.get("kill_pm").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+            let _ = writeln!(out, "- seed {seed}, kill {kill}‰");
+        }
+        let _ = writeln!(out);
+    }
+    Some(())
 }
 
 /// Renders a chaos-sweep document (the `nob-chaos` campaign schema):
@@ -469,6 +536,10 @@ fn main() {
                     render_shards(&exp, &mut out).is_some()
                 } else if exp.get("server_cells").is_some() {
                     render_server(&exp, &mut out).is_some()
+                } else if exp.get("repl_cells").is_some() {
+                    render_repl(&exp, &mut out).is_some()
+                } else if exp.get("campaign").and_then(Json::as_str) == Some("failover") {
+                    render_failover(&exp, &mut out).is_some()
                 } else {
                     render(&exp, &mut out).is_some()
                 };

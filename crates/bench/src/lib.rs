@@ -18,6 +18,7 @@ use noblsm::Options;
 
 pub mod json;
 pub mod output;
+pub mod repl;
 pub mod scenarios;
 pub mod server;
 pub mod shards;

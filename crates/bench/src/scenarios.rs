@@ -144,9 +144,83 @@ pub fn smoke_fig4(slow_ssd: bool) -> SmokeResult {
     }
 }
 
-/// Both CI smoke scenarios, in report order.
+/// Fixed-seed replication smoke: a 2-shard leader/follower pair on one
+/// virtual clock, WAL-shipped over the loopback transport in bursts of
+/// 4, then a timed follower-read phase. Throughput is the follower-read
+/// rate; the tail signal is the `repl_apply` p99, so a regression in
+/// either the engine read path or the shipping/apply path trips the
+/// gate.
+pub fn smoke_repl(slow_ssd: bool) -> SmokeResult {
+    use nob_repl::{shared, Follower, FollowerLink, Leader, ReplCore, ReplLoopback};
+    use nob_sim::SharedClock;
+    use nob_store::{Store, StoreOptions};
+    use noblsm::{ReadOptions, WriteBatch, WriteOptions};
+
+    let scale = Scale::new(512);
+    let ops = 1_200u64;
+    let reads = 600u64;
+    let burst = 4u64;
+    let mut fs_cfg = scale.fs_config();
+    if slow_ssd {
+        degrade(&mut fs_cfg);
+    }
+    let opts = StoreOptions {
+        shards: 2,
+        fs: fs_cfg,
+        db: scale.base_options(crate::PAPER_TABLE_LARGE),
+        ..StoreOptions::default()
+    };
+    let clock = SharedClock::new();
+    let leader_store = Store::open_with_clock(opts.clone(), clock.clone()).expect("open leader");
+    let follower_store = Store::open_with_clock(opts, clock.clone()).expect("open follower");
+    let sink = TraceSink::new();
+    let mut leader = Leader::new(leader_store, 1);
+    leader.set_trace_sink(sink.clone());
+    let mut follower = Follower::new(follower_store, 1);
+    follower.set_trace_sink(sink.clone());
+    let core = shared(ReplCore::new(leader));
+    let mut link = FollowerLink::new(ReplLoopback::connect(&core), follower);
+    link.subscribe().expect("subscribe");
+
+    let mut state = 42u64;
+    for round in 0..ops / burst {
+        for _ in 0..burst {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = format!("key{:08}", state % 50_000);
+            let mut value = format!("val{round}-").into_bytes();
+            value.resize(128, b'x');
+            let mut batch = WriteBatch::new();
+            batch.put(key.as_bytes(), &value);
+            core.borrow_mut()
+                .leader_mut()
+                .write(&WriteOptions::default(), batch)
+                .expect("leader write");
+        }
+        link.poll_until_idle().expect("poll");
+    }
+    let started = clock.now();
+    let mut state = 42u64;
+    for _ in 0..reads {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let key = format!("key{:08}", state % 50_000);
+        link.get(&ReadOptions::default(), key.as_bytes()).expect("follower read");
+    }
+    let elapsed = clock.now() - started;
+    let summary = sink.summary();
+    let p99_ns = summary.class(EventClass::ReplApply).map_or(0, |c| c.p99_ns);
+    SmokeResult {
+        name: "repl_follower".to_string(),
+        throughput: reads as f64 / elapsed.as_secs_f64(),
+        unit: "reads/s".to_string(),
+        p99_ns,
+        p99_class: EventClass::ReplApply,
+        summary,
+    }
+}
+
+/// All CI smoke scenarios, in report order.
 pub fn smoke_all(slow_ssd: bool) -> Vec<SmokeResult> {
-    vec![smoke_fig2a(slow_ssd), smoke_fig4(slow_ssd)]
+    vec![smoke_fig2a(slow_ssd), smoke_fig4(slow_ssd), smoke_repl(slow_ssd)]
 }
 
 #[cfg(test)]
@@ -179,6 +253,17 @@ mod tests {
             slow.p99_ns,
             fast.p99_ns
         );
+    }
+
+    #[test]
+    fn repl_smoke_is_deterministic_and_traces_the_apply_path() {
+        let a = smoke_repl(false);
+        let b = smoke_repl(false);
+        assert_eq!(a.summary.to_json(), b.summary.to_json());
+        assert!(a.throughput > 0.0);
+        assert!(a.p99_ns > 0, "the apply path must be traced");
+        assert!(a.summary.class(EventClass::ReplShip).is_some());
+        assert!(a.summary.class(EventClass::ReplAck).is_some());
     }
 
     #[test]

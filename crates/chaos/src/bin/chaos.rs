@@ -8,6 +8,8 @@
 //! chaos case --seed S [--config 0..3] [--crash-pm P] [--ops K]
 //!            [--fault-seed F] [--snap]
 //!                                     one case, verbose JSON
+//! chaos failover [--full] [--seeds N] [--kill-points M] [--ops K] [--out PATH]
+//!                                     leader-kill replication sweep
 //! ```
 //!
 //! Exit status is non-zero if any case fails its invariants.
@@ -15,13 +17,14 @@
 use std::process::ExitCode;
 
 use nob_chaos::campaign::{case_json, run_campaign, CampaignSpec, FaultProfile};
-use nob_chaos::{run_case, ChaosCase, FaultPlan, CONFIGS};
+use nob_chaos::{run_case, run_failover_campaign, ChaosCase, FailoverSpec, FaultPlan, CONFIGS};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: chaos smoke\n       chaos sweep [--seeds N] [--crash-points M] [--ops K] \
          [--profile power_cut|device_lies|mixed] [--snap]\n       chaos case --seed S \
-         [--config 0..{}] [--crash-pm P] [--ops K] [--fault-seed F] [--snap]",
+         [--config 0..{}] [--crash-pm P] [--ops K] [--fault-seed F] [--snap]\n       \
+         chaos failover [--full] [--seeds N] [--kill-points M] [--ops K] [--out PATH]",
         CONFIGS - 1
     );
     ExitCode::from(2)
@@ -110,6 +113,37 @@ fn run_one(args: &[String]) -> Result<ExitCode, ExitCode> {
     Ok(if r.pass { ExitCode::SUCCESS } else { ExitCode::FAILURE })
 }
 
+fn run_failover(args: &[String]) -> Result<ExitCode, ExitCode> {
+    let mut spec =
+        if flag_present(args, "--full") { FailoverSpec::full() } else { FailoverSpec::smoke() };
+    let seeds = parse_u64(args, "--seeds", spec.seeds.len() as u64)?;
+    spec.seeds = (1..=seeds.max(1)).collect();
+    let points = parse_u64(args, "--kill-points", spec.kill_points_pm.len() as u64)?;
+    let m = points.max(1) as u32;
+    spec.kill_points_pm = (1..=m).map(|i| i * 1000 / m).collect();
+    spec.ops = parse_u64(args, "--ops", spec.ops as u64)? as usize;
+    let result = run_failover_campaign(&spec);
+    if let Some(path) = flag_value(args, "--out") {
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(&path, result.to_json()) {
+            eprintln!("chaos: cannot write {path}: {e}");
+            return Err(ExitCode::FAILURE);
+        }
+        eprintln!("chaos: wrote {path}");
+    } else {
+        print!("{}", result.to_json());
+    }
+    eprintln!(
+        "chaos failover: {} cases, {} passed, {} failed",
+        result.results.len(),
+        result.passed(),
+        result.failed()
+    );
+    Ok(if result.failed() == 0 { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { return usage() };
@@ -118,6 +152,7 @@ fn main() -> ExitCode {
         "smoke" => run_sweep(CampaignSpec::smoke(), rest),
         "sweep" => run_sweep(CampaignSpec::full(), rest),
         "case" => run_one(rest),
+        "failover" => run_failover(rest),
         _ => return usage(),
     };
     match out {

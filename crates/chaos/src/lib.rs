@@ -16,6 +16,10 @@
 //!   injection log.
 //! * [`campaign`] — sweeps (seeds × crash points × configurations) with
 //!   bit-for-bit reproducible JSON reports.
+//! * [`failover`] — leader-kill sweeps over the replication stack: kill
+//!   the leader at swept instants, promote the follower, and check that
+//!   no acked write is lost, follower reads never go backwards, and
+//!   changefeeds resume across the failover without gaps or duplicates.
 //!
 //! # Example
 //!
@@ -31,10 +35,15 @@
 //! ```
 
 pub mod campaign;
+pub mod failover;
 pub mod harness;
 pub mod plan;
 
 pub use campaign::{run_campaign, CampaignResult, CampaignSpec, FaultProfile};
+pub use failover::{
+    run_failover_campaign, run_failover_case, FailoverCampaignResult, FailoverCase,
+    FailoverOutcome, FailoverSpec,
+};
 pub use harness::{
     config_name, config_options, prepare_run, run_case, validate_crash, CaseResult, ChaosCase,
     PreparedRun, CONFIGS,

@@ -34,6 +34,14 @@
 //! store fill <n> <vsize> [writers]  n records from W logical writers
 //! store stats                    group-commit counters + shard levels
 //! store close                    drop the store
+//! repl open [shards]             leader + loopback follower pair
+//! repl put <key> <value>         committed write on the leader
+//! repl follow                    ship -> apply -> ack until the link idles
+//! repl get <key> [staleness_ms]  bounded-staleness follower read
+//! repl subscribe [from_seq]      (re)connect the changefeed + drain it
+//! repl promote                   follower -> leader, fence the old epoch
+//! repl status                    epochs, sequences, lag, staleness
+//! repl close                     drop the replication pair
 //! help                   this text
 //! ```
 //!
@@ -54,6 +62,10 @@ use std::fmt::Write as _;
 use nob_baselines::Variant;
 use nob_ext4::Ext4Fs;
 use nob_metrics::{MetricsHub, DEFAULT_PERIOD};
+use nob_repl::{
+    shared as shared_repl, Follower, FollowerLink, Leader, ReplCore, ReplLoopback, SharedRepl,
+    Subscription,
+};
 use nob_sim::{Nanos, SharedClock};
 use nob_store::{Store, StoreOptions};
 use nob_trace::TraceSink;
@@ -71,6 +83,8 @@ pub struct Session {
     clock: SharedClock,
     /// Optional sharded store, independent of the session's single `db`.
     store: Option<Store>,
+    /// Optional replication pair, independent of `db` and `store`.
+    repl: Option<ReplSession>,
     /// Live trace sink, kept across `open`/`crash` reattachments.
     trace: Option<TraceSink>,
     /// Live metrics hub, kept across `open`/`crash` reattachments.
@@ -84,6 +98,16 @@ impl std::fmt::Debug for Session {
             .field("now", &self.clock.now())
             .finish()
     }
+}
+
+/// The `repl` command family's state: the leader behind the shared
+/// core, the follower link (absent once promoted), and at most one
+/// changefeed. The pair lives on its own shared virtual clock, like the
+/// chaos and bench harnesses.
+struct ReplSession {
+    core: SharedRepl,
+    link: Option<FollowerLink<ReplLoopback>>,
+    sub: Option<Subscription<ReplLoopback>>,
 }
 
 fn base_options() -> Options {
@@ -101,6 +125,7 @@ impl Session {
             variant: Variant::NobLsm,
             clock: SharedClock::new(),
             store: None,
+            repl: None,
             trace: None,
             metrics: None,
         }
@@ -144,6 +169,12 @@ impl Session {
         self.store
             .as_mut()
             .ok_or_else(|| Error::Usage("no store open (use `store open <shards>`)".into()))
+    }
+
+    fn repl(&mut self) -> Result<&mut ReplSession, Error> {
+        self.repl
+            .as_mut()
+            .ok_or_else(|| Error::Usage("no replication pair (use `repl open [shards]`)".into()))
     }
 
     fn dispatch(&mut self, line: &str, out: &mut String) -> Result<(), Error> {
@@ -315,6 +346,7 @@ impl Session {
                 let _ = writeln!(out, "{}", self.clock.now());
             }
             "store" => self.dispatch_store(&args, out)?,
+            "repl" => self.dispatch_repl(&args, out)?,
             // Self-contained: runs against its own fresh simulated stack,
             // leaving the session's filesystem and database untouched.
             "chaos" => match args.first().copied() {
@@ -537,7 +569,7 @@ impl Session {
             "help" => {
                 let _ = writeln!(
                     out,
-                    "commands: open put get del scan fill advance flush compact crash chaos trace metrics store levels stats time help quit"
+                    "commands: open put get del scan fill advance flush compact crash chaos trace metrics store repl levels stats time help quit"
                 );
             }
             "quit" | "exit" => {}
@@ -667,6 +699,185 @@ impl Session {
             }
             _ => {
                 return Err("usage: store open|put|get|fill|stats|close".into());
+            }
+        }
+        Ok(())
+    }
+
+    /// The `repl` command family: an in-process leader/follower pair
+    /// over the loopback shipping transport, with a resumable changefeed
+    /// and promote-and-fence failover — the whole replication stack in a
+    /// scriptable shell.
+    fn dispatch_repl(&mut self, args: &[&str], out: &mut String) -> Result<(), Error> {
+        match args.first().copied() {
+            Some("open") => {
+                let shards: usize = args
+                    .get(1)
+                    .map(|s| s.parse().map_err(|_| "shards must be a number"))
+                    .transpose()?
+                    .unwrap_or(2);
+                let opts = StoreOptions { shards, db: base_options(), ..StoreOptions::default() };
+                let clock = SharedClock::new();
+                let leader = Store::open_with_clock(opts.clone(), clock.clone())?;
+                let follower = Store::open_with_clock(opts, clock)?;
+                let core = shared_repl(ReplCore::new(Leader::new(leader, 1)));
+                let mut link =
+                    FollowerLink::new(ReplLoopback::connect(&core), Follower::new(follower, 1));
+                link.subscribe()?;
+                self.repl = Some(ReplSession { core, link: Some(link), sub: None });
+                let _ = writeln!(out, "repl open: {shards} shards, epoch 1, loopback follower");
+            }
+            Some("put") => {
+                let [_, k, v] = args[..] else {
+                    return Err("usage: repl put <key> <value>".into());
+                };
+                let mut batch = WriteBatch::new();
+                batch.put(k.as_bytes(), v.as_bytes());
+                let t = self
+                    .repl()?
+                    .core
+                    .borrow_mut()
+                    .leader_mut()
+                    .write(&WriteOptions::default(), batch)?;
+                let _ = writeln!(out, "OK ({t})");
+            }
+            Some("follow") => {
+                let r = self.repl()?;
+                let link = r
+                    .link
+                    .as_mut()
+                    .ok_or("follower was promoted (use `repl open` for a new pair)")?;
+                let applied = link.poll_until_idle()?;
+                let _ = writeln!(
+                    out,
+                    "applied {applied} records; follower at {:?}",
+                    link.follower().shard_seqs()
+                );
+            }
+            Some("get") => {
+                let k = args.get(1).ok_or("usage: repl get <key> [staleness_ms]")?;
+                let ms: u64 = args
+                    .get(2)
+                    .map(|s| s.parse().map_err(|_| "staleness_ms must be a number"))
+                    .transpose()?
+                    .unwrap_or(60_000);
+                let key = k.as_bytes().to_vec();
+                let ropts = ReadOptions::default().with_max_staleness(Nanos::from_millis(ms));
+                let r = self.repl()?;
+                let link = r
+                    .link
+                    .as_mut()
+                    .ok_or("follower was promoted (use `repl open` for a new pair)")?;
+                match link.get(&ropts, &key)? {
+                    Some(v) => {
+                        let _ = writeln!(
+                            out,
+                            "{} (follower, bound {ms} ms)",
+                            String::from_utf8_lossy(&v)
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(out, "<not found> (follower, bound {ms} ms)");
+                    }
+                }
+            }
+            Some("subscribe") => {
+                let from: Option<u64> = args
+                    .get(1)
+                    .map(|s| s.parse().map_err(|_| "from_seq must be a number"))
+                    .transpose()?;
+                let r = self.repl()?;
+                let conn = ReplLoopback::connect(&r.core);
+                // An explicit sequence starts a fresh feed; otherwise an
+                // existing feed resumes from where it left off (across a
+                // promotion too — the new leader kept the change log).
+                let mut sub = match (r.sub.take(), from) {
+                    (_, Some(seq)) => Subscription::start(conn, 0, seq)?,
+                    (Some(prev), None) => prev.resume(conn)?,
+                    (None, None) => Subscription::start(conn, 0, 1)?,
+                };
+                let mut n = 0usize;
+                loop {
+                    let recs = sub.poll()?;
+                    if recs.is_empty() {
+                        break;
+                    }
+                    for rec in recs {
+                        n += 1;
+                        let _ = writeln!(
+                            out,
+                            "  shard {} seq {}..{} epoch {} ({} payload bytes)",
+                            rec.shard,
+                            rec.first_seq,
+                            rec.last_seq,
+                            rec.epoch,
+                            rec.payload.len()
+                        );
+                    }
+                }
+                let _ = writeln!(out, "changefeed: {n} records, next seq {}", sub.next_seq());
+                r.sub = Some(sub);
+            }
+            Some("promote") => {
+                let r = self.repl()?;
+                let link = r.link.take().ok_or("follower already promoted")?;
+                let new_leader = link.into_follower().promote();
+                let epoch = new_leader.epoch();
+                r.core.borrow_mut().leader_mut().fence(epoch);
+                r.core = shared_repl(ReplCore::new(new_leader));
+                let _ = writeln!(out, "promoted follower to epoch {epoch}; old leader fenced");
+            }
+            Some("status") => {
+                let r = self.repl()?;
+                {
+                    let core = r.core.borrow();
+                    let l = core.leader();
+                    let _ = writeln!(
+                        out,
+                        "leader: epoch={} fenced={} seqs={:?} acked={:?} lag={}",
+                        l.epoch(),
+                        l.fenced(),
+                        l.store().shard_seqs(),
+                        l.acked_seqs(),
+                        l.replication_lag()
+                    );
+                }
+                match &r.link {
+                    Some(link) => {
+                        let f = link.follower();
+                        let seqs = f.shard_seqs();
+                        let stale: Vec<String> =
+                            (0..seqs.len()).map(|s| f.staleness(s).to_string()).collect();
+                        let _ = writeln!(
+                            out,
+                            "follower: epoch={} seqs={seqs:?} staleness={stale:?}",
+                            f.epoch()
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(out, "follower: promoted");
+                    }
+                }
+                match &r.sub {
+                    Some(sub) => {
+                        let _ = writeln!(
+                            out,
+                            "changefeed: shard {} next seq {}",
+                            sub.shard(),
+                            sub.next_seq()
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(out, "changefeed: none");
+                    }
+                }
+            }
+            Some("close") => {
+                self.repl = None;
+                let _ = writeln!(out, "repl closed");
+            }
+            _ => {
+                return Err("usage: repl open|put|follow|get|subscribe|promote|status|close".into());
             }
         }
         Ok(())
@@ -872,6 +1083,52 @@ mod tests {
         assert!(s.run_line("store open").contains("usage: store open"));
         assert!(s.run_line("store open 0").contains("at least one shard"));
         assert!(s.run_line("store open 2 alienDB").contains("unknown mode"));
+    }
+
+    #[test]
+    fn repl_commands_ship_read_subscribe_and_promote() {
+        let mut s = Session::new();
+        // One shard so the shard-0 changefeed deterministically sees
+        // every record regardless of key hashing.
+        let out = s.run_script(
+            "repl open 1\nrepl put alpha 1\nrepl put beta 2\nrepl follow\nrepl get alpha\n\
+             repl subscribe\nrepl status\nrepl promote\nrepl put gamma 3\nrepl subscribe\n\
+             repl status\nrepl close\n",
+        );
+        assert!(out.contains("repl open: 1 shards, epoch 1"), "{out}");
+        assert!(out.contains("applied 2 records"), "{out}");
+        assert!(out.contains("1 (follower, bound 60000 ms)"), "{out}");
+        assert!(out.contains("seq 1..1 epoch 1"), "pre-failover record: {out}");
+        assert!(out.contains("seq 2..2 epoch 1"), "{out}");
+        assert!(out.contains("promoted follower to epoch 2"), "{out}");
+        assert!(out.contains("seq 3..3 epoch 2"), "the resumed feed crosses the failover: {out}");
+        assert!(out.contains("leader: epoch=2"), "{out}");
+        assert!(out.contains("follower: promoted"), "{out}");
+        assert!(out.contains("repl closed"), "{out}");
+    }
+
+    #[test]
+    fn repl_get_enforces_the_staleness_bound() {
+        let mut s = Session::new();
+        let out = s.run_script("repl open 1\nrepl put k v\nrepl follow\nrepl get k 0\n");
+        // Staleness on the follower is never exactly zero (the ack trails
+        // the commit), so a 0 ms bound must be refused.
+        assert!(out.contains("error:"), "{out}");
+        let out = s.run_line("repl get k 60000");
+        assert!(out.contains("v (follower"), "{out}");
+    }
+
+    #[test]
+    fn repl_usage_errors_are_reported() {
+        let mut s = Session::new();
+        assert!(s.run_line("repl put a b").contains("no replication pair"));
+        assert!(s.run_line("repl").contains("usage: repl"));
+        let _ = s.run_line("repl open 1");
+        assert!(s.run_line("repl get").contains("usage: repl get"));
+        assert!(s.run_line("repl put onlykey").contains("usage: repl put"));
+        let _ = s.run_line("repl promote");
+        assert!(s.run_line("repl follow").contains("promoted"), "follow after promote");
+        assert!(s.run_line("repl promote").contains("already promoted"));
     }
 
     #[test]

@@ -38,7 +38,7 @@ const PIPELINE_WINDOW: usize = 64;
 
 /// Closed-loop TCP load: `clients` connections each issue `ops /
 /// clients` SET requests (values of `value_size` bytes) with a
-/// read-back GET every eighth op, pipelined up to [`PIPELINE_WINDOW`]
+/// read-back GET every eighth op, pipelined up to `PIPELINE_WINDOW`
 /// deep, then the server's `INFO` section is appended to the report.
 /// With `addr: None` an in-process server on an ephemeral port is used
 /// and gracefully drained afterwards.

@@ -2,12 +2,19 @@
 //!
 //! Layout: `seq (8 LE) ++ count (4 LE) ++ entries`, each entry being
 //! `type (1) ++ varint keylen ++ key [++ varint valuelen ++ value]`.
+//!
+//! The codec is public: this exact byte layout is also the unit of WAL
+//! shipping in `nob-repl` — a leader re-encodes each committed group with
+//! its assigned first sequence and ships it verbatim, and a follower
+//! decodes it with [`decode_batch`] before applying. Keeping one format
+//! for recovery and replication is what lets a promoted follower's log
+//! line up bit-for-bit with the leader's.
 
 use crate::util::{decode_bytes, encode_bytes};
 use crate::{DbError, Result, SequenceNumber, ValueType};
 
 /// Encodes a batch of writes starting at sequence `seq`.
-pub(crate) fn encode_batch(seq: SequenceNumber, entries: &[(ValueType, &[u8], &[u8])]) -> Vec<u8> {
+pub fn encode_batch(seq: SequenceNumber, entries: &[(ValueType, &[u8], &[u8])]) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(&seq.to_le_bytes());
     out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
@@ -21,10 +28,13 @@ pub(crate) fn encode_batch(seq: SequenceNumber, entries: &[(ValueType, &[u8], &[
     out
 }
 
-/// A decoded WAL batch.
+/// A decoded WAL batch: the first sequence number and the entries, each
+/// carrying consecutive sequences from [`DecodedBatch::seq`] upward.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) struct DecodedBatch {
+pub struct DecodedBatch {
+    /// Sequence number of the first entry.
     pub seq: SequenceNumber,
+    /// The entries in write order (deletions carry an empty value).
     pub entries: Vec<(ValueType, Vec<u8>, Vec<u8>)>,
 }
 
@@ -33,7 +43,7 @@ pub(crate) struct DecodedBatch {
 /// # Errors
 ///
 /// Returns [`DbError::Corruption`] on malformed input.
-pub(crate) fn decode_batch(data: &[u8]) -> Result<DecodedBatch> {
+pub fn decode_batch(data: &[u8]) -> Result<DecodedBatch> {
     let corrupt = || DbError::Corruption("malformed write batch".into());
     if data.len() < 12 {
         return Err(corrupt());

@@ -14,7 +14,8 @@
 //! LevelDB stalls: a full memtable whose predecessor is still flushing, or
 //! `L0` at the slowdown/stop triggers.
 
-mod batch;
+pub mod batch;
+
 mod hot;
 mod level_iter;
 mod repair;
@@ -41,10 +42,10 @@ use crate::version::Version;
 use crate::version::{
     file_path, parse_file_name, CompactionInputs, FileKind, FileMetaData, VersionEdit, VersionSet,
 };
-use crate::wal::{LogReader, LogWriter};
+use crate::wal::LogWriter;
 use crate::{DbError, DbStats, Result, ValueType};
 
-use batch::{decode_batch, encode_batch};
+use batch::encode_batch;
 use hot::HotTracker;
 use level_iter::LevelIter;
 
@@ -275,15 +276,11 @@ impl Db {
                 let size = fs.file_size(&path)?;
                 let (data, t2) = fs.read_at(h, 0, size, t)?;
                 t = t2;
-                let mut reader = LogReader::new(data);
-                while let Some(record) = reader.next_record() {
-                    let Ok(batch) = decode_batch(&record) else {
-                        // A CRC-valid record that does not decode as a
-                        // batch is real corruption, not a torn tail
-                        // (tearing is caught by the record checksum).
-                        recovery.wal_corruptions_detected += 1;
-                        break;
-                    };
+                // Full-log replay is the seq-0 case of the shared replay
+                // cursor; `nob-repl` drives the same cursor from a
+                // follower's resume sequence.
+                let mut cursor = crate::wal::ReplayCursor::new(data);
+                while let Some(batch) = cursor.next_batch() {
                     recovery.wal_records_recovered += 1;
                     for (seq, (vt, key, value)) in (batch.seq..).zip(batch.entries) {
                         mem.add(seq, vt, &key, &value);
@@ -302,15 +299,18 @@ impl Db {
                         )?;
                     }
                 }
-                if reader.corruption_detected() {
+                if cursor.payload_corruption_detected() {
                     recovery.wal_corruptions_detected += 1;
                 }
-                recovery.wal_bytes_dropped += reader.bytes_total() - reader.bytes_consumed();
+                if cursor.record_corruption_detected() {
+                    recovery.wal_corruptions_detected += 1;
+                }
+                recovery.wal_bytes_dropped += cursor.bytes_dropped();
                 if recovery.wal_corruptions_detected > 0 && opts.paranoid_checks {
                     return Err(DbError::Corruption(format!(
                         "checksum mismatch in {path} during recovery \
                          ({} bytes unreplayable)",
-                        reader.bytes_total() - reader.bytes_consumed()
+                        cursor.bytes_dropped()
                     )));
                 }
             }
@@ -543,6 +543,17 @@ impl Db {
         &self.stats
     }
 
+    /// The last committed sequence number: every entry written so far
+    /// carries a sequence in `1..=last_sequence()`, assigned contiguously
+    /// in commit order. This is the resume point for WAL shipping — a
+    /// replica that has applied batches through `last_sequence()` is
+    /// byte-identical in logical content, and a changefeed subscription
+    /// resumes at `last_sequence() + 1`. Also exposed as
+    /// `property("noblsm.seq")`.
+    pub fn last_sequence(&self) -> crate::SequenceNumber {
+        self.versions.last_sequence
+    }
+
     /// The engine's options.
     pub fn options(&self) -> &Options {
         &self.opts
@@ -765,6 +776,8 @@ impl Db {
     /// * `"noblsm.compaction-stats"` — the classic `leveldb.stats`-style
     ///   per-level table (files, size, compaction reads/writes/time);
     /// * `"noblsm.sstables"` — per-level file listing;
+    /// * `"noblsm.seq"` — the last committed sequence number (see
+    ///   [`Db::last_sequence`]);
     /// * `"noblsm.num-files-at-level<N>"`;
     /// * `"noblsm.approximate-memory"` (alias
     ///   `"noblsm.approximate-memory-usage"`) — memtable bytes;
@@ -785,6 +798,7 @@ impl Db {
             return self.ssd_property(rest);
         }
         match name {
+            "noblsm.seq" => Some(self.versions.last_sequence.to_string()),
             "noblsm.stats" => {
                 let s = &self.stats;
                 Some(format!(

@@ -28,6 +28,13 @@ pub enum DbError {
     /// transport). The source is preserved behind an [`Arc`] so the error
     /// stays `Clone` while `source()` still walks the causal chain.
     Io(Arc<std::io::Error>),
+    /// A replication-contract violation surfaced by `nob-repl`: a fenced
+    /// leader refusing writes, a follower read exceeding its
+    /// `max_staleness` bound, or a subscription gap that requires a
+    /// re-subscribe. Carried here (not as a repl-local enum) so `?`
+    /// propagates it through the store/server layers like every other
+    /// engine error.
+    Replication(String),
 }
 
 impl PartialEq for DbError {
@@ -37,6 +44,7 @@ impl PartialEq for DbError {
             (DbError::Corruption(a), DbError::Corruption(b)) => a == b,
             (DbError::InvalidDb(a), DbError::InvalidDb(b)) => a == b,
             (DbError::Usage(a), DbError::Usage(b)) => a == b,
+            (DbError::Replication(a), DbError::Replication(b)) => a == b,
             // `std::io::Error` is not `PartialEq`; kind + message is the
             // closest stable identity and is what tests assert on.
             (DbError::Io(a), DbError::Io(b)) => {
@@ -61,6 +69,7 @@ impl fmt::Display for DbError {
             DbError::InvalidDb(m) => write!(f, "invalid database: {m}"),
             DbError::Usage(m) => write!(f, "usage: {m}"),
             DbError::Io(e) => write!(f, "io error: {e}"),
+            DbError::Replication(m) => write!(f, "replication: {m}"),
         }
     }
 }
@@ -112,6 +121,14 @@ mod tests {
     fn displays_are_lowercase() {
         assert!(DbError::Corruption("bad crc".into()).to_string().starts_with("corruption"));
         assert!(DbError::InvalidDb("no CURRENT".into()).to_string().contains("no CURRENT"));
+    }
+
+    #[test]
+    fn replication_errors_display_and_compare() {
+        let e = DbError::Replication("write fenced at epoch 3".into());
+        assert!(e.to_string().starts_with("replication:"), "{e}");
+        assert_eq!(e, DbError::Replication("write fenced at epoch 3".into()));
+        assert_ne!(e, DbError::Usage("write fenced at epoch 3".into()));
     }
 
     #[test]

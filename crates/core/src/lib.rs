@@ -64,6 +64,7 @@ mod stats;
 mod types;
 pub mod util;
 
+pub use db::batch::{decode_batch, encode_batch, DecodedBatch};
 pub use db::{Db, RepairReport, Snapshot, WriteBatch};
 pub use error::{DbError, Error};
 pub use iterator::DbIterator;

@@ -132,11 +132,19 @@ pub struct ReadOptions<'a> {
     /// cache (LevelDB's `fill_cache`; scans set it `false` to avoid
     /// evicting the point-read working set).
     pub fill_cache: bool,
+    /// Bounded-staleness budget for replicated follower reads: the read
+    /// may be served by a replica whose applied state lags the leader by
+    /// at most this much virtual time. `None` (the default) accepts any
+    /// lag. The engine itself ignores the field — a single `Db` is never
+    /// stale against itself; `nob-repl`'s follower enforces it and fails
+    /// the read with [`DbError::Replication`](crate::DbError::Replication)
+    /// when its lag exceeds the bound.
+    pub max_staleness: Option<Nanos>,
 }
 
 impl Default for ReadOptions<'_> {
     fn default() -> Self {
-        ReadOptions { snapshot: None, fill_cache: true }
+        ReadOptions { snapshot: None, fill_cache: true, max_staleness: None }
     }
 }
 
@@ -154,6 +162,12 @@ impl<'a> ReadOptions<'a> {
     /// Disables block-cache population for this read.
     pub fn without_fill_cache(mut self) -> Self {
         self.fill_cache = false;
+        self
+    }
+
+    /// Bounds the staleness a replicated follower may serve this read at.
+    pub fn with_max_staleness(mut self, bound: Nanos) -> Self {
+        self.max_staleness = Some(bound);
         self
     }
 }
@@ -336,6 +350,14 @@ mod tests {
         assert_eq!(o.max_bytes_for_level(1), 10 << 20);
         assert_eq!(o.max_bytes_for_level(2), 100 << 20);
         assert_eq!(o.max_bytes_for_level(3), 1000 << 20);
+    }
+
+    #[test]
+    fn read_options_staleness_defaults_unbounded() {
+        let r = ReadOptions::default();
+        assert_eq!(r.max_staleness, None);
+        let r = ReadOptions::latest().with_max_staleness(Nanos::from_millis(50));
+        assert_eq!(r.max_staleness, Some(Nanos::from_millis(50)));
     }
 
     #[test]

@@ -13,9 +13,11 @@
 //! This module is pure (bytes in, bytes out); the engine owns the actual
 //! file I/O.
 
+mod cursor;
 mod reader;
 mod writer;
 
+pub use cursor::ReplayCursor;
 pub use reader::LogReader;
 pub use writer::LogWriter;
 

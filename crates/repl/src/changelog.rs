@@ -1,0 +1,217 @@
+//! The retained change stream: per-shard chains of shipped group-commit
+//! records.
+//!
+//! Both sides of a replication pair keep a [`ChangeLog`] — the leader
+//! appends records as its store commits them, the follower appends as it
+//! applies them. Keeping the log on *both* sides is what makes promotion
+//! seamless for subscribers: a changefeed that was following the old
+//! leader resumes against the promoted follower from any sequence number
+//! the follower has applied, with no gap and no duplicate.
+
+use nob_sim::Nanos;
+use nob_store::ShippedRecord;
+use noblsm::{Error, Result};
+
+/// One retained record: a shipped group tagged with the leadership epoch
+/// it was committed under.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogRecord {
+    /// The shard the group committed on.
+    pub shard: usize,
+    /// Leadership epoch at commit time.
+    pub epoch: u64,
+    /// Sequence of the group's first entry.
+    pub first_seq: u64,
+    /// Sequence of the group's last entry.
+    pub last_seq: u64,
+    /// The WAL batch payload (`noblsm::encode_batch` format).
+    pub payload: Vec<u8>,
+    /// The group's durable instant on the leader clock.
+    pub committed_at: Nanos,
+}
+
+impl LogRecord {
+    /// Tags a store-shipped record with its epoch.
+    pub fn from_shipped(rec: ShippedRecord, epoch: u64) -> LogRecord {
+        LogRecord {
+            shard: rec.shard,
+            epoch,
+            first_seq: rec.first_seq,
+            last_seq: rec.last_seq,
+            payload: rec.payload,
+            committed_at: rec.committed_at,
+        }
+    }
+}
+
+/// Per-shard chains of [`LogRecord`]s with gap-free append and
+/// resume-from-sequence reads.
+#[derive(Debug, Clone, Default)]
+pub struct ChangeLog {
+    shards: Vec<Vec<LogRecord>>,
+    /// Lowest sequence still retained per shard (1 until truncated).
+    base: Vec<u64>,
+}
+
+impl ChangeLog {
+    /// An empty log over `shards` shards.
+    pub fn new(shards: usize) -> ChangeLog {
+        ChangeLog { shards: vec![Vec::new(); shards], base: vec![1; shards] }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Records retained for `shard`.
+    pub fn len(&self, shard: usize) -> usize {
+        self.shards[shard].len()
+    }
+
+    /// Whether no shard retains any record.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.is_empty())
+    }
+
+    /// The last appended sequence on `shard` (0 before the first record).
+    pub fn last_seq(&self, shard: usize) -> u64 {
+        self.shards[shard].last().map_or(self.base[shard] - 1, |r| r.last_seq)
+    }
+
+    /// The lowest sequence still retained on `shard` — a subscriber
+    /// resuming below this has fallen off the log.
+    pub fn base_seq(&self, shard: usize) -> u64 {
+        self.base[shard]
+    }
+
+    /// Appends `rec` to its shard's chain.
+    ///
+    /// # Errors
+    ///
+    /// [`noblsm::Error::Replication`] when `rec` does not extend the
+    /// chain contiguously (`first_seq` must be the chain's
+    /// `last_seq + 1`) or its range is inverted.
+    pub fn append(&mut self, rec: LogRecord) -> Result<()> {
+        if rec.shard >= self.shards.len() {
+            return Err(Error::Replication(format!(
+                "record for shard {} but the log has {} shards",
+                rec.shard,
+                self.shards.len()
+            )));
+        }
+        if rec.last_seq < rec.first_seq {
+            return Err(Error::Replication(format!(
+                "inverted record range [{}, {}]",
+                rec.first_seq, rec.last_seq
+            )));
+        }
+        let expect = self.last_seq(rec.shard) + 1;
+        if rec.first_seq != expect {
+            return Err(Error::Replication(format!(
+                "log gap on shard {}: expected seq {expect}, record starts at {}",
+                rec.shard, rec.first_seq
+            )));
+        }
+        self.shards[rec.shard].push(rec);
+        Ok(())
+    }
+
+    /// The retained records on `shard` containing sequence `from_seq` and
+    /// everything after it. `from_seq` past the chain's end is an empty
+    /// slice (nothing new yet), not an error.
+    ///
+    /// # Errors
+    ///
+    /// [`noblsm::Error::Replication`] when `from_seq` predates the
+    /// retained base — the subscriber must re-seed from a snapshot.
+    pub fn records_from(&self, shard: usize, from_seq: u64) -> Result<&[LogRecord]> {
+        let from_seq = from_seq.max(1);
+        if from_seq < self.base[shard] {
+            return Err(Error::Replication(format!(
+                "shard {shard} seq {from_seq} already truncated (log starts at {})",
+                self.base[shard]
+            )));
+        }
+        let chain = &self.shards[shard];
+        // First record whose range reaches from_seq.
+        let at = chain.partition_point(|r| r.last_seq < from_seq);
+        Ok(&chain[at..])
+    }
+
+    /// Drops records on `shard` wholly below `seq` (retention). Returns
+    /// how many records were dropped.
+    pub fn truncate_below(&mut self, shard: usize, seq: u64) -> usize {
+        let chain = &mut self.shards[shard];
+        let keep = chain.partition_point(|r| r.last_seq < seq);
+        chain.drain(..keep);
+        self.base[shard] = chain.first().map_or(seq.max(self.base[shard]), |r| r.first_seq);
+        keep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(shard: usize, first: u64, last: u64) -> LogRecord {
+        LogRecord {
+            shard,
+            epoch: 1,
+            first_seq: first,
+            last_seq: last,
+            payload: vec![0xaa; 4],
+            committed_at: Nanos::from_micros(first),
+        }
+    }
+
+    #[test]
+    fn chains_append_contiguously_per_shard() {
+        let mut log = ChangeLog::new(2);
+        log.append(rec(0, 1, 3)).unwrap();
+        log.append(rec(1, 1, 1)).unwrap();
+        log.append(rec(0, 4, 4)).unwrap();
+        assert_eq!(log.last_seq(0), 4);
+        assert_eq!(log.last_seq(1), 1);
+        let err = log.append(rec(0, 6, 7)).unwrap_err();
+        assert!(matches!(err, Error::Replication(_)), "{err}");
+        let err = log.append(rec(1, 3, 2)).unwrap_err();
+        assert!(matches!(err, Error::Replication(_)), "{err}");
+    }
+
+    #[test]
+    fn records_from_lands_mid_chain() {
+        let mut log = ChangeLog::new(1);
+        log.append(rec(0, 1, 3)).unwrap();
+        log.append(rec(0, 4, 4)).unwrap();
+        log.append(rec(0, 5, 9)).unwrap();
+        // Sequence 4 starts at the second record.
+        let tail = log.records_from(0, 4).unwrap();
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].first_seq, 4);
+        // Mid-record sequence lands on the record containing it.
+        let tail = log.records_from(0, 7).unwrap();
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].first_seq, 5);
+        // Past the end: nothing new, not an error.
+        assert!(log.records_from(0, 10).unwrap().is_empty());
+        // Zero normalizes to "from the beginning".
+        assert_eq!(log.records_from(0, 0).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn truncation_moves_the_base_and_fails_stale_resumes() {
+        let mut log = ChangeLog::new(1);
+        log.append(rec(0, 1, 3)).unwrap();
+        log.append(rec(0, 4, 6)).unwrap();
+        log.append(rec(0, 7, 9)).unwrap();
+        assert_eq!(log.truncate_below(0, 5), 1, "only the wholly-below record drops");
+        assert_eq!(log.base_seq(0), 4);
+        assert!(log.records_from(0, 4).is_ok());
+        let err = log.records_from(0, 2).unwrap_err();
+        assert!(matches!(err, Error::Replication(_)), "{err}");
+        // Appends continue from the untouched tail.
+        log.append(rec(0, 10, 10)).unwrap();
+        assert_eq!(log.last_seq(0), 10);
+    }
+}

@@ -1,0 +1,258 @@
+//! The leader-side replication endpoint: connection state, frame
+//! dispatch, and the deterministic in-process loopback transport.
+//!
+//! [`ReplCore`] mirrors the serving crate's `ServerCore` shape — `feed`
+//! request bytes in, `take_output` reply bytes out, no I/O of its own —
+//! so the same core serves both the loopback transport (deterministic
+//! tests, virtual time) and the TCP front-end (real runs), byte for
+//! byte.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use nob_server::Transport;
+use noblsm::{Error, Result};
+
+use crate::leader::Leader;
+use crate::wire::{encode, Frame, FrameReader};
+
+/// Server-side handle for one replication connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ReplConnId(u64);
+
+struct Conn {
+    reader: FrameReader,
+    outbox: Vec<u8>,
+    /// Per-shard subscription cursor: the next sequence to stream, `None`
+    /// while not subscribed to that shard.
+    cursors: Vec<Option<u64>>,
+    /// A protocol error was observed; the connection only drains.
+    poisoned: bool,
+}
+
+/// The leader-side endpoint: owns the [`Leader`] and serves any number of
+/// subscriber connections over the frame protocol.
+pub struct ReplCore {
+    leader: Leader,
+    conns: BTreeMap<u64, Conn>,
+    next_conn: u64,
+}
+
+impl ReplCore {
+    /// Wraps `leader` for serving.
+    pub fn new(leader: Leader) -> ReplCore {
+        ReplCore { leader, conns: BTreeMap::new(), next_conn: 0 }
+    }
+
+    /// The wrapped leader.
+    pub fn leader(&self) -> &Leader {
+        &self.leader
+    }
+
+    /// Mutable access to the wrapped leader (writes, trace/metrics
+    /// wiring, crash injection).
+    pub fn leader_mut(&mut self) -> &mut Leader {
+        &mut self.leader
+    }
+
+    /// Consumes the core, returning the leader (failover hand-off,
+    /// end-of-test inspection).
+    pub fn into_leader(self) -> Leader {
+        self.leader
+    }
+
+    /// Registers a new subscriber connection.
+    pub fn connect(&mut self) -> ReplConnId {
+        let id = self.next_conn;
+        self.next_conn += 1;
+        let shards = self.leader.store().shards();
+        self.conns.insert(
+            id,
+            Conn {
+                reader: FrameReader::new(),
+                outbox: Vec::new(),
+                cursors: vec![None; shards],
+                poisoned: false,
+            },
+        );
+        ReplConnId(id)
+    }
+
+    /// Drops `conn`'s state. Safe to call twice.
+    pub fn disconnect(&mut self, conn: ReplConnId) {
+        self.conns.remove(&conn.0);
+    }
+
+    /// Open connections.
+    pub fn connections(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Whether `conn` hit a protocol error.
+    pub fn is_poisoned(&self, conn: ReplConnId) -> bool {
+        self.conns.get(&conn.0).is_some_and(|c| c.poisoned)
+    }
+
+    /// Feeds raw bytes from `conn`'s peer: complete frames are decoded
+    /// and dispatched (SUBSCRIBE moves the cursor, ACK records progress,
+    /// FENCE fences the leader).
+    ///
+    /// # Errors
+    ///
+    /// Frame decode errors poison the connection and surface as
+    /// [`noblsm::Error::Replication`].
+    pub fn feed(&mut self, conn: ReplConnId, bytes: &[u8]) -> Result<()> {
+        let Some(c) = self.conns.get_mut(&conn.0) else {
+            return Err(Error::Usage("feed on an unknown replication connection".into()));
+        };
+        if c.poisoned {
+            return Ok(()); // drain-only: ignore further input
+        }
+        c.reader.feed(bytes);
+        loop {
+            let frame =
+                match self.conns.get_mut(&conn.0).expect("checked above").reader.next_frame() {
+                    Ok(Some(f)) => f,
+                    Ok(None) => return Ok(()),
+                    Err(e) => {
+                        self.conns.get_mut(&conn.0).expect("checked above").poisoned = true;
+                        return Err(e);
+                    }
+                };
+            self.dispatch(conn, frame)?;
+        }
+    }
+
+    fn dispatch(&mut self, conn: ReplConnId, frame: Frame) -> Result<()> {
+        match frame {
+            Frame::Subscribe { shard, from_seq } => {
+                let shard = shard as usize;
+                let c = self.conns.get_mut(&conn.0).expect("dispatch on a live conn");
+                if shard >= c.cursors.len() {
+                    c.poisoned = true;
+                    return Err(Error::Replication(format!(
+                        "subscribe to shard {shard} but the leader has {} shards",
+                        c.cursors.len()
+                    )));
+                }
+                c.cursors[shard] = Some(from_seq.max(1));
+                Ok(())
+            }
+            Frame::Ack { shard, last_seq } => {
+                self.leader.ack(shard as usize, last_seq);
+                Ok(())
+            }
+            Frame::Fence { epoch } => {
+                self.leader.fence(epoch);
+                Ok(())
+            }
+            Frame::Record { .. } | Frame::Heartbeat { .. } => {
+                let c = self.conns.get_mut(&conn.0).expect("dispatch on a live conn");
+                c.poisoned = true;
+                Err(Error::Replication("client sent a server-side frame".into()))
+            }
+        }
+    }
+
+    /// Streams what `conn` is due — new records past each subscribed
+    /// cursor, then one heartbeat — into its outbox. Call after feeding
+    /// input or committing writes, then [`take_output`](ReplCore::take_output).
+    ///
+    /// # Errors
+    ///
+    /// A cursor below the log's retained base surfaces as
+    /// [`noblsm::Error::Replication`] (the subscriber must re-seed).
+    pub fn pump(&mut self, conn: ReplConnId) -> Result<()> {
+        // Pick up anything the leader committed since the last pump.
+        self.leader.absorb()?;
+        let Some(c) = self.conns.get_mut(&conn.0) else {
+            return Err(Error::Usage("pump on an unknown replication connection".into()));
+        };
+        if c.poisoned {
+            return Ok(());
+        }
+        let epoch = self.leader.epoch();
+        for shard in 0..c.cursors.len() {
+            let Some(cursor) = c.cursors[shard] else { continue };
+            let records = self.leader.log().records_from(shard, cursor)?;
+            for rec in records {
+                encode(
+                    &Frame::Record {
+                        shard: shard as u32,
+                        epoch,
+                        first_seq: rec.first_seq,
+                        last_seq: rec.last_seq,
+                        committed_at: rec.committed_at.as_nanos(),
+                        payload: rec.payload.clone(),
+                    },
+                    &mut c.outbox,
+                );
+            }
+            if let Some(last) = records.last() {
+                c.cursors[shard] = Some(last.last_seq + 1);
+            }
+        }
+        let (epoch, leader_now, shard_seqs) = self.leader.heartbeat();
+        encode(
+            &Frame::Heartbeat { epoch, leader_now: leader_now.as_nanos(), shard_seqs },
+            &mut c.outbox,
+        );
+        Ok(())
+    }
+
+    /// Takes `conn`'s accumulated output bytes (empty if nothing is due).
+    pub fn take_output(&mut self, conn: ReplConnId) -> Vec<u8> {
+        self.conns.get_mut(&conn.0).map(|c| std::mem::take(&mut c.outbox)).unwrap_or_default()
+    }
+}
+
+/// Shared handle to an in-process [`ReplCore`] that loopback subscribers
+/// multiplex onto.
+pub type SharedRepl = Rc<RefCell<ReplCore>>;
+
+/// Wraps a core for loopback use.
+pub fn shared(core: ReplCore) -> SharedRepl {
+    Rc::new(RefCell::new(core))
+}
+
+/// In-process replication transport on virtual time: `send` feeds the
+/// core, `recv` pumps it and takes the connection's output — the
+/// replication twin of the serving crate's `LoopbackTransport`.
+pub struct ReplLoopback {
+    core: SharedRepl,
+    conn: ReplConnId,
+}
+
+impl ReplLoopback {
+    /// Opens a new subscriber connection on `core`.
+    pub fn connect(core: &SharedRepl) -> ReplLoopback {
+        let conn = core.borrow_mut().connect();
+        ReplLoopback { core: Rc::clone(core), conn }
+    }
+
+    /// The server-side connection handle.
+    pub fn conn_id(&self) -> ReplConnId {
+        self.conn
+    }
+}
+
+impl Transport for ReplLoopback {
+    fn send(&mut self, bytes: &[u8]) -> Result<()> {
+        self.core.borrow_mut().feed(self.conn, bytes)
+    }
+
+    fn recv(&mut self, out: &mut Vec<u8>) -> Result<usize> {
+        let mut core = self.core.borrow_mut();
+        core.pump(self.conn)?;
+        let chunk = core.take_output(self.conn);
+        out.extend_from_slice(&chunk);
+        Ok(chunk.len())
+    }
+}
+
+impl Drop for ReplLoopback {
+    fn drop(&mut self) {
+        self.core.borrow_mut().disconnect(self.conn);
+    }
+}

@@ -1,0 +1,266 @@
+//! The replication leader: a [`Store`] whose committed groups are
+//! absorbed into a [`ChangeLog`] and served to subscribers, under an
+//! epoch that fences it out after failover.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use nob_metrics::{MetricKind, MetricsHub};
+use nob_sim::Nanos;
+use nob_store::{Store, StoreOptions};
+use nob_trace::{EventClass, TraceSink};
+use noblsm::{Error, Result, WriteBatch, WriteOptions};
+
+use crate::changelog::{ChangeLog, LogRecord};
+
+/// A leader wraps a store with shipping enabled. Every committed group is
+/// [`absorb`](Leader::absorb)ed into the change log under the leader's
+/// current epoch; [`fence`](Leader::fence)d leaders refuse writes, which
+/// is the safety half of failover (the liveness half is
+/// [`Follower::promote`](crate::Follower::promote)).
+pub struct Leader {
+    store: Store,
+    log: ChangeLog,
+    epoch: u64,
+    fenced: bool,
+    /// Highest acknowledged sequence per shard.
+    acked: Vec<u64>,
+    /// Most recent per-record replication lag, in nanos (shared with the
+    /// metrics gauge).
+    lag_nanos: Arc<AtomicU64>,
+    trace: Option<TraceSink>,
+}
+
+impl Leader {
+    /// Wraps `store` as the epoch-`epoch` leader, enabling group shipping.
+    /// Groups committed before this call are not in the change log.
+    pub fn new(mut store: Store, epoch: u64) -> Leader {
+        store.enable_shipping();
+        let shards = store.shards();
+        let log = ChangeLog::new(shards);
+        Leader {
+            store,
+            log,
+            epoch,
+            fenced: false,
+            acked: vec![0; shards],
+            lag_nanos: Arc::new(AtomicU64::new(0)),
+            trace: None,
+        }
+    }
+
+    /// Opens a fresh store and wraps it as the epoch-`epoch` leader.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Store::open`].
+    pub fn open(opts: StoreOptions, epoch: u64) -> Result<Leader> {
+        Ok(Leader::new(Store::open(opts)?, epoch))
+    }
+
+    /// Re-wraps a promoted follower's store and log under `epoch`
+    /// (internal to [`Follower::promote`](crate::Follower::promote)).
+    pub(crate) fn with_log(mut store: Store, log: ChangeLog, epoch: u64) -> Leader {
+        store.enable_shipping();
+        let shards = store.shards();
+        Leader {
+            store,
+            log,
+            epoch,
+            fenced: false,
+            acked: vec![0; shards],
+            lag_nanos: Arc::new(AtomicU64::new(0)),
+            trace: None,
+        }
+    }
+
+    /// The current leadership epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether this leader has been fenced by a higher epoch.
+    pub fn fenced(&self) -> bool {
+        self.fenced
+    }
+
+    /// The wrapped store.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Mutable access to the wrapped store, for reads, ticking and crash
+    /// injection. Writes issued directly are still captured — the next
+    /// [`absorb`](Leader::absorb) folds them into the change log — but
+    /// they bypass the fencing check, so route writes through
+    /// [`write`](Leader::write) whenever the epoch matters.
+    pub fn store_mut(&mut self) -> &mut Store {
+        &mut self.store
+    }
+
+    /// The retained change log.
+    pub fn log(&self) -> &ChangeLog {
+        &self.log
+    }
+
+    /// Highest acknowledged sequence per shard.
+    pub fn acked_seqs(&self) -> &[u64] {
+        &self.acked
+    }
+
+    /// The most recently measured per-record replication lag.
+    pub fn replication_lag(&self) -> Nanos {
+        Nanos::from_nanos(self.lag_nanos.load(Ordering::Relaxed))
+    }
+
+    fn check_fenced(&self) -> Result<()> {
+        if self.fenced {
+            return Err(Error::Replication(format!(
+                "leader fenced: epoch {} is no longer current",
+                self.epoch
+            )));
+        }
+        Ok(())
+    }
+
+    /// Writes `batch` through the store's group commit and absorbs the
+    /// shipped records into the change log.
+    ///
+    /// # Errors
+    ///
+    /// [`noblsm::Error::Replication`] when fenced; engine errors pass
+    /// through.
+    pub fn write(&mut self, wopts: &WriteOptions, batch: WriteBatch) -> Result<Nanos> {
+        self.check_fenced()?;
+        let end = self.store.write(wopts, batch)?;
+        self.absorb()?;
+        Ok(end)
+    }
+
+    /// Enqueues without committing (group-commit experiments drive
+    /// [`pump`](Leader::pump) themselves).
+    ///
+    /// # Errors
+    ///
+    /// [`noblsm::Error::Replication`] when fenced.
+    pub fn enqueue(
+        &mut self,
+        wopts: &WriteOptions,
+        batch: &WriteBatch,
+    ) -> Result<nob_store::Ticket> {
+        self.check_fenced()?;
+        Ok(self.store.enqueue(wopts, batch))
+    }
+
+    /// One scheduler round over the store, absorbing whatever committed.
+    ///
+    /// # Errors
+    ///
+    /// [`noblsm::Error::Replication`] when fenced; engine errors pass
+    /// through.
+    pub fn pump(&mut self) -> Result<usize> {
+        self.check_fenced()?;
+        let n = self.store.pump()?;
+        self.absorb()?;
+        Ok(n)
+    }
+
+    /// Drains the store queue entirely, absorbing every committed group.
+    ///
+    /// # Errors
+    ///
+    /// As for [`pump`](Leader::pump).
+    pub fn drain(&mut self) -> Result<Nanos> {
+        self.check_fenced()?;
+        let end = self.store.drain()?;
+        self.absorb()?;
+        Ok(end)
+    }
+
+    /// Folds the store's shipped records into the change log under the
+    /// current epoch, emitting one `repl_ship` span per record.
+    ///
+    /// # Errors
+    ///
+    /// [`noblsm::Error::Replication`] if a shipped record does not extend
+    /// its shard's chain (cannot happen unless the store was mutated
+    /// behind the leader's back between absorbs after a promotion).
+    pub fn absorb(&mut self) -> Result<()> {
+        let now = self.store.clock().now();
+        for rec in self.store.take_shipped() {
+            let committed_at = rec.committed_at;
+            let bytes = rec.payload.len() as u64;
+            self.log.append(LogRecord::from_shipped(rec, self.epoch))?;
+            if let Some(sink) = &self.trace {
+                sink.emit(EventClass::ReplShip, committed_at, now, bytes);
+            }
+        }
+        Ok(())
+    }
+
+    /// Observes `observed_epoch` from a peer; an epoch above the leader's
+    /// own fences it permanently. Returns whether the leader is fenced
+    /// after the observation.
+    pub fn fence(&mut self, observed_epoch: u64) -> bool {
+        if observed_epoch > self.epoch {
+            self.fenced = true;
+        }
+        self.fenced
+    }
+
+    /// Records a subscriber acknowledgement up to `last_seq` on `shard`
+    /// and returns the acked record's replication lag (commit → ack on
+    /// the leader clock), emitting a `repl_ack` span. `None` when the ack
+    /// is stale (at or below a previous ack) or unknown.
+    pub fn ack(&mut self, shard: usize, last_seq: u64) -> Option<Nanos> {
+        if shard >= self.acked.len() || last_seq <= self.acked[shard] {
+            return None;
+        }
+        self.acked[shard] = last_seq;
+        let rec = self
+            .log
+            .records_from(shard, last_seq)
+            .ok()
+            .and_then(|tail| tail.first())
+            .filter(|r| r.last_seq == last_seq)?;
+        let now = self.store.clock().now();
+        let lag = now.saturating_sub(rec.committed_at);
+        self.lag_nanos.store(lag.as_nanos(), Ordering::Relaxed);
+        if let Some(sink) = &self.trace {
+            sink.emit(EventClass::ReplAck, rec.committed_at, now, rec.payload.len() as u64);
+        }
+        Some(lag)
+    }
+
+    /// The heartbeat triple subscribers key staleness off: current epoch,
+    /// the leader clock's instant, and the last committed sequence per
+    /// shard.
+    pub fn heartbeat(&self) -> (u64, Nanos, Vec<u64>) {
+        (self.epoch, self.store.clock().now(), self.store.shard_seqs())
+    }
+
+    /// Installs `sink` on the store stack and the leader's own
+    /// `repl_ship` / `repl_ack` spans.
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.store.set_trace_sink(sink.clone());
+        self.trace = Some(sink);
+    }
+
+    /// Removes the trace sink everywhere.
+    pub fn clear_trace_sink(&mut self) {
+        self.store.clear_trace_sink();
+        self.trace = None;
+    }
+
+    /// Registers the leader's replication gauges on `hub` (under its
+    /// scope): `repl.lag_nanos`, the most recent commit→ack lag.
+    pub fn install_metrics(&self, hub: &MetricsHub) {
+        let lag = Arc::clone(&self.lag_nanos);
+        hub.register(
+            MetricKind::Gauge,
+            "repl.lag_nanos",
+            "Most recent per-record replication lag (commit to ack), nanoseconds",
+            move |_| lag.load(Ordering::Relaxed) as f64,
+        );
+    }
+}

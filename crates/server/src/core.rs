@@ -66,6 +66,44 @@ impl Default for ServerOptions {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ConnId(u64);
 
+/// The serving node's replication role, enforced on the write path and
+/// surfaced in `INFO`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplRole {
+    /// Not part of a replication pair (the default).
+    #[default]
+    Standalone,
+    /// Accepting writes and shipping them to subscribers.
+    Leader,
+    /// Applying a leader's stream; write-class requests are rejected
+    /// with `-READONLY` so clients redirect to the leader.
+    Follower,
+}
+
+impl ReplRole {
+    /// Stable lower-case name, as printed in `INFO`.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReplRole::Standalone => "standalone",
+            ReplRole::Leader => "leader",
+            ReplRole::Follower => "follower",
+        }
+    }
+}
+
+/// Replication posture the embedding layer (`nob-repl`) pushes into the
+/// serving core: the role routes writes, the rest is reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplStatus {
+    /// This node's role.
+    pub role: ReplRole,
+    /// Current leadership epoch (0 while standalone).
+    pub epoch: u64,
+    /// Most recent commit→ack replication lag in nanoseconds (leaders),
+    /// or applied staleness (followers).
+    pub lag_nanos: u64,
+}
+
 /// What a parked write replies with once its ticket resolves.
 #[derive(Debug, Clone, Copy)]
 enum WriteReply {
@@ -102,6 +140,7 @@ struct Counters {
     requests_write: Arc<AtomicU64>,
     requests_control: Arc<AtomicU64>,
     busy_rejections: Arc<AtomicU64>,
+    readonly_rejections: Arc<AtomicU64>,
     protocol_errors: Arc<AtomicU64>,
     bytes_in: Arc<AtomicU64>,
     bytes_out: Arc<AtomicU64>,
@@ -132,6 +171,7 @@ pub struct ServerCore {
     inflight: usize,
     trace: Option<TraceSink>,
     counters: Counters,
+    repl: ReplStatus,
 }
 
 impl ServerCore {
@@ -157,7 +197,20 @@ impl ServerCore {
             inflight: 0,
             trace: None,
             counters: Counters::default(),
+            repl: ReplStatus::default(),
         })
+    }
+
+    /// The replication posture last pushed by the embedding layer.
+    pub fn repl_status(&self) -> ReplStatus {
+        self.repl
+    }
+
+    /// Updates the replication posture. A [`ReplRole::Follower`] role
+    /// makes every write-class request answer `-READONLY` from the next
+    /// request on; in-flight writes already enqueued still resolve.
+    pub fn set_repl_status(&mut self, status: ReplStatus) {
+        self.repl = status;
     }
 
     /// The deployment's shared virtual clock.
@@ -247,6 +300,11 @@ impl ServerCore {
                 "busy_rejections",
                 "Requests rejected with -BUSY by admission control",
                 &self.counters.busy_rejections,
+            ),
+            (
+                "readonly_rejections",
+                "Write-class requests rejected with -READONLY on a follower",
+                &self.counters.readonly_rejections,
             ),
             (
                 "protocol_errors",
@@ -384,14 +442,25 @@ impl ServerCore {
         out.push_str(&format!("requests_write:{}\n", c.requests_write.load(Ordering::Relaxed)));
         out.push_str(&format!("requests_control:{}\n", c.requests_control.load(Ordering::Relaxed)));
         out.push_str(&format!("busy_rejections:{}\n", c.busy_rejections.load(Ordering::Relaxed)));
+        out.push_str(&format!(
+            "readonly_rejections:{}\n",
+            c.readonly_rejections.load(Ordering::Relaxed)
+        ));
         out.push_str(&format!("protocol_errors:{}\n", c.protocol_errors.load(Ordering::Relaxed)));
+        out.push_str("# replication\n");
+        out.push_str(&format!("role:{}\n", self.repl.role.name()));
+        out.push_str(&format!("epoch:{}\n", self.repl.epoch));
+        out.push_str(&format!("lag_nanos:{}\n", self.repl.lag_nanos));
         let stats = self.store.stats();
         out.push_str("# store\n");
         out.push_str(&format!("shards:{}\n", self.store.shards()));
+        let seqs: Vec<String> = self.store.shard_seqs().iter().map(|s| s.to_string()).collect();
+        out.push_str(&format!("seqs:{}\n", seqs.join(",")));
         out.push_str(&format!("pending:{}\n", self.store.pending()));
         out.push_str(&format!("groups:{}\n", stats.groups));
         out.push_str(&format!("batches:{}\n", stats.batches));
         out.push_str(&format!("merged_bytes:{}\n", stats.merged_bytes));
+        out.push_str(&format!("shipped_records:{}\n", stats.shipped_records));
         for i in 0..self.store.shards() {
             if let Some(s) = self.store.shard_db(i).property("noblsm.stats") {
                 out.push_str(&format!("# shard{i}\nnoblsm.stats:{s}\n"));
@@ -415,6 +484,14 @@ impl ServerCore {
         if over_pipeline || over_budget {
             self.counters.busy_rejections.fetch_add(1, Ordering::Relaxed);
             self.push_ready(id, Frame::busy());
+            return Ok(());
+        }
+        if class == RequestClass::Write && self.repl.role == ReplRole::Follower {
+            self.counters.readonly_rejections.fetch_add(1, Ordering::Relaxed);
+            self.push_ready(
+                id,
+                Frame::Error("READONLY replica; route writes to the leader".into()),
+            );
             return Ok(());
         }
         self.counters.bump(class);
@@ -678,6 +755,36 @@ mod tests {
         assert!(text.contains("requests_write:1"), "{text}");
         assert!(text.contains("shards:2"), "{text}");
         assert!(text.contains("noblsm.stats:"), "{text}");
+        assert!(text.contains("# replication\nrole:standalone\nepoch:0\n"), "{text}");
+        assert!(text.contains("seqs:"), "{text}");
+        assert!(text.contains("shipped_records:0"), "{text}");
+    }
+
+    #[test]
+    fn follower_role_rejects_writes_but_serves_reads() {
+        let mut core = small_core(64, 64);
+        let c = core.connect();
+        feed_req(&mut core, c, &Request::Set(b"k".to_vec(), b"v".to_vec()));
+        core.flush().unwrap();
+        assert_eq!(decode_all(&core.take_output(c)), vec![Frame::ok()]);
+        core.set_repl_status(ReplStatus { role: ReplRole::Follower, epoch: 3, lag_nanos: 42 });
+        feed_req(&mut core, c, &Request::Set(b"k".to_vec(), b"v2".to_vec()));
+        feed_req(&mut core, c, &Request::Get(b"k".to_vec()));
+        feed_req(&mut core, c, &Request::Info);
+        core.flush().unwrap();
+        let replies = decode_all(&core.take_output(c));
+        let Frame::Error(msg) = &replies[0] else { panic!("write must be rejected: {replies:?}") };
+        assert!(msg.starts_with("READONLY"), "{msg}");
+        assert_eq!(replies[1], Frame::Bulk(b"v".to_vec()), "reads still serve");
+        let Frame::Bulk(text) = &replies[2] else { panic!("INFO must reply bulk") };
+        let text = String::from_utf8_lossy(text);
+        assert!(text.contains("role:follower\nepoch:3\nlag_nanos:42\n"), "{text}");
+        assert!(text.contains("readonly_rejections:1"), "{text}");
+        // Promotion flips the role and writes flow again.
+        core.set_repl_status(ReplStatus { role: ReplRole::Leader, epoch: 4, lag_nanos: 0 });
+        feed_req(&mut core, c, &Request::Set(b"k".to_vec(), b"v3".to_vec()));
+        core.flush().unwrap();
+        assert_eq!(decode_all(&core.take_output(c)), vec![Frame::ok()]);
     }
 
     #[test]

@@ -54,7 +54,7 @@ use nob_ext4::{Ext4Config, Ext4Fs};
 use nob_metrics::MetricsHub;
 use nob_sim::{Nanos, SharedClock};
 use nob_trace::{EventClass, TraceSink};
-use noblsm::{Db, Options, ReadOptions, ValueType, WriteBatch, WriteOptions};
+use noblsm::{encode_batch, Db, Options, ReadOptions, ValueType, WriteBatch, WriteOptions};
 
 pub use noblsm::{Error, Result};
 
@@ -101,6 +101,30 @@ pub struct StoreStats {
     pub batches: u64,
     /// Total merged payload bytes across all groups.
     pub merged_bytes: u64,
+    /// Committed groups captured for WAL shipping (0 while shipping is
+    /// disabled); equals `groups` committed since
+    /// [`Store::enable_shipping`].
+    pub shipped_records: u64,
+}
+
+/// One committed group captured for WAL shipping: the exact batch payload
+/// the shard's engine logged, tagged with the contiguous sequence range
+/// the engine assigned it. Records per shard form a gap-free chain —
+/// `first_seq` of each record is the previous record's `last_seq + 1` —
+/// which is the invariant replication consumers key on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShippedRecord {
+    /// The shard the group committed on.
+    pub shard: usize,
+    /// Sequence of the group's first entry.
+    pub first_seq: u64,
+    /// Sequence of the group's last entry.
+    pub last_seq: u64,
+    /// The WAL batch payload (`noblsm::encode_batch` format, decodable
+    /// with `noblsm::decode_batch`).
+    pub payload: Vec<u8>,
+    /// The group's durable instant on the deployment clock.
+    pub committed_at: Nanos,
 }
 
 struct Pending {
@@ -129,6 +153,10 @@ pub struct Store {
     /// leaves `parts`).
     outcomes: BTreeMap<u64, Nanos>,
     stats: StoreStats,
+    /// When set, every committed group is also captured as a
+    /// [`ShippedRecord`] for a replication leader to drain.
+    shipping: bool,
+    shipped: Vec<ShippedRecord>,
 }
 
 /// Stable 64-bit FNV-1a, the store's routing hash. Deterministic across
@@ -152,13 +180,23 @@ impl Store {
     /// [`Error::Usage`] when `shards` or `group_budget_count` is zero;
     /// otherwise propagates engine open errors.
     pub fn open(opts: StoreOptions) -> Result<Store> {
+        Store::open_with_clock(opts, SharedClock::new())
+    }
+
+    /// Like [`open`](Store::open) but on a caller-supplied clock, so two
+    /// stores (a replication leader and its follower) can share one
+    /// virtual timeline and stay deterministic as a pair.
+    ///
+    /// # Errors
+    ///
+    /// As for [`open`](Store::open).
+    pub fn open_with_clock(opts: StoreOptions, clock: SharedClock) -> Result<Store> {
         if opts.shards == 0 {
             return Err(Error::Usage("store needs at least one shard".into()));
         }
         if opts.group_budget_count == 0 {
             return Err(Error::Usage("group_budget_count must be at least 1".into()));
         }
-        let clock = SharedClock::new();
         let mut shards = Vec::with_capacity(opts.shards);
         for i in 0..opts.shards {
             let fs = Ext4Fs::new(opts.fs.clone());
@@ -175,6 +213,8 @@ impl Store {
             parts: BTreeMap::new(),
             outcomes: BTreeMap::new(),
             stats: StoreStats::default(),
+            shipping: false,
+            shipped: Vec::new(),
         })
     }
 
@@ -219,6 +259,31 @@ impl Store {
     /// Batches still queued across all shards.
     pub fn pending(&self) -> usize {
         self.shards.iter().map(|s| s.queue.len()).sum()
+    }
+
+    /// The last committed sequence number of every shard, in shard order
+    /// (each shard's engine numbers its entries independently). A
+    /// replication subscriber resumes shard `i` at `shard_seqs()[i] + 1`.
+    pub fn shard_seqs(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.db.last_sequence()).collect()
+    }
+
+    /// Starts capturing every committed group as a [`ShippedRecord`].
+    /// Groups committed before this call are not retroactively captured —
+    /// a leader enables shipping at open, before accepting writes.
+    pub fn enable_shipping(&mut self) {
+        self.shipping = true;
+    }
+
+    /// Whether group shipping capture is on.
+    pub fn shipping_enabled(&self) -> bool {
+        self.shipping
+    }
+
+    /// Drains the shipped records captured since the last call, in commit
+    /// order (per shard the order is the sequence order).
+    pub fn take_shipped(&mut self) -> Vec<ShippedRecord> {
+        std::mem::take(&mut self.shipped)
     }
 
     /// Enqueues `batch` for group commit and returns its [`Ticket`].
@@ -323,7 +388,28 @@ impl Store {
             tickets.push(next.ticket);
         }
         let start = self.clock.now();
+        // Capture the payload before the write consumes the batch; the
+        // engine assigns the group the next contiguous sequence range, so
+        // the shipped record's seq tags are exact.
+        let first_seq = shard.db.last_sequence() + 1;
+        let payload = if self.shipping {
+            let entries: Vec<(ValueType, &[u8], &[u8])> = merged.ops().collect();
+            encode_batch(first_seq, &entries)
+        } else {
+            Vec::new()
+        };
         let end = shard.db.write(&wopts, merged)?;
+        if self.shipping {
+            let last_seq = self.shards[idx].db.last_sequence();
+            self.shipped.push(ShippedRecord {
+                shard: idx,
+                first_seq,
+                last_seq,
+                payload,
+                committed_at: end,
+            });
+            self.stats.shipped_records += 1;
+        }
         if let Some(sink) = &self.trace {
             sink.emit(EventClass::GroupCommit, start, end, bytes);
         }
@@ -703,5 +789,54 @@ mod tests {
             "expected shard1.* series"
         );
         store.clear_metrics_hub();
+    }
+
+    #[test]
+    fn shipping_is_off_by_default() {
+        let mut store = Store::open(small_opts(2)).unwrap();
+        assert!(!store.shipping_enabled());
+        let mut b = WriteBatch::new();
+        b.put(b"k", b"v");
+        store.write(&WriteOptions::default(), b).unwrap();
+        assert!(store.take_shipped().is_empty());
+        assert_eq!(store.stats().shipped_records, 0);
+    }
+
+    #[test]
+    fn shipped_records_chain_per_shard_and_decode() {
+        let mut store = Store::open(small_opts(2)).unwrap();
+        store.enable_shipping();
+        for i in 0..40u64 {
+            let mut b = WriteBatch::new();
+            b.put(format!("key{i:02}").as_bytes(), format!("val{i}").as_bytes());
+            store.enqueue(&WriteOptions::default(), &b);
+            if i % 8 == 7 {
+                store.pump().unwrap();
+            }
+        }
+        store.drain().unwrap();
+        let shipped = store.take_shipped();
+        assert_eq!(store.stats().shipped_records, shipped.len() as u64);
+        assert_eq!(shipped.len() as u64, store.stats().groups);
+        // Per shard the records form a gap-free sequence chain, and each
+        // payload decodes back to a batch tagged with the record's range.
+        let mut next: Vec<u64> = vec![1; store.shards()];
+        let mut applied = 0u64;
+        for rec in &shipped {
+            assert_eq!(rec.first_seq, next[rec.shard], "gap on shard {}", rec.shard);
+            let batch = noblsm::decode_batch(&rec.payload).unwrap();
+            assert_eq!(batch.seq, rec.first_seq);
+            assert_eq!(rec.last_seq, rec.first_seq + batch.entries.len() as u64 - 1);
+            next[rec.shard] = rec.last_seq + 1;
+            applied += batch.entries.len() as u64;
+        }
+        assert_eq!(applied, 40, "every write shipped exactly once");
+        // shard_seqs reports exactly where each chain stopped.
+        let seqs = store.shard_seqs();
+        for (i, seq) in seqs.iter().enumerate() {
+            assert_eq!(*seq, next[i] - 1, "shard {i}");
+        }
+        // Drained; a second take returns nothing until new commits land.
+        assert!(store.take_shipped().is_empty());
     }
 }

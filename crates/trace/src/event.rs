@@ -60,10 +60,21 @@ pub enum EventClass {
     ServerWrite = 19,
     /// One served control request (PING/INFO), receipt → reply encoded.
     ServerControl = 20,
+    /// One committed group shipped by a replication leader: commit
+    /// instant → record handed to the subscriber's outbox. `bytes` is the
+    /// shipped payload.
+    ReplShip = 21,
+    /// One shipped record applied by a follower: receipt → entries in the
+    /// follower's engine. `bytes` is the applied payload.
+    ReplApply = 22,
+    /// One acknowledgement round-trip observed by the leader: the span of
+    /// the acked record from its commit to the ack's arrival — the
+    /// per-record replication lag. `bytes` is the acked payload.
+    ReplAck = 23,
 }
 
 /// Number of event classes (length of [`EventClass::ALL`]).
-pub const N_CLASSES: usize = 21;
+pub const N_CLASSES: usize = 24;
 
 impl EventClass {
     /// Every class, in discriminant order.
@@ -89,6 +100,9 @@ impl EventClass {
         EventClass::ServerRead,
         EventClass::ServerWrite,
         EventClass::ServerControl,
+        EventClass::ReplShip,
+        EventClass::ReplApply,
+        EventClass::ReplAck,
     ];
 
     /// Stable snake_case name, used in JSON output.
@@ -115,6 +129,9 @@ impl EventClass {
             EventClass::ServerRead => "server_read",
             EventClass::ServerWrite => "server_write",
             EventClass::ServerControl => "server_control",
+            EventClass::ReplShip => "repl_ship",
+            EventClass::ReplApply => "repl_apply",
+            EventClass::ReplAck => "repl_ack",
         }
     }
 
@@ -143,17 +160,19 @@ impl EventClass {
             EventClass::ServerRead | EventClass::ServerWrite | EventClass::ServerControl => {
                 "server"
             }
+            EventClass::ReplShip | EventClass::ReplApply | EventClass::ReplAck => "repl",
         }
     }
 
-    /// Chrome-trace tid for the class's layer (3 = server, 0 = engine,
-    /// 1 = ext4, 2 = ssd), so the layers stack naturally in
+    /// Chrome-trace tid for the class's layer (4 = repl, 3 = server,
+    /// 0 = engine, 1 = ext4, 2 = ssd), so the layers stack naturally in
     /// `chrome://tracing`.
     pub fn tid(self) -> u32 {
         match self.layer() {
             "engine" => 0,
             "ext4" => 1,
             "server" => 3,
+            "repl" => 4,
             _ => 2,
         }
     }
@@ -257,6 +276,8 @@ mod tests {
         assert_eq!(EventClass::SsdFlush.tid(), 2);
         assert_eq!(EventClass::ServerWrite.layer(), "server");
         assert_eq!(EventClass::ServerRead.tid(), 3);
+        assert_eq!(EventClass::ReplShip.layer(), "repl");
+        assert_eq!(EventClass::ReplAck.tid(), 4);
     }
 
     #[test]

@@ -21,10 +21,11 @@ use std::path::{Path, PathBuf};
 const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/api_surface.txt");
 
 /// The crates whose surface the golden file pins, as (label, source root).
-const CRATES: [(&str, &str); 3] = [
+const CRATES: [(&str, &str); 4] = [
     ("nob-core", "crates/core/src"),
     ("nob-store", "crates/store/src"),
     ("nob-server", "crates/server/src"),
+    ("nob-repl", "crates/repl/src"),
 ];
 
 /// All `.rs` files under `dir`, in sorted (stable) order.
