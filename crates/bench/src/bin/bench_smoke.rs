@@ -6,6 +6,7 @@
 //! ```text
 //! bench_smoke [--baseline <path>] [--out <path>]
 //!             [--write-baseline] [--inject-slow-ssd] [--no-gate]
+//!             [--trace-overhead [--max-overhead-pct N]]
 //! ```
 //!
 //! Exit codes: 0 = gate passed (or `--write-baseline`/`--no-gate`),
@@ -14,6 +15,11 @@
 //! `--inject-slow-ssd` runs with a synthetically degraded device (half
 //! bandwidth, double command/FLUSH latency) — the documented dry run
 //! proving the gate actually fails on a ≥2× tail-latency regression.
+//!
+//! `--trace-overhead` skips the scenarios and instead measures the
+//! *wall-clock* cost of span recording: interleaved traced/untraced
+//! fillrandom runs, compared by median. Exits 1 if tracing costs more
+//! than `--max-overhead-pct` (default 10) over the untraced run.
 
 use nob_bench::json::Json;
 use nob_bench::smoke::{baseline_json, gate_run, run_json};
@@ -32,6 +38,22 @@ fn main() {
     let slow_ssd = args.iter().any(|a| a == "--inject-slow-ssd");
     let no_gate = args.iter().any(|a| a == "--no-gate");
 
+    if args.iter().any(|a| a == "--trace-overhead") {
+        let limit: f64 =
+            arg_value(&args, "--max-overhead-pct").and_then(|v| v.parse().ok()).unwrap_or(10.0);
+        let (traced, untraced) = nob_bench::scenarios::trace_overhead(5);
+        let pct = if untraced > 0 { (traced as f64 / untraced as f64 - 1.0) * 100.0 } else { 0.0 };
+        println!(
+            "trace overhead: traced {traced} ns vs untraced {untraced} ns \
+             (median of 5) = {pct:+.1}% (limit +{limit:.0}%)"
+        );
+        if pct > limit {
+            eprintln!("bench_smoke: tracing overhead {pct:+.1}% exceeds the +{limit:.0}% budget");
+            std::process::exit(1);
+        }
+        println!("bench_smoke: tracing overhead within budget");
+        return;
+    }
     if slow_ssd {
         println!("bench_smoke: running with synthetic 2x-slower SSD (gate demo)");
     }

@@ -1,0 +1,40 @@
+//! Commit critical-path breakdown sweep: fixed-seed traced fillrandom
+//! through `nob-store` over the Sync, Async and NobLSM write disciplines
+//! × shard counts, decomposing every request's send→durable window into
+//! named segments (admission, group_wait, wal_write, journal_wait,
+//! flush, …).
+//!
+//! Writes `target/nob-results/fig_breakdown.json` (rendered by `report`)
+//! and prints each cell's segment shares.
+//!
+//! Usage: `fig_breakdown [--scale N]` (default scale 512, the shape the
+//! golden test pins byte-for-byte).
+
+use nob_bench::breakdown::{fig_breakdown, fig_breakdown_json};
+use nob_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args(512);
+    let cells = fig_breakdown(scale);
+    for c in &cells {
+        println!("== {} — {} shards — {} requests ==", c.name, c.shards, c.critical.paths);
+        for s in &c.critical.segments {
+            let share = if c.critical.total_ns > 0 {
+                s.total_ns as f64 * 100.0 / c.critical.total_ns as f64
+            } else {
+                0.0
+            };
+            println!(
+                "  {:<13} {share:>5.1}%  p50 {:>10} ns  p99 {:>10} ns",
+                s.name, s.p50_ns, s.p99_ns
+            );
+        }
+        println!();
+    }
+    let doc = fig_breakdown_json(&cells, scale);
+    let dir = std::path::Path::new("target/nob-results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join("fig_breakdown.json");
+    std::fs::write(&path, &doc).expect("write results json");
+    println!("wrote {} ({} bytes)", path.display(), doc.len());
+}

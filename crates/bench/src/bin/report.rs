@@ -243,6 +243,93 @@ fn render_shards(doc: &Json, out: &mut String) -> Option<()> {
     Some(())
 }
 
+/// Renders a `fig_breakdown` document: per-discipline critical-path
+/// segment shares (each request's send→durable window partitioned into
+/// named segments that sum exactly), plus each cell's slowest request.
+fn render_breakdown(doc: &Json, out: &mut String) -> Option<()> {
+    const SEGMENTS: [&str; 10] = [
+        "admission",
+        "group_wait",
+        "wal_write",
+        "stall",
+        "journal_wait",
+        "flush",
+        "ship",
+        "apply",
+        "ack",
+        "other",
+    ];
+    let cells = doc.get("breakdown_cells")?.as_array()?;
+    let scale = doc.get("scale").and_then(Json::as_f64).unwrap_or(0.0);
+    let ops = doc.get("ops").and_then(Json::as_f64).unwrap_or(0.0);
+    let writers = doc.get("writers").and_then(Json::as_f64).unwrap_or(0.0);
+    let _ = writeln!(out, "## fig_breakdown — commit critical-path decomposition\n");
+    let _ = writeln!(
+        out,
+        "*scale 1/{scale:.0}; {ops:.0} traced requests per cell, {writers:.0} writers per shard; \
+         each request's send→durable window is partitioned into segments that sum exactly — \
+         shares are segment time over total request time*\n"
+    );
+    // Only segments some cell actually recorded become columns.
+    let active: Vec<&str> = SEGMENTS
+        .iter()
+        .copied()
+        .filter(|s| {
+            cells.iter().any(|c| {
+                c.get("critical").and_then(|k| k.get("segments")).and_then(|k| k.get(s)).is_some()
+            })
+        })
+        .collect();
+    let _ = write!(out, "| discipline × shards | mean latency |");
+    for s in &active {
+        let _ = write!(out, " {s} |");
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, "|---|---|");
+    for _ in &active {
+        let _ = write!(out, "---|");
+    }
+    let _ = writeln!(out);
+    for c in cells {
+        let name = c.get("name")?.as_str()?;
+        let shards = c.get("shards")?.as_f64()? as usize;
+        let crit = c.get("critical")?;
+        let paths = crit.get("paths").and_then(Json::as_f64).unwrap_or(0.0);
+        let total = crit.get("total_ns").and_then(Json::as_f64).unwrap_or(0.0);
+        let mean = if paths > 0.0 { total / paths } else { 0.0 };
+        let _ = write!(out, "| {name} × {shards} | {} |", fmt_ns(mean));
+        for s in &active {
+            match crit.get("segments").and_then(|k| k.get(s)) {
+                Some(seg) => {
+                    let t = seg.get("total_ns").and_then(Json::as_f64).unwrap_or(0.0);
+                    let share = if total > 0.0 { t * 100.0 / total } else { 0.0 };
+                    let _ = write!(out, " {share:.1}% |");
+                }
+                None => {
+                    let _ = write!(out, " – |");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(out);
+    for c in cells {
+        let name = c.get("name").and_then(Json::as_str).unwrap_or("?");
+        let shards = c.get("shards").and_then(Json::as_f64).unwrap_or(0.0) as usize;
+        let slowest = c.get("critical").and_then(|k| k.get("slowest")).and_then(Json::as_array);
+        let Some([first, ..]) = slowest else { continue };
+        let trace = first.get("trace").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+        let total = first.get("total_ns").and_then(Json::as_f64).unwrap_or(0.0);
+        let _ = writeln!(
+            out,
+            "- slowest request in {name} × {shards}: trace {trace} at {}",
+            fmt_ns(total)
+        );
+    }
+    let _ = writeln!(out);
+    Some(())
+}
+
 /// Renders a `fig_server` document: the serving sweep as one
 /// clients-by-discipline grid of throughput, tail latency and the
 /// group-commit coalescing factor measured through the wire protocol.
@@ -534,6 +621,8 @@ fn main() {
                     render_timelines(&exp, &mut out).is_some()
                 } else if exp.get("shard_cells").is_some() {
                     render_shards(&exp, &mut out).is_some()
+                } else if exp.get("breakdown_cells").is_some() {
+                    render_breakdown(&exp, &mut out).is_some()
                 } else if exp.get("server_cells").is_some() {
                     render_server(&exp, &mut out).is_some()
                 } else if exp.get("repl_cells").is_some() {

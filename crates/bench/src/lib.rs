@@ -16,6 +16,7 @@ use nob_ext4::{Ext4Config, Ext4Fs};
 use nob_sim::Nanos;
 use noblsm::Options;
 
+pub mod breakdown;
 pub mod json;
 pub mod output;
 pub mod repl;

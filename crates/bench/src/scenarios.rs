@@ -223,6 +223,45 @@ pub fn smoke_all(slow_ssd: bool) -> Vec<SmokeResult> {
     vec![smoke_fig2a(slow_ssd), smoke_fig4(slow_ssd), smoke_repl(slow_ssd)]
 }
 
+/// One fig4-style fillrandom run for the trace-overhead guard,
+/// optionally traced; returns its *wall-clock* (host) nanoseconds.
+/// Virtual time is identical either way — pinned by the trace-stack
+/// integration tests — so any wall-clock delta is the real CPU cost of
+/// span recording.
+fn overhead_run(traced: bool) -> u64 {
+    let scale = Scale::new(512);
+    let ops = 6_000u64;
+    let fs = Ext4Fs::new(scale.fs_config());
+    let opts = scale.base_options(crate::PAPER_TABLE_LARGE);
+    let wall = std::time::Instant::now();
+    let mut db = Variant::NobLsm.open(fs, "db", &opts, Nanos::ZERO).expect("open db");
+    if traced {
+        db.set_trace_sink(TraceSink::new());
+    }
+    let fill = dbbench::fillrandom(&mut db, ops, 256, 42, Nanos::ZERO).expect("fillrandom");
+    let t = db.wait_idle(fill.finished).expect("drain");
+    db.tick(t + scale.duration(Nanos::from_secs(6))).expect("tick");
+    wall.elapsed().as_nanos() as u64
+}
+
+/// Measures tracing's wall-clock overhead: `rounds` interleaved
+/// traced/untraced fig4-style runs (plus one discarded warm-up),
+/// returning the median host nanoseconds of each mode as
+/// `(traced, untraced)`. Interleaving and the median keep the guard
+/// robust against machine noise; the CI gate compares the two.
+pub fn trace_overhead(rounds: usize) -> (u64, u64) {
+    let _ = overhead_run(false); // warm-up: page in the code and allocator
+    let mut traced = Vec::with_capacity(rounds);
+    let mut untraced = Vec::with_capacity(rounds);
+    for _ in 0..rounds.max(1) {
+        traced.push(overhead_run(true));
+        untraced.push(overhead_run(false));
+    }
+    traced.sort_unstable();
+    untraced.sort_unstable();
+    (traced[traced.len() / 2], untraced[untraced.len() / 2])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,6 +303,14 @@ mod tests {
         assert!(a.p99_ns > 0, "the apply path must be traced");
         assert!(a.summary.class(EventClass::ReplShip).is_some());
         assert!(a.summary.class(EventClass::ReplAck).is_some());
+    }
+
+    #[test]
+    fn trace_overhead_measures_both_modes() {
+        // One round keeps the test cheap; the ratio itself is asserted
+        // only by the CI guard (wall-clock is too noisy for unit tests).
+        let (traced, untraced) = trace_overhead(1);
+        assert!(traced > 0 && untraced > 0);
     }
 
     #[test]

@@ -23,6 +23,8 @@
 //! trace on|off           start/stop recording spans from all layers
 //! trace summary          per-class latency percentiles + top stalls
 //! trace stalls           the recorded stalls with causal attribution
+//! trace tree [trace_id]  render recorded span trees (all roots, or one)
+//! trace critical [n]     critical-path decomposition + n slowest trees
 //! trace export json|chrome <path>   dump raw spans to a file
 //! metrics                the leveldb.stats-style per-level table
 //! metrics on|off         start/stop gauge sampling (100 ms virtual grid)
@@ -473,6 +475,40 @@ impl Session {
                         let _ = writeln!(out);
                     }
                 }
+                Some("tree") => {
+                    let sink = self.trace.as_ref().ok_or("tracing is off (use `trace on`)")?;
+                    match args.get(1) {
+                        Some(id) => {
+                            let id: u64 =
+                                id.parse().map_err(|_| "trace_id must be a number")?;
+                            let tree = sink
+                                .tree(id)
+                                .ok_or_else(|| format!("no recorded trace with id {id}"))?;
+                            out.push_str(&tree.render());
+                        }
+                        None => {
+                            let forest = sink.forest();
+                            let roots = forest.roots();
+                            if roots.is_empty() {
+                                let _ = writeln!(out, "no spans recorded");
+                            }
+                            for root in &roots {
+                                if let Some(tree) = forest.tree(root.trace) {
+                                    out.push_str(&tree.render());
+                                }
+                            }
+                        }
+                    }
+                }
+                Some("critical") => {
+                    let sink = self.trace.as_ref().ok_or("tracing is off (use `trace on`)")?;
+                    let top_n: usize = args
+                        .get(1)
+                        .map(|n| n.parse().map_err(|_| "n must be a number"))
+                        .transpose()?
+                        .unwrap_or(3);
+                    out.push_str(&sink.critical_summary(top_n).render());
+                }
                 Some("export") => {
                     let sink = self.trace.as_ref().ok_or("tracing is off (use `trace on`)")?;
                     let [_, format, path] = args[..] else {
@@ -488,7 +524,8 @@ impl Session {
                 }
                 _ => {
                     return Err(
-                        "usage: trace on|off|summary|stalls|export <json|chrome> <path>".into()
+                        "usage: trace on|off|summary|stalls|tree [trace_id]|critical [n]|export <json|chrome> <path>"
+                            .into()
                     )
                 }
             },
@@ -720,9 +757,16 @@ impl Session {
                 let clock = SharedClock::new();
                 let leader = Store::open_with_clock(opts.clone(), clock.clone())?;
                 let follower = Store::open_with_clock(opts, clock)?;
-                let core = shared_repl(ReplCore::new(Leader::new(leader, 1)));
-                let mut link =
-                    FollowerLink::new(ReplLoopback::connect(&core), Follower::new(follower, 1));
+                let mut leader = Leader::new(leader, 1);
+                let mut follower = Follower::new(follower, 1);
+                // The pair shares the session sink, so one traced commit
+                // yields a single tree spanning both replicas.
+                if let Some(sink) = &self.trace {
+                    leader.set_trace_sink(sink.clone());
+                    follower.set_trace_sink(sink.clone());
+                }
+                let core = shared_repl(ReplCore::new(leader));
+                let mut link = FollowerLink::new(ReplLoopback::connect(&core), follower);
                 link.subscribe()?;
                 self.repl = Some(ReplSession { core, link: Some(link), sub: None });
                 let _ = writeln!(out, "repl open: {shards} shards, epoch 1, loopback follower");
@@ -1010,10 +1054,31 @@ mod tests {
     fn trace_usage_errors_are_reported() {
         let mut s = Session::new();
         assert!(s.run_line("trace summary").contains("tracing is off"));
+        assert!(s.run_line("trace tree").contains("tracing is off"));
+        assert!(s.run_line("trace critical").contains("tracing is off"));
         assert!(s.run_line("trace").contains("usage: trace"));
         let _ = s.run_line("trace on");
         assert!(s.run_line("trace export json").contains("usage: trace export"));
         assert!(s.run_line("trace export gif /tmp/x").contains("unknown export format"));
+        assert!(s.run_line("trace tree notanumber").contains("must be a number"));
+        assert!(s.run_line("trace tree 999999").contains("no recorded trace"));
+        assert!(s.run_line("trace critical nan").contains("must be a number"));
+    }
+
+    #[test]
+    fn trace_tree_and_critical_cover_a_replicated_commit() {
+        let mut s = Session::new();
+        let out = s.run_script(
+            "trace on\nrepl open 1\nrepl put alpha 1\nrepl follow\ntrace tree\ntrace critical 1\n",
+        );
+        // The group commit's tree spans both replicas: engine + journal
+        // work under the leader, ship/apply/ack across the link.
+        assert!(out.contains("group_commit"), "{out}");
+        assert!(out.contains("repl_ship"), "{out}");
+        assert!(out.contains("repl_apply"), "{out}");
+        assert!(out.contains("repl_ack"), "{out}");
+        assert!(out.contains("critical path:"), "{out}");
+        assert!(out.contains("slowest 1 requests"), "{out}");
     }
 
     #[test]

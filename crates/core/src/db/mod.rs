@@ -631,6 +631,33 @@ impl Db {
         wopts: WriteOptions,
     ) -> Result<Nanos> {
         let issued = now;
+        // Open the engine-write causal scope: stalls, WAL appends and
+        // journal commits below nest under the engine_put span.
+        if let Some(sink) = &self.trace {
+            sink.begin_span();
+        }
+        let res = self.write_entries_inner(now, entries, wopts);
+        if let Some(sink) = &self.trace {
+            match &res {
+                Ok(end) => {
+                    let bytes: u64 =
+                        entries.iter().map(|(_, k, v)| (k.len() + v.len()) as u64).sum();
+                    sink.end_span(EventClass::EnginePut, issued, *end, bytes);
+                }
+                Err(_) => {
+                    sink.pop_ctx();
+                }
+            }
+        }
+        res
+    }
+
+    fn write_entries_inner(
+        &mut self,
+        now: Nanos,
+        entries: &[(ValueType, &[u8], &[u8])],
+        wopts: WriteOptions,
+    ) -> Result<Nanos> {
         // LevelDB serializes writers on a mutex.
         let mut now = now.max(self.writer_free);
         now = self.make_room(now)?;
@@ -650,10 +677,6 @@ impl Db {
         self.stats.writes += entries.len() as u64;
         self.writer_free = now;
         self.clock.advance_to(now);
-        if let Some(sink) = &self.trace {
-            let bytes: u64 = entries.iter().map(|(_, k, v)| (k.len() + v.len()) as u64).sum();
-            sink.emit(EventClass::EnginePut, issued, now, bytes);
-        }
         Ok(now)
     }
 
@@ -801,7 +824,7 @@ impl Db {
             "noblsm.seq" => Some(self.versions.last_sequence.to_string()),
             "noblsm.stats" => {
                 let s = &self.stats;
-                Some(format!(
+                let mut line = format!(
                     "writes={} gets={} minor={} major={} seek={} stalls={} stall_time={} \
 shadows={} reclaimed={} files_read={} read_amp={:.2}",
                     s.writes,
@@ -815,7 +838,11 @@ shadows={} reclaimed={} files_read={} read_amp={:.2}",
                     s.reclaimed_files,
                     s.files_read_per_get,
                     s.read_amplification()
-                ))
+                );
+                if let Some(sink) = &self.trace {
+                    line.push_str(&format!(" trace_dropped={}", sink.dropped()));
+                }
+                Some(line)
             }
             "noblsm.compaction-stats" => {
                 let v = self.versions.current();
@@ -958,13 +985,25 @@ bytes_written={}",
         fill_cache: bool,
     ) -> Result<(Option<Vec<u8>>, Nanos)> {
         let issued = now;
+        // Scope the read so device commands it issues (table reads)
+        // nest under the engine_get span in the trace tree.
+        if let Some(sink) = &self.trace {
+            sink.begin_span();
+        }
         let result = self.get_untraced(now, key, seq, fill_cache);
         if let Ok((_, end)) = &result {
             self.clock.advance_to(*end);
         }
-        if let (Some(sink), Ok((value, end))) = (&self.trace, &result) {
-            let bytes = value.as_ref().map_or(0, |v| v.len() as u64);
-            sink.emit(EventClass::EngineGet, issued, *end, bytes);
+        if let Some(sink) = &self.trace {
+            match &result {
+                Ok((value, end)) => {
+                    let bytes = value.as_ref().map_or(0, |v| v.len() as u64);
+                    sink.end_span(EventClass::EngineGet, issued, *end, bytes);
+                }
+                Err(_) => {
+                    sink.pop_ctx();
+                }
+            }
         }
         result
     }

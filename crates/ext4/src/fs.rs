@@ -909,6 +909,11 @@ impl Inner {
     fn fast_commit_inode(&mut self, id: InodeId, at: Nanos) -> Nanos {
         self.stats.sync_commits += 1;
         let Some(inode) = self.inodes.get(&id) else { return at };
+        // Open the fast-commit causal scope: the write-back, journal
+        // write and FLUSH below nest under this span in the trace tree.
+        if let Some(sink) = &self.trace {
+            sink.begin_span();
+        }
         let mut data_done = at;
         if let Some(last) = inode.persist_events.last() {
             data_done = data_done.max(last.at);
@@ -980,7 +985,7 @@ impl Inner {
             faulted: record_lost || flush_dropped,
         });
         if let Some(sink) = &self.trace {
-            sink.emit(EventClass::FastCommit, at, t_commit, jbytes);
+            sink.end_span(EventClass::FastCommit, at, t_commit, jbytes);
         }
         t_commit
     }
@@ -991,6 +996,12 @@ impl Inner {
         let txn = std::mem::take(&mut self.running);
         if txn.is_empty() {
             return at;
+        }
+        // Open the commit's causal scope (after the empty-transaction
+        // early return): ordered write-back, journal blocks and the
+        // FLUSH barrier all become children of this span.
+        if let Some(sink) = &self.trace {
+            sink.begin_span();
         }
         if sync {
             self.stats.sync_commits += 1;
@@ -1115,7 +1126,7 @@ impl Inner {
             // Synchronous (fsync-driven) commits and asynchronous
             // timer/threshold commits are distinct tail-latency stories.
             let class = if sync { EventClass::JournalCommit } else { EventClass::Checkpoint };
-            sink.emit(class, at, t_commit, jbytes);
+            sink.end_span(class, at, t_commit, jbytes);
         }
         t_commit
     }

@@ -190,12 +190,26 @@ impl Timeline {
         let mut out = String::new();
         for s in &self.series {
             let name = prom_name(&s.name);
-            let _ = writeln!(out, "# HELP {name} {}", s.help);
+            let _ = writeln!(out, "# HELP {name} {}", prom_help(&s.help));
             let _ = writeln!(out, "# TYPE {name} {}", s.kind.name());
             let _ = writeln!(out, "{name} {}", fmt_value(s.last()));
         }
         out
     }
+}
+
+/// `# HELP` text per the exposition format: backslash and line feed are
+/// the only escapes (a raw newline would start a bogus exposition line).
+fn prom_help(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// `noblsm_`-prefixed Prometheus metric name: dots and dashes become
@@ -685,5 +699,139 @@ mod tests {
         assert_eq!(prom_name("ext4.dirty_bytes"), "noblsm_ext4_dirty_bytes");
         assert_eq!(prom_name("l0-stop"), "noblsm_l0_stop");
         assert_eq!(prom_name("weird name!"), "noblsm_weirdname");
+    }
+}
+
+/// Property tests for the two text formats a hostile metric name or help
+/// string could corrupt: the JSON document (quote/backslash/control
+/// escaping) and the Prometheus exposition (line structure, metric-name
+/// validity, `# HELP` escaping).
+#[cfg(test)]
+mod format_properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Maps raw bytes onto a charset chosen to stress every escaping
+    /// path: JSON escapes, exposition escapes, name sanitisation,
+    /// controls and multi-byte unicode.
+    fn hostile(bytes: Vec<u8>) -> String {
+        const CHARSET: [char; 22] = [
+            '"',
+            '\\',
+            '\n',
+            '\r',
+            '\t',
+            '\u{0}',
+            '\u{1f}',
+            ' ',
+            '!',
+            '#',
+            '.',
+            '-',
+            '/',
+            '{',
+            '}',
+            'a',
+            'Z',
+            '9',
+            '_',
+            '\u{e9}',
+            '\u{1f980}',
+            'x',
+        ];
+        bytes.into_iter().map(|b| CHARSET[b as usize % CHARSET.len()]).collect()
+    }
+
+    /// Inverse of [`escape`], strict: rejects anything but the exact
+    /// escape forms the encoder emits.
+    fn unescape(e: &str) -> Option<String> {
+        let chars: Vec<char> = e.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            if (c as u32) < 0x20 || c == '"' {
+                return None; // raw control or quote: not a clean string
+            }
+            if c == '\\' {
+                i += 1;
+                match chars.get(i)? {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    'n' => out.push('\n'),
+                    'u' => {
+                        let hex: String = chars.get(i + 1..i + 5)?.iter().collect();
+                        out.push(char::from_u32(u32::from_str_radix(&hex, 16).ok()?)?);
+                        i += 4;
+                    }
+                    _ => return None,
+                }
+            } else {
+                out.push(c);
+            }
+            i += 1;
+        }
+        Some(out)
+    }
+
+    proptest! {
+        /// JSON string escaping is clean (no raw quotes or controls, no
+        /// dangling or unknown escapes) and lossless.
+        #[test]
+        fn json_escape_round_trips_and_stays_clean(
+            bytes in proptest::collection::vec(any::<u8>(), 0..64),
+        ) {
+            let s = hostile(bytes);
+            let e = escape(&s);
+            let decoded = unescape(&e);
+            prop_assert_eq!(decoded, Some(s), "escape output was not clean: {:?}", e);
+        }
+
+        /// Sanitised metric names are always valid Prometheus names, no
+        /// matter what the layer called its metric.
+        #[test]
+        fn prom_names_are_always_valid(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let name = prom_name(&hostile(bytes));
+            prop_assert!(name.starts_with("noblsm_"), "{:?}", name);
+            prop_assert!(
+                name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "invalid char in {:?}",
+                name
+            );
+        }
+
+        /// One hostile series still expositions as exactly three
+        /// well-formed lines — a newline smuggled through the help text
+        /// or name must not fabricate extra exposition lines, and the
+        /// value line must stay `name value` with a parseable value
+        /// (NaN/inf bit patterns included).
+        #[test]
+        fn exposition_stays_line_structured_under_hostile_series(
+            name_bytes in proptest::collection::vec(any::<u8>(), 0..24),
+            help_bytes in proptest::collection::vec(any::<u8>(), 0..48),
+            value_bits in any::<u64>(),
+        ) {
+            let (name, help) = (hostile(name_bytes), hostile(help_bytes));
+            let value = f64::from_bits(value_bits);
+            let hub = MetricsHub::new();
+            hub.register(MetricKind::Gauge, &name, &help, move |_| value);
+            hub.sample_due(Nanos::ZERO, &[]);
+            let text = hub.timeline().prometheus();
+            let lines: Vec<&str> = text.lines().collect();
+            prop_assert_eq!(lines.len(), 3, "series must expose exactly 3 lines: {:?}", text);
+            let prom = prom_name(&name);
+            prop_assert!(lines[0].starts_with(&format!("# HELP {prom} ")), "{:?}", lines[0]);
+            prop_assert!(!lines[0].contains('\n'));
+            prop_assert_eq!(lines[1], format!("# TYPE {prom} gauge").as_str());
+            let mut parts = lines[2].split(' ');
+            prop_assert_eq!(parts.next(), Some(prom.as_str()));
+            let v = parts.next();
+            prop_assert!(
+                v.is_some_and(|v| v.parse::<f64>().is_ok()),
+                "value must parse: {:?}",
+                lines[2]
+            );
+            prop_assert!(parts.next().is_none(), "trailing junk: {:?}", lines[2]);
+        }
     }
 }

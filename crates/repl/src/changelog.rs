@@ -10,6 +10,7 @@
 
 use nob_sim::Nanos;
 use nob_store::ShippedRecord;
+use nob_trace::TraceCtx;
 use noblsm::{Error, Result};
 
 /// One retained record: a shipped group tagged with the leadership epoch
@@ -28,10 +29,18 @@ pub struct LogRecord {
     pub payload: Vec<u8>,
     /// The group's durable instant on the leader clock.
     pub committed_at: Nanos,
+    /// Causal context this record rides under ([`TraceCtx::NONE`] when
+    /// untraced). On a leader's log this is the `repl_ship` span's
+    /// identity (whose parent is the group-commit span); a follower
+    /// stores the identity it received over the wire and parents its
+    /// `repl_apply` span beneath it.
+    pub ctx: TraceCtx,
 }
 
 impl LogRecord {
-    /// Tags a store-shipped record with its epoch.
+    /// Tags a store-shipped record with its epoch, carrying the group's
+    /// causal context (the leader's absorb replaces it with the ship
+    /// span's identity once that span is minted).
     pub fn from_shipped(rec: ShippedRecord, epoch: u64) -> LogRecord {
         LogRecord {
             shard: rec.shard,
@@ -40,6 +49,7 @@ impl LogRecord {
             last_seq: rec.last_seq,
             payload: rec.payload,
             committed_at: rec.committed_at,
+            ctx: rec.ctx,
         }
     }
 }
@@ -162,6 +172,7 @@ mod tests {
             last_seq: last,
             payload: vec![0xaa; 4],
             committed_at: Nanos::from_micros(first),
+            ctx: TraceCtx::NONE,
         }
     }
 

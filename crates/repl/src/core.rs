@@ -184,6 +184,8 @@ impl ReplCore {
                         first_seq: rec.first_seq,
                         last_seq: rec.last_seq,
                         committed_at: rec.committed_at.as_nanos(),
+                        trace: rec.ctx.trace,
+                        span: rec.ctx.span,
                         payload: rec.payload.clone(),
                     },
                     &mut c.outbox,

@@ -1,6 +1,10 @@
 //! The replication follower: applies shipped records to its own store,
 //! serves bounded-staleness reads, and can be promoted to leader.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use nob_metrics::{MetricKind, MetricsHub};
 use nob_sim::Nanos;
 use nob_store::{Store, StoreOptions};
 use nob_trace::{EventClass, TraceSink};
@@ -27,6 +31,11 @@ pub struct Follower {
     freshness: Vec<Nanos>,
     /// The leader clock's instant as of the last heartbeat.
     leader_now: Nanos,
+    /// Records applied from the leader's stream (shared with the metrics
+    /// counter).
+    applied_total: Arc<AtomicU64>,
+    /// Payload bytes applied (shared with the metrics counter).
+    applied_bytes: Arc<AtomicU64>,
     trace: Option<TraceSink>,
 }
 
@@ -40,6 +49,8 @@ impl Follower {
             epoch,
             freshness: vec![Nanos::ZERO; shards],
             leader_now: Nanos::ZERO,
+            applied_total: Arc::new(AtomicU64::new(0)),
+            applied_bytes: Arc::new(AtomicU64::new(0)),
             trace: None,
         }
     }
@@ -82,6 +93,32 @@ impl Follower {
     /// Last applied sequence per shard, in shard order.
     pub fn shard_seqs(&self) -> Vec<u64> {
         self.store.shard_seqs()
+    }
+
+    /// Records applied from the leader's stream (the
+    /// `repl.applied_records` counter).
+    pub fn applied_records(&self) -> u64 {
+        self.applied_total.load(Ordering::Relaxed)
+    }
+
+    /// Registers the follower's apply-throughput counters on `hub`
+    /// (under its scope): `repl.applied_records` and
+    /// `repl.applied_bytes`.
+    pub fn install_metrics(&self, hub: &MetricsHub) {
+        let applied = Arc::clone(&self.applied_total);
+        hub.register(
+            MetricKind::Counter,
+            "repl.applied_records",
+            "WAL records applied from the leader's stream",
+            move |_| applied.load(Ordering::Relaxed) as f64,
+        );
+        let bytes = Arc::clone(&self.applied_bytes);
+        hub.register(
+            MetricKind::Counter,
+            "repl.applied_bytes",
+            "WAL payload bytes applied from the leader's stream",
+            move |_| bytes.load(Ordering::Relaxed) as f64,
+        );
     }
 
     /// Applies one shipped record. Returns `Ok(false)` when the record is
@@ -137,8 +174,26 @@ impl Follower {
             }
         }
         let start = self.store.clock().now();
-        self.store.shard_db_mut(rec.shard).write(&WriteOptions::default(), batch)?;
+        // The apply span parents under the record's ship span (the wire
+        // carries its identity), so the engine write it provokes — and
+        // its journal/FLUSH children — extend the originating request's
+        // tree across the replica boundary.
+        if let Some(sink) = &self.trace {
+            sink.begin_span_with_parent(Some(rec.ctx));
+        }
+        let wrote = self.store.shard_db_mut(rec.shard).write(&WriteOptions::default(), batch);
         let end = self.store.clock().now();
+        if let Some(sink) = &self.trace {
+            match &wrote {
+                Ok(_) => {
+                    sink.end_span(EventClass::ReplApply, start, end, rec.payload.len() as u64);
+                }
+                Err(_) => {
+                    sink.pop_ctx();
+                }
+            }
+        }
+        wrote?;
         let landed = self.store.shard_db(rec.shard).last_sequence();
         if landed != rec.last_seq {
             return Err(Error::Replication(format!(
@@ -149,9 +204,8 @@ impl Follower {
         self.log.append(rec.clone())?;
         self.freshness[rec.shard] = rec.committed_at;
         self.leader_now = self.leader_now.max(rec.committed_at);
-        if let Some(sink) = &self.trace {
-            sink.emit(EventClass::ReplApply, start, end, rec.payload.len() as u64);
-        }
+        self.applied_total.fetch_add(1, Ordering::Relaxed);
+        self.applied_bytes.fetch_add(rec.payload.len() as u64, Ordering::Relaxed);
         Ok(true)
     }
 

@@ -7,8 +7,8 @@ use std::sync::Arc;
 
 use nob_metrics::{MetricKind, MetricsHub};
 use nob_sim::Nanos;
-use nob_store::{Store, StoreOptions};
-use nob_trace::{EventClass, TraceSink};
+use nob_store::{ShippedRecord, Store, StoreOptions};
+use nob_trace::{EventClass, TraceCtx, TraceSink};
 use noblsm::{Error, Result, WriteBatch, WriteOptions};
 
 use crate::changelog::{ChangeLog, LogRecord};
@@ -28,6 +28,12 @@ pub struct Leader {
     /// Most recent per-record replication lag, in nanos (shared with the
     /// metrics gauge).
     lag_nanos: Arc<AtomicU64>,
+    /// Records absorbed into the change log (shared with the metrics
+    /// counter).
+    shipped_total: Arc<AtomicU64>,
+    /// Highest acknowledged sequence across shards (shared with the
+    /// metrics gauge).
+    acked_seq_max: Arc<AtomicU64>,
     trace: Option<TraceSink>,
 }
 
@@ -45,6 +51,8 @@ impl Leader {
             fenced: false,
             acked: vec![0; shards],
             lag_nanos: Arc::new(AtomicU64::new(0)),
+            shipped_total: Arc::new(AtomicU64::new(0)),
+            acked_seq_max: Arc::new(AtomicU64::new(0)),
             trace: None,
         }
     }
@@ -70,6 +78,8 @@ impl Leader {
             fenced: false,
             acked: vec![0; shards],
             lag_nanos: Arc::new(AtomicU64::new(0)),
+            shipped_total: Arc::new(AtomicU64::new(0)),
+            acked_seq_max: Arc::new(AtomicU64::new(0)),
             trace: None,
         }
     }
@@ -111,6 +121,18 @@ impl Leader {
     /// The most recently measured per-record replication lag.
     pub fn replication_lag(&self) -> Nanos {
         Nanos::from_nanos(self.lag_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Records absorbed into the change log since this leader was
+    /// created (the `repl.shipped_records` counter).
+    pub fn shipped_records(&self) -> u64 {
+        self.shipped_total.load(Ordering::Relaxed)
+    }
+
+    /// Highest acknowledged sequence across shards (the `repl.acked_seq`
+    /// gauge).
+    pub fn acked_seq(&self) -> u64 {
+        self.acked_seq_max.load(Ordering::Relaxed)
     }
 
     fn check_fenced(&self) -> Result<()> {
@@ -186,14 +208,39 @@ impl Leader {
     /// its shard's chain (cannot happen unless the store was mutated
     /// behind the leader's back between absorbs after a promotion).
     pub fn absorb(&mut self) -> Result<()> {
+        let records = self.store.take_shipped();
+        self.absorb_shipped(records)
+    }
+
+    /// Folds externally produced shipped records into the change log —
+    /// the bridge for deployments where commits flow through a
+    /// server-fronted store rather than the leader's own (the embedding
+    /// layer drains that store's [`Store::take_shipped`] and hands the
+    /// records here). The records must extend each shard's chain and the
+    /// producing store must share this leader's clock for the lag and
+    /// span timestamps to be meaningful.
+    ///
+    /// # Errors
+    ///
+    /// [`noblsm::Error::Replication`] if a record does not extend its
+    /// shard's chain.
+    pub fn absorb_shipped(&mut self, records: Vec<ShippedRecord>) -> Result<()> {
         let now = self.store.clock().now();
-        for rec in self.store.take_shipped() {
+        for rec in records {
             let committed_at = rec.committed_at;
             let bytes = rec.payload.len() as u64;
-            self.log.append(LogRecord::from_shipped(rec, self.epoch))?;
+            let mut lr = LogRecord::from_shipped(rec, self.epoch);
             if let Some(sink) = &self.trace {
-                sink.emit(EventClass::ReplShip, committed_at, now, bytes);
+                // The ship span is a child of the group-commit span that
+                // produced the record; the log (and the wire) carry its
+                // identity so the follower's apply span extends the same
+                // tree.
+                let ship = sink.child_ctx(lr.ctx);
+                sink.emit_ctx(EventClass::ReplShip, committed_at, now, bytes, ship);
+                lr.ctx = ship;
             }
+            self.log.append(lr)?;
+            self.shipped_total.fetch_add(1, Ordering::Relaxed);
         }
         Ok(())
     }
@@ -217,6 +264,7 @@ impl Leader {
             return None;
         }
         self.acked[shard] = last_seq;
+        self.acked_seq_max.fetch_max(last_seq, Ordering::Relaxed);
         let rec = self
             .log
             .records_from(shard, last_seq)
@@ -227,7 +275,21 @@ impl Leader {
         let lag = now.saturating_sub(rec.committed_at);
         self.lag_nanos.store(lag.as_nanos(), Ordering::Relaxed);
         if let Some(sink) = &self.trace {
-            sink.emit(EventClass::ReplAck, rec.committed_at, now, rec.payload.len() as u64);
+            // The ack window (commit → ack) covers the ship and apply
+            // spans entirely, so it must be their *sibling* — a child of
+            // the group-commit span — or it would swallow their
+            // critical-path attribution. The log holds the ship span's
+            // identity; its parent is the group span.
+            let anchor = TraceCtx { trace: rec.ctx.trace, span: rec.ctx.parent, parent: 0 };
+            let ack =
+                if anchor.is_none() { sink.child_ctx(rec.ctx) } else { sink.child_ctx(anchor) };
+            sink.emit_ctx(
+                EventClass::ReplAck,
+                rec.committed_at,
+                now,
+                rec.payload.len() as u64,
+                ack,
+            );
         }
         Some(lag)
     }
@@ -252,8 +314,10 @@ impl Leader {
         self.trace = None;
     }
 
-    /// Registers the leader's replication gauges on `hub` (under its
-    /// scope): `repl.lag_nanos`, the most recent commit→ack lag.
+    /// Registers the leader's replication metrics on `hub` (under its
+    /// scope): `repl.lag_nanos` (most recent commit→ack lag),
+    /// `repl.shipped_records` (records absorbed into the change log) and
+    /// `repl.acked_seq` (highest acknowledged sequence across shards).
     pub fn install_metrics(&self, hub: &MetricsHub) {
         let lag = Arc::clone(&self.lag_nanos);
         hub.register(
@@ -261,6 +325,20 @@ impl Leader {
             "repl.lag_nanos",
             "Most recent per-record replication lag (commit to ack), nanoseconds",
             move |_| lag.load(Ordering::Relaxed) as f64,
+        );
+        let shipped = Arc::clone(&self.shipped_total);
+        hub.register(
+            MetricKind::Counter,
+            "repl.shipped_records",
+            "WAL records absorbed into the change log for shipping",
+            move |_| shipped.load(Ordering::Relaxed) as f64,
+        );
+        let acked = Arc::clone(&self.acked_seq_max);
+        hub.register(
+            MetricKind::Gauge,
+            "repl.acked_seq",
+            "Highest subscriber-acknowledged sequence across shards",
+            move |_| acked.load(Ordering::Relaxed) as f64,
         );
     }
 }

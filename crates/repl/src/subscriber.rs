@@ -7,6 +7,7 @@
 
 use nob_server::Transport;
 use nob_sim::Nanos;
+use nob_trace::TraceCtx;
 use noblsm::{Error, ReadOptions, Result};
 
 use crate::changelog::LogRecord;
@@ -59,7 +60,16 @@ impl<T: Transport> FollowerLink<T> {
         let mut acks = Vec::new();
         while let Some(frame) = self.reader.next_frame()? {
             match frame {
-                Frame::Record { shard, epoch, first_seq, last_seq, committed_at, payload } => {
+                Frame::Record {
+                    shard,
+                    epoch,
+                    first_seq,
+                    last_seq,
+                    committed_at,
+                    trace,
+                    span,
+                    payload,
+                } => {
                     let rec = LogRecord {
                         shard: shard as usize,
                         epoch,
@@ -67,6 +77,10 @@ impl<T: Transport> FollowerLink<T> {
                         last_seq,
                         payload,
                         committed_at: Nanos::from_nanos(committed_at),
+                        // The wire carries the ship span's identity; its
+                        // parent lives on the leader and is not needed to
+                        // parent the apply span beneath it.
+                        ctx: TraceCtx { trace, span, parent: 0 },
                     };
                     if self.follower.apply(&rec)? {
                         applied += 1;
@@ -200,7 +214,16 @@ impl<T: Transport> Subscription<T> {
         let mut acks = Vec::new();
         while let Some(frame) = self.reader.next_frame()? {
             match frame {
-                Frame::Record { shard, epoch, first_seq, last_seq, committed_at, payload } => {
+                Frame::Record {
+                    shard,
+                    epoch,
+                    first_seq,
+                    last_seq,
+                    committed_at,
+                    trace,
+                    span,
+                    payload,
+                } => {
                     if shard as usize != self.shard || last_seq < self.next {
                         continue; // other shard, or a redelivered duplicate
                     }
@@ -219,6 +242,7 @@ impl<T: Transport> Subscription<T> {
                         last_seq,
                         payload,
                         committed_at: Nanos::from_nanos(committed_at),
+                        ctx: TraceCtx { trace, span, parent: 0 },
                     });
                 }
                 Frame::Heartbeat { .. } => {}

@@ -36,6 +36,10 @@ pub enum Frame {
         last_seq: u64,
         /// The group's durable instant on the leader clock, in nanos.
         committed_at: u64,
+        /// Trace id of the record's `repl_ship` span (0 when untraced).
+        trace: u64,
+        /// Span id of the record's `repl_ship` span (0 when untraced).
+        span: u64,
         /// The WAL batch payload (`noblsm::encode_batch` format).
         payload: Vec<u8>,
     },
@@ -89,13 +93,15 @@ pub fn encode(frame: &Frame, out: &mut Vec<u8>) {
             put_u32(out, *shard);
             put_u64(out, *from_seq);
         }
-        Frame::Record { shard, epoch, first_seq, last_seq, committed_at, payload } => {
+        Frame::Record { shard, epoch, first_seq, last_seq, committed_at, trace, span, payload } => {
             out.push(KIND_RECORD);
             put_u32(out, *shard);
             put_u64(out, *epoch);
             put_u64(out, *first_seq);
             put_u64(out, *last_seq);
             put_u64(out, *committed_at);
+            put_u64(out, *trace);
+            put_u64(out, *span);
             put_u32(out, payload.len() as u32);
             out.extend_from_slice(payload);
         }
@@ -165,9 +171,11 @@ fn decode_body(kind: u8, body: &[u8]) -> Result<Frame> {
             let first_seq = b.u64()?;
             let last_seq = b.u64()?;
             let committed_at = b.u64()?;
+            let trace = b.u64()?;
+            let span = b.u64()?;
             let n = b.u32()? as usize;
             let payload = b.take(n)?.to_vec();
-            Frame::Record { shard, epoch, first_seq, last_seq, committed_at, payload }
+            Frame::Record { shard, epoch, first_seq, last_seq, committed_at, trace, span, payload }
         }
         KIND_ACK => Frame::Ack { shard: b.u32()?, last_seq: b.u64()? },
         KIND_HEARTBEAT => {
@@ -270,6 +278,8 @@ mod tests {
                 first_seq: 10,
                 last_seq: 12,
                 committed_at: 9_999,
+                trace: 77,
+                span: 81,
                 payload: b"abcdef".to_vec(),
             },
             Frame::Ack { shard: 0, last_seq: 12 },

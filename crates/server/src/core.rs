@@ -30,7 +30,7 @@ use std::sync::Arc;
 use nob_metrics::{MetricKind, MetricsHub};
 use nob_sim::{Nanos, SharedClock};
 use nob_store::{Store, StoreOptions, Ticket};
-use nob_trace::{EventClass, TraceSink};
+use nob_trace::{EventClass, TraceCtx, TraceSink};
 use noblsm::{ReadOptions, Result, WriteBatch, WriteOptions};
 
 use crate::proto::{BatchOp, Decoder, Frame, Request, RequestClass};
@@ -102,6 +102,12 @@ pub struct ReplStatus {
     /// Most recent commit→ack replication lag in nanoseconds (leaders),
     /// or applied staleness (followers).
     pub lag_nanos: u64,
+    /// WAL records shipped to subscribers (leaders; 0 otherwise).
+    pub shipped_records: u64,
+    /// Highest subscriber-acknowledged sequence across shards (leaders).
+    pub acked_seq: u64,
+    /// WAL records applied from the leader's stream (followers).
+    pub applied_records: u64,
 }
 
 /// What a parked write replies with once its ticket resolves.
@@ -119,7 +125,7 @@ enum PendingReply {
     /// Fully formed; may be encoded as soon as it reaches the front.
     Ready(Frame),
     /// Waiting on a group-commit ticket.
-    Await { ticket: Ticket, start: Nanos, bytes: u64, reply: WriteReply },
+    Await { ticket: Ticket, start: Nanos, bytes: u64, reply: WriteReply, ctx: TraceCtx },
 }
 
 #[derive(Debug, Default)]
@@ -385,10 +391,12 @@ impl ServerCore {
         }
         for conn in self.conns.values_mut() {
             for slot in conn.replies.iter_mut() {
-                let PendingReply::Await { ticket, start, bytes, reply } = *slot else { continue };
+                let PendingReply::Await { ticket, start, bytes, reply, ctx } = *slot else {
+                    continue;
+                };
                 let Some(durable) = self.store.outcome(ticket) else { continue };
                 if let Some(t) = &self.trace {
-                    t.emit(EventClass::ServerWrite, start, durable, bytes);
+                    t.emit_ctx(EventClass::ServerWrite, start, durable, bytes, ctx);
                 }
                 let frame = match reply {
                     WriteReply::Ok => Frame::ok(),
@@ -451,6 +459,9 @@ impl ServerCore {
         out.push_str(&format!("role:{}\n", self.repl.role.name()));
         out.push_str(&format!("epoch:{}\n", self.repl.epoch));
         out.push_str(&format!("lag_nanos:{}\n", self.repl.lag_nanos));
+        out.push_str(&format!("shipped_records:{}\n", self.repl.shipped_records));
+        out.push_str(&format!("acked_seq:{}\n", self.repl.acked_seq));
+        out.push_str(&format!("applied_records:{}\n", self.repl.applied_records));
         let stats = self.store.stats();
         out.push_str("# store\n");
         out.push_str(&format!("shards:{}\n", self.store.shards()));
@@ -499,23 +510,36 @@ impl ServerCore {
         match req {
             Request::Get(key) => {
                 let start = self.read_barrier()?;
-                let reply = match self.store.get(&ReadOptions::default(), &key)? {
+                let root = self.begin_request();
+                let got = self.store.get(&ReadOptions::default(), &key);
+                self.end_request();
+                let reply = match got? {
                     Some(v) => Frame::Bulk(v),
                     None => Frame::Nil,
                 };
-                self.emit(EventClass::ServerRead, start, bytes);
+                self.emit(EventClass::ServerRead, start, bytes, root);
                 self.push_ready(id, reply);
             }
             Request::MGet(keys) => {
                 let start = self.read_barrier()?;
+                let root = self.begin_request();
                 let mut items = Vec::with_capacity(keys.len());
+                let mut failed = None;
                 for key in &keys {
-                    items.push(match self.store.get(&ReadOptions::default(), key)? {
-                        Some(v) => Frame::Bulk(v),
-                        None => Frame::Nil,
-                    });
+                    match self.store.get(&ReadOptions::default(), key) {
+                        Ok(Some(v)) => items.push(Frame::Bulk(v)),
+                        Ok(None) => items.push(Frame::Nil),
+                        Err(e) => {
+                            failed = Some(e);
+                            break;
+                        }
+                    }
                 }
-                self.emit(EventClass::ServerRead, start, bytes);
+                self.end_request();
+                if let Some(e) = failed {
+                    return Err(e);
+                }
+                self.emit(EventClass::ServerRead, start, bytes, root);
                 self.push_ready(id, Frame::Array(items));
             }
             Request::Set(key, value) => {
@@ -541,13 +565,15 @@ impl ServerCore {
             }
             Request::Ping => {
                 let now = self.clock().now();
-                self.emit_span(EventClass::ServerControl, now, now, 0);
+                let root = self.mint_root();
+                self.emit_span(EventClass::ServerControl, now, now, 0, root);
                 self.push_ready(id, Frame::Simple("PONG".into()));
             }
             Request::Info => {
                 let start = self.read_barrier()?;
+                let root = self.mint_root();
                 let text = self.info_text();
-                self.emit(EventClass::ServerControl, start, text.len() as u64);
+                self.emit(EventClass::ServerControl, start, text.len() as u64, root);
                 self.push_ready(id, Frame::Bulk(text.into_bytes()));
             }
         }
@@ -567,23 +593,54 @@ impl ServerCore {
 
     fn enqueue_write(&mut self, id: ConnId, batch: WriteBatch, bytes: u64, reply: WriteReply) {
         let start = self.clock().now();
-        let ticket = self.store.enqueue(&self.wopts, &batch);
+        // Mint the request's trace root here — the `server_write` span
+        // emitted at ticket resolution carries it, and the group commit
+        // that eventually lands the batch parents under it (leader) or
+        // links to it (coalesced follower).
+        let ctx = self.mint_root();
+        let ticket = self.store.enqueue_ctx(&self.wopts, &batch, ctx);
         if let Some(conn) = self.conns.get_mut(&id) {
-            conn.replies.push_back(PendingReply::Await { ticket, start, bytes, reply });
+            conn.replies.push_back(PendingReply::Await { ticket, start, bytes, reply, ctx });
             conn.inflight += 1;
             self.inflight += 1;
             self.counters.inflight.store(self.inflight as u64, Ordering::Relaxed);
         }
     }
 
-    fn emit(&self, class: EventClass, start: Nanos, bytes: u64) {
-        let end = self.clock().now();
-        self.emit_span(class, start, end, bytes);
+    /// A fresh trace root for one request ([`TraceCtx::NONE`] when
+    /// tracing is off).
+    fn mint_root(&self) -> TraceCtx {
+        self.trace.as_ref().map_or(TraceCtx::NONE, |t| t.mint_root())
     }
 
-    fn emit_span(&self, class: EventClass, start: Nanos, end: Nanos, bytes: u64) {
+    /// Mints a request root and makes it the ambient context, so every
+    /// span the request's synchronous work provokes nests under it.
+    /// Balance with [`ServerCore::end_request`] on all paths.
+    fn begin_request(&self) -> TraceCtx {
+        match &self.trace {
+            Some(t) => {
+                let root = t.mint_root();
+                t.push_ctx(root);
+                root
+            }
+            None => TraceCtx::NONE,
+        }
+    }
+
+    fn end_request(&self) {
         if let Some(t) = &self.trace {
-            t.emit(class, start, end, bytes);
+            t.pop_ctx();
+        }
+    }
+
+    fn emit(&self, class: EventClass, start: Nanos, bytes: u64, ctx: TraceCtx) {
+        let end = self.clock().now();
+        self.emit_span(class, start, end, bytes, ctx);
+    }
+
+    fn emit_span(&self, class: EventClass, start: Nanos, end: Nanos, bytes: u64, ctx: TraceCtx) {
+        if let Some(t) = &self.trace {
+            t.emit_ctx(class, start, end, bytes, ctx);
         }
     }
 }
@@ -767,7 +824,12 @@ mod tests {
         feed_req(&mut core, c, &Request::Set(b"k".to_vec(), b"v".to_vec()));
         core.flush().unwrap();
         assert_eq!(decode_all(&core.take_output(c)), vec![Frame::ok()]);
-        core.set_repl_status(ReplStatus { role: ReplRole::Follower, epoch: 3, lag_nanos: 42 });
+        core.set_repl_status(ReplStatus {
+            role: ReplRole::Follower,
+            epoch: 3,
+            lag_nanos: 42,
+            ..ReplStatus::default()
+        });
         feed_req(&mut core, c, &Request::Set(b"k".to_vec(), b"v2".to_vec()));
         feed_req(&mut core, c, &Request::Get(b"k".to_vec()));
         feed_req(&mut core, c, &Request::Info);
@@ -781,7 +843,12 @@ mod tests {
         assert!(text.contains("role:follower\nepoch:3\nlag_nanos:42\n"), "{text}");
         assert!(text.contains("readonly_rejections:1"), "{text}");
         // Promotion flips the role and writes flow again.
-        core.set_repl_status(ReplStatus { role: ReplRole::Leader, epoch: 4, lag_nanos: 0 });
+        core.set_repl_status(ReplStatus {
+            role: ReplRole::Leader,
+            epoch: 4,
+            lag_nanos: 0,
+            ..ReplStatus::default()
+        });
         feed_req(&mut core, c, &Request::Set(b"k".to_vec(), b"v3".to_vec()));
         core.flush().unwrap();
         assert_eq!(decode_all(&core.take_output(c)), vec![Frame::ok()]);

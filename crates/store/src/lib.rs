@@ -53,7 +53,7 @@ use std::collections::{BTreeMap, VecDeque};
 use nob_ext4::{Ext4Config, Ext4Fs};
 use nob_metrics::MetricsHub;
 use nob_sim::{Nanos, SharedClock};
-use nob_trace::{EventClass, TraceSink};
+use nob_trace::{EventClass, TraceCtx, TraceSink};
 use noblsm::{encode_batch, Db, Options, ReadOptions, ValueType, WriteBatch, WriteOptions};
 
 pub use noblsm::{Error, Result};
@@ -125,12 +125,20 @@ pub struct ShippedRecord {
     pub payload: Vec<u8>,
     /// The group's durable instant on the deployment clock.
     pub committed_at: Nanos,
+    /// Causal identity of the group-commit span that produced this
+    /// record ([`TraceCtx::NONE`] when tracing is off). Replication
+    /// layers parent their ship/apply/ack spans under it so a traced
+    /// request's tree extends past durability.
+    pub ctx: TraceCtx,
 }
 
 struct Pending {
     ticket: u64,
     wopts: WriteOptions,
     batch: WriteBatch,
+    /// Causal context of the request that enqueued this part
+    /// ([`TraceCtx::NONE`] for untraced writers).
+    ctx: TraceCtx,
 }
 
 struct Shard {
@@ -293,6 +301,21 @@ impl Store {
     /// completes when every sub-batch has committed. Nothing reaches the
     /// engines until [`pump`](Store::pump)/[`drain`](Store::drain) runs.
     pub fn enqueue(&mut self, wopts: &WriteOptions, batch: &WriteBatch) -> Ticket {
+        self.enqueue_ctx(wopts, batch, TraceCtx::NONE)
+    }
+
+    /// [`enqueue`](Store::enqueue) carrying a causal context: the group
+    /// that eventually commits each per-shard part parents its
+    /// [`EventClass::GroupCommit`] span under the leader's `ctx` and
+    /// links coalesced followers' contexts in, so span trees cross the
+    /// asynchronous ticket hand-off. Pass [`TraceCtx::NONE`] (or call
+    /// `enqueue`) for untraced writers.
+    pub fn enqueue_ctx(
+        &mut self,
+        wopts: &WriteOptions,
+        batch: &WriteBatch,
+        ctx: TraceCtx,
+    ) -> Ticket {
         let id = self.next_ticket;
         self.next_ticket += 1;
         let mut split: Vec<WriteBatch> = vec![WriteBatch::new(); self.shards.len()];
@@ -309,7 +332,7 @@ impl Store {
                 continue;
             }
             n_parts += 1;
-            self.shards[s].queue.push_back(Pending { ticket: id, wopts: *wopts, batch: part });
+            self.shards[s].queue.push_back(Pending { ticket: id, wopts: *wopts, batch: part, ctx });
         }
         if n_parts == 0 {
             // Empty batch: durable by definition, right now.
@@ -371,8 +394,10 @@ impl Store {
             return Ok(false);
         };
         let wopts = leader.wopts;
+        let leader_ctx = leader.ctx;
         let mut merged = leader.batch;
         let mut tickets = vec![leader.ticket];
+        let mut follower_ctxs: Vec<TraceCtx> = Vec::new();
         let mut bytes = merged.byte_size();
         while tickets.len() < budget_count {
             let Some(next) = shard.queue.front() else { break };
@@ -386,6 +411,9 @@ impl Store {
             bytes = bytes.saturating_add(next.batch.byte_size());
             merged.extend(&next.batch);
             tickets.push(next.ticket);
+            if !next.ctx.is_none() {
+                follower_ctxs.push(next.ctx);
+            }
         }
         let start = self.clock.now();
         // Capture the payload before the write consumes the batch; the
@@ -398,7 +426,23 @@ impl Store {
         } else {
             Vec::new()
         };
-        let end = shard.db.write(&wopts, merged)?;
+        // Open the group span before the engine write so the engine /
+        // ext4 / SSD spans it provokes nest under it. The leader's
+        // request context (if any) parents the group; coalesced
+        // followers' contexts are grafted in as links.
+        let group_ctx = match &self.trace {
+            Some(sink) => sink.begin_span_with_parent(Some(leader_ctx)),
+            None => TraceCtx::NONE,
+        };
+        let end = match shard.db.write(&wopts, merged) {
+            Ok(end) => end,
+            Err(e) => {
+                if let Some(sink) = &self.trace {
+                    sink.pop_ctx();
+                }
+                return Err(e);
+            }
+        };
         if self.shipping {
             let last_seq = self.shards[idx].db.last_sequence();
             self.shipped.push(ShippedRecord {
@@ -407,11 +451,15 @@ impl Store {
                 last_seq,
                 payload,
                 committed_at: end,
+                ctx: group_ctx,
             });
             self.stats.shipped_records += 1;
         }
         if let Some(sink) = &self.trace {
-            sink.emit(EventClass::GroupCommit, start, end, bytes);
+            sink.end_span(EventClass::GroupCommit, start, end, bytes);
+            for fctx in &follower_ctxs {
+                sink.link(*fctx, group_ctx);
+            }
         }
         self.stats.groups += 1;
         self.stats.batches += tickets.len() as u64;
@@ -765,6 +813,58 @@ mod tests {
         let h = sink.histogram(EventClass::GroupCommit);
         assert_eq!(h.count(), 1, "one coalesced group, one span");
         assert!(sink.events() > 1, "shard engines share the sink");
+    }
+
+    #[test]
+    fn group_commit_span_parents_under_leader_and_links_followers() {
+        let sink = TraceSink::new();
+        let mut store = Store::open(small_opts(1)).unwrap();
+        store.set_trace_sink(sink.clone());
+        let leader_root = sink.mint_root();
+        let follower_root = sink.mint_root();
+        let mut b1 = WriteBatch::new();
+        b1.put(b"a", b"1");
+        let mut b2 = WriteBatch::new();
+        b2.put(b"b", b"2");
+        store.enqueue_ctx(&WriteOptions::default(), &b1, leader_root);
+        store.enqueue_ctx(&WriteOptions::default(), &b2, follower_root);
+        store.drain().unwrap();
+        let (events, links) = sink.snapshot();
+        let group =
+            events.iter().find(|e| e.class == EventClass::GroupCommit).expect("one group span");
+        assert_eq!(group.trace, leader_root.trace, "group joins the leader's trace");
+        assert_eq!(group.parent, leader_root.span);
+        // The engine write it issued nests underneath.
+        let put = events.iter().find(|e| e.class == EventClass::EnginePut).unwrap();
+        assert_eq!(put.parent, group.span);
+        assert_eq!(put.trace, leader_root.trace);
+        // The coalesced follower's root grafts onto the group span.
+        assert_eq!(links.len(), 1);
+        assert_eq!(links[0].from, follower_root.span);
+        assert_eq!(links[0].to, group.span);
+        // Shipping off: nothing captured, but the record ctx plumbing is
+        // covered by shipped_records_carry_group_ctx below.
+    }
+
+    #[test]
+    fn shipped_records_carry_group_ctx() {
+        let sink = TraceSink::new();
+        let mut store = Store::open(small_opts(1)).unwrap();
+        store.set_trace_sink(sink.clone());
+        store.enable_shipping();
+        let root = sink.mint_root();
+        let mut b = WriteBatch::new();
+        b.put(b"k", b"v");
+        store.enqueue_ctx(&WriteOptions::default(), &b, root);
+        store.drain().unwrap();
+        let shipped = store.take_shipped();
+        assert_eq!(shipped.len(), 1);
+        let rec = &shipped[0];
+        assert!(!rec.ctx.is_none());
+        assert_eq!(rec.ctx.trace, root.trace, "record carries the group span's identity");
+        let (events, _) = sink.snapshot();
+        let group = events.iter().find(|e| e.class == EventClass::GroupCommit).unwrap();
+        assert_eq!(rec.ctx.span, group.span);
     }
 
     #[test]

@@ -178,6 +178,36 @@ impl EventClass {
     }
 }
 
+/// Causal identity of a span: the request tree it belongs to, its own
+/// span id, and its parent span. Ids are allocated per sink, starting at
+/// 1; 0 everywhere means "untraced" and is what spans emitted outside any
+/// request scope carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Trace id: the root span's id, shared by every span in the tree
+    /// (0 = untraced).
+    pub trace: u64,
+    /// This span's id (unique per sink).
+    pub span: u64,
+    /// Parent span id (0 = this span is the tree root).
+    pub parent: u64,
+}
+
+impl TraceCtx {
+    /// The untraced context (all zeros).
+    pub const NONE: TraceCtx = TraceCtx { trace: 0, span: 0, parent: 0 };
+
+    /// Whether this is the untraced context.
+    pub fn is_none(&self) -> bool {
+        self.span == 0
+    }
+
+    /// Whether this context is the root of its trace.
+    pub fn is_root(&self) -> bool {
+        self.span != 0 && self.parent == 0
+    }
+}
+
 /// One recorded span: a class plus its `[start, end]` window and an
 /// optional byte payload (0 where meaningless).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -192,12 +222,28 @@ pub struct SpanEvent {
     pub end: Nanos,
     /// Bytes moved, where the class has a payload.
     pub bytes: u64,
+    /// Trace id this span belongs to (0 = untraced).
+    pub trace: u64,
+    /// This span's id (0 = untraced).
+    pub span: u64,
+    /// Parent span id (0 = root or untraced).
+    pub parent: u64,
 }
 
 impl SpanEvent {
     /// The span's latency (`end - start`, saturating).
     pub fn duration(&self) -> Nanos {
         self.end - self.start
+    }
+
+    /// The span's causal identity.
+    pub fn ctx(&self) -> TraceCtx {
+        TraceCtx { trace: self.trace, span: self.span, parent: self.parent }
+    }
+
+    /// Whether the span is the root of a trace.
+    pub fn is_root(&self) -> bool {
+        self.span != 0 && self.parent == 0
     }
 }
 
@@ -288,7 +334,33 @@ mod tests {
             start: Nanos::from_micros(5),
             end: Nanos::from_micros(2),
             bytes: 0,
+            trace: 0,
+            span: 0,
+            parent: 0,
         };
         assert_eq!(e.duration(), Nanos::ZERO);
+    }
+
+    #[test]
+    fn ctx_roundtrips_and_classifies() {
+        assert!(TraceCtx::NONE.is_none());
+        assert!(!TraceCtx::NONE.is_root());
+        let root = TraceCtx { trace: 7, span: 7, parent: 0 };
+        assert!(root.is_root());
+        assert!(!root.is_none());
+        let child = TraceCtx { trace: 7, span: 9, parent: 7 };
+        assert!(!child.is_root());
+        let e = SpanEvent {
+            seq: 0,
+            class: EventClass::EnginePut,
+            start: Nanos::ZERO,
+            end: Nanos::from_nanos(1),
+            bytes: 0,
+            trace: 7,
+            span: 9,
+            parent: 7,
+        };
+        assert_eq!(e.ctx(), child);
+        assert!(!e.is_root());
     }
 }

@@ -18,20 +18,31 @@
 //!   path is one branch and allocation-free;
 //! * [`TraceSummary`] — a deterministic, integer-nanosecond snapshot
 //!   embedded in bench JSON output and diffed byte-for-byte by the CI
-//!   bench-regression gate.
+//!   bench-regression gate;
+//! * [`TraceCtx`] — causal identity (`trace / span / parent`) minted per
+//!   request and threaded through every layer, so the ring reconstructs
+//!   full span trees ([`TraceNode`]);
+//! * [`CriticalPath`] / [`CriticalSummary`] — per-request critical-path
+//!   decomposition: each traced commit's send→durable(→replicated)
+//!   window partitioned into named segments (admission, group wait, WAL
+//!   write, journal wait, FLUSH, ship, apply, ack) that sum exactly.
 //!
 //! Everything is priced in virtual time ([`nob_sim::Nanos`]); fixed-seed
 //! runs therefore produce bit-identical summaries, which is what makes
 //! golden-file tests and exact CI baselines possible.
 
+pub mod critical;
 pub mod event;
 pub mod hist;
 pub mod ring;
 pub mod sink;
 pub mod summary;
 
-pub use event::{EventClass, SpanEvent, StallKind, StallRecord, N_CLASSES};
+pub use critical::{
+    CriticalPath, CriticalSummary, SegmentStats, TraceForest, TraceNode, N_SEGMENTS, SEGMENTS,
+};
+pub use event::{EventClass, SpanEvent, StallKind, StallRecord, TraceCtx, N_CLASSES};
 pub use hist::Histogram;
 pub use ring::TraceRing;
-pub use sink::TraceSink;
+pub use sink::{SpanLink, TraceSink};
 pub use summary::{ClassStats, TraceSummary};

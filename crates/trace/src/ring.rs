@@ -77,6 +77,9 @@ mod tests {
             start: Nanos::from_nanos(seq * 10),
             end: Nanos::from_nanos(seq * 10 + 5),
             bytes: 0,
+            trace: 0,
+            span: 0,
+            parent: 0,
         }
     }
 

@@ -3,7 +3,7 @@
 
 use std::sync::{Arc, Mutex, MutexGuard};
 
-use crate::event::{EventClass, SpanEvent, StallKind, StallRecord, N_CLASSES};
+use crate::event::{EventClass, SpanEvent, StallKind, StallRecord, TraceCtx, N_CLASSES};
 use crate::hist::Histogram;
 use crate::ring::TraceRing;
 use crate::summary::{ClassStats, TraceSummary};
@@ -15,6 +15,20 @@ const DEFAULT_RING: usize = 4096;
 /// Stalls kept before pruning to the longest.
 const STALL_KEEP: usize = 64;
 
+/// Cross-trace links kept before counting further ones as dropped.
+const LINK_KEEP: usize = 8192;
+
+/// One cross-trace graft: the span `from` (in one request's tree) also
+/// waited on the subtree rooted at `to` (in another request's tree) —
+/// how a group-commit leader span fans in many follower requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanLink {
+    /// Span that waited (e.g. a follower request's root).
+    pub from: u64,
+    /// Span it waited on (e.g. the leader's group-commit span).
+    pub to: u64,
+}
+
 struct TraceState {
     seq: u64,
     hists: [Histogram; N_CLASSES],
@@ -25,6 +39,19 @@ struct TraceState {
     stall_total_ns: u64,
     last_commit: Option<SpanEvent>,
     last_flush: Option<SpanEvent>,
+    /// Next causal span id (0 is reserved for "untraced").
+    next_span: u64,
+    /// Ambient causal-context stack: `emit` parents new spans under the
+    /// top entry, which is how the synchronous commit chain (server →
+    /// store → engine → ext4 → ssd) nests without threading a context
+    /// through every call.
+    stack: Vec<TraceCtx>,
+    /// Cross-trace grafts (group-commit fan-in), bounded by `LINK_KEEP`.
+    links: Vec<SpanLink>,
+    links_dropped: u64,
+    /// Per-class exemplar: `(duration_ns, trace_id)` of the slowest
+    /// *traced* span, linking a histogram tail to a concrete tree.
+    exemplar: [(u64, u64); N_CLASSES],
 }
 
 impl TraceState {
@@ -39,15 +66,63 @@ impl TraceState {
             stall_total_ns: 0,
             last_commit: None,
             last_flush: None,
+            next_span: 1,
+            stack: Vec::new(),
+            links: Vec::new(),
+            links_dropped: 0,
+            exemplar: [(0, 0); N_CLASSES],
         }
     }
 
-    fn record(&mut self, class: EventClass, start: Nanos, end: Nanos, bytes: u64) -> SpanEvent {
-        let ev = SpanEvent { seq: self.seq, class, start, end, bytes };
+    fn alloc_span(&mut self) -> u64 {
+        let id = self.next_span;
+        self.next_span += 1;
+        id
+    }
+
+    /// A fresh context: child of `parent` when given, root otherwise.
+    fn mint(&mut self, parent: Option<TraceCtx>) -> TraceCtx {
+        let span = self.alloc_span();
+        match parent {
+            Some(p) if !p.is_none() => TraceCtx { trace: p.trace, span, parent: p.span },
+            _ => TraceCtx { trace: span, span, parent: 0 },
+        }
+    }
+
+    /// The context a plain `emit` carries: a fresh child of the stack
+    /// top, or untraced when no request scope is active.
+    fn ambient(&mut self) -> TraceCtx {
+        match self.stack.last().copied() {
+            Some(top) => self.mint(Some(top)),
+            None => TraceCtx::NONE,
+        }
+    }
+
+    fn record(
+        &mut self,
+        class: EventClass,
+        start: Nanos,
+        end: Nanos,
+        bytes: u64,
+        ctx: TraceCtx,
+    ) -> SpanEvent {
+        let ev = SpanEvent {
+            seq: self.seq,
+            class,
+            start,
+            end,
+            bytes,
+            trace: ctx.trace,
+            span: ctx.span,
+            parent: ctx.parent,
+        };
         self.seq += 1;
         let idx = class as usize;
         self.hists[idx].record(ev.duration().as_nanos());
         self.bytes[idx] += bytes;
+        if ctx.trace != 0 && ev.duration().as_nanos() > self.exemplar[idx].0 {
+            self.exemplar[idx] = (ev.duration().as_nanos(), ctx.trace);
+        }
         self.ring.push(ev);
         match class {
             EventClass::JournalCommit | EventClass::Checkpoint | EventClass::FastCommit => {
@@ -101,9 +176,102 @@ impl TraceSink {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Records one completed span.
+    /// Records one completed span. The span is parented under the
+    /// ambient context (the top of the stack pushed by
+    /// [`TraceSink::begin_span`] / [`TraceSink::push_ctx`]); with no
+    /// active scope it is untraced (all-zero causal ids), exactly as
+    /// before causal tracing existed.
     pub fn emit(&self, class: EventClass, start: Nanos, end: Nanos, bytes: u64) {
-        self.lock().record(class, start, end, bytes);
+        let mut st = self.lock();
+        let ctx = st.ambient();
+        st.record(class, start, end, bytes, ctx);
+    }
+
+    /// Records one completed span under an explicitly minted context
+    /// (from [`TraceSink::mint_root`], [`TraceSink::child_ctx`] or a
+    /// popped scope) instead of the ambient stack.
+    pub fn emit_ctx(&self, class: EventClass, start: Nanos, end: Nanos, bytes: u64, ctx: TraceCtx) {
+        self.lock().record(class, start, end, bytes, ctx);
+    }
+
+    /// Mints a fresh root context (a new trace), without pushing it.
+    /// Callers thread it through asynchronous hand-offs (reply queues,
+    /// group-commit tickets) and later emit with
+    /// [`TraceSink::emit_ctx`] / parent children under it.
+    pub fn mint_root(&self) -> TraceCtx {
+        self.lock().mint(None)
+    }
+
+    /// Mints a fresh child of `parent` (a fresh root if `parent` is
+    /// [`TraceCtx::NONE`]), without pushing it.
+    pub fn child_ctx(&self, parent: TraceCtx) -> TraceCtx {
+        let mut st = self.lock();
+        if parent.is_none() {
+            st.mint(None)
+        } else {
+            st.mint(Some(parent))
+        }
+    }
+
+    /// Pushes an existing context onto the ambient stack; spans emitted
+    /// until the matching [`TraceSink::pop_ctx`] become its children.
+    pub fn push_ctx(&self, ctx: TraceCtx) {
+        self.lock().stack.push(ctx);
+    }
+
+    /// Pops the ambient stack (the context is returned so the caller can
+    /// emit its span via [`TraceSink::emit_ctx`], or drop it to cancel).
+    pub fn pop_ctx(&self) -> Option<TraceCtx> {
+        self.lock().stack.pop()
+    }
+
+    /// Opens a span scope: mints a child of the current ambient context
+    /// (or a fresh root when none is active) and pushes it. Close with
+    /// [`TraceSink::end_span`] (emits) or [`TraceSink::pop_ctx`]
+    /// (cancels, e.g. on an error path).
+    pub fn begin_span(&self) -> TraceCtx {
+        let mut st = self.lock();
+        let top = st.stack.last().copied();
+        let ctx = st.mint(top);
+        st.stack.push(ctx);
+        ctx
+    }
+
+    /// Opens a span scope under an explicit parent — for code that picks
+    /// work off a queue where the ambient stack no longer holds the
+    /// originating request (e.g. a group-commit leader). `None` or
+    /// [`TraceCtx::NONE`] starts a fresh root.
+    pub fn begin_span_with_parent(&self, parent: Option<TraceCtx>) -> TraceCtx {
+        let mut st = self.lock();
+        let ctx = st.mint(parent.filter(|p| !p.is_none()));
+        st.stack.push(ctx);
+        ctx
+    }
+
+    /// Closes the innermost span scope and records its span with the
+    /// scope's pre-minted causal identity (children emitted inside the
+    /// scope already point at it). Falls back to a plain ambient emit if
+    /// no scope is active (a push/pop mismatch, not worth panicking for).
+    pub fn end_span(&self, class: EventClass, start: Nanos, end: Nanos, bytes: u64) {
+        let mut st = self.lock();
+        let ctx = st.stack.pop().unwrap_or(TraceCtx::NONE);
+        st.record(class, start, end, bytes, ctx);
+    }
+
+    /// Records that span `from` (one request's tree) also waited on the
+    /// subtree rooted at span `to` (another request's tree): the
+    /// group-commit fan-in. Tree reconstruction grafts `to`'s subtree
+    /// under `from`. Links are bounded; excess links are counted dropped.
+    pub fn link(&self, from: TraceCtx, to: TraceCtx) {
+        if from.is_none() || to.is_none() {
+            return;
+        }
+        let mut st = self.lock();
+        if st.links.len() >= LINK_KEEP {
+            st.links_dropped += 1;
+            return;
+        }
+        st.links.push(SpanLink { from: from.span, to: to.span });
     }
 
     /// Records a foreground write stall, capturing its causal chain: the
@@ -111,7 +279,8 @@ impl TraceSink {
     /// stall resolved.
     pub fn emit_stall(&self, kind: StallKind, start: Nanos, end: Nanos) {
         let mut st = self.lock();
-        st.record(EventClass::WriteStall, start, end, 0);
+        let ctx = st.ambient();
+        st.record(EventClass::WriteStall, start, end, 0, ctx);
         let rec = StallRecord {
             kind,
             start,
@@ -137,6 +306,13 @@ impl TraceSink {
     /// Total spans emitted so far.
     pub fn events(&self) -> u64 {
         self.lock().ring.pushed()
+    }
+
+    /// Spans evicted from the ring so far (histograms still count them,
+    /// but span trees and exports lose them) — cheap enough for stats
+    /// lines polled per request.
+    pub fn dropped(&self) -> u64 {
+        self.lock().ring.overwritten()
     }
 
     /// A snapshot of one class's histogram (for external merging, e.g.
@@ -172,6 +348,7 @@ impl TraceSink {
                 p95_ns: p95,
                 p99_ns: p99,
                 p999_ns: p999,
+                exemplar_trace: st.exemplar[class as usize].1,
             });
         }
         let mut top = st.stalls.clone();
@@ -189,6 +366,14 @@ impl TraceSink {
         }
     }
 
+    /// A snapshot of the retained spans (oldest first) plus the recorded
+    /// cross-trace links — the raw material for span-tree reconstruction
+    /// ([`crate::critical`]).
+    pub fn snapshot(&self) -> (Vec<SpanEvent>, Vec<SpanLink>) {
+        let st = self.lock();
+        (st.ring.iter().copied().collect(), st.links.clone())
+    }
+
     /// The retained spans as a JSON document:
     /// `{ "dropped": n, "events": [ {..}, ... ] }`, oldest first.
     pub fn events_json(&self) -> String {
@@ -200,13 +385,16 @@ impl TraceSink {
                 out.push(',');
             }
             out.push_str(&format!(
-                "\n    {{ \"seq\": {}, \"class\": \"{}\", \"layer\": \"{}\", \"start_ns\": {}, \"end_ns\": {}, \"bytes\": {} }}",
+                "\n    {{ \"seq\": {}, \"class\": \"{}\", \"layer\": \"{}\", \"start_ns\": {}, \"end_ns\": {}, \"bytes\": {}, \"trace\": {}, \"span\": {}, \"parent\": {} }}",
                 ev.seq,
                 ev.class.name(),
                 ev.class.layer(),
                 ev.start.as_nanos(),
                 ev.end.as_nanos(),
-                ev.bytes
+                ev.bytes,
+                ev.trace,
+                ev.span,
+                ev.parent
             ));
         }
         if !st.ring.is_empty() {
@@ -224,11 +412,13 @@ impl TraceSink {
         let mut out = String::new();
         out.push_str("{ \"displayTimeUnit\": \"ms\", \"traceEvents\": [");
         let mut first = true;
-        for tid in 0u32..3 {
+        for tid in 0u32..5 {
             let layer = match tid {
                 0 => "engine",
                 1 => "ext4",
-                _ => "ssd",
+                2 => "ssd",
+                3 => "server",
+                _ => "repl",
             };
             if !first {
                 out.push(',');
@@ -242,7 +432,7 @@ impl TraceSink {
             let ts = ev.start.as_nanos();
             let dur = ev.duration().as_nanos();
             out.push_str(&format!(
-                ",\n  {{ \"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \"ts\": {}.{:03}, \"dur\": {}.{:03}, \"pid\": 0, \"tid\": {}, \"args\": {{ \"seq\": {}, \"bytes\": {} }} }}",
+                ",\n  {{ \"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \"ts\": {}.{:03}, \"dur\": {}.{:03}, \"pid\": 0, \"tid\": {}, \"args\": {{ \"seq\": {}, \"bytes\": {}, \"trace\": {}, \"span\": {}, \"parent\": {} }} }}",
                 ev.class.name(),
                 ev.class.layer(),
                 ts / 1000,
@@ -251,8 +441,33 @@ impl TraceSink {
                 dur % 1000,
                 ev.class.tid(),
                 ev.seq,
-                ev.bytes
+                ev.bytes,
+                ev.trace,
+                ev.span,
+                ev.parent
             ));
+        }
+        // Flow arrows bind each traced child slice to its parent slice,
+        // so chrome://tracing / Perfetto draws the causal tree across the
+        // layer threads (slices alone only nest within one tid).
+        let by_span: std::collections::HashMap<u64, &SpanEvent> =
+            st.ring.iter().filter(|e| e.span != 0).map(|e| (e.span, e)).collect();
+        for ev in st.ring.iter() {
+            if ev.parent == 0 {
+                continue;
+            }
+            let Some(parent) = by_span.get(&ev.parent) else { continue };
+            for (ph, anchor, tid) in [("s", *parent, parent.class.tid()), ("f", ev, ev.class.tid())]
+            {
+                let ts = anchor.start.as_nanos();
+                out.push_str(&format!(
+                    ",\n  {{ \"name\": \"causal\", \"cat\": \"causal\", \"ph\": \"{ph}\", \"id\": {}, \"pid\": 0, \"tid\": {tid}, \"ts\": {}.{:03}{} }}",
+                    ev.span,
+                    ts / 1000,
+                    ts % 1000,
+                    if ph == "f" { ", \"bp\": \"e\"" } else { "" }
+                ));
+            }
         }
         out.push_str("\n] }");
         out

@@ -29,6 +29,10 @@ pub struct ClassStats {
     pub p99_ns: u64,
     /// 99.9th percentile.
     pub p999_ns: u64,
+    /// Trace id of the slowest *traced* span of this class (0 when the
+    /// class recorded no traced spans) — the exemplar linking the
+    /// histogram tail to a concrete span tree.
+    pub exemplar_trace: u64,
 }
 
 /// A complete, serialisable snapshot of a sink at end of run.
@@ -90,7 +94,7 @@ impl TraceSummary {
                 out.push(',');
             }
             out.push_str(&format!(
-                "\n{p}    \"{}\": {{ \"count\": {}, \"bytes\": {}, \"total_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {} }}",
+                "\n{p}    \"{}\": {{ \"count\": {}, \"bytes\": {}, \"total_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \"exemplar_trace\": {} }}",
                 c.class.name(),
                 c.count,
                 c.bytes,
@@ -100,7 +104,8 @@ impl TraceSummary {
                 c.p50_ns,
                 c.p95_ns,
                 c.p99_ns,
-                c.p999_ns
+                c.p999_ns,
+                c.exemplar_trace
             ));
         }
         if !self.classes.is_empty() {
@@ -152,6 +157,13 @@ impl TraceSummary {
             self.stall_count,
             Nanos::from_nanos(self.stall_total_ns)
         ));
+        if self.dropped > 0 {
+            out.push_str(&format!(
+                "warning: {} spans were evicted from the ring; span trees and \
+                 exports may be incomplete (raise the ring capacity)\n\n",
+                self.dropped
+            ));
+        }
         out.push_str(&format!(
             "| {:<20} | {:>8} | {:>10} | {:>10} | {:>10} | {:>10} | {:>10} |\n",
             "class", "count", "p50", "p95", "p99", "p999", "max"
@@ -229,6 +241,7 @@ mod tests {
                 p95_ns: 2000,
                 p99_ns: 2000,
                 p999_ns: 2000,
+                exemplar_trace: 0,
             }],
             stall_count: 1,
             stall_total_ns: 500,
@@ -242,6 +255,9 @@ mod tests {
                     start: Nanos::from_nanos(50),
                     end: Nanos::from_nanos(90),
                     bytes: 0,
+                    trace: 0,
+                    span: 0,
+                    parent: 0,
                 }),
                 cause_flush: None,
             }],

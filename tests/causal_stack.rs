@@ -1,0 +1,187 @@
+//! Workspace-level causal-tracing acceptance: one traced SET through
+//! the serving layer, replicated to a follower on the same virtual
+//! clock, must reconstruct as a *single* span tree —
+//!
+//! ```text
+//! server_write
+//!   group_commit
+//!     engine_put
+//!       journal / fast-commit work
+//!         ssd_flush (Sync only)
+//!     repl_ship
+//!       repl_apply
+//!     repl_ack
+//! ```
+//!
+//! — and its critical-path decomposition must partition the request's
+//! send→ack window into segments that sum to it exactly. A fixed-seed
+//! golden file pins the rendered tree and decomposition byte-for-byte;
+//! rebless with `NOB_BLESS=1 cargo test --test causal_stack`.
+//!
+//! The deployment shape is the real one: the server fronts the commit
+//! path (its store has shipping enabled), and the leader absorbs the
+//! server store's shipped records via [`Leader::absorb_shipped`] — the
+//! bridge for server-fronted replication.
+
+use nob_repl::{shared, Follower, FollowerLink, Leader, ReplCore, ReplLoopback};
+use nob_server::{shared as shared_server, Client, LoopbackTransport, ServerCore, ServerOptions};
+use nob_sim::Nanos;
+use nob_store::{Store, StoreOptions};
+use nob_trace::{EventClass, TraceNode, TraceSink};
+use noblsm::WriteOptions;
+
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/causal_tree.txt");
+
+/// Runs the fixed scenario: a server-fronted store with shipping on, a
+/// leader/follower pair on the server's clock sharing one trace sink,
+/// one SET, ship → apply → ack. Returns the sink with the whole story.
+fn traced_replicated_set() -> TraceSink {
+    let sopts = StoreOptions { shards: 1, ..StoreOptions::default() };
+    let sink = TraceSink::new();
+    let server = shared_server(
+        ServerCore::open(ServerOptions {
+            store: sopts.clone(),
+            write: WriteOptions { sync: true, ..WriteOptions::default() },
+            ..ServerOptions::default()
+        })
+        .expect("open server"),
+    );
+    let clock = {
+        let mut s = server.borrow_mut();
+        s.set_trace_sink(sink.clone());
+        s.store_mut().enable_shipping();
+        s.clock().clone()
+    };
+    let mut leader =
+        Leader::new(Store::open_with_clock(sopts.clone(), clock.clone()).expect("open leader"), 1);
+    let mut follower =
+        Follower::new(Store::open_with_clock(sopts, clock.clone()).expect("open follower"), 1);
+    leader.set_trace_sink(sink.clone());
+    follower.set_trace_sink(sink.clone());
+    let core = shared(ReplCore::new(leader));
+    let mut link = FollowerLink::new(ReplLoopback::connect(&core), follower);
+    link.subscribe().expect("subscribe");
+
+    let mut client = Client::new(LoopbackTransport::connect(&server));
+    client.set(b"alpha", b"1").expect("SET");
+
+    // The loopback wire is instantaneous in virtual time, which would
+    // collapse the ship window and the ack's wire-wait remainder to
+    // zero; advance the clock between the hops to model a real wire.
+    let records = server.borrow_mut().store_mut().take_shipped();
+    assert_eq!(records.len(), 1, "one committed group ships one record");
+    clock.advance(Nanos::from_micros(20));
+    core.borrow_mut().leader_mut().absorb_shipped(records).expect("absorb shipped");
+    clock.advance(Nanos::from_micros(30));
+    link.poll_until_idle().expect("replicate");
+    assert_eq!(core.borrow().leader().acked_seqs(), &[1], "the SET must be acked");
+    sink
+}
+
+fn classes(node: &TraceNode, out: &mut Vec<EventClass>) {
+    out.push(node.event.class);
+    for c in &node.children {
+        classes(c, out);
+    }
+}
+
+fn find(node: &TraceNode, class: EventClass) -> Option<&TraceNode> {
+    if node.event.class == class {
+        return Some(node);
+    }
+    node.children.iter().find_map(|c| find(c, class))
+}
+
+#[test]
+fn a_traced_set_under_replication_yields_one_full_chain_tree() {
+    let sink = traced_replicated_set();
+    let roots = sink.trace_roots();
+    assert_eq!(roots.len(), 1, "one request, one trace: {roots:?}");
+    assert_eq!(roots[0].class, EventClass::ServerWrite);
+    let tree = sink.tree(roots[0].trace).expect("tree reconstructs");
+
+    let mut seen = Vec::new();
+    classes(&tree, &mut seen);
+    for want in [
+        EventClass::GroupCommit,
+        EventClass::EnginePut,
+        EventClass::SsdFlush,
+        EventClass::ReplShip,
+        EventClass::ReplApply,
+        EventClass::ReplAck,
+    ] {
+        assert!(seen.contains(&want), "tree must contain {}:\n{}", want.name(), tree.render());
+    }
+    assert!(
+        seen.contains(&EventClass::JournalCommit) || seen.contains(&EventClass::FastCommit),
+        "the sync commit must pass through the ext4 journal:\n{}",
+        tree.render()
+    );
+
+    // Causality, not just presence: the apply hangs off the ship span,
+    // and both live under the group commit that produced the record.
+    let group = find(&tree, EventClass::GroupCommit).expect("group span");
+    let ship = find(group, EventClass::ReplShip).expect("ship under the group");
+    assert!(find(ship, EventClass::ReplApply).is_some(), "apply under the ship");
+    assert!(find(group, EventClass::ReplAck).is_some(), "ack under the group");
+}
+
+#[test]
+fn segments_partition_the_send_to_ack_window_exactly() {
+    let sink = traced_replicated_set();
+    let tree = sink.tree(sink.trace_roots()[0].trace).expect("tree");
+    assert!(
+        tree.max_end() > tree.event.end,
+        "replication outlives the reply: ack must land after durable"
+    );
+
+    let summary = sink.critical_summary(1);
+    assert_eq!(summary.paths, 1);
+    let path = summary.slowest[0].0;
+    let window = (tree.max_end() - tree.event.start).as_nanos();
+    assert_eq!(path.total_ns, window, "decomposition covers send→ack, not send→durable");
+    assert_eq!(
+        path.segments.iter().sum::<u64>(),
+        window,
+        "segments must partition the window exactly"
+    );
+    for seg in ["wal_write", "flush", "ship", "apply", "ack"] {
+        assert!(path.segment(seg) > 0, "{seg} must appear on the critical path:\n{path:?}");
+    }
+    assert!(path.total_ns > 0 && summary.total_ns == path.total_ns);
+}
+
+#[test]
+fn fixed_seed_golden_pins_the_rendered_chain() {
+    let sink = traced_replicated_set();
+    let tree = sink.tree(sink.trace_roots()[0].trace).expect("tree");
+    let mut got = String::new();
+    got.push_str("# one traced SET, server-fronted, replicated (fixed seed)\n\n");
+    got.push_str(&tree.render());
+    got.push('\n');
+    got.push_str(&sink.critical_summary(1).render());
+    if std::env::var_os("NOB_BLESS").is_some() {
+        std::fs::write(GOLDEN, &got).expect("bless golden file");
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN)
+        .expect("missing golden fixture; generate with NOB_BLESS=1 cargo test --test causal_stack");
+    assert_eq!(
+        got, want,
+        "causal chain diverged from tests/golden/causal_tree.txt; \
+         if intentional, rebless with NOB_BLESS=1"
+    );
+}
+
+#[test]
+fn identical_runs_trace_identically() {
+    let render = || {
+        let sink = traced_replicated_set();
+        let tree = sink.tree(sink.trace_roots()[0].trace).expect("tree");
+        (tree.render(), sink.critical_summary(1).render(), sink.dropped())
+    };
+    let (a, b) = (render(), render());
+    assert_eq!(a, b, "virtual time + fixed ids make tracing bit-for-bit deterministic");
+    assert_eq!(a.2, 0, "nothing may be evicted in a one-request run");
+    let _ = Nanos::ZERO;
+}

@@ -150,6 +150,7 @@ fn follower_fronted_server_rejects_writes_and_reports_replication() {
         role: ReplRole::Follower,
         epoch: 2,
         lag_nanos: 1234,
+        ..ReplStatus::default()
     });
     let mut client = Client::new(LoopbackTransport::connect(&server));
     let err = client.set(b"k", b"v").expect_err("followers must refuse writes");
