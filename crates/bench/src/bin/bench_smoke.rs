@@ -1,6 +1,6 @@
-//! CI bench-smoke: runs the fixed-seed fig2a + fig4 + replication smoke
-//! scenarios, writes `bench_smoke.json` (throughput, p99 and the full
-//! nob-trace summary per scenario) and gates against
+//! CI bench-smoke: runs the fixed-seed fig2a + fig4 + replication +
+//! scan smoke scenarios, writes `bench_smoke.json` (throughput, p99 and
+//! the full nob-trace summary per scenario) and gates against
 //! `bench/baseline.json`.
 //!
 //! ```text

@@ -1,0 +1,44 @@
+//! Snapshot-pinned cross-shard scan sweep: fixed-seed range scans
+//! through `nob-store` over range length × shard count, under the Sync,
+//! Async and NobLSM write disciplines.
+//!
+//! Writes `target/nob-results/fig_scan.json` (rendered by `report`)
+//! and prints the grid as one table per discipline.
+//!
+//! Usage: `fig_scan [--scale N]` (default scale 512, the shape the
+//! golden test pins byte-for-byte).
+
+use nob_bench::scan::{fig_scan, fig_scan_json, RANGE_LENS, SHARD_COUNTS};
+use nob_bench::shards::disciplines;
+use nob_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args(512);
+    let cells = fig_scan(scale);
+    for (name, _, _) in disciplines() {
+        println!("== {name} — scan rows/s by range x shards ==");
+        print!("{:>10}", "");
+        for s in SHARD_COUNTS {
+            print!("{:>12}", format!("{s} shard(s)"));
+        }
+        println!();
+        for r in RANGE_LENS {
+            print!("{:>10}", format!("{r} rows"));
+            for s in SHARD_COUNTS {
+                let c = cells
+                    .iter()
+                    .find(|c| c.name == name && c.shards == s && c.range == r)
+                    .expect("cell present");
+                print!("{:>12.0}", c.throughput);
+            }
+            println!();
+        }
+        println!();
+    }
+    let doc = fig_scan_json(&cells, scale);
+    let dir = std::path::Path::new("target/nob-results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join("fig_scan.json");
+    std::fs::write(&path, &doc).expect("write results json");
+    println!("wrote {} ({} bytes)", path.display(), doc.len());
+}

@@ -243,6 +243,66 @@ fn render_shards(doc: &Json, out: &mut String) -> Option<()> {
     Some(())
 }
 
+/// Renders a `fig_scan` document: one scan-throughput grid per write
+/// discipline (range length down, shard count across) — rows/s through
+/// the store's snapshot-pinned cross-shard merge.
+fn render_scan(doc: &Json, out: &mut String) -> Option<()> {
+    let cells = doc.get("scan_cells")?.as_array()?;
+    let scale = doc.get("scale").and_then(Json::as_f64).unwrap_or(0.0);
+    let keys = doc.get("keys").and_then(Json::as_f64).unwrap_or(0.0);
+    let scans = doc.get("scans").and_then(Json::as_f64).unwrap_or(0.0);
+    let _ = writeln!(out, "## fig_scan — snapshot-pinned cross-shard scans\n");
+    let _ = writeln!(
+        out,
+        "*scale 1/{scale:.0}; {scans:.0} range scans per cell over a dense {keys:.0}-key space; \
+         throughput in rows/s through the store's k-way shard merge*\n"
+    );
+    let mut names: Vec<&str> = Vec::new();
+    let mut grid: Vec<(f64, f64)> = Vec::new();
+    for c in cells {
+        let name = c.get("name")?.as_str()?;
+        let shards = c.get("shards")?.as_f64()?;
+        let range = c.get("range")?.as_f64()?;
+        if !names.contains(&name) {
+            names.push(name);
+        }
+        if !grid.contains(&(range, shards)) {
+            grid.push((range, shards));
+        }
+    }
+    let _ = write!(out, "| range × shards |");
+    for n in &names {
+        let _ = write!(out, " {n} |");
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, "|---|");
+    for _ in &names {
+        let _ = write!(out, "---|");
+    }
+    let _ = writeln!(out);
+    for (range, shards) in &grid {
+        let _ = write!(out, "| {range:.0} × {shards:.0} |");
+        for n in &names {
+            let cell = cells.iter().find(|c| {
+                c.get("name").and_then(Json::as_str) == Some(n)
+                    && c.get("shards").and_then(Json::as_f64) == Some(*shards)
+                    && c.get("range").and_then(Json::as_f64) == Some(*range)
+            });
+            match cell.and_then(|c| c.get("throughput_rows_s")).and_then(Json::as_f64) {
+                Some(t) => {
+                    let _ = write!(out, " {t:.0} |");
+                }
+                None => {
+                    let _ = write!(out, " – |");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(out);
+    Some(())
+}
+
 /// Renders a `fig_breakdown` document: per-discipline critical-path
 /// segment shares (each request's send→durable window partitioned into
 /// named segments that sum exactly), plus each cell's slowest request.
@@ -621,6 +681,8 @@ fn main() {
                     render_timelines(&exp, &mut out).is_some()
                 } else if exp.get("shard_cells").is_some() {
                     render_shards(&exp, &mut out).is_some()
+                } else if exp.get("scan_cells").is_some() {
+                    render_scan(&exp, &mut out).is_some()
                 } else if exp.get("breakdown_cells").is_some() {
                     render_breakdown(&exp, &mut out).is_some()
                 } else if exp.get("server_cells").is_some() {

@@ -1,0 +1,57 @@
+//! YCSB workload E end to end against the sharded store: Load-E then
+//! the 95 % scan (length ~U(1,100)) / 5 % insert mix, with every scan
+//! going through `Store::scan`'s snapshot-pinned cross-shard merge and
+//! every insert through the group-commit write path — swept over shard
+//! count under the three write disciplines.
+//!
+//! Writes `target/nob-results/ycsb_e_store.json` (rendered by `report`)
+//! and prints mean request time per cell.
+//!
+//! Usage: `ycsb_e_store [--scale N]` (default scale 1024).
+
+use nob_bench::output::Experiment;
+use nob_bench::shards::disciplines;
+use nob_bench::{Scale, PAPER_TABLE_LARGE};
+use nob_store::{Store, StoreOptions};
+use nob_workloads::ycsb;
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn main() {
+    let scale = Scale::from_args(1024);
+    let records = scale.ycsb_records();
+    let ops = scale.ycsb_ops();
+    let mut exp = Experiment::new(
+        "ycsb_e_store",
+        "YCSB-E through the store's snapshot-pinned cross-shard scan",
+        scale.factor,
+    );
+    for (name, variant, _) in disciplines() {
+        for shards in SHARD_COUNTS {
+            let opts = StoreOptions {
+                shards,
+                fs: scale.fs_config(),
+                db: variant.options(&scale.base_options(PAPER_TABLE_LARGE)),
+                ..StoreOptions::default()
+            };
+            let mut store = Store::open(opts).expect("open store");
+            let load = ycsb::load_store(&mut store, records, 1024, 2).expect("Load-E");
+            let e = ycsb::run_e_store(&mut store, ops, records, 1024, 8).expect("workload E");
+            exp.push(
+                &format!("{name} Load-E"),
+                &format!("{shards} shard(s)"),
+                load.mean_us_per_op(),
+                "us/op",
+            );
+            exp.push(
+                &format!("{name} E"),
+                &format!("{shards} shard(s)"),
+                e.mean_us_per_op(),
+                "us/op",
+            );
+        }
+    }
+    exp.print();
+    exp.save().expect("write results json");
+    println!("wrote target/nob-results/ycsb_e_store.json");
+}

@@ -20,6 +20,7 @@ pub mod breakdown;
 pub mod json;
 pub mod output;
 pub mod repl;
+pub mod scan;
 pub mod scenarios;
 pub mod server;
 pub mod shards;

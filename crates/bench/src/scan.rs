@@ -1,0 +1,203 @@
+//! The `fig_scan` experiment: snapshot-pinned cross-shard range scans
+//! through [`Store::scan`], swept over range length × shard count under
+//! the three write disciplines (Sync, Async, NobLSM).
+//!
+//! The sweep shows the payoff of the store's scatter/merge scan: each
+//! shard serves its slice of the range from its own SSD + Ext4 stack,
+//! and the scan's virtual wall time is the *slowest shard's* share, not
+//! the sum — so splitting a range over more shards shortens it. Short
+//! ranges are where the claim is sharpest (a handful of blocks per
+//! shard, so the division is visible over the fixed seek cost), hence
+//! the acceptance assertion that short-range scan throughput climbs
+//! monotonically with shard count.
+//!
+//! Everything runs on one shared virtual clock per store, so the grid is
+//! bit-for-bit deterministic and golden-pinned.
+
+use nob_store::{Store, StoreOptions};
+use noblsm::{ReadOptions, ScanOptions, WriteBatch, WriteOptions};
+
+use crate::shards::disciplines;
+use crate::Scale;
+
+/// Fixed keyspace: every cell loads the same `KEYS` dense sequential
+/// keys with `VALUE`-byte values, flushes them table-resident, then
+/// scans the same seed-42 LCG start positions — only the partitioning
+/// (shard count) and the range length differ.
+pub const KEYS: u64 = 2_048;
+const VALUE: usize = 1_024;
+const SEED: u64 = 42;
+/// Scans per cell; throughput averages over all of them.
+pub const SCANS: usize = 32;
+
+/// Range lengths (rows per scan) on the sweep's series axis.
+pub const RANGE_LENS: [u64; 3] = [16, 128, 512];
+/// Shard counts on the sweep's x-axis.
+pub const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// One cell of the sweep: a (discipline, shards, range length)
+/// configuration and the scan rate the store sustained under it.
+#[derive(Debug, Clone)]
+pub struct ScanCell {
+    /// Write discipline the keyspace was loaded under (`Sync`, `Async`,
+    /// `NobLSM`) — it shapes the tree the scans then read.
+    pub name: String,
+    /// Number of hash-partitioned shards merged per scan.
+    pub shards: usize,
+    /// Rows per scan (the range length).
+    pub range: u64,
+    /// Scans issued (identical across cells by construction).
+    pub scans: u64,
+    /// Total rows returned across all scans.
+    pub rows: u64,
+    /// Aggregate scan throughput in rows per virtual second.
+    pub throughput: f64,
+}
+
+/// Runs one cell: load the dense keyspace, flush every shard's memtable
+/// so scans pay real block reads, then time `SCANS` snapshot-pinned
+/// range scans of `range` rows each from LCG start positions.
+pub fn run_cell(
+    name: &str,
+    variant: nob_baselines::Variant,
+    wopts: WriteOptions,
+    shards: usize,
+    range: u64,
+    scale: Scale,
+) -> ScanCell {
+    let opts = StoreOptions {
+        shards,
+        fs: scale.fs_config(),
+        db: variant.options(&scale.base_options(crate::PAPER_TABLE_LARGE)),
+        ..StoreOptions::default()
+    };
+    let mut store = Store::open(opts).expect("open store");
+    for i in 0..KEYS {
+        let key = format!("key{i:06}");
+        let mut value = format!("val{i}-").into_bytes();
+        value.resize(VALUE, b'x');
+        let mut batch = WriteBatch::new();
+        batch.put(key.as_bytes(), &value);
+        store.enqueue(&wopts, &batch);
+        if i % 32 == 31 {
+            store.pump().expect("pump");
+        }
+    }
+    store.drain().expect("drain");
+    for i in 0..store.shards() {
+        let now = store.clock().now();
+        store.shard_db_mut(i).flush(now).expect("flush shard");
+    }
+    let started = store.clock().now();
+    let mut rows = 0u64;
+    let mut state = SEED;
+    for _ in 0..SCANS {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let idx = state % (KEYS - range);
+        let start = format!("key{idx:06}").into_bytes();
+        let end = format!("key{:06}", idx + range).into_bytes();
+        let r = store
+            .scan(&ReadOptions::default(), &ScanOptions::range(&start, &end))
+            .expect("store scan");
+        assert_eq!(r.count, range, "dense keyspace: every range is fully populated");
+        rows += r.count;
+    }
+    let elapsed = store.clock().now() - started;
+    ScanCell {
+        name: name.to_string(),
+        shards,
+        range,
+        scans: SCANS as u64,
+        rows,
+        throughput: rows as f64 / elapsed.as_secs_f64(),
+    }
+}
+
+/// The full sweep, discipline-major then range length then shards — the
+/// order the JSON document and the report table use.
+pub fn fig_scan(scale: Scale) -> Vec<ScanCell> {
+    let mut cells = Vec::new();
+    for (name, variant, wopts) in disciplines() {
+        for &range in &RANGE_LENS {
+            for &shards in &SHARD_COUNTS {
+                cells.push(run_cell(name, variant, wopts, shards, range, scale));
+            }
+        }
+    }
+    cells
+}
+
+/// Serialises the sweep; the `"scan_cells"` key is the schema marker.
+/// Deterministic under the fixed seed — the golden test pins these bytes.
+pub fn fig_scan_json(cells: &[ScanCell], scale: Scale) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"figure\": \"fig_scan\",\n");
+    out.push_str(&format!("  \"scale\": {},\n", scale.factor));
+    out.push_str(&format!("  \"keys\": {KEYS},\n"));
+    out.push_str(&format!("  \"scans\": {SCANS},\n"));
+    out.push_str("  \"scan_cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"shards\": {}, \"range\": {}, \"scans\": {}, \
+             \"rows\": {}, \"throughput_rows_s\": {:.3}}}",
+            c.name, c.shards, c.range, c.scans, c.rows, c.throughput,
+        ));
+        out.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell<'a>(cells: &'a [ScanCell], name: &str, shards: usize, range: u64) -> &'a ScanCell {
+        cells
+            .iter()
+            .find(|c| c.name == name && c.shards == shards && c.range == range)
+            .expect("cell present")
+    }
+
+    #[test]
+    fn short_range_scan_throughput_climbs_with_shard_count() {
+        let cells = sweep(Scale::new(512));
+        for (name, _, _) in disciplines() {
+            let t1 = cell(&cells, name, 1, RANGE_LENS[0]).throughput;
+            let t2 = cell(&cells, name, 2, RANGE_LENS[0]).throughput;
+            let t4 = cell(&cells, name, 4, RANGE_LENS[0]).throughput;
+            assert!(
+                t1 <= t2 && t2 <= t4,
+                "{name}: short-range scan throughput must be monotone in shards: \
+                 {t1:.0} {t2:.0} {t4:.0}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_cell_returns_the_full_ranges() {
+        let cells = sweep(Scale::new(512));
+        for c in &cells {
+            assert_eq!(c.rows, c.scans * c.range, "{}: no torn or truncated scans", c.name);
+            assert!(c.throughput.is_finite() && c.throughput > 0.0, "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn fixed_seed_document_is_deterministic() {
+        let scale = Scale::new(512);
+        let a = fig_scan_json(&fig_scan(scale), scale);
+        let b = fig_scan_json(&fig_scan(scale), scale);
+        assert_eq!(a, b);
+        assert!(crate::json::Json::parse(&a).is_some(), "document must parse");
+    }
+
+    /// One sweep per run, memoised across the assertions above (the
+    /// tests interrogate many cells; rerunning 27 loads per assertion
+    /// would dominate the suite).
+    fn sweep(scale: Scale) -> Vec<ScanCell> {
+        use std::sync::OnceLock;
+        static SWEEP: OnceLock<Vec<ScanCell>> = OnceLock::new();
+        SWEEP.get_or_init(|| fig_scan(scale)).clone()
+    }
+}

@@ -218,9 +218,79 @@ pub fn smoke_repl(slow_ssd: bool) -> SmokeResult {
     }
 }
 
+/// Fixed-seed scan smoke: cursor-paged range scans through the whole
+/// serving stack (wire protocol → cursor leases → the store's
+/// snapshot-pinned shard merge) over a table-resident keyspace.
+/// Throughput is rows streamed per virtual second; the tail signal is
+/// the `server_scan` p99, so a regression in the iterator read path, the
+/// k-way merge or the cursor machinery trips the gate.
+pub fn smoke_scan(slow_ssd: bool) -> SmokeResult {
+    use nob_server::{shared, Client, LoopbackTransport, ServerCore, ServerOptions};
+    use nob_store::StoreOptions;
+
+    let scale = Scale::new(512);
+    let keys = 1_024u64;
+    let scans = 48u64;
+    let range = 64u64;
+    let mut fs_cfg = scale.fs_config();
+    if slow_ssd {
+        degrade(&mut fs_cfg);
+    }
+    let opts = ServerOptions {
+        store: StoreOptions {
+            shards: 2,
+            fs: fs_cfg,
+            db: scale.base_options(crate::PAPER_TABLE_LARGE),
+            ..StoreOptions::default()
+        },
+        ..ServerOptions::default()
+    };
+    let mut core = ServerCore::open(opts).expect("open server core");
+    let sink = TraceSink::new();
+    core.set_trace_sink(sink.clone());
+    let core = shared(core);
+    let clock = core.borrow().clock().clone();
+    let mut client = Client::new(LoopbackTransport::connect(&core));
+    for i in 0..keys {
+        let key = format!("key{i:06}").into_bytes();
+        let mut value = format!("val{i}-").into_bytes();
+        value.resize(256, b'x');
+        client.set(&key, &value).expect("SET");
+    }
+    // Flush every shard's memtable so the scans pay real block reads.
+    {
+        let mut b = core.borrow_mut();
+        for i in 0..b.store().shards() {
+            let now = b.clock().now();
+            b.store_mut().shard_db_mut(i).flush(now).expect("flush shard");
+        }
+    }
+    let started = clock.now();
+    let mut rows = 0u64;
+    let mut state = 42u64;
+    for _ in 0..scans {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let idx = state % (keys - range);
+        let start = format!("key{idx:06}").into_bytes();
+        let end = format!("key{:06}", idx + range).into_bytes();
+        rows += client.scan_all(&start, &end, range).expect("SCAN").len() as u64;
+    }
+    let elapsed = clock.now() - started;
+    let summary = sink.summary();
+    let p99_ns = summary.class(EventClass::ServerScan).map_or(0, |c| c.p99_ns);
+    SmokeResult {
+        name: "scan".to_string(),
+        throughput: rows as f64 / elapsed.as_secs_f64(),
+        unit: "rows/s".to_string(),
+        p99_ns,
+        p99_class: EventClass::ServerScan,
+        summary,
+    }
+}
+
 /// All CI smoke scenarios, in report order.
 pub fn smoke_all(slow_ssd: bool) -> Vec<SmokeResult> {
-    vec![smoke_fig2a(slow_ssd), smoke_fig4(slow_ssd), smoke_repl(slow_ssd)]
+    vec![smoke_fig2a(slow_ssd), smoke_fig4(slow_ssd), smoke_repl(slow_ssd), smoke_scan(slow_ssd)]
 }
 
 /// One fig4-style fillrandom run for the trace-overhead guard,
@@ -303,6 +373,16 @@ mod tests {
         assert!(a.p99_ns > 0, "the apply path must be traced");
         assert!(a.summary.class(EventClass::ReplShip).is_some());
         assert!(a.summary.class(EventClass::ReplAck).is_some());
+    }
+
+    #[test]
+    fn scan_smoke_is_deterministic_and_traces_the_scan_path() {
+        let a = smoke_scan(false);
+        let b = smoke_scan(false);
+        assert_eq!(a.summary.to_json(), b.summary.to_json());
+        assert!(a.throughput > 0.0 && a.throughput.is_finite());
+        assert!(a.p99_ns > 0, "the scan path must be traced");
+        assert!(a.summary.class(EventClass::ServerScan).is_some());
     }
 
     #[test]

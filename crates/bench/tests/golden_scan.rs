@@ -1,0 +1,36 @@
+//! Golden-file test: the fixed-seed `fig_scan` sweep must produce a
+//! byte-identical JSON document against the checked-in fixture — pinning
+//! every cell's scan throughput (range length × shard count ×
+//! discipline) at once.
+//!
+//! If a change *intentionally* alters timing or the schema, regenerate
+//! the fixture:
+//!
+//! ```sh
+//! NOB_BLESS=1 cargo test -p nob-bench --test golden_scan
+//! ```
+//!
+//! and review the diff like any other golden update.
+
+use nob_bench::scan::{fig_scan, fig_scan_json};
+use nob_bench::Scale;
+
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/fig_scan.json");
+
+#[test]
+fn fig_scan_document_matches_golden_file() {
+    let scale = Scale::new(512);
+    let got = fig_scan_json(&fig_scan(scale), scale);
+    if std::env::var_os("NOB_BLESS").is_some() {
+        std::fs::write(GOLDEN, &got).expect("bless golden file");
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN).expect(
+        "missing golden fixture; generate with NOB_BLESS=1 cargo test -p nob-bench --test golden_scan",
+    );
+    assert_eq!(
+        got, want,
+        "fig_scan diverged from tests/golden/fig_scan.json; \
+         if intentional, rebless with NOB_BLESS=1"
+    );
+}

@@ -9,7 +9,8 @@
 //! put <key> <value>      insert/overwrite
 //! get <key>              point read
 //! del <key>              delete
-//! scan <start> <n>       range scan
+//! scan <start> <n> [reverse] [count]   range scan (optionally reversed
+//!                        or counting rows without materialising them)
 //! fill <n> <value_size>  bulk-load n random records
 //! advance <ms>           advance virtual time (journal timers fire)
 //! crash <percent>        power-off at a fraction of elapsed time + reopen
@@ -33,6 +34,8 @@
 //! store open <shards> [mode]     open a sharded store (own stacks)
 //! store put <key> <value>        enqueue + group-commit one write
 //! store get <key>                routed point read
+//! store scan <start> <n> [reverse] [count]  snapshot-pinned merge scan
+//!                                across every shard
 //! store fill <n> <vsize> [writers]  n records from W logical writers
 //! store stats                    group-commit counters + shard levels
 //! store close                    drop the store
@@ -72,7 +75,7 @@ use nob_sim::{Nanos, SharedClock};
 use nob_store::{Store, StoreOptions};
 use nob_trace::TraceSink;
 use nob_workloads::dbbench;
-use noblsm::{Db, Error, Options, ReadOptions, WriteBatch, WriteOptions};
+use noblsm::{Db, Error, Options, ReadOptions, ScanOptions, WriteBatch, WriteOptions};
 
 /// One interactive session: a filesystem, an optional open database, and
 /// the session's shared virtual clock.
@@ -232,13 +235,22 @@ impl Session {
                 let _ = writeln!(out, "OK ({t})");
             }
             "scan" => {
-                let [start, n] = args[..] else { return Err("usage: scan <start> <n>".into()) };
+                let [start, n, flags @ ..] = &args[..] else {
+                    return Err("usage: scan <start> <n> [reverse] [count]".into());
+                };
                 let n: usize = n.parse().map_err(|_| "n must be a number")?;
                 let start = start.as_bytes().to_vec();
-                let now = self.clock.now();
-                let (rows, t) = self.db()?.scan(now, &start, n)?;
-                self.clock.advance_to(t);
-                for (k, v) in &rows {
+                let mut sopts = ScanOptions::starting_at(&start).with_limit(n);
+                for f in flags {
+                    match *f {
+                        "reverse" => sopts = sopts.reversed(),
+                        "count" => sopts = sopts.counting(),
+                        _ => return Err("usage: scan <start> <n> [reverse] [count]".into()),
+                    }
+                }
+                let r = self.db()?.scan(&ReadOptions::default(), &sopts)?;
+                let t = self.clock.now();
+                for (k, v) in &r.rows {
                     let _ = writeln!(
                         out,
                         "{} = {}",
@@ -246,7 +258,7 @@ impl Session {
                         String::from_utf8_lossy(v)
                     );
                 }
-                let _ = writeln!(out, "({} rows, {t})", rows.len());
+                let _ = writeln!(out, "({} rows, {t})", r.count);
             }
             "fill" => {
                 let [n, vs] = args[..] else { return Err("usage: fill <n> <value_size>".into()) };
@@ -663,6 +675,45 @@ impl Session {
                     }
                 }
             }
+            Some("scan") => {
+                let [_, start, n, flags @ ..] = args else {
+                    return Err("usage: store scan <start> <n> [reverse] [count]".into());
+                };
+                let n: usize = n.parse().map_err(|_| "n must be a number")?;
+                let start = start.as_bytes().to_vec();
+                let mut sopts = ScanOptions::starting_at(&start).with_limit(n);
+                for f in flags {
+                    match *f {
+                        "reverse" => sopts = sopts.reversed(),
+                        "count" => sopts = sopts.counting(),
+                        _ => return Err("usage: store scan <start> <n> [reverse] [count]".into()),
+                    }
+                }
+                let store = self.store()?;
+                let r = store.scan(&ReadOptions::default(), &sopts)?;
+                let t = store.clock().now();
+                for (k, v) in &r.rows {
+                    let _ = writeln!(
+                        out,
+                        "{} = {}",
+                        String::from_utf8_lossy(k),
+                        String::from_utf8_lossy(v)
+                    );
+                }
+                match &r.resume {
+                    Some(next) => {
+                        let _ = writeln!(
+                            out,
+                            "({} rows, more from {}, {t})",
+                            r.count,
+                            String::from_utf8_lossy(next)
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(out, "({} rows, {t})", r.count);
+                    }
+                }
+            }
             Some("fill") => {
                 let n: u64 = args
                     .get(1)
@@ -735,7 +786,7 @@ impl Session {
                 let _ = writeln!(out, "store closed");
             }
             _ => {
-                return Err("usage: store open|put|get|fill|stats|close".into());
+                return Err("usage: store open|put|get|scan|fill|stats|close".into());
             }
         }
         Ok(())
@@ -1141,6 +1192,22 @@ mod tests {
     }
 
     #[test]
+    fn store_scan_merges_shards_and_pages_with_a_resume_key() {
+        let mut s = Session::new();
+        let out = s.run_script(
+            "store open 4\nstore put b 2\nstore put a 1\nstore put d 4\nstore put c 3\n\
+             store scan a 3\nstore scan a 10 count\nstore scan a 10 reverse\n",
+        );
+        // Three rows from four shards, globally sorted, with the resume
+        // key pointing at the truncated remainder.
+        assert!(out.contains("a = 1\nb = 2\nc = 3\n(3 rows, more from d,"), "{out}");
+        assert!(out.contains("(4 rows,"), "{out}");
+        let d = out.find("d = 4").expect("reverse scan emits d");
+        let a = out.rfind("a = 1").expect("reverse scan emits a");
+        assert!(d < a, "reverse order: {out}");
+    }
+
+    #[test]
     fn store_usage_errors_are_reported() {
         let mut s = Session::new();
         assert!(s.run_line("store get k").contains("no store open"), "store get before open");
@@ -1148,6 +1215,7 @@ mod tests {
         assert!(s.run_line("store open").contains("usage: store open"));
         assert!(s.run_line("store open 0").contains("at least one shard"));
         assert!(s.run_line("store open 2 alienDB").contains("unknown mode"));
+        assert!(s.run_line("store scan").contains("usage: store scan"));
     }
 
     #[test]

@@ -19,6 +19,7 @@ pub(crate) struct LevelIter<'a> {
     files: Vec<Arc<FileMetaData>>,
     index: usize,
     cur: Option<TableIter>,
+    fill_cache: bool,
 }
 
 impl<'a> std::fmt::Debug for LevelIter<'a> {
@@ -32,9 +33,13 @@ impl<'a> std::fmt::Debug for LevelIter<'a> {
 
 impl<'a> LevelIter<'a> {
     /// Creates an iterator over `files` (must be sorted by smallest key
-    /// and non-overlapping).
-    pub fn new(tables: &'a TableCache, files: Vec<Arc<FileMetaData>>) -> Self {
-        LevelIter { tables, files, index: 0, cur: None }
+    /// and non-overlapping), with explicit block-cache population.
+    pub fn new_opt(
+        tables: &'a TableCache,
+        files: Vec<Arc<FileMetaData>>,
+        fill_cache: bool,
+    ) -> Self {
+        LevelIter { tables, files, index: 0, cur: None, fill_cache }
     }
 
     fn open_index(&mut self, now: &mut Nanos) -> Result<()> {
@@ -43,7 +48,7 @@ impl<'a> LevelIter<'a> {
             return Ok(());
         }
         let table = self.tables.table(&self.files[self.index], now)?;
-        self.cur = Some(table.iter());
+        self.cur = Some(table.iter_opt(self.fill_cache));
         Ok(())
     }
 

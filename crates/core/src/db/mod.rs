@@ -37,7 +37,7 @@ use crate::compaction::{
 use crate::iterator::{DbIterator, InternalIterator, MergingIterator};
 use crate::memtable::{MemLookup, MemTable};
 use crate::noblsm::{DependencyTracker, Predecessor};
-use crate::options::{CompactionStyle, Options, ReadOptions, SyncMode, WriteOptions};
+use crate::options::{CompactionStyle, Options, ReadOptions, ScanOptions, SyncMode, WriteOptions};
 use crate::version::Version;
 use crate::version::{
     file_path, parse_file_name, CompactionInputs, FileKind, FileMetaData, VersionEdit, VersionSet,
@@ -126,6 +126,70 @@ impl Snapshot {
     /// The pinned sequence number.
     pub fn sequence(&self) -> crate::SequenceNumber {
         self.seq
+    }
+}
+
+/// The outcome of one [`Db::scan`] (and of the store's cross-shard
+/// scan, which reuses the shape).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScanResult {
+    /// The matching rows in scan order (empty under
+    /// [`ScanOptions::count_only`]).
+    pub rows: Vec<(Vec<u8>, Vec<u8>)>,
+    /// Rows matched; equals `rows.len()` unless `count_only`.
+    pub count: u64,
+    /// When the scan stopped at [`ScanOptions::limit`] with more matching
+    /// rows beyond it, the user key of the next row in scan direction;
+    /// `None` when the range was exhausted. A forward scan resumes with
+    /// `start = resume`; a reverse scan resumes with
+    /// `end = resume ++ 0x00` (the immediate successor keeps the resume
+    /// key itself in the next page).
+    pub resume: Option<Vec<u8>>,
+}
+
+/// Accumulates scan rows under a [`ScanOptions`] limit / `count_only`
+/// policy, recording the resume key when the limit truncates. Shared by
+/// [`Db::scan`] and the store's cross-shard merge so both report
+/// identical pagination semantics.
+#[derive(Debug)]
+pub struct ScanCollector {
+    rows: Vec<(Vec<u8>, Vec<u8>)>,
+    count: u64,
+    limit: usize,
+    count_only: bool,
+    resume: Option<Vec<u8>>,
+}
+
+impl ScanCollector {
+    /// A collector honouring `sopts.limit` / `sopts.count_only`.
+    pub fn new(sopts: &ScanOptions<'_>) -> Self {
+        ScanCollector {
+            rows: Vec::new(),
+            count: 0,
+            limit: sopts.limit,
+            count_only: sopts.count_only,
+            resume: None,
+        }
+    }
+
+    /// Offers the next in-range row. Returns `false` when the collector
+    /// is already full — the offered row is recorded as the resume key,
+    /// not collected — at which point the scan must stop.
+    pub fn offer(&mut self, key: &[u8], value: &[u8]) -> bool {
+        if self.count as usize >= self.limit {
+            self.resume = Some(key.to_vec());
+            return false;
+        }
+        self.count += 1;
+        if !self.count_only {
+            self.rows.push((key.to_vec(), value.to_vec()));
+        }
+        true
+    }
+
+    /// The finished result.
+    pub fn finish(self) -> ScanResult {
+        ScanResult { rows: self.rows, count: self.count, resume: self.resume }
     }
 }
 
@@ -1088,7 +1152,7 @@ bytes_written={}",
     pub fn iter(&mut self, ropts: &ReadOptions<'_>) -> Result<DbIterator<'_>> {
         let now = self.clock.now();
         let seq = ropts.snapshot.map_or(self.versions.last_sequence, Snapshot::sequence);
-        self.iter_internal(now, seq)
+        self.iter_internal(now, seq, ropts.fill_cache)
     }
 
     /// Creates an iterator over the live database at `now`.
@@ -1103,13 +1167,14 @@ bytes_written={}",
     /// Propagates filesystem/corruption errors.
     pub fn iter_at(&mut self, now: Nanos) -> Result<DbIterator<'_>> {
         let seq = self.versions.last_sequence;
-        self.iter_internal(now, seq)
+        self.iter_internal(now, seq, true)
     }
 
     fn iter_internal(
         &mut self,
         now: Nanos,
         snapshot: crate::SequenceNumber,
+        fill_cache: bool,
     ) -> Result<DbIterator<'_>> {
         self.pump(now)?;
         let version = self.versions.current();
@@ -1127,7 +1192,7 @@ bytes_written={}",
             if level == 0 {
                 for f in files {
                     let t = self.tables.table(&f, &mut now)?;
-                    children.push(Box::new(t.iter()));
+                    children.push(Box::new(t.iter_opt(fill_cache)));
                 }
             } else if self.opts.style == CompactionStyle::Fragmented {
                 // A fragmented level is a stack of sorted runs (each
@@ -1136,44 +1201,83 @@ bytes_written={}",
                 // generation count — the same effect PebblesDB's guards
                 // have on reads.
                 for run in sorted_runs(files) {
-                    children.push(Box::new(LevelIter::new(&self.tables, run)));
+                    children.push(Box::new(LevelIter::new_opt(&self.tables, run, fill_cache)));
                 }
             } else {
                 // Hot (overlapping) files form their own runs; the sorted
                 // cold remainder uses one concatenating iterator.
                 let (hot, cold): (Vec<_>, Vec<_>) = files.into_iter().partition(|f| f.hot);
                 for run in sorted_runs(hot) {
-                    children.push(Box::new(LevelIter::new(&self.tables, run)));
+                    children.push(Box::new(LevelIter::new_opt(&self.tables, run, fill_cache)));
                 }
                 if !cold.is_empty() {
-                    children.push(Box::new(LevelIter::new(&self.tables, cold)));
+                    children.push(Box::new(LevelIter::new_opt(&self.tables, cold, fill_cache)));
                 }
             }
         }
         Ok(DbIterator::new(MergingIterator::new(children), snapshot, now, self.opts.cpu.next))
     }
 
-    /// Range scan: up to `limit` live entries starting at `start`.
+    /// Range scan under [`ReadOptions`] + [`ScanOptions`] — the canonical
+    /// scan entry point, matching the `write`/`get` options-driven
+    /// surface. Visits live (tombstone-suppressed) entries inside the
+    /// options' effective bounds, ascending or descending, starting at
+    /// the shared clock's instant and advancing it past the scan's I/O.
     ///
     /// # Errors
     ///
     /// Propagates filesystem/corruption errors.
-    #[allow(clippy::type_complexity)]
-    pub fn scan(
-        &mut self,
-        now: Nanos,
-        start: &[u8],
-        limit: usize,
-    ) -> Result<(Vec<(Vec<u8>, Vec<u8>)>, Nanos)> {
-        let mut out = Vec::with_capacity(limit);
-        let mut it = self.iter_at(now)?;
-        it.seek(start)?;
-        while it.valid() && out.len() < limit {
-            out.push((it.key().to_vec(), it.value().to_vec()));
-            it.next()?;
+    pub fn scan(&mut self, ropts: &ReadOptions<'_>, sopts: &ScanOptions<'_>) -> Result<ScanResult> {
+        let now = self.clock.now();
+        let seq = ropts.snapshot.map_or(self.versions.last_sequence, Snapshot::sequence);
+        let start = sopts.effective_start().map(<[u8]>::to_vec);
+        let end = sopts.effective_end();
+        let fill = sopts.fill_cache && ropts.fill_cache;
+        let mut collector = ScanCollector::new(sopts);
+        let mut it = self.iter_internal(now, seq, fill)?;
+        if sopts.reverse {
+            match end.as_deref() {
+                // `seek` lands on the first key >= end (out of range), so
+                // one `prev` yields the largest in-range key; an invalid
+                // seek means nothing >= end exists and the last key is it.
+                Some(e) => {
+                    it.seek(e)?;
+                    if it.valid() {
+                        it.prev()?;
+                    } else {
+                        it.seek_to_last()?;
+                    }
+                }
+                None => it.seek_to_last()?,
+            }
+            while it.valid() {
+                if start.as_deref().is_some_and(|s| it.key() < s) {
+                    break;
+                }
+                if !collector.offer(it.key(), it.value()) {
+                    break;
+                }
+                it.prev()?;
+            }
+        } else {
+            match start.as_deref() {
+                Some(s) => it.seek(s)?,
+                None => it.seek_to_first()?,
+            }
+            while it.valid() {
+                if end.as_deref().is_some_and(|e| it.key() >= e) {
+                    break;
+                }
+                if !collector.offer(it.key(), it.value()) {
+                    break;
+                }
+                it.next()?;
+            }
         }
-        let end = it.now();
-        Ok((out, end))
+        let end_t = it.now();
+        drop(it);
+        self.clock.advance_to(end_t);
+        Ok(collector.finish())
     }
 
     /// Forces the current memtable to `L0` and waits for the flush.

@@ -65,12 +65,12 @@ mod types;
 pub mod util;
 
 pub use db::batch::{decode_batch, encode_batch, DecodedBatch};
-pub use db::{Db, RepairReport, Snapshot, WriteBatch};
+pub use db::{Db, RepairReport, ScanCollector, ScanResult, Snapshot, WriteBatch};
 pub use error::{DbError, Error};
 pub use iterator::DbIterator;
 pub use options::{
-    CompactionStyle, CompressionType, CpuCosts, Durability, Options, ReadOptions, SyncMode,
-    WriteOptions,
+    prefix_successor, CompactionStyle, CompressionType, CpuCosts, Durability, Options, ReadOptions,
+    ScanOptions, SyncMode, WriteOptions,
 };
 pub use stats::{DbStats, LevelCompactionStats};
 pub use types::{InternalKey, SequenceNumber, ValueType};

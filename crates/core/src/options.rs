@@ -172,6 +172,135 @@ impl<'a> ReadOptions<'a> {
     }
 }
 
+/// Per-scan options, consumed by the canonical
+/// [`Db::scan`](crate::Db::scan) entry point (and by
+/// `Store::scan` / the server's SCAN command, which thread it through
+/// unchanged).
+///
+/// Bounds are user keys: `start` is inclusive, `end` exclusive. A
+/// `prefix` narrows the effective bounds to keys sharing it. `reverse`
+/// visits the same key range in descending order. `limit` caps the rows
+/// returned (the scan reports a resume key when it truncates), and
+/// `count_only` suppresses row materialisation for cardinality queries.
+#[derive(Debug, Clone, Copy)]
+pub struct ScanOptions<'a> {
+    /// Inclusive lower bound; `None` scans from the first key.
+    pub start: Option<&'a [u8]>,
+    /// Exclusive upper bound; `None` scans to the last key.
+    pub end: Option<&'a [u8]>,
+    /// Restrict the scan to keys carrying this prefix (combined with
+    /// `start`/`end`: the tighter bound wins).
+    pub prefix: Option<&'a [u8]>,
+    /// Visit the range in descending key order.
+    pub reverse: bool,
+    /// Maximum rows to return; `usize::MAX` (the default) is unbounded.
+    pub limit: usize,
+    /// Count matching rows without materialising keys or values.
+    pub count_only: bool,
+    /// Whether blocks loaded by the scan populate the block cache.
+    /// Defaults `true` for embedded use; the server's SCAN path sets it
+    /// `false` so large ranges cannot evict the point-read hot set.
+    pub fill_cache: bool,
+}
+
+impl Default for ScanOptions<'_> {
+    fn default() -> Self {
+        ScanOptions {
+            start: None,
+            end: None,
+            prefix: None,
+            reverse: false,
+            limit: usize::MAX,
+            count_only: false,
+            fill_cache: true,
+        }
+    }
+}
+
+impl<'a> ScanOptions<'a> {
+    /// A full-range, ascending, unbounded scan — the default.
+    pub fn all() -> Self {
+        ScanOptions::default()
+    }
+
+    /// Options scanning `[start, end)`.
+    pub fn range(start: &'a [u8], end: &'a [u8]) -> Self {
+        ScanOptions { start: Some(start), end: Some(end), ..ScanOptions::default() }
+    }
+
+    /// Options scanning from `start` (inclusive) to the end of the keyspace.
+    pub fn starting_at(start: &'a [u8]) -> Self {
+        ScanOptions { start: Some(start), ..ScanOptions::default() }
+    }
+
+    /// Restricts the scan to keys carrying `prefix`.
+    pub fn with_prefix(mut self, prefix: &'a [u8]) -> Self {
+        self.prefix = Some(prefix);
+        self
+    }
+
+    /// Visits the range in descending key order.
+    pub fn reversed(mut self) -> Self {
+        self.reverse = true;
+        self
+    }
+
+    /// Caps the number of rows returned.
+    pub fn with_limit(mut self, limit: usize) -> Self {
+        self.limit = limit;
+        self
+    }
+
+    /// Counts matching rows without materialising them.
+    pub fn counting(mut self) -> Self {
+        self.count_only = true;
+        self
+    }
+
+    /// Disables block-cache population for this scan.
+    pub fn without_fill_cache(mut self) -> Self {
+        self.fill_cache = false;
+        self
+    }
+
+    /// The effective inclusive lower bound after folding in `prefix`
+    /// (the tighter of `start` and the prefix itself).
+    pub fn effective_start(&self) -> Option<&'a [u8]> {
+        match (self.start, self.prefix) {
+            (Some(s), Some(p)) => Some(if s >= p { s } else { p }),
+            (Some(s), None) => Some(s),
+            (None, p) => p,
+        }
+    }
+
+    /// The effective exclusive upper bound after folding in `prefix`.
+    /// `None` means unbounded (possible even with a prefix of all-0xff
+    /// bytes, which has no byte-string successor).
+    pub fn effective_end(&self) -> Option<Vec<u8>> {
+        let from_prefix = self.prefix.and_then(prefix_successor);
+        match (self.end, from_prefix) {
+            (Some(e), Some(p)) => Some(if e.to_vec() <= p { e.to_vec() } else { p }),
+            (Some(e), None) => Some(e.to_vec()),
+            (None, p) => p,
+        }
+    }
+}
+
+/// The smallest byte string greater than every string carrying `prefix`:
+/// the prefix with its last non-0xff byte incremented and the tail cut.
+/// `None` when every byte is 0xff (no successor exists).
+pub fn prefix_successor(prefix: &[u8]) -> Option<Vec<u8>> {
+    let mut out = prefix.to_vec();
+    while let Some(last) = out.last_mut() {
+        if *last < 0xff {
+            *last += 1;
+            return Some(out);
+        }
+        out.pop();
+    }
+    None
+}
+
 /// Engine configuration.
 ///
 /// # Examples
@@ -358,6 +487,36 @@ mod tests {
         assert_eq!(r.max_staleness, None);
         let r = ReadOptions::latest().with_max_staleness(Nanos::from_millis(50));
         assert_eq!(r.max_staleness, Some(Nanos::from_millis(50)));
+    }
+
+    #[test]
+    fn scan_options_fold_prefix_into_bounds() {
+        let s = ScanOptions::default();
+        assert_eq!(s.effective_start(), None);
+        assert_eq!(s.effective_end(), None);
+        assert_eq!(s.limit, usize::MAX);
+        assert!(s.fill_cache && !s.reverse && !s.count_only);
+
+        let s = ScanOptions::range(b"b", b"d");
+        assert_eq!(s.effective_start(), Some(&b"b"[..]));
+        assert_eq!(s.effective_end(), Some(b"d".to_vec()));
+
+        // Prefix tightens both bounds.
+        let s = ScanOptions::range(b"a", b"z").with_prefix(b"key1");
+        assert_eq!(s.effective_start(), Some(&b"key1"[..]));
+        assert_eq!(s.effective_end(), Some(b"key2".to_vec()));
+        // A tighter explicit bound survives the prefix.
+        let s = ScanOptions::range(b"key12", b"key15").with_prefix(b"key1");
+        assert_eq!(s.effective_start(), Some(&b"key12"[..]));
+        assert_eq!(s.effective_end(), Some(b"key15".to_vec()));
+    }
+
+    #[test]
+    fn prefix_successor_handles_carries() {
+        assert_eq!(prefix_successor(b"abc"), Some(b"abd".to_vec()));
+        assert_eq!(prefix_successor(&[0x61, 0xff]), Some(vec![0x62]));
+        assert_eq!(prefix_successor(&[0xff, 0xff]), None);
+        assert_eq!(prefix_successor(b""), None);
     }
 
     #[test]

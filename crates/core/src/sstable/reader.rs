@@ -87,10 +87,6 @@ impl Table {
         Ok(Table { fs, handle, physical_number, base_offset, index, bloom, cache, cpu })
     }
 
-    fn read_block(&self, h: BlockHandle, now: &mut Nanos) -> Result<Arc<Block>> {
-        self.read_block_opt(h, now, true)
-    }
-
     fn read_block_opt(
         &self,
         h: BlockHandle,
@@ -160,9 +156,20 @@ impl Table {
         }
     }
 
-    /// Creates an iterator over this table.
+    /// Creates an iterator over this table (filling the block cache).
     pub(crate) fn iter(self: &Arc<Self>) -> TableIter {
-        TableIter { table: Arc::clone(self), index_iter: self.index.iter(), data_iter: None }
+        self.iter_opt(true)
+    }
+
+    /// Creates an iterator over this table with explicit block-cache
+    /// population (`ReadOptions::fill_cache` / `ScanOptions::fill_cache`).
+    pub(crate) fn iter_opt(self: &Arc<Self>, fill_cache: bool) -> TableIter {
+        TableIter {
+            table: Arc::clone(self),
+            index_iter: self.index.iter(),
+            data_iter: None,
+            fill_cache,
+        }
     }
 }
 
@@ -172,6 +179,7 @@ pub struct TableIter {
     table: Arc<Table>,
     index_iter: BlockIter,
     data_iter: Option<BlockIter>,
+    fill_cache: bool,
 }
 
 impl TableIter {
@@ -182,7 +190,7 @@ impl TableIter {
         }
         let mut pos = 0;
         let handle = BlockHandle::decode_from(self.index_iter.value(), &mut pos)?;
-        let block = self.table.read_block(handle, now)?;
+        let block = self.table.read_block_opt(handle, now, self.fill_cache)?;
         self.data_iter = Some(block.iter());
         Ok(())
     }

@@ -5,7 +5,7 @@ mod common;
 
 use nob_ext4::{Ext4Config, Ext4Fs};
 use nob_sim::Nanos;
-use noblsm::{Db, Options, SyncMode, WriteOptions};
+use noblsm::{Db, Options, ReadOptions, ScanOptions, SyncMode, WriteOptions};
 
 fn opts(mode: SyncMode) -> Options {
     let mut o = Options::default().with_sync_mode(mode).with_table_size(16 << 10);
@@ -31,8 +31,8 @@ fn empty_db_reads_cleanly() {
         it.seek_to_first().unwrap();
         assert!(!it.valid());
     }
-    let (rows, _) = db.scan(now, b"", 10).unwrap();
-    assert!(rows.is_empty());
+    let r = db.scan(&ReadOptions::default(), &ScanOptions::all().with_limit(10)).unwrap();
+    assert!(r.rows.is_empty());
 }
 
 #[test]
@@ -272,8 +272,10 @@ fn compressed_tables_round_trip() {
         .sum();
     assert!(disk < 2000 * 256 / 2, "compression should halve the footprint: {disk}");
     // Scans decompress transparently too.
-    let (rows, _) = db.scan(now, &key(0), 50).unwrap();
-    assert_eq!(rows.len(), 50);
+    let r = db
+        .scan(&ReadOptions::default(), &ScanOptions::starting_at(&key(0)).with_limit(50))
+        .unwrap();
+    assert_eq!(r.rows.len(), 50);
 }
 
 #[test]

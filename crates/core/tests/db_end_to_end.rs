@@ -5,7 +5,7 @@ mod common;
 
 use nob_ext4::{Ext4Config, Ext4Fs};
 use nob_sim::Nanos;
-use noblsm::{CompactionStyle, Db, Options, SyncMode};
+use noblsm::{CompactionStyle, Db, Options, ReadOptions, ScanOptions, SyncMode};
 
 /// Small options that force plenty of compactions with little data.
 fn small_opts(mode: SyncMode) -> Options {
@@ -140,11 +140,13 @@ fn iterator_sees_sorted_live_view() {
 fn scan_returns_range() {
     let fs = fs();
     let mut db = Db::open(fs, "db", small_opts(SyncMode::Always), Nanos::ZERO).unwrap();
-    let now = load(&mut db, 500, 64, Nanos::ZERO);
-    let (rows, _) = db.scan(now, &key(100), 10).unwrap();
-    assert_eq!(rows.len(), 10);
-    assert_eq!(rows[0].0, key(100));
-    assert_eq!(rows[9].0, key(109));
+    load(&mut db, 500, 64, Nanos::ZERO);
+    let r = db
+        .scan(&ReadOptions::default(), &ScanOptions::starting_at(&key(100)).with_limit(10))
+        .unwrap();
+    assert_eq!(r.rows.len(), 10);
+    assert_eq!(r.rows[0].0, key(100));
+    assert_eq!(r.rows[9].0, key(109));
 }
 
 #[test]

@@ -31,7 +31,7 @@ use nob_metrics::{MetricKind, MetricsHub};
 use nob_sim::{Nanos, SharedClock};
 use nob_store::{Store, StoreOptions, Ticket};
 use nob_trace::{EventClass, TraceCtx, TraceSink};
-use noblsm::{ReadOptions, Result, WriteBatch, WriteOptions};
+use noblsm::{ReadOptions, Result, ScanOptions, Snapshot, WriteBatch, WriteOptions};
 
 use crate::proto::{BatchOp, Decoder, Frame, Request, RequestClass};
 
@@ -49,6 +49,16 @@ pub struct ServerOptions {
     /// Per-connection cap on queued (unsent) replies — the pipelining
     /// window a single client may keep open.
     pub pipeline_per_conn: usize,
+    /// Hard cap on rows per SCAN page; client-requested limits are
+    /// clamped down to it so one reply frame stays bounded.
+    pub max_scan_page: usize,
+    /// Cap on concurrently open scan cursors (each pins one snapshot per
+    /// shard). At the limit, SCAN answers `-BUSY`.
+    pub max_cursors: usize,
+    /// Lease duration of a scan cursor on the virtual clock; a cursor not
+    /// resumed within this window expires and releases its snapshots.
+    /// Every resume renews the lease.
+    pub cursor_ttl: Nanos,
 }
 
 impl Default for ServerOptions {
@@ -58,6 +68,9 @@ impl Default for ServerOptions {
             write: WriteOptions::default(),
             max_inflight: 1024,
             pipeline_per_conn: 128,
+            max_scan_page: 1024,
+            max_cursors: 1024,
+            cursor_ttl: Nanos::from_secs(60),
         }
     }
 }
@@ -139,12 +152,33 @@ struct Conn {
     poisoned: bool,
 }
 
+/// One open scan cursor: a lease on a pinned cross-shard snapshot plus
+/// the position the next page resumes from.
+#[derive(Debug)]
+struct Cursor {
+    /// One pinned snapshot per shard, released when the cursor closes.
+    snaps: Vec<Snapshot>,
+    /// Inclusive start key of the next page.
+    resume: Vec<u8>,
+    /// Exclusive end bound (`None` = to the last key).
+    end: Option<Vec<u8>>,
+    /// Rows per page (already clamped to `max_scan_page`).
+    page: usize,
+    /// Lease expiry on the virtual clock; renewed by every resume.
+    deadline: Nanos,
+}
+
 /// Shared monotone counters surfaced as `server.*` metrics.
 #[derive(Debug, Default, Clone)]
 struct Counters {
     requests_read: Arc<AtomicU64>,
     requests_write: Arc<AtomicU64>,
     requests_control: Arc<AtomicU64>,
+    requests_scan: Arc<AtomicU64>,
+    scan_rows: Arc<AtomicU64>,
+    cursors_opened: Arc<AtomicU64>,
+    cursors_expired: Arc<AtomicU64>,
+    cursors_open: Arc<AtomicU64>,
     busy_rejections: Arc<AtomicU64>,
     readonly_rejections: Arc<AtomicU64>,
     protocol_errors: Arc<AtomicU64>,
@@ -160,6 +194,7 @@ impl Counters {
             RequestClass::Read => &self.requests_read,
             RequestClass::Write => &self.requests_write,
             RequestClass::Control => &self.requests_control,
+            RequestClass::Scan => &self.requests_scan,
         };
         cell.fetch_add(1, Ordering::Relaxed);
     }
@@ -175,6 +210,12 @@ pub struct ServerCore {
     next_conn: u64,
     /// Unresolved write tickets across all connections.
     inflight: usize,
+    max_scan_page: usize,
+    max_cursors: usize,
+    cursor_ttl: Nanos,
+    /// Open scan cursors; ids start at 1 (0 on the wire = exhausted).
+    cursors: BTreeMap<u64, Cursor>,
+    next_cursor: u64,
     trace: Option<TraceSink>,
     counters: Counters,
     repl: ReplStatus,
@@ -193,6 +234,11 @@ impl ServerCore {
                 "max_inflight and pipeline_per_conn must be at least 1".into(),
             ));
         }
+        if opts.max_scan_page == 0 || opts.max_cursors == 0 {
+            return Err(noblsm::Error::Usage(
+                "max_scan_page and max_cursors must be at least 1".into(),
+            ));
+        }
         Ok(ServerCore {
             store: Store::open(opts.store)?,
             wopts: opts.write,
@@ -201,6 +247,11 @@ impl ServerCore {
             conns: BTreeMap::new(),
             next_conn: 0,
             inflight: 0,
+            max_scan_page: opts.max_scan_page,
+            max_cursors: opts.max_cursors,
+            cursor_ttl: opts.cursor_ttl,
+            cursors: BTreeMap::new(),
+            next_cursor: 1,
             trace: None,
             counters: Counters::default(),
             repl: ReplStatus::default(),
@@ -303,6 +354,18 @@ impl ServerCore {
                 &self.counters.requests_control,
             ),
             (
+                "requests_scan",
+                "Scan requests served (SCAN/SCAN NEXT)",
+                &self.counters.requests_scan,
+            ),
+            ("scan_rows", "Rows returned across all scan pages", &self.counters.scan_rows),
+            ("cursors_opened", "Scan cursors opened", &self.counters.cursors_opened),
+            (
+                "cursors_expired",
+                "Scan cursors expired by the lease sweep",
+                &self.counters.cursors_expired,
+            ),
+            (
                 "busy_rejections",
                 "Requests rejected with -BUSY by admission control",
                 &self.counters.busy_rejections,
@@ -333,6 +396,7 @@ impl ServerCore {
                 "Unresolved write tickets across all connections",
                 &self.counters.inflight,
             ),
+            ("cursors_open", "Scan cursors currently open", &self.counters.cursors_open),
         ];
         for (name, help, cell) in gauges {
             let cell = Arc::clone(cell);
@@ -386,6 +450,7 @@ impl ServerCore {
     ///
     /// Propagates engine failures from the drain.
     pub fn flush(&mut self) -> Result<()> {
+        self.sweep_cursors();
         if self.store.pending() > 0 {
             self.store.drain()?;
         }
@@ -449,6 +514,11 @@ impl ServerCore {
         out.push_str(&format!("requests_read:{}\n", c.requests_read.load(Ordering::Relaxed)));
         out.push_str(&format!("requests_write:{}\n", c.requests_write.load(Ordering::Relaxed)));
         out.push_str(&format!("requests_control:{}\n", c.requests_control.load(Ordering::Relaxed)));
+        out.push_str(&format!("requests_scan:{}\n", c.requests_scan.load(Ordering::Relaxed)));
+        out.push_str(&format!("scan_rows:{}\n", c.scan_rows.load(Ordering::Relaxed)));
+        out.push_str(&format!("cursors_open:{}\n", self.cursors.len()));
+        out.push_str(&format!("cursors_opened:{}\n", c.cursors_opened.load(Ordering::Relaxed)));
+        out.push_str(&format!("cursors_expired:{}\n", c.cursors_expired.load(Ordering::Relaxed)));
         out.push_str(&format!("busy_rejections:{}\n", c.busy_rejections.load(Ordering::Relaxed)));
         out.push_str(&format!(
             "readonly_rejections:{}\n",
@@ -576,8 +646,152 @@ impl ServerCore {
                 self.emit(EventClass::ServerControl, start, text.len() as u64, root);
                 self.push_ready(id, Frame::Bulk(text.into_bytes()));
             }
+            Request::Scan(start, end, limit) => self.open_scan(id, start, end, limit)?,
+            Request::ScanNext(cursor) => self.resume_scan(id, cursor)?,
         }
         Ok(())
+    }
+
+    /// Open scan cursors (leases on pinned cross-shard snapshots).
+    pub fn open_cursors(&self) -> usize {
+        self.cursors.len()
+    }
+
+    /// Expires cursors whose lease deadline has passed on the virtual
+    /// clock, releasing their pinned snapshots.
+    fn sweep_cursors(&mut self) {
+        let now = self.clock().now();
+        let dead: Vec<u64> =
+            self.cursors.iter().filter(|(_, c)| c.deadline < now).map(|(id, _)| *id).collect();
+        for id in dead {
+            let cur = self.cursors.remove(&id).expect("id came from the map");
+            self.store.release_snapshots(cur.snaps);
+            self.counters.cursors_expired.fetch_add(1, Ordering::Relaxed);
+        }
+        self.counters.cursors_open.store(self.cursors.len() as u64, Ordering::Relaxed);
+    }
+
+    /// `SCAN start end limit`: settle the queue (read-your-writes), pin a
+    /// cross-shard snapshot, serve the first page and — if the range is
+    /// not exhausted — park the snapshot under a fresh cursor lease.
+    fn open_scan(&mut self, id: ConnId, start: Vec<u8>, end: Vec<u8>, limit: u64) -> Result<()> {
+        self.sweep_cursors();
+        if self.cursors.len() >= self.max_cursors {
+            self.counters.busy_rejections.fetch_add(1, Ordering::Relaxed);
+            self.push_ready(id, Frame::busy());
+            return Ok(());
+        }
+        let page = (limit.min(self.max_scan_page as u64)) as usize;
+        let end = if end.is_empty() { None } else { Some(end) };
+        let t0 = self.read_barrier()?;
+        let root = self.begin_request();
+        let snaps = self.store.pin_snapshots();
+        let result = self.scan_one_page(&snaps, &start, end.as_deref(), page);
+        self.end_request();
+        let result = match result {
+            Ok(r) => r,
+            Err(e) => {
+                self.store.release_snapshots(snaps);
+                return Err(e);
+            }
+        };
+        let cursor = match result.resume.clone() {
+            Some(resume) => {
+                let cid = self.next_cursor;
+                self.next_cursor += 1;
+                let deadline = self.clock().now() + self.cursor_ttl;
+                self.cursors.insert(cid, Cursor { snaps, resume, end, page, deadline });
+                self.counters.cursors_opened.fetch_add(1, Ordering::Relaxed);
+                cid
+            }
+            None => {
+                self.store.release_snapshots(snaps);
+                0
+            }
+        };
+        self.counters.cursors_open.store(self.cursors.len() as u64, Ordering::Relaxed);
+        self.finish_scan_reply(id, cursor, result.rows, t0, root);
+        Ok(())
+    }
+
+    /// `SCAN NEXT cursor`: serve the next page at the cursor's pinned
+    /// snapshot (no read barrier — post-pin writes are invisible anyway)
+    /// and renew or retire the lease.
+    fn resume_scan(&mut self, id: ConnId, cid: u64) -> Result<()> {
+        self.sweep_cursors();
+        let t0 = self.clock().now();
+        let Some(mut cur) = self.cursors.remove(&cid) else {
+            self.push_ready(id, Frame::Error(format!("ERR cursor {cid} not found or expired")));
+            return Ok(());
+        };
+        let root = self.begin_request();
+        let result = self.scan_one_page(&cur.snaps, &cur.resume, cur.end.as_deref(), cur.page);
+        self.end_request();
+        let result = match result {
+            Ok(r) => r,
+            Err(e) => {
+                self.store.release_snapshots(cur.snaps);
+                self.counters.cursors_open.store(self.cursors.len() as u64, Ordering::Relaxed);
+                return Err(e);
+            }
+        };
+        let cursor = match result.resume.clone() {
+            Some(resume) => {
+                cur.resume = resume;
+                cur.deadline = self.clock().now() + self.cursor_ttl;
+                self.cursors.insert(cid, cur);
+                cid
+            }
+            None => {
+                self.store.release_snapshots(cur.snaps);
+                0
+            }
+        };
+        self.counters.cursors_open.store(self.cursors.len() as u64, Ordering::Relaxed);
+        self.finish_scan_reply(id, cursor, result.rows, t0, root);
+        Ok(())
+    }
+
+    /// One scan page against pinned snapshots. Server scans never fill
+    /// the block cache: a client streaming a large range must not evict
+    /// the point-read hot set.
+    fn scan_one_page(
+        &mut self,
+        snaps: &[Snapshot],
+        start: &[u8],
+        end: Option<&[u8]>,
+        page: usize,
+    ) -> Result<noblsm::ScanResult> {
+        let sopts = ScanOptions {
+            start: Some(start),
+            end,
+            limit: page,
+            fill_cache: false,
+            ..ScanOptions::default()
+        };
+        self.store.scan_at(snaps, &sopts)
+    }
+
+    /// Counts, traces and queues one scan page reply:
+    /// `*2 [:cursor, *2n k/v bulks]`.
+    fn finish_scan_reply(
+        &mut self,
+        id: ConnId,
+        cursor: u64,
+        rows: Vec<(Vec<u8>, Vec<u8>)>,
+        start: Nanos,
+        root: TraceCtx,
+    ) {
+        let bytes: u64 = rows.iter().map(|(k, v)| (k.len() + v.len()) as u64).sum();
+        self.counters.scan_rows.fetch_add(rows.len() as u64, Ordering::Relaxed);
+        self.emit(EventClass::ServerScan, start, bytes, root);
+        let mut flat = Vec::with_capacity(rows.len() * 2);
+        for (k, v) in rows {
+            flat.push(Frame::Bulk(k));
+            flat.push(Frame::Bulk(v));
+        }
+        let reply = Frame::Array(vec![Frame::Integer(cursor as i64), Frame::Array(flat)]);
+        self.push_ready(id, reply);
     }
 
     /// Read-your-writes: settle the group-commit queue before serving a
@@ -852,6 +1066,148 @@ mod tests {
         feed_req(&mut core, c, &Request::Set(b"k".to_vec(), b"v3".to_vec()));
         core.flush().unwrap();
         assert_eq!(decode_all(&core.take_output(c)), vec![Frame::ok()]);
+    }
+
+    #[test]
+    fn scan_cursor_serves_a_frozen_snapshot() {
+        let mut core = small_core(64, 64);
+        let c = core.connect();
+        for i in 0..30u32 {
+            feed_req(&mut core, c, &Request::Set(format!("k{i:02}").into_bytes(), b"old".to_vec()));
+        }
+        core.flush().unwrap();
+        core.take_output(c);
+        // Open a scan, then overwrite and extend the keyspace.
+        feed_req(&mut core, c, &Request::Scan(Vec::new(), Vec::new(), 10));
+        for i in 0..40u32 {
+            feed_req(&mut core, c, &Request::Set(format!("k{i:02}").into_bytes(), b"new".to_vec()));
+        }
+        core.flush().unwrap();
+        assert_eq!(core.open_cursors(), 1);
+        let replies = decode_all(&core.take_output(c));
+        let Frame::Array(first) = &replies[0] else { panic!("scan reply: {replies:?}") };
+        let Frame::Integer(cursor) = first[0] else { panic!("no cursor: {first:?}") };
+        assert!(cursor > 0);
+        // Resume pages: every row still carries the pre-scan value, and
+        // keys 30..39 (inserted after the pin) never appear.
+        let mut rows = 0;
+        let mut cur = cursor as u64;
+        while cur != 0 {
+            feed_req(&mut core, c, &Request::ScanNext(cur));
+            let replies = decode_all(&core.take_output(c));
+            let Frame::Array(page) = &replies[0] else { panic!("{replies:?}") };
+            let Frame::Integer(next) = page[0] else { panic!("{page:?}") };
+            let Frame::Array(flat) = &page[1] else { panic!("{page:?}") };
+            for pair in flat.chunks_exact(2) {
+                let Frame::Bulk(v) = &pair[1] else { panic!("{pair:?}") };
+                assert_eq!(v, b"old", "post-pin write leaked into the cursor");
+                rows += 1;
+            }
+            cur = next as u64;
+        }
+        assert_eq!(rows + 10, 30, "exactly the pinned keyspace, once");
+        assert_eq!(core.open_cursors(), 0, "exhausted cursor released its lease");
+    }
+
+    #[test]
+    fn idle_cursors_expire_and_release_their_snapshots() {
+        let mut core = small_core(64, 64);
+        let c = core.connect();
+        for i in 0..20u32 {
+            feed_req(&mut core, c, &Request::Set(vec![i as u8], b"v".to_vec()));
+        }
+        core.flush().unwrap();
+        feed_req(&mut core, c, &Request::Scan(Vec::new(), Vec::new(), 5));
+        assert_eq!(core.open_cursors(), 1);
+        // Let the lease lapse on the virtual clock; the next flush sweeps.
+        let deadline = core.clock().now() + Nanos::from_secs(61);
+        core.clock().advance_to(deadline);
+        core.flush().unwrap();
+        assert_eq!(core.open_cursors(), 0);
+        core.take_output(c);
+        feed_req(&mut core, c, &Request::ScanNext(1));
+        let replies = decode_all(&core.take_output(c));
+        assert!(replies[0].is_error(), "expired cursor must error: {replies:?}");
+        let info = core.info_text();
+        assert!(info.contains("cursors_expired:1"), "{info}");
+        assert!(info.contains("cursors_opened:1"), "{info}");
+    }
+
+    #[test]
+    fn cursor_table_full_pushes_back_busy() {
+        let opts = ServerOptions {
+            store: StoreOptions { shards: 2, ..StoreOptions::default() },
+            max_cursors: 1,
+            ..ServerOptions::default()
+        };
+        let mut core = ServerCore::open(opts).unwrap();
+        let c = core.connect();
+        for i in 0..20u32 {
+            feed_req(&mut core, c, &Request::Set(vec![i as u8], b"v".to_vec()));
+        }
+        core.flush().unwrap();
+        core.take_output(c);
+        feed_req(&mut core, c, &Request::Scan(Vec::new(), Vec::new(), 5));
+        feed_req(&mut core, c, &Request::Scan(Vec::new(), Vec::new(), 5));
+        let replies = decode_all(&core.take_output(c));
+        assert!(matches!(replies[0], Frame::Array(_)), "{replies:?}");
+        assert!(replies[1].is_busy(), "second cursor must hit the cap: {replies:?}");
+    }
+
+    #[test]
+    fn server_scans_do_not_disturb_the_block_cache_hit_ratio() {
+        let mut core = small_core(64, 4096);
+        let c = core.connect();
+        // Build a table-resident keyspace, then a hot set that the block
+        // cache serves.
+        for i in 0..400u32 {
+            feed_req(&mut core, c, &Request::Set(format!("k{i:03}").into_bytes(), vec![7u8; 1024]));
+        }
+        core.flush().unwrap();
+        for i in 0..core.store().shards() {
+            let now = core.clock().now();
+            core.store_mut().shard_db_mut(i).flush(now).unwrap();
+        }
+        core.take_output(c);
+        let hot: Vec<Vec<u8>> = (0..40u32).map(|i| format!("k{i:03}").into_bytes()).collect();
+        for k in &hot {
+            feed_req(&mut core, c, &Request::Get(k.clone()));
+            feed_req(&mut core, c, &Request::Get(k.clone()));
+        }
+        core.take_output(c);
+        let snap = |core: &ServerCore| -> Vec<(u64, u64)> {
+            (0..core.store().shards()).map(|i| core.store().shard_db(i).cache_hit_stats()).collect()
+        };
+        let stats0 = snap(&core);
+        // Server scans run with fill_cache=false, so a full-range scan must
+        // not populate the cache: a second identical scan misses exactly as
+        // much as the first (nothing was inserted the first time around).
+        feed_req(&mut core, c, &Request::Scan(Vec::new(), Vec::new(), 1_000_000));
+        core.take_output(c);
+        let stats1 = snap(&core);
+        feed_req(&mut core, c, &Request::Scan(Vec::new(), Vec::new(), 1_000_000));
+        core.take_output(c);
+        let stats2 = snap(&core);
+        let miss1: u64 = stats1.iter().zip(&stats0).map(|(a, b)| a.1 - b.1).sum();
+        let miss2: u64 = stats2.iter().zip(&stats1).map(|(a, b)| a.1 - b.1).sum();
+        assert!(miss1 > 0, "the scan should have read uncached blocks: {stats0:?} {stats1:?}");
+        assert_eq!(
+            miss2, miss1,
+            "second scan missed differently — the first scan filled the cache"
+        );
+        // And it must not evict: the hot set still hits without a single miss.
+        for k in &hot {
+            feed_req(&mut core, c, &Request::Get(k.clone()));
+        }
+        core.take_output(c);
+        let stats3 = snap(&core);
+        for (i, (replay, after)) in stats3.iter().zip(&stats2).enumerate() {
+            assert_eq!(
+                replay.1, after.1,
+                "shard {i}: hot keys missed after the scan — the scan disturbed the hot set"
+            );
+            assert!(replay.0 > after.0, "shard {i}: hot replay must hit the cache");
+        }
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! client writes into few engine writes. The layout:
 //!
 //! * [`proto`] — the RESP-subset frame codec and request vocabulary
-//!   (GET/SET/DEL/MGET/BATCH/PING/INFO), with hard caps so malformed
-//!   input yields protocol errors, never panics or desyncs.
+//!   (GET/SET/DEL/MGET/BATCH/SCAN/PING/INFO), with hard caps so
+//!   malformed input yields protocol errors, never panics or desyncs.
 //! * [`core`] — [`ServerCore`]: transport-independent
 //!   connection registry, request execution against
 //!   [`nob_store::Store`], two-level admission control with `-BUSY`

@@ -307,6 +307,14 @@ fn parse_frame(buf: &[u8], depth: usize) -> Result<Parsed, ProtoError> {
     }
 }
 
+/// Parses an ASCII-decimal `u64` request argument (SCAN limit / cursor).
+fn parse_decimal_arg(bytes: &[u8], what: &str) -> Result<u64, ProtoError> {
+    std::str::from_utf8(bytes)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ProtoError::BadRequest(format!("{what} must be a decimal integer")))
+}
+
 /// One operation inside a BATCH request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BatchOp {
@@ -326,6 +334,8 @@ pub enum RequestClass {
     Write,
     /// PING / INFO — served by the server itself.
     Control,
+    /// SCAN / SCAN NEXT — range pages served at a pinned cursor snapshot.
+    Scan,
 }
 
 impl RequestClass {
@@ -335,6 +345,7 @@ impl RequestClass {
             RequestClass::Read => "read",
             RequestClass::Write => "write",
             RequestClass::Control => "control",
+            RequestClass::Scan => "scan",
         }
     }
 }
@@ -356,6 +367,16 @@ pub enum Request {
     Ping,
     /// Server + store introspection; replies one bulk text blob.
     Info,
+    /// Open a range scan over `[start, end)` (empty bulk = unbounded
+    /// bound) returning up to `limit` rows; replies
+    /// `*2 [:cursor, *2n k/v bulks]`. A non-zero cursor is a lease on a
+    /// pinned cross-shard snapshot — resume with [`Request::ScanNext`]
+    /// before it expires; cursor `0` means the range is exhausted.
+    Scan(Vec<u8>, Vec<u8>, u64),
+    /// Fetch the next page of an open scan cursor (`SCAN NEXT <cursor>`);
+    /// reply as for [`Request::Scan`], served at the cursor's pinned
+    /// snapshot.
+    ScanNext(u64),
 }
 
 impl Request {
@@ -365,6 +386,7 @@ impl Request {
             Request::Get(_) | Request::MGet(_) => RequestClass::Read,
             Request::Set(..) | Request::Del(_) | Request::Batch(_) => RequestClass::Write,
             Request::Ping | Request::Info => RequestClass::Control,
+            Request::Scan(..) | Request::ScanNext(_) => RequestClass::Scan,
         }
     }
 
@@ -382,7 +404,8 @@ impl Request {
                     BatchOp::Del(k) => k.len() as u64,
                 })
                 .sum(),
-            Request::Ping | Request::Info => 0,
+            Request::Scan(start, end, _) => (start.len() + end.len()) as u64,
+            Request::Ping | Request::Info | Request::ScanNext(_) => 0,
         }
     }
 
@@ -419,6 +442,12 @@ impl Request {
             }
             Request::Ping => vec![bulk(b"PING")],
             Request::Info => vec![bulk(b"INFO")],
+            Request::Scan(start, end, limit) => {
+                vec![bulk(b"SCAN"), bulk(start), bulk(end), bulk(limit.to_string().as_bytes())]
+            }
+            Request::ScanNext(cursor) => {
+                vec![bulk(b"SCAN"), bulk(b"NEXT"), bulk(cursor.to_string().as_bytes())]
+            }
         };
         Frame::Array(items)
     }
@@ -479,6 +508,16 @@ impl Request {
             }
             (b"PING", []) => Ok(Request::Ping),
             (b"INFO", []) => Ok(Request::Info),
+            (b"SCAN", [sub, cursor]) if sub.eq_ignore_ascii_case(b"NEXT") => {
+                Ok(Request::ScanNext(parse_decimal_arg(cursor, "SCAN NEXT cursor")?))
+            }
+            (b"SCAN", [start, end, limit]) => {
+                let limit = parse_decimal_arg(limit, "SCAN limit")?;
+                if limit == 0 {
+                    return Err(ProtoError::BadRequest("SCAN limit must be at least 1".into()));
+                }
+                Ok(Request::Scan(start.to_vec(), end.to_vec(), limit))
+            }
             _ => Err(ProtoError::BadRequest(format!(
                 "unknown command or wrong arity: {}",
                 String::from_utf8_lossy(&cmd)
@@ -609,6 +648,9 @@ mod tests {
             ),
             (Request::Ping, RequestClass::Control),
             (Request::Info, RequestClass::Control),
+            (Request::Scan(b"a".to_vec(), b"z".to_vec(), 100), RequestClass::Scan),
+            (Request::Scan(Vec::new(), Vec::new(), 1), RequestClass::Scan),
+            (Request::ScanNext(7), RequestClass::Scan),
         ];
         for (req, class) in cases {
             assert_eq!(req.class(), class);
@@ -639,6 +681,31 @@ mod tests {
             Frame::Array(vec![Frame::Bulk(b"BATCH".to_vec()), Frame::Bulk(b"SET".to_vec())]),
         ] {
             assert!(matches!(Request::parse(&frame), Err(ProtoError::BadRequest(_))));
+        }
+    }
+
+    #[test]
+    fn scan_requests_validate_their_arguments() {
+        fn req(args: &[&[u8]]) -> Result<Request, ProtoError> {
+            let mut items = vec![Frame::Bulk(b"SCAN".to_vec())];
+            items.extend(args.iter().map(|a| Frame::Bulk(a.to_vec())));
+            Request::parse(&Frame::Array(items))
+        }
+        assert_eq!(
+            req(&[b"a", b"z", b"50"]).unwrap(),
+            Request::Scan(b"a".to_vec(), b"z".to_vec(), 50)
+        );
+        assert_eq!(req(&[b"", b"", b"1"]).unwrap(), Request::Scan(Vec::new(), Vec::new(), 1));
+        assert_eq!(req(&[b"next", b"42"]).unwrap(), Request::ScanNext(42));
+        // A key literally spelled NEXT still works at the 3-arg arity.
+        assert_eq!(
+            req(&[b"NEXT", b"z", b"5"]).unwrap(),
+            Request::Scan(b"NEXT".to_vec(), b"z".to_vec(), 5)
+        );
+        for bad in
+            [&[b"a" as &[u8], b"z", b"0"][..], &[b"a", b"z", b"ten"], &[b"NEXT", b"4x2"], &[b"a"]]
+        {
+            assert!(matches!(req(bad), Err(ProtoError::BadRequest(_))), "{bad:?}");
         }
     }
 

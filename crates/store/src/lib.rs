@@ -54,7 +54,10 @@ use nob_ext4::{Ext4Config, Ext4Fs};
 use nob_metrics::MetricsHub;
 use nob_sim::{Nanos, SharedClock};
 use nob_trace::{EventClass, TraceCtx, TraceSink};
-use noblsm::{encode_batch, Db, Options, ReadOptions, ValueType, WriteBatch, WriteOptions};
+use noblsm::{
+    encode_batch, Db, Options, ReadOptions, ScanCollector, ScanOptions, ScanResult, Snapshot,
+    ValueType, WriteBatch, WriteOptions,
+};
 
 pub use noblsm::{Error, Result};
 
@@ -509,6 +512,139 @@ impl Store {
         self.shards[idx].db.get(ropts, key)
     }
 
+    /// Pins one [`Snapshot`] per shard, in shard order, all at the same
+    /// clock instant. The store is single-threaded, so the batch of pins
+    /// is atomic: no write can land between two shards' pins, and the
+    /// vector captures one consistent cross-shard cut. Release with
+    /// [`release_snapshots`](Store::release_snapshots) so compactions can
+    /// drop superseded entries again.
+    pub fn pin_snapshots(&mut self) -> Vec<Snapshot> {
+        self.shards.iter_mut().map(|s| s.db.snapshot()).collect()
+    }
+
+    /// Releases a cross-shard snapshot vector taken by
+    /// [`pin_snapshots`](Store::pin_snapshots) (shard `i`'s snapshot is
+    /// handed back to shard `i`'s engine).
+    pub fn release_snapshots(&mut self, snaps: Vec<Snapshot>) {
+        for (shard, snap) in self.shards.iter_mut().zip(snaps) {
+            shard.db.release_snapshot(snap);
+        }
+    }
+
+    /// Range scan across every shard: a k-way merge over one engine
+    /// iterator per shard, each pinned at the corresponding snapshot in
+    /// `snaps`. Tombstones are suppressed by the per-shard iterators; at
+    /// shard boundaries (and on the impossible-by-routing equal-key tie)
+    /// the lowest shard index wins, so row order is fully deterministic.
+    /// Shards are read in parallel on the virtual timeline: the scan
+    /// completes at the latest per-shard iterator instant, which is why
+    /// short-range scan throughput rises with shard count.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Usage`] when `snaps` was not pinned on this store (length
+    /// mismatch); otherwise propagates engine errors.
+    pub fn scan_at(&mut self, snaps: &[Snapshot], sopts: &ScanOptions<'_>) -> Result<ScanResult> {
+        if snaps.len() != self.shards.len() {
+            return Err(Error::Usage(
+                "snapshot vector does not match the store's shard count".into(),
+            ));
+        }
+        let start = sopts.effective_start().map(<[u8]>::to_vec);
+        let end = sopts.effective_end();
+        let fallback = self.clock.now();
+        let mut collector = ScanCollector::new(sopts);
+        let mut iters = Vec::with_capacity(self.shards.len());
+        for (shard, snap) in self.shards.iter_mut().zip(snaps) {
+            let ropts = if sopts.fill_cache {
+                ReadOptions::at(snap)
+            } else {
+                ReadOptions::at(snap).without_fill_cache()
+            };
+            let mut it = shard.db.iter(&ropts)?;
+            if sopts.reverse {
+                match end.as_deref() {
+                    Some(e) => {
+                        it.seek(e)?;
+                        if it.valid() {
+                            it.prev()?;
+                        } else {
+                            it.seek_to_last()?;
+                        }
+                    }
+                    None => it.seek_to_last()?,
+                }
+            } else {
+                match start.as_deref() {
+                    Some(s) => it.seek(s)?,
+                    None => it.seek_to_first()?,
+                }
+            }
+            iters.push(it);
+        }
+        loop {
+            let mut best: Option<usize> = None;
+            for (i, it) in iters.iter().enumerate() {
+                if !it.valid() {
+                    continue;
+                }
+                // An iterator past its bound is exhausted for this scan:
+                // forward motion only moves it further past `end`, reverse
+                // motion further below `start`.
+                let in_bounds = if sopts.reverse {
+                    start.as_deref().is_none_or(|s| it.key() >= s)
+                } else {
+                    end.as_deref().is_none_or(|e| it.key() < e)
+                };
+                if !in_bounds {
+                    continue;
+                }
+                best = match best {
+                    None => Some(i),
+                    // Strict comparison keeps the lowest shard on ties.
+                    Some(b) if sopts.reverse && it.key() > iters[b].key() => Some(i),
+                    Some(b) if !sopts.reverse && it.key() < iters[b].key() => Some(i),
+                    keep => keep,
+                };
+            }
+            let Some(b) = best else { break };
+            if !collector.offer(iters[b].key(), iters[b].value()) {
+                break;
+            }
+            if sopts.reverse {
+                iters[b].prev()?;
+            } else {
+                iters[b].next()?;
+            }
+        }
+        let end_t = iters.iter().map(|it| it.now()).max().unwrap_or(fallback);
+        drop(iters);
+        self.clock.advance_to(end_t);
+        Ok(collector.finish())
+    }
+
+    /// Range scan at the latest state: pins a cross-shard snapshot,
+    /// merges ([`scan_at`](Store::scan_at)) and releases the pins — the
+    /// synchronous convenience the server's cursor machinery decomposes.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Usage`] when `ropts` carries a snapshot (cross-shard scans
+    /// pin their own, one per shard); otherwise propagates engine errors.
+    pub fn scan(&mut self, ropts: &ReadOptions<'_>, sopts: &ScanOptions<'_>) -> Result<ScanResult> {
+        if ropts.snapshot.is_some() {
+            return Err(Error::Usage(
+                "store scans cannot carry a Db snapshot (the store pins one per shard)".into(),
+            ));
+        }
+        let mut sopts = *sopts;
+        sopts.fill_cache = sopts.fill_cache && ropts.fill_cache;
+        let snaps = self.pin_snapshots();
+        let result = self.scan_at(&snaps, &sopts);
+        self.release_snapshots(snaps);
+        result
+    }
+
     /// Processes due background completions on every shard at the current
     /// instant, in shard order.
     ///
@@ -779,6 +915,134 @@ mod tests {
         let snap = store.shard_db_mut(0).snapshot();
         let err = store.get(&ReadOptions::at(&snap), b"k").unwrap_err();
         assert!(matches!(err, Error::Usage(_)), "{err}");
+    }
+
+    #[test]
+    fn scan_merges_shards_in_sorted_order_and_hides_tombstones() {
+        let mut store = Store::open(small_opts(4)).unwrap();
+        for i in 0..300u64 {
+            let mut b = WriteBatch::new();
+            b.put(format!("key{i:03}").as_bytes(), format!("val{i}").as_bytes());
+            store.enqueue(&WriteOptions::default(), &b);
+        }
+        store.drain().unwrap();
+        let mut dels = WriteBatch::new();
+        for i in (0..300u64).step_by(7) {
+            dels.delete(format!("key{i:03}").as_bytes());
+        }
+        store.write(&WriteOptions::default(), dels).unwrap();
+        let before = store.clock().now();
+        let r = store.scan(&ReadOptions::default(), &ScanOptions::all()).unwrap();
+        let expected: Vec<Vec<u8>> =
+            (0..300u64).filter(|i| i % 7 != 0).map(|i| format!("key{i:03}").into_bytes()).collect();
+        let got: Vec<Vec<u8>> = r.rows.iter().map(|(k, _)| k.clone()).collect();
+        assert_eq!(got, expected, "merge must be globally sorted with tombstones hidden");
+        assert_eq!(r.count, expected.len() as u64);
+        assert!(r.resume.is_none(), "unbounded scan must not truncate");
+        assert!(store.clock().now() > before, "scans cost virtual time");
+    }
+
+    #[test]
+    fn scan_supports_reverse_limit_prefix_and_resume() {
+        let mut store = Store::open(small_opts(3)).unwrap();
+        for i in 0..100u64 {
+            let mut b = WriteBatch::new();
+            b.put(format!("key{i:02}").as_bytes(), b"v");
+            store.enqueue(&WriteOptions::default(), &b);
+        }
+        store.drain().unwrap();
+        // Forward pages of 30, chained through resume keys, cover the
+        // keyspace exactly once in order.
+        let mut seen = Vec::new();
+        let mut cursor: Option<Vec<u8>> = Some(b"key".to_vec());
+        while let Some(start) = cursor {
+            let sopts = ScanOptions::starting_at(&start).with_limit(30);
+            let page = store.scan(&ReadOptions::default(), &sopts).unwrap();
+            assert!(page.rows.len() <= 30);
+            seen.extend(page.rows.iter().map(|(k, _)| k.clone()));
+            cursor = page.resume;
+        }
+        assert_eq!(seen.len(), 100);
+        assert!(seen.windows(2).all(|w| w[0] < w[1]), "strictly ascending, no repeats");
+        // Reverse visits the same rows backwards.
+        let rev = store.scan(&ReadOptions::default(), &ScanOptions::all().reversed()).unwrap();
+        let mut back: Vec<Vec<u8>> = rev.rows.iter().map(|(k, _)| k.clone()).collect();
+        back.reverse();
+        assert_eq!(back, seen);
+        // Prefix narrows the range; count_only suppresses rows.
+        let p = store
+            .scan(&ReadOptions::default(), &ScanOptions::all().with_prefix(b"key1").counting())
+            .unwrap();
+        assert!(p.rows.is_empty(), "count_only materialises nothing");
+        assert_eq!(p.count, 10, "key10..key19");
+    }
+
+    #[test]
+    fn pinned_scan_matches_brute_force_merge_despite_concurrent_writes() {
+        let mut store = Store::open(small_opts(3)).unwrap();
+        let mut state = 0x9e37_79b9_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state
+        };
+        for round in 0..4 {
+            // Mutate: a pseudo-random mix of puts and deletes over a
+            // keyspace that straddles every shard boundary.
+            for _ in 0..120 {
+                let r = next();
+                let k = format!("key{:03}", r % 150);
+                let mut b = WriteBatch::new();
+                if r % 5 == 0 {
+                    b.delete(k.as_bytes());
+                } else {
+                    b.put(k.as_bytes(), format!("r{round}-{r}").as_bytes());
+                }
+                store.enqueue(&WriteOptions::default(), &b);
+            }
+            store.drain().unwrap();
+            let snaps = store.pin_snapshots();
+            // Brute-force oracle: walk each shard's own iterator at its
+            // pin and merge by sorting (keys are unique across shards).
+            let mut expected = Vec::new();
+            for (i, snap) in snaps.iter().enumerate() {
+                let mut it = store.shard_db_mut(i).iter(&ReadOptions::at(snap)).unwrap();
+                it.seek_to_first().unwrap();
+                while it.valid() {
+                    expected.push((it.key().to_vec(), it.value().to_vec()));
+                    it.next().unwrap();
+                }
+            }
+            expected.sort();
+            // Writes and deletes after the pin must be invisible. The
+            // sentinel is round-tagged: earlier rounds' sentinels are
+            // legitimate pre-pin state by now.
+            let sentinel = format!("AFTER-PIN-{round}").into_bytes();
+            for j in 0..150u64 {
+                let mut b = WriteBatch::new();
+                if j % 3 == 0 {
+                    b.delete(format!("key{j:03}").as_bytes());
+                } else {
+                    b.put(format!("key{j:03}").as_bytes(), &sentinel);
+                }
+                store.enqueue(&WriteOptions::default(), &b);
+            }
+            store.drain().unwrap();
+            let got = store.scan_at(&snaps, &ScanOptions::all()).unwrap();
+            assert_eq!(got.rows, expected, "round {round}: torn cross-shard scan");
+            assert!(got.rows.iter().all(|(_, v)| *v != sentinel));
+            store.release_snapshots(snaps);
+        }
+    }
+
+    #[test]
+    fn scan_rejects_foreign_snapshots_and_mismatched_pins() {
+        let mut store = Store::open(small_opts(2)).unwrap();
+        let snap = store.shard_db_mut(0).snapshot();
+        let err = store.scan(&ReadOptions::at(&snap), &ScanOptions::all()).unwrap_err();
+        assert!(matches!(err, Error::Usage(_)), "{err}");
+        let err = store.scan_at(&[], &ScanOptions::all()).unwrap_err();
+        assert!(matches!(err, Error::Usage(_)), "{err}");
+        store.shard_db_mut(0).release_snapshot(snap);
     }
 
     #[test]

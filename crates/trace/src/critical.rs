@@ -57,9 +57,10 @@ const SEG_OTHER: usize = 9;
 /// journal).
 fn segment_of(class: EventClass) -> Option<usize> {
     match class {
-        EventClass::ServerRead | EventClass::ServerWrite | EventClass::ServerControl => {
-            Some(SEG_ADMISSION)
-        }
+        EventClass::ServerRead
+        | EventClass::ServerWrite
+        | EventClass::ServerControl
+        | EventClass::ServerScan => Some(SEG_ADMISSION),
         EventClass::GroupCommit => Some(SEG_GROUP_WAIT),
         EventClass::EnginePut => Some(SEG_WAL_WRITE),
         EventClass::WriteStall => Some(SEG_STALL),

@@ -71,10 +71,13 @@ pub enum EventClass {
     /// the acked record from its commit to the ack's arrival — the
     /// per-record replication lag. `bytes` is the acked payload.
     ReplAck = 23,
+    /// One served SCAN page (SCAN / cursor resume), server receipt →
+    /// page encoded. `bytes` is the reply payload.
+    ServerScan = 24,
 }
 
 /// Number of event classes (length of [`EventClass::ALL`]).
-pub const N_CLASSES: usize = 24;
+pub const N_CLASSES: usize = 25;
 
 impl EventClass {
     /// Every class, in discriminant order.
@@ -103,6 +106,7 @@ impl EventClass {
         EventClass::ReplShip,
         EventClass::ReplApply,
         EventClass::ReplAck,
+        EventClass::ServerScan,
     ];
 
     /// Stable snake_case name, used in JSON output.
@@ -132,6 +136,7 @@ impl EventClass {
             EventClass::ReplShip => "repl_ship",
             EventClass::ReplApply => "repl_apply",
             EventClass::ReplAck => "repl_ack",
+            EventClass::ServerScan => "server_scan",
         }
     }
 
@@ -157,9 +162,10 @@ impl EventClass {
             | EventClass::MajorCompaction
             | EventClass::WriteStall
             | EventClass::GroupCommit => "engine",
-            EventClass::ServerRead | EventClass::ServerWrite | EventClass::ServerControl => {
-                "server"
-            }
+            EventClass::ServerRead
+            | EventClass::ServerWrite
+            | EventClass::ServerControl
+            | EventClass::ServerScan => "server",
             EventClass::ReplShip | EventClass::ReplApply | EventClass::ReplAck => "repl",
         }
     }
@@ -322,6 +328,8 @@ mod tests {
         assert_eq!(EventClass::SsdFlush.tid(), 2);
         assert_eq!(EventClass::ServerWrite.layer(), "server");
         assert_eq!(EventClass::ServerRead.tid(), 3);
+        assert_eq!(EventClass::ServerScan.layer(), "server");
+        assert_eq!(EventClass::ServerScan.tid(), 3);
         assert_eq!(EventClass::ReplShip.layer(), "repl");
         assert_eq!(EventClass::ReplAck.tid(), 4);
     }

@@ -189,7 +189,7 @@ pub fn seekrandom(db: &mut Db, n: u64, records: u64, seed: u64, start: Nanos) ->
     let mut found = 0u64;
     for _ in 0..n {
         let k = rng.gen_range(0..records);
-        let (rows, t) = db.scan(now, &key(k), 1)?;
+        let (rows, t) = crate::scan_at(db, now, &key(k), 1)?;
         latencies.record(t - now);
         now = t;
         if !rows.is_empty() {

@@ -56,3 +56,20 @@ pub(crate) fn put_at(
     batch.put(key, value);
     db.write(&noblsm::WriteOptions::default(), batch)
 }
+
+/// Canonical-API range scan shared by the drivers: advance the engine's
+/// clock to `now`, then scan up to `limit` rows from `start` through
+/// [`noblsm::Db::scan`]. Returns the rows and the instant the scan
+/// completed.
+#[allow(clippy::type_complexity)]
+pub(crate) fn scan_at(
+    db: &mut noblsm::Db,
+    now: nob_sim::Nanos,
+    start: &[u8],
+    limit: usize,
+) -> noblsm::Result<(Vec<(Vec<u8>, Vec<u8>)>, nob_sim::Nanos)> {
+    db.clock().advance_to(now);
+    let sopts = noblsm::ScanOptions::starting_at(start).with_limit(limit);
+    let r = db.scan(&noblsm::ReadOptions::default(), &sopts)?;
+    Ok((r.rows, db.clock().now()))
+}

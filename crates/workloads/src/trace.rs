@@ -121,7 +121,7 @@ impl Trace {
                 TraceOp::Put(k, v) => crate::put_at(db, now, k, v)?,
                 TraceOp::Get(k) => db.get_at_time(now, k)?.1,
                 TraceOp::Delete(k) => db.delete(now, k)?,
-                TraceOp::Scan(k, n) => db.scan(now, k, *n)?.1,
+                TraceOp::Scan(k, n) => crate::scan_at(db, now, k, *n)?.1,
             };
             latencies.record(end - now);
             now = end;

@@ -5,7 +5,7 @@
 
 use nob_ext4::{Ext4Config, Ext4Fs};
 use nob_sim::Nanos;
-use noblsm::{Db, Options, ReadOptions, SyncMode, WriteBatch, WriteOptions};
+use noblsm::{Db, Options, ReadOptions, ScanOptions, SyncMode, WriteBatch, WriteOptions};
 
 fn main() -> Result<(), noblsm::Error> {
     // A simulated PM883-class SSD formatted as Ext4 (data=ordered).
@@ -40,15 +40,15 @@ fn main() -> Result<(), noblsm::Error> {
     println!("after delete -> not found");
 
     // Range scan through the merged view of memtable + all levels.
-    let now = db.clock().now();
-    let (rows, mut now) = db.scan(now, b"user00000100", 5)?;
+    let page =
+        db.scan(&ReadOptions::default(), &ScanOptions::starting_at(b"user00000100").with_limit(5))?;
     println!("scan from user00000100:");
-    for (k, v) in &rows {
+    for (k, v) in &page.rows {
         println!("  {} ({} bytes)", String::from_utf8_lossy(k), v.len());
     }
 
     // Let background compactions drain and look at the bookkeeping.
-    now = db.wait_idle(now)?;
+    let now = db.wait_idle(db.clock().now())?;
     let stats = db.stats();
     let fs_stats = fs.stats();
     println!("\nvirtual time elapsed: {now}");

@@ -9,7 +9,10 @@
 //! reproducible.
 
 use nob_baselines::Variant;
-use nob_server::{shared, Client, Frame, LoopbackTransport, Request, ServerCore, ServerOptions};
+use nob_server::{
+    is_busy_error, shared, Client, Frame, LoopbackTransport, Request, ServerCore, ServerOptions,
+    TcpServer, TcpTransport,
+};
 use nob_store::StoreOptions;
 use noblsm::WriteOptions;
 
@@ -84,6 +87,88 @@ fn loopback_runs_are_bit_for_bit_reproducible() {
     let a = run_discipline(Variant::NobLsm, WriteOptions::buffered());
     let b = run_discipline(Variant::NobLsm, WriteOptions::buffered());
     assert_eq!(a, b, "same workload, same virtual timeline");
+}
+
+#[test]
+fn scan_cursors_survive_interleaved_writes_across_connections() {
+    let core = shared(
+        ServerCore::open(ServerOptions {
+            store: StoreOptions { shards: 3, ..StoreOptions::default() },
+            max_scan_page: 8,
+            ..ServerOptions::default()
+        })
+        .expect("open server core"),
+    );
+    let mut a = Client::new(LoopbackTransport::connect(&core));
+    let mut b = Client::new(LoopbackTransport::connect(&core));
+    for i in 0..60u32 {
+        a.set(format!("key{i:02}").as_bytes(), b"seed").expect("seed");
+    }
+    let (cursor, first) = a.scan_page(b"", b"", 1_000).expect("open cursor");
+    assert_eq!(first.len(), 8, "pages are clamped to max_scan_page");
+    assert_ne!(cursor, 0, "sixty rows cannot fit one page");
+    // Another connection rewrites the whole range and adds a key while
+    // the cursor is live; the pinned snapshot must see none of it.
+    for i in 0..60u32 {
+        b.set(format!("key{i:02}").as_bytes(), b"mutated").expect("overwrite");
+    }
+    b.set(b"key99", b"mutated").expect("new key");
+    // Cursors are server-wide leases, not per-connection state: resume
+    // from the *other* pipelined connection.
+    let mut rows = first;
+    let mut cur = cursor;
+    while cur != 0 {
+        let (next, page) = b.scan_next(cur).expect("resume");
+        rows.extend(page);
+        cur = next;
+    }
+    assert_eq!(rows.len(), 60, "exactly the pinned keyspace, once");
+    assert!(rows.windows(2).all(|w| w[0].0 < w[1].0), "globally sorted across shards");
+    assert!(rows.iter().all(|(_, v)| v == b"seed"), "post-pin writes leaked into the cursor");
+    // A fresh scan observes the mutated state.
+    let fresh = a.scan_all(b"", b"", 1_000).expect("fresh scan");
+    assert_eq!(fresh.len(), 61);
+    assert!(fresh.iter().all(|(_, v)| v == b"mutated"));
+}
+
+#[test]
+fn tcp_scan_cursor_resumes_and_cursor_cap_pushes_back_busy() {
+    let server = TcpServer::bind(
+        "127.0.0.1:0",
+        ServerOptions {
+            store: StoreOptions { shards: 2, ..StoreOptions::default() },
+            max_scan_page: 16,
+            max_cursors: 1,
+            ..ServerOptions::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().to_string();
+    let mut a = Client::new(TcpTransport::connect(&addr).expect("connect"));
+    let mut b = Client::new(TcpTransport::connect(&addr).expect("connect"));
+    for i in 0..50u32 {
+        a.set(format!("t{i:02}").as_bytes(), b"v").expect("seed");
+    }
+    let (cursor, first) = a.scan_page(b"", b"", 1_000).expect("open cursor");
+    assert_eq!(first.len(), 16);
+    assert_ne!(cursor, 0);
+    // The cursor table is full: a second open gets explicit -BUSY.
+    let err = b.scan_page(b"", b"", 1_000).expect_err("cursor cap must push back");
+    assert!(is_busy_error(&err), "{err}");
+    // The held cursor still resumes — from the other connection, even.
+    let mut rows = first;
+    let mut cur = cursor;
+    while cur != 0 {
+        let (next, page) = b.scan_next(cur).expect("resume over TCP");
+        rows.extend(page);
+        cur = next;
+    }
+    assert_eq!(rows.len(), 50, "every seeded row, once");
+    assert!(rows.windows(2).all(|w| w[0].0 < w[1].0), "sorted across shards");
+    // Exhaustion released the lease: new scans are admitted again.
+    let all = b.scan_all(b"", b"", 7).expect("scan after release");
+    assert_eq!(all.len(), 50);
+    server.shutdown().expect("graceful shutdown");
 }
 
 #[test]
