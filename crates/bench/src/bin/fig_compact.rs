@@ -1,0 +1,45 @@
+//! Staged-lane compaction sweep: fixed-seed bursty fillrandom through
+//! `nob-store` over compaction lanes × shard count, under the Sync,
+//! Async and NobLSM write disciplines.
+//!
+//! Writes `target/nob-results/fig_compact.json` (rendered by `report`)
+//! and prints two grids per discipline: stall-time share and p99 write
+//! latency by shards × lanes.
+//!
+//! Usage: `fig_compact [--scale N]` (default scale 512, the shape the
+//! golden test pins byte-for-byte).
+
+use nob_bench::compact::{fig_compact, fig_compact_json, LANE_COUNTS, SHARD_COUNTS};
+use nob_bench::shards::disciplines;
+use nob_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args(512);
+    let cells = fig_compact(scale);
+    for (name, _, _) in disciplines() {
+        println!("== {name} — stall share / p99 write ns by shards x lanes ==");
+        print!("{:>10}", "");
+        for l in LANE_COUNTS {
+            print!("{:>22}", format!("{l} lane(s)"));
+        }
+        println!();
+        for s in SHARD_COUNTS {
+            print!("{:>10}", format!("{s} shard(s)"));
+            for l in LANE_COUNTS {
+                let c = cells
+                    .iter()
+                    .find(|c| c.name == name && c.shards == s && c.lanes == l)
+                    .expect("cell present");
+                print!("{:>22}", format!("{:.4} / {}", c.stall_share, c.p99_write_ns));
+            }
+            println!();
+        }
+        println!();
+    }
+    let doc = fig_compact_json(&cells, scale);
+    let dir = std::path::Path::new("target/nob-results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join("fig_compact.json");
+    std::fs::write(&path, &doc).expect("write results json");
+    println!("wrote {} ({} bytes)", path.display(), doc.len());
+}

@@ -243,6 +243,90 @@ fn render_shards(doc: &Json, out: &mut String) -> Option<()> {
     Some(())
 }
 
+/// Renders a `fig_compact` document: one grid per write discipline
+/// (shards down, compaction lanes across), each cell showing foreground
+/// stall-time share and p99 write latency — the lane scheduler's
+/// acceptance pair. A trailing note reports whether final contents
+/// hashed identically across lane counts.
+fn render_compact(doc: &Json, out: &mut String) -> Option<()> {
+    let cells = doc.get("compact_cells")?.as_array()?;
+    let scale = doc.get("scale").and_then(Json::as_f64).unwrap_or(0.0);
+    let ops = doc.get("ops").and_then(Json::as_f64).unwrap_or(0.0);
+    let _ = writeln!(out, "## fig_compact — staged compaction lanes\n");
+    let _ = writeln!(
+        out,
+        "*scale 1/{scale:.0}; {ops:.0} bursty fillrandom ops per cell; \
+         each cell is `stall share / p99 write ns`*\n"
+    );
+    let mut names: Vec<&str> = Vec::new();
+    let mut shards: Vec<usize> = Vec::new();
+    let mut lanes: Vec<usize> = Vec::new();
+    for c in cells {
+        let name = c.get("name")?.as_str()?;
+        let s = c.get("shards")?.as_f64()? as usize;
+        let l = c.get("lanes")?.as_f64()? as usize;
+        if !names.contains(&name) {
+            names.push(name);
+        }
+        if !shards.contains(&s) {
+            shards.push(s);
+        }
+        if !lanes.contains(&l) {
+            lanes.push(l);
+        }
+    }
+    for n in &names {
+        let _ = writeln!(out, "**{n}**\n");
+        let _ = write!(out, "| shards |");
+        for l in &lanes {
+            let _ = write!(out, " {l} lane(s) |");
+        }
+        let _ = writeln!(out);
+        let _ = write!(out, "|---|");
+        for _ in &lanes {
+            let _ = write!(out, "---|");
+        }
+        let _ = writeln!(out);
+        for s in &shards {
+            let _ = write!(out, "| {s} |");
+            for l in &lanes {
+                let cell = cells.iter().find(|c| {
+                    c.get("name").and_then(Json::as_str) == Some(n)
+                        && c.get("shards").and_then(Json::as_f64) == Some(*s as f64)
+                        && c.get("lanes").and_then(Json::as_f64) == Some(*l as f64)
+                });
+                match cell {
+                    Some(c) => {
+                        let stall = c.get("stall_share").and_then(Json::as_f64).unwrap_or(0.0);
+                        let p99 = c.get("p99_write_ns").and_then(Json::as_f64).unwrap_or(0.0);
+                        let _ = write!(out, " {stall:.4} / {p99:.0} |");
+                    }
+                    None => {
+                        let _ = write!(out, " – |");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        let _ = writeln!(out);
+    }
+    let mut hashes: Vec<&str> = Vec::new();
+    for c in cells {
+        if let Some(h) = c.get("content_hash").and_then(Json::as_str) {
+            if !hashes.contains(&h) {
+                hashes.push(h);
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "*final LSM contents: {} distinct hash(es) across the grid — lane \
+         count never changes what the tree holds*\n",
+        hashes.len()
+    );
+    Some(())
+}
+
 /// Renders a `fig_scan` document: one scan-throughput grid per write
 /// discipline (range length down, shard count across) — rows/s through
 /// the store's snapshot-pinned cross-shard merge.
@@ -681,6 +765,8 @@ fn main() {
                     render_timelines(&exp, &mut out).is_some()
                 } else if exp.get("shard_cells").is_some() {
                     render_shards(&exp, &mut out).is_some()
+                } else if exp.get("compact_cells").is_some() {
+                    render_compact(&exp, &mut out).is_some()
                 } else if exp.get("scan_cells").is_some() {
                     render_scan(&exp, &mut out).is_some()
                 } else if exp.get("breakdown_cells").is_some() {

@@ -17,6 +17,7 @@ use nob_sim::Nanos;
 use noblsm::Options;
 
 pub mod breakdown;
+pub mod compact;
 pub mod json;
 pub mod output;
 pub mod repl;

@@ -288,9 +288,74 @@ pub fn smoke_scan(slow_ssd: bool) -> SmokeResult {
     }
 }
 
+/// Fixed-seed staged-lane compaction smoke: the `fig_compact` workload's
+/// NobLSM × 2 shards × 4 lanes cell, traced, so CI guards both the
+/// bursty-fill throughput and the major-compaction tail under the lane
+/// scheduler.
+pub fn smoke_compact(slow_ssd: bool) -> SmokeResult {
+    use nob_baselines::Variant;
+    use nob_store::{Store, StoreOptions};
+    use noblsm::WriteBatch;
+
+    let scale = Scale::new(512);
+    let ops = 2_000u64;
+    let burst = crate::compact::BURST_OPS;
+    let mut fs_cfg = scale.fs_config();
+    if slow_ssd {
+        degrade(&mut fs_cfg);
+    }
+    // The fig_compact cell shape: large paper table, quarter-table write
+    // buffer, tight L0 triggers, four lanes over two shards.
+    let mut db = Variant::NobLsm.options(&scale.base_options(crate::PAPER_TABLE_LARGE));
+    db.write_buffer_size = (db.table_size / 4).max(16 << 10);
+    db.l0_compaction_trigger = 4;
+    db.l0_slowdown_trigger = 6;
+    db.l0_stop_trigger = 8;
+    db.compaction_lanes = 4;
+    let opts = StoreOptions { shards: 2, fs: fs_cfg, db, ..StoreOptions::default() };
+    let mut store = Store::open(opts).expect("open store");
+    let sink = TraceSink::new();
+    store.set_trace_sink(sink.clone());
+    let wopts = noblsm::WriteOptions::buffered();
+    let started = store.clock().now();
+    let mut state = 42u64;
+    for op in 0..ops {
+        if op > 0 && op % burst == 0 {
+            store.clock().advance(crate::compact::IDLE_GAP);
+            store.tick().expect("tick");
+        }
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let key = format!("key{:08}", state % 100_000);
+        let mut value = format!("val{state}-").into_bytes();
+        value.resize(1_024, b'x');
+        let mut batch = WriteBatch::new();
+        batch.put(key.as_bytes(), &value);
+        store.enqueue(&wopts, &batch);
+        store.pump().expect("pump");
+    }
+    let elapsed = store.drain().expect("drain") - started;
+    store.wait_idle().expect("wait idle");
+    let summary = sink.summary();
+    let p99_ns = summary.class(EventClass::MajorCompaction).map_or(0, |c| c.p99_ns);
+    SmokeResult {
+        name: "compact".to_string(),
+        throughput: ops as f64 / elapsed.as_secs_f64(),
+        unit: "ops/s".to_string(),
+        p99_ns,
+        p99_class: EventClass::MajorCompaction,
+        summary,
+    }
+}
+
 /// All CI smoke scenarios, in report order.
 pub fn smoke_all(slow_ssd: bool) -> Vec<SmokeResult> {
-    vec![smoke_fig2a(slow_ssd), smoke_fig4(slow_ssd), smoke_repl(slow_ssd), smoke_scan(slow_ssd)]
+    vec![
+        smoke_fig2a(slow_ssd),
+        smoke_fig4(slow_ssd),
+        smoke_repl(slow_ssd),
+        smoke_scan(slow_ssd),
+        smoke_compact(slow_ssd),
+    ]
 }
 
 /// One fig4-style fillrandom run for the trace-overhead guard,

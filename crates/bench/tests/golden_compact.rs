@@ -1,0 +1,40 @@
+//! Golden-file test: the fixed-seed `fig_compact` sweep must produce a
+//! byte-identical JSON document against the checked-in fixture — pinning
+//! every cell's stall share, p99 write latency, major count and final
+//! content hash at once. This is the CI gate for the lane scheduler's
+//! acceptance property: stall share and p99 monotone non-increasing in
+//! lanes at four shards, and final contents byte-identical across lane
+//! counts (the module tests assert the properties; this file pins the
+//! numbers they held for).
+//!
+//! If a change *intentionally* alters timing or the schema, regenerate
+//! the fixture:
+//!
+//! ```sh
+//! NOB_BLESS=1 cargo test -p nob-bench --test golden_compact
+//! ```
+//!
+//! and review the diff like any other golden update.
+
+use nob_bench::compact::{fig_compact, fig_compact_json};
+use nob_bench::Scale;
+
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/fig_compact.json");
+
+#[test]
+fn fig_compact_document_matches_golden_file() {
+    let scale = Scale::new(512);
+    let got = fig_compact_json(&fig_compact(scale), scale);
+    if std::env::var_os("NOB_BLESS").is_some() {
+        std::fs::write(GOLDEN, &got).expect("bless golden file");
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN).expect(
+        "missing golden fixture; generate with NOB_BLESS=1 cargo test -p nob-bench --test golden_compact",
+    );
+    assert_eq!(
+        got, want,
+        "fig_compact diverged from tests/golden/fig_compact.json; \
+         if intentional, rebless with NOB_BLESS=1"
+    );
+}

@@ -223,6 +223,7 @@ pub fn run_campaign(spec: &CampaignSpec) -> CampaignResult {
                 value_size: spec.value_size,
                 crash_pm: 0,
                 snap_to_commit_phase: spec.snap_to_commit_phase,
+                lanes: 1,
                 plan: spec.plan_for(seed, config),
             };
             let run = prepare_run(&case);

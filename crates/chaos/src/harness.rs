@@ -79,6 +79,9 @@ pub struct ChaosCase {
     /// boundary (start / data-done / journal-done / end), to aim the cut
     /// precisely at the windows the Ext4 ordered contract protects.
     pub snap_to_commit_phase: bool,
+    /// Compaction lanes for the engine under test; >1 aims crashes at
+    /// runs with several majors in flight at once.
+    pub lanes: usize,
     /// The fault schedule.
     pub plan: FaultPlan,
 }
@@ -93,6 +96,7 @@ impl ChaosCase {
             value_size: 64,
             crash_pm: 500,
             snap_to_commit_phase: false,
+            lanes: 1,
             plan: FaultPlan::none(),
         }
     }
@@ -147,7 +151,8 @@ fn vname(k: u16, v: u16, size: usize) -> Vec<u8> {
 /// live on the device, recording history and durability acks.
 pub fn prepare_run(case: &ChaosCase) -> PreparedRun {
     let fs = Ext4Fs::new(Ext4Config::default().with_page_cache(4 << 20));
-    let opts = config_options(case.config);
+    let mut opts = config_options(case.config);
+    opts.compaction_lanes = case.lanes.max(1);
     let mut db =
         Db::open(fs.clone(), DB_DIR, opts.clone(), Nanos::ZERO).expect("fresh open cannot fail");
     let trace = TraceSink::new();

@@ -16,6 +16,8 @@
 //! crash <percent>        power-off at a fraction of elapsed time + reopen
 //! flush                  force the memtable to L0
 //! compact                full manual compaction
+//! compact status         lane occupancy, pressure, debt, stage split
+//! compact lanes <n>      reconfigure the compaction lane count
 //! stats                  engine + filesystem counters
 //! levels                 files per level
 //! time                   current virtual instant
@@ -292,11 +294,54 @@ impl Session {
                 let t = self.db()?.flush(now)?;
                 let _ = writeln!(out, "flushed ({t})");
             }
-            "compact" => {
-                let now = self.clock.now();
-                let t = self.db()?.compact_range(now, None, None)?;
-                let _ = writeln!(out, "compacted ({t})");
-            }
+            "compact" => match args.first().copied() {
+                None => {
+                    let now = self.clock.now();
+                    let t = self.db()?.compact_range(now, None, None)?;
+                    let _ = writeln!(out, "compacted ({t})");
+                }
+                Some("status") => {
+                    let now = self.clock.now();
+                    let db = self.db()?;
+                    let s = db.stats();
+                    let _ = writeln!(
+                        out,
+                        "lanes={} active={} pressure={:.2} debt={} preempt_l0={} backoff={}",
+                        db.compaction_lanes(),
+                        db.active_majors(),
+                        db.l0_pressure(),
+                        db.compaction_debt_bytes(),
+                        s.l0_preempts,
+                        s.lane_backoffs,
+                    );
+                    let _ = writeln!(
+                        out,
+                        "stages: read={} merge={} write={}",
+                        s.compact_read_time, s.compact_merge_time, s.compact_write_time,
+                    );
+                    for (i, ls) in db.lane_stats().iter().enumerate() {
+                        let idle = if ls.free <= now { "idle" } else { "busy" };
+                        let _ = writeln!(
+                            out,
+                            "lane{i}: jobs={} busy={} bytes={} {idle}",
+                            ls.jobs, ls.busy, ls.bytes_written,
+                        );
+                    }
+                }
+                Some("lanes") => {
+                    let n: usize = args
+                        .get(1)
+                        .ok_or("usage: compact lanes <n>")?
+                        .parse()
+                        .map_err(|_| "n must be a number")?;
+                    if n == 0 {
+                        return Err("n must be at least 1".into());
+                    }
+                    self.db()?.set_compaction_lanes(n);
+                    let _ = writeln!(out, "lanes {n}");
+                }
+                Some(sub) => return Err(format!("unknown compact subcommand: {sub}").into()),
+            },
             "crash" => {
                 let pct: u64 = args
                     .first()
@@ -618,7 +663,7 @@ impl Session {
             "help" => {
                 let _ = writeln!(
                     out,
-                    "commands: open put get del scan fill advance flush compact crash chaos trace metrics store repl levels stats time help quit"
+                    "commands: open put get del scan fill advance flush compact [status|lanes <n>] crash chaos trace metrics store repl levels stats time help quit"
                 );
             }
             "quit" | "exit" => {}

@@ -4,6 +4,7 @@
 
 use std::collections::HashSet;
 
+use nob_compact::{Granule, StagePlan};
 use nob_ext4::{Ext4Fs, InodeId};
 use nob_sim::Nanos;
 
@@ -36,6 +37,11 @@ pub(crate) struct MajorOutcome {
     pub bytes_written: u64,
     /// The largest key processed (becomes the level's compact pointer).
     pub largest_compacted: Option<InternalKey>,
+    /// Per-output-granule read / merge / write stage durations, priced on
+    /// the serial device timeline. The scheduler completes the job at the
+    /// plan's *pipelined* end (stages overlap across granules), which is
+    /// never later than the serial sum.
+    pub stages: StagePlan,
 }
 
 /// Tells the major-compaction loop whether a user key is currently hot.
@@ -95,7 +101,15 @@ pub(crate) fn run_major(
     alloc: &mut dyn FnMut() -> u64,
     now: &mut Nanos,
 ) -> Result<MajorOutcome> {
+    // Stage accounting: every virtual nanosecond the compaction spends is
+    // attributed to the read (input I/O), merge (CPU) or write (output
+    // build + I/O) stage of the granule being produced, so the scheduler
+    // can overlap the stages across granules.
+    let mut acc_read = Nanos::ZERO;
+    let mut acc_merge = Nanos::ZERO;
+
     // Build the merged input stream.
+    let open_mark = *now;
     let mut openers = Vec::new();
     for f in inputs.inputs0.iter().chain(&inputs.inputs1) {
         openers.push(tables.table(f, now)?);
@@ -106,6 +120,7 @@ pub(crate) fn run_major(
     }
     let mut merged = MergingIterator::new(children);
     merged.seek_to_first(now)?;
+    acc_read += *now - open_mark;
 
     let target_level = inputs.level + 1;
     let is_last_level = target_level + 1 >= version.levels();
@@ -127,6 +142,7 @@ pub(crate) fn run_major(
         hot_outputs: Vec::new(),
         bytes_written: 0,
         largest_compacted: None,
+        stages: StagePlan::default(),
     };
     let mut cold = OutputStream::new(false);
     let mut hot_stream = OutputStream::new(true);
@@ -136,8 +152,11 @@ pub(crate) fn run_major(
     while merged.valid() {
         let ikey = merged.key().to_vec();
         let value = merged.value().to_vec();
+        let rmark = *now;
         merged.next(now)?;
+        acc_read += *now - rmark;
         *now += opts.cpu.next;
+        acc_merge += opts.cpu.next;
 
         let uk = user_key(&ikey).to_vec();
         let seq = sequence_of(&ikey);
@@ -171,11 +190,39 @@ pub(crate) fn run_major(
         let stream = if allow_hot && hot.is_hot(&uk) { &mut hot_stream } else { &mut cold };
         stream.add(&ikey, &value, opts);
         if stream.builder.as_ref().is_some_and(|b| b.size_estimate() >= opts.table_size) {
+            let wmark = *now;
+            let bmark = outcome.bytes_written;
             stream.flush(fs, dir, opts, alloc, group.as_mut(), now, &mut outcome)?;
+            outcome.stages.push(Granule::new(
+                acc_read,
+                acc_merge,
+                *now - wmark,
+                outcome.bytes_written - bmark,
+            ));
+            acc_read = Nanos::ZERO;
+            acc_merge = Nanos::ZERO;
         }
     }
-    cold.flush(fs, dir, opts, alloc, group.as_mut(), now, &mut outcome)?;
-    hot_stream.flush(fs, dir, opts, alloc, group.as_mut(), now, &mut outcome)?;
+    for stream in [&mut cold, &mut hot_stream] {
+        let wmark = *now;
+        let bmark = outcome.bytes_written;
+        stream.flush(fs, dir, opts, alloc, group.as_mut(), now, &mut outcome)?;
+        if *now > wmark || outcome.bytes_written > bmark {
+            outcome.stages.push(Granule::new(
+                acc_read,
+                acc_merge,
+                *now - wmark,
+                outcome.bytes_written - bmark,
+            ));
+            acc_read = Nanos::ZERO;
+            acc_merge = Nanos::ZERO;
+        }
+    }
+    if acc_read > Nanos::ZERO || acc_merge > Nanos::ZERO {
+        // Input-side work that produced no output (everything dropped):
+        // keep it on the plan so the pipelined end never undercounts.
+        outcome.stages.push(Granule::new(acc_read, acc_merge, Nanos::ZERO, 0));
+    }
     Ok(outcome)
 }
 

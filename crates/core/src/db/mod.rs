@@ -25,10 +25,13 @@ pub use repair::RepairReport;
 use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
 
+use nob_compact::{
+    DebtClaim, DebtLedger, LaneSet, LaneStats, PriorityPolicy, Stage, StageInterval, StagePlan,
+};
 use nob_ext4::{Ext4Fs, FileHandle, InodeId};
 use nob_metrics::MetricsHub;
 use nob_sim::{EventQueue, Nanos, SharedClock};
-use nob_trace::{EventClass, StallKind, TraceSink};
+use nob_trace::{EventClass, StallKind, TraceCtx, TraceSink};
 
 use crate::cache::TableCache;
 use crate::compaction::{
@@ -62,6 +65,10 @@ enum DbEvent {
         outcome: MajorOutcome,
         succ_files: Vec<(u64, String, InodeId)>,
         started: Nanos,
+        /// Lane the job occupied (frees its stall-attribution slot).
+        lane: usize,
+        /// Debt-ledger claim released when the version edit applies.
+        claim: DebtClaim,
     },
     ReclaimPoll,
 }
@@ -85,8 +92,14 @@ pub struct Db {
     versions: VersionSet,
     tables: TableCache,
     events: EventQueue<DbEvent>,
-    /// Background lane free instants (LevelDB = 1 lane).
-    lanes: Vec<Nanos>,
+    /// Background compaction lanes (LevelDB = 1 lane).
+    lanes: LaneSet,
+    /// Pipelined stage intervals of the major occupying each lane (`None`
+    /// when idle) — what stall spans attribute their wait to.
+    lane_jobs: Vec<Option<Vec<StageInterval>>>,
+    /// Bytes of per-level debt claimed by in-flight majors, so concurrent
+    /// lanes never double-count `compaction_debt_bytes`.
+    debt_ledger: DebtLedger,
     busy_levels: HashSet<usize>,
     inflight_major: usize,
     minor_inflight: bool,
@@ -420,7 +433,8 @@ impl Db {
         }
 
         let hot_window = (opts.write_buffer_size / 256).clamp(1024, 1 << 20) as usize;
-        let lanes = vec![t; opts.compaction_lanes];
+        let lanes = LaneSet::new(opts.compaction_lanes, t);
+        let lane_jobs = vec![None; opts.compaction_lanes];
         let mut db = Db {
             fs,
             dir: dir.to_string(),
@@ -435,6 +449,8 @@ impl Db {
             tables,
             events: EventQueue::new(),
             lanes,
+            lane_jobs,
+            debt_ledger: DebtLedger::default(),
             busy_levels: HashSet::new(),
             inflight_major: 0,
             minor_inflight: false,
@@ -565,21 +581,13 @@ impl Db {
         let Some(hub) = &self.metrics else { return };
         let v = self.versions.current();
         let l0 = v.num_files(0);
-        // Pending compaction debt: bytes over quota on scored levels plus
-        // one table's worth per L0 file beyond the compaction trigger —
-        // the work the background must retire before scores drop below 1.
-        let mut debt = (l0.saturating_sub(self.opts.l0_compaction_trigger) as u64)
-            .saturating_mul(self.opts.table_size) as f64;
-        let mut pushed: Vec<(&str, f64)> = Vec::with_capacity(16 + 2 * v.levels());
+        // Unified debt: over-threshold work net of in-flight claims, so
+        // the gauge never double-counts with concurrent lanes.
+        let debt = self.compaction_debt_bytes() as f64;
+        let mut pushed: Vec<(&str, f64)> = Vec::with_capacity(26 + 2 * v.levels());
         for level in 0..v.levels().min(LEVEL_FILES.len()) {
             pushed.push((LEVEL_FILES[level], v.num_files(level) as f64));
             pushed.push((LEVEL_BYTES[level], v.level_bytes(level) as f64));
-            if level >= 1 {
-                let over = v
-                    .scored_level_bytes(level)
-                    .saturating_sub(self.opts.max_bytes_for_level(level));
-                debt += over as f64;
-            }
         }
         pushed.extend_from_slice(&[
             ("engine.mem_bytes", self.mem.approximate_bytes() as f64),
@@ -599,7 +607,93 @@ impl Db {
             ("engine.writes", self.stats.writes as f64),
             ("engine.stall_ns", self.stats.stall_time.as_nanos() as f64),
         ]);
+        // Lane-scheduler state: admission pressure, occupancy, and the
+        // cumulative per-stage time split of the staged pipeline.
+        pushed.extend_from_slice(&[
+            ("compact.lanes", self.lanes.len() as f64),
+            ("compact.active_majors", self.inflight_major as f64),
+            ("compact.idle_lanes", self.lanes.idle_at(now) as f64),
+            ("compact.pressure", self.policy().pressure(l0)),
+            ("compact.debt_bytes", debt),
+            ("compact.read_ns", self.stats.compact_read_time.as_nanos() as f64),
+            ("compact.merge_ns", self.stats.compact_merge_time.as_nanos() as f64),
+            ("compact.write_ns", self.stats.compact_write_time.as_nanos() as f64),
+            ("compact.preempt_l0", self.stats.l0_preempts as f64),
+            ("compact.backoffs", self.stats.lane_backoffs as f64),
+        ]);
         hub.sample_due(now, &pushed);
+    }
+
+    /// Raw per-level compaction debt: one table's worth per L0 file beyond
+    /// the compaction trigger, and bytes over quota on scored levels —
+    /// the work the background must retire before scores drop below 1.
+    fn raw_debt_per_level(&self) -> Vec<u64> {
+        let v = self.versions.current();
+        let mut raw = vec![0u64; v.levels()];
+        if let Some(r0) = raw.first_mut() {
+            *r0 = (v.num_files(0).saturating_sub(self.opts.l0_compaction_trigger) as u64)
+                .saturating_mul(self.opts.table_size);
+        }
+        for (level, r) in raw.iter_mut().enumerate().skip(1) {
+            *r = v.scored_level_bytes(level).saturating_sub(self.opts.max_bytes_for_level(level));
+        }
+        raw
+    }
+
+    /// Pending compaction debt in bytes, net of what in-flight lanes have
+    /// already claimed: with N concurrent majors the inputs sit in the
+    /// version until each job *applies*, so a raw over-threshold sum would
+    /// count the same bytes once per lane. Surfaced as the
+    /// `compact.debt_bytes` gauge and the `debt=` field of
+    /// `property("noblsm.stats")`.
+    pub fn compaction_debt_bytes(&self) -> u64 {
+        self.debt_ledger.unified(&self.raw_debt_per_level())
+    }
+
+    /// The lane-admission policy derived from the engine's L0 triggers.
+    fn policy(&self) -> PriorityPolicy {
+        PriorityPolicy::new(
+            self.opts.l0_compaction_trigger,
+            self.opts.l0_slowdown_trigger,
+            self.opts.l0_stop_trigger,
+        )
+    }
+
+    /// Number of configured compaction lanes.
+    pub fn compaction_lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Reconfigures the number of compaction lanes at runtime. New lanes
+    /// are free immediately; shrinking drops the highest-indexed lanes
+    /// (their in-flight jobs still complete and apply). Exposed over the
+    /// wire as `COMPACT LANES <n>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero — an engine always has at least one lane.
+    pub fn set_compaction_lanes(&mut self, n: usize) {
+        let now = self.clock.now();
+        self.opts.compaction_lanes = n;
+        self.lanes.resize(n, now);
+        self.lane_jobs.resize(n, None);
+        self.maybe_schedule(now);
+    }
+
+    /// Per-lane attribution: jobs run, busy time, bytes written.
+    pub fn lane_stats(&self) -> &[LaneStats] {
+        self.lanes.stats()
+    }
+
+    /// Major compactions currently in flight.
+    pub fn active_majors(&self) -> usize {
+        self.inflight_major
+    }
+
+    /// Current L0 write pressure in `[0, 1]`: zero at the compaction
+    /// trigger, one at the stop trigger.
+    pub fn l0_pressure(&self) -> f64 {
+        self.policy().pressure(self.versions.current().num_files(0))
     }
 
     /// Engine statistics.
@@ -903,6 +997,22 @@ shadows={} reclaimed={} files_read={} read_amp={:.2}",
                     s.files_read_per_get,
                     s.read_amplification()
                 );
+                line.push_str(&format!(
+                    " debt={} lanes={}/{} preempt_l0={} backoff={}",
+                    self.compaction_debt_bytes(),
+                    self.inflight_major,
+                    self.lanes.len(),
+                    s.l0_preempts,
+                    s.lane_backoffs,
+                ));
+                for (i, ls) in self.lanes.stats().iter().enumerate() {
+                    line.push_str(&format!(
+                        " lane{i}={}:{}:{}",
+                        ls.jobs,
+                        ls.busy.as_nanos(),
+                        ls.bytes_written
+                    ));
+                }
                 if let Some(sink) = &self.trace {
                     line.push_str(&format!(" trace_dropped={}", sink.dropped()));
                 }
@@ -1367,7 +1477,14 @@ bytes_written={}",
                 DbEvent::MinorDone { output, old_wal, new_log_number } => {
                     self.apply_minor(t, output, old_wal, new_log_number)?;
                 }
-                DbEvent::MajorDone { inputs, outcome, succ_files, started } => {
+                DbEvent::MajorDone { inputs, outcome, succ_files, started, lane, claim } => {
+                    // The lane's stall attribution and debt claim end when
+                    // the job's results apply (`get_mut`: the lane may have
+                    // been dropped by a shrink while the job was in flight).
+                    if let Some(slot) = self.lane_jobs.get_mut(lane) {
+                        *slot = None;
+                    }
+                    self.debt_ledger.release(claim);
                     self.apply_major(t, inputs, outcome, succ_files, started)?;
                 }
                 DbEvent::ReclaimPoll => {
@@ -1519,7 +1636,8 @@ bytes_written={}",
                 slowed = true;
                 self.stats.slowdowns += 1;
                 if let Some(sink) = &self.trace {
-                    sink.emit_stall(StallKind::Slowdown, from, now);
+                    let ctx = sink.emit_stall(StallKind::Slowdown, from, now);
+                    emit_stall_activity(sink, ctx, &self.lane_jobs, from, now);
                 }
                 self.pump(now)?;
                 continue;
@@ -1544,7 +1662,8 @@ bytes_written={}",
                     self.stats.stalls += 1;
                     self.stats.stall_time += t - now;
                     if let Some(sink) = &self.trace {
-                        sink.emit_stall(StallKind::Memtable, now, t);
+                        let ctx = sink.emit_stall(StallKind::Memtable, now, t);
+                        emit_stall_activity(sink, ctx, &self.lane_jobs, now, t);
                     }
                     now = t;
                 }
@@ -1562,7 +1681,8 @@ bytes_written={}",
                     self.stats.stalls += 1;
                     self.stats.stall_time += t - now;
                     if let Some(sink) = &self.trace {
-                        sink.emit_stall(StallKind::L0Stop, now, t);
+                        let ctx = sink.emit_stall(StallKind::L0Stop, now, t);
+                        emit_stall_activity(sink, ctx, &self.lane_jobs, now, t);
                     }
                     now = t;
                 }
@@ -1589,15 +1709,8 @@ bytes_written={}",
         self.schedule_minor(now, (old_wal_number, old_wal_path), new_number);
     }
 
-    fn pick_lane(&mut self, ready: Nanos) -> (usize, Nanos) {
-        let (lane, free) = self
-            .lanes
-            .iter()
-            .copied()
-            .enumerate()
-            .min_by_key(|(_, f)| *f)
-            .expect("at least one lane");
-        (lane, free.max(ready))
+    fn pick_lane(&self, ready: Nanos) -> (usize, Nanos) {
+        self.lanes.pick(ready)
     }
 
     fn schedule_minor(&mut self, now: Nanos, old_wal: (u64, String), new_log_number: u64) {
@@ -1622,12 +1735,12 @@ bytes_written={}",
                 }
             }
         }
-        self.lanes[lane] = t;
+        let bytes = output.as_ref().map_or(0, |o| o.meta.size);
+        self.lanes.occupy(lane, start, t, bytes);
         self.minor_inflight = true;
         self.imm_done_at = Some(t);
         self.stats.minor_compactions += 1;
         if let Some(sink) = &self.trace {
-            let bytes = output.as_ref().map_or(0, |o| o.meta.size);
             sink.emit(EventClass::MinorCompaction, now, t, bytes);
         }
         self.events.push(t, DbEvent::MinorDone { output, old_wal, new_log_number });
@@ -1638,8 +1751,14 @@ bytes_written={}",
         // always flushes the immutable memtable first).
         // They are scheduled directly from switch_memtable.
 
+        // Admission: pressure decides how many lanes majors may fill —
+        // one when calm, all of them as L0 approaches the stop trigger.
+        let lanes = self.lanes.len();
+        let policy = self.policy();
+        let budget = policy.max_active(self.versions.current().num_files(0), lanes);
+
         // Seek-triggered compaction.
-        if self.inflight_major < self.opts.compaction_lanes {
+        if self.inflight_major < budget {
             if let Some((level, file)) = self.pending_seek.take() {
                 if let Some(c) = self.versions.pick_seek_compaction(level, &file, &self.busy_levels)
                 {
@@ -1647,10 +1766,35 @@ bytes_written={}",
                 }
             }
         }
-        // Size-triggered compactions.
-        while self.inflight_major < self.opts.compaction_lanes {
-            let Some(c) = self.versions.pick_compaction(&self.busy_levels) else { break };
+        // Size-triggered compactions, preempting toward L0→L1 work when
+        // the L0 count nears the slowdown trigger.
+        while self.inflight_major < budget {
+            let l0 = self.versions.current().num_files(0);
+            let preempted = if policy.prefer_l0(l0) {
+                self.versions.pick_level_compaction(0, &self.busy_levels)
+            } else {
+                None
+            };
+            let c = match preempted {
+                Some(c) => {
+                    self.stats.l0_preempts += 1;
+                    c
+                }
+                None => match self.versions.pick_compaction(&self.busy_levels) {
+                    Some(c) => c,
+                    None => break,
+                },
+            };
             self.schedule_major(now, c);
+        }
+        // Back-off accounting: admission held major-capable lanes idle
+        // while eligible work existed (low pressure — bandwidth saved for
+        // the foreground). The flush lane is reserved, never backed off.
+        if budget < policy.major_capacity(lanes)
+            && self.inflight_major >= budget
+            && self.versions.pick_compaction(&self.busy_levels).is_some()
+        {
+            self.stats.lane_backoffs += 1;
         }
     }
 
@@ -1698,6 +1842,7 @@ bytes_written={}",
                 hot_outputs: Vec::new(),
                 bytes_written: 0,
                 largest_compacted: None,
+                stages: StagePlan::default(),
             },
         };
         // Sync discipline for the new tables. Ungrouped outputs were
@@ -1707,6 +1852,7 @@ bytes_written={}",
         let succ_files = physical_files(
             &outcome.outputs.iter().chain(&outcome.hot_outputs).cloned().collect::<Vec<_>>(),
         );
+        let serial_end = t;
         if self.opts.sync_mode == SyncMode::Always && self.opts.grouped_output {
             for (_, path, _) in &succ_files {
                 if let Ok(h) = self.fs.open(path, t) {
@@ -1716,16 +1862,45 @@ bytes_written={}",
                 }
             }
         }
-        self.lanes[lane] = t;
+        // Staged completion: all I/O above was priced serially on the
+        // device timeline (honest cost), but the three stages overlap
+        // across output granules, so the *job* finishes at the pipelined
+        // end — never later than the serial end — plus the final group
+        // sync, which cannot overlap anything.
+        let sync_cost = t - serial_end;
+        let done = outcome.stages.pipelined_end(start) + sync_cost;
+        let intervals = outcome.stages.intervals(start);
+        let (read_t, merge_t, write_t) = outcome.stages.stage_totals();
+        self.stats.compact_read_time += read_t;
+        self.stats.compact_merge_time += merge_t;
+        self.stats.compact_write_time += write_t;
+        // Claim the debt this job is retiring, so concurrent lanes do not
+        // re-count the same input bytes until the version edit applies.
+        let claim_bytes = if inputs.level == 0 {
+            (inputs.inputs0.len() as u64).saturating_mul(self.opts.table_size)
+        } else {
+            inputs.inputs0.iter().map(|f| f.size).sum()
+        };
+        let claim = self.debt_ledger.claim(inputs.level, claim_bytes);
+        self.lanes.occupy(lane, start, done, outcome.bytes_written);
         self.busy_levels.insert(inputs.level);
         self.busy_levels.insert(inputs.level + 1);
         self.inflight_major += 1;
         // Stats are recorded in apply_major (the single accounting path),
         // when the completion event lands.
         if let Some(sink) = &self.trace {
-            sink.emit(EventClass::MajorCompaction, now, t, outcome.bytes_written);
+            sink.emit(EventClass::MajorCompaction, now, done, outcome.bytes_written);
+            for iv in &intervals {
+                sink.emit(stage_class(iv.stage), iv.start, iv.end, iv.bytes);
+            }
         }
-        self.events.push(t, DbEvent::MajorDone { inputs, outcome, succ_files, started: start });
+        if let Some(slot) = self.lane_jobs.get_mut(lane) {
+            *slot = Some(intervals);
+        }
+        self.events.push(
+            done,
+            DbEvent::MajorDone { inputs, outcome, succ_files, started: start, lane, claim },
+        );
     }
 
     /// Structural self-check (tests): version invariants hold and level
@@ -1815,6 +1990,38 @@ mod run_tests {
     #[test]
     fn empty_input_yields_no_runs() {
         assert!(sorted_runs(Vec::new()).is_empty());
+    }
+}
+
+/// The trace class a pipeline stage's spans carry.
+fn stage_class(stage: Stage) -> EventClass {
+    match stage {
+        Stage::Read => EventClass::CompactRead,
+        Stage::Merge => EventClass::CompactMerge,
+        Stage::Write => EventClass::CompactWrite,
+    }
+}
+
+/// Emits the in-flight compaction stage activity overlapping the stall
+/// window `[lo, hi]` as children of the stall span `ctx`, so the
+/// critical-path analyzer shows *what the background was doing* while the
+/// foreground waited. A no-op outside request scope (`ctx` is none).
+fn emit_stall_activity(
+    sink: &TraceSink,
+    ctx: TraceCtx,
+    lane_jobs: &[Option<Vec<StageInterval>>],
+    lo: Nanos,
+    hi: Nanos,
+) {
+    if ctx.is_none() {
+        return;
+    }
+    for job in lane_jobs.iter().flatten() {
+        for iv in job {
+            if let Some(c) = iv.clip(lo, hi) {
+                sink.emit_ctx(stage_class(c.stage), c.start, c.end, c.bytes, sink.child_ctx(ctx));
+            }
+        }
     }
 }
 

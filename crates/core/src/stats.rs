@@ -58,6 +58,18 @@ pub struct DbStats {
     pub wal_bytes_dropped: u64,
     /// SSTable files probed across all gets (read-amplification numerator).
     pub files_read_per_get: u64,
+    /// Major-compaction time spent in the read (input I/O) stage.
+    pub compact_read_time: Nanos,
+    /// Major-compaction time spent in the merge (CPU) stage.
+    pub compact_merge_time: Nanos,
+    /// Major-compaction time spent in the write (output I/O) stage.
+    pub compact_write_time: Nanos,
+    /// Times the lane scheduler preempted toward `L0`→`L1` work because
+    /// the `L0` count neared the slowdown trigger.
+    pub l0_preempts: u64,
+    /// Scheduling rounds where admission held lanes idle despite eligible
+    /// work (write pressure was low).
+    pub lane_backoffs: u64,
     /// Major-compaction breakdown by parent level.
     pub per_level: Vec<LevelCompactionStats>,
 }

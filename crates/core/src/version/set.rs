@@ -249,6 +249,24 @@ impl VersionSet {
         self.build_inputs(level, None)
     }
 
+    /// Picks a size-triggered compaction of `level` specifically — the
+    /// lane scheduler's L0-preemption path — provided the level is over
+    /// budget and neither it nor its child is busy.
+    pub fn pick_level_compaction(
+        &self,
+        level: usize,
+        busy: &HashSet<usize>,
+    ) -> Option<CompactionInputs> {
+        if level + 1 >= self.opts.max_levels
+            || busy.contains(&level)
+            || busy.contains(&(level + 1))
+            || self.level_score(level) < 1.0
+        {
+            return None;
+        }
+        self.build_inputs(level, None)
+    }
+
     /// Builds inputs for a seek-triggered compaction of `file` at `level`.
     pub fn pick_seek_compaction(
         &self,

@@ -198,6 +198,20 @@ impl<T: Transport> Client<T> {
         Ok((*cursor as u64, rows))
     }
 
+    /// Decodes one counting scan page reply: `(cursor, count)`.
+    fn parse_count_reply(frame: Frame) -> Result<(u64, u64)> {
+        let Frame::Array(items) = frame else {
+            return Err(Error::Usage("unexpected SCAN reply: not an array".into()));
+        };
+        let [Frame::Integer(cursor), Frame::Integer(count)] = items.as_slice() else {
+            return Err(Error::Usage("unexpected SCAN COUNT reply shape".into()));
+        };
+        if *cursor < 0 || *count < 0 {
+            return Err(Error::Usage("unexpected SCAN COUNT reply shape".into()));
+        }
+        Ok((*cursor as u64, *count as u64))
+    }
+
     /// Round-trip SCAN: opens a scan over `[start, end)` (empty slices =
     /// unbounded) and returns the first page as `(cursor, rows)`. A
     /// non-zero cursor means more rows remain — fetch them with
@@ -214,7 +228,30 @@ impl<T: Transport> Client<T> {
         end: &[u8],
         limit: u64,
     ) -> Result<(u64, Vec<(Vec<u8>, Vec<u8>)>)> {
-        self.send(&Request::Scan(start.to_vec(), end.to_vec(), limit))?;
+        self.scan_page_filtered(start, end, limit, None)
+    }
+
+    /// As [`scan_page`](Client::scan_page), with an optional server-side
+    /// key-prefix filter: non-matching rows never cross the wire.
+    ///
+    /// # Errors
+    ///
+    /// Server error replies (including BUSY) and transport failures.
+    #[allow(clippy::type_complexity)]
+    pub fn scan_page_filtered(
+        &mut self,
+        start: &[u8],
+        end: &[u8],
+        limit: u64,
+        prefix: Option<&[u8]>,
+    ) -> Result<(u64, Vec<(Vec<u8>, Vec<u8>)>)> {
+        self.send(&Request::Scan {
+            start: start.to_vec(),
+            end: end.to_vec(),
+            limit,
+            prefix: prefix.map(<[u8]>::to_vec),
+            count_only: false,
+        })?;
         Self::parse_scan_reply(Self::expect(self.recv_reply()?)?)
     }
 
@@ -251,6 +288,61 @@ impl<T: Transport> Client<T> {
             cursor = next;
         }
         Ok(rows)
+    }
+
+    /// Streams every row of `[start, end)` carrying `prefix`, filtering
+    /// server-side so only matching rows cross the wire.
+    ///
+    /// # Errors
+    ///
+    /// As for [`scan_page`](Client::scan_page).
+    #[allow(clippy::type_complexity)]
+    pub fn scan_all_filtered(
+        &mut self,
+        start: &[u8],
+        end: &[u8],
+        page_size: u64,
+        prefix: Option<&[u8]>,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let (mut cursor, mut rows) = self.scan_page_filtered(start, end, page_size, prefix)?;
+        while cursor != 0 {
+            let (next, page) = self.scan_next(cursor)?;
+            rows.extend(page);
+            cursor = next;
+        }
+        Ok(rows)
+    }
+
+    /// Counts the rows of `[start, end)` (optionally narrowed to
+    /// `prefix`) without shipping any row payloads: the server tallies
+    /// each page (`SCAN ... COUNT`) and replies `*2 [:cursor, :count]`.
+    /// Visits at most `page_size` rows per round trip.
+    ///
+    /// # Errors
+    ///
+    /// As for [`scan_page`](Client::scan_page).
+    pub fn scan_count(
+        &mut self,
+        start: &[u8],
+        end: &[u8],
+        page_size: u64,
+        prefix: Option<&[u8]>,
+    ) -> Result<u64> {
+        self.send(&Request::Scan {
+            start: start.to_vec(),
+            end: end.to_vec(),
+            limit: page_size,
+            prefix: prefix.map(<[u8]>::to_vec),
+            count_only: true,
+        })?;
+        let (mut cursor, mut total) = Self::parse_count_reply(Self::expect(self.recv_reply()?)?)?;
+        while cursor != 0 {
+            self.send(&Request::ScanNext(cursor))?;
+            let (next, count) = Self::parse_count_reply(Self::expect(self.recv_reply()?)?)?;
+            total += count;
+            cursor = next;
+        }
+        Ok(total)
     }
 
     /// Round-trip INFO; returns the server's stats text.
@@ -348,6 +440,29 @@ mod tests {
         assert_eq!((cursor, rows.len()), (0, 0));
         // A bogus cursor is an in-band error, not a hang.
         assert!(c.scan_next(9999).is_err());
+    }
+
+    #[test]
+    fn prefix_and_count_scans_filter_server_side() {
+        let core = ServerCore::open(ServerOptions { max_scan_page: 8, ..ServerOptions::default() })
+            .unwrap();
+        let core = shared(core);
+        let mut c = Client::new(LoopbackTransport::connect(&core));
+        for i in 0..30u32 {
+            c.set(format!("a{i:02}").into_bytes().as_slice(), b"v").unwrap();
+            c.set(format!("b{i:02}").into_bytes().as_slice(), b"v").unwrap();
+        }
+        // Prefix filter: only `a*` rows come back, across multiple pages.
+        let rows = c.scan_all_filtered(b"", b"", 8, Some(b"a")).unwrap();
+        assert_eq!(rows.len(), 30);
+        assert!(rows.iter().all(|(k, _)| k.starts_with(b"a")));
+        // Counting scan: the tally pages through the whole range without
+        // shipping a single row payload.
+        assert_eq!(c.scan_count(b"", b"", 8, None).unwrap(), 60);
+        assert_eq!(c.scan_count(b"", b"", 8, Some(b"b")).unwrap(), 30);
+        assert_eq!(c.scan_count(b"a10", b"a20", 4, Some(b"a")).unwrap(), 10);
+        // Prefix disjoint from the range: nothing matches.
+        assert_eq!(c.scan_count(b"b", b"", 8, Some(b"a")).unwrap(), 0);
     }
 
     #[test]

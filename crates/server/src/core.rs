@@ -164,6 +164,10 @@ struct Cursor {
     end: Option<Vec<u8>>,
     /// Rows per page (already clamped to `max_scan_page`).
     page: usize,
+    /// Server-side key-prefix filter carried across pages.
+    prefix: Option<Vec<u8>>,
+    /// Pages reply with row counts instead of row payloads.
+    count_only: bool,
     /// Lease expiry on the virtual clock; renewed by every resume.
     deadline: Nanos,
 }
@@ -542,6 +546,21 @@ impl ServerCore {
         out.push_str(&format!("batches:{}\n", stats.batches));
         out.push_str(&format!("merged_bytes:{}\n", stats.merged_bytes));
         out.push_str(&format!("shipped_records:{}\n", stats.shipped_records));
+        out.push_str("# compaction\n");
+        let lanes: Vec<String> =
+            self.store.compaction_lanes().iter().map(|n| n.to_string()).collect();
+        out.push_str(&format!("lanes:{}\n", lanes.join(",")));
+        let active: Vec<String> = (0..self.store.shards())
+            .map(|i| self.store.shard_db(i).active_majors().to_string())
+            .collect();
+        out.push_str(&format!("active_majors:{}\n", active.join(",")));
+        let debt: u64 =
+            (0..self.store.shards()).map(|i| self.store.shard_db(i).compaction_debt_bytes()).sum();
+        out.push_str(&format!("debt_bytes:{debt}\n"));
+        let pressure = (0..self.store.shards())
+            .map(|i| self.store.shard_db(i).l0_pressure())
+            .fold(0.0f64, f64::max);
+        out.push_str(&format!("max_pressure:{pressure:.2}\n"));
         for i in 0..self.store.shards() {
             if let Some(s) = self.store.shard_db(i).property("noblsm.stats") {
                 out.push_str(&format!("# shard{i}\nnoblsm.stats:{s}\n"));
@@ -646,7 +665,9 @@ impl ServerCore {
                 self.emit(EventClass::ServerControl, start, text.len() as u64, root);
                 self.push_ready(id, Frame::Bulk(text.into_bytes()));
             }
-            Request::Scan(start, end, limit) => self.open_scan(id, start, end, limit)?,
+            Request::Scan { start, end, limit, prefix, count_only } => {
+                self.open_scan(id, start, end, limit, prefix, count_only)?
+            }
             Request::ScanNext(cursor) => self.resume_scan(id, cursor)?,
         }
         Ok(())
@@ -671,10 +692,19 @@ impl ServerCore {
         self.counters.cursors_open.store(self.cursors.len() as u64, Ordering::Relaxed);
     }
 
-    /// `SCAN start end limit`: settle the queue (read-your-writes), pin a
-    /// cross-shard snapshot, serve the first page and — if the range is
-    /// not exhausted — park the snapshot under a fresh cursor lease.
-    fn open_scan(&mut self, id: ConnId, start: Vec<u8>, end: Vec<u8>, limit: u64) -> Result<()> {
+    /// `SCAN start end limit [PREFIX p] [COUNT]`: settle the queue
+    /// (read-your-writes), pin a cross-shard snapshot, serve the first
+    /// page — filtering and counting server-side — and, if the range is
+    /// not exhausted, park the snapshot under a fresh cursor lease.
+    fn open_scan(
+        &mut self,
+        id: ConnId,
+        start: Vec<u8>,
+        end: Vec<u8>,
+        limit: u64,
+        prefix: Option<Vec<u8>>,
+        count_only: bool,
+    ) -> Result<()> {
         self.sweep_cursors();
         if self.cursors.len() >= self.max_cursors {
             self.counters.busy_rejections.fetch_add(1, Ordering::Relaxed);
@@ -686,7 +716,8 @@ impl ServerCore {
         let t0 = self.read_barrier()?;
         let root = self.begin_request();
         let snaps = self.store.pin_snapshots();
-        let result = self.scan_one_page(&snaps, &start, end.as_deref(), page);
+        let result =
+            self.scan_one_page(&snaps, &start, end.as_deref(), page, prefix.as_deref(), count_only);
         self.end_request();
         let result = match result {
             Ok(r) => r,
@@ -700,7 +731,8 @@ impl ServerCore {
                 let cid = self.next_cursor;
                 self.next_cursor += 1;
                 let deadline = self.clock().now() + self.cursor_ttl;
-                self.cursors.insert(cid, Cursor { snaps, resume, end, page, deadline });
+                self.cursors
+                    .insert(cid, Cursor { snaps, resume, end, page, prefix, count_only, deadline });
                 self.counters.cursors_opened.fetch_add(1, Ordering::Relaxed);
                 cid
             }
@@ -710,7 +742,7 @@ impl ServerCore {
             }
         };
         self.counters.cursors_open.store(self.cursors.len() as u64, Ordering::Relaxed);
-        self.finish_scan_reply(id, cursor, result.rows, t0, root);
+        self.finish_scan_reply(id, cursor, result, count_only, t0, root);
         Ok(())
     }
 
@@ -725,7 +757,14 @@ impl ServerCore {
             return Ok(());
         };
         let root = self.begin_request();
-        let result = self.scan_one_page(&cur.snaps, &cur.resume, cur.end.as_deref(), cur.page);
+        let result = self.scan_one_page(
+            &cur.snaps,
+            &cur.resume,
+            cur.end.as_deref(),
+            cur.page,
+            cur.prefix.as_deref(),
+            cur.count_only,
+        );
         self.end_request();
         let result = match result {
             Ok(r) => r,
@@ -735,6 +774,7 @@ impl ServerCore {
                 return Err(e);
             }
         };
+        let count_only = cur.count_only;
         let cursor = match result.resume.clone() {
             Some(resume) => {
                 cur.resume = resume;
@@ -748,7 +788,7 @@ impl ServerCore {
             }
         };
         self.counters.cursors_open.store(self.cursors.len() as u64, Ordering::Relaxed);
-        self.finish_scan_reply(id, cursor, result.rows, t0, root);
+        self.finish_scan_reply(id, cursor, result, count_only, t0, root);
         Ok(())
     }
 
@@ -761,11 +801,15 @@ impl ServerCore {
         start: &[u8],
         end: Option<&[u8]>,
         page: usize,
+        prefix: Option<&[u8]>,
+        count_only: bool,
     ) -> Result<noblsm::ScanResult> {
         let sopts = ScanOptions {
             start: Some(start),
             end,
+            prefix,
             limit: page,
+            count_only,
             fill_cache: false,
             ..ScanOptions::default()
         };
@@ -773,24 +817,31 @@ impl ServerCore {
     }
 
     /// Counts, traces and queues one scan page reply:
-    /// `*2 [:cursor, *2n k/v bulks]`.
+    /// `*2 [:cursor, *2n k/v bulks]`, or `*2 [:cursor, :count]` for a
+    /// counting scan (no row payloads cross the wire).
     fn finish_scan_reply(
         &mut self,
         id: ConnId,
         cursor: u64,
-        rows: Vec<(Vec<u8>, Vec<u8>)>,
+        result: noblsm::ScanResult,
+        count_only: bool,
         start: Nanos,
         root: TraceCtx,
     ) {
-        let bytes: u64 = rows.iter().map(|(k, v)| (k.len() + v.len()) as u64).sum();
-        self.counters.scan_rows.fetch_add(rows.len() as u64, Ordering::Relaxed);
+        let bytes: u64 = result.rows.iter().map(|(k, v)| (k.len() + v.len()) as u64).sum();
+        self.counters.scan_rows.fetch_add(result.count, Ordering::Relaxed);
         self.emit(EventClass::ServerScan, start, bytes, root);
-        let mut flat = Vec::with_capacity(rows.len() * 2);
-        for (k, v) in rows {
-            flat.push(Frame::Bulk(k));
-            flat.push(Frame::Bulk(v));
-        }
-        let reply = Frame::Array(vec![Frame::Integer(cursor as i64), Frame::Array(flat)]);
+        let body = if count_only {
+            Frame::Integer(result.count as i64)
+        } else {
+            let mut flat = Vec::with_capacity(result.rows.len() * 2);
+            for (k, v) in result.rows {
+                flat.push(Frame::Bulk(k));
+                flat.push(Frame::Bulk(v));
+            }
+            Frame::Array(flat)
+        };
+        let reply = Frame::Array(vec![Frame::Integer(cursor as i64), body]);
         self.push_ready(id, reply);
     }
 
@@ -1078,7 +1129,7 @@ mod tests {
         core.flush().unwrap();
         core.take_output(c);
         // Open a scan, then overwrite and extend the keyspace.
-        feed_req(&mut core, c, &Request::Scan(Vec::new(), Vec::new(), 10));
+        feed_req(&mut core, c, &Request::scan(Vec::new(), Vec::new(), 10));
         for i in 0..40u32 {
             feed_req(&mut core, c, &Request::Set(format!("k{i:02}").into_bytes(), b"new".to_vec()));
         }
@@ -1117,7 +1168,7 @@ mod tests {
             feed_req(&mut core, c, &Request::Set(vec![i as u8], b"v".to_vec()));
         }
         core.flush().unwrap();
-        feed_req(&mut core, c, &Request::Scan(Vec::new(), Vec::new(), 5));
+        feed_req(&mut core, c, &Request::scan(Vec::new(), Vec::new(), 5));
         assert_eq!(core.open_cursors(), 1);
         // Let the lease lapse on the virtual clock; the next flush sweeps.
         let deadline = core.clock().now() + Nanos::from_secs(61);
@@ -1147,8 +1198,8 @@ mod tests {
         }
         core.flush().unwrap();
         core.take_output(c);
-        feed_req(&mut core, c, &Request::Scan(Vec::new(), Vec::new(), 5));
-        feed_req(&mut core, c, &Request::Scan(Vec::new(), Vec::new(), 5));
+        feed_req(&mut core, c, &Request::scan(Vec::new(), Vec::new(), 5));
+        feed_req(&mut core, c, &Request::scan(Vec::new(), Vec::new(), 5));
         let replies = decode_all(&core.take_output(c));
         assert!(matches!(replies[0], Frame::Array(_)), "{replies:?}");
         assert!(replies[1].is_busy(), "second cursor must hit the cap: {replies:?}");
@@ -1182,10 +1233,10 @@ mod tests {
         // Server scans run with fill_cache=false, so a full-range scan must
         // not populate the cache: a second identical scan misses exactly as
         // much as the first (nothing was inserted the first time around).
-        feed_req(&mut core, c, &Request::Scan(Vec::new(), Vec::new(), 1_000_000));
+        feed_req(&mut core, c, &Request::scan(Vec::new(), Vec::new(), 1_000_000));
         core.take_output(c);
         let stats1 = snap(&core);
-        feed_req(&mut core, c, &Request::Scan(Vec::new(), Vec::new(), 1_000_000));
+        feed_req(&mut core, c, &Request::scan(Vec::new(), Vec::new(), 1_000_000));
         core.take_output(c);
         let stats2 = snap(&core);
         let miss1: u64 = stats1.iter().zip(&stats0).map(|(a, b)| a.1 - b.1).sum();

@@ -372,7 +372,24 @@ pub enum Request {
     /// `*2 [:cursor, *2n k/v bulks]`. A non-zero cursor is a lease on a
     /// pinned cross-shard snapshot — resume with [`Request::ScanNext`]
     /// before it expires; cursor `0` means the range is exhausted.
-    Scan(Vec<u8>, Vec<u8>, u64),
+    ///
+    /// Wire form: `SCAN <start> <end> <limit> [PREFIX <p>] [COUNT]`.
+    /// `PREFIX` narrows the range server-side to keys starting with `p`;
+    /// `COUNT` suppresses the row payload and replies
+    /// `*2 [:cursor, :count]` instead — the filter and the tally both run
+    /// on the server, so neither ships unwanted rows over the wire.
+    Scan {
+        /// Inclusive range start (empty = unbounded).
+        start: Vec<u8>,
+        /// Exclusive range end (empty = unbounded).
+        end: Vec<u8>,
+        /// Maximum rows visited per page.
+        limit: u64,
+        /// Server-side key-prefix filter.
+        prefix: Option<Vec<u8>>,
+        /// Reply with a row count instead of row payloads.
+        count_only: bool,
+    },
     /// Fetch the next page of an open scan cursor (`SCAN NEXT <cursor>`);
     /// reply as for [`Request::Scan`], served at the cursor's pinned
     /// snapshot.
@@ -380,13 +397,18 @@ pub enum Request {
 }
 
 impl Request {
+    /// Plain range scan: no prefix filter, full row payloads.
+    pub fn scan(start: Vec<u8>, end: Vec<u8>, limit: u64) -> Request {
+        Request::Scan { start, end, limit, prefix: None, count_only: false }
+    }
+
     /// The request's admission/trace class.
     pub fn class(&self) -> RequestClass {
         match self {
             Request::Get(_) | Request::MGet(_) => RequestClass::Read,
             Request::Set(..) | Request::Del(_) | Request::Batch(_) => RequestClass::Write,
             Request::Ping | Request::Info => RequestClass::Control,
-            Request::Scan(..) | Request::ScanNext(_) => RequestClass::Scan,
+            Request::Scan { .. } | Request::ScanNext(_) => RequestClass::Scan,
         }
     }
 
@@ -404,7 +426,9 @@ impl Request {
                     BatchOp::Del(k) => k.len() as u64,
                 })
                 .sum(),
-            Request::Scan(start, end, _) => (start.len() + end.len()) as u64,
+            Request::Scan { start, end, prefix, .. } => {
+                (start.len() + end.len() + prefix.as_ref().map_or(0, Vec::len)) as u64
+            }
             Request::Ping | Request::Info | Request::ScanNext(_) => 0,
         }
     }
@@ -442,8 +466,17 @@ impl Request {
             }
             Request::Ping => vec![bulk(b"PING")],
             Request::Info => vec![bulk(b"INFO")],
-            Request::Scan(start, end, limit) => {
-                vec![bulk(b"SCAN"), bulk(start), bulk(end), bulk(limit.to_string().as_bytes())]
+            Request::Scan { start, end, limit, prefix, count_only } => {
+                let mut v =
+                    vec![bulk(b"SCAN"), bulk(start), bulk(end), bulk(limit.to_string().as_bytes())];
+                if let Some(p) = prefix {
+                    v.push(bulk(b"PREFIX"));
+                    v.push(bulk(p));
+                }
+                if *count_only {
+                    v.push(bulk(b"COUNT"));
+                }
+                v
             }
             Request::ScanNext(cursor) => {
                 vec![bulk(b"SCAN"), bulk(b"NEXT"), bulk(cursor.to_string().as_bytes())]
@@ -511,12 +544,34 @@ impl Request {
             (b"SCAN", [sub, cursor]) if sub.eq_ignore_ascii_case(b"NEXT") => {
                 Ok(Request::ScanNext(parse_decimal_arg(cursor, "SCAN NEXT cursor")?))
             }
-            (b"SCAN", [start, end, limit]) => {
+            (b"SCAN", [start, end, limit, opts @ ..]) => {
                 let limit = parse_decimal_arg(limit, "SCAN limit")?;
                 if limit == 0 {
                     return Err(ProtoError::BadRequest("SCAN limit must be at least 1".into()));
                 }
-                Ok(Request::Scan(start.to_vec(), end.to_vec(), limit))
+                let mut prefix = None;
+                let mut count_only = false;
+                let mut i = 0;
+                while i < opts.len() {
+                    if opts[i].eq_ignore_ascii_case(b"PREFIX") && i + 1 < opts.len() {
+                        prefix = Some(opts[i + 1].to_vec());
+                        i += 2;
+                    } else if opts[i].eq_ignore_ascii_case(b"COUNT") {
+                        count_only = true;
+                        i += 1;
+                    } else {
+                        return Err(ProtoError::BadRequest(
+                            "SCAN options are PREFIX <p> and COUNT".into(),
+                        ));
+                    }
+                }
+                Ok(Request::Scan {
+                    start: start.to_vec(),
+                    end: end.to_vec(),
+                    limit,
+                    prefix,
+                    count_only,
+                })
             }
             _ => Err(ProtoError::BadRequest(format!(
                 "unknown command or wrong arity: {}",
@@ -648,8 +703,18 @@ mod tests {
             ),
             (Request::Ping, RequestClass::Control),
             (Request::Info, RequestClass::Control),
-            (Request::Scan(b"a".to_vec(), b"z".to_vec(), 100), RequestClass::Scan),
-            (Request::Scan(Vec::new(), Vec::new(), 1), RequestClass::Scan),
+            (Request::scan(b"a".to_vec(), b"z".to_vec(), 100), RequestClass::Scan),
+            (Request::scan(Vec::new(), Vec::new(), 1), RequestClass::Scan),
+            (
+                Request::Scan {
+                    start: b"a".to_vec(),
+                    end: b"z".to_vec(),
+                    limit: 9,
+                    prefix: Some(b"ab".to_vec()),
+                    count_only: true,
+                },
+                RequestClass::Scan,
+            ),
             (Request::ScanNext(7), RequestClass::Scan),
         ];
         for (req, class) in cases {
@@ -693,18 +758,53 @@ mod tests {
         }
         assert_eq!(
             req(&[b"a", b"z", b"50"]).unwrap(),
-            Request::Scan(b"a".to_vec(), b"z".to_vec(), 50)
+            Request::scan(b"a".to_vec(), b"z".to_vec(), 50)
         );
-        assert_eq!(req(&[b"", b"", b"1"]).unwrap(), Request::Scan(Vec::new(), Vec::new(), 1));
+        assert_eq!(req(&[b"", b"", b"1"]).unwrap(), Request::scan(Vec::new(), Vec::new(), 1));
         assert_eq!(req(&[b"next", b"42"]).unwrap(), Request::ScanNext(42));
         // A key literally spelled NEXT still works at the 3-arg arity.
         assert_eq!(
             req(&[b"NEXT", b"z", b"5"]).unwrap(),
-            Request::Scan(b"NEXT".to_vec(), b"z".to_vec(), 5)
+            Request::scan(b"NEXT".to_vec(), b"z".to_vec(), 5)
         );
         for bad in
             [&[b"a" as &[u8], b"z", b"0"][..], &[b"a", b"z", b"ten"], &[b"NEXT", b"4x2"], &[b"a"]]
         {
+            assert!(matches!(req(bad), Err(ProtoError::BadRequest(_))), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn scan_options_parse_and_round_trip() {
+        fn req(args: &[&[u8]]) -> Result<Request, ProtoError> {
+            let mut items = vec![Frame::Bulk(b"SCAN".to_vec())];
+            items.extend(args.iter().map(|a| Frame::Bulk(a.to_vec())));
+            Request::parse(&Frame::Array(items))
+        }
+        let full = Request::Scan {
+            start: b"a".to_vec(),
+            end: b"z".to_vec(),
+            limit: 10,
+            prefix: Some(b"ab".to_vec()),
+            count_only: true,
+        };
+        // Keywords are case-insensitive and order-insensitive.
+        assert_eq!(req(&[b"a", b"z", b"10", b"prefix", b"ab", b"count"]).unwrap(), full);
+        assert_eq!(req(&[b"a", b"z", b"10", b"COUNT", b"PREFIX", b"ab"]).unwrap(), full);
+        assert_eq!(
+            req(&[b"a", b"z", b"10", b"COUNT"]).unwrap(),
+            Request::Scan {
+                start: b"a".to_vec(),
+                end: b"z".to_vec(),
+                limit: 10,
+                prefix: None,
+                count_only: true,
+            }
+        );
+        assert_eq!(Request::parse(&full.to_frame()).unwrap(), full);
+        assert_eq!(full.payload_bytes(), 4, "prefix bytes count toward the traced payload size");
+        // PREFIX without its argument, or stray tokens, are rejected.
+        for bad in [&[b"a" as &[u8], b"z", b"10", b"PREFIX"][..], &[b"a", b"z", b"10", b"NOPE"]] {
             assert!(matches!(req(bad), Err(ProtoError::BadRequest(_))), "{bad:?}");
         }
     }

@@ -76,6 +76,10 @@ pub struct StoreOptions {
     pub fs: Ext4Config,
     /// Engine options, cloned per shard.
     pub db: Options,
+    /// Per-shard compaction lane counts. `None` gives every shard
+    /// `db.compaction_lanes`; `Some(v)` must hold one non-zero entry per
+    /// shard (a hot shard can run more lanes than a cold one).
+    pub shard_lanes: Option<Vec<usize>>,
 }
 
 impl Default for StoreOptions {
@@ -86,6 +90,7 @@ impl Default for StoreOptions {
             group_budget_count: 32,
             fs: Ext4Config::default(),
             db: Options::default(),
+            shard_lanes: None,
         }
     }
 }
@@ -208,10 +213,24 @@ impl Store {
         if opts.group_budget_count == 0 {
             return Err(Error::Usage("group_budget_count must be at least 1".into()));
         }
+        if let Some(lanes) = &opts.shard_lanes {
+            if lanes.len() != opts.shards {
+                return Err(Error::Usage(
+                    "shard_lanes must hold exactly one entry per shard".into(),
+                ));
+            }
+            if lanes.contains(&0) {
+                return Err(Error::Usage("every shard needs at least one compaction lane".into()));
+            }
+        }
         let mut shards = Vec::with_capacity(opts.shards);
         for i in 0..opts.shards {
             let fs = Ext4Fs::new(opts.fs.clone());
-            let db = Db::open_with_clock(fs, &format!("shard{i}"), opts.db.clone(), clock.clone())?;
+            let mut db_opts = opts.db.clone();
+            if let Some(lanes) = &opts.shard_lanes {
+                db_opts.compaction_lanes = lanes[i];
+            }
+            let db = Db::open_with_clock(fs, &format!("shard{i}"), db_opts, clock.clone())?;
             shards.push(Shard { db, queue: VecDeque::new() });
         }
         Ok(Store {
@@ -265,6 +284,23 @@ impl Store {
     /// Panics if `i` is out of range.
     pub fn shard_db_mut(&mut self, i: usize) -> &mut Db {
         &mut self.shards[i].db
+    }
+
+    /// Per-shard compaction lane counts, in shard order.
+    pub fn compaction_lanes(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.db.compaction_lanes()).collect()
+    }
+
+    /// Reconfigures every shard to `n` compaction lanes at runtime
+    /// (in-flight jobs still complete; see [`Db::set_compaction_lanes`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn set_compaction_lanes(&mut self, n: usize) {
+        for shard in &mut self.shards {
+            shard.db.set_compaction_lanes(n);
+        }
     }
 
     /// Batches still queued across all shards.

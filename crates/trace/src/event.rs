@@ -74,10 +74,17 @@ pub enum EventClass {
     /// One served SCAN page (SCAN / cursor resume), server receipt →
     /// page encoded. `bytes` is the reply payload.
     ServerScan = 24,
+    /// Input-read stage of one staged major-compaction granule.
+    CompactRead = 25,
+    /// Merge-CPU stage of one staged major-compaction granule.
+    CompactMerge = 26,
+    /// Output-write stage of one staged major-compaction granule.
+    /// `bytes` is the granule's output size.
+    CompactWrite = 27,
 }
 
 /// Number of event classes (length of [`EventClass::ALL`]).
-pub const N_CLASSES: usize = 25;
+pub const N_CLASSES: usize = 28;
 
 impl EventClass {
     /// Every class, in discriminant order.
@@ -107,6 +114,9 @@ impl EventClass {
         EventClass::ReplApply,
         EventClass::ReplAck,
         EventClass::ServerScan,
+        EventClass::CompactRead,
+        EventClass::CompactMerge,
+        EventClass::CompactWrite,
     ];
 
     /// Stable snake_case name, used in JSON output.
@@ -137,6 +147,9 @@ impl EventClass {
             EventClass::ReplApply => "repl_apply",
             EventClass::ReplAck => "repl_ack",
             EventClass::ServerScan => "server_scan",
+            EventClass::CompactRead => "compact_read",
+            EventClass::CompactMerge => "compact_merge",
+            EventClass::CompactWrite => "compact_write",
         }
     }
 
@@ -161,7 +174,10 @@ impl EventClass {
             | EventClass::MinorCompaction
             | EventClass::MajorCompaction
             | EventClass::WriteStall
-            | EventClass::GroupCommit => "engine",
+            | EventClass::GroupCommit
+            | EventClass::CompactRead
+            | EventClass::CompactMerge
+            | EventClass::CompactWrite => "engine",
             EventClass::ServerRead
             | EventClass::ServerWrite
             | EventClass::ServerControl
@@ -332,6 +348,8 @@ mod tests {
         assert_eq!(EventClass::ServerScan.tid(), 3);
         assert_eq!(EventClass::ReplShip.layer(), "repl");
         assert_eq!(EventClass::ReplAck.tid(), 4);
+        assert_eq!(EventClass::CompactRead.layer(), "engine");
+        assert_eq!(EventClass::CompactWrite.tid(), 0);
     }
 
     #[test]

@@ -276,8 +276,11 @@ impl TraceSink {
 
     /// Records a foreground write stall, capturing its causal chain: the
     /// last commit-family span and last device FLUSH observed before the
-    /// stall resolved.
-    pub fn emit_stall(&self, kind: StallKind, start: Nanos, end: Nanos) {
+    /// stall resolved. Returns the stall span's context so callers can
+    /// attach children (e.g. the compaction stages that ran during the
+    /// stall) via [`TraceSink::child_ctx`] / [`TraceSink::emit_ctx`];
+    /// it is [`TraceCtx::NONE`] outside any request scope.
+    pub fn emit_stall(&self, kind: StallKind, start: Nanos, end: Nanos) -> TraceCtx {
         let mut st = self.lock();
         let ctx = st.ambient();
         st.record(EventClass::WriteStall, start, end, 0, ctx);
@@ -301,6 +304,7 @@ impl TraceSink {
             keep.truncate(STALL_KEEP / 2);
             st.stalls = keep;
         }
+        ctx
     }
 
     /// Total spans emitted so far.

@@ -11,6 +11,10 @@
 #
 # The scenarios run over virtual time, so the numbers are deterministic:
 # regenerating without a code change must produce a byte-identical file.
+# The scenario list lives in nob-bench's `scenarios::smoke_all` (fig2a,
+# fig4, replication, scan, and the staged-lane `compact` scenario) —
+# adding a scenario there is all that's needed for it to be baselined
+# and gated here.
 #
 # To see the gate fail on purpose (e.g. to verify the CI wiring), run
 # the smoke binary against a synthetically 2x-slower device:
